@@ -1,0 +1,69 @@
+//! A1 — ablation: interpolation kernels of the re-projection operator
+//! (nearest vs bilinear vs bicubic): §3.2's "linear interpolations or
+//! higher-order fitting routines".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geostreams_core::model::GeoStream;
+use geostreams_core::ops::{Reproject, ReprojectConfig};
+use geostreams_geo::Crs;
+use geostreams_raster::resample::Kernel;
+use geostreams_satsim::goes_like;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let scanner = goes_like(160, 80, 5);
+    let mut group = c.benchmark_group("a1_kernels");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(160 * 80));
+    for kernel in [Kernel::Nearest, Kernel::Bilinear, Kernel::Bicubic] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kernel:?}")),
+            &kernel,
+            |b, &kernel| {
+                b.iter(|| {
+                    let op = Reproject::new(
+                        scanner.band_stream(0, 1),
+                        ReprojectConfig::new(Crs::LatLon).kernel(kernel),
+                    )
+                    .expect("reproject");
+                    let mut op = op;
+                    let mut n = 0u64;
+                    while let Some(el) = op.next_element() {
+                        if el.is_point() {
+                            n += 1;
+                        }
+                    }
+                    black_box(n)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Raw kernel sampling microbenchmark (isolated from projections).
+    use geostreams_raster::resample::sample;
+    use geostreams_raster::Grid2D;
+    let grid = Grid2D::from_fn(256, 256, |c, r| (c * r) as f32);
+    let mut group = c.benchmark_group("a1_sample_micro");
+    for kernel in [Kernel::Nearest, Kernel::Bilinear, Kernel::Bicubic] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kernel:?}")),
+            &kernel,
+            |b, &kernel| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for i in 0..10_000 {
+                        let fc = (i % 250) as f64 + 0.37;
+                        let fr = (i / 40) as f64 * 0.99 + 0.21;
+                        acc += sample(&grid, fc, fr, kernel);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

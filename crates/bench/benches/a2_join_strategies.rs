@@ -1,0 +1,63 @@
+//! A2 — ablation: composition join strategies (symmetric hash join vs
+//! frame-at-a-time merge).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geostreams_bench::{ramp_elements, replay};
+use geostreams_core::model::GeoStream;
+use geostreams_core::ops::{Compose, GammaOp, JoinStrategy};
+use std::hint::black_box;
+
+fn bench_join_strategies(c: &mut Criterion) {
+    let (w, h, sectors) = (192u32, 192u32, 2u64);
+    let (schema, a) = ramp_elements(w, h, sectors);
+    let (_, b_els) = ramp_elements(w, h, sectors);
+    let points = u64::from(w) * u64::from(h) * sectors;
+
+    let mut group = c.benchmark_group("a2_join");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points));
+    for strategy in [JoinStrategy::Hash, JoinStrategy::FrameMerge] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |bch, &strategy| {
+                bch.iter(|| {
+                    let op = Compose::new(
+                        replay(&schema, &a),
+                        replay(&schema, &b_els),
+                        GammaOp::Mul,
+                        strategy,
+                    )
+                    .expect("compose");
+                    let mut op = op;
+                    let mut n = 0u64;
+                    while let Some(el) = op.next_element() {
+                        if el.is_point() {
+                            n += 1;
+                        }
+                    }
+                    black_box(n)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Identical outputs across strategies.
+    let run = |strategy| {
+        let mut op = Compose::new(
+            replay(&schema, &a),
+            replay(&schema, &b_els),
+            GammaOp::Mul,
+            strategy,
+        )
+        .expect("compose");
+        let mut pts = op.drain_points();
+        pts.sort_by_key(|p| (p.cell.row, p.cell.col));
+        pts.iter().map(|p| p.value).collect::<Vec<f32>>()
+    };
+    assert_eq!(run(JoinStrategy::Hash), run(JoinStrategy::FrameMerge));
+}
+
+criterion_group!(benches, bench_join_strategies);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! A3 — ablation: PNG delivery encoder configurations (scanline filter ×
+//! DEFLATE strategy), on a real simulated GOES sector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geostreams_core::ops::ImageAssembler;
+use geostreams_raster::png::{self, Filter, PngOptions, Strategy};
+use geostreams_raster::Grid2D;
+use geostreams_satsim::goes_like;
+use std::hint::black_box;
+
+fn bench_png(c: &mut Criterion) {
+    let scanner = goes_like(384, 192, 13);
+    let mut assembler = ImageAssembler::new(scanner.band_stream(0, 1));
+    let img = assembler.next_image().expect("image");
+    let gray: Grid2D<u8> = img.grid.map(|v| (v.clamp(0.0, 1.0) * 255.0) as u8);
+
+    let mut group = c.benchmark_group("a3_png_encode");
+    group.sample_size(15);
+    group.throughput(Throughput::Bytes(gray.len() as u64));
+    for filter in [Filter::None, Filter::Sub] {
+        for strategy in [Strategy::Stored, Strategy::FixedHuffman] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{filter:?}+{strategy:?}")),
+                &(filter, strategy),
+                |b, &(filter, strategy)| {
+                    b.iter(|| {
+                        black_box(png::encode_gray(&gray, PngOptions { filter, strategy }).len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("a3_png_decode");
+    group.sample_size(15);
+    let encoded = png::encode_gray(
+        &gray,
+        PngOptions { filter: Filter::Sub, strategy: Strategy::FixedHuffman },
+    );
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("decode_sub_fixed", |b| {
+        b.iter(|| black_box(png::decode(&encoded).expect("decodes")))
+    });
+    group.finish();
+
+    // Size ordering: Sub+FixedHuffman must be the smallest on smooth
+    // radiance imagery.
+    let sizes: Vec<usize> = [
+        (Filter::None, Strategy::Stored),
+        (Filter::None, Strategy::FixedHuffman),
+        (Filter::Sub, Strategy::FixedHuffman),
+    ]
+    .iter()
+    .map(|&(filter, strategy)| png::encode_gray(&gray, PngOptions { filter, strategy }).len())
+    .collect();
+    assert!(sizes[2] < sizes[1] && sizes[1] < sizes[0], "{sizes:?}");
+}
+
+criterion_group!(benches, bench_png);
+criterion_main!(benches);

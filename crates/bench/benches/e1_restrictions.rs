@@ -1,0 +1,100 @@
+//! E1 — §3.1 claim: restriction operators are non-blocking with constant
+//! per-point cost, independent of the input stream size.
+//!
+//! Regenerates: per-point restriction cost across stream sizes (flat
+//! line) and selectivities, plus the zero-buffer check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geostreams_bench::{latlon_lattice, ramp_elements, replay};
+use geostreams_core::model::{GeoStream, TimeSet};
+use geostreams_core::ops::{SpatialRestrict, TemporalRestrict, ValueRestrict};
+use geostreams_geo::{Rect, Region};
+use std::hint::black_box;
+
+fn drain<S: GeoStream>(mut s: S) -> u64 {
+    let mut n = 0;
+    while let Some(el) = s.next_element() {
+        if el.is_point() {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn bench_restrictions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_spatial_restrict_scaling");
+    group.sample_size(20);
+    // Sweep stream size; per-point cost must stay flat.
+    for mult in [1u32, 2, 4] {
+        let (w, h) = (256 * mult, 256);
+        let (schema, elements) = ramp_elements(w, h, 1);
+        let world = latlon_lattice(w, h).world_bbox();
+        let region = Region::Rect(Rect::new(
+            world.x_min,
+            world.y_min,
+            world.x_min + world.width() / 2.0,
+            world.y_min + world.height() / 2.0,
+        ));
+        group.throughput(Throughput::Elements(u64::from(w) * u64::from(h)));
+        group.bench_with_input(
+            BenchmarkId::from_parameter((w as u64) * (h as u64)),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let op =
+                        SpatialRestrict::new(replay(&schema, &elements), region.clone());
+                    black_box(drain(op))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e1_selectivity");
+    group.sample_size(20);
+    let (w, h) = (256u32, 256u32);
+    let (schema, elements) = ramp_elements(w, h, 1);
+    let world = latlon_lattice(w, h).world_bbox();
+    for pct in [1u32, 25, 100] {
+        let frac = (f64::from(pct) / 100.0).sqrt();
+        let region = Region::Rect(Rect::new(
+            world.x_min,
+            world.y_min,
+            world.x_min + world.width() * frac,
+            world.y_min + world.height() * frac,
+        ));
+        group.throughput(Throughput::Elements(u64::from(w) * u64::from(h)));
+        group.bench_with_input(BenchmarkId::new("bbox", pct), &(), |b, ()| {
+            b.iter(|| {
+                let op = SpatialRestrict::new(replay(&schema, &elements), region.clone());
+                black_box(drain(op))
+            })
+        });
+    }
+    // Temporal and value restrictions at the same scale.
+    group.bench_function("temporal_interval", |b| {
+        b.iter(|| {
+            let op = TemporalRestrict::new(
+                replay(&schema, &elements),
+                TimeSet::Interval { lo: Some(0), hi: Some(1) },
+            );
+            black_box(drain(op))
+        })
+    });
+    group.bench_function("value_range", |b| {
+        b.iter(|| {
+            let op = ValueRestrict::range(replay(&schema, &elements), 0.5, 1.5);
+            black_box(drain(op))
+        })
+    });
+    group.finish();
+
+    // The zero-buffer claim, checked once per run.
+    let region = Region::Rect(Rect::new(-122.0, 34.0, -118.0, 38.0));
+    let mut op = SpatialRestrict::new(replay(&schema, &elements), region);
+    let _ = drain(&mut op);
+    assert_eq!(op.op_stats().buffered_points_peak, 0, "§3.1: restrictions never buffer");
+}
+
+criterion_group!(benches, bench_restrictions);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E2 — §3.2 claims: point-wise value transforms are O(1) per point;
+//! stretch transforms buffer the frame/image ("the cost of a stretch
+//! transform operator is determined by the size of the largest frame").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geostreams_bench::{ramp_elements, replay};
+use geostreams_core::model::GeoStream;
+use geostreams_core::ops::{MapTransform, StretchMode, StretchScope, StretchTransform, ValueFunc};
+use std::hint::black_box;
+
+fn drain<S: GeoStream>(mut s: S) -> u64 {
+    let mut n = 0;
+    while let Some(el) = s.next_element() {
+        if el.is_point() {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn bench_value_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_value_transforms");
+    group.sample_size(15);
+    for mult in [1u32, 2] {
+        let (w, h) = (256 * mult, 128 * mult);
+        let points = u64::from(w) * u64::from(h);
+        let (schema, elements) = ramp_elements(w, h, 1);
+        group.throughput(Throughput::Elements(points));
+        group.bench_with_input(BenchmarkId::new("map_linear", points), &(), |b, ()| {
+            b.iter(|| {
+                let op: MapTransform<_, f32> = MapTransform::new(
+                    replay(&schema, &elements),
+                    ValueFunc::Linear { scale: 0.5, offset: 1.0 },
+                );
+                black_box(drain(op))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stretch_frame", points), &(), |b, ()| {
+            b.iter(|| {
+                let op = StretchTransform::new(
+                    replay(&schema, &elements),
+                    StretchMode::Linear { out_lo: 0.0, out_hi: 1.0 },
+                    StretchScope::Frame,
+                );
+                black_box(drain(op))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stretch_image", points), &(), |b, ()| {
+            b.iter(|| {
+                let op = StretchTransform::new(
+                    replay(&schema, &elements),
+                    StretchMode::Linear { out_lo: 0.0, out_hi: 1.0 },
+                    StretchScope::Image,
+                );
+                black_box(drain(op))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("histeq_image", points), &(), |b, ()| {
+            b.iter(|| {
+                let op = StretchTransform::new(
+                    replay(&schema, &elements),
+                    StretchMode::HistEq { bins: 256 },
+                    StretchScope::Image,
+                );
+                black_box(drain(op))
+            })
+        });
+    }
+    group.finish();
+
+    // Buffer claim: image stretch buffers the whole image.
+    let (schema, elements) = ramp_elements(128, 128, 1);
+    let mut op = StretchTransform::new(
+        replay(&schema, &elements),
+        StretchMode::Linear { out_lo: 0.0, out_hi: 1.0 },
+        StretchScope::Image,
+    );
+    let _ = drain(&mut op);
+    assert_eq!(op.op_stats().buffered_points_peak, 128 * 128);
+}
+
+criterion_group!(benches, bench_value_transforms);
+criterion_main!(benches);

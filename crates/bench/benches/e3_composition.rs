@@ -1,0 +1,78 @@
+//! E3 — §3.3 claims: composition buffering depends on the transmission
+//! organization (whole image for image-by-image vs one row for
+//! row-by-row), and timestamps must match for any output.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use geostreams_bench::{band_sequential, interleave_rows, ramp_elements};
+use geostreams_core::model::{split2, GeoStream, StreamSchema};
+use geostreams_core::ops::{Compose, GammaOp, JoinStrategy};
+use geostreams_core::stats::OpReport;
+use geostreams_geo::Crs;
+use std::hint::black_box;
+
+fn drain<S: GeoStream>(mut s: S) -> (u64, u64) {
+    let mut n = 0;
+    while let Some(el) = s.next_element() {
+        if el.is_point() {
+            n += 1;
+        }
+    }
+    let mut ops: Vec<OpReport> = Vec::new();
+    s.collect_stats(&mut ops);
+    let peak = ops.iter().map(|o| o.stats.buffered_points_peak).max().unwrap_or(0);
+    (n, peak)
+}
+
+fn bench_composition(c: &mut Criterion) {
+    let (w, h) = (128u32, 128u32);
+    let image = u64::from(w) * u64::from(h);
+    let (_, a) = ramp_elements(w, h, 2);
+    let (_, b) = ramp_elements(w, h, 2);
+    let schema = StreamSchema::new("band", Crs::LatLon);
+
+    let row_transport = interleave_rows(&a, &b);
+    let seq_transport = band_sequential(&a, &b);
+
+    let mut group = c.benchmark_group("e3_composition");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(image * 2));
+    group.bench_function("row_by_row_transport", |b| {
+        b.iter(|| {
+            let (s0, s1) = split2(
+                row_transport.clone().into_iter(),
+                schema.renamed("a"),
+                schema.renamed("b"),
+            );
+            let op = Compose::new(s0, s1, GammaOp::Add, JoinStrategy::Hash).expect("compose");
+            black_box(drain(op))
+        })
+    });
+    group.bench_function("image_by_image_transport", |b| {
+        b.iter(|| {
+            let (s0, s1) = split2(
+                seq_transport.clone().into_iter(),
+                schema.renamed("a"),
+                schema.renamed("b"),
+            );
+            let op = Compose::new(s0, s1, GammaOp::Add, JoinStrategy::Hash).expect("compose");
+            black_box(drain(op))
+        })
+    });
+    group.finish();
+
+    // Shape assertions recorded in EXPERIMENTS.md.
+    let (s0, s1) =
+        split2(row_transport.into_iter(), schema.renamed("a"), schema.renamed("b"));
+    let (n, peak_row) =
+        drain(Compose::new(s0, s1, GammaOp::Add, JoinStrategy::Hash).expect("compose"));
+    assert_eq!(n, image * 2);
+    let (s0, s1) =
+        split2(seq_transport.into_iter(), schema.renamed("a"), schema.renamed("b"));
+    let (n, peak_img) =
+        drain(Compose::new(s0, s1, GammaOp::Add, JoinStrategy::Hash).expect("compose"));
+    assert_eq!(n, image * 2);
+    assert!(peak_row * 8 < peak_img, "row {peak_row} ≪ image {peak_img}");
+}
+
+criterion_group!(benches, bench_composition);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E4 — §3.4 claim: pushing the spatial restriction inward (mapping the
+//! region across coordinate systems) yields "the most significant space
+//! and time gains". Benchmarks the paper's running NDVI/UTM query with
+//! and without the optimizer at several region selectivities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geostreams_core::exec::run_to_end;
+use geostreams_core::query::{optimize, parse_query, Planner};
+use geostreams_dsms::Dsms;
+use geostreams_satsim::goes_like;
+use std::hint::black_box;
+
+fn query_text(frac: f64) -> String {
+    let center = (450_000.0, 4_300_000.0);
+    let half_w = 1_200_000.0 * frac / 2.0;
+    let half_h = 900_000.0 * frac / 2.0;
+    format!(
+        "restrict_space(
+           reproject(normalize(div(sub(goes-sim.b2-nir, downsample(goes-sim.b1-vis, 4)),
+                                   add(downsample(goes-sim.b1-vis, 4), goes-sim.b2-nir)),
+                               -1, 1),
+                     \"utm:14N\"),
+           bbox({}, {}, {}, {}), \"utm:14N\")",
+        center.0 - half_w,
+        center.1 - half_h,
+        center.0 + half_w,
+        center.1 + half_h
+    )
+}
+
+fn bench_rewriting(c: &mut Criterion) {
+    let scanner = goes_like(192, 96, 42);
+    let server = Dsms::over_scanner(&scanner, 1);
+    let catalog = server.catalog();
+    let planner = Planner::new(catalog);
+
+    let mut group = c.benchmark_group("e4_rewriting");
+    group.sample_size(10);
+    for pct in [100u32, 25, 10] {
+        let q = query_text(f64::from(pct) / 100.0);
+        let expr = parse_query(&q).expect("parses");
+        let optimized = optimize(&expr, catalog);
+        group.bench_with_input(BenchmarkId::new("naive", pct), &expr, |b, e| {
+            b.iter(|| {
+                let mut pipe = planner.build(e).expect("plan");
+                black_box(run_to_end(&mut pipe).points_delivered)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", pct), &optimized, |b, e| {
+            b.iter(|| {
+                let mut pipe = planner.build(e).expect("plan");
+                black_box(run_to_end(&mut pipe).points_delivered)
+            })
+        });
+        // Equivalence check per selectivity.
+        let mut a = planner.build(&expr).expect("plan");
+        let mut b = planner.build(&optimized).expect("plan");
+        assert_eq!(
+            run_to_end(&mut a).points_delivered,
+            run_to_end(&mut b).points_delivered,
+            "rewrites preserve cardinality at {pct}%"
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewriting);
+criterion_main!(benches);

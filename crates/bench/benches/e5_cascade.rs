@@ -1,0 +1,93 @@
+//! E5 — §4 / [10]: the dynamic cascade tree as a single shared spatial
+//! restriction for many registered queries, vs the naive per-query scan.
+//! The interesting output is the crossover point as the query count
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geostreams_bench::{latlon_lattice, RegionGen};
+use geostreams_core::query::cascade::{CascadeTree, NaiveRegionIndex, RegionIndex};
+use geostreams_geo::Cell;
+use std::hint::black_box;
+
+fn bench_cascade(c: &mut Criterion) {
+    let lattice = latlon_lattice(256, 256);
+    let world = lattice.world_bbox();
+    let mut points = Vec::new();
+    for row in 0..lattice.height {
+        for col in 0..lattice.width {
+            points.push(lattice.cell_to_world(Cell::new(col, row)));
+        }
+    }
+
+    let mut group = c.benchmark_group("e5_routing");
+    group.sample_size(12);
+    group.throughput(Throughput::Elements(points.len() as u64));
+    for n in [4usize, 64, 256, 1024] {
+        let mut gen = RegionGen::new(0xDEADBEEF, world);
+        let regions: Vec<_> = (0..n).map(|_| gen.next_region()).collect();
+
+        let mut naive = NaiveRegionIndex::new();
+        let mut cascade = CascadeTree::new(world, 10);
+        for (i, r) in regions.iter().enumerate() {
+            naive.insert(i as u32, *r);
+            cascade.insert(i as u32, *r);
+        }
+
+        group.bench_with_input(BenchmarkId::new("naive", n), &(), |b, ()| {
+            b.iter(|| {
+                let mut hits = Vec::with_capacity(16);
+                let mut total = 0u64;
+                for p in &points {
+                    hits.clear();
+                    naive.query_point(*p, &mut hits);
+                    total += hits.len() as u64;
+                }
+                black_box(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cascade", n), &(), |b, ()| {
+            b.iter(|| {
+                let mut hits = Vec::with_capacity(16);
+                let mut total = 0u64;
+                for p in &points {
+                    hits.clear();
+                    cascade.query_point(*p, &mut hits);
+                    total += hits.len() as u64;
+                }
+                black_box(total)
+            })
+        });
+
+        // Both must route identically.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        naive.query_point(points[points.len() / 2], &mut a);
+        cascade.query_point(points[points.len() / 2], &mut b);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+    group.finish();
+
+    // Dynamic maintenance: insert/remove churn.
+    let mut group = c.benchmark_group("e5_maintenance");
+    group.sample_size(12);
+    group.bench_function("cascade_insert_remove_256", |b| {
+        let mut gen = RegionGen::new(7, world);
+        let regions: Vec<_> = (0..256).map(|_| gen.next_region()).collect();
+        b.iter(|| {
+            let mut tree = CascadeTree::new(world, 10);
+            for (i, r) in regions.iter().enumerate() {
+                tree.insert(i as u32, *r);
+            }
+            for i in 0..256u32 {
+                tree.remove(i);
+            }
+            black_box(tree.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E6 — §6 / [27]: spatio-temporal aggregate operator. Cost and buffer
+//! scale with the sliding window length W (buffer = W images).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geostreams_bench::{ramp_elements, replay};
+use geostreams_core::model::GeoStream;
+use geostreams_core::ops::{AggFunc, SpatialAggregate, TemporalAggregate};
+use geostreams_geo::{Rect, Region};
+use std::hint::black_box;
+
+fn drain<S: GeoStream>(mut s: S) -> u64 {
+    let mut n = 0;
+    while let Some(el) = s.next_element() {
+        if el.is_point() {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let (w, h, sectors) = (96u32, 96u32, 12u64);
+    let (schema, elements) = ramp_elements(w, h, sectors);
+    let points = u64::from(w) * u64::from(h) * sectors;
+
+    let mut group = c.benchmark_group("e6_temporal_window");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points));
+    for window in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("mean", window), &window, |b, &window| {
+            b.iter(|| {
+                let op =
+                    TemporalAggregate::new(replay(&schema, &elements), AggFunc::Mean, window);
+                black_box(drain(op))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e6_spatial");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points));
+    let region = Region::Rect(Rect::new(-122.0, 34.0, -117.0, 39.0));
+    for func in [AggFunc::Mean, AggFunc::Max, AggFunc::Count] {
+        group.bench_with_input(
+            BenchmarkId::new("region", format!("{func:?}")),
+            &func,
+            |b, &func| {
+                b.iter(|| {
+                    let op =
+                        SpatialAggregate::new(replay(&schema, &elements), func, region.clone());
+                    black_box(drain(op))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Buffer = W images, exactly.
+    let op = TemporalAggregate::new(replay(&schema, &elements), AggFunc::Mean, 8);
+    let mut op = op;
+    let _ = drain(&mut op);
+    assert_eq!(op.op_stats().buffered_points_peak, 8 * u64::from(w) * u64::from(h));
+}
+
+criterion_group!(benches, bench_aggregates);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! F1 — Fig. 1: stream generation throughput for the three point
+//! organizations (image-by-image, row-by-row, point-by-point).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use geostreams_core::model::GeoStream;
+use geostreams_geo::Rect;
+use geostreams_satsim::{airborne::airborne_camera, goes_like, lidar::lidar_profiler};
+use std::hint::black_box;
+
+fn bench_organizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_generation");
+    group.sample_size(15);
+
+    let n = 128u32;
+    let airborne = airborne_camera(Rect::new(-122.0, 37.0, -121.5, 37.4), n, n, 3);
+    let goes = goes_like(n, n / 2, 3);
+    let lidar = lidar_profiler(Rect::new(-120.0, 38.0, -119.0, 38.1), n * 2, 4, 3);
+
+    let cases: Vec<(&str, &geostreams_satsim::Scanner, u64)> = vec![
+        ("image_by_image", &airborne, u64::from(n) * u64::from(n)),
+        ("row_by_row", &goes, u64::from(n) * u64::from(n / 2)),
+        ("point_by_point", &lidar, u64::from(n * 2) * 4),
+    ];
+    for (name, scanner, points) in cases {
+        group.throughput(Throughput::Elements(points));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s = scanner.band_stream(0, 1);
+                let mut count = 0u64;
+                while let Some(el) = s.next_element() {
+                    if el.is_point() {
+                        count += 1;
+                    }
+                }
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_organizations);
+criterion_main!(benches);

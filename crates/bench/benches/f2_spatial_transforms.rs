@@ -1,0 +1,87 @@
+//! F2 — Fig. 2 / §3.2: spatial transforms. Magnification needs no
+//! buffering; 1/k downsampling buffers ~k rows; re-projection's buffer
+//! is bounded by scan-sector metadata (vs blocking without it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geostreams_bench::{ramp_elements, replay};
+use geostreams_core::model::GeoStream;
+use geostreams_core::ops::{Downsample, Magnify, Reproject, ReprojectConfig};
+use geostreams_geo::Crs;
+use geostreams_satsim::goes_like;
+use std::hint::black_box;
+
+fn drain<S: GeoStream>(mut s: S) -> u64 {
+    let mut n = 0;
+    while let Some(el) = s.next_element() {
+        if el.is_point() {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn bench_spatial_transforms(c: &mut Criterion) {
+    let (w, h) = (256u32, 128u32);
+    let points = u64::from(w) * u64::from(h);
+    let (schema, elements) = ramp_elements(w, h, 1);
+
+    let mut group = c.benchmark_group("f2_resolution");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(points));
+    group.bench_function("magnify_x2", |b| {
+        b.iter(|| black_box(drain(Magnify::new(replay(&schema, &elements), 2))))
+    });
+    for k in [2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("downsample", k), &k, |b, &k| {
+            b.iter(|| black_box(drain(Downsample::new(replay(&schema, &elements), k))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("f2_reprojection");
+    group.sample_size(10);
+    let scanner = goes_like(192, 96, 5);
+    group.throughput(Throughput::Elements(192 * 96));
+    group.bench_function("geos_to_latlon_streaming", |b| {
+        b.iter(|| {
+            let op = Reproject::new(
+                scanner.band_stream(0, 1),
+                ReprojectConfig::new(Crs::LatLon),
+            )
+            .expect("reproject");
+            black_box(drain(op))
+        })
+    });
+    group.bench_function("geos_to_latlon_blocking", |b| {
+        b.iter(|| {
+            let op = Reproject::new(
+                scanner.band_stream(0, 1),
+                ReprojectConfig::new(Crs::LatLon).blocking(),
+            )
+            .expect("reproject");
+            black_box(drain(op))
+        })
+    });
+    group.bench_function("geos_to_utm14", |b| {
+        b.iter(|| {
+            let op = Reproject::new(
+                scanner.band_stream(0, 1),
+                ReprojectConfig::new(Crs::utm(14, true)),
+            )
+            .expect("reproject");
+            black_box(drain(op))
+        })
+    });
+    group.finish();
+
+    // Buffer-shape assertions (the figure's content).
+    let mut op = Magnify::new(replay(&schema, &elements), 2);
+    let _ = drain(&mut op);
+    assert_eq!(op.op_stats().buffered_points_peak, 0);
+    let mut op = Downsample::new(replay(&schema, &elements), 4);
+    let _ = drain(&mut op);
+    assert!(op.op_stats().buffered_points_peak <= u64::from(4 * w));
+}
+
+criterion_group!(benches, bench_spatial_transforms);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! F3 — Fig. 3: end-to-end throughput of the prototype DSMS: ingest →
+//! reprojection → per-client queries → PNG delivery, sequential and one
+//! thread per query.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use geostreams_dsms::{Dsms, OutputFormat};
+use geostreams_satsim::goes_like;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn queries() -> Vec<(&'static str, OutputFormat)> {
+    vec![
+        (
+            "restrict_space(goes-sim.b1-vis, bbox(-105, 30, -95, 40), \"latlon\")",
+            OutputFormat::PngGray,
+        ),
+        ("ndvi(goes-sim.b2-nir, downsample(goes-sim.b1-vis, 4))", OutputFormat::PngNdvi),
+        ("stretch(goes-sim.b4-ir, \"linear\")", OutputFormat::PngThermal),
+        ("sub(goes-sim.b4-ir, goes-sim.b5-ir)", OutputFormat::Stats),
+    ]
+}
+
+fn bench_dsms(c: &mut Criterion) {
+    let scanner = goes_like(128, 64, 9);
+    let points_per_pass: u64 = (0..5).map(|i| scanner.instrument.band_points_per_sector(i)).sum();
+
+    let mut group = c.benchmark_group("f3_dsms");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points_per_pass));
+
+    group.bench_function("four_queries_sequential", |b| {
+        b.iter(|| {
+            let server = Arc::new(Dsms::over_scanner(&scanner, 1));
+            let mut frames = 0usize;
+            for (q, fmt) in queries() {
+                let h = server.register_text(q, fmt, 1).expect("registers");
+                let r = server.run_query(&h).expect("runs");
+                frames += r.frames.len();
+            }
+            black_box(frames)
+        })
+    });
+
+    group.bench_function("four_queries_parallel", |b| {
+        b.iter(|| {
+            let server = Arc::new(Dsms::over_scanner(&scanner, 1));
+            for (q, fmt) in queries() {
+                server.register_text(q, fmt, 1).expect("registers");
+            }
+            let results = server.run_all_parallel();
+            black_box(results.len())
+        })
+    });
+
+    group.bench_function("http_round_trip", |b| {
+        let server = Arc::new(Dsms::over_scanner(&scanner, 1));
+        b.iter(|| {
+            let resp = server
+                .handle_http("GET /query?q=goes-sim.b4-ir&format=png&sectors=1 HTTP/1.1");
+            black_box(resp.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsms);
+criterion_main!(benches);

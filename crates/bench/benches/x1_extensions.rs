@@ -1,0 +1,84 @@
+//! X1 — extension operators: focal neighborhoods, exact orientations,
+//! temporal delay (change detection), and load shedding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geostreams_bench::{ramp_elements, replay};
+use geostreams_core::model::{tee2, GeoStream};
+use geostreams_core::ops::{
+    Compose, Delay, FocalFunc, FocalTransform, GammaOp, JoinStrategy, Orient, Orientation, Shed,
+    ShedPolicy,
+};
+use std::hint::black_box;
+
+fn drain<S: GeoStream>(mut s: S) -> u64 {
+    let mut n = 0;
+    while let Some(el) = s.next_element() {
+        if el.is_point() {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let (w, h) = (192u32, 192u32);
+    let points = u64::from(w) * u64::from(h);
+    let (schema, elements) = ramp_elements(w, h, 1);
+
+    let mut group = c.benchmark_group("x1_focal");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points));
+    for (name, func, k) in [
+        ("mean3", FocalFunc::Mean, 3u32),
+        ("mean7", FocalFunc::Mean, 7),
+        ("median3", FocalFunc::Median, 3),
+        ("sobel", FocalFunc::Sobel, 3),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                black_box(drain(FocalTransform::new(replay(&schema, &elements), func, k)))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("x1_orient_shed_delay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(points));
+    group.bench_function("orient_rot90", |b| {
+        b.iter(|| black_box(drain(Orient::new(replay(&schema, &elements), Orientation::Rot90))))
+    });
+    group.bench_function("shed_rows_4", |b| {
+        b.iter(|| {
+            black_box(drain(Shed::new(replay(&schema, &elements), ShedPolicy::Rows, 4)))
+        })
+    });
+    group.bench_function("shed_points_4", |b| {
+        b.iter(|| {
+            black_box(drain(Shed::new(replay(&schema, &elements), ShedPolicy::Points, 4)))
+        })
+    });
+    // Change detection: G - delay(G, 1) over 4 sectors.
+    let (schema4, elements4) = ramp_elements(96, 96, 4);
+    group.bench_function("change_detection", |b| {
+        b.iter(|| {
+            let (live, past) = tee2(replay(&schema4, &elements4));
+            let delayed = Delay::new(past, 1);
+            let diff =
+                Compose::new(live, delayed, GammaOp::Sub, JoinStrategy::Hash).expect("compose");
+            black_box(drain(diff))
+        })
+    });
+    group.finish();
+
+    // Shape checks.
+    let mut op = FocalTransform::new(replay(&schema, &elements), FocalFunc::Mean, 5);
+    let _ = drain(&mut op);
+    assert!(op.op_stats().buffered_points_peak <= u64::from(7 * w));
+    let mut op = Orient::new(replay(&schema, &elements), Orientation::Rot180);
+    let _ = drain(&mut op);
+    assert_eq!(op.op_stats().buffered_points_peak, 0);
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Shared workload builders for the GeoStreams benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates one experiment of
+//! DESIGN.md §4 (and EXPERIMENTS.md) with criterion-grade timing; the
+//! binary `examples/experiments.rs` produces the same tables in one fast
+//! pass.
+
+#![warn(missing_docs)]
+
+use geostreams_core::model::{Element, GeoStream, StreamSchema, VecStream};
+use geostreams_geo::{Crs, LatticeGeoref, Rect};
+
+/// A lat/lon test lattice over the U.S. west (keeps the source free of
+/// projection math so operator costs dominate).
+pub fn latlon_lattice(w: u32, h: u32) -> LatticeGeoref {
+    LatticeGeoref::north_up(Crs::LatLon, Rect::new(-124.0, 32.0, -114.0, 42.0), w, h)
+}
+
+/// Materializes a deterministic row-by-row ramp stream for replay.
+pub fn ramp_elements(w: u32, h: u32, sectors: u64) -> (StreamSchema, Vec<Element<f32>>) {
+    let mut s: VecStream<f32> =
+        VecStream::sectors("ramp", latlon_lattice(w, h), sectors, |q, c, r| {
+            f64::from(c) * 0.001 + f64::from(r) * 0.01 + q as f64 * 0.1
+        })
+        .with_value_range(0.0, 10.0);
+    let schema = s.schema().clone();
+    let elements = s.drain_elements();
+    (schema, elements)
+}
+
+/// Replays previously materialized elements as a fresh stream.
+pub fn replay(schema: &StreamSchema, elements: &[Element<f32>]) -> VecStream<f32> {
+    VecStream::new(schema.clone(), elements.to_vec())
+}
+
+/// Interleaves two row-by-row element sequences frame by frame
+/// (band-interleaved-by-line transmission).
+pub fn interleave_rows(a: &[Element<f32>], b: &[Element<f32>]) -> Vec<(u8, Element<f32>)> {
+    let groups = |els: &[Element<f32>]| {
+        let mut out: Vec<Vec<Element<f32>>> = vec![Vec::new()];
+        for el in els {
+            let boundary = matches!(el, Element::FrameEnd(_));
+            out.last_mut().expect("nonempty").push(el.clone());
+            if boundary {
+                out.push(Vec::new());
+            }
+        }
+        out.retain(|g| !g.is_empty());
+        out
+    };
+    let (ga, gb) = (groups(a), groups(b));
+    let mut out = Vec::new();
+    for (x, y) in ga.into_iter().zip(gb) {
+        out.extend(x.into_iter().map(|e| (0u8, e)));
+        out.extend(y.into_iter().map(|e| (1u8, e)));
+    }
+    out
+}
+
+/// Concatenates two element sequences band-sequentially per sector
+/// (image-by-image transmission).
+pub fn band_sequential(a: &[Element<f32>], b: &[Element<f32>]) -> Vec<(u8, Element<f32>)> {
+    let sectors = |els: &[Element<f32>]| {
+        let mut out: Vec<Vec<Element<f32>>> = vec![Vec::new()];
+        for el in els {
+            let boundary = matches!(el, Element::SectorEnd(_));
+            out.last_mut().expect("nonempty").push(el.clone());
+            if boundary {
+                out.push(Vec::new());
+            }
+        }
+        out.retain(|g| !g.is_empty());
+        out
+    };
+    let (sa, sb) = (sectors(a), sectors(b));
+    let mut out = Vec::new();
+    for (x, y) in sa.into_iter().zip(sb) {
+        out.extend(x.into_iter().map(|e| (0u8, e)));
+        out.extend(y.into_iter().map(|e| (1u8, e)));
+    }
+    out
+}
+
+/// Deterministic pseudo-random rectangle generator for client regions.
+pub struct RegionGen {
+    state: u64,
+    world: Rect,
+}
+
+impl RegionGen {
+    /// Creates a generator over a world rectangle.
+    pub fn new(seed: u64, world: Rect) -> Self {
+        RegionGen { state: seed, world }
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.state =
+            self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((self.state >> 33) as f64) / (1u64 << 31) as f64
+    }
+
+    /// Next pseudo-random region (1–11 % of the world per axis).
+    pub fn next_region(&mut self) -> Rect {
+        let w = self.world.width() * (0.01 + 0.1 * self.next_f64());
+        let h = self.world.height() * (0.01 + 0.1 * self.next_f64());
+        let x = self.world.x_min + self.next_f64() * (self.world.width() - w);
+        let y = self.world.y_min + self.next_f64() * (self.world.height() - h);
+        Rect::new(x, y, x + w, y + h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_elements_are_replayable() {
+        let (schema, els) = ramp_elements(8, 8, 2);
+        let mut a = replay(&schema, &els);
+        use geostreams_core::model::GeoStream;
+        assert_eq!(a.drain_points().len(), 128);
+    }
+
+    #[test]
+    fn transports_preserve_all_elements() {
+        let (_, a) = ramp_elements(8, 4, 1);
+        let (_, b) = ramp_elements(8, 4, 1);
+        let n = a.len() + b.len();
+        assert_eq!(interleave_rows(&a, &b).len(), n);
+        assert_eq!(band_sequential(&a, &b).len(), n);
+    }
+
+    #[test]
+    fn region_gen_is_deterministic_and_in_bounds() {
+        let world = Rect::new(0.0, 0.0, 100.0, 50.0);
+        let mut g1 = RegionGen::new(7, world);
+        let mut g2 = RegionGen::new(7, world);
+        for _ in 0..20 {
+            let r1 = g1.next_region();
+            let r2 = g2.next_region();
+            assert_eq!(r1, r2);
+            assert!(r1.x_min >= 0.0 && r1.x_max <= 100.0);
+            assert!(r1.y_min >= 0.0 && r1.y_max <= 50.0);
+        }
+    }
+}

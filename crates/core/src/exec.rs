@@ -1,0 +1,173 @@
+//! Pull-based pipeline executor.
+//!
+//! The §4 prototype's "Execution" box: drives an operator pipeline to
+//! completion (or sector by sector), collecting the per-operator
+//! statistics that the experiment suite reports.
+
+use crate::model::{Element, GeoStream};
+use crate::stats::OpReport;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Result of draining a pipeline.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock time spent pulling the pipeline.
+    pub wall: Duration,
+    /// Total elements produced by the pipeline root.
+    pub elements: u64,
+    /// Points delivered by the pipeline root.
+    pub points_delivered: u64,
+    /// Sectors completed.
+    pub sectors: u64,
+    /// Per-operator statistics, upstream first.
+    pub per_op: Vec<OpReport>,
+}
+
+impl RunReport {
+    /// Peak buffered points across all operators (the paper's space
+    /// measure).
+    pub fn peak_buffered_points(&self) -> u64 {
+        self.per_op.iter().map(|r| r.stats.buffered_points_peak).max().unwrap_or(0)
+    }
+
+    /// Peak buffered bytes across all operators.
+    pub fn peak_buffered_bytes(&self) -> u64 {
+        self.per_op.iter().map(|r| r.stats.buffered_bytes_peak).max().unwrap_or(0)
+    }
+
+    /// Sum of points consumed across all operators (total work measure).
+    pub fn total_points_processed(&self) -> u64 {
+        self.per_op.iter().map(|r| r.stats.points_in).sum()
+    }
+
+    /// Nanoseconds of wall time per delivered point.
+    pub fn ns_per_point(&self) -> f64 {
+        if self.points_delivered == 0 {
+            return 0.0;
+        }
+        self.wall.as_nanos() as f64 / self.points_delivered as f64
+    }
+}
+
+/// Serializable summary of a [`RunReport`] (for the DSMS's JSON stats
+/// delivery format).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Wall-clock microseconds spent pulling the pipeline.
+    pub wall_us: u64,
+    /// Total elements produced by the pipeline root.
+    pub elements: u64,
+    /// Points delivered by the pipeline root.
+    pub points_delivered: u64,
+    /// Sectors completed.
+    pub sectors: u64,
+    /// Peak buffered points across all operators.
+    pub peak_buffered_points: u64,
+    /// Peak buffered bytes across all operators.
+    pub peak_buffered_bytes: u64,
+    /// Per-operator statistics, upstream first.
+    pub per_op: Vec<OpReport>,
+}
+
+impl RunReport {
+    /// Builds the serializable summary.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            wall_us: self.wall.as_micros() as u64,
+            elements: self.elements,
+            points_delivered: self.points_delivered,
+            sectors: self.sectors,
+            peak_buffered_points: self.peak_buffered_points(),
+            peak_buffered_bytes: self.peak_buffered_bytes(),
+            per_op: self.per_op.clone(),
+        }
+    }
+}
+
+/// Drains the pipeline, invoking `on_element` for every element.
+pub fn run_with<S, F>(stream: &mut S, mut on_element: F) -> RunReport
+where
+    S: GeoStream,
+    F: FnMut(&Element<S::V>),
+{
+    let start = Instant::now();
+    let mut elements = 0u64;
+    let mut points = 0u64;
+    let mut sectors = 0u64;
+    while let Some(el) = stream.next_element() {
+        elements += 1;
+        match &el {
+            Element::Point(_) => points += 1,
+            Element::SectorEnd(_) => sectors += 1,
+            _ => {}
+        }
+        on_element(&el);
+    }
+    let wall = start.elapsed();
+    let mut per_op = Vec::new();
+    stream.collect_stats(&mut per_op);
+    RunReport { wall, elements, points_delivered: points, sectors, per_op }
+}
+
+/// Drains the pipeline, discarding elements (pure measurement run).
+pub fn run_to_end<S: GeoStream>(stream: &mut S) -> RunReport {
+    run_with(stream, |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VecStream;
+    use crate::ops::SpatialRestrict;
+    use geostreams_geo::{Crs, LatticeGeoref, Rect, Region};
+
+    fn source() -> VecStream<f32> {
+        let lattice =
+            LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 10.0, 10.0), 10, 10);
+        VecStream::sectors("src", lattice, 2, |s, c, r| f64::from(c + r) + s as f64)
+    }
+
+    #[test]
+    fn run_counts_everything() {
+        let mut s = source();
+        let report = run_to_end(&mut s);
+        assert_eq!(report.points_delivered, 200);
+        assert_eq!(report.sectors, 2);
+        // 2 sectors x (1 SectorStart + 10*(2 frame markers) + 100 points
+        // + 1 SectorEnd).
+        assert_eq!(report.elements, 2 * (1 + 20 + 100 + 1));
+        assert_eq!(report.per_op.len(), 1);
+    }
+
+    #[test]
+    fn report_aggregates_pipeline_stats() {
+        let region = Region::Rect(Rect::new(0.0, 0.0, 5.0, 5.0));
+        let mut op = SpatialRestrict::new(source(), region);
+        let report = run_to_end(&mut op);
+        assert_eq!(report.per_op.len(), 2);
+        assert_eq!(report.per_op[1].name, "restrict_space");
+        assert!(report.points_delivered < 200);
+        assert_eq!(report.peak_buffered_points(), 0);
+        assert!(report.total_points_processed() >= 200);
+    }
+
+    #[test]
+    fn summary_serializes_to_json() {
+        let mut s = source();
+        let report = run_to_end(&mut s);
+        let summary = report.summary();
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: RunSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, summary);
+        assert_eq!(back.points_delivered, 200);
+    }
+
+    #[test]
+    fn callback_sees_all_elements() {
+        let mut s = source();
+        let mut n = 0u64;
+        let report = run_with(&mut s, |_| n += 1);
+        assert_eq!(n, report.elements);
+    }
+}

@@ -1,0 +1,62 @@
+//! # GeoStreams core: a data and query model for streaming geospatial image data
+//!
+//! This crate implements the contribution of Gertz, Hart, Rueda, Singhal
+//! and Zhang, *"A Data and Query Model for Streaming Geospatial Image
+//! Data"* (EDBT 2006):
+//!
+//! * the **data model** of §2 — point lattices, value sets, streams,
+//!   images and *GeoStreams* (geo-referenced streams), including the
+//!   three point organizations of Fig. 1 and the two timestamp semantics
+//!   (measurement time vs. scan-sector identifiers);
+//! * the **query model** of §3 — a *closed* algebra of stream
+//!   restrictions (spatial, temporal, value), stream transforms (value
+//!   and spatial, including re-projection between coordinate systems) and
+//!   stream compositions (`+ − × ÷ sup inf`), with the per-operator cost
+//!   and buffering behavior the paper reasons about exposed as
+//!   first-class [`stats::OpStats`];
+//! * the **query language, optimizer and executor** sketched in §3.4/§4 —
+//!   a textual algebra parser, rewrite rules that push spatial
+//!   restrictions inward (across compositions, value transforms and
+//!   re-projections, mapping regions between coordinate systems), and a
+//!   pull-based streaming executor;
+//! * the **multi-query spatial index** of §4 — a dynamic cascade tree
+//!   that routes each incoming point to the registered queries whose
+//!   regions of interest contain it.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use geostreams_core::model::{Element, StreamSchema, VecStream, Organization, TimeSemantics};
+//! use geostreams_core::ops::SpatialRestrict;
+//! use geostreams_core::model::GeoStream;
+//! use geostreams_geo::{Crs, Rect, Region, LatticeGeoref};
+//!
+//! // A tiny one-sector stream over a 4x4 lat/lon lattice.
+//! let lattice = LatticeGeoref::north_up(
+//!     Crs::LatLon, Rect::new(-124.0, 36.0, -120.0, 40.0), 4, 4);
+//! let source: VecStream<f32> = VecStream::single_sector("demo", lattice, 1, |col, row| {
+//!     (col + row) as f64
+//! });
+//!
+//! // Spatial restriction to the north-west quadrant.
+//! let region = Region::Rect(Rect::new(-124.0, 38.0, -122.0, 40.0));
+//! let mut restricted = SpatialRestrict::new(source, region);
+//! let mut kept = 0;
+//! while let Some(el) = restricted.next_element() {
+//!     if matches!(el, Element::Point(_)) { kept += 1; }
+//! }
+//! assert_eq!(kept, 4); // 2x2 cells fall inside
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod exec;
+pub mod model;
+pub mod ops;
+pub mod query;
+pub mod stats;
+
+pub use error::{CoreError, Result};
+pub use model::{Element, GeoStream, Organization, StreamSchema, TimeSemantics, Timestamp};
+pub use stats::OpStats;

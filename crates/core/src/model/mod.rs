@@ -1,0 +1,25 @@
+//! The GeoStreams data model (§2 of the paper).
+//!
+//! * A **point** is `x = ⟨s, t⟩` — a spatial location on a regularly
+//!   spaced lattice plus a [`Timestamp`].
+//! * A **stream** `G : X → V` maps points to values of a value set; it is
+//!   transported as a sequence of [`Element`]s interleaving point records
+//!   with frame and scan-sector metadata.
+//! * An **image** is the subset of a stream sharing one timestamp; the
+//!   delivery operator reassembles it.
+//! * A **GeoStream** attaches a coordinate system via the lattice
+//!   georeference carried in the sector metadata — see [`StreamSchema`].
+
+mod element;
+mod schema;
+mod split;
+mod stream;
+mod timestamp;
+mod validate;
+
+pub use element::{Element, FrameEnd, FrameInfo, PointRecord, SectorEnd, SectorInfo};
+pub use schema::{Organization, StreamSchema};
+pub use split::{split2, tee2, SideStream, TeeStream};
+pub use stream::{drain_points_of, BoxedF32Stream, ChannelLike, GeoStream, VecStream};
+pub use validate::{Validator, Violation};
+pub use timestamp::{TimeSemantics, TimeSet, Timestamp};

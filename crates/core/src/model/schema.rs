@@ -1,0 +1,97 @@
+//! Stream schemas.
+
+use super::timestamp::TimeSemantics;
+use geostreams_geo::{Crs, LatticeGeoref};
+use serde::{Deserialize, Serialize};
+
+/// Point organization of a stream, per Fig. 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Organization {
+    /// "Airborne cameras typically obtain data in an image-by-image
+    /// fashion" — one frame covers a whole (possibly shifted) lattice.
+    ImageByImage,
+    /// "Most satellite instruments obtain data in a row-by-row fashion
+    /// where strips of image data arrive at a time" — one frame is a
+    /// single lattice row.
+    #[default]
+    RowByRow,
+    /// "Some instruments, such as LIDAR, have non-uniform point lattice
+    /// structures, and points are only ordered by time."
+    PointByPoint,
+}
+
+impl std::fmt::Display for Organization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Organization::ImageByImage => "image-by-image",
+            Organization::RowByRow => "row-by-row",
+            Organization::PointByPoint => "point-by-point",
+        })
+    }
+}
+
+/// Static description of a GeoStream: everything an operator must know
+/// before seeing the first element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSchema {
+    /// Stream name (for catalogs and reports).
+    pub name: String,
+    /// Coordinate system of the point lattices (Definition 5: this is
+    /// what makes the stream a *GeoStream*).
+    pub crs: Crs,
+    /// Spectral band identifier.
+    pub band: u16,
+    /// Point organization.
+    pub organization: Organization,
+    /// Timestamp semantics.
+    pub time_semantics: TimeSemantics,
+    /// Nominal value range for display scaling `(lo, hi)`.
+    pub value_range: (f64, f64),
+    /// Representative sector lattice, when known ahead of time (used for
+    /// cost estimation; actual lattices arrive via `SectorStart`).
+    pub sector_lattice: Option<LatticeGeoref>,
+}
+
+impl StreamSchema {
+    /// Creates a schema with the given name and CRS and sensible defaults.
+    pub fn new(name: impl Into<String>, crs: Crs) -> Self {
+        StreamSchema {
+            name: name.into(),
+            crs,
+            band: 0,
+            organization: Organization::RowByRow,
+            time_semantics: TimeSemantics::SectorId,
+            value_range: (0.0, 1.0),
+            sector_lattice: None,
+        }
+    }
+
+    /// Returns a copy with a derived name (operators decorate the name so
+    /// pipeline reports stay readable).
+    pub fn renamed(&self, name: impl Into<String>) -> Self {
+        StreamSchema { name: name.into(), ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn organization_display() {
+        assert_eq!(Organization::RowByRow.to_string(), "row-by-row");
+        assert_eq!(Organization::ImageByImage.to_string(), "image-by-image");
+        assert_eq!(Organization::PointByPoint.to_string(), "point-by-point");
+    }
+
+    #[test]
+    fn schema_defaults() {
+        let s = StreamSchema::new("goes.b1", Crs::geostationary(-75.0));
+        assert_eq!(s.organization, Organization::RowByRow);
+        assert_eq!(s.time_semantics, TimeSemantics::SectorId);
+        assert_eq!(s.name, "goes.b1");
+        let r = s.renamed("x");
+        assert_eq!(r.name, "x");
+        assert_eq!(r.crs, s.crs);
+    }
+}

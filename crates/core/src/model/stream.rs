@@ -1,0 +1,376 @@
+//! The `GeoStream` trait and basic sources.
+
+use super::element::{Element, FrameEnd, FrameInfo, PointRecord, SectorEnd, SectorInfo};
+use super::schema::{Organization, StreamSchema};
+use super::timestamp::Timestamp;
+use crate::stats::{OpReport, OpStats};
+use geostreams_geo::{Cell, CellBox, LatticeGeoref};
+use geostreams_raster::Pixel;
+
+/// A pull-based stream of geospatial image data (Definition 3/5 of the
+/// paper, plus transport framing).
+///
+/// The algebra is *closed*: every operator consumes one or two
+/// `GeoStream`s and is itself a `GeoStream`, which is what lets complex
+/// queries compose (§3: "the result of applying an operator to one or two
+/// GeoStreams is again a GeoStream").
+pub trait GeoStream {
+    /// Pixel type of the stream's value set.
+    type V: Pixel;
+
+    /// Static schema.
+    fn schema(&self) -> &StreamSchema;
+
+    /// Pulls the next element; `None` means the stream has ended.
+    fn next_element(&mut self) -> Option<Element<Self::V>>;
+
+    /// This operator's own counters (sources may return zeros).
+    fn op_stats(&self) -> OpStats {
+        OpStats::default()
+    }
+
+    /// Appends this operator's (and its inputs') stats to a report,
+    /// upstream first.
+    fn collect_stats(&self, out: &mut Vec<OpReport>) {
+        out.push(OpReport { name: self.schema().name.clone(), stats: self.op_stats() });
+    }
+
+    /// Drains the stream, returning only the point records (test helper).
+    fn drain_points(&mut self) -> Vec<PointRecord<Self::V>>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        while let Some(el) = self.next_element() {
+            if let Element::Point(p) = el {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Drains the stream, returning every element (test helper).
+    fn drain_elements(&mut self) -> Vec<Element<Self::V>>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::new();
+        while let Some(el) = self.next_element() {
+            out.push(el);
+        }
+        out
+    }
+}
+
+/// Boxed dynamically-typed stream used by the planner (pipelines are
+/// normalized to `f32` pixels; sources of other types get a cast
+/// adapter).
+pub type BoxedF32Stream = Box<dyn GeoStream<V = f32> + Send>;
+
+/// Free-function form of [`GeoStream::drain_points`], callable on boxed
+/// trait objects.
+pub fn drain_points_of<S: GeoStream>(s: &mut S) -> Vec<PointRecord<S::V>> {
+    let mut out = Vec::new();
+    while let Some(el) = s.next_element() {
+        if let Element::Point(p) = el {
+            out.push(p);
+        }
+    }
+    out
+}
+
+impl<S: GeoStream + ?Sized> GeoStream for Box<S> {
+    type V = S::V;
+
+    fn schema(&self) -> &StreamSchema {
+        (**self).schema()
+    }
+
+    fn next_element(&mut self) -> Option<Element<Self::V>> {
+        (**self).next_element()
+    }
+
+    fn op_stats(&self) -> OpStats {
+        (**self).op_stats()
+    }
+
+    fn collect_stats(&self, out: &mut Vec<OpReport>) {
+        (**self).collect_stats(out)
+    }
+}
+
+impl<S: GeoStream + ?Sized> GeoStream for &mut S {
+    type V = S::V;
+
+    fn schema(&self) -> &StreamSchema {
+        (**self).schema()
+    }
+
+    fn next_element(&mut self) -> Option<Element<Self::V>> {
+        (**self).next_element()
+    }
+
+    fn op_stats(&self) -> OpStats {
+        (**self).op_stats()
+    }
+
+    fn collect_stats(&self, out: &mut Vec<OpReport>) {
+        (**self).collect_stats(out)
+    }
+}
+
+/// A source that replays a pre-built element sequence. The workhorse of
+/// unit tests and a building block for trace replay.
+#[derive(Debug, Clone)]
+pub struct VecStream<V> {
+    schema: StreamSchema,
+    elements: std::vec::IntoIter<Element<V>>,
+    stats: OpStats,
+}
+
+impl<V: Pixel> VecStream<V> {
+    /// Creates a source from a schema and element sequence.
+    pub fn new(schema: StreamSchema, elements: Vec<Element<V>>) -> Self {
+        VecStream { schema, elements: elements.into_iter(), stats: OpStats::default() }
+    }
+
+    /// Builds a single-sector stream over `lattice` with one frame per
+    /// row (row-by-row organization) whose values come from `f(col, row)`.
+    pub fn single_sector(
+        name: &str,
+        lattice: LatticeGeoref,
+        sector_id: u64,
+        f: impl Fn(u32, u32) -> f64,
+    ) -> VecStream<V> {
+        let mut schema = StreamSchema::new(name, lattice.crs);
+        schema.sector_lattice = Some(lattice);
+        let mut elements = Vec::new();
+        push_sector(&mut elements, lattice, sector_id, Organization::RowByRow, 0, &f);
+        VecStream::new(schema, elements)
+    }
+
+    /// Sets the schema's nominal value range (builder style).
+    pub fn with_value_range(mut self, lo: f64, hi: f64) -> Self {
+        self.schema.value_range = (lo, hi);
+        self
+    }
+
+    /// Sets the schema's organization tag (builder style).
+    pub fn with_organization(mut self, org: Organization) -> Self {
+        self.schema.organization = org;
+        self
+    }
+
+    /// Builds a multi-sector, row-by-row stream; sector `i` gets
+    /// timestamp `i` and values `f(sector, col, row)`.
+    pub fn sectors(
+        name: &str,
+        lattice: LatticeGeoref,
+        n_sectors: u64,
+        f: impl Fn(u64, u32, u32) -> f64,
+    ) -> VecStream<V> {
+        let mut schema = StreamSchema::new(name, lattice.crs);
+        schema.sector_lattice = Some(lattice);
+        let mut elements = Vec::new();
+        let mut frame_id = 0;
+        for s in 0..n_sectors {
+            push_sector(
+                &mut elements,
+                lattice,
+                s,
+                Organization::RowByRow,
+                frame_id,
+                &|c, r| f(s, c, r),
+            );
+            frame_id += u64::from(lattice.height);
+        }
+        VecStream::new(schema, elements)
+    }
+}
+
+/// Appends a full sector in row-by-row organization to `elements`.
+fn push_sector<V: Pixel>(
+    elements: &mut Vec<Element<V>>,
+    lattice: LatticeGeoref,
+    sector_id: u64,
+    organization: Organization,
+    first_frame_id: u64,
+    f: &impl Fn(u32, u32) -> f64,
+) {
+    let ts = Timestamp::new(sector_id as i64);
+    elements.push(Element::SectorStart(SectorInfo {
+        sector_id,
+        lattice,
+        band: 0,
+        organization,
+        timestamp: ts,
+    }));
+    for row in 0..lattice.height {
+        let frame_id = first_frame_id + u64::from(row);
+        elements.push(Element::FrameStart(FrameInfo {
+            frame_id,
+            sector_id,
+            timestamp: ts,
+            cells: CellBox::new(0, row, lattice.width.saturating_sub(1), row),
+        }));
+        for col in 0..lattice.width {
+            elements.push(Element::point(Cell::new(col, row), V::from_f64(f(col, row))));
+        }
+        elements.push(Element::FrameEnd(FrameEnd { frame_id, sector_id }));
+    }
+    elements.push(Element::SectorEnd(SectorEnd { sector_id }));
+}
+
+impl<V: Pixel> GeoStream for VecStream<V> {
+    type V = V;
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element<V>> {
+        let el = self.elements.next()?;
+        match &el {
+            Element::Point(_) => self.stats.points_out += 1,
+            Element::FrameStart(_) => self.stats.frames_out += 1,
+            _ => {}
+        }
+        Some(el)
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// A source that pulls elements from a caller-supplied closure — the
+/// adapter the DSMS uses to feed operator pipelines from ingest channels.
+pub struct ChannelLike<V> {
+    schema: StreamSchema,
+    pull: Box<dyn FnMut() -> Option<Element<V>> + Send>,
+    stats: OpStats,
+}
+
+impl<V: Pixel> ChannelLike<V> {
+    /// Creates a source from a pull closure (return `None` to end the
+    /// stream).
+    pub fn new(
+        schema: StreamSchema,
+        pull: impl FnMut() -> Option<Element<V>> + Send + 'static,
+    ) -> Self {
+        ChannelLike { schema, pull: Box::new(pull), stats: OpStats::default() }
+    }
+}
+
+impl<V: Pixel> GeoStream for ChannelLike<V> {
+    type V = V;
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element<V>> {
+        let el = (self.pull)()?;
+        if el.is_point() {
+            self.stats.points_out += 1;
+        }
+        Some(el)
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostreams_geo::{Crs, Rect};
+
+    fn lattice(w: u32, h: u32) -> LatticeGeoref {
+        LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), w, h)
+    }
+
+    #[test]
+    fn single_sector_protocol_shape() {
+        let mut s: VecStream<f32> = VecStream::single_sector("t", lattice(3, 2), 9, |c, r| {
+            f64::from(c + 10 * r)
+        });
+        let els = s.drain_elements();
+        // 1 SectorStart + 2*(FrameStart + 3 points + FrameEnd) + 1 SectorEnd.
+        assert_eq!(els.len(), 1 + 2 * 5 + 1);
+        assert!(matches!(els[0], Element::SectorStart(ref si) if si.sector_id == 9));
+        assert!(matches!(els[1], Element::FrameStart(ref fi) if fi.cells.row_min == 0));
+        assert!(matches!(els.last(), Some(Element::SectorEnd(se)) if se.sector_id == 9));
+    }
+
+    #[test]
+    fn sector_values_follow_generator() {
+        let mut s: VecStream<f32> =
+            VecStream::single_sector("t", lattice(4, 4), 0, |c, r| f64::from(c * r));
+        let points = s.drain_points();
+        assert_eq!(points.len(), 16);
+        let p = points.iter().find(|p| p.cell == Cell::new(3, 2)).unwrap();
+        assert_eq!(p.value, 6.0);
+    }
+
+    #[test]
+    fn multi_sector_timestamps_increase() {
+        let mut s: VecStream<f32> = VecStream::sectors("t", lattice(2, 2), 3, |s, _, _| s as f64);
+        let els = s.drain_elements();
+        let sector_ids: Vec<u64> = els
+            .iter()
+            .filter_map(|e| match e {
+                Element::SectorStart(si) => Some(si.sector_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sector_ids, vec![0, 1, 2]);
+        // Frame ids never repeat.
+        let mut frame_ids: Vec<u64> = els
+            .iter()
+            .filter_map(|e| match e {
+                Element::FrameStart(fi) => Some(fi.frame_id),
+                _ => None,
+            })
+            .collect();
+        let n = frame_ids.len();
+        frame_ids.dedup();
+        assert_eq!(frame_ids.len(), n);
+    }
+
+    #[test]
+    fn vecstream_counts_emitted_points() {
+        let mut s: VecStream<f32> = VecStream::single_sector("t", lattice(5, 5), 0, |_, _| 0.0);
+        let _ = s.drain_elements();
+        assert_eq!(s.op_stats().points_out, 25);
+        assert_eq!(s.op_stats().frames_out, 5);
+    }
+
+    #[test]
+    fn channel_like_pulls_until_none() {
+        let mut vals = vec![
+            Element::point(Cell::new(0, 0), 1.0f32),
+            Element::point(Cell::new(1, 0), 2.0f32),
+        ]
+        .into_iter();
+        let mut s = ChannelLike::new(StreamSchema::new("ch", Crs::LatLon), move || vals.next());
+        assert!(s.next_element().is_some());
+        assert!(s.next_element().is_some());
+        assert!(s.next_element().is_none());
+        assert_eq!(s.op_stats().points_out, 2);
+    }
+
+    #[test]
+    fn boxed_stream_is_a_stream() {
+        let s: VecStream<f32> = VecStream::single_sector("t", lattice(2, 2), 0, |_, _| 1.0);
+        let mut boxed: Box<dyn GeoStream<V = f32> + Send> = Box::new(s);
+        let mut n = 0;
+        while let Some(el) = boxed.next_element() {
+            if el.is_point() {
+                n += 1;
+            }
+        }
+        assert_eq!(n, 4);
+    }
+}

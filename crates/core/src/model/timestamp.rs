@@ -1,0 +1,151 @@
+//! Timestamps and their semantics.
+//!
+//! §3.3 of the paper: "If incoming points are timestamped based on when
+//! the points were measured, a stream composition operator would never
+//! produce new image data as respective timestamps would never match.
+//! That is why in practice, point data is timestamped using scan-sector
+//! identifiers." Both semantics exist in this implementation; the
+//! composition operator behaves exactly as described under each.
+
+use serde::{Deserialize, Serialize};
+
+/// A logical point in time: either a scan-sector identifier or a
+/// measurement instant in microseconds, depending on the stream's
+/// [`TimeSemantics`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Creates a timestamp from its raw value.
+    pub const fn new(v: i64) -> Self {
+        Timestamp(v)
+    }
+
+    /// The raw value.
+    pub const fn value(self) -> i64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// How a stream's timestamps are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TimeSemantics {
+    /// All points of one scan sector share the sector's identifier:
+    /// the semantics that makes cross-band composition possible.
+    #[default]
+    SectorId,
+    /// Each point (or small burst) is stamped with the instant it was
+    /// measured; points from different streams essentially never match.
+    MeasurementTime,
+}
+
+/// A set of timestamps `T` for the temporal restriction `G|T`
+/// (Definition 7). §3.1 lists the specification styles: "a collection of
+/// points in time, as an open interval or as a set of (re-occurring)
+/// intervals, e.g., if an application requires only data during a
+/// specific time period every day".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TimeSet {
+    /// An explicit collection of instants.
+    Instants(Vec<i64>),
+    /// A half-open interval `[lo, hi)`; either bound may be unbounded.
+    Interval {
+        /// Inclusive lower bound (`None` = unbounded).
+        lo: Option<i64>,
+        /// Exclusive upper bound (`None` = unbounded).
+        hi: Option<i64>,
+    },
+    /// The recurring window `[offset, offset+len)` every `period` ticks —
+    /// "only data during a specific time period every day".
+    Recurring {
+        /// Cycle length.
+        period: i64,
+        /// Window start within the cycle.
+        offset: i64,
+        /// Window length.
+        len: i64,
+    },
+}
+
+impl TimeSet {
+    /// Membership test, O(1) except for `Instants` which is O(n) over a
+    /// typically tiny list.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        match self {
+            TimeSet::Instants(v) => v.contains(&t.0),
+            TimeSet::Interval { lo, hi } => {
+                lo.is_none_or(|l| t.0 >= l) && hi.is_none_or(|h| t.0 < h)
+            }
+            TimeSet::Recurring { period, offset, len } => {
+                if *period <= 0 {
+                    return false;
+                }
+                let phase = (t.0 - offset).rem_euclid(*period);
+                phase < *len
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_order() {
+        assert!(Timestamp::new(1) < Timestamp::new(2));
+        assert_eq!(Timestamp::new(5).value(), 5);
+    }
+
+    #[test]
+    fn interval_membership() {
+        let t = TimeSet::Interval { lo: Some(10), hi: Some(20) };
+        assert!(!t.contains(Timestamp::new(9)));
+        assert!(t.contains(Timestamp::new(10)));
+        assert!(t.contains(Timestamp::new(19)));
+        assert!(!t.contains(Timestamp::new(20)));
+    }
+
+    #[test]
+    fn open_ended_intervals() {
+        let t = TimeSet::Interval { lo: None, hi: Some(5) };
+        assert!(t.contains(Timestamp::new(-1000)));
+        assert!(!t.contains(Timestamp::new(5)));
+        let t = TimeSet::Interval { lo: Some(5), hi: None };
+        assert!(t.contains(Timestamp::new(1_000_000)));
+    }
+
+    #[test]
+    fn instants_membership() {
+        let t = TimeSet::Instants(vec![1, 5, 9]);
+        assert!(t.contains(Timestamp::new(5)));
+        assert!(!t.contains(Timestamp::new(4)));
+    }
+
+    #[test]
+    fn recurring_daily_window() {
+        // Every 24 "hours", the window [6, 9).
+        let t = TimeSet::Recurring { period: 24, offset: 6, len: 3 };
+        assert!(t.contains(Timestamp::new(6)));
+        assert!(t.contains(Timestamp::new(8)));
+        assert!(!t.contains(Timestamp::new(9)));
+        assert!(t.contains(Timestamp::new(24 * 10 + 7)));
+        assert!(!t.contains(Timestamp::new(24 * 10 + 5)));
+        // Negative times wrap correctly.
+        assert!(t.contains(Timestamp::new(-24 + 7)));
+    }
+
+    #[test]
+    fn degenerate_recurring_is_empty() {
+        let t = TimeSet::Recurring { period: 0, offset: 0, len: 1 };
+        assert!(!t.contains(Timestamp::new(0)));
+    }
+}

@@ -1,0 +1,242 @@
+//! Temporal shift: replaying the previous image(s) under the current
+//! timestamp.
+//!
+//! The composition operator (§3.3) joins points on `(space, timestamp)`,
+//! which makes *cross-band* products expressible — but change detection
+//! needs to join a stream with **its own past**. [`Delay`] closes that
+//! gap inside the algebra: it buffers `d` images and re-emits the image
+//! from `d` sectors ago stamped with the *current* sector's timestamp,
+//! so `(G − delay(G, 1))` is the per-cell difference between consecutive
+//! scans. Buffering is exactly `d + 1` images (the paper's space-cost
+//! style of analysis applies: the state is images, not the stream).
+
+use crate::model::{
+    Element, FrameEnd, FrameInfo, GeoStream, SectorEnd, SectorInfo, StreamSchema, Timestamp,
+};
+use crate::stats::{OpReport, OpStats};
+use geostreams_geo::{Cell, CellBox, LatticeGeoref};
+use geostreams_raster::Pixel;
+use std::collections::VecDeque;
+
+/// A buffered image of the delay line.
+struct Held<V> {
+    values: Vec<Option<V>>,
+    lattice: LatticeGeoref,
+}
+
+/// The delay operator `delay(G, d)`.
+pub struct Delay<S: GeoStream> {
+    input: S,
+    d: usize,
+    /// Delay line: front = oldest.
+    line: VecDeque<Held<S::V>>,
+    current: Option<Held<S::V>>,
+    pending_sector: Option<SectorInfo>,
+    queue: VecDeque<Element<S::V>>,
+    next_frame_id: u64,
+    stats: OpStats,
+    schema: StreamSchema,
+}
+
+impl<S: GeoStream> Delay<S> {
+    /// Creates a delay of `d ≥ 1` sectors.
+    pub fn new(input: S, d: u32) -> Self {
+        assert!(d >= 1, "delay must be at least one sector");
+        let schema = input.schema().renamed(format!("delay[{d}]"));
+        Delay {
+            input,
+            d: d as usize,
+            line: VecDeque::new(),
+            current: None,
+            pending_sector: None,
+            queue: VecDeque::new(),
+            next_frame_id: 0,
+            stats: OpStats::default(),
+            schema,
+        }
+    }
+
+    /// Emits the delayed image under the current sector's identity.
+    fn emit_delayed(&mut self, si: &SectorInfo, held: &Held<S::V>) {
+        // The delayed image is re-georeferenced to its own (old) lattice
+        // but stamped with the *current* timestamp/sector so it joins
+        // against the live stream.
+        self.queue.push_back(Element::SectorStart(SectorInfo {
+            lattice: held.lattice,
+            ..si.clone()
+        }));
+        let frame_id = self.next_frame_id;
+        self.next_frame_id += 1;
+        self.stats.frames_out += 1;
+        self.queue.push_back(Element::FrameStart(FrameInfo {
+            frame_id,
+            sector_id: si.sector_id,
+            timestamp: si.timestamp,
+            cells: CellBox::full(held.lattice.width, held.lattice.height),
+        }));
+        let w = held.lattice.width as usize;
+        for (idx, v) in held.values.iter().enumerate() {
+            if let Some(v) = v {
+                self.stats.points_out += 1;
+                self.queue.push_back(Element::point(
+                    Cell::new((idx % w) as u32, (idx / w) as u32),
+                    *v,
+                ));
+            }
+        }
+        self.queue
+            .push_back(Element::FrameEnd(FrameEnd { frame_id, sector_id: si.sector_id }));
+        self.queue.push_back(Element::SectorEnd(SectorEnd { sector_id: si.sector_id }));
+    }
+
+    /// The current timestamp shift in sectors.
+    pub fn delay_sectors(&self) -> usize {
+        self.d
+    }
+}
+
+impl<S: GeoStream> GeoStream for Delay<S> {
+    type V = S::V;
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element<S::V>> {
+        loop {
+            if let Some(el) = self.queue.pop_front() {
+                return Some(el);
+            }
+            let el = self.input.next_element()?;
+            match el {
+                Element::SectorStart(si) => {
+                    let n = (si.lattice.width as usize) * (si.lattice.height as usize);
+                    self.current = Some(Held { values: vec![None; n], lattice: si.lattice });
+                    self.pending_sector = Some(si);
+                }
+                Element::FrameStart(_) | Element::FrameEnd(_) => {
+                    self.stats.stalls += 1;
+                }
+                Element::Point(p) => {
+                    self.stats.points_in += 1;
+                    if let Some(cur) = &mut self.current {
+                        let w = cur.lattice.width;
+                        if p.cell.col < w && p.cell.row < cur.lattice.height {
+                            cur.values
+                                [(p.cell.row as usize) * (w as usize) + p.cell.col as usize] =
+                                Some(p.value);
+                        }
+                    }
+                }
+                Element::SectorEnd(_) => {
+                    let Some(si) = self.pending_sector.take() else { continue };
+                    if let Some(cur) = self.current.take() {
+                        let n = cur.values.len() as u64;
+                        self.stats.buffer_grow(n, n * S::V::BYTES as u64);
+                        self.line.push_back(cur);
+                    }
+                    // Once the line holds more than `d` images, the front
+                    // one is exactly d sectors old: replay and drop it.
+                    if self.line.len() > self.d {
+                        if let Some(old) = self.line.pop_front() {
+                            self.emit_delayed(&si, &old);
+                            let n = old.values.len() as u64;
+                            self.stats.buffer_shrink(n, n * S::V::BYTES as u64);
+                        }
+                    }
+                    let _ = Timestamp::default(); // keep import honest
+                }
+            }
+        }
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+
+    fn collect_stats(&self, out: &mut Vec<OpReport>) {
+        self.input.collect_stats(out);
+        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{tee2, VecStream};
+    use crate::ops::{Compose, GammaOp, JoinStrategy};
+    use geostreams_geo::{Crs, Rect};
+
+    fn lattice() -> LatticeGeoref {
+        LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 4.0, 4.0), 4, 4)
+    }
+
+    fn sectors(n: u64) -> VecStream<f32> {
+        // Sector s: value = cell index + 10·s.
+        VecStream::sectors("src", lattice(), n, |s, c, r| {
+            f64::from(c + 4 * r) + 10.0 * s as f64
+        })
+    }
+
+    #[test]
+    fn delay_one_replays_previous_sector_under_new_timestamp() {
+        let mut op = Delay::new(sectors(3), 1);
+        let els = op.drain_elements();
+        // Sectors 1 and 2 produce delayed output (0 has no predecessor).
+        let starts: Vec<u64> = els
+            .iter()
+            .filter_map(|e| match e {
+                Element::SectorStart(si) => Some(si.sector_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, vec![1, 2]);
+        // The first delayed image carries sector 0's values.
+        let first_point = els.iter().find_map(|e| match e {
+            Element::Point(p) if p.cell == Cell::new(0, 0) => Some(p.value),
+            _ => None,
+        });
+        assert_eq!(first_point, Some(0.0));
+    }
+
+    #[test]
+    fn change_detection_composes_stream_with_its_past() {
+        // (G − delay(G,1)) = +10 at every cell for our synthetic sectors.
+        let (live, to_delay) = tee2(sectors(4));
+        let delayed = Delay::new(to_delay, 1);
+        let mut diff = Compose::new(live, delayed, GammaOp::Sub, JoinStrategy::Hash).unwrap();
+        let pts = diff.drain_points();
+        // Sectors 1..3 join (sector 0 has no past): 3 × 16 points.
+        assert_eq!(pts.len(), 3 * 16);
+        assert!(pts.iter().all(|p| (p.value - 10.0).abs() < 1e-6), "constant change rate");
+    }
+
+    #[test]
+    fn deeper_delays_shift_further() {
+        let (live, to_delay) = tee2(sectors(5));
+        let delayed = Delay::new(to_delay, 2);
+        let mut diff = Compose::new(live, delayed, GammaOp::Sub, JoinStrategy::Hash).unwrap();
+        let pts = diff.drain_points();
+        assert_eq!(pts.len(), 3 * 16); // sectors 2..4
+        assert!(pts.iter().all(|p| (p.value - 20.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn buffer_is_d_plus_one_images() {
+        for d in [1u32, 3] {
+            let mut op = Delay::new(sectors(8), d);
+            let _ = op.drain_points();
+            assert_eq!(
+                op.op_stats().buffered_points_peak,
+                u64::from(d + 1) * 16,
+                "delay {d}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_delay_rejected() {
+        let _ = Delay::new(sectors(1), 0);
+    }
+}

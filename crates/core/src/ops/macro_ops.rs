@@ -1,0 +1,144 @@
+//! Macro operators for common data products (§4).
+//!
+//! "Other operators that are currently being implemented … include
+//! specialized macro operators that compute specific data products, such
+//! as NDVI. Such data products can be directly selected in the user
+//! interface, without the need to compose otherwise complex queries."
+//!
+//! A macro operator fuses a multi-operator expression into a single
+//! composition pass. [`ndvi`] computes the §3.4 example
+//! `(G₁ − G₂) ⊘ (G₂ + G₁)` — the normalized difference vegetation index
+//! over the near-infrared and visible bands — in one join instead of
+//! three ([`ndvi_unfused`] builds the literal three-join expression via
+//! stream tees; the A-series benches compare the two).
+
+use crate::error::Result;
+use crate::model::{tee2, GeoStream};
+use crate::ops::compose::{Compose, GammaOp, JoinStrategy};
+
+/// Fused NDVI: `(nir − vis) / (nir + vis)` in a single composition.
+pub fn ndvi<L, R>(nir: L, vis: R) -> Result<Compose<L, R>>
+where
+    L: GeoStream,
+    R: GeoStream<V = L::V>,
+{
+    Compose::new(nir, vis, GammaOp::NormDiff, JoinStrategy::Hash)
+}
+
+/// Normalized-difference water index `(green − nir) / (green + nir)` —
+/// same fused kernel, different band order.
+pub fn ndwi<L, R>(green: L, nir: R) -> Result<Compose<L, R>>
+where
+    L: GeoStream,
+    R: GeoStream<V = L::V>,
+{
+    Compose::new(green, nir, GammaOp::NormDiff, JoinStrategy::Hash)
+}
+
+/// The literal §3.4 expression `(G₁ − G₂) ⊘ (G₂ + G₁)` built from three
+/// compositions and two stream tees (each band is consumed twice). Used
+/// to quantify what the macro/fused form saves.
+pub fn ndvi_unfused<L, R>(nir: L, vis: R) -> Result<impl GeoStream<V = L::V>>
+where
+    L: GeoStream,
+    R: GeoStream<V = L::V>,
+{
+    let (nir_a, nir_b) = tee2(nir);
+    let (vis_a, vis_b) = tee2(vis);
+    let num = Compose::new(nir_a, vis_a, GammaOp::Sub, JoinStrategy::Hash)?;
+    let den = Compose::new(vis_b, nir_b, GammaOp::Add, JoinStrategy::Hash)?;
+    Compose::new(num, den, GammaOp::Div, JoinStrategy::Hash)
+}
+
+/// Brightness-temperature difference `a − b`, the classic split-window
+/// product for cloud/fire detection on thermal IR bands.
+pub fn band_difference<L, R>(a: L, b: R) -> Result<Compose<L, R>>
+where
+    L: GeoStream,
+    R: GeoStream<V = L::V>,
+{
+    Compose::new(a, b, GammaOp::Sub, JoinStrategy::Hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VecStream;
+    use geostreams_geo::{Crs, LatticeGeoref, Rect};
+
+    fn lattice() -> LatticeGeoref {
+        LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8)
+    }
+
+    fn nir() -> VecStream<f32> {
+        VecStream::single_sector("nir", lattice(), 0, |c, r| f64::from(c + r) + 8.0)
+    }
+
+    fn vis() -> VecStream<f32> {
+        VecStream::single_sector("vis", lattice(), 0, |c, r| f64::from(c + r) + 2.0)
+    }
+
+    #[test]
+    fn fused_ndvi_matches_formula() {
+        let mut op = ndvi(nir(), vis()).unwrap();
+        let pts = op.drain_points();
+        assert_eq!(pts.len(), 64);
+        for p in &pts {
+            let base = f64::from(p.cell.col + p.cell.row);
+            let n = base + 8.0;
+            let v = base + 2.0;
+            let expect = (n - v) / (n + v);
+            assert!((f64::from(p.value) - expect).abs() < 1e-6);
+        }
+        // NDVI of these synthetic bands is strictly positive and ≤ 1.
+        assert!(pts.iter().all(|p| p.value > 0.0 && p.value <= 1.0));
+    }
+
+    #[test]
+    fn unfused_expression_agrees_with_fused() {
+        let mut fused = ndvi(nir(), vis()).unwrap();
+        let mut unfused = ndvi_unfused(nir(), vis()).unwrap();
+        let mut a = fused.drain_points();
+        let mut b = unfused.drain_points();
+        a.sort_by_key(|p| (p.cell.row, p.cell.col));
+        b.sort_by_key(|p| (p.cell.row, p.cell.col));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cell, y.cell);
+            assert!((x.value - y.value).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fused_form_does_less_work() {
+        let mut fused = ndvi(nir(), vis()).unwrap();
+        let _ = fused.drain_points();
+        let mut fused_report = Vec::new();
+        fused.collect_stats(&mut fused_report);
+        let fused_points_in: u64 = fused_report.iter().map(|r| r.stats.points_in).sum();
+
+        let mut unfused = ndvi_unfused(nir(), vis()).unwrap();
+        let _ = unfused.drain_points();
+        let mut unfused_report = Vec::new();
+        unfused.collect_stats(&mut unfused_report);
+        let unfused_points_in: u64 = unfused_report.iter().map(|r| r.stats.points_in).sum();
+
+        assert!(
+            unfused_points_in >= 2 * fused_points_in,
+            "unfused {unfused_points_in} vs fused {fused_points_in}"
+        );
+    }
+
+    #[test]
+    fn ndvi_schema_range_is_symmetric_unit() {
+        let op = ndvi(nir(), vis()).unwrap();
+        assert_eq!(op.schema().value_range, (-1.0, 1.0));
+    }
+
+    #[test]
+    fn band_difference_subtracts() {
+        let mut op = band_difference(nir(), vis()).unwrap();
+        let pts = op.drain_points();
+        assert!(pts.iter().all(|p| (p.value - 6.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,190 @@
+//! Load shedding.
+//!
+//! The paper's introduction lists load shedding among the adaptive DSMS
+//! techniques its framework should carry over to image streams. For a
+//! raster stream, dropping *random* points produces speckle; dropping
+//! whole rows or a regular cell stride degrades gracefully (the image
+//! loses resolution, not coherence). [`Shed`] implements both policies
+//! deterministically — the engine can dial `keep_ratio` down when a
+//! pipeline falls behind the downlink, and every dropped point is
+//! counted.
+
+use crate::model::{Element, GeoStream, StreamSchema};
+use crate::stats::{OpReport, OpStats};
+use serde::{Deserialize, Serialize};
+
+/// What a shedding operator drops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ShedPolicy {
+    /// Keep every point of every k-th row-frame, drop other frames
+    /// entirely (cheapest: whole frames skip the pipeline).
+    Rows,
+    /// Keep a regular subgrid of points (uniform resolution loss).
+    Points,
+}
+
+/// The load-shedding operator.
+pub struct Shed<S: GeoStream> {
+    input: S,
+    policy: ShedPolicy,
+    /// Keep 1 of every `stride` rows/points.
+    stride: u32,
+    frame_counter: u64,
+    keeping_frame: bool,
+    /// Points dropped so far.
+    pub dropped: u64,
+    stats: OpStats,
+    schema: StreamSchema,
+}
+
+impl<S: GeoStream> Shed<S> {
+    /// Keeps `1/stride` of the stream (`stride = 1` keeps everything).
+    pub fn new(input: S, policy: ShedPolicy, stride: u32) -> Self {
+        assert!(stride >= 1, "stride must be at least 1");
+        let schema = input.schema().renamed(format!("shed[{policy:?} 1/{stride}]"));
+        Shed {
+            input,
+            policy,
+            stride,
+            frame_counter: 0,
+            keeping_frame: true,
+            dropped: 0,
+            stats: OpStats::default(),
+            schema,
+        }
+    }
+
+    /// The effective keep ratio.
+    pub fn keep_ratio(&self) -> f64 {
+        1.0 / f64::from(self.stride)
+    }
+}
+
+impl<S: GeoStream> GeoStream for Shed<S> {
+    type V = S::V;
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element<S::V>> {
+        loop {
+            let el = self.input.next_element()?;
+            match (&el, self.policy) {
+                (Element::FrameStart(_), ShedPolicy::Rows) => {
+                    self.stats.frames_in += 1;
+                    self.keeping_frame = self.frame_counter.is_multiple_of(u64::from(self.stride));
+                    self.frame_counter += 1;
+                    if self.keeping_frame {
+                        self.stats.frames_out += 1;
+                        return Some(el);
+                    }
+                    self.stats.stalls += 1;
+                }
+                (Element::Point(p), ShedPolicy::Rows) => {
+                    self.stats.points_in += 1;
+                    if self.keeping_frame {
+                        self.stats.points_out += 1;
+                        return Some(el);
+                    }
+                    self.dropped += 1;
+                    let _ = p;
+                }
+                (Element::FrameEnd(_), ShedPolicy::Rows) => {
+                    if self.keeping_frame {
+                        return Some(el);
+                    }
+                }
+                (Element::Point(p), ShedPolicy::Points) => {
+                    self.stats.points_in += 1;
+                    let keep = p.cell.col % self.stride == 0 && p.cell.row % self.stride == 0;
+                    if keep {
+                        self.stats.points_out += 1;
+                        return Some(el);
+                    }
+                    self.dropped += 1;
+                }
+                (Element::FrameStart(_), ShedPolicy::Points) => {
+                    self.stats.frames_in += 1;
+                    self.stats.frames_out += 1;
+                    return Some(el);
+                }
+                _ => return Some(el),
+            }
+        }
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+
+    fn collect_stats(&self, out: &mut Vec<OpReport>) {
+        self.input.collect_stats(out);
+        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VecStream;
+    use geostreams_geo::{Crs, LatticeGeoref, Rect};
+
+    fn source(w: u32, h: u32) -> VecStream<f32> {
+        let lattice =
+            LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 8.0), w, h);
+        VecStream::single_sector("src", lattice, 0, |c, r| f64::from(c + 100 * r))
+    }
+
+    #[test]
+    fn stride_one_keeps_everything() {
+        let mut op = Shed::new(source(8, 8), ShedPolicy::Points, 1);
+        assert_eq!(op.drain_points().len(), 64);
+        assert_eq!(op.dropped, 0);
+    }
+
+    #[test]
+    fn row_shedding_keeps_every_kth_row() {
+        let mut op = Shed::new(source(8, 8), ShedPolicy::Rows, 2);
+        let pts = op.drain_points();
+        assert_eq!(pts.len(), 32);
+        assert!(pts.iter().all(|p| p.cell.row % 2 == 0));
+        assert_eq!(op.dropped, 32);
+    }
+
+    #[test]
+    fn point_shedding_keeps_subgrid() {
+        let mut op = Shed::new(source(8, 8), ShedPolicy::Points, 4);
+        let pts = op.drain_points();
+        assert_eq!(pts.len(), 4); // cols {0,4} x rows {0,4}
+        assert!(pts.iter().all(|p| p.cell.col % 4 == 0 && p.cell.row % 4 == 0));
+        assert_eq!(op.dropped, 60);
+    }
+
+    #[test]
+    fn row_shedding_emits_no_empty_frames() {
+        let mut op = Shed::new(source(4, 6), ShedPolicy::Rows, 3);
+        let els = op.drain_elements();
+        let starts = els.iter().filter(|e| matches!(e, Element::FrameStart(_))).count();
+        let ends = els.iter().filter(|e| matches!(e, Element::FrameEnd(_))).count();
+        assert_eq!(starts, 2); // rows 0 and 3
+        assert_eq!(starts, ends);
+    }
+
+    #[test]
+    fn shedding_never_buffers() {
+        let mut op = Shed::new(source(32, 32), ShedPolicy::Rows, 4);
+        let _ = op.drain_points();
+        assert_eq!(op.op_stats().buffered_points_peak, 0);
+    }
+
+    #[test]
+    fn shed_then_downsample_degrades_gracefully() {
+        // A classic shed-then-aggregate pipeline still yields an image.
+        use crate::ops::Downsample;
+        let shed = Shed::new(source(16, 16), ShedPolicy::Points, 2);
+        let mut down = Downsample::new(shed, 2);
+        let pts = down.drain_points();
+        assert_eq!(pts.len(), 64, "one surviving point per 2x2 block");
+    }
+}

@@ -1,0 +1,358 @@
+//! Resolution-changing spatial transforms (§3.2, Fig. 2a).
+//!
+//! * [`Magnify`] — "An operator that increases the spatial resolution
+//!   would take an incoming point x and produce a rectangular lattice of
+//!   k·k points in Y, all with the point value G(x). No neighboring
+//!   points for x are required" — hence zero buffering.
+//! * [`Downsample`] — "neighboring points are needed in case one wants to
+//!   decrease the resolution … a rectangular lattice of k·k neighboring
+//!   points surrounding x is needed", so the operator accumulates block
+//!   sums; for a row-by-row stream its buffer is proportional to the row
+//!   width (never the frame height), which experiment F2 verifies.
+
+use crate::model::{Element, FrameEnd, FrameInfo, GeoStream, SectorEnd, SectorInfo, StreamSchema};
+use crate::stats::{OpReport, OpStats};
+use geostreams_geo::{Cell, CellBox, LatticeGeoref};
+use geostreams_raster::Pixel;
+use std::collections::{HashMap, VecDeque};
+
+/// k× magnification: each input point becomes a `k × k` block of output
+/// points with the same value. Non-blocking; per-point cost O(k²).
+pub struct Magnify<S: GeoStream> {
+    input: S,
+    k: u32,
+    queue: VecDeque<Element<S::V>>,
+    stats: OpStats,
+    schema: StreamSchema,
+}
+
+impl<S: GeoStream> Magnify<S> {
+    /// Creates a magnification by integer factor `k ≥ 1`.
+    pub fn new(input: S, k: u32) -> Self {
+        assert!(k >= 1, "magnification factor must be >= 1");
+        let schema = input.schema().renamed(format!("magnify[x{k}]"));
+        Magnify { input, k, queue: VecDeque::new(), stats: OpStats::default(), schema }
+    }
+}
+
+impl<S: GeoStream> GeoStream for Magnify<S> {
+    type V = S::V;
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element<S::V>> {
+        loop {
+            if let Some(el) = self.queue.pop_front() {
+                return Some(el);
+            }
+            let el = self.input.next_element()?;
+            let k = self.k;
+            match el {
+                Element::SectorStart(si) => {
+                    let out = SectorInfo { lattice: si.lattice.magnified(k), ..si };
+                    return Some(Element::SectorStart(out));
+                }
+                Element::FrameStart(fi) => {
+                    self.stats.frames_in += 1;
+                    self.stats.frames_out += 1;
+                    let c = fi.cells;
+                    let cells = CellBox::new(
+                        c.col_min * k,
+                        c.row_min * k,
+                        c.col_max * k + (k - 1),
+                        c.row_max * k + (k - 1),
+                    );
+                    return Some(Element::FrameStart(FrameInfo { cells, ..fi }));
+                }
+                Element::Point(p) => {
+                    self.stats.points_in += 1;
+                    self.stats.points_out += u64::from(k) * u64::from(k);
+                    for dr in 0..k {
+                        for dc in 0..k {
+                            self.queue.push_back(Element::point(
+                                Cell::new(p.cell.col * k + dc, p.cell.row * k + dr),
+                                p.value,
+                            ));
+                        }
+                    }
+                }
+                other => return Some(other),
+            }
+        }
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+
+    fn collect_stats(&self, out: &mut Vec<OpReport>) {
+        self.input.collect_stats(out);
+        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+    }
+}
+
+/// Accumulator for one output block.
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockAcc {
+    sum: f64,
+    count: u32,
+}
+
+/// 1/k downsampling by `k × k` block averaging.
+///
+/// Emits one output frame per input sector (all output points share the
+/// sector timestamp). Blocks straddling the trailing edge of the sector
+/// are emitted at `SectorEnd` as partial-block averages — the "boundary
+/// point interpolations" §3.2 prescribes when sector metadata signals
+/// that no more neighbors will arrive.
+pub struct Downsample<S: GeoStream> {
+    input: S,
+    k: u32,
+    out_lattice: Option<LatticeGeoref>,
+    acc: HashMap<(u32, u32), BlockAcc>,
+    queue: VecDeque<Element<S::V>>,
+    next_frame_id: u64,
+    open_frame: Option<(u64, u64)>,
+    stats: OpStats,
+    schema: StreamSchema,
+}
+
+/// Approximate bookkeeping bytes per live block accumulator.
+const ACC_ENTRY_BYTES: u64 = 24;
+
+impl<S: GeoStream> Downsample<S> {
+    /// Creates a downsampling by integer factor `k ≥ 1`.
+    pub fn new(input: S, k: u32) -> Self {
+        assert!(k >= 1, "downsampling factor must be >= 1");
+        let schema = input.schema().renamed(format!("downsample[/{k}]"));
+        Downsample {
+            input,
+            k,
+            out_lattice: None,
+            acc: HashMap::new(),
+            queue: VecDeque::new(),
+            next_frame_id: 0,
+            open_frame: None,
+            stats: OpStats::default(),
+            schema,
+        }
+    }
+
+    fn emit_block(&mut self, key: (u32, u32), acc: BlockAcc) {
+        let v = S::V::from_f64(acc.sum / f64::from(acc.count.max(1)));
+        self.stats.points_out += 1;
+        self.queue.push_back(Element::point(Cell::new(key.0, key.1), v));
+    }
+}
+
+impl<S: GeoStream> GeoStream for Downsample<S> {
+    type V = S::V;
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element<S::V>> {
+        loop {
+            if let Some(el) = self.queue.pop_front() {
+                return Some(el);
+            }
+            let el = self.input.next_element()?;
+            let k = self.k;
+            match el {
+                Element::SectorStart(si) => {
+                    let out_lat = si.lattice.reduced(k);
+                    self.out_lattice = Some(out_lat);
+                    let frame_id = self.next_frame_id;
+                    self.next_frame_id += 1;
+                    self.open_frame = Some((frame_id, si.sector_id));
+                    self.queue.push_back(Element::SectorStart(SectorInfo {
+                        lattice: out_lat,
+                        ..si.clone()
+                    }));
+                    if !out_lat.is_empty() {
+                        self.stats.frames_out += 1;
+                        self.queue.push_back(Element::FrameStart(FrameInfo {
+                            frame_id,
+                            sector_id: si.sector_id,
+                            timestamp: si.timestamp,
+                            cells: CellBox::full(out_lat.width, out_lat.height),
+                        }));
+                    }
+                }
+                Element::FrameStart(_) => {
+                    self.stats.frames_in += 1;
+                    self.stats.stalls += 1;
+                }
+                Element::Point(p) => {
+                    self.stats.points_in += 1;
+                    let Some(out) = &self.out_lattice else { continue };
+                    let oc = p.cell.col / k;
+                    let or = p.cell.row / k;
+                    if oc >= out.width || or >= out.height {
+                        continue; // trailing cells of a partial block edge
+                    }
+                    let entry = self.acc.entry((oc, or)).or_default();
+                    if entry.count == 0 {
+                        self.stats.buffer_grow(0, ACC_ENTRY_BYTES);
+                    }
+                    // Count every accumulated-but-unemitted input point.
+                    self.stats.buffer_grow(1, 0);
+                    entry.sum += p.value.to_f64();
+                    entry.count += 1;
+                    if entry.count == k * k {
+                        let acc = self.acc.remove(&(oc, or)).expect("entry exists");
+                        self.stats.buffer_shrink(u64::from(acc.count), ACC_ENTRY_BYTES);
+                        self.emit_block((oc, or), acc);
+                    }
+                }
+                Element::FrameEnd(_) => {}
+                Element::SectorEnd(se) => {
+                    // Boundary handling: flush partial blocks.
+                    let mut leftovers: Vec<((u32, u32), BlockAcc)> = self.acc.drain().collect();
+                    leftovers.sort_by_key(|(k, _)| (k.1, k.0));
+                    for (key, acc) in leftovers {
+                        self.stats.buffer_shrink(u64::from(acc.count), ACC_ENTRY_BYTES);
+                        self.emit_block(key, acc);
+                    }
+                    if let Some((frame_id, sector_id)) = self.open_frame.take() {
+                        self.queue.push_back(Element::FrameEnd(FrameEnd { frame_id, sector_id }));
+                    }
+                    self.queue.push_back(Element::SectorEnd(SectorEnd { sector_id: se.sector_id }));
+                }
+            }
+        }
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+
+    fn collect_stats(&self, out: &mut Vec<OpReport>) {
+        self.input.collect_stats(out);
+        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VecStream;
+    use geostreams_geo::{Crs, Rect};
+
+    fn lattice(w: u32, h: u32) -> LatticeGeoref {
+        LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 12.0, 12.0), w, h)
+    }
+
+    fn source(w: u32, h: u32) -> VecStream<f32> {
+        VecStream::single_sector("src", lattice(w, h), 0, |c, r| f64::from(c + w * r))
+    }
+
+    #[test]
+    fn magnify_replicates_each_point() {
+        let mut op = Magnify::new(source(2, 2), 3);
+        let pts = op.drain_points();
+        assert_eq!(pts.len(), 4 * 9);
+        // Point (1,0) value 1 covers output cols 3..5, rows 0..2.
+        let block: Vec<_> = pts.iter().filter(|p| p.value == 1.0).collect();
+        assert_eq!(block.len(), 9);
+        assert!(block.iter().all(|p| (3..=5).contains(&p.cell.col) && p.cell.row <= 2));
+    }
+
+    #[test]
+    fn magnify_needs_no_buffer() {
+        let mut op = Magnify::new(source(16, 16), 4);
+        let _ = op.drain_points();
+        let st = op.op_stats();
+        assert_eq!(st.buffered_points_peak, 0, "§3.2: no neighboring points required");
+        assert_eq!(st.points_out, 16 * 16 * 16);
+    }
+
+    #[test]
+    fn magnify_updates_sector_lattice() {
+        let mut op = Magnify::new(source(4, 4), 2);
+        let els = op.drain_elements();
+        match &els[0] {
+            Element::SectorStart(si) => {
+                assert_eq!(si.lattice.width, 8);
+                assert_eq!(si.lattice.height, 8);
+            }
+            other => panic!("expected SectorStart, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn downsample_block_averages() {
+        // 4x4 ramp downsampled by 2: block (0,0) = {0,1,4,5} -> 2.5.
+        let mut op = Downsample::new(source(4, 4), 2);
+        let pts = op.drain_points();
+        assert_eq!(pts.len(), 4);
+        let p00 = pts.iter().find(|p| p.cell == Cell::new(0, 0)).unwrap();
+        assert!((p00.value - 2.5).abs() < 1e-6);
+        let p11 = pts.iter().find(|p| p.cell == Cell::new(1, 1)).unwrap();
+        assert!((p11.value - 12.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn downsample_buffer_scales_with_row_not_frame() {
+        // Row-by-row input: the paper's claim is that only ~k rows of
+        // state are needed, never the whole frame.
+        let mut wide = Downsample::new(source(64, 8), 4);
+        let _ = wide.drain_points();
+        let wide_peak = wide.op_stats().buffered_points_peak;
+
+        let mut tall = Downsample::new(source(64, 64), 4);
+        let _ = tall.drain_points();
+        let tall_peak = tall.op_stats().buffered_points_peak;
+
+        assert_eq!(wide_peak, tall_peak, "peak buffer must not grow with frame height");
+        // Peak is at most k rows of accumulated points (64*4) minus the
+        // blocks that complete as the k-th row streams through.
+        assert!(wide_peak <= 64 * 4, "peak {wide_peak}");
+        assert!(wide_peak >= 64 * 3, "peak {wide_peak} should hold ~k-1 rows plus partials");
+    }
+
+    #[test]
+    fn downsample_partial_blocks_flush_at_sector_end() {
+        // 5x5 with k=2: output lattice 2x2; the 5th row/col are dropped
+        // (they fall outside the reduced lattice), no partials linger.
+        let mut op = Downsample::new(source(5, 5), 2);
+        let pts = op.drain_points();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(op.op_stats().buffered_points, 0, "all state released");
+    }
+
+    #[test]
+    fn downsample_frame_protocol_one_frame_per_sector() {
+        let mut op = Downsample::new(source(6, 6), 3);
+        let els = op.drain_elements();
+        let starts = els.iter().filter(|e| matches!(e, Element::FrameStart(_))).count();
+        let ends = els.iter().filter(|e| matches!(e, Element::FrameEnd(_))).count();
+        assert_eq!(starts, 1);
+        assert_eq!(ends, 1);
+        // FrameEnd precedes SectorEnd.
+        let fe_pos = els.iter().position(|e| matches!(e, Element::FrameEnd(_))).unwrap();
+        let se_pos = els.iter().position(|e| matches!(e, Element::SectorEnd(_))).unwrap();
+        assert!(fe_pos < se_pos);
+    }
+
+    #[test]
+    fn magnify_then_downsample_restores_values() {
+        let op = Magnify::new(source(4, 4), 3);
+        let mut round = Downsample::new(op, 3);
+        let pts = round.drain_points();
+        assert_eq!(pts.len(), 16);
+        for p in pts {
+            let expect = f64::from(p.cell.col + 4 * p.cell.row);
+            assert!((f64::from(p.value) - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn zero_factor_rejected() {
+        let _ = Magnify::new(source(2, 2), 0);
+    }
+}

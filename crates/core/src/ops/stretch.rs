@@ -1,0 +1,357 @@
+//! Frame/image-scoped value stretches (§3.2).
+//!
+//! "In order to fully utilize the complete range of values in V, point
+//! values can be scaled. Typical approaches include linear contrast
+//! stretch, histogram equalization, and Gaussian stretch. In order to
+//! perform a respective value transform on a point, information about
+//! previous point values needs to be maintained … all points of that
+//! frame need to be stored before they can be output with new point
+//! values. Thus, the cost of a stretch transform operator is determined
+//! by the size of the largest frame that can occur in G."
+//!
+//! The scope is configurable: [`StretchScope::Frame`] buffers one arrival
+//! frame (a single row for row-by-row streams); [`StretchScope::Image`]
+//! buffers the paper's *image* — all frames of one timestamp, which for a
+//! GOES visible-band sector is the 20 840 × 10 820-point frame whose
+//! ≈280 MB buffer the paper cites. Experiment E2 measures exactly this
+//! buffer growth.
+
+use crate::model::{Element, GeoStream, StreamSchema};
+use crate::stats::{OpReport, OpStats};
+use geostreams_raster::{Histogram, Pixel, RangeTracker};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which stretch is applied once the scope's statistics are complete.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StretchMode {
+    /// Linear contrast stretch onto `[out_lo, out_hi]`.
+    Linear {
+        /// Output low bound.
+        out_lo: f64,
+        /// Output high bound.
+        out_hi: f64,
+    },
+    /// Histogram equalization onto `[0, 1]` using `bins` bins over the
+    /// schema's nominal value range.
+    HistEq {
+        /// Number of histogram bins.
+        bins: usize,
+    },
+    /// Gaussian stretch onto `[0, 1]`: ±`n_sigma` standard deviations
+    /// cover the output range.
+    Gaussian {
+        /// Number of standard deviations mapped to the output extremes.
+        n_sigma: f64,
+    },
+}
+
+/// Unit of buffering for a stretch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StretchScope {
+    /// Buffer one arrival frame (a row, for row-by-row streams).
+    Frame,
+    /// Buffer one *image* (Definition 4): all frames of one timestamp —
+    /// the paper's costly case.
+    #[default]
+    Image,
+}
+
+/// The frame/image-scoped stretch operator. Output pixels are `f32`.
+pub struct StretchTransform<S: GeoStream> {
+    input: S,
+    mode: StretchMode,
+    scope: StretchScope,
+    /// Elements of the current scope held until its statistics complete.
+    held: Vec<Element<S::V>>,
+    tracker: RangeTracker,
+    hist: Option<Histogram>,
+    /// Input nominal range used to (re)build the histogram each scope.
+    hist_range: (f64, f64),
+    queue: VecDeque<Element<f32>>,
+    stats: OpStats,
+    schema: StreamSchema,
+}
+
+impl<S: GeoStream> StretchTransform<S> {
+    /// Creates a stretch with the given mode and scope.
+    pub fn new(input: S, mode: StretchMode, scope: StretchScope) -> Self {
+        let mut schema = input.schema().renamed(match scope {
+            StretchScope::Frame => "stretch[frame]",
+            StretchScope::Image => "stretch[image]",
+        });
+        schema.value_range = match mode {
+            StretchMode::Linear { out_lo, out_hi } => (out_lo, out_hi),
+            _ => (0.0, 1.0),
+        };
+        let (ilo, ihi) = input.schema().value_range;
+        let hist_range = (ilo, if ihi > ilo { ihi } else { ilo + 1.0 });
+        let hist = match mode {
+            StretchMode::HistEq { bins } => {
+                Some(Histogram::new(hist_range.0, hist_range.1, bins.max(2)))
+            }
+            _ => None,
+        };
+        StretchTransform {
+            input,
+            mode,
+            scope,
+            held: Vec::new(),
+            tracker: RangeTracker::new(),
+            hist,
+            hist_range,
+            queue: VecDeque::new(),
+            stats: OpStats::default(),
+            schema,
+        }
+    }
+
+    fn reset_scope_stats(&mut self) {
+        self.tracker = RangeTracker::new();
+        if let StretchMode::HistEq { bins } = self.mode {
+            self.hist = Some(Histogram::new(self.hist_range.0, self.hist_range.1, bins.max(2)));
+        }
+    }
+
+    /// Applies the configured stretch to one value.
+    fn map_value(&self, v: f64) -> f64 {
+        match self.mode {
+            StretchMode::Linear { out_lo, out_hi } => self.tracker.stretch(v, out_lo, out_hi),
+            StretchMode::HistEq { .. } => {
+                self.hist.as_ref().map_or(0.0, |h| h.equalize(v, 0.0, 1.0))
+            }
+            StretchMode::Gaussian { n_sigma } => {
+                self.tracker.gaussian_stretch(v, 0.0, 1.0, n_sigma)
+            }
+        }
+    }
+
+    /// Emits the held scope with stretched values.
+    fn flush_scope(&mut self) {
+        let held = std::mem::take(&mut self.held);
+        let released = held.iter().filter(|e| e.is_point()).count() as u64;
+        self.stats.buffer_shrink(released, released * S::V::BYTES as u64);
+        for el in held {
+            match el {
+                Element::Point(p) => {
+                    self.stats.points_out += 1;
+                    let v = self.map_value(p.value.to_f64());
+                    self.queue.push_back(Element::point(p.cell, v as f32));
+                }
+                Element::FrameStart(fi) => {
+                    self.stats.frames_out += 1;
+                    self.queue.push_back(Element::FrameStart(fi));
+                }
+                Element::FrameEnd(fe) => self.queue.push_back(Element::FrameEnd(fe)),
+                Element::SectorStart(si) => self.queue.push_back(Element::SectorStart(si)),
+                Element::SectorEnd(se) => self.queue.push_back(Element::SectorEnd(se)),
+            }
+        }
+        self.reset_scope_stats();
+    }
+}
+
+impl<S: GeoStream> GeoStream for StretchTransform<S> {
+    type V = f32;
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element<f32>> {
+        loop {
+            if let Some(el) = self.queue.pop_front() {
+                return Some(el);
+            }
+            let Some(el) = self.input.next_element() else {
+                // End of stream: flush whatever is pending (partial scope).
+                if self.held.is_empty() {
+                    return None;
+                }
+                self.flush_scope();
+                continue;
+            };
+            match el {
+                Element::SectorStart(si) => {
+                    if self.held.is_empty() {
+                        return Some(Element::SectorStart(si));
+                    }
+                    self.held.push(Element::SectorStart(si));
+                }
+                Element::FrameStart(fi) => {
+                    self.stats.frames_in += 1;
+                    self.held.push(Element::FrameStart(fi));
+                    self.stats.stalls += 1;
+                }
+                Element::Point(p) => {
+                    self.stats.points_in += 1;
+                    let v = p.value.to_f64();
+                    self.tracker.push(v);
+                    if let Some(h) = &mut self.hist {
+                        h.push(v);
+                    }
+                    self.stats.buffer_grow(1, S::V::BYTES as u64);
+                    self.held.push(Element::Point(p));
+                }
+                Element::FrameEnd(fe) => {
+                    self.held.push(Element::FrameEnd(fe));
+                    if self.scope == StretchScope::Frame {
+                        self.flush_scope();
+                    }
+                }
+                Element::SectorEnd(se) => {
+                    self.held.push(Element::SectorEnd(se));
+                    self.flush_scope();
+                }
+            }
+        }
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+
+    fn collect_stats(&self, out: &mut Vec<OpReport>) {
+        self.input.collect_stats(out);
+        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VecStream;
+    use geostreams_geo::{Crs, LatticeGeoref, Rect};
+
+    fn lattice(w: u32, h: u32) -> LatticeGeoref {
+        LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 10.0, 10.0), w, h)
+    }
+
+    fn source(w: u32, h: u32) -> VecStream<f32> {
+        VecStream::single_sector("src", lattice(w, h), 0, |c, r| f64::from(10 + c + w * r))
+            .with_value_range(0.0, 100.0)
+    }
+
+    #[test]
+    fn linear_stretch_fills_output_range() {
+        let mut op = StretchTransform::new(
+            source(4, 4),
+            StretchMode::Linear { out_lo: 0.0, out_hi: 255.0 },
+            StretchScope::Image,
+        );
+        let pts = op.drain_points();
+        assert_eq!(pts.len(), 16);
+        let min = pts.iter().map(|p| p.value).fold(f32::INFINITY, f32::min);
+        let max = pts.iter().map(|p| p.value).fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(min, 0.0);
+        assert_eq!(max, 255.0);
+    }
+
+    #[test]
+    fn image_scope_buffers_whole_image() {
+        let mut op = StretchTransform::new(
+            source(8, 8),
+            StretchMode::Linear { out_lo: 0.0, out_hi: 1.0 },
+            StretchScope::Image,
+        );
+        let _ = op.drain_points();
+        // The claim of §3.2: the whole frame (image) must be stored.
+        assert_eq!(op.op_stats().buffered_points_peak, 64);
+    }
+
+    #[test]
+    fn frame_scope_buffers_one_row() {
+        let mut op = StretchTransform::new(
+            source(8, 8),
+            StretchMode::Linear { out_lo: 0.0, out_hi: 1.0 },
+            StretchScope::Frame,
+        );
+        let _ = op.drain_points();
+        // Row-by-row frames: one row of 8 points at a time.
+        assert_eq!(op.op_stats().buffered_points_peak, 8);
+    }
+
+    #[test]
+    fn frame_scope_stretches_per_row() {
+        // Each row r has values 10+8r .. 17+8r; per-frame stretch maps
+        // every row onto the full [0,1].
+        let mut op = StretchTransform::new(
+            source(8, 8),
+            StretchMode::Linear { out_lo: 0.0, out_hi: 1.0 },
+            StretchScope::Frame,
+        );
+        let pts = op.drain_points();
+        for row in 0..8u32 {
+            let rowvals: Vec<f32> =
+                pts.iter().filter(|p| p.cell.row == row).map(|p| p.value).collect();
+            assert_eq!(rowvals.first().copied(), Some(0.0));
+            assert_eq!(rowvals.last().copied(), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn histogram_equalization_output_in_unit_range() {
+        let mut op = StretchTransform::new(
+            source(6, 6),
+            StretchMode::HistEq { bins: 64 },
+            StretchScope::Image,
+        );
+        let pts = op.drain_points();
+        assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.value)));
+        // Equalization is monotone in the input.
+        let mut by_input: Vec<(u32, f32)> =
+            pts.iter().map(|p| (p.cell.row * 6 + p.cell.col, p.value)).collect();
+        by_input.sort_by_key(|(k, _)| *k);
+        for w in by_input.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn gaussian_stretch_centers_mean() {
+        let mut op = StretchTransform::new(
+            source(5, 5),
+            StretchMode::Gaussian { n_sigma: 2.0 },
+            StretchScope::Image,
+        );
+        let pts = op.drain_points();
+        let mean: f32 = pts.iter().map(|p| p.value).sum::<f32>() / pts.len() as f32;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn element_protocol_preserved() {
+        let mut op = StretchTransform::new(
+            source(3, 3),
+            StretchMode::Linear { out_lo: 0.0, out_hi: 1.0 },
+            StretchScope::Image,
+        );
+        let els = op.drain_elements();
+        let starts = els.iter().filter(|e| matches!(e, Element::FrameStart(_))).count();
+        let ends = els.iter().filter(|e| matches!(e, Element::FrameEnd(_))).count();
+        assert_eq!(starts, 3);
+        assert_eq!(ends, 3);
+        assert!(matches!(els[0], Element::SectorStart(_)));
+        assert!(matches!(els.last(), Some(Element::SectorEnd(_))));
+    }
+
+    #[test]
+    fn multi_sector_stats_reset_between_images() {
+        let lattice = lattice(4, 1);
+        let src: VecStream<f32> = VecStream::sectors("src", lattice, 2, |s, c, _| {
+            // Sector 0: values 0..3; sector 1: values 100..103.
+            f64::from(c) + 100.0 * s as f64
+        });
+        let mut op = StretchTransform::new(
+            src,
+            StretchMode::Linear { out_lo: 0.0, out_hi: 1.0 },
+            StretchScope::Image,
+        );
+        let pts = op.drain_points();
+        // Both sectors independently stretch onto [0,1].
+        assert_eq!(pts[0].value, 0.0);
+        assert_eq!(pts[3].value, 1.0);
+        assert_eq!(pts[4].value, 0.0);
+        assert_eq!(pts[7].value, 1.0);
+    }
+}

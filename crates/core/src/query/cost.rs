@@ -1,0 +1,302 @@
+//! A simple analytical cost model for query plans.
+//!
+//! §3.4 motivates the optimizer by the "most significant space and time
+//! gains" of restriction pushdown; this model quantifies a plan before
+//! running it: estimated points flowing out of every operator, total
+//! per-point work, and peak buffer bytes. The weights are calibrated to
+//! the operator implementations (a re-projection performs two map
+//! projections per point and dwarfs a restriction test).
+
+use super::ast::Expr;
+use super::plan::Catalog;
+use crate::error::Result;
+use crate::ops::StretchScope;
+use geostreams_geo::map_region;
+use serde::{Deserialize, Serialize};
+
+/// Per-point work units (1 ≈ one arithmetic op + dispatch).
+mod weight {
+    pub const RESTRICT: f64 = 1.0;
+    pub const MAP: f64 = 1.5;
+    pub const STRETCH: f64 = 3.0;
+    pub const RESAMPLE: f64 = 2.0;
+    pub const REPROJECT: f64 = 40.0;
+    pub const COMPOSE: f64 = 4.0;
+    pub const AGGREGATE: f64 = 2.0;
+}
+
+/// Estimated cost of a plan (per scan sector).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Estimated points emitted by the plan root per sector.
+    pub points_out: f64,
+    /// Total work units across all operators per sector.
+    pub work: f64,
+    /// Estimated peak buffered bytes.
+    pub buffer_bytes: f64,
+}
+
+impl CostEstimate {
+    fn leaf(points: f64) -> CostEstimate {
+        CostEstimate { points_out: points, work: 0.0, buffer_bytes: 0.0 }
+    }
+}
+
+/// Fraction of a source sector that a region covers (by bbox areas).
+fn region_selectivity(catalog: &Catalog, expr: &Expr, region: &geostreams_geo::Region) -> f64 {
+    // Find any source's lattice below this expression as the denominator.
+    let mut lattice = None;
+    expr.visit(&mut |e| {
+        if lattice.is_none() {
+            if let Expr::Source(name) = e {
+                lattice = catalog.schema(name).and_then(|s| s.sector_lattice);
+            }
+        }
+    });
+    let Some(lat) = lattice else { return 0.5 };
+    let world = lat.world_bbox();
+    if world.area() <= 0.0 {
+        return 0.5;
+    }
+    // Map the region into the source CRS when needed (bbox approximation).
+    let stream_crs = catalog.crs_of(expr).unwrap_or(lat.crs);
+    let rb = if stream_crs == lat.crs {
+        region.bbox()
+    } else {
+        match map_region(region, &stream_crs, &lat.crs, 8) {
+            Ok(r) => r,
+            Err(_) => return 0.0,
+        }
+    };
+    (rb.intersect(&world).area() / world.area()).clamp(0.0, 1.0)
+}
+
+/// Estimates the cost of an expression over a catalog.
+pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
+    Ok(match expr {
+        Expr::Source(name) => {
+            let points = catalog
+                .schema(name)
+                .and_then(|s| s.sector_lattice)
+                .map_or(1.0e6, |l| l.len() as f64);
+            CostEstimate::leaf(points)
+        }
+        Expr::RestrictSpace { input, region, .. } => {
+            let c = estimate(input, catalog)?;
+            let sel = region_selectivity(catalog, input, region);
+            CostEstimate {
+                points_out: c.points_out * sel,
+                work: c.work + c.points_out * weight::RESTRICT,
+                buffer_bytes: c.buffer_bytes,
+            }
+        }
+        Expr::RestrictTime { input, .. } => {
+            let c = estimate(input, catalog)?;
+            // Per-sector model: a temporal restriction passes or drops
+            // whole sectors; use 0.5 as the long-run duty cycle.
+            CostEstimate {
+                points_out: c.points_out * 0.5,
+                work: c.work + c.points_out * 0.01, // per-frame test only
+                buffer_bytes: c.buffer_bytes,
+            }
+        }
+        Expr::RestrictValue { input, .. } => {
+            let c = estimate(input, catalog)?;
+            CostEstimate {
+                points_out: c.points_out * 0.5,
+                work: c.work + c.points_out * weight::RESTRICT,
+                buffer_bytes: c.buffer_bytes,
+            }
+        }
+        Expr::MapValue { input, .. } => {
+            let c = estimate(input, catalog)?;
+            CostEstimate {
+                points_out: c.points_out,
+                work: c.work + c.points_out * weight::MAP,
+                buffer_bytes: c.buffer_bytes,
+            }
+        }
+        Expr::Stretch { input, scope, .. } => {
+            let c = estimate(input, catalog)?;
+            let buffered = match scope {
+                StretchScope::Image => c.points_out,
+                StretchScope::Frame => c.points_out.sqrt(), // ≈ one row
+            };
+            CostEstimate {
+                points_out: c.points_out,
+                work: c.work + c.points_out * weight::STRETCH,
+                buffer_bytes: c.buffer_bytes.max(buffered * 4.0),
+            }
+        }
+        Expr::Focal { input, k, .. } => {
+            let c = estimate(input, catalog)?;
+            let k2 = f64::from(*k) * f64::from(*k);
+            CostEstimate {
+                points_out: c.points_out,
+                work: c.work + c.points_out * k2 * weight::RESAMPLE,
+                buffer_bytes: c.buffer_bytes.max(c.points_out.sqrt() * f64::from(*k) * 4.0),
+            }
+        }
+        Expr::Orient { input, .. } => {
+            let c = estimate(input, catalog)?;
+            CostEstimate {
+                points_out: c.points_out,
+                work: c.work + c.points_out * weight::RESTRICT,
+                buffer_bytes: c.buffer_bytes,
+            }
+        }
+        Expr::Magnify { input, k } => {
+            let c = estimate(input, catalog)?;
+            let k2 = f64::from(*k) * f64::from(*k);
+            CostEstimate {
+                points_out: c.points_out * k2,
+                work: c.work + c.points_out * k2 * weight::RESAMPLE,
+                buffer_bytes: c.buffer_bytes,
+            }
+        }
+        Expr::Downsample { input, k } => {
+            let c = estimate(input, catalog)?;
+            let k2 = f64::from(*k) * f64::from(*k);
+            CostEstimate {
+                points_out: c.points_out / k2,
+                work: c.work + c.points_out * weight::RESAMPLE,
+                buffer_bytes: c.buffer_bytes.max(c.points_out.sqrt() * 24.0),
+            }
+        }
+        Expr::Reproject { input, .. } => {
+            let c = estimate(input, catalog)?;
+            CostEstimate {
+                points_out: c.points_out,
+                work: c.work + c.points_out * weight::REPROJECT,
+                // A band of rows: ~8 rows of the (≈square) sector.
+                buffer_bytes: c.buffer_bytes.max(c.points_out.sqrt() * 8.0 * 4.0),
+            }
+        }
+        Expr::Compose { left, right, .. } | Expr::Ndvi { nir: left, vis: right } => {
+            let l = estimate(left, catalog)?;
+            let r = estimate(right, catalog)?;
+            let matched = l.points_out.min(r.points_out);
+            CostEstimate {
+                points_out: matched,
+                work: l.work + r.work + (l.points_out + r.points_out) * weight::COMPOSE,
+                // Hash-join buffer ≈ a row of the larger input under
+                // row-by-row transmission.
+                buffer_bytes: (l.buffer_bytes + r.buffer_bytes)
+                    .max(l.points_out.max(r.points_out).sqrt() * 4.0),
+            }
+        }
+        Expr::Shed { input, stride, .. } => {
+            let c = estimate(input, catalog)?;
+            CostEstimate {
+                points_out: c.points_out / f64::from(*stride),
+                work: c.work + c.points_out * weight::RESTRICT,
+                buffer_bytes: c.buffer_bytes,
+            }
+        }
+        Expr::Delay { input, d } => {
+            let c = estimate(input, catalog)?;
+            CostEstimate {
+                points_out: c.points_out,
+                work: c.work + c.points_out * weight::RESTRICT,
+                buffer_bytes: c.buffer_bytes + c.points_out * 4.0 * f64::from(*d + 1),
+            }
+        }
+        Expr::AggTime { input, window, .. } => {
+            let c = estimate(input, catalog)?;
+            CostEstimate {
+                points_out: c.points_out,
+                work: c.work + c.points_out * weight::AGGREGATE * f64::from(*window),
+                buffer_bytes: c.buffer_bytes + c.points_out * 8.0 * f64::from(*window),
+            }
+        }
+        Expr::AggSpace { input, region, .. } => {
+            let c = estimate(input, catalog)?;
+            let sel = region_selectivity(catalog, input, region);
+            CostEstimate {
+                points_out: 1.0,
+                work: c.work + c.points_out * sel * weight::AGGREGATE,
+                buffer_bytes: c.buffer_bytes,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{StreamSchema, VecStream};
+    use crate::query::optimizer::optimize;
+    use crate::query::parser::parse_query;
+    use geostreams_geo::{Crs, LatticeGeoref, Rect};
+
+    fn catalog() -> Catalog {
+        let lattice =
+            LatticeGeoref::north_up(Crs::LatLon, Rect::new(-124.0, 36.0, -120.0, 40.0), 64, 64);
+        let mut cat = Catalog::new();
+        for name in ["g1", "g2"] {
+            let mut schema = StreamSchema::new(name, Crs::LatLon);
+            schema.sector_lattice = Some(lattice);
+            let name = name.to_string();
+            cat.register(schema, move || {
+                Box::new(VecStream::<f32>::single_sector(&name, lattice, 0, |_, _| 0.0))
+            });
+        }
+        cat
+    }
+
+    #[test]
+    fn source_cost_matches_lattice() {
+        let cat = catalog();
+        let c = estimate(&Expr::source("g1"), &cat).unwrap();
+        assert_eq!(c.points_out, 64.0 * 64.0);
+        assert_eq!(c.work, 0.0);
+    }
+
+    #[test]
+    fn restriction_reduces_points() {
+        let cat = catalog();
+        // A quarter of the sector.
+        let e = parse_query(
+            "restrict_space(g1, bbox(-124, 38, -122, 40), \"latlon\")",
+        )
+        .unwrap();
+        let c = estimate(&e, &cat).unwrap();
+        assert!((c.points_out - 1024.0).abs() / 1024.0 < 0.1, "{}", c.points_out);
+    }
+
+    #[test]
+    fn optimizer_reduces_estimated_work() {
+        let cat = catalog();
+        let q = "restrict_space(
+                   reproject(normalize(div(sub(g1, g2), add(g2, g1)), -1, 1), \"utm:10N\"),
+                   bbox(430000, 4200000, 480000, 4250000), \"utm:10N\")";
+        let e = parse_query(q).unwrap();
+        let o = optimize(&e, &cat);
+        let base = estimate(&e, &cat).unwrap();
+        let opt = estimate(&o, &cat).unwrap();
+        assert!(
+            opt.work < base.work / 2.0,
+            "optimized work {} should be well below {}",
+            opt.work,
+            base.work
+        );
+        assert!(opt.buffer_bytes <= base.buffer_bytes);
+    }
+
+    #[test]
+    fn reprojection_dominates_work() {
+        let cat = catalog();
+        let plain = estimate(&parse_query("scale(g1, 1, 0)").unwrap(), &cat).unwrap();
+        let reproj =
+            estimate(&parse_query("reproject(g1, \"utm:10N\")").unwrap(), &cat).unwrap();
+        assert!(reproj.work > 10.0 * plain.work);
+    }
+
+    #[test]
+    fn window_scales_aggregate_buffer() {
+        let cat = catalog();
+        let w2 = estimate(&parse_query("agg_time(g1, \"mean\", 2)").unwrap(), &cat).unwrap();
+        let w8 = estimate(&parse_query("agg_time(g1, \"mean\", 8)").unwrap(), &cat).unwrap();
+        assert!(w8.buffer_bytes > 3.0 * w2.buffer_bytes);
+    }
+}

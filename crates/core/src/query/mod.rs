@@ -1,0 +1,14 @@
+//! Query language, optimizer and multi-query index (§3.4 and §4).
+
+pub mod ast;
+pub mod cascade;
+pub mod cost;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::Expr;
+pub use cascade::{CascadeTree, NaiveRegionIndex, RegionIndex};
+pub use optimizer::optimize;
+pub use parser::parse_query;
+pub use plan::{Catalog, Planner};

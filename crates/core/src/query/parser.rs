@@ -1,0 +1,723 @@
+//! Recursive-descent parser for the textual query algebra.
+//!
+//! In the §4 prototype, "user queries … are transmitted to the server,
+//! parsed, and registered". The grammar is a small functional expression
+//! language:
+//!
+//! ```text
+//! expr    := ident | call
+//! call    := name '(' args ')'
+//! args    := (expr | number | string | region | times) (',' …)*
+//! region  := bbox(x1, y1, x2, y2) | polygon(x1, y1, x2, y2, x3, y3, …)
+//! times   := interval(lo|none, hi|none) | instants(t, …) | every(p, o, l)
+//! ```
+//!
+//! See [`parse_query`] for the operator vocabulary.
+
+use super::ast::Expr;
+use crate::error::{CoreError, Result};
+use crate::model::TimeSet;
+use crate::ops::{AggFunc, FocalFunc, GammaOp, Orientation, ShedPolicy, StretchMode, StretchScope, ValueFunc};
+use geostreams_geo::{Coord, Crs, Polygon, Rect, Region};
+use geostreams_raster::resample::Kernel;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> CoreError {
+        CoreError::Parse { message: message.into(), offset: self.pos }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Token, usize)>> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\n' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'(' => {
+                    out.push((Token::LParen, start));
+                    self.pos += 1;
+                }
+                b')' => {
+                    out.push((Token::RParen, start));
+                    self.pos += 1;
+                }
+                b',' => {
+                    out.push((Token::Comma, start));
+                    self.pos += 1;
+                }
+                b'"' | b'\'' => {
+                    let quote = c;
+                    self.pos += 1;
+                    let s0 = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.src.len() {
+                        return Err(self.error("unterminated string"));
+                    }
+                    let text = std::str::from_utf8(&self.src[s0..self.pos])
+                        .map_err(|_| self.error("invalid utf-8 in string"))?
+                        .to_string();
+                    self.pos += 1;
+                    out.push((Token::Str(text), start));
+                }
+                b'-' | b'+' | b'0'..=b'9' | b'.' => {
+                    let s0 = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.src.len()
+                        && matches!(self.src[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+')
+                    {
+                        // Allow exponent signs only right after e/E.
+                        if matches!(self.src[self.pos], b'-' | b'+')
+                            && !matches!(self.src[self.pos - 1], b'e' | b'E')
+                        {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[s0..self.pos]).expect("ascii");
+                    let n: f64 =
+                        text.parse().map_err(|_| self.error(format!("bad number `{text}`")))?;
+                    out.push((Token::Number(n), s0));
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    // Identifiers may contain '-' and '.' after the first
+                    // character (source names like `goes-sim.b1-vis`);
+                    // the grammar has no infix operators so this is
+                    // unambiguous.
+                    let s0 = self.pos;
+                    while self.pos < self.src.len()
+                        && matches!(self.src[self.pos],
+                            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'.' | b'-')
+                    {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[s0..self.pos]).expect("ascii");
+                    out.push((Token::Ident(text.to_string()), s0));
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character `{}`", other as char)))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One parsed argument of a call.
+#[derive(Debug, Clone)]
+enum Arg {
+    Expr(Expr),
+    Number(f64),
+    Str(String),
+    Region(Region),
+    Times(TimeSet),
+}
+
+impl Arg {
+    fn kind(&self) -> &'static str {
+        match self {
+            Arg::Expr(_) => "expression",
+            Arg::Number(_) => "number",
+            Arg::Str(_) => "string",
+            Arg::Region(_) => "region",
+            Arg::Times(_) => "time set",
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(usize::MAX, |(_, o)| *o)
+    }
+
+    fn error(&self, message: impl Into<String>) -> CoreError {
+        CoreError::Parse { message: message.into(), offset: self.offset().min(1 << 20) }
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<()> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => Err(self.error(format!("expected {want:?}, found {t:?}"))),
+            None => Err(self.error(format!("expected {want:?}, found end of input"))),
+        }
+    }
+
+    /// Parses one argument (expression, literal, region, or time set).
+    fn parse_arg(&mut self) -> Result<Arg> {
+        match self.peek() {
+            Some(Token::Number(_)) => {
+                if let Some(Token::Number(n)) = self.next() {
+                    Ok(Arg::Number(n))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Token::Str(_)) => {
+                if let Some(Token::Str(s)) = self.next() {
+                    Ok(Arg::Str(s))
+                } else {
+                    unreachable!()
+                }
+            }
+            Some(Token::Ident(_)) => {
+                let Some(Token::Ident(name)) = self.next() else { unreachable!() };
+                if self.peek() == Some(&Token::LParen) {
+                    self.parse_call(name)
+                } else if name == "none" {
+                    // Bare keyword used by interval().
+                    Ok(Arg::Str("none".into()))
+                } else {
+                    Ok(Arg::Expr(Expr::Source(name)))
+                }
+            }
+            other => Err(self.error(format!("expected argument, found {other:?}"))),
+        }
+    }
+
+    fn parse_args(&mut self) -> Result<Vec<Arg>> {
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() == Some(&Token::RParen) {
+            self.next();
+            return Ok(args);
+        }
+        loop {
+            args.push(self.parse_arg()?);
+            match self.next() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => return Err(self.error(format!("expected `,` or `)`, found {other:?}"))),
+            }
+        }
+        Ok(args)
+    }
+
+    fn numbers(&self, args: &[Arg], what: &str) -> Result<Vec<f64>> {
+        args.iter()
+            .map(|a| match a {
+                Arg::Number(n) => Ok(*n),
+                other => Err(self.error(format!("{what} expects numbers, found {}", other.kind()))),
+            })
+            .collect()
+    }
+
+    fn expr_arg(&self, args: &[Arg], i: usize, ctx: &str) -> Result<Expr> {
+        match args.get(i) {
+            Some(Arg::Expr(e)) => Ok(e.clone()),
+            other => Err(self.error(format!(
+                "{ctx}: argument {} must be an expression, found {}",
+                i + 1,
+                other.map_or("nothing", |a| a.kind())
+            ))),
+        }
+    }
+
+    fn str_arg(&self, args: &[Arg], i: usize, ctx: &str) -> Result<String> {
+        match args.get(i) {
+            Some(Arg::Str(s)) => Ok(s.clone()),
+            other => Err(self.error(format!(
+                "{ctx}: argument {} must be a string, found {}",
+                i + 1,
+                other.map_or("nothing", |a| a.kind())
+            ))),
+        }
+    }
+
+    fn num_arg(&self, args: &[Arg], i: usize, ctx: &str) -> Result<f64> {
+        match args.get(i) {
+            Some(Arg::Number(n)) => Ok(*n),
+            other => Err(self.error(format!(
+                "{ctx}: argument {} must be a number, found {}",
+                i + 1,
+                other.map_or("nothing", |a| a.kind())
+            ))),
+        }
+    }
+
+    fn region_arg(&self, args: &[Arg], i: usize, ctx: &str) -> Result<Region> {
+        match args.get(i) {
+            Some(Arg::Region(r)) => Ok(r.clone()),
+            other => Err(self.error(format!(
+                "{ctx}: argument {} must be a region (bbox/polygon), found {}",
+                i + 1,
+                other.map_or("nothing", |a| a.kind())
+            ))),
+        }
+    }
+
+    fn crs_arg(&self, args: &[Arg], i: usize, default: Crs, ctx: &str) -> Result<Crs> {
+        match args.get(i) {
+            None => Ok(default),
+            Some(Arg::Str(s)) => {
+                s.parse().map_err(|e: String| self.error(format!("{ctx}: {e}")))
+            }
+            Some(other) => {
+                Err(self.error(format!("{ctx}: CRS must be a string, found {}", other.kind())))
+            }
+        }
+    }
+
+    /// Parses a call with a known head name.
+    fn parse_call(&mut self, name: String) -> Result<Arg> {
+        let args = self.parse_args()?;
+        let lname = name.to_ascii_lowercase();
+        match lname.as_str() {
+            // ---- literals ------------------------------------------------
+            "bbox" => {
+                let n = self.numbers(&args, "bbox")?;
+                if n.len() != 4 {
+                    return Err(self.error("bbox expects 4 numbers"));
+                }
+                Ok(Arg::Region(Region::Rect(Rect::new(n[0], n[1], n[2], n[3]))))
+            }
+            "polygon" => {
+                let n = self.numbers(&args, "polygon")?;
+                if n.len() < 6 || n.len() % 2 != 0 {
+                    return Err(self.error("polygon expects at least 3 coordinate pairs"));
+                }
+                let verts: Vec<Coord> =
+                    n.chunks_exact(2).map(|c| Coord::new(c[0], c[1])).collect();
+                let poly = Polygon::new(verts)
+                    .map_err(|e| self.error(format!("bad polygon: {e}")))?;
+                Ok(Arg::Region(Region::Polygon(poly)))
+            }
+            "interval" => {
+                if args.len() != 2 {
+                    return Err(self.error("interval expects 2 arguments (number or none)"));
+                }
+                let bound = |a: &Arg| -> Result<Option<i64>> {
+                    match a {
+                        Arg::Number(n) => Ok(Some(*n as i64)),
+                        Arg::Str(s) if s == "none" => Ok(None),
+                        other => Err(self.error(format!(
+                            "interval bound must be number or none, found {}",
+                            other.kind()
+                        ))),
+                    }
+                };
+                Ok(Arg::Times(TimeSet::Interval { lo: bound(&args[0])?, hi: bound(&args[1])? }))
+            }
+            "instants" => {
+                let n = self.numbers(&args, "instants")?;
+                Ok(Arg::Times(TimeSet::Instants(n.into_iter().map(|v| v as i64).collect())))
+            }
+            "every" => {
+                let n = self.numbers(&args, "every")?;
+                if n.len() != 3 {
+                    return Err(self.error("every expects (period, offset, len)"));
+                }
+                Ok(Arg::Times(TimeSet::Recurring {
+                    period: n[0] as i64,
+                    offset: n[1] as i64,
+                    len: n[2] as i64,
+                }))
+            }
+            // ---- restrictions --------------------------------------------
+            "restrict_space" => {
+                let input = self.expr_arg(&args, 0, "restrict_space")?;
+                let region = self.region_arg(&args, 1, "restrict_space")?;
+                let crs = self.crs_arg(&args, 2, Crs::LatLon, "restrict_space")?;
+                Ok(Arg::Expr(Expr::RestrictSpace { input: Box::new(input), region, crs }))
+            }
+            "restrict_time" => {
+                let input = self.expr_arg(&args, 0, "restrict_time")?;
+                let times = match args.get(1) {
+                    Some(Arg::Times(t)) => t.clone(),
+                    other => {
+                        return Err(self.error(format!(
+                            "restrict_time: argument 2 must be a time set, found {}",
+                            other.map_or("nothing", |a| a.kind())
+                        )))
+                    }
+                };
+                Ok(Arg::Expr(Expr::RestrictTime { input: Box::new(input), times }))
+            }
+            "restrict_value" => {
+                let input = self.expr_arg(&args, 0, "restrict_value")?;
+                let nums = self.numbers(&args[1..], "restrict_value")?;
+                if nums.is_empty() || nums.len() % 2 != 0 {
+                    return Err(self.error("restrict_value expects (expr, lo, hi, [lo, hi]…)"));
+                }
+                let ranges = nums.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+                Ok(Arg::Expr(Expr::RestrictValue { input: Box::new(input), ranges }))
+            }
+            // ---- value transforms ----------------------------------------
+            "scale" => {
+                let input = self.expr_arg(&args, 0, "scale")?;
+                let scale = self.num_arg(&args, 1, "scale")?;
+                let offset = self.num_arg(&args, 2, "scale")?;
+                Ok(Arg::Expr(Expr::MapValue {
+                    input: Box::new(input),
+                    func: ValueFunc::Linear { scale, offset },
+                }))
+            }
+            "normalize" => {
+                let input = self.expr_arg(&args, 0, "normalize")?;
+                let lo = self.num_arg(&args, 1, "normalize")?;
+                let hi = self.num_arg(&args, 2, "normalize")?;
+                Ok(Arg::Expr(Expr::MapValue {
+                    input: Box::new(input),
+                    func: ValueFunc::Normalize { lo, hi },
+                }))
+            }
+            "clamp" => {
+                let input = self.expr_arg(&args, 0, "clamp")?;
+                let lo = self.num_arg(&args, 1, "clamp")?;
+                let hi = self.num_arg(&args, 2, "clamp")?;
+                Ok(Arg::Expr(Expr::MapValue {
+                    input: Box::new(input),
+                    func: ValueFunc::Clamp { lo, hi },
+                }))
+            }
+            "abs" => {
+                let input = self.expr_arg(&args, 0, "abs")?;
+                Ok(Arg::Expr(Expr::MapValue { input: Box::new(input), func: ValueFunc::Abs }))
+            }
+            "gamma" => {
+                let input = self.expr_arg(&args, 0, "gamma")?;
+                let g = self.num_arg(&args, 1, "gamma")?;
+                Ok(Arg::Expr(Expr::MapValue {
+                    input: Box::new(input),
+                    func: ValueFunc::Gamma { g },
+                }))
+            }
+            "threshold" => {
+                let input = self.expr_arg(&args, 0, "threshold")?;
+                let t = self.num_arg(&args, 1, "threshold")?;
+                Ok(Arg::Expr(Expr::MapValue {
+                    input: Box::new(input),
+                    func: ValueFunc::Threshold { t },
+                }))
+            }
+            "stretch" => {
+                let input = self.expr_arg(&args, 0, "stretch")?;
+                let mode_s = self.str_arg(&args, 1, "stretch")?;
+                let mode = match mode_s.as_str() {
+                    "linear" => StretchMode::Linear { out_lo: 0.0, out_hi: 1.0 },
+                    "histeq" => StretchMode::HistEq { bins: 256 },
+                    "gauss" | "gaussian" => StretchMode::Gaussian { n_sigma: 2.0 },
+                    other => return Err(self.error(format!("unknown stretch mode `{other}`"))),
+                };
+                let scope = match args.get(2) {
+                    None => StretchScope::Image,
+                    Some(Arg::Str(s)) if s == "frame" => StretchScope::Frame,
+                    Some(Arg::Str(s)) if s == "image" => StretchScope::Image,
+                    Some(other) => {
+                        return Err(self.error(format!(
+                            "stretch scope must be \"frame\" or \"image\", found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                Ok(Arg::Expr(Expr::Stretch { input: Box::new(input), mode, scope }))
+            }
+            // ---- spatial transforms --------------------------------------
+            "focal" => {
+                let input = self.expr_arg(&args, 0, "focal")?;
+                let func_s = self.str_arg(&args, 1, "focal")?;
+                let func = FocalFunc::from_name(&func_s)
+                    .ok_or_else(|| self.error(format!("unknown focal function `{func_s}`")))?;
+                let k = match args.get(2) {
+                    None => 3,
+                    Some(Arg::Number(n)) => *n as u32,
+                    Some(other) => {
+                        return Err(self.error(format!(
+                            "focal kernel size must be a number, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                Ok(Arg::Expr(Expr::Focal { input: Box::new(input), func, k }))
+            }
+            "orient" | "rotate" | "flip" => {
+                let input = self.expr_arg(&args, 0, &lname)?;
+                let name_s = match args.get(1) {
+                    Some(Arg::Str(s)) => s.clone(),
+                    Some(Arg::Number(n)) => format!("{}", *n as i64),
+                    other => {
+                        return Err(self.error(format!(
+                            "{lname}: orientation must be a string or angle, found {}",
+                            other.map_or("nothing", |a| a.kind())
+                        )))
+                    }
+                };
+                let orientation = Orientation::from_name(&name_s)
+                    .ok_or_else(|| self.error(format!("unknown orientation `{name_s}`")))?;
+                Ok(Arg::Expr(Expr::Orient { input: Box::new(input), orientation }))
+            }
+            "magnify" => {
+                let input = self.expr_arg(&args, 0, "magnify")?;
+                let k = self.num_arg(&args, 1, "magnify")? as u32;
+                Ok(Arg::Expr(Expr::Magnify { input: Box::new(input), k }))
+            }
+            "downsample" => {
+                let input = self.expr_arg(&args, 0, "downsample")?;
+                let k = self.num_arg(&args, 1, "downsample")? as u32;
+                Ok(Arg::Expr(Expr::Downsample { input: Box::new(input), k }))
+            }
+            "reproject" => {
+                let input = self.expr_arg(&args, 0, "reproject")?;
+                let crs: Crs = self
+                    .str_arg(&args, 1, "reproject")?
+                    .parse()
+                    .map_err(|e: String| self.error(format!("reproject: {e}")))?;
+                let kernel = match args.get(2) {
+                    None => Kernel::Bilinear,
+                    Some(Arg::Str(s)) => match s.as_str() {
+                        "nearest" => Kernel::Nearest,
+                        "bilinear" => Kernel::Bilinear,
+                        "bicubic" => Kernel::Bicubic,
+                        other => {
+                            return Err(self.error(format!("unknown kernel `{other}`")))
+                        }
+                    },
+                    Some(other) => {
+                        return Err(self
+                            .error(format!("kernel must be a string, found {}", other.kind())))
+                    }
+                };
+                Ok(Arg::Expr(Expr::Reproject { input: Box::new(input), to: crs, kernel }))
+            }
+            // ---- compositions --------------------------------------------
+            "add" | "sub" | "mul" | "div" | "sup" | "inf" | "normdiff" => {
+                let left = self.expr_arg(&args, 0, &lname)?;
+                let right = self.expr_arg(&args, 1, &lname)?;
+                let op = GammaOp::from_symbol(&lname).expect("vetted symbol");
+                Ok(Arg::Expr(Expr::Compose {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    op,
+                }))
+            }
+            "compose" => {
+                let left = self.expr_arg(&args, 0, "compose")?;
+                let sym = self.str_arg(&args, 1, "compose")?;
+                let right = self.expr_arg(&args, 2, "compose")?;
+                let op = GammaOp::from_symbol(&sym)
+                    .ok_or_else(|| self.error(format!("unknown γ operator `{sym}`")))?;
+                Ok(Arg::Expr(Expr::Compose {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    op,
+                }))
+            }
+            "ndvi" => {
+                let nir = self.expr_arg(&args, 0, "ndvi")?;
+                let vis = self.expr_arg(&args, 1, "ndvi")?;
+                Ok(Arg::Expr(Expr::Ndvi { nir: Box::new(nir), vis: Box::new(vis) }))
+            }
+            // ---- aggregates ----------------------------------------------
+            "shed" => {
+                let input = self.expr_arg(&args, 0, "shed")?;
+                let policy = match self.str_arg(&args, 1, "shed")?.as_str() {
+                    "rows" => ShedPolicy::Rows,
+                    "points" => ShedPolicy::Points,
+                    other => return Err(self.error(format!("unknown shed policy `{other}`"))),
+                };
+                let stride = self.num_arg(&args, 2, "shed")? as u32;
+                Ok(Arg::Expr(Expr::Shed { input: Box::new(input), policy, stride }))
+            }
+            "delay" => {
+                let input = self.expr_arg(&args, 0, "delay")?;
+                let d = self.num_arg(&args, 1, "delay")? as u32;
+                Ok(Arg::Expr(Expr::Delay { input: Box::new(input), d }))
+            }
+            "agg_time" => {
+                let input = self.expr_arg(&args, 0, "agg_time")?;
+                let func_s = self.str_arg(&args, 1, "agg_time")?;
+                let func = AggFunc::from_name(&func_s)
+                    .ok_or_else(|| self.error(format!("unknown aggregate `{func_s}`")))?;
+                let window = self.num_arg(&args, 2, "agg_time")? as u32;
+                Ok(Arg::Expr(Expr::AggTime { input: Box::new(input), func, window }))
+            }
+            "agg_space" => {
+                let input = self.expr_arg(&args, 0, "agg_space")?;
+                let func_s = self.str_arg(&args, 1, "agg_space")?;
+                let func = AggFunc::from_name(&func_s)
+                    .ok_or_else(|| self.error(format!("unknown aggregate `{func_s}`")))?;
+                let region = self.region_arg(&args, 2, "agg_space")?;
+                Ok(Arg::Expr(Expr::AggSpace { input: Box::new(input), func, region }))
+            }
+            other => Err(self.error(format!("unknown operator `{other}`"))),
+        }
+    }
+}
+
+/// Parses a query expression.
+///
+/// Operator vocabulary: `restrict_space`, `restrict_time`,
+/// `restrict_value`, `scale`, `normalize`, `clamp`, `abs`, `gamma`,
+/// `threshold`, `stretch`, `magnify`, `downsample`, `reproject`, `add`,
+/// `sub`, `mul`, `div`, `sup`, `inf`, `normdiff`, `compose`, `ndvi`,
+/// `agg_time`, `agg_space`; literals `bbox`, `polygon`, `interval`,
+/// `instants`, `every`.
+pub fn parse_query(text: &str) -> Result<Expr> {
+    let tokens = Lexer::new(text).tokens()?;
+    if tokens.is_empty() {
+        return Err(CoreError::Parse { message: "empty query".into(), offset: 0 });
+    }
+    let mut p = Parser { tokens, pos: 0 };
+    let arg = p.parse_arg()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error("trailing input after expression"));
+    }
+    match arg {
+        Arg::Expr(e) => Ok(e),
+        other => Err(CoreError::Parse {
+            message: format!("query must be an expression, found {}", other.kind()),
+            offset: 0,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_source() {
+        assert_eq!(parse_query("goes.b1").unwrap(), Expr::source("goes.b1"));
+    }
+
+    #[test]
+    fn parses_the_papers_running_example() {
+        // ((f_val((G1 − G2) ⊘ (G2 + G1))) ∘ f_UTM)|R
+        let q = r#"restrict_space(
+            reproject(
+                normalize(div(sub(g1, g2), add(g2, g1)), -1, 1),
+                "utm:10N", "bilinear"),
+            bbox(400000, 4000000, 600000, 4300000), "utm:10N")"#;
+        let e = parse_query(q).unwrap();
+        match &e {
+            Expr::RestrictSpace { input, crs, .. } => {
+                assert_eq!(*crs, Crs::utm(10, true));
+                assert!(matches!(**input, Expr::Reproject { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(e.source_names(), vec!["g1".to_string(), "g2".to_string()]);
+        assert_eq!(e.operator_count(), 6);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let queries = [
+            "ndvi(goes.b2, goes.b1)",
+            "restrict_space(goes.b1, bbox(-123, 37, -121, 39), \"latlon\")",
+            "restrict_time(goes.b1, interval(10, 20))",
+            "restrict_time(goes.b1, every(24, 6, 3))",
+            "restrict_value(goes.b1, 0.25, 0.75)",
+            "scale(goes.b1, 2, -1)",
+            "stretch(goes.b1, \"histeq\", \"image\")",
+            "focal(goes.b1, \"sobel\", 3)",
+            "orient(goes.b1, \"rot90\")",
+            "orient(goes.b1, \"fliph\")",
+            "delay(goes.b1, 2)",
+            "shed(goes.b1, \"rows\", 4)",
+            "focal(goes.b1, \"median\", 5)",
+            "magnify(goes.b1, 4)",
+            "downsample(goes.b1, 2)",
+            "reproject(goes.b1, \"geos:-75\", \"bicubic\")",
+            "sup(goes.b1, goes.b2)",
+            "agg_time(goes.b4, \"mean\", 8)",
+            "agg_space(goes.b4, \"max\", bbox(0, 0, 1, 1))",
+            "restrict_space(goes.b1, polygon(0, 0, 4, 0, 0, 4), \"latlon\")",
+        ];
+        for q in queries {
+            let e1 = parse_query(q).unwrap_or_else(|err| panic!("{q}: {err}"));
+            let rendered = e1.to_string();
+            let e2 = parse_query(&rendered)
+                .unwrap_or_else(|err| panic!("re-parse of `{rendered}`: {err}"));
+            assert_eq!(e1, e2, "{q} -> {rendered}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for q in [
+            "",
+            "bbox(1,2,3,4)",              // literal, not an expression
+            "restrict_space(g1)",         // missing region
+            "magnify(g1)",                // missing factor
+            "unknownop(g1)",              // unknown operator
+            "add(g1)",                    // arity
+            "restrict_space(g1, bbox(1,2,3), \"latlon\")", // bbox arity
+            "ndvi(g1, g2",                // unbalanced parens
+            "reproject(g1, \"mars:1\")",  // unknown CRS
+            "g1 g2",                      // trailing input
+            "compose(g1, \"%\", g2)",     // unknown gamma
+            "stretch(g1, \"funky\")",     // unknown mode
+        ] {
+            assert!(parse_query(q).is_err(), "should reject `{q}`");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = parse_query("magnify(g1, oops)").unwrap_err();
+        match err {
+            CoreError::Parse { offset, .. } => assert!(offset > 0),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interval_none_bounds() {
+        let e = parse_query("restrict_time(g, interval(none, 100))").unwrap();
+        match e {
+            Expr::RestrictTime { times, .. } => {
+                assert_eq!(times, TimeSet::Interval { lo: None, hi: Some(100) });
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_negatives() {
+        let e = parse_query("scale(g, -2.5e3, 1e-2)").unwrap();
+        match e {
+            Expr::MapValue { func: ValueFunc::Linear { scale, offset }, .. } => {
+                assert_eq!(scale, -2500.0);
+                assert_eq!(offset, 0.01);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

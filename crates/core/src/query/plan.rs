@@ -1,0 +1,407 @@
+//! Catalog and physical planner.
+//!
+//! The planner turns an [`Expr`] into a runnable operator pipeline — the
+//! "Parser → Optimization → Execution" path of Fig. 3. Pipelines are
+//! normalized to `f32` pixels ([`BoxedF32Stream`]); the operator library
+//! itself stays generic for direct users.
+
+use super::ast::Expr;
+use crate::error::{CoreError, Result};
+use crate::model::{BoxedF32Stream, GeoStream, StreamSchema};
+use crate::ops::{
+    Compose, Delay, Downsample, FocalTransform, JoinStrategy, Magnify, MapTransform, Orient,
+    Reproject, ReprojectConfig, Shed, SpatialAggregate, SpatialRestrict, StretchTransform,
+    TemporalAggregate, TemporalRestrict, ValueRestrict,
+};
+use geostreams_geo::{map_region, Crs, Region};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Factory producing a fresh instance of a named source stream.
+pub type SourceFactory = Box<dyn Fn() -> BoxedF32Stream + Send + Sync>;
+
+/// The stream catalog: named sources with schemas (the §4 "stream
+/// generator" registry).
+#[derive(Default)]
+pub struct Catalog {
+    sources: HashMap<String, (StreamSchema, SourceFactory)>,
+}
+
+impl fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Catalog").field("sources", &self.names()).finish()
+    }
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a source; replaces any previous entry of the same name.
+    pub fn register(
+        &mut self,
+        schema: StreamSchema,
+        factory: impl Fn() -> BoxedF32Stream + Send + Sync + 'static,
+    ) {
+        self.sources.insert(schema.name.clone(), (schema, Box::new(factory)));
+    }
+
+    /// Schema of a registered source.
+    pub fn schema(&self, name: &str) -> Option<&StreamSchema> {
+        self.sources.get(name).map(|(s, _)| s)
+    }
+
+    /// Opens a fresh instance of a source stream.
+    pub fn open(&self, name: &str) -> Result<BoxedF32Stream> {
+        self.sources
+            .get(name)
+            .map(|(_, f)| f())
+            .ok_or_else(|| CoreError::UnknownSource(name.to_string()))
+    }
+
+    /// Registered source names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.sources.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The output CRS of an expression over this catalog.
+    pub fn crs_of(&self, expr: &Expr) -> Result<Crs> {
+        match expr {
+            Expr::Source(name) => self
+                .schema(name)
+                .map(|s| s.crs)
+                .ok_or_else(|| CoreError::UnknownSource(name.clone())),
+            Expr::Reproject { to, .. } => Ok(*to),
+            Expr::Compose { left, .. } => self.crs_of(left),
+            Expr::Ndvi { nir, .. } => self.crs_of(nir),
+            Expr::RestrictSpace { input, .. }
+            | Expr::RestrictTime { input, .. }
+            | Expr::RestrictValue { input, .. }
+            | Expr::MapValue { input, .. }
+            | Expr::Stretch { input, .. }
+            | Expr::Focal { input, .. }
+            | Expr::Orient { input, .. }
+            | Expr::Magnify { input, .. }
+            | Expr::Downsample { input, .. }
+            | Expr::Shed { input, .. }
+            | Expr::Delay { input, .. }
+            | Expr::AggTime { input, .. }
+            | Expr::AggSpace { input, .. } => self.crs_of(input),
+        }
+    }
+}
+
+/// Physical planner over a catalog.
+#[derive(Debug)]
+pub struct Planner<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Planner { catalog }
+    }
+
+    /// Builds a runnable pipeline from an expression.
+    pub fn build(&self, expr: &Expr) -> Result<BoxedF32Stream> {
+        Ok(match expr {
+            Expr::Source(name) => self.catalog.open(name)?,
+            Expr::RestrictSpace { input, region, crs } => {
+                let stream = self.build(input)?;
+                let stream_crs = stream.schema().crs;
+                let region = if *crs == stream_crs {
+                    region.clone()
+                } else {
+                    // Map the region into the stream's CRS (conservative
+                    // bbox; §3.4: "R needs to be mapped to the coordinate
+                    // system C").
+                    let rect = map_region(region, crs, &stream_crs, 16)?;
+                    Region::Rect(rect)
+                };
+                Box::new(SpatialRestrict::new(stream, region))
+            }
+            Expr::RestrictTime { input, times } => {
+                Box::new(TemporalRestrict::new(self.build(input)?, times.clone()))
+            }
+            Expr::RestrictValue { input, ranges } => {
+                Box::new(ValueRestrict::ranges(self.build(input)?, ranges.clone()))
+            }
+            Expr::MapValue { input, func } => {
+                Box::new(MapTransform::<_, f32>::new(self.build(input)?, *func))
+            }
+            Expr::Stretch { input, mode, scope } => {
+                Box::new(StretchTransform::new(self.build(input)?, *mode, *scope))
+            }
+            Expr::Focal { input, func, k } => {
+                Box::new(FocalTransform::new(self.build(input)?, *func, *k))
+            }
+            Expr::Orient { input, orientation } => {
+                Box::new(Orient::new(self.build(input)?, *orientation))
+            }
+            Expr::Magnify { input, k } => {
+                if *k == 0 {
+                    return Err(CoreError::InvalidParameter("magnify factor 0".into()));
+                }
+                Box::new(Magnify::new(self.build(input)?, *k))
+            }
+            Expr::Downsample { input, k } => {
+                if *k == 0 {
+                    return Err(CoreError::InvalidParameter("downsample factor 0".into()));
+                }
+                Box::new(Downsample::new(self.build(input)?, *k))
+            }
+            Expr::Reproject { input, to, kernel } => {
+                let cfg = ReprojectConfig::new(*to).kernel(*kernel);
+                Box::new(Reproject::new(self.build(input)?, cfg)?)
+            }
+            Expr::Compose { left, right, op } => Box::new(Compose::new(
+                self.build(left)?,
+                self.build(right)?,
+                *op,
+                JoinStrategy::Hash,
+            )?),
+            Expr::Ndvi { nir, vis } => Box::new(crate::ops::macro_ops::ndvi(
+                self.build(nir)?,
+                self.build(vis)?,
+            )?),
+            Expr::Shed { input, policy, stride } => {
+                if *stride == 0 {
+                    return Err(CoreError::InvalidParameter("shed stride 0".into()));
+                }
+                Box::new(Shed::new(self.build(input)?, *policy, *stride))
+            }
+            Expr::Delay { input, d } => {
+                if *d == 0 {
+                    return Err(CoreError::InvalidParameter("delay of 0 sectors".into()));
+                }
+                Box::new(Delay::new(self.build(input)?, *d))
+            }
+            Expr::AggTime { input, func, window } => {
+                if *window == 0 {
+                    return Err(CoreError::InvalidParameter("aggregate window 0".into()));
+                }
+                Box::new(TemporalAggregate::new(self.build(input)?, *func, *window as usize))
+            }
+            Expr::AggSpace { input, func, region } => {
+                Box::new(SpatialAggregate::new(self.build(input)?, *func, region.clone()))
+            }
+        })
+    }
+
+    /// Renders a human-readable plan tree with per-node cost estimates —
+    /// the "EXPLAIN" of the prototype.
+    pub fn explain(&self, expr: &Expr) -> Result<String> {
+        let mut out = String::new();
+        self.explain_rec(expr, 0, &mut out)?;
+        Ok(out)
+    }
+
+    fn explain_rec(&self, expr: &Expr, depth: usize, out: &mut String) -> Result<()> {
+        use std::fmt::Write as _;
+        let est = super::cost::estimate(expr, self.catalog)?;
+        let indent = "  ".repeat(depth);
+        let label = match expr {
+            Expr::Source(name) => format!("source {name}"),
+            Expr::RestrictSpace { region, crs, .. } => {
+                let b = region.bbox();
+                format!(
+                    "restrict_space [{:.6}, {:.6}] x [{:.6}, {:.6}] @ {crs}",
+                    b.x_min, b.x_max, b.y_min, b.y_max
+                )
+            }
+            Expr::RestrictTime { .. } => "restrict_time".to_string(),
+            Expr::RestrictValue { ranges, .. } => format!("restrict_value {ranges:?}"),
+            Expr::MapValue { func, .. } => format!("map_value {func:?}"),
+            Expr::Stretch { mode, scope, .. } => format!("stretch {mode:?} {scope:?}"),
+            Expr::Focal { func, k, .. } => format!("focal {} {k}x{k}", func.name()),
+            Expr::Orient { orientation, .. } => format!("orient {}", orientation.name()),
+            Expr::Magnify { k, .. } => format!("magnify x{k}"),
+            Expr::Downsample { k, .. } => format!("downsample 1/{k}"),
+            Expr::Reproject { to, kernel, .. } => format!("reproject -> {to} ({kernel:?})"),
+            Expr::Compose { op, .. } => format!("compose {}", op.symbol()),
+            Expr::Ndvi { .. } => "ndvi (fused macro)".to_string(),
+            Expr::Shed { policy, stride, .. } => format!("shed {policy:?} 1/{stride}"),
+            Expr::Delay { d, .. } => format!("delay {d}"),
+            Expr::AggTime { func, window, .. } => format!("agg_time {func:?} w={window}"),
+            Expr::AggSpace { func, .. } => format!("agg_space {func:?}"),
+        };
+        writeln!(
+            out,
+            "{indent}{label}  [out≈{:.0} pts/sector, work≈{:.0}, buf≈{:.0} B]",
+            est.points_out, est.work, est.buffer_bytes
+        )
+        .expect("write to string");
+        match expr {
+            Expr::Source(_) => {}
+            Expr::Compose { left, right, .. } => {
+                self.explain_rec(left, depth + 1, out)?;
+                self.explain_rec(right, depth + 1, out)?;
+            }
+            Expr::Ndvi { nir, vis } => {
+                self.explain_rec(nir, depth + 1, out)?;
+                self.explain_rec(vis, depth + 1, out)?;
+            }
+            Expr::RestrictSpace { input, .. }
+            | Expr::RestrictTime { input, .. }
+            | Expr::RestrictValue { input, .. }
+            | Expr::MapValue { input, .. }
+            | Expr::Stretch { input, .. }
+            | Expr::Focal { input, .. }
+            | Expr::Orient { input, .. }
+            | Expr::Magnify { input, .. }
+            | Expr::Downsample { input, .. }
+            | Expr::Reproject { input, .. }
+            | Expr::Shed { input, .. }
+            | Expr::Delay { input, .. }
+            | Expr::AggTime { input, .. }
+            | Expr::AggSpace { input, .. } => self.explain_rec(input, depth + 1, out)?,
+        }
+        Ok(())
+    }
+
+    /// Parses, optionally optimizes, and builds a query in one step.
+    pub fn plan_text(&self, text: &str, optimize: bool) -> Result<BoxedF32Stream> {
+        let expr = super::parser::parse_query(text)?;
+        let expr =
+            if optimize { super::optimizer::optimize(&expr, self.catalog) } else { expr };
+        self.build(&expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VecStream;
+    use geostreams_geo::{LatticeGeoref, Rect};
+
+    fn catalog() -> Catalog {
+        let lattice =
+            LatticeGeoref::north_up(Crs::LatLon, Rect::new(-124.0, 36.0, -120.0, 40.0), 16, 16);
+        let mut cat = Catalog::new();
+        for (name, bump) in [("g1", 8.0), ("g2", 2.0)] {
+            let mut schema = StreamSchema::new(name, Crs::LatLon);
+            schema.sector_lattice = Some(lattice);
+            schema.value_range = (0.0, 40.0);
+            let name = name.to_string();
+            cat.register(schema, move || {
+                let s: VecStream<f32> =
+                    VecStream::single_sector(&name, lattice, 0, move |c, r| {
+                        f64::from(c + r) + bump
+                    })
+                    .with_value_range(0.0, 40.0);
+                Box::new(s)
+            });
+        }
+        cat
+    }
+
+    #[test]
+    fn catalog_open_and_schema() {
+        let cat = catalog();
+        assert!(cat.schema("g1").is_some());
+        assert!(cat.schema("nope").is_none());
+        assert!(cat.open("g1").is_ok());
+        assert!(matches!(cat.open("nope"), Err(CoreError::UnknownSource(_))));
+        assert_eq!(cat.names(), vec!["g1".to_string(), "g2".to_string()]);
+    }
+
+    #[test]
+    fn crs_of_tracks_reprojection() {
+        let cat = catalog();
+        let e = crate::query::parse_query("reproject(g1, \"utm:10N\")").unwrap();
+        assert_eq!(cat.crs_of(&e).unwrap(), Crs::utm(10, true));
+        let e = crate::query::parse_query("ndvi(g1, g2)").unwrap();
+        assert_eq!(cat.crs_of(&e).unwrap(), Crs::LatLon);
+    }
+
+    #[test]
+    fn plans_and_runs_simple_query() {
+        let cat = catalog();
+        let planner = Planner::new(&cat);
+        let mut pipe = planner
+            .plan_text("restrict_value(scale(g1, 2, 0), 20, 30)", false)
+            .unwrap();
+        let pts = pipe.drain_points();
+        assert!(!pts.is_empty());
+        assert!(pts.iter().all(|p| (20.0..=30.0).contains(&p.value)));
+    }
+
+    #[test]
+    fn plans_and_runs_ndvi_query() {
+        let cat = catalog();
+        let planner = Planner::new(&cat);
+        let mut pipe = planner.plan_text("ndvi(g1, g2)", false).unwrap();
+        let pts = pipe.drain_points();
+        assert_eq!(pts.len(), 256);
+        assert!(pts.iter().all(|p| p.value > 0.0 && p.value < 1.0));
+    }
+
+    #[test]
+    fn cross_crs_region_is_mapped_at_plan_time() {
+        let cat = catalog();
+        let planner = Planner::new(&cat);
+        // Region given in UTM, stream in lat/lon.
+        let utm = Crs::utm(10, true);
+        let sw = utm.forward(geostreams_geo::Coord::new(-123.0, 37.0)).unwrap();
+        let ne = utm.forward(geostreams_geo::Coord::new(-122.0, 38.0)).unwrap();
+        let q = format!(
+            "restrict_space(g1, bbox({}, {}, {}, {}), \"utm:10N\")",
+            sw.x, sw.y, ne.x, ne.y
+        );
+        let mut pipe = planner.plan_text(&q, false).unwrap();
+        let pts = pipe.drain_points();
+        assert!(!pts.is_empty());
+        assert!(pts.len() < 256, "restriction must filter something");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let cat = catalog();
+        let planner = Planner::new(&cat);
+        assert!(planner.plan_text("magnify(g1, 0)", false).is_err());
+        assert!(planner.plan_text("agg_time(g1, \"mean\", 0)", false).is_err());
+        assert!(planner.plan_text("unknown_source", false).is_err());
+    }
+
+    #[test]
+    fn explain_renders_the_plan_tree() {
+        let cat = catalog();
+        let planner = Planner::new(&cat);
+        let e = crate::query::parse_query(
+            "restrict_space(reproject(ndvi(g1, g2), \"utm:10N\"), bbox(0, 0, 1, 1), \"utm:10N\")",
+        )
+        .unwrap();
+        let text = planner.explain(&e).unwrap();
+        assert!(text.contains("restrict_space"));
+        assert!(text.contains("reproject -> utm:10N"));
+        assert!(text.contains("ndvi (fused macro)"));
+        assert!(text.contains("source g1"));
+        // Indentation shows nesting: source is deeper than the root.
+        let root_line = text.lines().next().unwrap();
+        let src_line = text.lines().find(|l| l.contains("source g1")).unwrap();
+        assert!(src_line.len() - src_line.trim_start().len()
+            > root_line.len() - root_line.trim_start().len());
+    }
+
+    #[test]
+    fn the_papers_example_query_plans_end_to_end() {
+        let cat = catalog();
+        let planner = Planner::new(&cat);
+        // ((f_val((G1 − G2) ⊘ (G2 + G1))) ∘ f_UTM)|R  — region in UTM.
+        let q = "restrict_space(
+                   reproject(normalize(div(sub(g1, g2), add(g2, g1)), -1, 1), \"utm:10N\"),
+                   bbox(300000, 4000000, 800000, 4500000), \"utm:10N\")";
+        for optimize in [false, true] {
+            let mut pipe = planner.plan_text(q, optimize).unwrap();
+            let pts = pipe.drain_points();
+            assert!(!pts.is_empty(), "optimize={optimize}");
+            // Values stay in the normalized [0, 1] band.
+            assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.value)));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-operator runtime statistics.
+//!
+//! The paper's evaluation of its operators is a space/time-complexity
+//! analysis: restrictions are "non-blocking and have constant cost per
+//! point" (§3.1), stretch transforms buffer "the largest frame that can
+//! occur in G" (§3.2, the ≈280 MB GOES figure), and a composition "has to
+//! buffer a complete image whereas for a row-by-row organization, it only
+//! has to buffer a single row" (§3.3). [`OpStats`] makes those quantities
+//! observable so the experiment suite can verify each claim.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by every stream operator.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Points consumed from the input stream(s).
+    pub points_in: u64,
+    /// Points emitted downstream.
+    pub points_out: u64,
+    /// Frames consumed.
+    pub frames_in: u64,
+    /// Frames emitted.
+    pub frames_out: u64,
+    /// Current number of buffered points (values held for future output).
+    pub buffered_points: u64,
+    /// High-water mark of [`buffered_points`](Self::buffered_points).
+    pub buffered_points_peak: u64,
+    /// Current buffered bytes (pixel payloads plus bookkeeping).
+    pub buffered_bytes: u64,
+    /// High-water mark of [`buffered_bytes`](Self::buffered_bytes).
+    pub buffered_bytes_peak: u64,
+    /// Number of times the operator consumed an input element without
+    /// being able to emit anything — the "blocking" behavior §3.2 warns
+    /// about for spatial transforms.
+    pub stalls: u64,
+}
+
+impl OpStats {
+    /// Records `n` buffered points occupying `bytes` additional bytes.
+    #[inline]
+    pub fn buffer_grow(&mut self, n: u64, bytes: u64) {
+        self.buffered_points += n;
+        self.buffered_bytes += bytes;
+        if self.buffered_points > self.buffered_points_peak {
+            self.buffered_points_peak = self.buffered_points;
+        }
+        if self.buffered_bytes > self.buffered_bytes_peak {
+            self.buffered_bytes_peak = self.buffered_bytes;
+        }
+    }
+
+    /// Releases `n` buffered points occupying `bytes` bytes.
+    #[inline]
+    pub fn buffer_shrink(&mut self, n: u64, bytes: u64) {
+        self.buffered_points = self.buffered_points.saturating_sub(n);
+        self.buffered_bytes = self.buffered_bytes.saturating_sub(bytes);
+    }
+
+    /// Merges another operator's counters into this one (used when a
+    /// macro operator aggregates its internal pipeline).
+    pub fn merge(&mut self, other: &OpStats) {
+        self.points_in += other.points_in;
+        self.points_out += other.points_out;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.buffered_points_peak = self.buffered_points_peak.max(other.buffered_points_peak);
+        self.buffered_bytes_peak = self.buffered_bytes_peak.max(other.buffered_bytes_peak);
+        self.stalls += other.stalls;
+    }
+
+    /// Selectivity: fraction of input points that survived.
+    pub fn selectivity(&self) -> f64 {
+        if self.points_in == 0 {
+            1.0
+        } else {
+            self.points_out as f64 / self.points_in as f64
+        }
+    }
+}
+
+/// A named snapshot of one operator's stats within a pipeline report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpReport {
+    /// Operator name (e.g. `restrict_space`, `reproject[geos->latlon]`).
+    pub name: String,
+    /// Counter snapshot.
+    pub stats: OpStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_tracking_peaks() {
+        let mut s = OpStats::default();
+        s.buffer_grow(10, 40);
+        s.buffer_grow(5, 20);
+        s.buffer_shrink(12, 48);
+        s.buffer_grow(1, 4);
+        assert_eq!(s.buffered_points, 4);
+        assert_eq!(s.buffered_points_peak, 15);
+        assert_eq!(s.buffered_bytes_peak, 60);
+    }
+
+    #[test]
+    fn shrink_saturates() {
+        let mut s = OpStats::default();
+        s.buffer_grow(2, 8);
+        s.buffer_shrink(100, 800);
+        assert_eq!(s.buffered_points, 0);
+        assert_eq!(s.buffered_bytes, 0);
+    }
+
+    #[test]
+    fn selectivity_defaults_to_one() {
+        let s = OpStats::default();
+        assert_eq!(s.selectivity(), 1.0);
+        let s = OpStats { points_in: 100, points_out: 25, ..Default::default() };
+        assert_eq!(s.selectivity(), 0.25);
+    }
+
+    #[test]
+    fn merge_takes_peak_maxima() {
+        let mut a = OpStats { buffered_points_peak: 5, points_in: 1, ..Default::default() };
+        let b = OpStats { buffered_points_peak: 9, points_in: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.buffered_points_peak, 9);
+        assert_eq!(a.points_in, 3);
+    }
+}

@@ -1,0 +1,224 @@
+//! Continuous shared-ingest execution.
+//!
+//! `Dsms::run_query` lets every query pull its own source instances —
+//! convenient, but a real receiving station decodes the downlink
+//! **once**. This module implements the actual Fig. 3 dataflow: one
+//! ingest thread per referenced spectral band fans the element stream
+//! out to bounded channels (back-pressure included), and each registered
+//! continuous query runs its optimized pipeline on its own thread over
+//! channel-backed sources.
+
+use crate::protocol::{ClientRequest, OutputFormat};
+use crate::server::QueryResult;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use geostreams_core::model::{ChannelLike, Element, GeoStream};
+use geostreams_core::ops::delivery::PngSink;
+use geostreams_core::query::{optimize, parse_query, Catalog, Expr, Planner};
+use geostreams_core::{CoreError, Result};
+use geostreams_raster::png::PngOptions;
+use geostreams_satsim::Scanner;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Channel capacity per subscriber: how many elements a slow query may
+/// lag behind the downlink before back-pressure stalls ingest.
+const CHANNEL_CAP: usize = 8192;
+
+/// Statistics of one continuous run.
+#[derive(Debug, Clone, Default)]
+pub struct IngestStats {
+    /// Elements fanned out per band (band id → elements).
+    pub elements_per_band: Vec<(u16, u64)>,
+}
+
+/// Runs a set of continuous queries over a scanner with shared ingest:
+/// each referenced band is generated once and fanned out.
+///
+/// Returns per-query results in request order, plus ingest statistics.
+pub fn run_continuous(
+    scanner: &Scanner,
+    n_sectors: u64,
+    requests: &[ClientRequest],
+) -> Result<(Vec<Result<QueryResult>>, IngestStats)> {
+    // Schema-only catalog for parsing/optimizing (factories unused here).
+    let mut schema_catalog = Catalog::new();
+    for band_idx in 0..scanner.instrument.bands.len() {
+        let template = scanner.band_stream(band_idx, 1);
+        let schema = template.schema().clone();
+        let scanner2 = scanner.clone();
+        schema_catalog.register(schema, move || Box::new(scanner2.band_stream(band_idx, 1)));
+    }
+
+    // Parse and optimize every request; collect referenced bands.
+    let mut exprs: Vec<(Expr, OutputFormat)> = Vec::new();
+    for req in requests {
+        let expr = parse_query(&req.query)?;
+        for name in expr.source_names() {
+            if schema_catalog.schema(&name).is_none() {
+                return Err(CoreError::UnknownSource(name));
+            }
+        }
+        let expr = optimize(&expr, &schema_catalog);
+        exprs.push((expr, req.format));
+    }
+
+    // Create one channel per (query, referenced source).
+    type Rx = Receiver<Element<f32>>;
+    let mut band_subscribers: HashMap<String, Vec<Sender<Element<f32>>>> = HashMap::new();
+    let mut query_receivers: Vec<HashMap<String, Rx>> = Vec::new();
+    for (expr, _) in &exprs {
+        let mut receivers = HashMap::new();
+        for name in expr.source_names() {
+            let (tx, rx) = bounded(CHANNEL_CAP);
+            band_subscribers.entry(name.clone()).or_default().push(tx);
+            receivers.insert(name, rx);
+        }
+        query_receivers.push(receivers);
+    }
+
+    // Ingest threads: one per referenced band.
+    let mut ingest_handles = Vec::new();
+    for (name, senders) in band_subscribers {
+        let band_idx = scanner
+            .instrument
+            .bands
+            .iter()
+            .position(|b| format!("{}.{}", scanner.instrument.name, b.name) == name)
+            .ok_or_else(|| CoreError::UnknownSource(name.clone()))?;
+        let band_id = scanner.instrument.bands[band_idx].id;
+        let scanner = scanner.clone();
+        ingest_handles.push(std::thread::spawn(move || -> (u16, u64) {
+            let mut stream = scanner.band_stream(band_idx, n_sectors);
+            let mut n = 0u64;
+            while let Some(el) = stream.next_element() {
+                n += 1;
+                for tx in &senders {
+                    // A closed receiver (query finished/failed) is fine.
+                    let _ = tx.send(el.clone());
+                }
+            }
+            (band_id, n)
+        }));
+    }
+
+    // Query threads: pipelines over channel-backed catalogs.
+    let mut query_handles = Vec::new();
+    for ((expr, format), receivers) in exprs.into_iter().zip(query_receivers) {
+        let schemas: HashMap<String, geostreams_core::model::StreamSchema> = receivers
+            .keys()
+            .map(|name| (name.clone(), schema_catalog.schema(name).expect("vetted").clone()))
+            .collect();
+        query_handles.push(std::thread::spawn(move || -> Result<QueryResult> {
+            // A per-query catalog whose factories hand out each channel
+            // receiver exactly once.
+            let mut catalog = Catalog::new();
+            for (name, rx) in receivers {
+                let schema = schemas.get(&name).expect("schema present").clone();
+                let slot = Arc::new(Mutex::new(Some(rx)));
+                catalog.register(schema.clone(), move || {
+                    let rx = slot
+                        .lock()
+                        .take()
+                        .expect("continuous sources are single-consumer");
+                    let mut done = false;
+                    Box::new(ChannelLike::new(schema.clone(), move || {
+                        if done {
+                            return None;
+                        }
+                        match rx.recv() {
+                            Ok(el) => Some(el),
+                            Err(_) => {
+                                done = true;
+                                None
+                            }
+                        }
+                    }))
+                });
+            }
+            let planner = Planner::new(&catalog);
+            let pipeline = planner.build(&expr)?;
+            match format {
+                OutputFormat::Stats | OutputFormat::Json => {
+                    let mut pipeline = pipeline;
+                    let report = geostreams_core::exec::run_to_end(&mut pipeline);
+                    let points = report.points_delivered;
+                    Ok(QueryResult { id: 0, frames: Vec::new(), report: Some(report), points })
+                }
+                _ => {
+                    let mut sink = PngSink::new(pipeline, None, PngOptions::default());
+                    let mut frames = Vec::new();
+                    while let Some(f) = sink.next_frame() {
+                        frames.push(f);
+                    }
+                    let points = frames.len() as u64;
+                    Ok(QueryResult { id: 0, frames, report: None, points })
+                }
+            }
+        }));
+    }
+
+    let results: Vec<Result<QueryResult>> = query_handles
+        .into_iter()
+        .map(|h| {
+            h.join()
+                .unwrap_or_else(|_| Err(CoreError::Unsupported("query thread panicked".into())))
+        })
+        .collect();
+    let mut stats = IngestStats::default();
+    for h in ingest_handles {
+        if let Ok(pair) = h.join() {
+            stats.elements_per_band.push(pair);
+        }
+    }
+    stats.elements_per_band.sort_unstable();
+    Ok((results, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostreams_satsim::goes_like;
+
+    fn req(q: &str, format: OutputFormat) -> ClientRequest {
+        ClientRequest { query: q.to_string(), format, sectors: 0 }
+    }
+
+    #[test]
+    fn shared_ingest_runs_multiple_queries() {
+        let scanner = goes_like(32, 16, 5);
+        let requests = vec![
+            req("restrict_value(goes-sim.b4-ir, 0, 1)", OutputFormat::Stats),
+            req("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats),
+            req("goes-sim.b3-wv", OutputFormat::PngGray),
+        ];
+        let (results, stats) = run_continuous(&scanner, 2, &requests).unwrap();
+        assert_eq!(results.len(), 3);
+        let r0 = results[0].as_ref().unwrap();
+        assert_eq!(r0.report.as_ref().unwrap().points_delivered, 2 * 8 * 4);
+        let r2 = results[2].as_ref().unwrap();
+        assert_eq!(r2.frames.len(), 2);
+        // Band 4 was ingested once despite two subscribers.
+        let b4 = stats.elements_per_band.iter().find(|(id, _)| *id == 4).unwrap();
+        assert!(b4.1 > 0);
+        assert_eq!(stats.elements_per_band.len(), 2, "only referenced bands ingest");
+    }
+
+    #[test]
+    fn cross_band_query_over_shared_ingest() {
+        let scanner = goes_like(32, 16, 5);
+        let requests =
+            vec![req("ndvi(goes-sim.b2-nir, downsample(goes-sim.b1-vis, 4))", OutputFormat::PngNdvi)];
+        let (results, _) = run_continuous(&scanner, 1, &requests).unwrap();
+        let r = results[0].as_ref().unwrap();
+        assert_eq!(r.frames.len(), 1);
+        assert!(geostreams_raster::png::decode(&r.frames[0].png).is_ok());
+    }
+
+    #[test]
+    fn unknown_source_fails_before_spawning() {
+        let scanner = goes_like(8, 4, 1);
+        let err = run_continuous(&scanner, 1, &[req("nosuch.band", OutputFormat::Stats)]);
+        assert!(matches!(err, Err(CoreError::UnknownSource(_))));
+    }
+}

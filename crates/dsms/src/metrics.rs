@@ -1,0 +1,61 @@
+//! Server-wide metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters shared across the server's query threads.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Continuous queries registered since start.
+    pub queries_registered: AtomicU64,
+    /// Queries rejected at parse/plan time.
+    pub queries_rejected: AtomicU64,
+    /// PNG frames delivered to clients.
+    pub frames_delivered: AtomicU64,
+    /// Total PNG bytes delivered.
+    pub bytes_delivered: AtomicU64,
+    /// Points pulled from source streams.
+    pub points_ingested: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience: adds to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Convenience: reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "queries={} rejected={} frames={} bytes={} points_in={}",
+            Self::get(&self.queries_registered),
+            Self::get(&self.queries_rejected),
+            Self::get(&self.frames_delivered),
+            Self::get(&self.bytes_delivered),
+            Self::get(&self.points_ingested),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServerMetrics::new();
+        ServerMetrics::add(&m.frames_delivered, 3);
+        ServerMetrics::add(&m.frames_delivered, 2);
+        assert_eq!(ServerMetrics::get(&m.frames_delivered), 5);
+        assert!(m.summary().contains("frames=5"));
+    }
+}

@@ -1,0 +1,167 @@
+//! TCP front end for the HTTP-style query protocol.
+//!
+//! §4: clients "use a Web-based graphical interface … user queries,
+//! which are converted by the interface to specialized HTTP requests,
+//! are transmitted to the server". This module serves those requests
+//! over real sockets: one thread per connection, request line in,
+//! PNG (or error) response out.
+
+use crate::server::Dsms;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP server.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handled: Arc<AtomicU64>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves
+    /// requests on a background thread until [`HttpServer::stop`].
+    pub fn spawn(server: Arc<Dsms>, addr: &str) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handled = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let handled2 = Arc::clone(&handled);
+        let join = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let server = Arc::clone(&server);
+                        let handled = Arc::clone(&handled2);
+                        std::thread::spawn(move || {
+                            if handle_connection(stream, &server).is_ok() {
+                                handled.fetch_add(1, Ordering::Relaxed);
+                            }
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(HttpServer { addr: local, stop, handled, join: Some(join) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of successfully handled connections so far.
+    pub fn handled(&self) -> u64 {
+        self.handled.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting connections and joins the acceptor thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the acceptor with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Reads the request head (through the blank line) and writes the
+/// response.
+fn handle_connection(stream: TcpStream, server: &Dsms) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        let done = line == "\r\n" || line == "\n";
+        head.push_str(&line);
+        if done {
+            break;
+        }
+        // Guard against unbounded headers.
+        if head.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let response = server.handle_http(&head);
+    let mut stream = stream;
+    stream.write_all(&response)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostreams_satsim::goes_like;
+    use std::io::Read;
+
+    fn request(addr: SocketAddr, target: &str) -> Vec<u8> {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        write!(conn, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+        conn.shutdown(std::net::Shutdown::Write).expect("shutdown write");
+        let mut buf = Vec::new();
+        conn.read_to_end(&mut buf).expect("read");
+        buf
+    }
+
+    #[test]
+    fn serves_png_over_a_real_socket() {
+        let dsms = Arc::new(Dsms::over_scanner(&goes_like(32, 16, 3), 1));
+        let http = HttpServer::spawn(dsms, "127.0.0.1:0").expect("bind");
+        let addr = http.addr();
+
+        let resp = request(addr, "/query?q=goes-sim.b4-ir&format=png&sectors=1");
+        let text = String::from_utf8_lossy(&resp[..32.min(resp.len())]).to_string();
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        let body_start = resp.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        assert!(geostreams_raster::png::decode(&resp[body_start..]).is_ok());
+
+        let bad = request(addr, "/query?q=borked(((");
+        assert!(String::from_utf8_lossy(&bad).starts_with("HTTP/1.1 400"));
+
+        // Concurrent clients.
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            joins.push(std::thread::spawn(move || {
+                request(addr, "/query?q=goes-sim.b5-ir&format=png&sectors=1")
+            }));
+        }
+        for j in joins {
+            let resp = j.join().expect("client thread");
+            assert!(String::from_utf8_lossy(&resp[..16]).starts_with("HTTP/1.1 200"));
+        }
+        // The counter increments after the response is flushed; give the
+        // handler threads a moment to finish bookkeeping.
+        for _ in 0..100 {
+            if http.handled() >= 6 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(http.handled() >= 6, "handled {}", http.handled());
+        http.stop();
+    }
+}

@@ -1,0 +1,362 @@
+//! The DSMS server: query registration and execution.
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{ClientRequest, OutputFormat};
+use geostreams_core::exec::RunReport;
+use geostreams_core::model::GeoStream;
+use geostreams_core::ops::delivery::{DeliveredFrame, PngSink, Rendering};
+use geostreams_core::query::{optimize, parse_query, Catalog, Expr, Planner};
+use geostreams_core::{CoreError, Result};
+use geostreams_raster::colormap::ColorMap;
+use geostreams_raster::png::PngOptions;
+use geostreams_satsim::Scanner;
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A registered continuous query.
+#[derive(Debug, Clone)]
+pub struct QueryHandle {
+    /// Server-assigned query id.
+    pub id: u32,
+    /// Original query text.
+    pub text: String,
+    /// Parsed expression.
+    pub expr: Expr,
+    /// Optimized expression actually executed.
+    pub optimized: Expr,
+    /// Delivery format.
+    pub format: OutputFormat,
+    /// Sectors to run.
+    pub sectors: u64,
+}
+
+/// Result of running one continuous query to completion.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The query that ran.
+    pub id: u32,
+    /// Delivered PNG frames (empty for `Stats` format).
+    pub frames: Vec<DeliveredFrame>,
+    /// Executor report (per-operator stats).
+    pub report: Option<RunReport>,
+    /// Points delivered by the pipeline root.
+    pub points: u64,
+}
+
+/// The prototype DSMS server of §4.
+pub struct Dsms {
+    catalog: Arc<Catalog>,
+    queries: Mutex<Vec<QueryHandle>>,
+    next_id: Mutex<u32>,
+    /// Server metrics (shared with query threads).
+    pub metrics: Arc<ServerMetrics>,
+}
+
+impl Dsms {
+    /// Builds a server over a scanner: every instrument band becomes a
+    /// catalog source named `<instrument>.<band>`, streaming `n_sectors`
+    /// scan sectors per query execution.
+    pub fn over_scanner(scanner: &Scanner, n_sectors: u64) -> Self {
+        let mut catalog = Catalog::new();
+        for band_idx in 0..scanner.instrument.bands.len() {
+            let template = scanner.band_stream(band_idx, n_sectors);
+            let schema = template.schema().clone();
+            let scanner = scanner.clone();
+            catalog.register(schema, move || {
+                Box::new(scanner.band_stream(band_idx, n_sectors))
+            });
+        }
+        Dsms {
+            catalog: Arc::new(catalog),
+            queries: Mutex::new(Vec::new()),
+            next_id: Mutex::new(1),
+            metrics: Arc::new(ServerMetrics::new()),
+        }
+    }
+
+    /// Builds a server over an existing catalog.
+    pub fn over_catalog(catalog: Catalog) -> Self {
+        Dsms {
+            catalog: Arc::new(catalog),
+            queries: Mutex::new(Vec::new()),
+            next_id: Mutex::new(1),
+            metrics: Arc::new(ServerMetrics::new()),
+        }
+    }
+
+    /// The server's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Registers a query from a parsed client request.
+    pub fn register(&self, request: &ClientRequest) -> Result<QueryHandle> {
+        match self.register_inner(request) {
+            Ok(h) => {
+                ServerMetrics::add(&self.metrics.queries_registered, 1);
+                Ok(h)
+            }
+            Err(e) => {
+                ServerMetrics::add(&self.metrics.queries_rejected, 1);
+                Err(e)
+            }
+        }
+    }
+
+    fn register_inner(&self, request: &ClientRequest) -> Result<QueryHandle> {
+        let expr = parse_query(&request.query)?;
+        // Validate sources now so registration fails fast.
+        for name in expr.source_names() {
+            if self.catalog.schema(&name).is_none() {
+                return Err(CoreError::UnknownSource(name));
+            }
+        }
+        // The `sectors=` parameter is realized as a temporal restriction
+        // `[0, sectors)` — the algebra's own mechanism (the optimizer
+        // pushes it to the sources).
+        let expr = if request.sectors > 0 {
+            Expr::RestrictTime {
+                input: Box::new(expr),
+                times: geostreams_core::model::TimeSet::Interval {
+                    lo: None,
+                    hi: Some(request.sectors as i64),
+                },
+            }
+        } else {
+            expr
+        };
+        let optimized = optimize(&expr, &self.catalog);
+        let mut id_guard = self.next_id.lock();
+        let id = *id_guard;
+        *id_guard += 1;
+        drop(id_guard);
+        let handle = QueryHandle {
+            id,
+            text: request.query.clone(),
+            expr,
+            optimized,
+            format: request.format,
+            sectors: request.sectors,
+        };
+        self.queries.lock().push(handle.clone());
+        Ok(handle)
+    }
+
+    /// Registers a query given as raw algebra text.
+    pub fn register_text(&self, query: &str, format: OutputFormat, sectors: u64) -> Result<QueryHandle> {
+        self.register(&ClientRequest { query: query.to_string(), format, sectors })
+    }
+
+    /// Currently registered queries.
+    pub fn registered(&self) -> Vec<QueryHandle> {
+        self.queries.lock().clone()
+    }
+
+    /// Runs one registered query to completion (synchronously).
+    pub fn run_query(&self, handle: &QueryHandle) -> Result<QueryResult> {
+        let planner = Planner::new(&self.catalog);
+        let pipeline = planner.build(&handle.optimized)?;
+        let result = match handle.format {
+            OutputFormat::Stats | OutputFormat::Json => {
+                let mut pipeline = pipeline;
+                let report = geostreams_core::exec::run_to_end(&mut pipeline);
+                let points = report.points_delivered;
+                QueryResult { id: handle.id, frames: Vec::new(), report: Some(report), points }
+            }
+            format => {
+                let rendering = rendering_for(format, pipeline.schema().value_range);
+                let mut sink = PngSink::new(pipeline, Some(rendering), PngOptions::default());
+                let mut frames = Vec::new();
+                while let Some(frame) = sink.next_frame() {
+                    ServerMetrics::add(&self.metrics.frames_delivered, 1);
+                    ServerMetrics::add(&self.metrics.bytes_delivered, frame.png.len() as u64);
+                    frames.push(frame);
+                }
+                let points = frames.len() as u64;
+                QueryResult { id: handle.id, frames, report: None, points }
+            }
+        };
+        Ok(result)
+    }
+
+    /// Runs every registered query, one OS thread per query (the
+    /// multi-user mode of Fig. 3), returning results in registration
+    /// order.
+    pub fn run_all_parallel(self: &Arc<Self>) -> Vec<Result<QueryResult>> {
+        let handles = self.registered();
+        let mut joins = Vec::new();
+        for handle in handles {
+            let server = Arc::clone(self);
+            joins.push(std::thread::spawn(move || server.run_query(&handle)));
+        }
+        joins
+            .into_iter()
+            .map(|j| j.join().unwrap_or_else(|_| Err(CoreError::Unsupported("query thread panicked".into()))))
+            .collect()
+    }
+
+    /// Handles a raw HTTP-style request end-to-end, returning response
+    /// bytes (the first delivered frame, or an error response).
+    pub fn handle_http(&self, raw: &str) -> Vec<u8> {
+        let request = match crate::protocol::parse_request(raw) {
+            Ok(r) => r,
+            Err(e) => return crate::protocol::error_response(400, &e.to_string()),
+        };
+        let handle = match self.register(&request) {
+            Ok(h) => h,
+            Err(e) => return crate::protocol::error_response(400, &e.to_string()),
+        };
+        match self.run_query(&handle) {
+            Ok(result) => {
+                if handle.format == OutputFormat::Json {
+                    let body = result
+                        .report
+                        .as_ref()
+                        .map(|r| serde_json::to_vec(&r.summary()).unwrap_or_default())
+                        .unwrap_or_default();
+                    return crate::protocol::json_response(&body);
+                }
+                match result.frames.first() {
+                    Some(frame) => crate::protocol::png_response(&frame.png),
+                    None => crate::protocol::error_response(204, "no frames produced"),
+                }
+            }
+            Err(e) => crate::protocol::error_response(500, &e.to_string()),
+        }
+    }
+
+    /// Snapshot of the server metrics counters.
+    pub fn frames_delivered(&self) -> u64 {
+        self.metrics.frames_delivered.load(Ordering::Relaxed)
+    }
+}
+
+/// Chooses the PNG rendering for a format.
+fn rendering_for(format: OutputFormat, value_range: (f64, f64)) -> Rendering {
+    let (lo, hi) = value_range;
+    match format {
+        OutputFormat::PngGray | OutputFormat::Stats | OutputFormat::Json => {
+            Rendering::Gray { lo, hi }
+        }
+        OutputFormat::PngNdvi => Rendering::Mapped { lo: -1.0, hi: 1.0, map: ColorMap::ndvi() },
+        OutputFormat::PngThermal => Rendering::Mapped { lo, hi, map: ColorMap::thermal() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostreams_satsim::goes_like;
+
+    fn server() -> Arc<Dsms> {
+        Arc::new(Dsms::over_scanner(&goes_like(32, 16, 11), 2))
+    }
+
+    #[test]
+    fn bands_are_registered_as_sources() {
+        let s = server();
+        let names = s.catalog().names();
+        assert!(names.contains(&"goes-sim.b1-vis".to_string()));
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn register_and_run_gray_query() {
+        let s = server();
+        let h = s
+            .register_text("restrict_value(goes-sim.b1-vis, 0, 1)", OutputFormat::PngGray, 2)
+            .unwrap();
+        let result = s.run_query(&h).unwrap();
+        assert_eq!(result.frames.len(), 2, "one PNG per sector");
+        assert!(s.frames_delivered() >= 2);
+        // Frames decode as PNGs.
+        assert!(geostreams_raster::png::decode(&result.frames[0].png).is_ok());
+    }
+
+    #[test]
+    fn register_rejects_unknown_sources() {
+        let s = server();
+        let err = s.register_text("scale(nosuch.band, 1, 0)", OutputFormat::PngGray, 1);
+        assert!(matches!(err, Err(CoreError::UnknownSource(_))));
+        assert_eq!(ServerMetrics::get(&s.metrics.queries_rejected), 1);
+    }
+
+    #[test]
+    fn ndvi_query_runs_with_colormap() {
+        let s = server();
+        let h = s
+            .register_text(
+                "ndvi(goes-sim.b2-nir, scale(goes-sim.b1-vis, 1, 0))",
+                OutputFormat::PngNdvi,
+                1,
+            )
+            .unwrap();
+        // NDVI needs matching lattices: b2 is 1/4 resolution of b1, so
+        // downsample b1 by 4 first. Re-register a correct query:
+        let h2 = s
+            .register_text(
+                "ndvi(goes-sim.b2-nir, downsample(goes-sim.b1-vis, 4))",
+                OutputFormat::PngNdvi,
+                1,
+            )
+            .unwrap();
+        let _ = h;
+        let result = s.run_query(&h2).unwrap();
+        assert_eq!(result.frames.len(), 1);
+        match geostreams_raster::png::decode(&result.frames[0].png).unwrap() {
+            geostreams_raster::png::Decoded::Rgb(_) => {}
+            other => panic!("expected RGB NDVI frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_execution_runs_all_queries() {
+        let s = server();
+        s.register_text("restrict_value(goes-sim.b4-ir, 0, 1)", OutputFormat::PngGray, 1).unwrap();
+        s.register_text("scale(goes-sim.b3-wv, 1, 0)", OutputFormat::PngGray, 1).unwrap();
+        s.register_text("goes-sim.b5-ir", OutputFormat::Stats, 1).unwrap();
+        let results = s.run_all_parallel();
+        assert_eq!(results.len(), 3);
+        for r in results {
+            let r = r.unwrap();
+            assert!(r.points > 0 || !r.frames.is_empty());
+        }
+    }
+
+    #[test]
+    fn http_round_trip_delivers_png() {
+        let s = server();
+        let response = s.handle_http("GET /query?q=goes-sim.b4-ir&format=png&sectors=1 HTTP/1.1");
+        let text = String::from_utf8_lossy(&response[..64.min(response.len())]).to_string();
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        // Body is a valid PNG.
+        let body_start = response.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        assert!(geostreams_raster::png::decode(&response[body_start..]).is_ok());
+    }
+
+    #[test]
+    fn http_errors_are_4xx() {
+        let s = server();
+        let response = s.handle_http("GET /query?q=magnify(goes-sim.b1-vis) HTTP/1.1");
+        assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn stats_format_returns_report() {
+        let s = server();
+        let h = s
+            .register_text(
+                "restrict_space(goes-sim.b4-ir, bbox(-100, 30, -90, 40), \"latlon\")",
+                OutputFormat::Stats,
+                1,
+            )
+            .unwrap();
+        // The region is in lat/lon but the stream is geostationary: the
+        // planner maps it (§3.4).
+        let result = s.run_query(&h).unwrap();
+        let report = result.report.unwrap();
+        assert!(report.points_delivered > 0);
+        assert!(report.points_delivered < 8 * 4 * 8 * 4);
+    }
+}

@@ -1,0 +1,169 @@
+//! Planar affine transforms.
+//!
+//! §3.2 lists "magnification (zooming), rotation, and general affine
+//! transformations" as spatial transforms. An [`Affine`] represents the
+//! mapping `(x, y) ↦ (a·x + b·y + c, d·x + e·y + f)` and supports exact
+//! composition and inversion, which the optimizer uses when fusing chained
+//! spatial transforms.
+
+use crate::coord::Coord;
+use crate::error::{GeoError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A 2-D affine transform stored row-major as `[a, b, c, d, e, f]` for
+/// `x' = a·x + b·y + c`, `y' = d·x + e·y + f`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Affine {
+    /// Coefficients `[a, b, c, d, e, f]`.
+    pub m: [f64; 6],
+}
+
+impl Affine {
+    /// The identity transform.
+    pub const IDENTITY: Affine = Affine { m: [1.0, 0.0, 0.0, 0.0, 1.0, 0.0] };
+
+    /// Creates a transform from raw coefficients.
+    pub const fn new(a: f64, b: f64, c: f64, d: f64, e: f64, f: f64) -> Self {
+        Affine { m: [a, b, c, d, e, f] }
+    }
+
+    /// Pure translation.
+    pub const fn translation(dx: f64, dy: f64) -> Self {
+        Affine::new(1.0, 0.0, dx, 0.0, 1.0, dy)
+    }
+
+    /// Anisotropic scaling about the origin.
+    pub const fn scaling(sx: f64, sy: f64) -> Self {
+        Affine::new(sx, 0.0, 0.0, 0.0, sy, 0.0)
+    }
+
+    /// Counter-clockwise rotation about the origin, angle in degrees.
+    pub fn rotation(degrees: f64) -> Self {
+        let (s, c) = degrees.to_radians().sin_cos();
+        Affine::new(c, -s, 0.0, s, c, 0.0)
+    }
+
+    /// Rotation about an arbitrary pivot point.
+    pub fn rotation_about(degrees: f64, pivot: Coord) -> Self {
+        Affine::translation(pivot.x, pivot.y)
+            .then(&Affine::rotation(degrees))
+            .then(&Affine::translation(-pivot.x, -pivot.y))
+    }
+
+    /// Applies the transform to a coordinate.
+    #[inline]
+    pub fn apply(&self, p: Coord) -> Coord {
+        let [a, b, c, d, e, f] = self.m;
+        Coord::new(a * p.x + b * p.y + c, d * p.x + e * p.y + f)
+    }
+
+    /// Determinant of the linear part.
+    #[inline]
+    pub fn det(&self) -> f64 {
+        let [a, b, _, d, e, _] = self.m;
+        a * e - b * d
+    }
+
+    /// `self ∘ other`: applies `other` first, then `self`.
+    ///
+    /// Note the argument order: `t1.then(&t2)` is the transform that first
+    /// applies `t2` then `t1` (matrix product `t1 · t2`).
+    pub fn then(&self, inner: &Affine) -> Affine {
+        let [a1, b1, c1, d1, e1, f1] = self.m;
+        let [a2, b2, c2, d2, e2, f2] = inner.m;
+        Affine::new(
+            a1 * a2 + b1 * d2,
+            a1 * b2 + b1 * e2,
+            a1 * c2 + b1 * f2 + c1,
+            d1 * a2 + e1 * d2,
+            d1 * b2 + e1 * e2,
+            d1 * c2 + e1 * f2 + f1,
+        )
+    }
+
+    /// Exact inverse; fails for singular transforms.
+    pub fn inverse(&self) -> Result<Affine> {
+        let det = self.det();
+        if det.abs() < 1e-300 || !det.is_finite() {
+            return Err(GeoError::SingularTransform);
+        }
+        let [a, b, c, d, e, f] = self.m;
+        let inv_det = 1.0 / det;
+        let ia = e * inv_det;
+        let ib = -b * inv_det;
+        let id = -d * inv_det;
+        let ie = a * inv_det;
+        let ic = -(ia * c + ib * f);
+        let if_ = -(id * c + ie * f);
+        Ok(Affine::new(ia, ib, ic, id, ie, if_))
+    }
+}
+
+impl Default for Affine {
+    fn default() -> Self {
+        Affine::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Coord, b: Coord) -> bool {
+        (a.x - b.x).abs() < 1e-9 && (a.y - b.y).abs() < 1e-9
+    }
+
+    #[test]
+    fn identity_fixes_points() {
+        let p = Coord::new(3.5, -2.0);
+        assert!(close(Affine::IDENTITY.apply(p), p));
+    }
+
+    #[test]
+    fn translation_and_scaling() {
+        let t = Affine::translation(10.0, -5.0);
+        assert!(close(t.apply(Coord::new(1.0, 1.0)), Coord::new(11.0, -4.0)));
+        let s = Affine::scaling(2.0, 3.0);
+        assert!(close(s.apply(Coord::new(1.0, 1.0)), Coord::new(2.0, 3.0)));
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let r = Affine::rotation(90.0);
+        assert!(close(r.apply(Coord::new(1.0, 0.0)), Coord::new(0.0, 1.0)));
+    }
+
+    #[test]
+    fn rotation_about_pivot_fixes_pivot() {
+        let pivot = Coord::new(4.0, 7.0);
+        let r = Affine::rotation_about(137.0, pivot);
+        assert!(close(r.apply(pivot), pivot));
+    }
+
+    #[test]
+    fn composition_order() {
+        // Scale then translate ≠ translate then scale.
+        let s = Affine::scaling(2.0, 2.0);
+        let t = Affine::translation(1.0, 0.0);
+        let st = t.then(&s); // scale first, then translate
+        assert!(close(st.apply(Coord::new(1.0, 1.0)), Coord::new(3.0, 2.0)));
+        let ts = s.then(&t); // translate first, then scale
+        assert!(close(ts.apply(Coord::new(1.0, 1.0)), Coord::new(4.0, 2.0)));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let t = Affine::rotation(33.0).then(&Affine::scaling(2.5, 0.5)).then(
+            &Affine::translation(4.0, -9.0),
+        );
+        let inv = t.inverse().unwrap();
+        for p in [Coord::new(0.0, 0.0), Coord::new(10.0, -3.0), Coord::new(-7.5, 2.25)] {
+            assert!(close(inv.apply(t.apply(p)), p));
+        }
+    }
+
+    #[test]
+    fn singular_transform_rejected() {
+        assert!(Affine::scaling(0.0, 1.0).inverse().is_err());
+    }
+}

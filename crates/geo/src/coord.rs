@@ -1,0 +1,235 @@
+//! Planar coordinates and lattice cells.
+//!
+//! The paper's Definition 1 restricts point sets to *regularly-spaced
+//! lattices*, so two coordinate notions coexist:
+//!
+//! * [`Coord`] — a continuous planar coordinate (lon/lat degrees or
+//!   projected meters, depending on the CRS in play), the `s` component of
+//!   a point `x = ⟨s, t⟩`;
+//! * [`Cell`] — a discrete `(col, row)` position within a georeferenced
+//!   lattice (see [`crate::LatticeGeoref`]), which is how stream points are
+//!   transported efficiently.
+
+use serde::{Deserialize, Serialize};
+
+/// A continuous 2-D coordinate. Interpretation depends on the CRS:
+/// for [`crate::Crs::LatLon`] `x` is longitude and `y` latitude, in
+/// degrees; for projected CRSs both are meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Coord {
+    /// Easting / longitude.
+    pub x: f64,
+    /// Northing / latitude.
+    pub y: f64,
+}
+
+impl Coord {
+    /// Creates a coordinate from its two components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Coord { x, y }
+    }
+
+    /// Euclidean distance to another coordinate (meaningful within one CRS).
+    #[inline]
+    pub fn distance(self, other: Coord) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Component-wise addition.
+    #[inline]
+    pub fn offset(self, dx: f64, dy: f64) -> Coord {
+        Coord::new(self.x + dx, self.y + dy)
+    }
+
+    /// Returns true when both components are finite numbers.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Coord {
+    fn from((x, y): (f64, f64)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+impl std::fmt::Display for Coord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+/// A discrete cell of a point lattice: column (x-direction) and row
+/// (y-direction) indices, both zero-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Cell {
+    /// Zero-based column index.
+    pub col: u32,
+    /// Zero-based row index.
+    pub row: u32,
+}
+
+impl Cell {
+    /// Creates a cell from column and row indices.
+    #[inline]
+    pub const fn new(col: u32, row: u32) -> Self {
+        Cell { col, row }
+    }
+
+    /// Chebyshev (L∞) distance between two cells; the natural neighborhood
+    /// metric on a square lattice.
+    #[inline]
+    pub fn chebyshev(self, other: Cell) -> u32 {
+        let dc = self.col.abs_diff(other.col);
+        let dr = self.row.abs_diff(other.row);
+        dc.max(dr)
+    }
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.col, self.row)
+    }
+}
+
+/// An inclusive axis-aligned range of cells, used by spatial restriction to
+/// precompute the lattice footprint of a query region once per frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellBox {
+    /// Smallest included column.
+    pub col_min: u32,
+    /// Smallest included row.
+    pub row_min: u32,
+    /// Largest included column.
+    pub col_max: u32,
+    /// Largest included row.
+    pub row_max: u32,
+}
+
+impl CellBox {
+    /// Creates a cell box; callers must ensure `min <= max` on both axes.
+    pub const fn new(col_min: u32, row_min: u32, col_max: u32, row_max: u32) -> Self {
+        CellBox { col_min, row_min, col_max, row_max }
+    }
+
+    /// A box covering an entire `width × height` lattice.
+    pub const fn full(width: u32, height: u32) -> Self {
+        CellBox {
+            col_min: 0,
+            row_min: 0,
+            col_max: width.saturating_sub(1),
+            row_max: height.saturating_sub(1),
+        }
+    }
+
+    /// Number of columns spanned.
+    #[inline]
+    pub const fn width(&self) -> u32 {
+        self.col_max - self.col_min + 1
+    }
+
+    /// Number of rows spanned.
+    #[inline]
+    pub const fn height(&self) -> u32 {
+        self.row_max - self.row_min + 1
+    }
+
+    /// Number of cells contained.
+    #[inline]
+    pub const fn len(&self) -> u64 {
+        self.width() as u64 * self.height() as u64
+    }
+
+    /// Always false — a `CellBox` contains at least one cell by construction.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// O(1) membership test used per stream point by the spatial
+    /// restriction operator.
+    #[inline]
+    pub fn contains(&self, cell: Cell) -> bool {
+        cell.col >= self.col_min
+            && cell.col <= self.col_max
+            && cell.row >= self.row_min
+            && cell.row <= self.row_max
+    }
+
+    /// Intersection with another box, `None` when disjoint.
+    pub fn intersect(&self, other: &CellBox) -> Option<CellBox> {
+        let col_min = self.col_min.max(other.col_min);
+        let row_min = self.row_min.max(other.row_min);
+        let col_max = self.col_max.min(other.col_max);
+        let row_max = self.row_max.min(other.row_max);
+        if col_min <= col_max && row_min <= row_max {
+            Some(CellBox { col_min, row_min, col_max, row_max })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_distance_is_euclidean() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coord_offset_adds_components() {
+        let c = Coord::new(1.0, 2.0).offset(0.5, -1.0);
+        assert_eq!(c, Coord::new(1.5, 1.0));
+    }
+
+    #[test]
+    fn coord_finiteness() {
+        assert!(Coord::new(1.0, 2.0).is_finite());
+        assert!(!Coord::new(f64::NAN, 2.0).is_finite());
+        assert!(!Coord::new(1.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn cell_chebyshev_distance() {
+        assert_eq!(Cell::new(2, 3).chebyshev(Cell::new(5, 4)), 3);
+        assert_eq!(Cell::new(5, 4).chebyshev(Cell::new(2, 3)), 3);
+        assert_eq!(Cell::new(1, 1).chebyshev(Cell::new(1, 1)), 0);
+    }
+
+    #[test]
+    fn cellbox_contains_and_bounds() {
+        let b = CellBox::new(2, 3, 5, 6);
+        assert!(b.contains(Cell::new(2, 3)));
+        assert!(b.contains(Cell::new(5, 6)));
+        assert!(!b.contains(Cell::new(1, 3)));
+        assert!(!b.contains(Cell::new(2, 7)));
+        assert_eq!(b.width(), 4);
+        assert_eq!(b.height(), 4);
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn cellbox_intersection() {
+        let a = CellBox::new(0, 0, 10, 10);
+        let b = CellBox::new(5, 5, 15, 15);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, CellBox::new(5, 5, 10, 10));
+        let disjoint = CellBox::new(20, 20, 30, 30);
+        assert!(a.intersect(&disjoint).is_none());
+    }
+
+    #[test]
+    fn cellbox_full_covers_lattice() {
+        let b = CellBox::full(4, 2);
+        assert_eq!(b.len(), 8);
+        assert!(b.contains(Cell::new(3, 1)));
+        assert!(!b.contains(Cell::new(4, 0)));
+    }
+}

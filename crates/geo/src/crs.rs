@@ -1,0 +1,310 @@
+//! Coordinate reference systems.
+//!
+//! Definition 5 of the paper makes a stream a *GeoStream* by attaching a
+//! coordinate system to the spatial component of its point lattice. The
+//! query model requires CRS equality checks (compositions demand matching
+//! lattices, §3.3) and CRS conversion (re-projection transforms and the
+//! §3.4 pushdown of a restriction region across a re-projection), so the
+//! CRS is a first-class, comparable, serializable value.
+
+use crate::coord::Coord;
+use crate::error::{GeoError, Result};
+use crate::projection::{
+    Albers, Geostationary, LambertConformal, Mercator, PlateCarree, PolarStereographic,
+    Projection, Sinusoidal, TransverseMercator,
+};
+use serde::{Deserialize, Serialize};
+
+/// A coordinate reference system supported by the GeoStreams engine.
+///
+/// `forward` maps geographic degrees into this CRS's plane; `inverse` maps
+/// back to geographic degrees. Conversion between any two CRSs composes
+/// `inverse` then `forward` through the geographic intermediate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Crs {
+    /// Geographic longitude/latitude in degrees (Plate Carrée plane).
+    LatLon,
+    /// Spherical Mercator about a central meridian (degrees).
+    Mercator {
+        /// Central meridian, degrees.
+        lon0: f64,
+    },
+    /// Universal Transverse Mercator.
+    Utm {
+        /// Zone number, 1..=60.
+        zone: u8,
+        /// Northern hemisphere?
+        north: bool,
+    },
+    /// Lambert conformal conic with two standard parallels.
+    LambertConformal {
+        /// First standard parallel, degrees.
+        lat1: f64,
+        /// Second standard parallel, degrees.
+        lat2: f64,
+        /// Latitude of origin, degrees.
+        lat0: f64,
+        /// Central meridian, degrees.
+        lon0: f64,
+    },
+    /// Sinusoidal equal-area (MODIS-style).
+    Sinusoidal {
+        /// Central meridian, degrees.
+        lon0: f64,
+    },
+    /// Albers equal-area conic with two standard parallels.
+    Albers {
+        /// First standard parallel, degrees.
+        lat1: f64,
+        /// Second standard parallel, degrees.
+        lat2: f64,
+        /// Latitude of origin, degrees.
+        lat0: f64,
+        /// Central meridian, degrees.
+        lon0: f64,
+    },
+    /// Polar stereographic (north or south aspect).
+    PolarStereographic {
+        /// North-pole aspect?
+        north: bool,
+        /// Central meridian, degrees.
+        lon0: f64,
+    },
+    /// Geostationary satellite view (GOES Variable Format analogue).
+    Geostationary {
+        /// Sub-satellite longitude, degrees.
+        lon0: f64,
+    },
+}
+
+impl Crs {
+    /// Convenience constructor for a UTM CRS.
+    pub fn utm(zone: u8, north: bool) -> Crs {
+        Crs::Utm { zone, north }
+    }
+
+    /// Convenience constructor for the geostationary view.
+    pub fn geostationary(lon0: f64) -> Crs {
+        Crs::Geostationary { lon0 }
+    }
+
+    /// Instantiates the projection behind this CRS.
+    pub fn projection(&self) -> Result<Box<dyn Projection>> {
+        Ok(match *self {
+            Crs::LatLon => Box::new(PlateCarree),
+            Crs::Mercator { lon0 } => Box::new(Mercator::new(lon0)),
+            Crs::Utm { zone, north } => Box::new(TransverseMercator::utm(zone, north)?),
+            Crs::LambertConformal { lat1, lat2, lat0, lon0 } => {
+                Box::new(LambertConformal::new(lat1, lat2, lat0, lon0))
+            }
+            Crs::Sinusoidal { lon0 } => Box::new(Sinusoidal::new(lon0)),
+            Crs::Albers { lat1, lat2, lat0, lon0 } => {
+                Box::new(Albers::new(lat1, lat2, lat0, lon0))
+            }
+            Crs::PolarStereographic { north, lon0 } => {
+                Box::new(PolarStereographic::new(north, lon0))
+            }
+            Crs::Geostationary { lon0 } => Box::new(Geostationary::new(lon0)),
+        })
+    }
+
+    /// Projects geographic degrees into this CRS's plane.
+    pub fn forward(&self, lonlat: Coord) -> Result<Coord> {
+        self.projection()?.forward(lonlat)
+    }
+
+    /// Recovers geographic degrees from this CRS's plane.
+    pub fn inverse(&self, xy: Coord) -> Result<Coord> {
+        self.projection()?.inverse(xy)
+    }
+
+    /// Converts a coordinate from this CRS into another, going through
+    /// geographic coordinates. Identity CRSs short-circuit.
+    pub fn convert_to(&self, target: &Crs, xy: Coord) -> Result<Coord> {
+        if self == target {
+            return Ok(xy);
+        }
+        target.forward(self.inverse(xy)?)
+    }
+
+    /// Returns an error when `self != other`; used by binary operators that
+    /// require matching lattices (§3.3).
+    pub fn require_same(&self, other: &Crs) -> Result<()> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(GeoError::CrsMismatch { expected: self.to_string(), found: other.to_string() })
+        }
+    }
+
+    /// Rough nominal meters-per-unit of the planar space (1 for metric
+    /// CRSs; ~111 km per degree for lat/lon). Used only for heuristics
+    /// such as choosing densification steps.
+    pub fn meters_per_unit(&self) -> f64 {
+        match self {
+            Crs::LatLon => 111_320.0,
+            _ => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Crs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Crs::LatLon => write!(f, "latlon"),
+            Crs::Mercator { lon0 } => write!(f, "mercator:{lon0}"),
+            Crs::Utm { zone, north } => {
+                write!(f, "utm:{zone}{}", if *north { "N" } else { "S" })
+            }
+            Crs::LambertConformal { lat1, lat2, lat0, lon0 } => {
+                write!(f, "lcc:{lat1},{lat2},{lat0},{lon0}")
+            }
+            Crs::Sinusoidal { lon0 } => write!(f, "sinusoidal:{lon0}"),
+            Crs::Albers { lat1, lat2, lat0, lon0 } => {
+                write!(f, "albers:{lat1},{lat2},{lat0},{lon0}")
+            }
+            Crs::PolarStereographic { north, lon0 } => {
+                write!(f, "stere:{}{lon0}", if *north { "N:" } else { "S:" })
+            }
+            Crs::Geostationary { lon0 } => write!(f, "geos:{lon0}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Crs {
+    type Err = String;
+
+    /// Parses the compact textual CRS notation used by the query language:
+    /// `latlon`, `utm:10N`, `mercator:-120`, `geos:-75`, `sinusoidal:0`,
+    /// `lcc:33,45,39,-96`.
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("latlon") || s.eq_ignore_ascii_case("lonlat") {
+            return Ok(Crs::LatLon);
+        }
+        let (head, tail) = s.split_once(':').ok_or_else(|| format!("unknown CRS `{s}`"))?;
+        match head.to_ascii_lowercase().as_str() {
+            "utm" => {
+                let tail = tail.trim();
+                let (digits, hemi) = tail.split_at(tail.len().saturating_sub(1));
+                let (zone_str, north) = match hemi {
+                    "N" | "n" => (digits, true),
+                    "S" | "s" => (digits, false),
+                    _ => (tail, true),
+                };
+                let zone: u8 =
+                    zone_str.parse().map_err(|_| format!("bad UTM zone in `{s}`"))?;
+                if zone == 0 || zone > 60 {
+                    return Err(format!("UTM zone {zone} out of range 1..=60"));
+                }
+                Ok(Crs::Utm { zone, north })
+            }
+            "mercator" => {
+                Ok(Crs::Mercator { lon0: tail.parse().map_err(|_| format!("bad lon0 in `{s}`"))? })
+            }
+            "sinusoidal" => Ok(Crs::Sinusoidal {
+                lon0: tail.parse().map_err(|_| format!("bad lon0 in `{s}`"))?,
+            }),
+            "geos" => Ok(Crs::Geostationary {
+                lon0: tail.parse().map_err(|_| format!("bad lon0 in `{s}`"))?,
+            }),
+            "albers" => {
+                let parts: Vec<f64> = tail
+                    .split(',')
+                    .map(|p| p.trim().parse().map_err(|_| format!("bad albers params in `{s}`")))
+                    .collect::<std::result::Result<_, _>>()?;
+                if parts.len() != 4 {
+                    return Err(format!("albers needs 4 params, got {}", parts.len()));
+                }
+                Ok(Crs::Albers { lat1: parts[0], lat2: parts[1], lat0: parts[2], lon0: parts[3] })
+            }
+            "stere" => {
+                let (hemi, lon_s) =
+                    tail.split_once(':').ok_or_else(|| format!("stere needs N:|S: in `{s}`"))?;
+                let north = match hemi {
+                    "N" | "n" => true,
+                    "S" | "s" => false,
+                    other => return Err(format!("bad hemisphere `{other}` in `{s}`")),
+                };
+                Ok(Crs::PolarStereographic {
+                    north,
+                    lon0: lon_s.parse().map_err(|_| format!("bad lon0 in `{s}`"))?,
+                })
+            }
+            "lcc" => {
+                let parts: Vec<f64> = tail
+                    .split(',')
+                    .map(|p| p.trim().parse().map_err(|_| format!("bad lcc params in `{s}`")))
+                    .collect::<std::result::Result<_, _>>()?;
+                if parts.len() != 4 {
+                    return Err(format!("lcc needs 4 params, got {}", parts.len()));
+                }
+                Ok(Crs::LambertConformal {
+                    lat1: parts[0],
+                    lat2: parts[1],
+                    lat0: parts[2],
+                    lon0: parts[3],
+                })
+            }
+            _ => Err(format!("unknown CRS `{s}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let crss = [
+            Crs::LatLon,
+            Crs::Mercator { lon0: -120.0 },
+            Crs::Utm { zone: 10, north: true },
+            Crs::Utm { zone: 56, north: false },
+            Crs::Sinusoidal { lon0: 0.0 },
+            Crs::Geostationary { lon0: -75.0 },
+            Crs::LambertConformal { lat1: 33.0, lat2: 45.0, lat0: 39.0, lon0: -96.0 },
+            Crs::Albers { lat1: 29.5, lat2: 45.5, lat0: 23.0, lon0: -96.0 },
+            Crs::PolarStereographic { north: true, lon0: -45.0 },
+            Crs::PolarStereographic { north: false, lon0: 0.0 },
+        ];
+        for crs in crss {
+            let rendered = crs.to_string();
+            let parsed: Crs = rendered.parse().unwrap_or_else(|e| panic!("{rendered}: {e}"));
+            assert_eq!(parsed, crs, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("foo".parse::<Crs>().is_err());
+        assert!("utm:0N".parse::<Crs>().is_err());
+        assert!("utm:61N".parse::<Crs>().is_err());
+        assert!("lcc:1,2,3".parse::<Crs>().is_err());
+    }
+
+    #[test]
+    fn convert_between_crs_round_trips() {
+        let geos = Crs::geostationary(-75.0);
+        let utm = Crs::utm(10, true);
+        let sf_geo = geos.forward(Coord::new(-122.42, 37.77)).unwrap();
+        let sf_utm = geos.convert_to(&utm, sf_geo).unwrap();
+        let back = utm.convert_to(&geos, sf_utm).unwrap();
+        assert!((back.x - sf_geo.x).abs() < 1.0);
+        assert!((back.y - sf_geo.y).abs() < 1.0);
+    }
+
+    #[test]
+    fn require_same_detects_mismatch() {
+        assert!(Crs::LatLon.require_same(&Crs::LatLon).is_ok());
+        assert!(Crs::LatLon.require_same(&Crs::utm(10, true)).is_err());
+    }
+
+    #[test]
+    fn identity_conversion_is_exact() {
+        let utm = Crs::utm(10, true);
+        let p = Coord::new(550_000.0, 4_200_000.0);
+        assert_eq!(utm.convert_to(&utm, p).unwrap(), p);
+    }
+}

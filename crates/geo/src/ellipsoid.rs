@@ -1,0 +1,127 @@
+//! Reference ellipsoids and derived constants.
+//!
+//! The Transverse Mercator / UTM implementation uses the full ellipsoidal
+//! (Krüger series) formulation; the remaining projections use the
+//! authalic/spherical model, which is accurate enough for the streaming
+//! experiments (the paper's operators are agnostic to datum precision).
+
+use serde::{Deserialize, Serialize};
+
+/// An oblate reference ellipsoid described by its semi-major axis and
+/// inverse flattening.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ellipsoid {
+    /// Semi-major axis `a` in meters.
+    pub a: f64,
+    /// Inverse flattening `1/f` (infinite for a sphere is not supported;
+    /// use [`Ellipsoid::SPHERE`] which has a tiny but nonzero flattening
+    /// of exactly 0 via `f = 0`).
+    pub inv_f: f64,
+}
+
+impl Ellipsoid {
+    /// WGS-84, the datum used by GPS and modern remote-sensing products.
+    pub const WGS84: Ellipsoid = Ellipsoid { a: 6_378_137.0, inv_f: 298.257_223_563 };
+
+    /// GRS-80 (used by NAD83); nearly identical to WGS-84.
+    pub const GRS80: Ellipsoid = Ellipsoid { a: 6_378_137.0, inv_f: 298.257_222_101 };
+
+    /// Clarke 1866 (NAD27); the ellipsoid of the worked UTM examples in
+    /// Snyder's *Map Projections — A Working Manual*.
+    pub const CLARKE1866: Ellipsoid = Ellipsoid { a: 6_378_206.4, inv_f: 294.978_698_213_9 };
+
+    /// Sphere with the WGS-84 mean radius; `inv_f = f64::INFINITY` encodes
+    /// zero flattening.
+    pub const SPHERE: Ellipsoid = Ellipsoid { a: 6_371_008.8, inv_f: f64::INFINITY };
+
+    /// Flattening `f`.
+    #[inline]
+    pub fn f(&self) -> f64 {
+        if self.inv_f.is_infinite() {
+            0.0
+        } else {
+            1.0 / self.inv_f
+        }
+    }
+
+    /// Semi-minor axis `b = a (1 - f)`.
+    #[inline]
+    pub fn b(&self) -> f64 {
+        self.a * (1.0 - self.f())
+    }
+
+    /// First eccentricity squared `e² = f (2 - f)`.
+    #[inline]
+    pub fn e2(&self) -> f64 {
+        let f = self.f();
+        f * (2.0 - f)
+    }
+
+    /// First eccentricity `e`.
+    #[inline]
+    pub fn e(&self) -> f64 {
+        self.e2().sqrt()
+    }
+
+    /// Second eccentricity squared `e'² = e² / (1 - e²)`.
+    #[inline]
+    pub fn ep2(&self) -> f64 {
+        let e2 = self.e2();
+        e2 / (1.0 - e2)
+    }
+
+    /// Third flattening `n = f / (2 - f)`, the expansion parameter of the
+    /// Krüger series.
+    #[inline]
+    pub fn n(&self) -> f64 {
+        let f = self.f();
+        f / (2.0 - f)
+    }
+
+    /// Radius of the rectifying circle `A = a/(1+n) (1 + n²/4 + n⁴/64 + …)`.
+    #[inline]
+    pub fn rectifying_radius(&self) -> f64 {
+        let n = self.n();
+        let n2 = n * n;
+        self.a / (1.0 + n) * (1.0 + n2 / 4.0 + n2 * n2 / 64.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wgs84_constants() {
+        let e = Ellipsoid::WGS84;
+        assert!((e.b() - 6_356_752.314_245).abs() < 1e-3);
+        assert!((e.e2() - 0.006_694_379_990_14).abs() < 1e-12);
+        assert!((e.e() - 0.081_819_190_842_6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sphere_has_zero_flattening() {
+        let s = Ellipsoid::SPHERE;
+        assert_eq!(s.f(), 0.0);
+        assert_eq!(s.e2(), 0.0);
+        assert_eq!(s.b(), s.a);
+        assert_eq!(s.n(), 0.0);
+        assert!((s.rectifying_radius() - s.a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rectifying_radius_within_axis_bounds() {
+        let e = Ellipsoid::WGS84;
+        let aa = e.rectifying_radius();
+        assert!(aa < e.a && aa > e.b());
+        // Known value for WGS-84: A ≈ 6 367 449.1458 m.
+        assert!((aa - 6_367_449.145_8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn third_flattening_matches_definition() {
+        let e = Ellipsoid::WGS84;
+        let f = e.f();
+        assert!((e.n() - f / (2.0 - f)).abs() < 1e-18);
+    }
+}

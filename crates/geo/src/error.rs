@@ -1,0 +1,70 @@
+//! Error type shared by the geospatial substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GeoError>;
+
+/// Errors produced by projections, region mapping, and lattice math.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A coordinate lies outside the domain of a projection, e.g. a point
+    /// on the far side of the Earth for the geostationary view.
+    OutOfDomain {
+        /// Projection that rejected the coordinate.
+        projection: &'static str,
+        /// The offending coordinate (in the projection's input space).
+        coord: (f64, f64),
+    },
+    /// A numeric routine failed to converge (iterative inverses).
+    NoConvergence {
+        /// Projection whose inverse did not converge.
+        projection: &'static str,
+    },
+    /// Latitude/longitude input outside valid bounds.
+    InvalidLatLon {
+        /// Offending longitude in degrees.
+        lon: f64,
+        /// Offending latitude in degrees.
+        lat: f64,
+    },
+    /// A UTM zone outside 1..=60 was requested.
+    InvalidUtmZone(u8),
+    /// An affine transform is singular and cannot be inverted.
+    SingularTransform,
+    /// A region was empty after mapping/clipping.
+    EmptyRegion,
+    /// Two coordinate systems were expected to match but do not.
+    CrsMismatch {
+        /// Textual rendering of the expected CRS.
+        expected: String,
+        /// Textual rendering of the CRS that was found.
+        found: String,
+    },
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::OutOfDomain { projection, coord } => write!(
+                f,
+                "coordinate ({}, {}) outside the domain of projection {projection}",
+                coord.0, coord.1
+            ),
+            GeoError::NoConvergence { projection } => {
+                write!(f, "inverse of projection {projection} did not converge")
+            }
+            GeoError::InvalidLatLon { lon, lat } => {
+                write!(f, "invalid lon/lat ({lon}, {lat})")
+            }
+            GeoError::InvalidUtmZone(z) => write!(f, "invalid UTM zone {z} (expected 1..=60)"),
+            GeoError::SingularTransform => write!(f, "affine transform is singular"),
+            GeoError::EmptyRegion => write!(f, "region is empty"),
+            GeoError::CrsMismatch { expected, found } => {
+                write!(f, "coordinate system mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}

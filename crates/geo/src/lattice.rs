@@ -1,0 +1,304 @@
+//! Georeferencing of regularly-spaced point lattices.
+//!
+//! Definition 1 of the paper restricts point sets to "a regularly-spaced
+//! lattice in Rⁿ, thus providing a spatial resolution pertinent to X".
+//! A [`LatticeGeoref`] is that lattice: a CRS, the world coordinate of the
+//! center of cell `(0,0)`, signed cell steps, and the lattice dimensions.
+//! Streams transport points as lattice [`Cell`]s; operators use the
+//! georeference to translate query regions into cell footprints **once per
+//! frame**, keeping the per-point work of a spatial restriction O(1).
+
+use crate::coord::{Cell, CellBox, Coord};
+use crate::crs::Crs;
+use crate::region::{Rect, Region};
+use serde::{Deserialize, Serialize};
+
+/// Georeference of a `width × height` regularly-spaced lattice.
+///
+/// `step_y` is typically negative for "north-up" imagery (row index grows
+/// southward); `step_x` is positive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatticeGeoref {
+    /// Coordinate system of the world coordinates.
+    pub crs: Crs,
+    /// World coordinate of the **center** of cell `(0, 0)`.
+    pub origin: Coord,
+    /// World step per column increment (usually > 0).
+    pub step_x: f64,
+    /// World step per row increment (usually < 0 for north-up grids).
+    pub step_y: f64,
+    /// Number of columns.
+    pub width: u32,
+    /// Number of rows.
+    pub height: u32,
+}
+
+impl LatticeGeoref {
+    /// Creates a georeference; steps must be nonzero.
+    pub fn new(crs: Crs, origin: Coord, step_x: f64, step_y: f64, width: u32, height: u32) -> Self {
+        debug_assert!(step_x != 0.0 && step_y != 0.0, "lattice steps must be nonzero");
+        LatticeGeoref { crs, origin, step_x, step_y, width, height }
+    }
+
+    /// A north-up georeference covering `bounds` with the given dimensions.
+    pub fn north_up(crs: Crs, bounds: Rect, width: u32, height: u32) -> Self {
+        let step_x = bounds.width() / f64::from(width.max(1));
+        let step_y = -(bounds.height() / f64::from(height.max(1)));
+        let origin = Coord::new(bounds.x_min + step_x / 2.0, bounds.y_max + step_y / 2.0);
+        LatticeGeoref { crs, origin, step_x, step_y, width, height }
+    }
+
+    /// Number of cells in the lattice.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// True when the lattice has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.width == 0 || self.height == 0
+    }
+
+    /// World coordinate of a cell center.
+    #[inline]
+    pub fn cell_to_world(&self, cell: Cell) -> Coord {
+        Coord::new(
+            self.origin.x + f64::from(cell.col) * self.step_x,
+            self.origin.y + f64::from(cell.row) * self.step_y,
+        )
+    }
+
+    /// Nearest cell for a world coordinate, or `None` when it falls
+    /// outside the lattice.
+    pub fn world_to_cell(&self, w: Coord) -> Option<Cell> {
+        let fc = (w.x - self.origin.x) / self.step_x;
+        let fr = (w.y - self.origin.y) / self.step_y;
+        let col = fc.round();
+        let row = fr.round();
+        if col < 0.0 || row < 0.0 || col >= f64::from(self.width) || row >= f64::from(self.height) {
+            return None;
+        }
+        Some(Cell::new(col as u32, row as u32))
+    }
+
+    /// Fractional cell coordinates (for interpolation); unclamped.
+    #[inline]
+    pub fn world_to_fractional(&self, w: Coord) -> (f64, f64) {
+        (
+            (w.x - self.origin.x) / self.step_x,
+            (w.y - self.origin.y) / self.step_y,
+        )
+    }
+
+    /// World-space bounding box of the full lattice (cell centers
+    /// expanded by half a step so the box covers cell footprints).
+    pub fn world_bbox(&self) -> Rect {
+        if self.is_empty() {
+            return Rect::empty();
+        }
+        let last = self.cell_to_world(Cell::new(self.width - 1, self.height - 1));
+        let core = Rect::new(self.origin.x, self.origin.y, last.x, last.y);
+        // Expand per-axis by half a step so the box covers cell footprints.
+        let (hx, hy) = (self.step_x.abs() / 2.0, self.step_y.abs() / 2.0);
+        Rect {
+            x_min: core.x_min - hx,
+            y_min: core.y_min - hy,
+            x_max: core.x_max + hx,
+            y_max: core.y_max + hy,
+        }
+    }
+
+    /// Lattice footprint of a world rectangle: the inclusive cell ranges
+    /// whose centers fall inside `rect`, or `None` when no cell does.
+    ///
+    /// This is the once-per-frame computation that lets the spatial
+    /// restriction test each point with two integer comparisons.
+    pub fn footprint(&self, rect: &Rect) -> Option<CellBox> {
+        if self.is_empty() || rect.is_empty() {
+            return None;
+        }
+        // Convert both x bounds to fractional columns, order them.
+        let fc1 = (rect.x_min - self.origin.x) / self.step_x;
+        let fc2 = (rect.x_max - self.origin.x) / self.step_x;
+        let fr1 = (rect.y_min - self.origin.y) / self.step_y;
+        let fr2 = (rect.y_max - self.origin.y) / self.step_y;
+        let (c_lo, c_hi) = (fc1.min(fc2), fc1.max(fc2));
+        let (r_lo, r_hi) = (fr1.min(fr2), fr1.max(fr2));
+        // Inclusive integer ranges of cells whose centers lie within.
+        let col_min = c_lo.ceil().max(0.0);
+        let col_max = c_hi.floor().min(f64::from(self.width - 1));
+        let row_min = r_lo.ceil().max(0.0);
+        let row_max = r_hi.floor().min(f64::from(self.height - 1));
+        if col_min > col_max || row_min > row_max {
+            return None;
+        }
+        Some(CellBox::new(col_min as u32, row_min as u32, col_max as u32, row_max as u32))
+    }
+
+    /// Footprint of an arbitrary region via its bounding box (conservative
+    /// for non-rectangular regions; the restriction operator then applies
+    /// the exact `Region::contains` per point when needed).
+    pub fn footprint_of_region(&self, region: &Region) -> Option<CellBox> {
+        self.footprint(&region.bbox_clamped(self.world_bbox()))
+    }
+
+    /// The georeference of this lattice magnified by an integer factor
+    /// (each cell becomes `k × k` cells; §3.2's "operator that increases
+    /// the spatial resolution").
+    pub fn magnified(&self, k: u32) -> LatticeGeoref {
+        debug_assert!(k >= 1);
+        let k_f = f64::from(k);
+        LatticeGeoref {
+            crs: self.crs,
+            // New cell (0,0) center sits at the corner quarter of the old.
+            origin: Coord::new(
+                self.origin.x - self.step_x / 2.0 + self.step_x / (2.0 * k_f),
+                self.origin.y - self.step_y / 2.0 + self.step_y / (2.0 * k_f),
+            ),
+            step_x: self.step_x / k_f,
+            step_y: self.step_y / k_f,
+            width: self.width * k,
+            height: self.height * k,
+        }
+    }
+
+    /// The georeference of this lattice reduced by an integer factor
+    /// (`k × k` cells collapse into one; §3.2's "decrease the resolution").
+    /// Trailing cells that do not fill a block are dropped.
+    pub fn reduced(&self, k: u32) -> LatticeGeoref {
+        debug_assert!(k >= 1);
+        let k_f = f64::from(k);
+        LatticeGeoref {
+            crs: self.crs,
+            origin: Coord::new(
+                self.origin.x + self.step_x * (k_f - 1.0) / 2.0,
+                self.origin.y + self.step_y * (k_f - 1.0) / 2.0,
+            ),
+            step_x: self.step_x * k_f,
+            step_y: self.step_y * k_f,
+            width: self.width / k,
+            height: self.height / k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> LatticeGeoref {
+        // 100x50 cells over lon [-125,-115], lat [30,40]; north-up.
+        LatticeGeoref::north_up(Crs::LatLon, Rect::new(-125.0, 30.0, -115.0, 40.0), 100, 50)
+    }
+
+    #[test]
+    fn north_up_orientation() {
+        let g = grid();
+        assert!(g.step_x > 0.0 && g.step_y < 0.0);
+        // First row is the northernmost.
+        let top = g.cell_to_world(Cell::new(0, 0));
+        let bottom = g.cell_to_world(Cell::new(0, 49));
+        assert!(top.y > bottom.y);
+    }
+
+    #[test]
+    fn cell_world_round_trip() {
+        let g = grid();
+        for cell in [Cell::new(0, 0), Cell::new(99, 49), Cell::new(37, 21)] {
+            let w = g.cell_to_world(cell);
+            assert_eq!(g.world_to_cell(w), Some(cell));
+        }
+    }
+
+    #[test]
+    fn world_to_cell_rejects_outside() {
+        let g = grid();
+        assert_eq!(g.world_to_cell(Coord::new(-130.0, 35.0)), None);
+        assert_eq!(g.world_to_cell(Coord::new(-120.0, 45.0)), None);
+    }
+
+    #[test]
+    fn world_bbox_covers_all_cells() {
+        let g = grid();
+        let b = g.world_bbox();
+        for cell in [Cell::new(0, 0), Cell::new(99, 49)] {
+            assert!(b.contains(g.cell_to_world(cell)));
+        }
+        // The bbox approximates the original bounds.
+        assert!((b.x_min + 125.0).abs() < g.step_x);
+        assert!((b.y_max - 40.0).abs() < g.step_y.abs());
+    }
+
+    #[test]
+    fn footprint_of_interior_rect() {
+        let g = grid();
+        let fp = g.footprint(&Rect::new(-121.0, 33.0, -119.0, 35.0)).unwrap();
+        // Every cell center in the footprint is inside the rect.
+        for col in fp.col_min..=fp.col_max {
+            for row in fp.row_min..=fp.row_max {
+                let w = g.cell_to_world(Cell::new(col, row));
+                assert!(
+                    w.x >= -121.0 - 1e-9 && w.x <= -119.0 + 1e-9,
+                    "col {col} center {w}"
+                );
+                assert!(w.y >= 33.0 - 1e-9 && w.y <= 35.0 + 1e-9, "row {row} center {w}");
+            }
+        }
+        // And the neighbors just outside are not.
+        assert!(fp.col_min > 0 && fp.col_max < 99);
+        let left = g.cell_to_world(Cell::new(fp.col_min - 1, fp.row_min));
+        assert!(left.x < -121.0);
+    }
+
+    #[test]
+    fn footprint_disjoint_rect_is_none() {
+        let g = grid();
+        assert!(g.footprint(&Rect::new(0.0, 0.0, 10.0, 10.0)).is_none());
+    }
+
+    #[test]
+    fn footprint_clamps_to_lattice() {
+        let g = grid();
+        let fp = g.footprint(&Rect::new(-200.0, -80.0, 200.0, 80.0)).unwrap();
+        assert_eq!(fp, CellBox::full(100, 50));
+    }
+
+    #[test]
+    fn magnified_preserves_world_extent() {
+        let g = grid();
+        let m = g.magnified(3);
+        assert_eq!(m.width, 300);
+        assert_eq!(m.height, 150);
+        let gb = g.world_bbox();
+        let mb = m.world_bbox();
+        assert!((gb.x_min - mb.x_min).abs() < 1e-9);
+        assert!((gb.y_max - mb.y_max).abs() < 1e-9);
+        assert!((gb.x_max - mb.x_max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduced_block_centers() {
+        let g = grid();
+        let r = g.reduced(2);
+        assert_eq!(r.width, 50);
+        // The center of reduced cell (0,0) is the mean of the 2x2 block.
+        let expect = Coord::new(
+            (g.cell_to_world(Cell::new(0, 0)).x + g.cell_to_world(Cell::new(1, 0)).x) / 2.0,
+            (g.cell_to_world(Cell::new(0, 0)).y + g.cell_to_world(Cell::new(0, 1)).y) / 2.0,
+        );
+        let got = r.cell_to_world(Cell::new(0, 0));
+        assert!((got.x - expect.x).abs() < 1e-9 && (got.y - expect.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnify_then_reduce_is_identity_on_georef() {
+        let g = grid();
+        let round = g.magnified(4).reduced(4);
+        assert_eq!(round.width, g.width);
+        assert_eq!(round.height, g.height);
+        assert!((round.origin.x - g.origin.x).abs() < 1e-9);
+        assert!((round.origin.y - g.origin.y).abs() < 1e-9);
+        assert!((round.step_x - g.step_x).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! Geospatial substrate for the GeoStreams system.
+//!
+//! This crate provides everything the streaming image algebra needs to be
+//! *geo-referenced* (Definition 5 of the paper): coordinate reference
+//! systems with forward/inverse map projections, planar regions used by
+//! spatial restrictions, affine transforms, and the georeferencing of
+//! regularly-spaced point lattices (Definition 1's "point lattice").
+//!
+//! Everything is implemented from scratch (no PROJ/GDAL bindings); the
+//! projection formulas follow Snyder, *Map Projections — A Working Manual*
+//! (USGS PP 1395) and the CGMS LRIT/HRIT specification for the
+//! geostationary view used by GOES-style imagers.
+//!
+//! # Example
+//!
+//! ```
+//! use geostreams_geo::{Crs, Coord, Region, Rect};
+//!
+//! // Project San Francisco into UTM zone 10 north.
+//! let utm = Crs::utm(10, true);
+//! let sf = Coord::new(-122.42, 37.77);
+//! let xy = utm.forward(sf).unwrap();
+//! assert!((xy.x - 551_000.0).abs() < 5_000.0);
+//!
+//! // Map a lat/lon query region into the UTM plane.
+//! let region = Region::Rect(Rect::new(-123.0, 37.0, -122.0, 38.0));
+//! let mapped = geostreams_geo::map_region(&region, &Crs::LatLon, &utm, 16).unwrap();
+//! assert!(mapped.contains(xy));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod coord;
+pub mod crs;
+pub mod ellipsoid;
+pub mod error;
+pub mod lattice;
+pub mod projection;
+pub mod region;
+
+pub use affine::Affine;
+pub use coord::{Cell, CellBox, Coord};
+pub use crs::Crs;
+pub use ellipsoid::Ellipsoid;
+pub use error::{GeoError, Result};
+pub use lattice::LatticeGeoref;
+pub use projection::Projection;
+pub use region::{map_region, HalfPlane, Polygon, Rect, Region};

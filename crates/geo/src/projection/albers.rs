@@ -1,0 +1,137 @@
+//! Albers equal-area conic, spherical form with two standard parallels
+//! (Snyder PP 1395, eq. 14-1..14-11) — the standard projection for
+//! area-preserving products (land-cover statistics, the USGS CONUS
+//! grids).
+
+use super::{checked_lonlat_rad, deg, norm_lon_deg, Projection};
+use crate::coord::Coord;
+use crate::ellipsoid::Ellipsoid;
+use crate::error::{GeoError, Result};
+
+/// Spherical Albers equal-area conic projection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Albers {
+    /// First standard parallel, degrees.
+    pub lat1_deg: f64,
+    /// Second standard parallel, degrees.
+    pub lat2_deg: f64,
+    /// Latitude of origin, degrees.
+    pub lat0_deg: f64,
+    /// Central meridian, degrees.
+    pub lon0_deg: f64,
+    /// Sphere radius, meters.
+    pub radius: f64,
+    n: f64,
+    c: f64,
+    rho0: f64,
+}
+
+impl Albers {
+    /// Builds the projection; standard parallels must not be symmetric
+    /// about the equator.
+    pub fn new(lat1_deg: f64, lat2_deg: f64, lat0_deg: f64, lon0_deg: f64) -> Self {
+        let radius = Ellipsoid::SPHERE.a;
+        let p1 = lat1_deg.to_radians();
+        let p2 = lat2_deg.to_radians();
+        let p0 = lat0_deg.to_radians();
+        let n = (p1.sin() + p2.sin()) / 2.0;
+        let c = p1.cos().powi(2) + 2.0 * n * p1.sin();
+        let rho0 = radius * (c - 2.0 * n * p0.sin()).sqrt() / n;
+        Albers { lat1_deg, lat2_deg, lat0_deg, lon0_deg, radius, n, c, rho0 }
+    }
+
+    /// The USGS CONUS instance (29.5 / 45.5 / 23 / -96).
+    pub fn conus() -> Self {
+        Albers::new(29.5, 45.5, 23.0, -96.0)
+    }
+}
+
+impl Projection for Albers {
+    fn forward(&self, lonlat: Coord) -> Result<Coord> {
+        let (lon, lat) = checked_lonlat_rad(lonlat)?;
+        let under_root = self.c - 2.0 * self.n * lat.sin();
+        if under_root < 0.0 {
+            return Err(GeoError::OutOfDomain {
+                projection: self.name(),
+                coord: (lonlat.x, lonlat.y),
+            });
+        }
+        let rho = self.radius * under_root.sqrt() / self.n;
+        let theta = self.n * norm_lon_deg(deg(lon) - self.lon0_deg).to_radians();
+        Ok(Coord::new(rho * theta.sin(), self.rho0 - rho * theta.cos()))
+    }
+
+    fn inverse(&self, xy: Coord) -> Result<Coord> {
+        if !xy.is_finite() {
+            return Err(GeoError::OutOfDomain { projection: self.name(), coord: (xy.x, xy.y) });
+        }
+        let dy = self.rho0 - xy.y;
+        let rho = xy.x.hypot(dy) * self.n.signum();
+        let theta = (self.n.signum() * xy.x).atan2(self.n.signum() * dy);
+        let sin_lat = (self.c - (rho * self.n / self.radius).powi(2)) / (2.0 * self.n);
+        if !(-1.0..=1.0).contains(&sin_lat) {
+            return Err(GeoError::OutOfDomain { projection: self.name(), coord: (xy.x, xy.y) });
+        }
+        let lat = sin_lat.asin();
+        let lon = norm_lon_deg(self.lon0_deg + deg(theta / self.n));
+        Ok(Coord::new(lon, deg(lat)))
+    }
+
+    fn name(&self) -> &'static str {
+        "albers"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_maps_to_zero() {
+        let a = Albers::conus();
+        let xy = a.forward(Coord::new(-96.0, 23.0)).unwrap();
+        assert!(xy.x.abs() < 1e-6 && xy.y.abs() < 1e-6);
+    }
+
+    #[test]
+    fn round_trip_conus() {
+        let a = Albers::conus();
+        for &(lon, lat) in
+            &[(-122.4, 37.8), (-96.0, 39.0), (-70.0, 45.0), (-110.0, 30.0), (-85.0, 25.0)]
+        {
+            let xy = a.forward(Coord::new(lon, lat)).unwrap();
+            let ll = a.inverse(xy).unwrap();
+            assert!((ll.x - lon).abs() < 1e-8, "lon {lon} -> {}", ll.x);
+            assert!((ll.y - lat).abs() < 1e-8, "lat {lat} -> {}", ll.y);
+        }
+    }
+
+    #[test]
+    fn preserves_area_ratios() {
+        // Two 1°x1° cells at different latitudes have area ratio
+        // cos(lat_hi)/cos(lat_lo) on the sphere; the projected
+        // quadrilaterals must match that ratio (equal-area property).
+        let a = Albers::conus();
+        let cell_area = |lon: f64, lat: f64| {
+            let p = |dx: f64, dy: f64| a.forward(Coord::new(lon + dx, lat + dy)).unwrap();
+            let (p00, p10, p11, p01) = (p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0));
+            // Shoelace formula.
+            0.5 * ((p00.x * p10.y - p10.x * p00.y)
+                + (p10.x * p11.y - p11.x * p10.y)
+                + (p11.x * p01.y - p01.x * p11.y)
+                + (p01.x * p00.y - p00.x * p01.y))
+                .abs()
+        };
+        let low = cell_area(-96.0, 25.0);
+        let high = cell_area(-96.0, 45.0);
+        let expect = (45.5f64.to_radians().cos() / 25.5f64.to_radians().cos()).abs();
+        let got = high / low;
+        assert!((got - expect).abs() / expect < 0.01, "ratio {got} vs {expect}");
+    }
+
+    #[test]
+    fn rejects_out_of_domain_inverse() {
+        let a = Albers::conus();
+        assert!(a.inverse(Coord::new(1e9, 1e9)).is_err());
+    }
+}

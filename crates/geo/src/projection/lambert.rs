@@ -1,0 +1,142 @@
+//! Lambert conformal conic, spherical form with two standard parallels
+//! (Snyder PP 1395, eq. 15-1..15-5). The classic projection for
+//! mid-latitude weather products derived from GOES imagery.
+
+use super::{checked_lonlat_rad, deg, norm_lon_deg, Projection};
+use crate::coord::Coord;
+use crate::ellipsoid::Ellipsoid;
+use crate::error::{GeoError, Result};
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+/// Lambert conformal conic projection (spherical, two standard parallels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LambertConformal {
+    /// Latitude of the first standard parallel, degrees.
+    pub lat1_deg: f64,
+    /// Latitude of the second standard parallel, degrees.
+    pub lat2_deg: f64,
+    /// Latitude of origin, degrees.
+    pub lat0_deg: f64,
+    /// Central meridian, degrees.
+    pub lon0_deg: f64,
+    /// Sphere radius, meters.
+    pub radius: f64,
+    // Precomputed cone constants.
+    n: f64,
+    f: f64,
+    rho0: f64,
+}
+
+impl LambertConformal {
+    /// Builds the projection; the standard parallels must not be symmetric
+    /// about the equator (the cone degenerates to a cylinder).
+    pub fn new(lat1_deg: f64, lat2_deg: f64, lat0_deg: f64, lon0_deg: f64) -> Self {
+        let radius = Ellipsoid::SPHERE.a;
+        let p1 = lat1_deg.to_radians();
+        let p2 = lat2_deg.to_radians();
+        let p0 = lat0_deg.to_radians();
+        let n = if (lat1_deg - lat2_deg).abs() < 1e-9 {
+            p1.sin()
+        } else {
+            (p1.cos() / p2.cos()).ln()
+                / ((FRAC_PI_4 + p2 / 2.0).tan() / (FRAC_PI_4 + p1 / 2.0).tan()).ln()
+        };
+        let f = p1.cos() * (FRAC_PI_4 + p1 / 2.0).tan().powf(n) / n;
+        let rho0 = radius * f / (FRAC_PI_4 + p0 / 2.0).tan().powf(n);
+        LambertConformal { lat1_deg, lat2_deg, lat0_deg, lon0_deg, radius, n, f, rho0 }
+    }
+
+    /// The CONUS-style instance used in examples and benches (matches the
+    /// familiar NCEP Lambert grid parameters).
+    pub fn conus() -> Self {
+        LambertConformal::new(33.0, 45.0, 39.0, -96.0)
+    }
+}
+
+impl Projection for LambertConformal {
+    fn forward(&self, lonlat: Coord) -> Result<Coord> {
+        let (lon, lat) = checked_lonlat_rad(lonlat)?;
+        // The opposite pole is a singularity.
+        let pole_lat = if self.n > 0.0 { -FRAC_PI_2 } else { FRAC_PI_2 };
+        if (lat - pole_lat).abs() < 1e-9 {
+            return Err(GeoError::OutOfDomain {
+                projection: self.name(),
+                coord: (lonlat.x, lonlat.y),
+            });
+        }
+        let rho = self.radius * self.f / (FRAC_PI_4 + lat / 2.0).tan().powf(self.n);
+        let theta = self.n * norm_lon_deg(deg(lon) - self.lon0_deg).to_radians();
+        Ok(Coord::new(rho * theta.sin(), self.rho0 - rho * theta.cos()))
+    }
+
+    fn inverse(&self, xy: Coord) -> Result<Coord> {
+        if !xy.is_finite() {
+            return Err(GeoError::OutOfDomain { projection: self.name(), coord: (xy.x, xy.y) });
+        }
+        let dy = self.rho0 - xy.y;
+        let rho = self.n.signum() * xy.x.hypot(dy);
+        if rho.abs() < 1e-12 {
+            // Apex of the cone: the pole on the cone's side.
+            let pole = if self.n > 0.0 { 90.0 } else { -90.0 };
+            return Ok(Coord::new(self.lon0_deg, pole));
+        }
+        let theta = (self.n.signum() * xy.x).atan2(self.n.signum() * dy);
+        let lat = 2.0 * (self.radius * self.f / rho).powf(1.0 / self.n).atan() - FRAC_PI_2;
+        let lon = norm_lon_deg(self.lon0_deg + deg(theta / self.n));
+        Ok(Coord::new(lon, deg(lat)))
+    }
+
+    fn name(&self) -> &'static str {
+        "lambert_conformal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_maps_to_zero() {
+        let lcc = LambertConformal::conus();
+        let xy = lcc.forward(Coord::new(-96.0, 39.0)).unwrap();
+        assert!(xy.x.abs() < 1e-6, "x={}", xy.x);
+        assert!(xy.y.abs() < 1e-6, "y={}", xy.y);
+    }
+
+    #[test]
+    fn standard_parallels_preserve_scale_ordering() {
+        // A point east of the central meridian has positive x.
+        let lcc = LambertConformal::conus();
+        let east = lcc.forward(Coord::new(-80.0, 39.0)).unwrap();
+        let west = lcc.forward(Coord::new(-110.0, 39.0)).unwrap();
+        assert!(east.x > 0.0 && west.x < 0.0);
+    }
+
+    #[test]
+    fn round_trip_conus() {
+        let lcc = LambertConformal::conus();
+        for &(lon, lat) in
+            &[(-122.4, 37.8), (-96.0, 25.0), (-70.0, 45.0), (-105.0, 60.0), (-96.0, 39.0)]
+        {
+            let xy = lcc.forward(Coord::new(lon, lat)).unwrap();
+            let ll = lcc.inverse(xy).unwrap();
+            assert!((ll.x - lon).abs() < 1e-8, "lon {lon} -> {}", ll.x);
+            assert!((ll.y - lat).abs() < 1e-8, "lat {lat} -> {}", ll.y);
+        }
+    }
+
+    #[test]
+    fn single_parallel_variant() {
+        let lcc = LambertConformal::new(45.0, 45.0, 45.0, 0.0);
+        let xy = lcc.forward(Coord::new(5.0, 50.0)).unwrap();
+        let ll = lcc.inverse(xy).unwrap();
+        assert!((ll.x - 5.0).abs() < 1e-8);
+        assert!((ll.y - 50.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn opposite_pole_rejected() {
+        let lcc = LambertConformal::conus();
+        assert!(lcc.forward(Coord::new(0.0, -90.0)).is_err());
+    }
+}

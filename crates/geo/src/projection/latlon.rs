@@ -1,0 +1,54 @@
+//! Plate Carrée / equirectangular "projection": the identity on degrees.
+//!
+//! This is the coordinate system the prototype DSMS of §4 serves to its
+//! web clients ("the coordinate system used in this interface is
+//! latitude/longitude").
+
+use super::{norm_lon_deg, Projection};
+use crate::coord::Coord;
+use crate::error::{GeoError, Result};
+
+/// The identity projection: planar coordinates are `(lon, lat)` degrees.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlateCarree;
+
+impl Projection for PlateCarree {
+    fn forward(&self, lonlat: Coord) -> Result<Coord> {
+        if !lonlat.is_finite() || lonlat.y.abs() > 90.0 + 1e-9 {
+            return Err(GeoError::InvalidLatLon { lon: lonlat.x, lat: lonlat.y });
+        }
+        Ok(Coord::new(norm_lon_deg(lonlat.x), lonlat.y))
+    }
+
+    fn inverse(&self, xy: Coord) -> Result<Coord> {
+        self.forward(xy)
+    }
+
+    fn name(&self) -> &'static str {
+        "latlon"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let p = PlateCarree;
+        let c = Coord::new(-122.5, 38.25);
+        assert_eq!(p.forward(c).unwrap(), c);
+        assert_eq!(p.inverse(c).unwrap(), c);
+    }
+
+    #[test]
+    fn normalizes_longitude() {
+        let p = PlateCarree;
+        assert_eq!(p.forward(Coord::new(200.0, 0.0)).unwrap().x, -160.0);
+    }
+
+    #[test]
+    fn rejects_bad_latitude() {
+        assert!(PlateCarree.forward(Coord::new(0.0, 95.0)).is_err());
+    }
+}

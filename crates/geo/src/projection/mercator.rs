@@ -1,0 +1,92 @@
+//! Spherical Mercator (Snyder PP 1395, eq. 7-1/7-4).
+
+use super::{checked_lonlat_rad, deg, norm_lon_deg, Projection};
+use crate::coord::Coord;
+use crate::ellipsoid::Ellipsoid;
+use crate::error::{GeoError, Result};
+use std::f64::consts::FRAC_PI_4;
+
+/// Maximum latitude the (web-style) Mercator accepts, in degrees.
+pub const MERCATOR_MAX_LAT: f64 = 85.051_128_779_806_6;
+
+/// Spherical Mercator centered on a configurable central meridian.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mercator {
+    /// Central meridian in degrees.
+    pub lon0_deg: f64,
+    /// Sphere radius in meters.
+    pub radius: f64,
+}
+
+impl Default for Mercator {
+    fn default() -> Self {
+        Mercator { lon0_deg: 0.0, radius: Ellipsoid::SPHERE.a }
+    }
+}
+
+impl Mercator {
+    /// Creates a Mercator projection about the given central meridian.
+    pub fn new(lon0_deg: f64) -> Self {
+        Mercator { lon0_deg, ..Default::default() }
+    }
+}
+
+impl Projection for Mercator {
+    fn forward(&self, lonlat: Coord) -> Result<Coord> {
+        let (lon, lat) = checked_lonlat_rad(lonlat)?;
+        if lonlat.y.abs() > MERCATOR_MAX_LAT {
+            return Err(GeoError::OutOfDomain {
+                projection: self.name(),
+                coord: (lonlat.x, lonlat.y),
+            });
+        }
+        let dlon = norm_lon_deg(deg(lon) - self.lon0_deg).to_radians();
+        let x = self.radius * dlon;
+        let y = self.radius * (FRAC_PI_4 + lat / 2.0).tan().ln();
+        Ok(Coord::new(x, y))
+    }
+
+    fn inverse(&self, xy: Coord) -> Result<Coord> {
+        if !xy.is_finite() {
+            return Err(GeoError::OutOfDomain { projection: self.name(), coord: (xy.x, xy.y) });
+        }
+        let lon = norm_lon_deg(deg(xy.x / self.radius) + self.lon0_deg);
+        let lat = deg(2.0 * (xy.y / self.radius).exp().atan() - std::f64::consts::FRAC_PI_2);
+        Ok(Coord::new(lon, lat))
+    }
+
+    fn name(&self) -> &'static str {
+        "mercator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equator_scales_linearly() {
+        let m = Mercator::default();
+        let p = m.forward(Coord::new(90.0, 0.0)).unwrap();
+        assert!((p.x - m.radius * std::f64::consts::FRAC_PI_2).abs() < 1e-6);
+        assert!(p.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_mid_latitudes() {
+        let m = Mercator::new(-75.0);
+        for &(lon, lat) in &[(-122.4, 37.8), (10.0, -45.0), (-75.0, 60.0), (179.0, 80.0)] {
+            let xy = m.forward(Coord::new(lon, lat)).unwrap();
+            let ll = m.inverse(xy).unwrap();
+            assert!((ll.x - lon).abs() < 1e-9, "lon {lon} -> {}", ll.x);
+            assert!((ll.y - lat).abs() < 1e-9, "lat {lat} -> {}", ll.y);
+        }
+    }
+
+    #[test]
+    fn rejects_poles() {
+        let m = Mercator::default();
+        assert!(m.forward(Coord::new(0.0, 89.9)).is_err());
+        assert!(m.forward(Coord::new(0.0, -90.0)).is_err());
+    }
+}

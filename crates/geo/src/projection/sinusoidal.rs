@@ -1,0 +1,96 @@
+//! Sinusoidal (Sanson–Flamsteed) equal-area projection (Snyder eq. 30-1),
+//! the native grid of the MODIS land products mentioned in the paper's
+//! introduction (Aqua/Terra).
+
+use super::{checked_lonlat_rad, deg, norm_lon_deg, Projection};
+use crate::coord::Coord;
+use crate::ellipsoid::Ellipsoid;
+use crate::error::{GeoError, Result};
+
+/// Spherical sinusoidal projection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sinusoidal {
+    /// Central meridian, degrees.
+    pub lon0_deg: f64,
+    /// Sphere radius, meters.
+    pub radius: f64,
+}
+
+impl Sinusoidal {
+    /// Creates the projection about a central meridian.
+    pub fn new(lon0_deg: f64) -> Self {
+        Sinusoidal { lon0_deg, radius: Ellipsoid::SPHERE.a }
+    }
+}
+
+impl Default for Sinusoidal {
+    fn default() -> Self {
+        Sinusoidal::new(0.0)
+    }
+}
+
+impl Projection for Sinusoidal {
+    fn forward(&self, lonlat: Coord) -> Result<Coord> {
+        let (lon, lat) = checked_lonlat_rad(lonlat)?;
+        let dlon = norm_lon_deg(deg(lon) - self.lon0_deg).to_radians();
+        Ok(Coord::new(self.radius * dlon * lat.cos(), self.radius * lat))
+    }
+
+    fn inverse(&self, xy: Coord) -> Result<Coord> {
+        if !xy.is_finite() {
+            return Err(GeoError::OutOfDomain { projection: self.name(), coord: (xy.x, xy.y) });
+        }
+        let lat = xy.y / self.radius;
+        if lat.abs() > std::f64::consts::FRAC_PI_2 + 1e-12 {
+            return Err(GeoError::OutOfDomain { projection: self.name(), coord: (xy.x, xy.y) });
+        }
+        let cos_lat = lat.cos();
+        let dlon = if cos_lat.abs() < 1e-12 { 0.0 } else { xy.x / (self.radius * cos_lat) };
+        if dlon.abs() > std::f64::consts::PI + 1e-9 {
+            return Err(GeoError::OutOfDomain { projection: self.name(), coord: (xy.x, xy.y) });
+        }
+        Ok(Coord::new(norm_lon_deg(self.lon0_deg + deg(dlon)), deg(lat)))
+    }
+
+    fn name(&self) -> &'static str {
+        "sinusoidal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equator_is_linear_in_longitude() {
+        let s = Sinusoidal::default();
+        let p = s.forward(Coord::new(90.0, 0.0)).unwrap();
+        assert!((p.x - s.radius * std::f64::consts::FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn meridian_lengths_shrink_with_latitude() {
+        let s = Sinusoidal::default();
+        let low = s.forward(Coord::new(10.0, 0.0)).unwrap();
+        let high = s.forward(Coord::new(10.0, 60.0)).unwrap();
+        assert!((high.x - low.x / 2.0).abs() < 1.0); // cos 60° = 0.5
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = Sinusoidal::new(-100.0);
+        for &(lon, lat) in &[(-122.0, 38.0), (-60.0, -25.0), (-100.0, 89.0), (79.9, 0.0)] {
+            let xy = s.forward(Coord::new(lon, lat)).unwrap();
+            let ll = s.inverse(xy).unwrap();
+            assert!((ll.x - lon).abs() < 1e-8, "lon {lon} -> {}", ll.x);
+            assert!((ll.y - lat).abs() < 1e-8, "lat {lat} -> {}", ll.y);
+        }
+    }
+
+    #[test]
+    fn out_of_range_planar_rejected() {
+        let s = Sinusoidal::default();
+        assert!(s.inverse(Coord::new(0.0, s.radius * 2.0)).is_err());
+        assert!(s.inverse(Coord::new(s.radius * 4.0, 0.0)).is_err());
+    }
+}

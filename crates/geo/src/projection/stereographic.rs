@@ -1,0 +1,131 @@
+//! Polar stereographic, spherical form (Snyder PP 1395, eq. 21-1..21-15)
+//! — the projection of choice for polar-orbiter products and sea-ice
+//! grids, complementing the geostationary view which cannot see the
+//! poles.
+
+use super::{checked_lonlat_rad, deg, norm_lon_deg, Projection};
+use crate::coord::Coord;
+use crate::ellipsoid::Ellipsoid;
+use crate::error::{GeoError, Result};
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+/// Spherical polar stereographic projection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolarStereographic {
+    /// True for the north-pole aspect, false for the south-pole aspect.
+    pub north: bool,
+    /// Central meridian, degrees.
+    pub lon0_deg: f64,
+    /// Scale factor at the pole (0.994 for the standard sea-ice grids).
+    pub k0: f64,
+    /// Sphere radius, meters.
+    pub radius: f64,
+}
+
+impl PolarStereographic {
+    /// Creates a polar aspect about a central meridian.
+    pub fn new(north: bool, lon0_deg: f64) -> Self {
+        PolarStereographic { north, lon0_deg, k0: 0.994, radius: Ellipsoid::SPHERE.a }
+    }
+}
+
+impl Projection for PolarStereographic {
+    fn forward(&self, lonlat: Coord) -> Result<Coord> {
+        let (lon, lat) = checked_lonlat_rad(lonlat)?;
+        // The opposite hemisphere's far half is outside the useful
+        // domain (the opposite pole maps to infinity).
+        let signed_lat = if self.north { lat } else { -lat };
+        if signed_lat < -60f64.to_radians() {
+            return Err(GeoError::OutOfDomain {
+                projection: self.name(),
+                coord: (lonlat.x, lonlat.y),
+            });
+        }
+        let dlon = norm_lon_deg(deg(lon) - self.lon0_deg).to_radians();
+        let rho = 2.0 * self.radius * self.k0 * (FRAC_PI_4 - signed_lat / 2.0).tan();
+        let (x, y) = if self.north {
+            (rho * dlon.sin(), -rho * dlon.cos())
+        } else {
+            (rho * dlon.sin(), rho * dlon.cos())
+        };
+        Ok(Coord::new(x, y))
+    }
+
+    fn inverse(&self, xy: Coord) -> Result<Coord> {
+        if !xy.is_finite() {
+            return Err(GeoError::OutOfDomain { projection: self.name(), coord: (xy.x, xy.y) });
+        }
+        let rho = xy.x.hypot(xy.y);
+        let signed_lat = FRAC_PI_2 - 2.0 * (rho / (2.0 * self.radius * self.k0)).atan();
+        let dlon = if rho < 1e-12 {
+            0.0
+        } else if self.north {
+            xy.x.atan2(-xy.y)
+        } else {
+            xy.x.atan2(xy.y)
+        };
+        let lat = if self.north { signed_lat } else { -signed_lat };
+        Ok(Coord::new(norm_lon_deg(self.lon0_deg + deg(dlon)), deg(lat)))
+    }
+
+    fn name(&self) -> &'static str {
+        "polar_stereographic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pole_maps_to_origin() {
+        let n = PolarStereographic::new(true, -45.0);
+        let xy = n.forward(Coord::new(0.0, 90.0)).unwrap();
+        assert!(xy.x.abs() < 1e-6 && xy.y.abs() < 1e-6);
+        let s = PolarStereographic::new(false, 0.0);
+        let xy = s.forward(Coord::new(120.0, -90.0)).unwrap();
+        assert!(xy.x.abs() < 1e-6 && xy.y.abs() < 1e-6);
+    }
+
+    #[test]
+    fn round_trip_both_aspects() {
+        for north in [true, false] {
+            let p = PolarStereographic::new(north, -45.0);
+            let sign = if north { 1.0 } else { -1.0 };
+            for &(lon, lat) in &[(0.0, 80.0), (-120.0, 65.0), (173.0, 40.0), (-45.0, 89.9)] {
+                let lat = sign * lat;
+                let xy = p.forward(Coord::new(lon, lat)).unwrap();
+                let ll = p.inverse(xy).unwrap();
+                assert!((ll.x - lon).abs() < 1e-8, "north={north} lon {lon} -> {}", ll.x);
+                assert!((ll.y - lat).abs() < 1e-8, "north={north} lat {lat} -> {}", ll.y);
+            }
+        }
+    }
+
+    #[test]
+    fn central_meridian_points_down_for_north_aspect() {
+        // On the north aspect, the central meridian runs toward -y.
+        let p = PolarStereographic::new(true, -45.0);
+        let xy = p.forward(Coord::new(-45.0, 70.0)).unwrap();
+        assert!(xy.x.abs() < 1e-6);
+        assert!(xy.y < 0.0);
+    }
+
+    #[test]
+    fn far_hemisphere_rejected() {
+        let p = PolarStereographic::new(true, 0.0);
+        assert!(p.forward(Coord::new(0.0, -75.0)).is_err());
+        assert!(p.forward(Coord::new(0.0, -50.0)).is_ok());
+    }
+
+    #[test]
+    fn scale_near_pole_matches_k0() {
+        // Near the pole, distances scale by ~2 k0 tan(colat/2)/colat ≈ k0.
+        let p = PolarStereographic::new(true, 0.0);
+        let a = p.forward(Coord::new(0.0, 89.0)).unwrap();
+        let b = p.forward(Coord::new(180.0, 89.0)).unwrap();
+        let dist = a.distance(b);
+        let arc = 2.0 * p.radius * 1f64.to_radians(); // 2° of colatitude
+        assert!((dist / arc - p.k0).abs() < 0.001, "{}", dist / arc);
+    }
+}

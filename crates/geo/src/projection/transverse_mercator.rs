@@ -1,0 +1,219 @@
+//! Ellipsoidal Transverse Mercator via the Krüger series (order n⁴),
+//! the projection behind UTM — the coordinate system of the paper's
+//! §3.4 query-rewriting example (`f_UTM`).
+//!
+//! Series coefficients follow Karney, "Transverse Mercator with an
+//! accuracy of a few nanometers" (2011), truncated to fourth order in the
+//! third flattening, which yields sub-millimeter accuracy within UTM
+//! zones.
+
+use super::{checked_lonlat_rad, deg, norm_lon_deg, Projection};
+use crate::coord::Coord;
+use crate::ellipsoid::Ellipsoid;
+use crate::error::{GeoError, Result};
+
+/// Ellipsoidal Transverse Mercator projection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransverseMercator {
+    /// Central meridian, degrees.
+    pub lon0_deg: f64,
+    /// Scale factor on the central meridian (`0.9996` for UTM).
+    pub k0: f64,
+    /// False easting in meters.
+    pub false_easting: f64,
+    /// False northing in meters.
+    pub false_northing: f64,
+    /// Reference ellipsoid.
+    pub ellipsoid: Ellipsoid,
+    // Precomputed series coefficients.
+    alpha: [f64; 4],
+    beta: [f64; 4],
+    /// Rectifying radius times k0.
+    k0_a_rect: f64,
+}
+
+impl TransverseMercator {
+    /// Builds a Transverse Mercator projection with explicit parameters.
+    pub fn new(
+        lon0_deg: f64,
+        k0: f64,
+        false_easting: f64,
+        false_northing: f64,
+        ellipsoid: Ellipsoid,
+    ) -> Self {
+        let n = ellipsoid.n();
+        let (n2, n3, n4) = (n * n, n * n * n, n * n * n * n);
+        let alpha = [
+            n / 2.0 - 2.0 * n2 / 3.0 + 5.0 * n3 / 16.0 + 41.0 * n4 / 180.0,
+            13.0 * n2 / 48.0 - 3.0 * n3 / 5.0 + 557.0 * n4 / 1440.0,
+            61.0 * n3 / 240.0 - 103.0 * n4 / 140.0,
+            49561.0 * n4 / 161280.0,
+        ];
+        let beta = [
+            n / 2.0 - 2.0 * n2 / 3.0 + 37.0 * n3 / 96.0 - n4 / 360.0,
+            n2 / 48.0 + n3 / 15.0 - 437.0 * n4 / 1440.0,
+            17.0 * n3 / 480.0 - 37.0 * n4 / 840.0,
+            4397.0 * n4 / 161280.0,
+        ];
+        let k0_a_rect = k0 * ellipsoid.rectifying_radius();
+        TransverseMercator { lon0_deg, k0, false_easting, false_northing, ellipsoid, alpha, beta, k0_a_rect }
+    }
+
+    /// The UTM instance for a zone (1..=60) and hemisphere.
+    pub fn utm(zone: u8, north: bool) -> Result<Self> {
+        if zone == 0 || zone > 60 {
+            return Err(GeoError::InvalidUtmZone(zone));
+        }
+        let lon0 = f64::from(zone) * 6.0 - 183.0;
+        let fn_ = if north { 0.0 } else { 10_000_000.0 };
+        Ok(TransverseMercator::new(lon0, 0.9996, 500_000.0, fn_, Ellipsoid::WGS84))
+    }
+
+    /// Conformal-latitude parameter `t = sinh(ψ)` for a geodetic latitude.
+    fn conformal_t(&self, phi: f64) -> f64 {
+        let e = self.ellipsoid.e();
+        let s = phi.sin();
+        (s.atanh() - e * (e * s).atanh()).sinh()
+    }
+}
+
+impl Projection for TransverseMercator {
+    fn forward(&self, lonlat: Coord) -> Result<Coord> {
+        let (lon, lat) = checked_lonlat_rad(lonlat)?;
+        let dlon = norm_lon_deg(deg(lon) - self.lon0_deg).to_radians();
+        // The series diverges far from the central meridian; UTM use stays
+        // well within ±6°, we allow a generous ±60°.
+        if dlon.abs() > 60f64.to_radians() {
+            return Err(GeoError::OutOfDomain {
+                projection: self.name(),
+                coord: (lonlat.x, lonlat.y),
+            });
+        }
+        let t = self.conformal_t(lat);
+        let xi_p = t.atan2(dlon.cos());
+        let eta_p = (dlon.sin() / t.hypot(dlon.cos())).asinh();
+        let mut xi = xi_p;
+        let mut eta = eta_p;
+        for (j, a) in self.alpha.iter().enumerate() {
+            let k = 2.0 * (j as f64 + 1.0);
+            xi += a * (k * xi_p).sin() * (k * eta_p).cosh();
+            eta += a * (k * xi_p).cos() * (k * eta_p).sinh();
+        }
+        Ok(Coord::new(
+            self.false_easting + self.k0_a_rect * eta,
+            self.false_northing + self.k0_a_rect * xi,
+        ))
+    }
+
+    fn inverse(&self, xy: Coord) -> Result<Coord> {
+        if !xy.is_finite() {
+            return Err(GeoError::OutOfDomain { projection: self.name(), coord: (xy.x, xy.y) });
+        }
+        let xi = (xy.y - self.false_northing) / self.k0_a_rect;
+        let eta = (xy.x - self.false_easting) / self.k0_a_rect;
+        let mut xi_p = xi;
+        let mut eta_p = eta;
+        for (j, b) in self.beta.iter().enumerate() {
+            let k = 2.0 * (j as f64 + 1.0);
+            xi_p -= b * (k * xi).sin() * (k * eta).cosh();
+            eta_p -= b * (k * xi).cos() * (k * eta).sinh();
+        }
+        // Geographic longitude offset and the conformal parameter t'.
+        let dlon = eta_p.sinh().atan2(xi_p.cos());
+        let t_p = xi_p.sin() / eta_p.sinh().hypot(xi_p.cos());
+        // Newton-iterate geodetic latitude from conformal t.
+        let e = self.ellipsoid.e();
+        let e2 = self.ellipsoid.e2();
+        let mut phi = t_p.atan();
+        let mut converged = false;
+        for _ in 0..12 {
+            let s = phi.sin();
+            let t = self.conformal_t(phi);
+            // d t / d phi = sqrt(1 + t^2) * (1 - e^2) / (1 - e^2 s^2) / cos(phi)
+            let dt = (1.0 + t * t).sqrt() * (1.0 - e2) / ((1.0 - e2 * s * s) * phi.cos());
+            let delta = (t - t_p) / dt;
+            phi -= delta;
+            if delta.abs() < 1e-14 {
+                converged = true;
+                break;
+            }
+        }
+        // Suppress unused warning for e (kept for readability of formulas).
+        let _ = e;
+        if !converged {
+            return Err(GeoError::NoConvergence { projection: self.name() });
+        }
+        Ok(Coord::new(norm_lon_deg(self.lon0_deg + deg(dlon)), deg(phi)))
+    }
+
+    fn name(&self) -> &'static str {
+        "transverse_mercator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Snyder PP 1395 (p. 269-270) worked example: Clarke 1866 ellipsoid,
+    /// φ = 40°30'N, λ = 73°30'W, UTM zone 18 → x = 627 106.5 m,
+    /// y = 4 484 124.4 m.
+    #[test]
+    fn utm_known_point_zone18_snyder() {
+        let tm = TransverseMercator::new(-75.0, 0.9996, 500_000.0, 0.0, Ellipsoid::CLARKE1866);
+        let xy = tm.forward(Coord::new(-73.5, 40.5)).unwrap();
+        assert!((xy.x - 627_106.5).abs() < 0.5, "easting {}", xy.x);
+        assert!((xy.y - 4_484_124.4).abs() < 0.5, "northing {}", xy.y);
+    }
+
+    /// On WGS-84 the same point shifts by a few meters relative to
+    /// Clarke 1866 (datum difference); pin the value as a regression
+    /// anchor (agrees with PROJ `+proj=utm +zone=18` to centimeters).
+    #[test]
+    fn utm_known_point_zone18_wgs84() {
+        let tm = TransverseMercator::utm(18, true).unwrap();
+        let xy = tm.forward(Coord::new(-73.5, 40.5)).unwrap();
+        assert!((xy.x - 627_103.09).abs() < 0.5, "easting {}", xy.x);
+    }
+
+    #[test]
+    fn utm_central_meridian_maps_to_false_easting() {
+        let tm = TransverseMercator::utm(10, true).unwrap();
+        // Zone 10 central meridian is -123°.
+        let xy = tm.forward(Coord::new(-123.0, 45.0)).unwrap();
+        assert!((xy.x - 500_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn southern_hemisphere_false_northing() {
+        let tm = TransverseMercator::utm(56, false).unwrap();
+        // Sydney, Australia ≈ (151.2, -33.87) → N ≈ 6 250 000 (below 10M).
+        let xy = tm.forward(Coord::new(151.2, -33.87)).unwrap();
+        assert!(xy.y > 6_000_000.0 && xy.y < 6_500_000.0, "northing {}", xy.y);
+    }
+
+    #[test]
+    fn round_trip_across_zone() {
+        let tm = TransverseMercator::utm(10, true).unwrap();
+        for lon in [-126.0, -124.5, -123.0, -121.5, -120.0] {
+            for lat in [-80.0, -35.0, 0.0, 37.77, 84.0] {
+                let xy = tm.forward(Coord::new(lon, lat)).unwrap();
+                let ll = tm.inverse(xy).unwrap();
+                assert!((ll.x - lon).abs() < 1e-9, "lon {lon} -> {}", ll.x);
+                assert!((ll.y - lat).abs() < 1e-9, "lat {lat} -> {}", ll.y);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_zone_rejected() {
+        assert!(TransverseMercator::utm(0, true).is_err());
+        assert!(TransverseMercator::utm(61, true).is_err());
+    }
+
+    #[test]
+    fn far_from_meridian_rejected() {
+        let tm = TransverseMercator::utm(10, true).unwrap();
+        assert!(tm.forward(Coord::new(60.0, 10.0)).is_err());
+    }
+}

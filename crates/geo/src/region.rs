@@ -1,0 +1,467 @@
+//! Query regions for spatial restrictions.
+//!
+//! §3.1 of the paper lists three ways to specify the restriction region
+//! `R`: (1) an enumeration of coordinate pairs, (2) constraint-model
+//! expressions (polynomial inequalities on `x, y`), and (3) the bounding
+//! box given by two corner points — "commonly used in graphical user
+//! interfaces". [`Region`] supports all three (constraints as linear
+//! half-plane conjunctions) plus simple polygons, and every variant
+//! answers an O(1)–O(k) `contains` test and a bounding box used for
+//! lattice footprint computation.
+//!
+//! [`map_region`] implements the cross-CRS region mapping required by the
+//! §3.4 rewrite that pushes a restriction through a re-projection.
+
+use crate::coord::Coord;
+use crate::crs::Crs;
+use crate::error::{GeoError, Result};
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle, the paper's "two corner points" region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum x (west / left).
+    pub x_min: f64,
+    /// Minimum y (south / bottom).
+    pub y_min: f64,
+    /// Maximum x (east / right).
+    pub x_max: f64,
+    /// Maximum y (north / top).
+    pub y_max: f64,
+}
+
+impl Rect {
+    /// Builds a rectangle from two opposite corners (any order).
+    pub fn new(x1: f64, y1: f64, x2: f64, y2: f64) -> Rect {
+        Rect {
+            x_min: x1.min(x2),
+            y_min: y1.min(y2),
+            x_max: x1.max(x2),
+            y_max: y1.max(y2),
+        }
+    }
+
+    /// The degenerate empty rectangle used as a fold seed.
+    pub fn empty() -> Rect {
+        Rect {
+            x_min: f64::INFINITY,
+            y_min: f64::INFINITY,
+            x_max: f64::NEG_INFINITY,
+            y_max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// True when no point satisfies the rectangle.
+    pub fn is_empty(&self) -> bool {
+        self.x_min > self.x_max || self.y_min > self.y_max
+    }
+
+    /// Point-in-rectangle test (closed boundaries).
+    #[inline]
+    pub fn contains(&self, p: Coord) -> bool {
+        p.x >= self.x_min && p.x <= self.x_max && p.y >= self.y_min && p.y <= self.y_max
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            x_min: self.x_min.min(other.x_min),
+            y_min: self.y_min.min(other.y_min),
+            x_max: self.x_max.max(other.x_max),
+            y_max: self.y_max.max(other.y_max),
+        }
+    }
+
+    /// Intersection; may be empty.
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        Rect {
+            x_min: self.x_min.max(other.x_min),
+            y_min: self.y_min.max(other.y_min),
+            x_max: self.x_max.min(other.x_max),
+            y_max: self.y_max.min(other.y_max),
+        }
+    }
+
+    /// True when the rectangles share at least one point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Grows the rectangle by a margin on every side.
+    pub fn expand(&self, margin: f64) -> Rect {
+        Rect {
+            x_min: self.x_min - margin,
+            y_min: self.y_min - margin,
+            x_max: self.x_max + margin,
+            y_max: self.y_max + margin,
+        }
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> f64 {
+        (self.x_max - self.x_min).max(0.0)
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> f64 {
+        (self.y_max - self.y_min).max(0.0)
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Coord {
+        Coord::new((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+    }
+
+    /// Uniformly samples `n` points per edge along the boundary plus the
+    /// four corners; used to map regions across projections.
+    pub fn boundary_samples(&self, n_per_edge: usize) -> Vec<Coord> {
+        let n = n_per_edge.max(1);
+        let mut out = Vec::with_capacity(4 * (n + 1));
+        for i in 0..=n {
+            let t = i as f64 / n as f64;
+            let x = self.x_min + t * self.width();
+            let y = self.y_min + t * self.height();
+            out.push(Coord::new(x, self.y_min));
+            out.push(Coord::new(x, self.y_max));
+            out.push(Coord::new(self.x_min, y));
+            out.push(Coord::new(self.x_max, y));
+        }
+        out
+    }
+}
+
+/// A closed half-plane `a·x + b·y ≤ c`: the linear instance of the paper's
+/// constraint data model region specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HalfPlane {
+    /// Coefficient on x.
+    pub a: f64,
+    /// Coefficient on y.
+    pub b: f64,
+    /// Right-hand side.
+    pub c: f64,
+}
+
+impl HalfPlane {
+    /// Creates the half-plane `a·x + b·y ≤ c`.
+    pub const fn new(a: f64, b: f64, c: f64) -> Self {
+        HalfPlane { a, b, c }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, p: Coord) -> bool {
+        self.a * p.x + self.b * p.y <= self.c + 1e-12
+    }
+}
+
+/// A simple polygon (implicitly closed ring of vertices).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    /// Ring vertices in order (first ≠ last; closure is implicit).
+    pub vertices: Vec<Coord>,
+}
+
+impl Polygon {
+    /// Creates a polygon; requires at least 3 vertices.
+    pub fn new(vertices: Vec<Coord>) -> Result<Polygon> {
+        if vertices.len() < 3 {
+            return Err(GeoError::EmptyRegion);
+        }
+        Ok(Polygon { vertices })
+    }
+
+    /// Even–odd ray-casting point-in-polygon test, O(#vertices).
+    pub fn contains(&self, p: Coord) -> bool {
+        let v = &self.vertices;
+        let mut inside = false;
+        let mut j = v.len() - 1;
+        for i in 0..v.len() {
+            let (vi, vj) = (v[i], v[j]);
+            if ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Axis-aligned bounding box of the vertices.
+    pub fn bbox(&self) -> Rect {
+        self.vertices.iter().fold(Rect::empty(), |r, v| r.union(&Rect::new(v.x, v.y, v.x, v.y)))
+    }
+}
+
+/// A spatial restriction region `R` (Definition 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Region {
+    /// Bounding-box region (specification style (3) of §3.1).
+    Rect(Rect),
+    /// Simple polygon region.
+    Polygon(Polygon),
+    /// Conjunction of linear constraints (specification style (2)).
+    HalfPlanes(Vec<HalfPlane>),
+    /// Enumerated coordinates with a snap tolerance (specification
+    /// style (1)); a point belongs to the region when it lies within
+    /// `tolerance` (Chebyshev) of any listed coordinate.
+    Points {
+        /// The enumerated coordinates.
+        coords: Vec<Coord>,
+        /// Snap tolerance in CRS units.
+        tolerance: f64,
+    },
+}
+
+impl Region {
+    /// Membership test for a coordinate.
+    pub fn contains(&self, p: Coord) -> bool {
+        match self {
+            Region::Rect(r) => r.contains(p),
+            Region::Polygon(poly) => poly.contains(p),
+            Region::HalfPlanes(hs) => hs.iter().all(|h| h.contains(p)),
+            Region::Points { coords, tolerance } => coords
+                .iter()
+                .any(|c| (c.x - p.x).abs() <= *tolerance && (c.y - p.y).abs() <= *tolerance),
+        }
+    }
+
+    /// Conservative axis-aligned bounding box. Half-plane conjunctions may
+    /// be unbounded; the box is then clamped to `clamp`.
+    pub fn bbox_clamped(&self, clamp: Rect) -> Rect {
+        match self {
+            Region::Rect(r) => r.intersect(&clamp),
+            Region::Polygon(p) => p.bbox().intersect(&clamp),
+            Region::HalfPlanes(hs) => half_plane_bbox(hs, clamp),
+            Region::Points { coords, tolerance } => coords
+                .iter()
+                .fold(Rect::empty(), |r, c| {
+                    r.union(&Rect::new(c.x, c.y, c.x, c.y))
+                })
+                .expand(*tolerance)
+                .intersect(&clamp),
+        }
+    }
+
+    /// Bounding box with an effectively unbounded clamp.
+    pub fn bbox(&self) -> Rect {
+        self.bbox_clamped(Rect::new(-1e300, -1e300, 1e300, 1e300))
+    }
+
+    /// Whether this region is exactly its bounding box (lets the spatial
+    /// restriction operator skip the per-point `contains` test).
+    pub fn is_rectangular(&self) -> bool {
+        matches!(self, Region::Rect(_))
+    }
+}
+
+/// Bounding box of a conjunction of half-planes by clipping the clamp
+/// rectangle polygon against each half-plane (Sutherland–Hodgman).
+fn half_plane_bbox(planes: &[HalfPlane], clamp: Rect) -> Rect {
+    let mut poly = vec![
+        Coord::new(clamp.x_min, clamp.y_min),
+        Coord::new(clamp.x_max, clamp.y_min),
+        Coord::new(clamp.x_max, clamp.y_max),
+        Coord::new(clamp.x_min, clamp.y_max),
+    ];
+    for h in planes {
+        let mut next = Vec::with_capacity(poly.len() + 1);
+        for i in 0..poly.len() {
+            let cur = poly[i];
+            let prev = poly[(i + poly.len() - 1) % poly.len()];
+            let cur_in = h.contains(cur);
+            let prev_in = h.contains(prev);
+            if cur_in != prev_in {
+                // Edge crosses the boundary a·x + b·y = c.
+                let denom = h.a * (cur.x - prev.x) + h.b * (cur.y - prev.y);
+                if denom.abs() > 1e-300 {
+                    let t = (h.c - h.a * prev.x - h.b * prev.y) / denom;
+                    next.push(Coord::new(
+                        prev.x + t * (cur.x - prev.x),
+                        prev.y + t * (cur.y - prev.y),
+                    ));
+                }
+            }
+            if cur_in {
+                next.push(cur);
+            }
+        }
+        poly = next;
+        if poly.is_empty() {
+            return Rect::empty();
+        }
+    }
+    poly.iter().fold(Rect::empty(), |r, v| r.union(&Rect::new(v.x, v.y, v.x, v.y)))
+}
+
+/// Maps a region from one CRS into a conservative rectangle in another CRS
+/// by projecting densified boundary samples through the geographic
+/// intermediate. This is the geometry behind the §3.4 rewrite "R needs to
+/// be mapped to the coordinate system C" when pushing a spatial
+/// restriction through a re-projection.
+///
+/// Samples that fall outside the target projection's domain (e.g. beyond
+/// the geostationary limb) are skipped; if *all* samples are invisible the
+/// mapped region is empty and `EmptyRegion` is returned. The result is
+/// slightly expanded to stay conservative (no false negatives for the
+/// restriction that will use it).
+pub fn map_region(region: &Region, from: &Crs, to: &Crs, densify: usize) -> Result<Rect> {
+    if from == to {
+        let b = region.bbox();
+        return if b.is_empty() { Err(GeoError::EmptyRegion) } else { Ok(b) };
+    }
+    let bbox = region.bbox();
+    if bbox.is_empty() {
+        return Err(GeoError::EmptyRegion);
+    }
+    let from_proj = from.projection()?;
+    let to_proj = to.projection()?;
+    let mut out = Rect::empty();
+    let mut samples = bbox.boundary_samples(densify.max(4));
+    samples.push(bbox.center());
+    let mut mapped_any = false;
+    for s in samples {
+        let Ok(ll) = from_proj.inverse(s) else { continue };
+        let Ok(p) = to_proj.forward(ll) else { continue };
+        out = out.union(&Rect::new(p.x, p.y, p.x, p.y));
+        mapped_any = true;
+    }
+    if !mapped_any || out.is_empty() {
+        return Err(GeoError::EmptyRegion);
+    }
+    // Conservative inflation: boundary sampling can undershoot the true
+    // image of the region between samples; pad by one sampling step.
+    let pad_x = out.width() / (densify.max(4) as f64);
+    let pad_y = out.height() / (densify.max(4) as f64);
+    Ok(out.expand(pad_x.max(pad_y).max(1e-9)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_contains_and_ops() {
+        let r = Rect::new(0.0, 0.0, 10.0, 5.0);
+        assert!(r.contains(Coord::new(5.0, 2.5)));
+        assert!(r.contains(Coord::new(0.0, 0.0)));
+        assert!(!r.contains(Coord::new(-0.1, 2.0)));
+        assert_eq!(r.area(), 50.0);
+        assert_eq!(r.center(), Coord::new(5.0, 2.5));
+    }
+
+    #[test]
+    fn rect_new_normalizes_corners() {
+        let r = Rect::new(10.0, 5.0, 0.0, 0.0);
+        assert_eq!(r.x_min, 0.0);
+        assert_eq!(r.y_max, 5.0);
+    }
+
+    #[test]
+    fn rect_union_intersection() {
+        let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let b = Rect::new(2.0, 2.0, 6.0, 6.0);
+        assert_eq!(a.union(&b), Rect::new(0.0, 0.0, 6.0, 6.0));
+        assert_eq!(a.intersect(&b), Rect::new(2.0, 2.0, 4.0, 4.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&Rect::new(5.0, 5.0, 6.0, 6.0)));
+    }
+
+    #[test]
+    fn polygon_point_in_triangle() {
+        let tri = Polygon::new(vec![
+            Coord::new(0.0, 0.0),
+            Coord::new(4.0, 0.0),
+            Coord::new(0.0, 4.0),
+        ])
+        .unwrap();
+        assert!(tri.contains(Coord::new(1.0, 1.0)));
+        assert!(!tri.contains(Coord::new(3.0, 3.0)));
+        assert_eq!(tri.bbox(), Rect::new(0.0, 0.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn polygon_needs_three_vertices() {
+        assert!(Polygon::new(vec![Coord::new(0.0, 0.0), Coord::new(1.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn half_planes_form_a_band() {
+        // 1 ≤ x ≤ 3 as two half-planes.
+        let region =
+            Region::HalfPlanes(vec![HalfPlane::new(1.0, 0.0, 3.0), HalfPlane::new(-1.0, 0.0, -1.0)]);
+        assert!(region.contains(Coord::new(2.0, 100.0)));
+        assert!(!region.contains(Coord::new(0.5, 0.0)));
+        let clamp = Rect::new(-10.0, -10.0, 10.0, 10.0);
+        let b = region.bbox_clamped(clamp);
+        assert!((b.x_min - 1.0).abs() < 1e-9 && (b.x_max - 3.0).abs() < 1e-9);
+        assert!((b.y_min + 10.0).abs() < 1e-9 && (b.y_max - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_plane_triangle_bbox() {
+        // x ≥ 0, y ≥ 0, x + y ≤ 2.
+        let region = Region::HalfPlanes(vec![
+            HalfPlane::new(-1.0, 0.0, 0.0),
+            HalfPlane::new(0.0, -1.0, 0.0),
+            HalfPlane::new(1.0, 1.0, 2.0),
+        ]);
+        let b = region.bbox_clamped(Rect::new(-100.0, -100.0, 100.0, 100.0));
+        assert!((b.x_max - 2.0).abs() < 1e-9 && (b.y_max - 2.0).abs() < 1e-9);
+        assert!(b.x_min.abs() < 1e-9 && b.y_min.abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_half_planes_are_empty() {
+        let region =
+            Region::HalfPlanes(vec![HalfPlane::new(1.0, 0.0, 0.0), HalfPlane::new(-1.0, 0.0, -1.0)]);
+        assert!(region.bbox_clamped(Rect::new(-10.0, -10.0, 10.0, 10.0)).is_empty());
+    }
+
+    #[test]
+    fn enumerated_points_snap() {
+        let region = Region::Points {
+            coords: vec![Coord::new(1.0, 1.0), Coord::new(5.0, 5.0)],
+            tolerance: 0.25,
+        };
+        assert!(region.contains(Coord::new(1.2, 0.8)));
+        assert!(!region.contains(Coord::new(2.0, 2.0)));
+        let b = region.bbox();
+        assert!((b.x_min - 0.75).abs() < 1e-9 && (b.x_max - 5.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_region_latlon_to_utm_covers_interior() {
+        let region = Region::Rect(Rect::new(-123.0, 37.0, -122.0, 38.0));
+        let utm = Crs::utm(10, true);
+        let mapped = map_region(&region, &Crs::LatLon, &utm, 16).unwrap();
+        // Interior points of the region must land inside the mapped box.
+        for lon in [-122.9, -122.5, -122.1] {
+            for lat in [37.1, 37.5, 37.9] {
+                let p = utm.forward(Coord::new(lon, lat)).unwrap();
+                assert!(mapped.contains(p), "({lon},{lat}) -> {p} outside {mapped:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_region_identity_returns_bbox() {
+        let region = Region::Rect(Rect::new(0.0, 0.0, 2.0, 2.0));
+        let m = map_region(&region, &Crs::LatLon, &Crs::LatLon, 8).unwrap();
+        assert_eq!(m, Rect::new(0.0, 0.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn map_region_fully_invisible_is_empty() {
+        // A region near the antipode of a geostationary satellite.
+        let region = Region::Rect(Rect::new(100.0, -5.0, 110.0, 5.0));
+        let err = map_region(&region, &Crs::LatLon, &Crs::geostationary(-75.0), 8);
+        assert_eq!(err, Err(GeoError::EmptyRegion));
+    }
+}

@@ -1,0 +1,134 @@
+//! Color maps for delivered data products.
+//!
+//! The prototype DSMS delivers derived products (e.g. NDVI) to web
+//! clients as PNG images (§4); a color map turns the scalar product
+//! values into display colors.
+
+use crate::pixel::Rgb8;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear color ramp over `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColorMap {
+    /// Ramp stops: `(position in [0,1], color)`, sorted by position.
+    stops: Vec<(f64, Rgb8)>,
+}
+
+impl ColorMap {
+    /// Builds a color map from stops; positions are sorted and clamped.
+    pub fn new(mut stops: Vec<(f64, Rgb8)>) -> Self {
+        assert!(!stops.is_empty(), "color map needs at least one stop");
+        stops.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for s in &mut stops {
+            s.0 = s.0.clamp(0.0, 1.0);
+        }
+        ColorMap { stops }
+    }
+
+    /// Plain black→white grayscale.
+    pub fn grayscale() -> Self {
+        ColorMap::new(vec![(0.0, Rgb8::gray(0)), (1.0, Rgb8::gray(255))])
+    }
+
+    /// The classic NDVI ramp: barren browns through yellows to deep
+    /// vegetation greens (input expected pre-normalized from [-1,1]).
+    pub fn ndvi() -> Self {
+        ColorMap::new(vec![
+            (0.0, Rgb8::new(120, 69, 25)),
+            (0.35, Rgb8::new(214, 178, 98)),
+            (0.5, Rgb8::new(250, 250, 180)),
+            (0.65, Rgb8::new(134, 190, 90)),
+            (1.0, Rgb8::new(12, 98, 35)),
+        ])
+    }
+
+    /// A thermal (black-red-yellow-white) ramp for IR bands.
+    pub fn thermal() -> Self {
+        ColorMap::new(vec![
+            (0.0, Rgb8::new(0, 0, 0)),
+            (0.4, Rgb8::new(180, 20, 10)),
+            (0.75, Rgb8::new(250, 200, 30)),
+            (1.0, Rgb8::new(255, 255, 255)),
+        ])
+    }
+
+    /// Maps a normalized value in `[0, 1]` to a color (clamped).
+    pub fn map(&self, t: f64) -> Rgb8 {
+        let t = t.clamp(0.0, 1.0);
+        match self.stops.iter().position(|(p, _)| *p >= t) {
+            None => self.stops.last().expect("non-empty").1,
+            Some(0) => self.stops[0].1,
+            Some(i) => {
+                let (p0, c0) = self.stops[i - 1];
+                let (p1, c1) = self.stops[i];
+                let f = if p1 > p0 { (t - p0) / (p1 - p0) } else { 0.0 };
+                Rgb8::new(
+                    lerp_u8(c0.r, c1.r, f),
+                    lerp_u8(c0.g, c1.g, f),
+                    lerp_u8(c0.b, c1.b, f),
+                )
+            }
+        }
+    }
+
+    /// Maps a raw value given a display range (values are normalized
+    /// through the range first).
+    pub fn map_range(&self, v: f64, lo: f64, hi: f64) -> Rgb8 {
+        let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+        self.map(t)
+    }
+}
+
+#[inline]
+fn lerp_u8(a: u8, b: u8, f: f64) -> u8 {
+    (f64::from(a) + (f64::from(b) - f64::from(a)) * f).round().clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grayscale_endpoints() {
+        let cm = ColorMap::grayscale();
+        assert_eq!(cm.map(0.0), Rgb8::gray(0));
+        assert_eq!(cm.map(1.0), Rgb8::gray(255));
+        assert_eq!(cm.map(0.5), Rgb8::gray(128));
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let cm = ColorMap::grayscale();
+        assert_eq!(cm.map(-3.0), Rgb8::gray(0));
+        assert_eq!(cm.map(7.0), Rgb8::gray(255));
+    }
+
+    #[test]
+    fn ndvi_green_end_is_greener() {
+        let cm = ColorMap::ndvi();
+        let barren = cm.map(0.1);
+        let lush = cm.map(0.95);
+        assert!(lush.g > lush.r, "vegetation should be green-dominant");
+        assert!(barren.r > barren.g || barren.r > 100, "barren should be warm");
+    }
+
+    #[test]
+    fn map_range_normalizes() {
+        let cm = ColorMap::grayscale();
+        assert_eq!(cm.map_range(-1.0, -1.0, 1.0), Rgb8::gray(0));
+        assert_eq!(cm.map_range(1.0, -1.0, 1.0), Rgb8::gray(255));
+        assert_eq!(cm.map_range(0.0, -1.0, 1.0), Rgb8::gray(128));
+    }
+
+    #[test]
+    fn unsorted_stops_are_sorted() {
+        let cm = ColorMap::new(vec![(1.0, Rgb8::gray(255)), (0.0, Rgb8::gray(0))]);
+        assert_eq!(cm.map(0.0), Rgb8::gray(0));
+    }
+
+    #[test]
+    fn degenerate_range_maps_midpoint() {
+        let cm = ColorMap::grayscale();
+        assert_eq!(cm.map_range(5.0, 5.0, 5.0), Rgb8::gray(128));
+    }
+}

@@ -1,0 +1,218 @@
+//! Dense row-major 2-D grids.
+
+use crate::pixel::Pixel;
+use serde::{Deserialize, Serialize};
+
+/// A dense `width × height` grid stored row-major.
+///
+/// This is the in-memory form of a raster image's pixels and of every
+/// operator buffer whose size the paper's evaluation reasons about (frame
+/// buffers of stretch transforms, row buffers of compositions, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid2D<T> {
+    width: u32,
+    height: u32,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Grid2D<T> {
+    /// Creates a grid filled with `T::default()`.
+    pub fn new(width: u32, height: u32) -> Self {
+        Grid2D { width, height, data: vec![T::default(); (width as usize) * (height as usize)] }
+    }
+
+    /// Creates a grid filled with a value.
+    pub fn filled(width: u32, height: u32, value: T) -> Self {
+        Grid2D { width, height, data: vec![value; (width as usize) * (height as usize)] }
+    }
+
+    /// Builds a grid from row-major data; `data.len()` must equal
+    /// `width * height`.
+    pub fn from_vec(width: u32, height: u32, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), (width as usize) * (height as usize), "grid data length mismatch");
+        Grid2D { width, height, data }
+    }
+
+    /// Builds a grid by evaluating `f(col, row)` for every cell.
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> T) -> Self {
+        let mut data = Vec::with_capacity((width as usize) * (height as usize));
+        for row in 0..height {
+            for col in 0..width {
+                data.push(f(col, row));
+            }
+        }
+        Grid2D { width, height, data }
+    }
+
+    /// Grid width in cells.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height in cells.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the grid has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn idx(&self, col: u32, row: u32) -> usize {
+        debug_assert!(col < self.width && row < self.height, "({col},{row}) out of bounds");
+        (row as usize) * (self.width as usize) + (col as usize)
+    }
+
+    /// Returns the value at `(col, row)`; panics out of bounds in debug.
+    #[inline]
+    pub fn get(&self, col: u32, row: u32) -> T {
+        self.data[self.idx(col, row)]
+    }
+
+    /// Checked accessor.
+    #[inline]
+    pub fn try_get(&self, col: u32, row: u32) -> Option<T> {
+        if col < self.width && row < self.height {
+            Some(self.data[(row as usize) * (self.width as usize) + (col as usize)])
+        } else {
+            None
+        }
+    }
+
+    /// Sets the value at `(col, row)`.
+    #[inline]
+    pub fn set(&mut self, col: u32, row: u32, value: T) {
+        let i = self.idx(col, row);
+        self.data[i] = value;
+    }
+
+    /// Clamped accessor: coordinates outside the grid are clamped to the
+    /// border (used by neighborhood kernels at image edges).
+    #[inline]
+    pub fn get_clamped(&self, col: i64, row: i64) -> T {
+        let c = col.clamp(0, i64::from(self.width) - 1) as u32;
+        let r = row.clamp(0, i64::from(self.height) - 1) as u32;
+        self.get(c, r)
+    }
+
+    /// Immutable view of one row.
+    pub fn row(&self, row: u32) -> &[T] {
+        let start = (row as usize) * (self.width as usize);
+        &self.data[start..start + self.width as usize]
+    }
+
+    /// Mutable view of one row.
+    pub fn row_mut(&mut self, row: u32) -> &mut [T] {
+        let start = (row as usize) * (self.width as usize);
+        let w = self.width as usize;
+        &mut self.data[start..start + w]
+    }
+
+    /// The raw row-major data.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consumes the grid and returns the raw data.
+    pub fn into_data(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Iterates `(col, row, value)` in row-major order.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (u32, u32, T)> + '_ {
+        let w = self.width;
+        self.data.iter().enumerate().map(move |(i, &v)| {
+            let row = (i as u32) / w;
+            let col = (i as u32) % w;
+            (col, row, v)
+        })
+    }
+
+    /// Maps every value into a new grid.
+    pub fn map<U: Copy + Default>(&self, f: impl Fn(T) -> U) -> Grid2D<U> {
+        Grid2D {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl<T: Pixel> Grid2D<T> {
+    /// Heap bytes used by the pixel data (buffer accounting).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * T::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_default_filled() {
+        let g: Grid2D<u8> = Grid2D::new(3, 2);
+        assert_eq!(g.len(), 6);
+        assert!(g.iter_cells().all(|(_, _, v)| v == 0));
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let g = Grid2D::from_fn(3, 2, |c, r| (r * 10 + c) as u16);
+        assert_eq!(g.data(), &[0, 1, 2, 10, 11, 12]);
+        assert_eq!(g.get(2, 1), 12);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut g: Grid2D<f32> = Grid2D::new(4, 4);
+        g.set(3, 2, 7.5);
+        assert_eq!(g.get(3, 2), 7.5);
+        assert_eq!(g.try_get(4, 0), None);
+        assert_eq!(g.try_get(3, 2), Some(7.5));
+    }
+
+    #[test]
+    fn clamped_access_extends_borders() {
+        let g = Grid2D::from_fn(2, 2, |c, r| (r * 2 + c) as u8);
+        assert_eq!(g.get_clamped(-5, 0), 0);
+        assert_eq!(g.get_clamped(10, 10), 3);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let g = Grid2D::from_fn(3, 2, |c, r| (r * 3 + c) as u8);
+        assert_eq!(g.row(0), &[0, 1, 2]);
+        assert_eq!(g.row(1), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let g = Grid2D::from_fn(2, 2, |c, _| c as u8);
+        let f: Grid2D<f32> = g.map(|v| f32::from(v) * 0.5);
+        assert_eq!(f.get(1, 1), 0.5);
+    }
+
+    #[test]
+    fn byte_size_counts_pixels() {
+        let g: Grid2D<u16> = Grid2D::new(10, 10);
+        assert_eq!(g.byte_size(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid data length mismatch")]
+    fn from_vec_checks_length() {
+        let _ = Grid2D::from_vec(2, 2, vec![0u8; 3]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Georeferenced raster images.
+//!
+//! Definition 4 of the paper: "An image of a stream G is a subset i ⊆ G
+//! whose points all have the same timestamp." Once the delivery operator
+//! (or a test) assembles the points of one timestamp, the result is a
+//! [`RasterImage`]: a dense grid plus the lattice georeference and the
+//! shared timestamp.
+
+use crate::grid::Grid2D;
+use crate::pixel::Pixel;
+use geostreams_geo::{Cell, Coord, LatticeGeoref};
+use serde::{Deserialize, Serialize};
+
+/// A dense, georeferenced, single-band raster image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RasterImage<T> {
+    /// Pixel data; dimensions must match `georef`.
+    pub grid: Grid2D<T>,
+    /// Lattice georeference (CRS, origin, steps).
+    pub georef: LatticeGeoref,
+    /// Shared timestamp (scan-sector id or measurement time).
+    pub timestamp: i64,
+    /// Spectral band identifier.
+    pub band: u16,
+}
+
+impl<T: Pixel> RasterImage<T> {
+    /// Creates an image; the grid dimensions must match the georeference.
+    pub fn new(grid: Grid2D<T>, georef: LatticeGeoref, timestamp: i64, band: u16) -> Self {
+        assert_eq!(grid.width(), georef.width, "image/georef width mismatch");
+        assert_eq!(grid.height(), georef.height, "image/georef height mismatch");
+        RasterImage { grid, georef, timestamp, band }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.grid.width()
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.grid.height()
+    }
+
+    /// Value at a world coordinate (nearest cell), if inside the image.
+    pub fn sample_world(&self, w: Coord) -> Option<T> {
+        let cell = self.georef.world_to_cell(w)?;
+        self.grid.try_get(cell.col, cell.row)
+    }
+
+    /// Value at a lattice cell.
+    pub fn get(&self, cell: Cell) -> Option<T> {
+        self.grid.try_get(cell.col, cell.row)
+    }
+
+    /// Mean pixel value in the arithmetic domain (test/debug helper).
+    pub fn mean(&self) -> f64 {
+        if self.grid.is_empty() {
+            return 0.0;
+        }
+        self.grid.data().iter().map(|v| v.to_f64()).sum::<f64>() / self.grid.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostreams_geo::{Crs, Rect};
+
+    fn image() -> RasterImage<u8> {
+        let georef =
+            LatticeGeoref::north_up(Crs::LatLon, Rect::new(-125.0, 30.0, -115.0, 40.0), 10, 10);
+        let grid = Grid2D::from_fn(10, 10, |c, r| (r * 10 + c) as u8);
+        RasterImage::new(grid, georef, 42, 1)
+    }
+
+    #[test]
+    fn world_sampling_hits_expected_cell() {
+        let img = image();
+        // Center of the NW-most cell.
+        let w = img.georef.cell_to_world(Cell::new(0, 0));
+        assert_eq!(img.sample_world(w), Some(0));
+        let w2 = img.georef.cell_to_world(Cell::new(9, 9));
+        assert_eq!(img.sample_world(w2), Some(99));
+        assert_eq!(img.sample_world(Coord::new(0.0, 0.0)), None);
+    }
+
+    #[test]
+    fn mean_of_ramp() {
+        let img = image();
+        assert!((img.mean() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn dimension_mismatch_panics() {
+        let georef =
+            LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), 5, 5);
+        let _ = RasterImage::new(Grid2D::<u8>::new(4, 5), georef, 0, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Raster substrate for the GeoStreams system.
+//!
+//! The paper's Definition 2 makes a *value set* "an instance of a
+//! homogeneous algebra"; this crate supplies those value sets
+//! ([`pixel::Pixel`]) together with dense grids, georeferenced raster
+//! images (the "image of a stream" of Definition 4 once assembled),
+//! statistics used by frame-scoped value transforms (histogram
+//! equalization, contrast stretch), resampling kernels for spatial
+//! transforms, and a from-scratch PNG encoder used by the delivery
+//! operator of the prototype DSMS (§4: "ships stream results back to
+//! clients using the PNG image format").
+
+#![warn(missing_docs)]
+
+pub mod colormap;
+pub mod grid;
+pub mod image;
+pub mod metrics;
+pub mod pixel;
+pub mod png;
+pub mod pnm;
+pub mod resample;
+pub mod stats;
+
+pub use grid::Grid2D;
+pub use image::RasterImage;
+pub use pixel::{Pixel, Rgb8};
+pub use stats::{Histogram, RangeTracker};

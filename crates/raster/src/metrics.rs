@@ -1,0 +1,109 @@
+//! Image-quality metrics.
+//!
+//! The resampling/re-projection ablations (A1) and lossy operators
+//! (shedding, downsampling) need quantitative quality measures:
+//! mean-absolute error, root-mean-square error, and peak signal-to-noise
+//! ratio between two grids of the same shape.
+
+use crate::grid::Grid2D;
+use crate::pixel::Pixel;
+
+/// Mean absolute error between two equally-sized grids.
+pub fn mae<T: Pixel>(a: &Grid2D<T>, b: &Grid2D<T>) -> f64 {
+    assert_same_shape(a, b);
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| (x.to_f64() - y.to_f64()).abs())
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Root-mean-square error between two equally-sized grids.
+pub fn rmse<T: Pixel>(a: &Grid2D<T>, b: &Grid2D<T>) -> f64 {
+    assert_same_shape(a, b);
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mse = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| {
+            let d = x.to_f64() - y.to_f64();
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64;
+    mse.sqrt()
+}
+
+/// Peak signal-to-noise ratio in dB over the given peak value
+/// (`+∞` for identical grids).
+pub fn psnr<T: Pixel>(a: &Grid2D<T>, b: &Grid2D<T>, peak: f64) -> f64 {
+    let e = rmse(a, b);
+    if e <= 0.0 {
+        f64::INFINITY
+    } else {
+        20.0 * (peak / e).log10()
+    }
+}
+
+fn assert_same_shape<T: Pixel>(a: &Grid2D<T>, b: &Grid2D<T>) {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "metric operands must share dimensions"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(bias: f32) -> Grid2D<f32> {
+        Grid2D::from_fn(8, 8, move |c, r| (r * 8 + c) as f32 + bias)
+    }
+
+    #[test]
+    fn identical_grids_have_zero_error() {
+        let a = ramp(0.0);
+        assert_eq!(mae(&a, &a), 0.0);
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert!(psnr(&a, &a, 255.0).is_infinite());
+    }
+
+    #[test]
+    fn constant_bias_is_measured_exactly() {
+        let a = ramp(0.0);
+        let b = ramp(2.5);
+        assert!((mae(&a, &b) - 2.5).abs() < 1e-9);
+        assert!((rmse(&a, &b) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_dominates_mae_for_uneven_errors() {
+        let a = Grid2D::from_vec(2, 1, vec![0.0f32, 0.0]);
+        let b = Grid2D::from_vec(2, 1, vec![0.0f32, 2.0]);
+        assert!((mae(&a, &b) - 1.0).abs() < 1e-9);
+        assert!((rmse(&a, &b) - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_scales_with_peak() {
+        let a = Grid2D::from_vec(1, 1, vec![0.0f32]);
+        let b = Grid2D::from_vec(1, 1, vec![1.0f32]);
+        assert!((psnr(&a, &b, 255.0) - 20.0 * 255.0f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensions")]
+    fn shape_mismatch_panics() {
+        let a: Grid2D<f32> = Grid2D::new(2, 2);
+        let b: Grid2D<f32> = Grid2D::new(3, 2);
+        let _ = rmse(&a, &b);
+    }
+}

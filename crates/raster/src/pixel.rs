@@ -1,0 +1,191 @@
+//! Pixel value sets.
+//!
+//! Definition 2 of the paper: "A value set V is an instance of a
+//! homogeneous algebra, that is, a set of values together with a set of
+//! operands." The [`Pixel`] trait is that algebra's carrier: every pixel
+//! type can round-trip through `f64` (the common arithmetic domain used
+//! by compositions and value transforms) and exposes its displayable
+//! range. Grey-scale streams use `u8`/`u16`/`f32`, color streams
+//! [`Rgb8`] — mirroring the paper's `Z`, `Z³`, `Zⁿ` examples.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Debug;
+
+/// A pixel value: member of a homogeneous value algebra.
+///
+/// The `f64` round-trip is the bridge used by generic arithmetic
+/// (compositions `γ ∈ {+,−,×,÷,sup,inf}` and value transforms); concrete
+/// kernels may specialize for speed.
+pub trait Pixel: Copy + PartialOrd + Default + Debug + Send + Sync + 'static {
+    /// Converts the pixel to the arithmetic domain.
+    fn to_f64(self) -> f64;
+
+    /// Converts back from the arithmetic domain, clamping to the type's
+    /// representable range.
+    fn from_f64(v: f64) -> Self;
+
+    /// Smallest displayable value of the type's nominal range.
+    const RANGE_MIN: f64;
+
+    /// Largest displayable value of the type's nominal range.
+    const RANGE_MAX: f64;
+
+    /// Size of one pixel in bytes (used for buffer accounting, which the
+    /// paper's space-complexity discussion is about).
+    const BYTES: usize = std::mem::size_of::<Self>();
+}
+
+impl Pixel for u8 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v.round().clamp(0.0, 255.0) as u8
+    }
+
+    const RANGE_MIN: f64 = 0.0;
+    const RANGE_MAX: f64 = 255.0;
+}
+
+impl Pixel for u16 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v.round().clamp(0.0, 65_535.0) as u16
+    }
+
+    const RANGE_MIN: f64 = 0.0;
+    const RANGE_MAX: f64 = 65_535.0;
+}
+
+impl Pixel for f32 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    const RANGE_MIN: f64 = 0.0;
+    const RANGE_MAX: f64 = 1.0;
+}
+
+impl Pixel for f64 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    const RANGE_MIN: f64 = 0.0;
+    const RANGE_MAX: f64 = 1.0;
+}
+
+/// A 24-bit RGB color pixel (the paper's `Z³` value set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Rgb8 {
+    /// Red component.
+    pub r: u8,
+    /// Green component.
+    pub g: u8,
+    /// Blue component.
+    pub b: u8,
+}
+
+impl Rgb8 {
+    /// Creates an RGB pixel.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb8 { r, g, b }
+    }
+
+    /// Rec. 601 luma, the standard color→gray value transform.
+    #[inline]
+    pub fn luma(self) -> f64 {
+        0.299 * f64::from(self.r) + 0.587 * f64::from(self.g) + 0.114 * f64::from(self.b)
+    }
+
+    /// A gray pixel with all components equal.
+    pub const fn gray(v: u8) -> Self {
+        Rgb8 { r: v, g: v, b: v }
+    }
+}
+
+impl PartialOrd for Rgb8 {
+    /// Ordered by luma, which makes `sup`/`inf` compositions meaningful
+    /// on color streams.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.luma().partial_cmp(&other.luma())
+    }
+}
+
+impl Pixel for Rgb8 {
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self.luma()
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        Rgb8::gray(v.round().clamp(0.0, 255.0) as u8)
+    }
+
+    const RANGE_MIN: f64 = 0.0;
+    const RANGE_MAX: f64 = 255.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_round_trip_and_clamp() {
+        assert_eq!(u8::from_f64(300.0), 255);
+        assert_eq!(u8::from_f64(-5.0), 0);
+        assert_eq!(u8::from_f64(127.4), 127);
+        assert_eq!(200u8.to_f64(), 200.0);
+    }
+
+    #[test]
+    fn u16_round_trip_and_clamp() {
+        assert_eq!(u16::from_f64(70_000.0), 65_535);
+        assert_eq!(u16::from_f64(1234.6), 1235);
+    }
+
+    #[test]
+    fn f32_passes_through() {
+        assert!((f32::from_f64(0.75).to_f64() - 0.75).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rgb_luma_weights() {
+        assert!((Rgb8::new(255, 0, 0).luma() - 76.245).abs() < 1e-9);
+        assert_eq!(Rgb8::gray(100).luma(), 100.0);
+    }
+
+    #[test]
+    fn rgb_orders_by_luma() {
+        assert!(Rgb8::new(0, 255, 0) > Rgb8::new(255, 0, 0)); // green is brighter
+    }
+
+    #[test]
+    fn pixel_byte_sizes() {
+        assert_eq!(u8::BYTES, 1);
+        assert_eq!(u16::BYTES, 2);
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(Rgb8::BYTES, 3);
+    }
+}

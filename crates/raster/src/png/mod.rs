@@ -1,0 +1,284 @@
+//! From-scratch PNG encoding (and a minimal decoder for round trips).
+//!
+//! The prototype DSMS of §4 "ships stream results back to clients using
+//! the PNG image format"; this module is that delivery codec. Gray-8 and
+//! RGB-8 images are supported with `None` or `Sub` scanline filters and
+//! either stored or fixed-Huffman DEFLATE (see [`zlib`]); the A3 ablation
+//! bench compares the encoder configurations.
+
+pub mod crc;
+pub mod zlib;
+
+use crate::grid::Grid2D;
+use crate::pixel::Rgb8;
+use crc::Crc32;
+pub use zlib::Strategy;
+
+/// PNG scanline filter applied before compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Filter {
+    /// No filtering (filter byte 0).
+    None,
+    /// Sub filter (filter byte 1): delta against the previous pixel,
+    /// which turns smooth gradients into highly compressible runs.
+    #[default]
+    Sub,
+}
+
+/// Encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PngOptions {
+    /// Scanline filter.
+    pub filter: Filter,
+    /// DEFLATE strategy.
+    pub strategy: Strategy,
+}
+
+const SIGNATURE: [u8; 8] = [0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A];
+
+fn write_chunk(out: &mut Vec<u8>, kind: &[u8; 4], data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    out.extend_from_slice(kind);
+    out.extend_from_slice(data);
+    let mut crc = Crc32::new();
+    crc.update(kind);
+    crc.update(data);
+    out.extend_from_slice(&crc.finish().to_be_bytes());
+}
+
+fn encode_impl(
+    width: u32,
+    height: u32,
+    color_type: u8,
+    bytes_per_pixel: usize,
+    raw: &[u8],
+    opts: PngOptions,
+) -> Vec<u8> {
+    assert_eq!(raw.len(), width as usize * height as usize * bytes_per_pixel);
+    let stride = width as usize * bytes_per_pixel;
+    let mut filtered = Vec::with_capacity(raw.len() + height as usize);
+    for row in 0..height as usize {
+        let line = &raw[row * stride..(row + 1) * stride];
+        match opts.filter {
+            Filter::None => {
+                filtered.push(0);
+                filtered.extend_from_slice(line);
+            }
+            Filter::Sub => {
+                filtered.push(1);
+                for (i, &b) in line.iter().enumerate() {
+                    let left = if i >= bytes_per_pixel { line[i - bytes_per_pixel] } else { 0 };
+                    filtered.push(b.wrapping_sub(left));
+                }
+            }
+        }
+    }
+    let idat = zlib::compress(&filtered, opts.strategy);
+
+    let mut out = Vec::with_capacity(idat.len() + 64);
+    out.extend_from_slice(&SIGNATURE);
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&width.to_be_bytes());
+    ihdr.extend_from_slice(&height.to_be_bytes());
+    ihdr.push(8); // bit depth
+    ihdr.push(color_type);
+    ihdr.push(0); // compression
+    ihdr.push(0); // filter method
+    ihdr.push(0); // no interlace
+    write_chunk(&mut out, b"IHDR", &ihdr);
+    write_chunk(&mut out, b"IDAT", &idat);
+    write_chunk(&mut out, b"IEND", &[]);
+    out
+}
+
+/// Encodes an 8-bit grayscale grid as a PNG.
+pub fn encode_gray(grid: &Grid2D<u8>, opts: PngOptions) -> Vec<u8> {
+    encode_impl(grid.width(), grid.height(), 0, 1, grid.data(), opts)
+}
+
+/// Encodes an RGB-8 grid as a PNG.
+pub fn encode_rgb(grid: &Grid2D<Rgb8>, opts: PngOptions) -> Vec<u8> {
+    let mut raw = Vec::with_capacity(grid.len() * 3);
+    for &px in grid.data() {
+        raw.extend_from_slice(&[px.r, px.g, px.b]);
+    }
+    encode_impl(grid.width(), grid.height(), 2, 3, &raw, opts)
+}
+
+/// A decoded PNG (only the subset this crate encodes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decoded {
+    /// 8-bit grayscale image.
+    Gray(Grid2D<u8>),
+    /// 8-bit RGB image.
+    Rgb(Grid2D<Rgb8>),
+}
+
+/// Decodes a PNG produced by this module (gray8/rgb8, filters None/Sub,
+/// stored or fixed-Huffman DEFLATE). Used by tests and examples to close
+/// the delivery loop.
+pub fn decode(png: &[u8]) -> Result<Decoded, String> {
+    if png.len() < 8 || png[..8] != SIGNATURE {
+        return Err("not a PNG".into());
+    }
+    let mut pos = 8usize;
+    let mut width = 0u32;
+    let mut height = 0u32;
+    let mut color_type = 0u8;
+    let mut idat = Vec::new();
+    let mut seen_ihdr = false;
+    while pos + 12 <= png.len() {
+        let len = u32::from_be_bytes(png[pos..pos + 4].try_into().unwrap()) as usize;
+        let kind = &png[pos + 4..pos + 8];
+        if pos + 12 + len > png.len() {
+            return Err("truncated chunk".into());
+        }
+        let data = &png[pos + 8..pos + 8 + len];
+        let crc_stored =
+            u32::from_be_bytes(png[pos + 8 + len..pos + 12 + len].try_into().unwrap());
+        let mut crc = Crc32::new();
+        crc.update(kind);
+        crc.update(data);
+        if crc.finish() != crc_stored {
+            return Err(format!("bad CRC in chunk {:?}", std::str::from_utf8(kind)));
+        }
+        match kind {
+            b"IHDR" => {
+                if data.len() != 13 {
+                    return Err("bad IHDR".into());
+                }
+                width = u32::from_be_bytes(data[0..4].try_into().unwrap());
+                height = u32::from_be_bytes(data[4..8].try_into().unwrap());
+                if data[8] != 8 {
+                    return Err("unsupported bit depth".into());
+                }
+                color_type = data[9];
+                if data[12] != 0 {
+                    return Err("interlacing unsupported".into());
+                }
+                seen_ihdr = true;
+            }
+            b"IDAT" => idat.extend_from_slice(data),
+            b"IEND" => break,
+            _ => {} // ancillary chunks ignored
+        }
+        pos += 12 + len;
+    }
+    if !seen_ihdr {
+        return Err("missing IHDR".into());
+    }
+    let bpp: usize = match color_type {
+        0 => 1,
+        2 => 3,
+        other => return Err(format!("unsupported color type {other}")),
+    };
+    let raw = zlib::inflate(&idat)?;
+    let stride = width as usize * bpp;
+    if raw.len() != (stride + 1) * height as usize {
+        return Err("decoded size mismatch".into());
+    }
+    let mut pixels = Vec::with_capacity(stride * height as usize);
+    for row in 0..height as usize {
+        let line = &raw[row * (stride + 1)..(row + 1) * (stride + 1)];
+        let filter = line[0];
+        let body = &line[1..];
+        match filter {
+            0 => pixels.extend_from_slice(body),
+            1 => {
+                let start = pixels.len();
+                for (i, &b) in body.iter().enumerate() {
+                    let left = if i >= bpp { pixels[start + i - bpp] } else { 0 };
+                    pixels.push(b.wrapping_add(left));
+                }
+            }
+            other => return Err(format!("unsupported filter {other}")),
+        }
+    }
+    Ok(match color_type {
+        0 => Decoded::Gray(Grid2D::from_vec(width, height, pixels)),
+        _ => {
+            let rgb: Vec<Rgb8> =
+                pixels.chunks_exact(3).map(|c| Rgb8::new(c[0], c[1], c[2])).collect();
+            Decoded::Rgb(Grid2D::from_vec(width, height, rgb))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(w: u32, h: u32) -> Grid2D<u8> {
+        Grid2D::from_fn(w, h, |c, r| ((c + r) % 256) as u8)
+    }
+
+    #[test]
+    fn signature_and_chunk_layout() {
+        let png = encode_gray(&gradient(4, 4), PngOptions::default());
+        assert_eq!(&png[..8], &SIGNATURE);
+        assert_eq!(&png[12..16], b"IHDR");
+        // Last 12 bytes are the IEND chunk.
+        assert_eq!(&png[png.len() - 8..png.len() - 4], b"IEND");
+    }
+
+    #[test]
+    fn gray_round_trip_all_configs() {
+        let img = gradient(33, 17);
+        for filter in [Filter::None, Filter::Sub] {
+            for strategy in [Strategy::Stored, Strategy::FixedHuffman] {
+                let png = encode_gray(&img, PngOptions { filter, strategy });
+                match decode(&png).unwrap() {
+                    Decoded::Gray(g) => assert_eq!(g, img, "{filter:?}/{strategy:?}"),
+                    _ => panic!("expected gray"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rgb_round_trip() {
+        let img = Grid2D::from_fn(16, 9, |c, r| Rgb8::new(c as u8 * 10, r as u8 * 20, 7));
+        let png = encode_rgb(&img, PngOptions::default());
+        match decode(&png).unwrap() {
+            Decoded::Rgb(g) => assert_eq!(g, img),
+            _ => panic!("expected rgb"),
+        }
+    }
+
+    #[test]
+    fn sub_filter_plus_huffman_compresses_gradients() {
+        let img = gradient(256, 256);
+        let none_stored =
+            encode_gray(&img, PngOptions { filter: Filter::None, strategy: Strategy::Stored });
+        let sub_fixed = encode_gray(
+            &img,
+            PngOptions { filter: Filter::Sub, strategy: Strategy::FixedHuffman },
+        );
+        assert!(
+            sub_fixed.len() * 10 < none_stored.len(),
+            "sub+fixed {} vs none+stored {}",
+            sub_fixed.len(),
+            none_stored.len()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let mut png = encode_gray(&gradient(8, 8), PngOptions::default());
+        png[20] ^= 0xFF; // corrupt IHDR payload -> CRC fails
+        assert!(decode(&png).is_err());
+        assert!(decode(b"not a png").is_err());
+    }
+
+    #[test]
+    fn one_pixel_image() {
+        let img = Grid2D::from_vec(1, 1, vec![200u8]);
+        let png = encode_gray(&img, PngOptions::default());
+        match decode(&png).unwrap() {
+            Decoded::Gray(g) => {
+                assert_eq!(g.get(0, 0), 200);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! zlib (RFC 1950) and DEFLATE (RFC 1951), from scratch.
+//!
+//! Two compressors are provided:
+//!
+//! * [`Strategy::Stored`] — uncompressed DEFLATE blocks: cheapest CPU,
+//!   no size reduction; and
+//! * [`Strategy::FixedHuffman`] — LZ77 (greedy hash-chain matching) with
+//!   the fixed Huffman alphabet: a real compressor that wins on the
+//!   smooth synthetic imagery the simulator produces.
+//!
+//! The ablation bench `a3_png_encoders` compares the two, and the
+//! [`inflate`] decoder (stored + fixed Huffman) closes the loop for
+//! round-trip tests.
+
+/// Compression strategy for [`compress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Uncompressed stored blocks.
+    Stored,
+    /// LZ77 + fixed Huffman codes.
+    #[default]
+    FixedHuffman,
+}
+
+/// Computes the Adler-32 checksum of a byte slice (RFC 1950 §8).
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    // Process in chunks small enough to defer the modulo.
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// Compresses `data` into a zlib stream.
+pub fn compress(data: &[u8], strategy: Strategy) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    // CMF: deflate, 32K window. FLG chosen so (CMF<<8 | FLG) % 31 == 0.
+    out.push(0x78);
+    out.push(0x01);
+    match strategy {
+        Strategy::Stored => deflate_stored(data, &mut out),
+        Strategy::FixedHuffman => deflate_fixed(data, &mut out),
+    }
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+/// Emits uncompressed stored blocks (max 65 535 bytes each).
+fn deflate_stored(data: &[u8], out: &mut Vec<u8>) {
+    let mut chunks = data.chunks(65_535).peekable();
+    if chunks.peek().is_none() {
+        // Empty input still needs one final (empty) stored block.
+        out.extend_from_slice(&[0x01, 0x00, 0x00, 0xFF, 0xFF]);
+        return;
+    }
+    while let Some(chunk) = chunks.next() {
+        let bfinal = u8::from(chunks.peek().is_none());
+        out.push(bfinal); // BTYPE=00 stored, bit-aligned at byte boundary
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+}
+
+/// LSB-first bit writer used by the fixed-Huffman encoder.
+struct BitWriter<'a> {
+    out: &'a mut Vec<u8>,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+impl<'a> BitWriter<'a> {
+    fn new(out: &'a mut Vec<u8>) -> Self {
+        BitWriter { out, bit_buf: 0, bit_count: 0 }
+    }
+
+    /// Writes `n` bits, LSB first (for extra bits and headers).
+    #[inline]
+    fn write_bits(&mut self, value: u32, n: u32) {
+        self.bit_buf |= u64::from(value) << self.bit_count;
+        self.bit_count += n;
+        while self.bit_count >= 8 {
+            self.out.push((self.bit_buf & 0xFF) as u8);
+            self.bit_buf >>= 8;
+            self.bit_count -= 8;
+        }
+    }
+
+    /// Writes a Huffman code (MSB of the code first, per RFC 1951 §3.1.1).
+    #[inline]
+    fn write_code(&mut self, code: u32, len: u32) {
+        // Reverse the code's bits, then emit LSB-first.
+        let rev = code.reverse_bits() >> (32 - len);
+        self.write_bits(rev, len);
+    }
+
+    fn flush(&mut self) {
+        if self.bit_count > 0 {
+            self.out.push((self.bit_buf & 0xFF) as u8);
+            self.bit_buf = 0;
+            self.bit_count = 0;
+        }
+    }
+}
+
+/// Fixed-Huffman literal/length code for a symbol (RFC 1951 §3.2.6).
+#[inline]
+fn fixed_litlen_code(sym: u32) -> (u32, u32) {
+    match sym {
+        0..=143 => (0x30 + sym, 8),
+        144..=255 => (0x190 + (sym - 144), 9),
+        256..=279 => (sym - 256, 7),
+        _ => (0xC0 + (sym - 280), 8),
+    }
+}
+
+/// Length symbol table: `(base_length, extra_bits)` for codes 257..=285.
+const LENGTH_TABLE: [(u32, u32); 29] = [
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
+    (258, 0),
+];
+
+/// Distance symbol table: `(base_distance, extra_bits)` for codes 0..=29.
+const DIST_TABLE: [(u32, u32); 30] = [
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
+];
+
+/// Finds the length symbol for a match length in 3..=258.
+#[inline]
+fn length_symbol(len: u32) -> usize {
+    debug_assert!((3..=258).contains(&len));
+    // Linear scan is fine: table is tiny and access patterns favor low codes.
+    let mut sym = 0;
+    for (i, &(base, _)) in LENGTH_TABLE.iter().enumerate() {
+        if base <= len {
+            sym = i;
+        } else {
+            break;
+        }
+    }
+    sym
+}
+
+/// Finds the distance symbol for a distance in 1..=32768.
+#[inline]
+fn dist_symbol(dist: u32) -> usize {
+    debug_assert!((1..=32_768).contains(&dist));
+    let mut sym = 0;
+    for (i, &(base, _)) in DIST_TABLE.iter().enumerate() {
+        if base <= dist {
+            sym = i;
+        } else {
+            break;
+        }
+    }
+    sym
+}
+
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const WINDOW: usize = 32_768;
+const HASH_BITS: u32 = 15;
+const MAX_CHAIN: usize = 64;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (u32::from(data[i]) << 16) | (u32::from(data[i + 1]) << 8) | u32::from(data[i + 2]);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// LZ77 + fixed-Huffman DEFLATE (single final block).
+fn deflate_fixed(data: &[u8], out: &mut Vec<u8>) {
+    let mut bw = BitWriter::new(out);
+    bw.write_bits(1, 1); // BFINAL
+    bw.write_bits(1, 2); // BTYPE=01 fixed Huffman
+
+    let n = data.len();
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; n.max(1)];
+    let mut i = 0;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
+                // Measure the match length.
+                let max_len = (n - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < max_len && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l >= max_len {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+            prev[i] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            let len = best_len as u32;
+            let dist = best_dist as u32;
+            let ls = length_symbol(len);
+            let (lbase, lextra) = LENGTH_TABLE[ls];
+            let (code, bits) = fixed_litlen_code(257 + ls as u32);
+            bw.write_code(code, bits);
+            if lextra > 0 {
+                bw.write_bits(len - lbase, lextra);
+            }
+            let ds = dist_symbol(dist);
+            let (dbase, dextra) = DIST_TABLE[ds];
+            bw.write_code(ds as u32, 5);
+            if dextra > 0 {
+                bw.write_bits(dist - dbase, dextra);
+            }
+            // Insert the skipped positions into the hash chains.
+            let end = i + best_len;
+            let mut j = i + 1;
+            while j < end && j + MIN_MATCH <= n {
+                let h = hash3(data, j);
+                prev[j] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i = end;
+        } else {
+            let (code, bits) = fixed_litlen_code(u32::from(data[i]));
+            bw.write_code(code, bits);
+            i += 1;
+        }
+    }
+    // End-of-block symbol 256.
+    let (code, bits) = fixed_litlen_code(256);
+    bw.write_code(code, bits);
+    bw.flush();
+}
+
+/// LSB-first bit reader for [`inflate`].
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, bit_buf: 0, bit_count: 0 }
+    }
+
+    fn fill(&mut self) {
+        while self.bit_count <= 56 && self.pos < self.data.len() {
+            self.bit_buf |= u64::from(self.data[self.pos]) << self.bit_count;
+            self.pos += 1;
+            self.bit_count += 8;
+        }
+    }
+
+    fn read_bits(&mut self, n: u32) -> Result<u32, String> {
+        self.fill();
+        if self.bit_count < n {
+            return Err("unexpected end of deflate stream".into());
+        }
+        let v = (self.bit_buf & ((1u64 << n) - 1)) as u32;
+        self.bit_buf >>= n;
+        self.bit_count -= n;
+        Ok(v)
+    }
+
+    fn align_byte(&mut self) {
+        let drop = self.bit_count % 8;
+        self.bit_buf >>= drop;
+        self.bit_count -= drop;
+    }
+
+    fn read_bytes(&mut self, n: usize, out: &mut Vec<u8>) -> Result<(), String> {
+        for _ in 0..n {
+            let b = self.read_bits(8)?;
+            out.push(b as u8);
+        }
+        Ok(())
+    }
+}
+
+/// Reads one fixed-Huffman literal/length symbol (MSB-first code).
+fn read_fixed_litlen(r: &mut BitReader<'_>) -> Result<u32, String> {
+    // Codes are 7-9 bits; read 7 MSB-first bits then extend as needed.
+    let mut code = 0u32;
+    for _ in 0..7 {
+        code = (code << 1) | r.read_bits(1)?;
+    }
+    if code <= 0x17 {
+        return Ok(256 + code); // 7-bit codes 0000000-0010111
+    }
+    code = (code << 1) | r.read_bits(1)?;
+    if (0x30..=0xBF).contains(&code) {
+        return Ok(code - 0x30); // literals 0-143
+    }
+    if (0xC0..=0xC7).contains(&code) {
+        return Ok(280 + (code - 0xC0));
+    }
+    code = (code << 1) | r.read_bits(1)?;
+    if (0x190..=0x1FF).contains(&code) {
+        return Ok(144 + (code - 0x190));
+    }
+    Err(format!("invalid fixed huffman code {code:#x}"))
+}
+
+/// Decompresses a zlib stream produced by [`compress`] (stored and fixed
+/// Huffman blocks; dynamic Huffman is not needed to decode our own
+/// output and is rejected).
+pub fn inflate(zdata: &[u8]) -> Result<Vec<u8>, String> {
+    if zdata.len() < 6 {
+        return Err("zlib stream too short".into());
+    }
+    let cmf = zdata[0];
+    let flg = zdata[1];
+    if cmf & 0x0F != 8 {
+        return Err("not a deflate stream".into());
+    }
+    if (u32::from(cmf) * 256 + u32::from(flg)) % 31 != 0 {
+        return Err("bad zlib header check".into());
+    }
+    let body = &zdata[2..zdata.len() - 4];
+    let mut r = BitReader::new(body);
+    let mut out = Vec::new();
+    loop {
+        let bfinal = r.read_bits(1)?;
+        let btype = r.read_bits(2)?;
+        match btype {
+            0 => {
+                r.align_byte();
+                let len = r.read_bits(16)? as usize;
+                let nlen = r.read_bits(16)? as usize;
+                if len != (!nlen & 0xFFFF) {
+                    return Err("stored block LEN/NLEN mismatch".into());
+                }
+                r.read_bytes(len, &mut out)?;
+            }
+            1 => loop {
+                let sym = read_fixed_litlen(&mut r)?;
+                match sym {
+                    0..=255 => out.push(sym as u8),
+                    256 => break,
+                    257..=285 => {
+                        let (lbase, lextra) = LENGTH_TABLE[(sym - 257) as usize];
+                        let len = lbase + r.read_bits(lextra)?;
+                        let mut dcode = 0u32;
+                        for _ in 0..5 {
+                            dcode = (dcode << 1) | r.read_bits(1)?;
+                        }
+                        if dcode > 29 {
+                            return Err(format!("invalid distance code {dcode}"));
+                        }
+                        let (dbase, dextra) = DIST_TABLE[dcode as usize];
+                        let dist = (dbase + r.read_bits(dextra)?) as usize;
+                        if dist == 0 || dist > out.len() {
+                            return Err("distance exceeds output".into());
+                        }
+                        let start = out.len() - dist;
+                        for k in 0..len as usize {
+                            let b = out[start + k];
+                            out.push(b);
+                        }
+                    }
+                    _ => return Err(format!("invalid literal/length symbol {sym}")),
+                }
+            },
+            2 => return Err("dynamic huffman blocks not supported".into()),
+            _ => return Err("invalid block type".into()),
+        }
+        if bfinal == 1 {
+            break;
+        }
+    }
+    let expect = u32::from_be_bytes([
+        zdata[zdata.len() - 4],
+        zdata[zdata.len() - 3],
+        zdata[zdata.len() - 2],
+        zdata[zdata.len() - 1],
+    ]);
+    let got = adler32(&out);
+    if expect != got {
+        return Err(format!("adler32 mismatch: stream {expect:#x}, data {got:#x}"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adler32_known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn stored_round_trip() {
+        for data in [b"".as_slice(), b"hello world", &[0u8; 100_000], b"a"] {
+            let z = compress(data, Strategy::Stored);
+            assert_eq!(inflate(&z).unwrap(), data, "len {}", data.len());
+        }
+    }
+
+    #[test]
+    fn fixed_huffman_round_trip_text() {
+        let data = b"the quick brown fox jumps over the lazy dog, the quick brown fox";
+        let z = compress(data, Strategy::FixedHuffman);
+        assert_eq!(inflate(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn fixed_huffman_round_trip_binary() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let z = compress(&data, Strategy::FixedHuffman);
+        assert_eq!(inflate(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn fixed_huffman_round_trip_repetitive() {
+        let mut data = Vec::new();
+        for i in 0..500 {
+            data.extend_from_slice(format!("row {} of synthetic image\n", i % 7).as_bytes());
+        }
+        let z = compress(&data, Strategy::FixedHuffman);
+        assert_eq!(inflate(&z).unwrap(), data);
+        // Repetitive data must actually compress.
+        assert!(z.len() < data.len() / 2, "compressed {} of {}", z.len(), data.len());
+    }
+
+    #[test]
+    fn fixed_huffman_round_trip_empty_and_tiny() {
+        for data in [b"".as_slice(), b"x", b"ab", b"abc"] {
+            let z = compress(data, Strategy::FixedHuffman);
+            assert_eq!(inflate(&z).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn fixed_beats_stored_on_smooth_data() {
+        // Smooth gradient, like synthetic radiance rows.
+        let data: Vec<u8> = (0..50_000).map(|i| ((i / 200) % 256) as u8).collect();
+        let zs = compress(&data, Strategy::Stored);
+        let zf = compress(&data, Strategy::FixedHuffman);
+        assert!(zf.len() < zs.len() / 4, "fixed {} vs stored {}", zf.len(), zs.len());
+    }
+
+    #[test]
+    fn inflate_rejects_corruption() {
+        let mut z = compress(b"hello hello hello", Strategy::FixedHuffman);
+        let last = z.len() - 1;
+        z[last] ^= 0xFF; // break the adler checksum
+        assert!(inflate(&z).is_err());
+        assert!(inflate(&[0x78]).is_err());
+        assert!(inflate(&[0x00, 0x01, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn length_and_distance_symbols() {
+        assert_eq!(length_symbol(3), 0);
+        assert_eq!(length_symbol(10), 7);
+        assert_eq!(length_symbol(11), 8);
+        assert_eq!(length_symbol(258), 28);
+        assert_eq!(dist_symbol(1), 0);
+        assert_eq!(dist_symbol(4), 3);
+        assert_eq!(dist_symbol(5), 4);
+        assert_eq!(dist_symbol(24577), 29);
+        assert_eq!(dist_symbol(32768), 29);
+    }
+}

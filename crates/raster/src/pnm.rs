@@ -1,0 +1,41 @@
+//! Minimal PGM/PPM (netpbm) writers for debugging and golden files.
+
+use crate::grid::Grid2D;
+use crate::pixel::Rgb8;
+
+/// Serializes a grayscale grid as binary PGM (P5).
+pub fn write_pgm(grid: &Grid2D<u8>) -> Vec<u8> {
+    let mut out = format!("P5\n{} {}\n255\n", grid.width(), grid.height()).into_bytes();
+    out.extend_from_slice(grid.data());
+    out
+}
+
+/// Serializes an RGB grid as binary PPM (P6).
+pub fn write_ppm(grid: &Grid2D<Rgb8>) -> Vec<u8> {
+    let mut out = format!("P6\n{} {}\n255\n", grid.width(), grid.height()).into_bytes();
+    for px in grid.data() {
+        out.extend_from_slice(&[px.r, px.g, px.b]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_header_and_size() {
+        let g = Grid2D::from_fn(3, 2, |c, r| (r * 3 + c) as u8);
+        let bytes = write_pgm(&g);
+        assert!(bytes.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n3 2\n255\n".len() + 6);
+        assert_eq!(&bytes[bytes.len() - 6..], &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn ppm_payload_is_interleaved_rgb() {
+        let g = Grid2D::from_vec(1, 1, vec![Rgb8::new(9, 8, 7)]);
+        let bytes = write_ppm(&g);
+        assert_eq!(&bytes[bytes.len() - 3..], &[9, 8, 7]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Resampling kernels for spatial transforms.
+//!
+//! §3.2 of the paper: "for a point y ∈ Y, either the nearest point in the
+//! original point lattice is chosen to supply the point value, or a
+//! function is applied to a neighborhood of pixels … linear interpolations
+//! or higher-order fitting routines." These kernels are used by the
+//! re-projection operator and by resolution changes.
+
+use crate::grid::Grid2D;
+use crate::pixel::Pixel;
+use serde::{Deserialize, Serialize};
+
+/// Interpolation kernel choice for spatial transforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Nearest-neighbor: one source pixel per output pixel.
+    #[default]
+    Nearest,
+    /// Bilinear: 2×2 neighborhood, linear interpolation.
+    Bilinear,
+    /// Bicubic (Catmull-Rom): 4×4 neighborhood.
+    Bicubic,
+}
+
+impl Kernel {
+    /// Half-width of the neighborhood in source pixels (how many rows the
+    /// streaming operator must buffer around the current scanline).
+    pub fn support(self) -> u32 {
+        match self {
+            Kernel::Nearest => 0,
+            Kernel::Bilinear => 1,
+            Kernel::Bicubic => 2,
+        }
+    }
+}
+
+/// Anything a kernel can sample from: a clamped `(col, row) → f64`
+/// accessor. Implemented by [`Grid2D`] and by the re-projection
+/// operator's streaming row window.
+pub trait SampleSource {
+    /// Value at the (clamped) integer cell.
+    fn at(&self, col: i64, row: i64) -> f64;
+}
+
+impl<T: Pixel> SampleSource for Grid2D<T> {
+    #[inline]
+    fn at(&self, col: i64, row: i64) -> f64 {
+        self.get_clamped(col, row).to_f64()
+    }
+}
+
+/// Samples a source at fractional cell coordinates `(fc, fr)` using the
+/// kernel; coordinates are clamped by the source.
+pub fn sample_source<S: SampleSource + ?Sized>(src: &S, fc: f64, fr: f64, kernel: Kernel) -> f64 {
+    match kernel {
+        Kernel::Nearest => src.at(fc.round() as i64, fr.round() as i64),
+        Kernel::Bilinear => {
+            let c0 = fc.floor();
+            let r0 = fr.floor();
+            let tx = fc - c0;
+            let ty = fr - r0;
+            let (c0, r0) = (c0 as i64, r0 as i64);
+            let v00 = src.at(c0, r0);
+            let v10 = src.at(c0 + 1, r0);
+            let v01 = src.at(c0, r0 + 1);
+            let v11 = src.at(c0 + 1, r0 + 1);
+            let top = v00 + (v10 - v00) * tx;
+            let bot = v01 + (v11 - v01) * tx;
+            top + (bot - top) * ty
+        }
+        Kernel::Bicubic => {
+            let c0 = fc.floor() as i64;
+            let r0 = fr.floor() as i64;
+            let tx = fc - fc.floor();
+            let ty = fr - fr.floor();
+            let mut rows = [0.0; 4];
+            for (j, row_acc) in rows.iter_mut().enumerate() {
+                let r = r0 - 1 + j as i64;
+                let p = [
+                    src.at(c0 - 1, r),
+                    src.at(c0, r),
+                    src.at(c0 + 1, r),
+                    src.at(c0 + 2, r),
+                ];
+                *row_acc = catmull_rom(p, tx);
+            }
+            catmull_rom(rows, ty)
+        }
+    }
+}
+
+/// Samples the grid at fractional cell coordinates `(fc, fr)` using the
+/// kernel; coordinates are clamped to the grid.
+pub fn sample<T: Pixel>(grid: &Grid2D<T>, fc: f64, fr: f64, kernel: Kernel) -> f64 {
+    sample_source(grid, fc, fr, kernel)
+}
+
+/// Catmull-Rom cubic interpolation of four samples at parameter `t∈[0,1]`.
+#[inline]
+fn catmull_rom(p: [f64; 4], t: f64) -> f64 {
+    let [p0, p1, p2, p3] = p;
+    let a = -0.5 * p0 + 1.5 * p1 - 1.5 * p2 + 0.5 * p3;
+    let b = p0 - 2.5 * p1 + 2.0 * p2 - 0.5 * p3;
+    let c = -0.5 * p0 + 0.5 * p2;
+    let d = p1;
+    ((a * t + b) * t + c) * t + d
+}
+
+/// Averages `k × k` blocks: the neighborhood function of a 1/k resolution
+/// decrease (Fig. 2a of the paper). Trailing pixels that do not fill a
+/// block are dropped, matching `LatticeGeoref::reduced`.
+pub fn block_average<T: Pixel>(grid: &Grid2D<T>, k: u32) -> Grid2D<T> {
+    assert!(k >= 1, "block size must be >= 1");
+    let out_w = grid.width() / k;
+    let out_h = grid.height() / k;
+    Grid2D::from_fn(out_w, out_h, |c, r| {
+        let mut acc = 0.0;
+        for dr in 0..k {
+            for dc in 0..k {
+                acc += grid.get(c * k + dc, r * k + dr).to_f64();
+            }
+        }
+        T::from_f64(acc / f64::from(k * k))
+    })
+}
+
+/// Replicates each pixel into a `k × k` block: a k× magnification, which
+/// per §3.2 "would take an incoming point x and produce a rectangular
+/// lattice of k·k points in Y, all with the point value G(x)".
+pub fn magnify<T: Pixel>(grid: &Grid2D<T>, k: u32) -> Grid2D<T> {
+    assert!(k >= 1, "magnification must be >= 1");
+    Grid2D::from_fn(grid.width() * k, grid.height() * k, |c, r| grid.get(c / k, r / k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Grid2D<f32> {
+        Grid2D::from_fn(4, 4, |c, r| (r * 4 + c) as f32)
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        let g = ramp();
+        assert_eq!(sample(&g, 1.4, 0.4, Kernel::Nearest), 1.0);
+        assert_eq!(sample(&g, 1.6, 0.6, Kernel::Nearest), 6.0);
+    }
+
+    #[test]
+    fn bilinear_interpolates_midpoints() {
+        let g = ramp();
+        // Between cells (0,0)=0 and (1,0)=1.
+        assert!((sample(&g, 0.5, 0.0, Kernel::Bilinear) - 0.5).abs() < 1e-9);
+        // Center of the 2x2 block {0,1,4,5} -> 2.5.
+        assert!((sample(&g, 0.5, 0.5, Kernel::Bilinear) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bicubic_reproduces_linear_fields_exactly() {
+        // Catmull-Rom has linear precision: a linear ramp is reproduced
+        // wherever the full 4×4 support lies inside the grid.
+        let g = Grid2D::from_fn(8, 8, |c, r| (r * 8 + c) as f32);
+        for &(fc, fr) in &[(1.25, 1.5), (3.0, 2.75), (2.5, 4.5), (5.9, 1.1)] {
+            let expect = fr * 8.0 + fc;
+            let got = sample(&g, fc, fr, Kernel::Bicubic);
+            assert!((got - expect).abs() < 1e-9, "({fc},{fr}) -> {got}, want {expect}");
+        }
+    }
+
+    #[test]
+    fn kernels_clamp_at_borders() {
+        let g = ramp();
+        assert_eq!(sample(&g, -5.0, -5.0, Kernel::Nearest), 0.0);
+        let v = sample(&g, -0.5, 0.0, Kernel::Bilinear);
+        assert!((v - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_average_2x2() {
+        let g = Grid2D::from_fn(4, 2, |c, r| (r * 4 + c) as f32);
+        let out = block_average(&g, 2);
+        assert_eq!(out.width(), 2);
+        assert_eq!(out.height(), 1);
+        // Block {0,1,4,5} -> 2.5; block {2,3,6,7} -> 4.5.
+        assert!((out.get(0, 0) - 2.5).abs() < 1e-6);
+        assert!((out.get(1, 0) - 4.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn block_average_drops_partial_blocks() {
+        let g: Grid2D<u8> = Grid2D::new(5, 5);
+        let out = block_average(&g, 2);
+        assert_eq!((out.width(), out.height()), (2, 2));
+    }
+
+    #[test]
+    fn magnify_replicates_values() {
+        let g = Grid2D::from_fn(2, 1, |c, _| c as u8);
+        let out = magnify(&g, 3);
+        assert_eq!((out.width(), out.height()), (6, 3));
+        assert_eq!(out.get(2, 2), 0);
+        assert_eq!(out.get(3, 0), 1);
+    }
+
+    #[test]
+    fn magnify_then_average_is_identity() {
+        let g = Grid2D::from_fn(3, 3, |c, r| (r * 3 + c) as f32);
+        let round = block_average(&magnify(&g, 4), 4);
+        for (c, r, v) in g.iter_cells() {
+            assert!((round.get(c, r) - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn kernel_support_widths() {
+        assert_eq!(Kernel::Nearest.support(), 0);
+        assert_eq!(Kernel::Bilinear.support(), 1);
+        assert_eq!(Kernel::Bicubic.support(), 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! Pixel statistics for frame-scoped value transforms.
+//!
+//! §3.2 of the paper: "in order to fully utilize the complete range of
+//! values in V, point values can be scaled. Typical approaches include
+//! linear contrast stretch, histogram equalization, and Gaussian
+//! stretch." All three need running statistics over a frame — the
+//! min/max tracker for the linear stretch, the histogram for
+//! equalization, and mean/variance for the Gaussian stretch.
+
+use serde::{Deserialize, Serialize};
+
+/// Running min/max/mean/variance of a value sequence (Welford's method).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeTracker {
+    /// Number of values observed.
+    pub count: u64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Default for RangeTracker {
+    fn default() -> Self {
+        RangeTracker { count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, mean: 0.0, m2: 0.0 }
+    }
+}
+
+impl RangeTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes a value.
+    #[inline]
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 when fewer than 2 values).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Width of the observed range (0 when empty).
+    pub fn range(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Linearly rescales `v` from the observed range onto `[lo, hi]`
+    /// (linear contrast stretch). Degenerate ranges map to the midpoint.
+    pub fn stretch(&self, v: f64, lo: f64, hi: f64) -> f64 {
+        let r = self.range();
+        if r <= 0.0 {
+            (lo + hi) / 2.0
+        } else {
+            lo + (v - self.min) / r * (hi - lo)
+        }
+    }
+
+    /// Gaussian stretch: maps `v` by its z-score so that ±`n_sigma`
+    /// standard deviations cover `[lo, hi]`, clamped.
+    pub fn gaussian_stretch(&self, v: f64, lo: f64, hi: f64, n_sigma: f64) -> f64 {
+        let sd = self.std_dev();
+        if sd <= 0.0 {
+            return (lo + hi) / 2.0;
+        }
+        let z = ((v - self.mean()) / (n_sigma * sd)).clamp(-1.0, 1.0);
+        lo + (z + 1.0) / 2.0 * (hi - lo)
+    }
+
+    /// Merges another tracker into this one.
+    pub fn merge(&mut self, other: &RangeTracker) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A fixed-bin histogram over a value interval, with the cumulative
+///-distribution lookup used by histogram equalization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `n_bins` equal bins over `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64, n_bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-degenerate");
+        assert!(n_bins >= 1, "histogram needs at least one bin");
+        Histogram { lo, hi, bins: vec![0; n_bins], count: 0 }
+    }
+
+    /// Bin index for a value (clamped to the range).
+    #[inline]
+    fn bin_of(&self, v: f64) -> usize {
+        let t = ((v - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        ((t * self.bins.len() as f64) as usize).min(self.bins.len() - 1)
+    }
+
+    /// Observes a value.
+    #[inline]
+    pub fn push(&mut self, v: f64) {
+        let b = self.bin_of(v);
+        self.bins[b] += 1;
+        self.count += 1;
+    }
+
+    /// Total number of observed values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Empirical CDF at `v`, in `[0, 1]`.
+    pub fn cdf(&self, v: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let b = self.bin_of(v);
+        let below: u64 = self.bins[..=b].iter().sum();
+        below as f64 / self.count as f64
+    }
+
+    /// Builds the equalization lookup table: for each of `levels` output
+    /// levels, the CDF value of the corresponding input level, scaled to
+    /// `[0, 1]`. Applying `lut[level_of(v)]` equalizes the histogram.
+    pub fn equalization_lut(&self, levels: usize) -> Vec<f64> {
+        let mut lut = Vec::with_capacity(levels);
+        let mut cumulative = 0u64;
+        // Resample bins onto `levels` output positions.
+        for i in 0..levels {
+            let upto = ((i + 1) * self.bins.len()) / levels;
+            let from = (i * self.bins.len()) / levels;
+            cumulative += self.bins[from..upto].iter().sum::<u64>();
+            lut.push(if self.count == 0 { 0.0 } else { cumulative as f64 / self.count as f64 });
+        }
+        lut
+    }
+
+    /// Equalized value of `v`, mapped onto `[lo_out, hi_out]`.
+    pub fn equalize(&self, v: f64, lo_out: f64, hi_out: f64) -> f64 {
+        lo_out + self.cdf(v) * (hi_out - lo_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_min_max_mean() {
+        let mut t = RangeTracker::new();
+        for v in [2.0, 4.0, 6.0, 8.0] {
+            t.push(v);
+        }
+        assert_eq!(t.min, 2.0);
+        assert_eq!(t.max, 8.0);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        assert!((t.std_dev() - 5.0f64.sqrt()).abs() < 1e-9); // pop var = 5
+    }
+
+    #[test]
+    fn tracker_stretch_maps_extremes() {
+        let mut t = RangeTracker::new();
+        t.push(10.0);
+        t.push(20.0);
+        assert!((t.stretch(10.0, 0.0, 255.0) - 0.0).abs() < 1e-12);
+        assert!((t.stretch(20.0, 0.0, 255.0) - 255.0).abs() < 1e-12);
+        assert!((t.stretch(15.0, 0.0, 255.0) - 127.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_degenerate_range() {
+        let mut t = RangeTracker::new();
+        t.push(7.0);
+        t.push(7.0);
+        assert_eq!(t.stretch(7.0, 0.0, 100.0), 50.0);
+        assert_eq!(t.gaussian_stretch(7.0, 0.0, 100.0, 2.0), 50.0);
+    }
+
+    #[test]
+    fn tracker_merge_matches_bulk() {
+        let mut a = RangeTracker::new();
+        let mut b = RangeTracker::new();
+        let mut all = RangeTracker::new();
+        for i in 0..50 {
+            let v = (i as f64).sin() * 10.0;
+            if i % 2 == 0 {
+                a.push(v);
+            } else {
+                b.push(v);
+            }
+            all.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, all.count);
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - all.std_dev()).abs() < 1e-9);
+        assert_eq!(a.min, all.min);
+        assert_eq!(a.max, all.max);
+    }
+
+    #[test]
+    fn gaussian_stretch_is_monotone_and_clamped() {
+        let mut t = RangeTracker::new();
+        for i in 0..100 {
+            t.push(f64::from(i));
+        }
+        let lo = t.gaussian_stretch(-1000.0, 0.0, 1.0, 2.0);
+        let mid = t.gaussian_stretch(t.mean(), 0.0, 1.0, 2.0);
+        let hi = t.gaussian_stretch(1000.0, 0.0, 1.0, 2.0);
+        assert_eq!(lo, 0.0);
+        assert!((mid - 0.5).abs() < 1e-9);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn histogram_cdf_uniform() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.push(f64::from(i));
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.cdf(9.9) - 0.1).abs() < 1e-9);
+        assert!((h.cdf(99.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_equalization_spreads_skewed_data() {
+        let mut h = Histogram::new(0.0, 1.0, 256);
+        // 90% of mass at low values, 10% at high.
+        for i in 0..90 {
+            h.push(f64::from(i) / 1000.0);
+        }
+        for i in 0..10 {
+            h.push(0.9 + f64::from(i) / 100.0);
+        }
+        // After equalization the low cluster occupies ~90% of the range.
+        let eq_low = h.equalize(0.09, 0.0, 1.0);
+        assert!(eq_low > 0.85, "eq_low = {eq_low}");
+    }
+
+    #[test]
+    fn equalization_lut_is_monotone() {
+        let mut h = Histogram::new(0.0, 255.0, 64);
+        for i in 0..1000 {
+            h.push(f64::from(i % 256));
+        }
+        let lut = h.equalization_lut(256);
+        assert_eq!(lut.len(), 256);
+        for w in lut.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((lut[255] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-degenerate")]
+    fn histogram_rejects_bad_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,69 @@
+//! Airborne frame-camera preset (Fig. 1a).
+//!
+//! "Airborne cameras typically obtain data in an image-by-image fashion
+//! … several consecutive frames that cover possibly different spatial
+//! regions." The camera flies north-east, each sector (= one captured
+//! frame) shifted by a fraction of the footprint, so consecutive frames
+//! overlap like a real photogrammetric strip.
+
+use crate::field::{BandKind, EarthModel};
+use crate::instrument::{BandSpec, Instrument};
+use crate::scanner::Scanner;
+use geostreams_core::model::{Organization, TimeSemantics};
+use geostreams_geo::{Crs, LatticeGeoref, Rect};
+
+/// Builds an airborne RGB-ish frame camera flying over the given start
+/// footprint with 40 % forward overlap between consecutive frames.
+pub fn airborne_camera(footprint: Rect, width: u32, height: u32, seed: u64) -> Scanner {
+    let base_lattice = LatticeGeoref::north_up(Crs::LatLon, footprint, width, height);
+    let drift = (footprint.width() * 0.6, footprint.height() * 0.6);
+    let instrument = Instrument {
+        name: "aircam".into(),
+        crs: Crs::LatLon,
+        organization: Organization::ImageByImage,
+        time_semantics: TimeSemantics::SectorId,
+        bands: vec![
+            BandSpec { id: 1, name: "red".into(), kind: BandKind::Visible, reduction: 1 },
+            BandSpec { id: 2, name: "nir".into(), kind: BandKind::NearInfrared, reduction: 1 },
+        ],
+        base_lattice,
+        sector_period: 1,
+        drift_per_sector: drift,
+    };
+    Scanner::new(instrument, EarthModel::new(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostreams_core::model::{Element, GeoStream};
+
+    #[test]
+    fn frames_cover_shifting_overlapping_regions() {
+        let sc = airborne_camera(Rect::new(-122.0, 37.0, -121.5, 37.4), 16, 16, 3);
+        let mut s = sc.band_stream(0, 3);
+        let mut footprints = Vec::new();
+        while let Some(el) = s.next_element() {
+            if let Element::SectorStart(si) = el {
+                footprints.push(si.lattice.world_bbox());
+            }
+        }
+        assert_eq!(footprints.len(), 3);
+        // Consecutive frames overlap but are not identical.
+        for w in footprints.windows(2) {
+            assert!(w[0].intersects(&w[1]), "consecutive frames overlap");
+            assert!(w[1].x_min > w[0].x_min, "the aircraft advances");
+        }
+        // Non-consecutive frames are disjoint (0.6 shift each).
+        assert!(!footprints[0].intersects(&footprints[2]));
+    }
+
+    #[test]
+    fn image_by_image_organization() {
+        let sc = airborne_camera(Rect::new(0.0, 0.0, 1.0, 1.0), 8, 8, 1);
+        let mut s = sc.band_stream(0, 2);
+        let els = s.drain_elements();
+        let frames = els.iter().filter(|e| matches!(e, Element::FrameStart(_))).count();
+        assert_eq!(frames, 2, "one frame per captured image");
+    }
+}

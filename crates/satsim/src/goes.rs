@@ -1,0 +1,94 @@
+//! GOES-like imager preset.
+//!
+//! The paper's prototype processes GOES imager data: 5 spectral channels
+//! streamed row-by-row in the satellite-native "GOES Variable Format",
+//! with a visible-band frame of up to 20 840 × 10 820 points at 1 km
+//! resolution (§3.2) and IR channels at 4 km. This preset reproduces
+//! that structure on the geostationary view projection at a configurable
+//! scale factor (scale 1.0 ≈ the real CONUS sector dimensions; tests and
+//! benches use small scales).
+
+use crate::field::{BandKind, EarthModel};
+use crate::instrument::{BandSpec, Instrument};
+use crate::scanner::Scanner;
+use geostreams_core::model::{Organization, TimeSemantics};
+use geostreams_geo::{Coord, Crs, LatticeGeoref, Rect};
+
+/// Sub-satellite longitude of the simulated GOES-East-like satellite.
+pub const GOES_LON0: f64 = -75.0;
+
+/// Full-scale CONUS-like sector dimensions for the visible band.
+pub const FULL_VIS_WIDTH: u32 = 20_840;
+/// Full-scale CONUS-like sector height for the visible band.
+pub const FULL_VIS_HEIGHT: u32 = 10_820;
+
+/// Builds a GOES-like scanner.
+///
+/// `vis_width`/`vis_height` set the visible-band sector dimensions
+/// (IR bands deliver 1/4 of that per axis); radiance comes from
+/// `EarthModel::new(seed)`.
+pub fn goes_like(vis_width: u32, vis_height: u32, seed: u64) -> Scanner {
+    let geos = Crs::geostationary(GOES_LON0);
+    // A CONUS-ish scan sector in geostationary scan coordinates.
+    let sw = geos.forward(Coord::new(-113.0, 22.0)).expect("CONUS visible from GOES-East");
+    let ne = geos.forward(Coord::new(-68.0, 48.0)).expect("CONUS visible from GOES-East");
+    let bounds = Rect::new(sw.x, sw.y, ne.x, ne.y);
+    let base_lattice = LatticeGeoref::north_up(geos, bounds, vis_width, vis_height);
+    let instrument = Instrument {
+        name: "goes-sim".into(),
+        crs: geos,
+        organization: Organization::RowByRow,
+        time_semantics: TimeSemantics::SectorId,
+        bands: vec![
+            BandSpec { id: 1, name: "b1-vis".into(), kind: BandKind::Visible, reduction: 1 },
+            BandSpec { id: 2, name: "b2-nir".into(), kind: BandKind::NearInfrared, reduction: 4 },
+            BandSpec { id: 3, name: "b3-wv".into(), kind: BandKind::WaterVapor, reduction: 4 },
+            BandSpec { id: 4, name: "b4-ir".into(), kind: BandKind::ThermalIr, reduction: 4 },
+            BandSpec { id: 5, name: "b5-ir".into(), kind: BandKind::ThermalIrDirty, reduction: 4 },
+        ],
+        base_lattice,
+        sector_period: 1,
+        drift_per_sector: (0.0, 0.0),
+    };
+    Scanner::new(instrument, EarthModel::new(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostreams_core::model::GeoStream;
+
+    #[test]
+    fn preset_has_five_bands_with_goes_resolutions() {
+        let sc = goes_like(64, 32, 1);
+        assert_eq!(sc.instrument.bands.len(), 5);
+        assert_eq!(sc.instrument.band_lattice(0).width, 64);
+        assert_eq!(sc.instrument.band_lattice(1).width, 16); // 1/4
+        assert_eq!(sc.instrument.crs, Crs::geostationary(GOES_LON0));
+    }
+
+    #[test]
+    fn streams_carry_geostationary_lattices() {
+        let sc = goes_like(32, 16, 1);
+        let mut s = sc.band_stream(0, 1);
+        assert_eq!(s.schema().crs, Crs::geostationary(GOES_LON0));
+        let pts = s.drain_points();
+        assert_eq!(pts.len(), 32 * 16);
+        // Radiance is in [0, 1].
+        assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.value)));
+        // And not constant (the Earth has structure).
+        let first = pts[0].value;
+        assert!(pts.iter().any(|p| (p.value - first).abs() > 0.01));
+    }
+
+    #[test]
+    fn full_scale_constants_match_the_paper() {
+        // §3.2: "for GOES, the maximum frame size is about 20,840 by
+        // 10,820 points for the visible band at 1km resolution".
+        assert_eq!(FULL_VIS_WIDTH, 20_840);
+        assert_eq!(FULL_VIS_HEIGHT, 10_820);
+        // ≈280 MB at one byte per point, as the paper states.
+        let bytes = FULL_VIS_WIDTH as u64 * FULL_VIS_HEIGHT as u64;
+        assert!((bytes as f64 / 1e6 - 225.0).abs() < 60.0);
+    }
+}

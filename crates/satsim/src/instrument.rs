@@ -1,0 +1,112 @@
+//! Instrument descriptions.
+
+use crate::field::BandKind;
+use geostreams_core::model::{Organization, TimeSemantics};
+use geostreams_geo::{Crs, LatticeGeoref};
+use serde::{Deserialize, Serialize};
+
+/// One spectral band of an instrument.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandSpec {
+    /// Band identifier (1-based, GOES style).
+    pub id: u16,
+    /// Human-readable name (`"b1-visible"`).
+    pub name: String,
+    /// Radiance class sampled from the Earth model.
+    pub kind: BandKind,
+    /// Resolution divisor relative to the instrument's base lattice:
+    /// 1 = full resolution, 4 = every 4th cell (GOES IR bands are 4 km
+    /// against the 1 km visible band).
+    pub reduction: u32,
+}
+
+/// A scanning instrument: bands, geometry, organization, and timing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instrument {
+    /// Instrument name (`"goes-sim"`).
+    pub name: String,
+    /// Native acquisition CRS of the point lattices.
+    pub crs: Crs,
+    /// Point organization of transmitted sectors (Fig. 1).
+    pub organization: Organization,
+    /// Timestamp semantics of transmitted points.
+    pub time_semantics: TimeSemantics,
+    /// Spectral bands.
+    pub bands: Vec<BandSpec>,
+    /// Full-resolution lattice of one scan sector.
+    pub base_lattice: LatticeGeoref,
+    /// Logical time between sector starts (ticks).
+    pub sector_period: i64,
+    /// World-coordinate offset of consecutive sector lattices (airborne
+    /// frame cameras cover "possibly different spatial regions" per
+    /// frame — Fig. 1a); `(0, 0)` for staring satellite instruments.
+    pub drift_per_sector: (f64, f64),
+}
+
+impl Instrument {
+    /// The lattice a band actually delivers (base lattice reduced by the
+    /// band's resolution divisor).
+    pub fn band_lattice(&self, band_idx: usize) -> LatticeGeoref {
+        let r = self.bands[band_idx].reduction.max(1);
+        self.base_lattice.reduced(r)
+    }
+
+    /// Index of a band by its id.
+    pub fn band_index(&self, id: u16) -> Option<usize> {
+        self.bands.iter().position(|b| b.id == id)
+    }
+
+    /// Points one band transmits per sector.
+    pub fn band_points_per_sector(&self, band_idx: usize) -> u64 {
+        self.band_lattice(band_idx).len()
+    }
+
+    /// Points transmitted per sector across all bands.
+    pub fn points_per_sector(&self) -> u64 {
+        (0..self.bands.len()).map(|i| self.band_points_per_sector(i)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostreams_geo::Rect;
+
+    fn instrument() -> Instrument {
+        Instrument {
+            name: "test".into(),
+            crs: Crs::LatLon,
+            organization: Organization::RowByRow,
+            time_semantics: TimeSemantics::SectorId,
+            bands: vec![
+                BandSpec { id: 1, name: "vis".into(), kind: BandKind::Visible, reduction: 1 },
+                BandSpec { id: 2, name: "nir".into(), kind: BandKind::NearInfrared, reduction: 2 },
+            ],
+            base_lattice: LatticeGeoref::north_up(
+                Crs::LatLon,
+                Rect::new(0.0, 0.0, 8.0, 8.0),
+                8,
+                8,
+            ),
+            sector_period: 1,
+            drift_per_sector: (0.0, 0.0),
+        }
+    }
+
+    #[test]
+    fn band_lattices_respect_reduction() {
+        let ins = instrument();
+        assert_eq!(ins.band_lattice(0).width, 8);
+        assert_eq!(ins.band_lattice(1).width, 4);
+        assert_eq!(ins.band_points_per_sector(0), 64);
+        assert_eq!(ins.band_points_per_sector(1), 16);
+        assert_eq!(ins.points_per_sector(), 80);
+    }
+
+    #[test]
+    fn band_lookup_by_id() {
+        let ins = instrument();
+        assert_eq!(ins.band_index(2), Some(1));
+        assert_eq!(ins.band_index(9), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! MODIS-like polar-orbiter preset.
+//!
+//! The paper's introduction names Aqua/Terra (MODIS) among the
+//! instruments continuously streaming imagery. Unlike a staring
+//! geostationary imager, a polar orbiter sweeps the globe: consecutive
+//! granules (scan sectors) cover successive along-track swaths. The
+//! preset uses the sinusoidal equal-area grid — the native projection of
+//! the MODIS land products — and drifts each granule along track.
+
+use crate::field::{BandKind, EarthModel};
+use crate::instrument::{BandSpec, Instrument};
+use crate::scanner::Scanner;
+use geostreams_core::model::{Organization, TimeSemantics};
+use geostreams_geo::{Coord, Crs, LatticeGeoref, Rect};
+
+/// Builds a MODIS-like polar orbiter.
+///
+/// The first granule covers a swath starting at `(start_lon, start_lat)`
+/// degrees; each subsequent granule advances one swath-height southward
+/// along the descending track.
+pub fn modis_like(
+    width: u32,
+    height: u32,
+    start_lon: f64,
+    start_lat: f64,
+    seed: u64,
+) -> Scanner {
+    let sinu = Crs::Sinusoidal { lon0: 0.0 };
+    // A swath ≈ 2330 km across track (the real MODIS swath) scaled to
+    // keep granules compact relative to the requested grid.
+    let origin = sinu
+        .forward(Coord::new(start_lon, start_lat))
+        .expect("start point projects");
+    let swath_w = 2_330_000.0;
+    let swath_h = swath_w * f64::from(height) / f64::from(width);
+    let bounds =
+        Rect::new(origin.x, origin.y - swath_h, origin.x + swath_w, origin.y);
+    let base_lattice = LatticeGeoref::north_up(sinu, bounds, width, height);
+    let instrument = Instrument {
+        name: "modis-sim".into(),
+        crs: sinu,
+        organization: Organization::RowByRow,
+        time_semantics: TimeSemantics::SectorId,
+        bands: vec![
+            BandSpec { id: 1, name: "red".into(), kind: BandKind::Visible, reduction: 1 },
+            BandSpec { id: 2, name: "nir".into(), kind: BandKind::NearInfrared, reduction: 1 },
+            BandSpec { id: 31, name: "tir".into(), kind: BandKind::ThermalIr, reduction: 2 },
+        ],
+        base_lattice,
+        sector_period: 1,
+        // Descending track: each granule is one swath-height further south.
+        drift_per_sector: (0.0, -swath_h),
+    };
+    Scanner::new(instrument, EarthModel::new(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostreams_core::model::{Element, GeoStream};
+
+    #[test]
+    fn granules_advance_along_track() {
+        let sc = modis_like(32, 16, -100.0, 45.0, 8);
+        let mut s = sc.band_stream(0, 3);
+        let mut tops = Vec::new();
+        while let Some(el) = s.next_element() {
+            if let Element::SectorStart(si) = el {
+                tops.push(si.lattice.world_bbox().y_max);
+            }
+        }
+        assert_eq!(tops.len(), 3);
+        assert!(tops[0] > tops[1] && tops[1] > tops[2], "southbound: {tops:?}");
+    }
+
+    #[test]
+    fn sinusoidal_native_grid() {
+        let sc = modis_like(16, 8, -100.0, 45.0, 8);
+        let s = sc.band_stream(0, 1);
+        assert_eq!(s.schema().crs, Crs::Sinusoidal { lon0: 0.0 });
+    }
+
+    #[test]
+    fn ndvi_bands_share_resolution() {
+        let sc = modis_like(16, 8, -100.0, 45.0, 8);
+        assert_eq!(sc.instrument.band_lattice(0).width, sc.instrument.band_lattice(1).width);
+        // Thermal band 31 is half resolution.
+        assert_eq!(sc.instrument.band_lattice(2).width, 8);
+        assert_eq!(sc.instrument.band_index(31), Some(2));
+    }
+
+    #[test]
+    fn granule_radiance_is_sensible() {
+        let sc = modis_like(24, 12, -100.0, 45.0, 8);
+        let mut s = sc.band_stream(1, 1);
+        let pts = s.drain_points();
+        assert_eq!(pts.len(), 24 * 12);
+        assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.value)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Seeded 2-D value noise with fractional Brownian motion.
+//!
+//! A tiny, dependency-free procedural noise generator: lattice hashes of
+//! the integer cell corners, smoothly interpolated, summed over octaves.
+//! Deterministic in `(seed, x, y)` so every experiment is reproducible.
+
+/// Hashes an integer lattice point with a seed into `[0, 1)`.
+#[inline]
+fn lattice_hash(seed: u64, ix: i64, iy: i64) -> f64 {
+    // SplitMix64-style avalanche over the packed coordinates.
+    let mut z = seed
+        ^ (ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (iy as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Quintic smoothstep (C² continuous, Perlin's fade curve).
+#[inline]
+fn fade(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// Single-octave value noise at `(x, y)`, output in `[0, 1)`.
+pub fn value_noise(seed: u64, x: f64, y: f64) -> f64 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let tx = fade(x - x0);
+    let ty = fade(y - y0);
+    let (ix, iy) = (x0 as i64, y0 as i64);
+    let v00 = lattice_hash(seed, ix, iy);
+    let v10 = lattice_hash(seed, ix + 1, iy);
+    let v01 = lattice_hash(seed, ix, iy + 1);
+    let v11 = lattice_hash(seed, ix + 1, iy + 1);
+    let top = v00 + (v10 - v00) * tx;
+    let bot = v01 + (v11 - v01) * tx;
+    top + (bot - top) * ty
+}
+
+/// Fractional Brownian motion: `octaves` octaves of value noise with
+/// per-octave frequency doubling and amplitude halving. Output ≈ `[0, 1]`.
+pub fn fbm(seed: u64, x: f64, y: f64, octaves: u32) -> f64 {
+    let mut total = 0.0;
+    let mut amplitude = 0.5;
+    let mut fx = x;
+    let mut fy = y;
+    let mut norm = 0.0;
+    for octave in 0..octaves.max(1) {
+        total += amplitude * value_noise(seed.wrapping_add(u64::from(octave) * 0x51F3), fx, fy);
+        norm += amplitude;
+        amplitude *= 0.5;
+        fx *= 2.0;
+        fy *= 2.0;
+    }
+    total / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed_and_position() {
+        assert_eq!(value_noise(42, 1.5, 2.5), value_noise(42, 1.5, 2.5));
+        assert_ne!(value_noise(42, 1.5, 2.5), value_noise(43, 1.5, 2.5));
+        assert_ne!(value_noise(42, 1.5, 2.5), value_noise(42, 1.6, 2.5));
+    }
+
+    #[test]
+    fn output_in_unit_interval() {
+        for i in 0..200 {
+            let x = (i as f64) * 0.37 - 30.0;
+            let y = (i as f64) * 0.73 + 11.0;
+            let v = value_noise(7, x, y);
+            assert!((0.0..=1.0).contains(&v), "{v} at ({x},{y})");
+            let f = fbm(7, x, y, 4);
+            assert!((0.0..=1.0).contains(&f), "fbm {f} at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        // Tiny steps produce tiny value changes.
+        let a = value_noise(1, 10.0, 10.0);
+        let b = value_noise(1, 10.0 + 1e-6, 10.0);
+        assert!((a - b).abs() < 1e-4);
+    }
+
+    #[test]
+    fn noise_matches_lattice_at_integers() {
+        // At integer coordinates, noise equals the corner hash.
+        let v = value_noise(5, 3.0, 4.0);
+        assert_eq!(v, lattice_hash(5, 3, 4));
+    }
+
+    #[test]
+    fn one_octave_fbm_is_plain_value_noise() {
+        for i in 0..50 {
+            let x = i as f64 * 0.31;
+            let y = i as f64 * 0.17;
+            assert_eq!(fbm(9, x, y, 1), value_noise(9, x, y));
+        }
+    }
+
+    #[test]
+    fn fbm_has_more_detail_than_single_octave() {
+        // Energy of small-step increments grows with octave count
+        // (higher octaves contribute amplitude × frequency ≈ constant
+        // per octave). Use a large sample for statistical stability.
+        let var = |oct: u32| {
+            let mut acc = 0.0;
+            for i in 0..4000 {
+                let x = i as f64 * 0.11;
+                let y = (i % 37) as f64 * 0.29;
+                let d = fbm(9, x + 0.03, y, oct) - fbm(9, x, y, oct);
+                acc += d * d;
+            }
+            acc
+        };
+        assert!(var(6) > 1.1 * var(1), "var6={} var1={}", var(6), var(1));
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let v = value_noise(3, -10.25, -0.5);
+        assert!((0.0..=1.0).contains(&v));
+    }
+}

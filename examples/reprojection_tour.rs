@@ -1,0 +1,69 @@
+//! Re-projection tour: one GOES sector through four coordinate systems.
+//!
+//! §3.2 calls re-projection "the most demanding type of operator in
+//! terms of space and time complexity". This example takes one simulated
+//! geostationary scan sector and re-projects it to lat/lon, UTM, Lambert
+//! conformal conic, and sinusoidal — writing a PNG of each and printing
+//! the operator's buffering behavior with and without the scan-sector
+//! metadata optimization.
+//!
+//! Run with `cargo run --release --example reprojection_tour`.
+
+use geostreams_core::exec::run_to_end;
+use geostreams_core::model::GeoStream;
+use geostreams_core::ops::delivery::PngSink;
+use geostreams_core::ops::{Reproject, ReprojectConfig};
+use geostreams_geo::Crs;
+use geostreams_raster::png::PngOptions;
+use geostreams_satsim::goes_like;
+use std::fs;
+
+fn main() {
+    let scanner = goes_like(320, 160, 31);
+    let out_dir = std::path::Path::new("target/reprojection_tour");
+    fs::create_dir_all(out_dir).expect("mkdir");
+
+    let targets: Vec<(&str, Crs)> = vec![
+        ("latlon", Crs::LatLon),
+        ("utm14n", Crs::utm(14, true)),
+        ("lambert", Crs::LambertConformal { lat1: 33.0, lat2: 45.0, lat0: 39.0, lon0: -96.0 }),
+        ("sinusoidal", Crs::Sinusoidal { lon0: -96.0 }),
+    ];
+
+    println!(
+        "{:<12} {:>10} {:>12} {:>16} {:>18}",
+        "target", "points", "frames", "peak buf (pts)", "peak buf blocking"
+    );
+    for (name, crs) in targets {
+        // Streaming (metadata-assisted) variant.
+        let stream = scanner.band_stream(0, 1);
+        let op = Reproject::new(stream, ReprojectConfig::new(crs)).expect("reproject");
+        let mut sink = PngSink::new(op, None, PngOptions::default());
+        let mut frames = 0;
+        while let Some(frame) = sink.next_frame() {
+            let path = out_dir.join(format!("goes_to_{name}.png"));
+            fs::write(&path, &frame.png).expect("write png");
+            frames += 1;
+        }
+
+        // Re-run for stats (the sink consumed the stream).
+        let stream = scanner.band_stream(0, 1);
+        let mut op = Reproject::new(stream, ReprojectConfig::new(crs)).expect("reproject");
+        let report = run_to_end(&mut op);
+        let streaming_peak = op.op_stats().buffered_points_peak;
+
+        // Blocking variant (no sector metadata, §3.2's warning case).
+        let stream = scanner.band_stream(0, 1);
+        let mut blocking =
+            Reproject::new(stream, ReprojectConfig::new(crs).blocking()).expect("reproject");
+        let _ = run_to_end(&mut blocking);
+        let blocking_peak = blocking.op_stats().buffered_points_peak;
+
+        println!(
+            "{:<12} {:>10} {:>12} {:>16} {:>18}",
+            name, report.points_delivered, frames, streaming_peak, blocking_peak
+        );
+        assert!(streaming_peak <= blocking_peak);
+    }
+    println!("\nPNGs written to {}", out_dir.display());
+}

@@ -1,0 +1,69 @@
+//! True-color composite delivery from a polar orbiter.
+//!
+//! Composites three MODIS-like granule bands into RGB PNGs — the
+//! "Web-based graphical interface" product of §4 — while the orbiter
+//! sweeps south along its track, and also writes an orientation-corrected
+//! (rotated) view using the exact orientation operator.
+//!
+//! Run with `cargo run --release --example true_color`.
+
+use geostreams_core::ops::delivery::RgbComposite;
+use geostreams_core::ops::{Orient, Orientation};
+use geostreams_raster::png::PngOptions;
+use geostreams_satsim::modis_like;
+use std::fs;
+
+fn main() {
+    let scanner = modis_like(192, 96, -110.0, 48.0, 2026);
+    let granules = 3;
+
+    // Red / NIR / thermal as an RGB false-color composite (vegetation
+    // pops in green where NIR is strong).
+    let red = scanner.band_stream_by_id(1, granules).expect("red band");
+    let nir = scanner.band_stream_by_id(2, granules).expect("nir band");
+    // Thermal is half resolution: magnify it onto the red/nir grid.
+    let tir = geostreams_core::ops::Magnify::new(
+        scanner.band_stream_by_id(31, granules).expect("tir band"),
+        2,
+    );
+    let mut comp = RgbComposite::new(nir, red, tir, PngOptions::default());
+
+    let out = std::path::Path::new("target/true_color");
+    fs::create_dir_all(out).expect("mkdir");
+    let mut n = 0;
+    while let Some(frame) = comp.next_frame() {
+        let path = out.join(format!("granule{}.png", frame.timestamp));
+        fs::write(&path, &frame.png).expect("write");
+        println!(
+            "granule {} -> {} ({}x{}, {} bytes)",
+            frame.timestamp,
+            path.display(),
+            frame.width,
+            frame.height,
+            frame.png.len()
+        );
+        n += 1;
+    }
+    assert_eq!(n, granules, "one composite per granule");
+
+    // A rotated quick-look of the first granule (ascending-pass display).
+    let rotated = Orient::new(
+        scanner.band_stream_by_id(1, 1).expect("red band"),
+        Orientation::Rot90,
+    );
+    let mut sink = geostreams_core::ops::delivery::PngSink::new(
+        rotated,
+        None,
+        PngOptions::default(),
+    );
+    let frame = sink.next_frame().expect("rotated frame");
+    let path = out.join("granule0_rot90.png");
+    fs::write(&path, &frame.png).expect("write");
+    println!(
+        "rotated quick-look -> {} ({}x{})",
+        path.display(),
+        frame.width,
+        frame.height
+    );
+    assert_eq!((frame.width, frame.height), (96, 192), "axes swapped by rot90");
+}

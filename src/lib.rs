@@ -1,0 +1,28 @@
+//! # GeoStreams
+//!
+//! A from-scratch Rust implementation of *"A Data and Query Model for
+//! Streaming Geospatial Image Data"* (Gertz, Hart, Rueda, Singhal,
+//! Zhang — EDBT 2006): a streaming image algebra over remotely-sensed
+//! raster data, with a query language, a rewriting optimizer, a
+//! multi-query spatial index, a prototype stream-management server, and
+//! a satellite-instrument simulator.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`geo`] — coordinate systems, projections, regions, lattices;
+//! * [`raster`] — grids, pixels, statistics, resampling, PNG;
+//! * [`satsim`] — the instrument simulator (GOES-like, airborne, LIDAR);
+//! * [`core`] — the paper's data & query model: operators, query
+//!   language, optimizer, executor, cascade tree;
+//! * [`dsms`] — the §4 prototype server.
+//!
+//! See `examples/quickstart.rs` for a guided tour and `EXPERIMENTS.md`
+//! for the reproduction of the paper's evaluation claims.
+
+#![warn(missing_docs)]
+
+pub use geostreams_core as core;
+pub use geostreams_dsms as dsms;
+pub use geostreams_geo as geo;
+pub use geostreams_raster as raster;
+pub use geostreams_satsim as satsim;

@@ -1,0 +1,218 @@
+//! Property-based tests of the query algebra: algebraic laws of the
+//! operators (§3) and semantic preservation of the optimizer's rewrites
+//! (§3.4) over randomized streams, regions and expressions.
+
+use geostreams::core::model::{drain_points_of, GeoStream, PointRecord, VecStream};
+use geostreams::core::ops::{
+    Compose, GammaOp, JoinStrategy, MapTransform, SpatialRestrict, ValueFunc, ValueRestrict,
+};
+use geostreams::core::query::{optimize, parse_query, Catalog, Planner};
+use geostreams::core::model::StreamSchema;
+use geostreams::geo::{Crs, LatticeGeoref, Rect, Region};
+use proptest::prelude::*;
+
+const W: u32 = 12;
+const H: u32 = 10;
+
+fn lattice() -> LatticeGeoref {
+    LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 12.0, 10.0), W, H)
+}
+
+/// Builds a deterministic stream whose values derive from a seed.
+fn stream(seed: u64) -> VecStream<f32> {
+    VecStream::single_sector("s", lattice(), 0, move |c, r| {
+        let x = (u64::from(c) * 31 + u64::from(r) * 17 + seed * 1299709) % 1000;
+        x as f64 / 100.0
+    })
+    .with_value_range(0.0, 10.0)
+}
+
+fn sorted_points<S: GeoStream<V = f32>>(mut s: S) -> Vec<PointRecord<f32>> {
+    let mut pts = drain_points_of(&mut s);
+    pts.sort_by_key(|p| (p.cell.row, p.cell.col));
+    pts
+}
+
+fn region_strategy() -> impl Strategy<Value = Region> {
+    (0.0f64..12.0, 0.0f64..10.0, 0.5f64..8.0, 0.5f64..8.0)
+        .prop_map(|(x, y, w, h)| Region::Rect(Rect::new(x, y, (x + w).min(12.0), (y + h).min(10.0))))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Restriction is idempotent: G|R|R = G|R.
+    #[test]
+    fn spatial_restriction_idempotent(seed in 0u64..500, region in region_strategy()) {
+        let once = sorted_points(SpatialRestrict::new(stream(seed), region.clone()));
+        let twice = sorted_points(SpatialRestrict::new(
+            SpatialRestrict::new(stream(seed), region.clone()),
+            region,
+        ));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Restrictions commute: (G|R)|V = (G|V)|R.
+    #[test]
+    fn restrictions_commute(seed in 0u64..500, region in region_strategy(),
+                            lo in 0.0f64..5.0, span in 0.5f64..5.0) {
+        let a = sorted_points(ValueRestrict::range(
+            SpatialRestrict::new(stream(seed), region.clone()), lo, lo + span));
+        let b = sorted_points(SpatialRestrict::new(
+            ValueRestrict::range(stream(seed), lo, lo + span), region));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Point-wise transforms commute with restrictions:
+    /// f(G|R) = f(G)|R when f does not change positions.
+    #[test]
+    fn map_commutes_with_spatial_restrict(seed in 0u64..500, region in region_strategy(),
+                                          scale in 0.1f64..3.0, offset in -5.0f64..5.0) {
+        let f = ValueFunc::Linear { scale, offset };
+        let a = sorted_points(MapTransform::<_, f32>::new(
+            SpatialRestrict::new(stream(seed), region.clone()), f));
+        let b = sorted_points(SpatialRestrict::new(
+            MapTransform::<_, f32>::new(stream(seed), f), region));
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.cell, y.cell);
+            prop_assert!((x.value - y.value).abs() < 1e-5);
+        }
+    }
+
+    /// γ ∈ {+, ×, sup, inf} are commutative on matched points.
+    #[test]
+    fn commutative_gammas(seed1 in 0u64..200, seed2 in 0u64..200,
+                          op_idx in 0usize..4) {
+        let op = [GammaOp::Add, GammaOp::Mul, GammaOp::Sup, GammaOp::Inf][op_idx];
+        let ab = sorted_points(
+            Compose::new(stream(seed1), stream(seed2), op, JoinStrategy::Hash).unwrap());
+        let ba = sorted_points(
+            Compose::new(stream(seed2), stream(seed1), op, JoinStrategy::Hash).unwrap());
+        prop_assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert_eq!(x.cell, y.cell);
+            prop_assert!((x.value - y.value).abs() < 1e-5);
+        }
+    }
+
+    /// Composition distributes restriction: (G1 γ G2)|R = (G1|R) γ (G2|R).
+    #[test]
+    fn restriction_distributes_over_composition(
+        seed1 in 0u64..200, seed2 in 0u64..200, region in region_strategy()
+    ) {
+        let outer = sorted_points(SpatialRestrict::new(
+            Compose::new(stream(seed1), stream(seed2), GammaOp::Sub, JoinStrategy::Hash).unwrap(),
+            region.clone(),
+        ));
+        let inner = sorted_points(
+            Compose::new(
+                SpatialRestrict::new(stream(seed1), region.clone()),
+                SpatialRestrict::new(stream(seed2), region),
+                GammaOp::Sub,
+                JoinStrategy::Hash,
+            )
+            .unwrap(),
+        );
+        prop_assert_eq!(outer, inner);
+    }
+
+    /// NormDiff equals the three-composition NDVI formula.
+    #[test]
+    fn fused_normdiff_equals_formula(seed1 in 0u64..200, seed2 in 0u64..200) {
+        let fused = sorted_points(
+            Compose::new(stream(seed1), stream(seed2), GammaOp::NormDiff, JoinStrategy::Hash)
+                .unwrap(),
+        );
+        for p in &fused {
+            // Recompute from the definitions.
+            let a = {
+                let pts = sorted_points(stream(seed1));
+                pts.iter().find(|q| q.cell == p.cell).unwrap().value
+            };
+            let b = {
+                let pts = sorted_points(stream(seed2));
+                pts.iter().find(|q| q.cell == p.cell).unwrap().value
+            };
+            let denom = f64::from(a) + f64::from(b);
+            let expect = if denom.abs() < 1e-12 {
+                0.0
+            } else {
+                (f64::from(a) - f64::from(b)) / denom
+            };
+            prop_assert!((f64::from(p.value) - expect).abs() < 1e-5);
+        }
+    }
+}
+
+/// Random query generator for optimizer-equivalence fuzzing.
+fn query_strategy() -> impl Strategy<Value = String> {
+    let region = (0.0f64..10.0, 0.0f64..8.0, 1.0f64..6.0, 1.0f64..6.0)
+        .prop_map(|(x, y, w, h)| format!("bbox({x:.3}, {y:.3}, {:.3}, {:.3})", x + w, y + h));
+    let leaf = prop_oneof![Just("g1".to_string()), Just("g2".to_string())];
+    leaf.prop_recursive(3, 12, 2, move |inner| {
+        let region = region.clone();
+        prop_oneof![
+            (inner.clone(), region.clone())
+                .prop_map(|(e, r)| format!("restrict_space({e}, {r}, \"latlon\")")),
+            (inner.clone(), -2.0f64..2.0, -1.0f64..1.0)
+                .prop_map(|(e, s, o)| format!("scale({e}, {s:.3}, {o:.3})")),
+            (inner.clone(), 0.0f64..5.0, 5.0f64..10.0)
+                .prop_map(|(e, lo, hi)| format!("restrict_value({e}, {lo:.3}, {hi:.3})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("add({a}, {b})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("div(sub({a}, {b}), add({b}, {a}))")),
+            inner.clone().prop_map(|e| format!("magnify({e}, 2)")),
+            inner.clone().prop_map(|e| format!("focal({e}, \"mean\", 3)")),
+            inner.clone().prop_map(|e| format!("shed({e}, \"points\", 2)")),
+            inner.clone().prop_map(|e| format!("shed({e}, \"rows\", 2)")),
+        ]
+    })
+}
+
+fn fuzz_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    for (name, seed) in [("g1", 1u64), ("g2", 2)] {
+        let mut schema = StreamSchema::new(name, Crs::LatLon);
+        schema.sector_lattice = Some(lattice());
+        schema.value_range = (0.0, 10.0);
+        cat.register(schema, move || Box::new(stream(seed)));
+    }
+    cat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The optimizer never changes query answers (the paper's rewrites
+    /// are equivalences).
+    #[test]
+    fn optimizer_preserves_semantics(q in query_strategy()) {
+        let cat = fuzz_catalog();
+        let planner = Planner::new(&cat);
+        let expr = parse_query(&q).unwrap();
+        let optimized = optimize(&expr, &cat);
+        let mut base = planner.build(&expr).unwrap();
+        let mut opt = planner.build(&optimized).unwrap();
+        let mut a = drain_points_of(&mut base);
+        let mut b = drain_points_of(&mut opt);
+        a.sort_by_key(|p| (p.cell.row, p.cell.col));
+        b.sort_by_key(|p| (p.cell.row, p.cell.col));
+        prop_assert_eq!(a.len(), b.len(), "{} vs {}", expr, optimized);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.cell, y.cell, "{} vs {}", expr, optimized);
+            prop_assert!((x.value - y.value).abs() < 1e-4,
+                "{} vs {}: {:?} {} != {}", expr, optimized, x.cell, x.value, y.value);
+        }
+    }
+
+    /// Parse/display round-trips on random generated queries.
+    #[test]
+    fn parser_display_round_trip(q in query_strategy()) {
+        let e1 = parse_query(&q).unwrap();
+        let rendered = e1.to_string();
+        let e2 = parse_query(&rendered).unwrap();
+        prop_assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the geospatial substrate: every projection's
+//! forward/inverse pair must round-trip on its domain, and region
+//! mapping across CRSs must be conservative (no false negatives for the
+//! spatial restriction that consumes the mapped region).
+
+use geostreams::geo::{map_region, Coord, Crs, LatticeGeoref, Rect, Region};
+use proptest::prelude::*;
+
+/// CRSs under test with their geographic domains (lon range, lat range).
+fn crs_cases() -> Vec<(Crs, Rect)> {
+    vec![
+        (Crs::LatLon, Rect::new(-179.0, -89.0, 179.0, 89.0)),
+        (Crs::Mercator { lon0: 0.0 }, Rect::new(-179.0, -84.0, 179.0, 84.0)),
+        (Crs::utm(10, true), Rect::new(-129.0, -79.0, -117.0, 84.0)),
+        (Crs::utm(33, false), Rect::new(9.0, -79.0, 21.0, 83.0)),
+        (
+            Crs::LambertConformal { lat1: 33.0, lat2: 45.0, lat0: 39.0, lon0: -96.0 },
+            Rect::new(-130.0, 10.0, -60.0, 70.0),
+        ),
+        (Crs::Sinusoidal { lon0: 0.0 }, Rect::new(-179.0, -89.0, 179.0, 89.0)),
+        // Geostationary: keep well inside the visible disk.
+        (Crs::geostationary(-75.0), Rect::new(-135.0, -55.0, -15.0, 55.0)),
+        (
+            Crs::Albers { lat1: 29.5, lat2: 45.5, lat0: 23.0, lon0: -96.0 },
+            Rect::new(-130.0, 10.0, -60.0, 70.0),
+        ),
+        (Crs::PolarStereographic { north: true, lon0: -45.0 }, Rect::new(-179.0, -30.0, 179.0, 89.0)),
+        (Crs::PolarStereographic { north: false, lon0: 0.0 }, Rect::new(-179.0, -89.0, 179.0, 30.0)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_projections_round_trip(u in 0.0f64..1.0, v in 0.0f64..1.0, idx in 0usize..10) {
+        let (crs, dom) = crs_cases()[idx];
+        let lon = dom.x_min + u * dom.width();
+        let lat = dom.y_min + v * dom.height();
+        let p = Coord::new(lon, lat);
+        let xy = crs.forward(p).unwrap();
+        prop_assert!(xy.is_finite());
+        let ll = crs.inverse(xy).unwrap();
+        prop_assert!((ll.x - lon).abs() < 1e-5, "{crs}: lon {lon} -> {}", ll.x);
+        prop_assert!((ll.y - lat).abs() < 1e-5, "{crs}: lat {lat} -> {}", ll.y);
+    }
+
+    #[test]
+    fn conversion_through_any_pair_round_trips(
+        u in 0.05f64..0.95, v in 0.05f64..0.95, i in 0usize..10, j in 0usize..10
+    ) {
+        let (a, dom_a) = crs_cases()[i];
+        let (b, dom_b) = crs_cases()[j];
+        // Pick a geographic point in both domains.
+        let dom = dom_a.intersect(&dom_b);
+        prop_assume!(!dom.is_empty());
+        let lon = dom.x_min + u * dom.width();
+        let lat = dom.y_min + v * dom.height();
+        let pa = a.forward(Coord::new(lon, lat)).unwrap();
+        let pb = a.convert_to(&b, pa).unwrap();
+        let back = b.convert_to(&a, pb).unwrap();
+        let tol = 1e-4 * a.meters_per_unit().max(1.0);
+        prop_assert!(pa.distance(back) < tol.max(1e-4), "{a} -> {b}: {pa} vs {back}");
+    }
+
+    #[test]
+    fn region_mapping_is_conservative(
+        cx in -120.0f64..-80.0, cy in 15.0f64..50.0,
+        w in 0.5f64..8.0, h in 0.5f64..8.0,
+        u in 0.0f64..1.0, v in 0.0f64..1.0,
+        target_idx in 0usize..10,
+    ) {
+        let (target, _) = crs_cases()[target_idx];
+        let region = Region::Rect(Rect::new(cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0));
+        let Ok(mapped) = map_region(&region, &Crs::LatLon, &target, 16) else {
+            // Entirely invisible in the target; nothing to check.
+            return Ok(());
+        };
+        // Any interior point of the region that projects must land
+        // inside the mapped rectangle.
+        let p = Coord::new(cx - w / 2.0 + u * w, cy - h / 2.0 + v * h);
+        if let Ok(t) = target.forward(p) {
+            prop_assert!(
+                mapped.contains(t),
+                "point {p} -> {t} escaped mapped region {mapped:?} in {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn lattice_footprints_contain_exactly_their_cells(
+        w in 1u32..64, h in 1u32..64,
+        x1 in -124.0f64..-114.5, y1 in 32.0f64..41.5,
+        dx in 0.1f64..6.0, dy in 0.1f64..6.0,
+    ) {
+        let lattice = LatticeGeoref::north_up(
+            Crs::LatLon, Rect::new(-124.0, 32.0, -114.0, 42.0), w, h);
+        let rect = Rect::new(x1, y1, (x1 + dx).min(-114.0), (y1 + dy).min(42.0));
+        let fp = lattice.footprint(&rect);
+        for col in 0..w {
+            for row in 0..h {
+                let inside_fp = fp.is_some_and(|b| b.contains(geostreams::geo::Cell::new(col, row)));
+                let center = lattice.cell_to_world(geostreams::geo::Cell::new(col, row));
+                // Allow boundary ties either way (floating rounding).
+                let strictly_inside = center.x > rect.x_min + 1e-9
+                    && center.x < rect.x_max - 1e-9
+                    && center.y > rect.y_min + 1e-9
+                    && center.y < rect.y_max - 1e-9;
+                let strictly_outside = center.x < rect.x_min - 1e-9
+                    || center.x > rect.x_max + 1e-9
+                    || center.y < rect.y_min - 1e-9
+                    || center.y > rect.y_max + 1e-9;
+                if strictly_inside {
+                    prop_assert!(inside_fp, "cell ({col},{row}) center {center} missing");
+                }
+                if strictly_outside {
+                    prop_assert!(!inside_fp, "cell ({col},{row}) center {center} wrongly included");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_inverse_round_trips(
+        deg in -180.0f64..180.0, sx in 0.1f64..10.0, sy in 0.1f64..10.0,
+        tx in -100.0f64..100.0, ty in -100.0f64..100.0,
+        px in -50.0f64..50.0, py in -50.0f64..50.0,
+    ) {
+        use geostreams::geo::Affine;
+        let t = Affine::translation(tx, ty)
+            .then(&Affine::rotation(deg))
+            .then(&Affine::scaling(sx, sy));
+        let inv = t.inverse().unwrap();
+        let p = Coord::new(px, py);
+        let back = inv.apply(t.apply(p));
+        prop_assert!((back.x - px).abs() < 1e-6 && (back.y - py).abs() < 1e-6);
+    }
+}
