@@ -1,0 +1,26 @@
+//! Dumps a machine-readable observability summary (`BENCH_obs.json`).
+//!
+//! Runs the traced reference query of [`geostreams_bench::run_obs_bench`]
+//! over a 256x256, 4-sector ramp stream and writes the resulting
+//! [`geostreams_bench::ObsBenchReport`] — run-level and per-operator
+//! pull-latency percentiles, buffer peaks, and trace-event counts — as
+//! JSON to the path given as the first argument (default
+//! `BENCH_obs.json` in the current directory).
+
+use geostreams_bench::run_obs_bench;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_obs.json".to_string());
+    let report = run_obs_bench(256, 256, 4);
+    let json = serde_json::to_string(&report).expect("serialize obs report");
+    std::fs::write(&path, json.as_bytes()).expect("write obs report");
+    println!(
+        "wrote {path}: {} points in {} µs, root pull p50={} ns p95={} ns p99={} ns, {} trace events",
+        report.run.points_delivered,
+        report.run.wall_us,
+        report.run.pull_p50_ns,
+        report.run.pull_p95_ns,
+        report.run.pull_p99_ns,
+        report.trace_events
+    );
+}

@@ -7,8 +7,13 @@
 
 #![warn(missing_docs)]
 
+use geostreams_core::exec::{run_observed, RunSummary};
 use geostreams_core::model::{Element, GeoStream, StreamSchema, VecStream};
+use geostreams_core::obs::{PipelineObs, TraceLog};
+use geostreams_core::query::{parse_query, Catalog, Planner};
 use geostreams_geo::{Crs, LatticeGeoref, Rect};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A lat/lon test lattice over the U.S. west (keeps the source free of
 /// projection math so operator costs dominate).
@@ -109,6 +114,83 @@ impl RegionGen {
     }
 }
 
+/// Pull-latency percentiles of one operator in a traced run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpLatencySummary {
+    /// Operator name as reported by `collect_stats`.
+    pub op: String,
+    /// Median per-pull latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile per-pull latency in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile per-pull latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Number of pulls recorded for this operator.
+    pub pulls: u64,
+}
+
+/// Machine-readable observability report for one traced benchmark run
+/// (serialized to `BENCH_obs.json` by the `obs_bench` binary).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsBenchReport {
+    /// Query text executed through the planner.
+    pub query: String,
+    /// Source grid width in cells.
+    pub width: u32,
+    /// Source grid height in cells.
+    pub height: u32,
+    /// Number of sectors in the source stream.
+    pub sectors: u64,
+    /// Full run summary: wall time, element/point counts, buffer peaks,
+    /// root pull-latency percentiles/histogram, and per-op stats.
+    pub run: RunSummary,
+    /// Per-operator pull-latency percentiles (pipeline order, upstream
+    /// first), extracted from the traced per-op histograms.
+    pub op_latency_ns: Vec<OpLatencySummary>,
+    /// Structured trace events captured during the run.
+    pub trace_events: u64,
+    /// Trace events dropped by the bounded ring.
+    pub trace_dropped: u64,
+}
+
+/// Runs a representative traced query over a deterministic ramp source
+/// and collects the latency/buffer statistics of every operator for
+/// machine consumption (DESIGN.md "Observability").
+pub fn run_obs_bench(w: u32, h: u32, sectors: u64) -> ObsBenchReport {
+    let query = r#"focal(scale(ramp, 2, 0), "mean", 3)"#;
+    let (schema, elements) = ramp_elements(w, h, sectors);
+    let mut catalog = Catalog::new();
+    let factory_schema = schema.clone();
+    catalog.register(schema, move || Box::new(replay(&factory_schema, &elements)));
+    let planner = Planner::new(&catalog);
+    let expr = parse_query(query).expect("obs bench query parses");
+    let trace = Arc::new(TraceLog::new(4096));
+    let obs = PipelineObs::for_query(1).with_trace(Arc::clone(&trace));
+    let mut pipeline = planner.build_traced(&expr, &obs).expect("obs bench query plans");
+    let report = run_observed(&mut pipeline, &obs, |_| {});
+    let op_latency_ns = report
+        .per_op
+        .iter()
+        .map(|op| OpLatencySummary {
+            op: op.name.clone(),
+            p50_ns: op.pull_p50_ns(),
+            p95_ns: op.pull_p95_ns(),
+            p99_ns: op.pull_p99_ns(),
+            pulls: op.pull_latency.as_ref().map_or(0, |h| h.count),
+        })
+        .collect();
+    ObsBenchReport {
+        query: query.to_string(),
+        width: w,
+        height: h,
+        sectors,
+        run: report.summary(),
+        op_latency_ns,
+        trace_events: trace.len() as u64,
+        trace_dropped: trace.dropped(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +210,22 @@ mod tests {
         let n = a.len() + b.len();
         assert_eq!(interleave_rows(&a, &b).len(), n);
         assert_eq!(band_sequential(&a, &b).len(), n);
+    }
+
+    #[test]
+    fn obs_bench_report_has_latency_and_round_trips() {
+        let report = run_obs_bench(32, 32, 2);
+        assert!(report.run.points_delivered > 0);
+        assert!(report.run.pull_p95_ns > 0, "root pull latency must be observed");
+        assert!(
+            report.op_latency_ns.iter().any(|o| o.pulls > 0 && o.p95_ns > 0),
+            "per-op latency must be traced: {:?}",
+            report.op_latency_ns
+        );
+        assert!(report.trace_events >= 2, "expect at least QueryStart/QueryEnd");
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ObsBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

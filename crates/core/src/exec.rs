@@ -2,9 +2,12 @@
 //!
 //! The §4 prototype's "Execution" box: drives an operator pipeline to
 //! completion (or sector by sector), collecting the per-operator
-//! statistics that the experiment suite reports.
+//! statistics that the experiment suite reports. Every run also times
+//! each root pull into a lock-free [`obs::Histogram`] so reports carry
+//! latency percentiles alongside the paper's buffered-points peaks.
 
 use crate::model::{Element, GeoStream};
+use crate::obs::{Histogram, HistogramSnapshot, PipelineObs, TraceKind};
 use crate::stats::OpReport;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -22,6 +25,8 @@ pub struct RunReport {
     pub sectors: u64,
     /// Per-operator statistics, upstream first.
     pub per_op: Vec<OpReport>,
+    /// Per-element pull latency at the pipeline root (nanoseconds).
+    pub pull_latency: HistogramSnapshot,
 }
 
 impl RunReport {
@@ -48,6 +53,26 @@ impl RunReport {
         }
         self.wall.as_nanos() as f64 / self.points_delivered as f64
     }
+
+    /// Median root pull latency in nanoseconds.
+    pub fn pull_p50_ns(&self) -> u64 {
+        self.pull_latency.p50()
+    }
+
+    /// 95th-percentile root pull latency in nanoseconds.
+    pub fn pull_p95_ns(&self) -> u64 {
+        self.pull_latency.p95()
+    }
+
+    /// 99th-percentile root pull latency in nanoseconds.
+    pub fn pull_p99_ns(&self) -> u64 {
+        self.pull_latency.p99()
+    }
+
+    /// The latency snapshot of a named operator, if it was traced.
+    pub fn op_pull_latency(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.per_op.iter().find(|r| r.name == name).and_then(|r| r.pull_latency.as_ref())
+    }
 }
 
 /// Serializable summary of a [`RunReport`] (for the DSMS's JSON stats
@@ -66,6 +91,18 @@ pub struct RunSummary {
     pub peak_buffered_points: u64,
     /// Peak buffered bytes across all operators.
     pub peak_buffered_bytes: u64,
+    /// Median root pull latency (nanoseconds).
+    #[serde(default)]
+    pub pull_p50_ns: u64,
+    /// 95th-percentile root pull latency (nanoseconds).
+    #[serde(default)]
+    pub pull_p95_ns: u64,
+    /// 99th-percentile root pull latency (nanoseconds).
+    #[serde(default)]
+    pub pull_p99_ns: u64,
+    /// Full root pull-latency histogram.
+    #[serde(default)]
+    pub pull_latency: HistogramSnapshot,
     /// Per-operator statistics, upstream first.
     pub per_op: Vec<OpReport>,
 }
@@ -80,22 +117,46 @@ impl RunReport {
             sectors: self.sectors,
             peak_buffered_points: self.peak_buffered_points(),
             peak_buffered_bytes: self.peak_buffered_bytes(),
+            pull_p50_ns: self.pull_p50_ns(),
+            pull_p95_ns: self.pull_p95_ns(),
+            pull_p99_ns: self.pull_p99_ns(),
+            pull_latency: self.pull_latency.clone(),
             per_op: self.per_op.clone(),
         }
     }
 }
 
 /// Drains the pipeline, invoking `on_element` for every element.
-pub fn run_with<S, F>(stream: &mut S, mut on_element: F) -> RunReport
+pub fn run_with<S, F>(stream: &mut S, on_element: F) -> RunReport
 where
     S: GeoStream,
     F: FnMut(&Element<S::V>),
 {
+    run_observed(stream, &PipelineObs::default(), on_element)
+}
+
+/// Drains the pipeline under an observation config: root pull latency
+/// is always histogrammed; query start/end (and any operator-level
+/// events from [`TracedStream`](crate::obs::TracedStream) wrappers in
+/// the pipeline) land in `obs.trace` when present.
+pub fn run_observed<S, F>(stream: &mut S, obs: &PipelineObs, mut on_element: F) -> RunReport
+where
+    S: GeoStream,
+    F: FnMut(&Element<S::V>),
+{
+    let name = stream.schema().name.clone();
+    if let Some(trace) = &obs.trace {
+        trace.record(obs.query_id, &name, TraceKind::QueryStart, "");
+    }
+    let pull_ns = Histogram::new();
     let start = Instant::now();
     let mut elements = 0u64;
     let mut points = 0u64;
     let mut sectors = 0u64;
-    while let Some(el) = stream.next_element() {
+    loop {
+        let t0 = Instant::now();
+        let Some(el) = stream.next_element() else { break };
+        pull_ns.record(t0.elapsed().as_nanos() as u64);
         elements += 1;
         match &el {
             Element::Point(_) => points += 1,
@@ -107,7 +168,22 @@ where
     let wall = start.elapsed();
     let mut per_op = Vec::new();
     stream.collect_stats(&mut per_op);
-    RunReport { wall, elements, points_delivered: points, sectors, per_op }
+    if let Some(trace) = &obs.trace {
+        trace.record(
+            obs.query_id,
+            &name,
+            TraceKind::QueryEnd,
+            format!("{points} points, {sectors} sectors, {} µs", wall.as_micros()),
+        );
+    }
+    RunReport {
+        wall,
+        elements,
+        points_delivered: points,
+        sectors,
+        per_op,
+        pull_latency: pull_ns.snapshot(),
+    }
 }
 
 /// Drains the pipeline, discarding elements (pure measurement run).
@@ -119,8 +195,10 @@ pub fn run_to_end<S: GeoStream>(stream: &mut S) -> RunReport {
 mod tests {
     use super::*;
     use crate::model::VecStream;
+    use crate::obs::TraceLog;
     use crate::ops::SpatialRestrict;
     use geostreams_geo::{Crs, LatticeGeoref, Rect, Region};
+    use std::sync::Arc;
 
     fn source() -> VecStream<f32> {
         let lattice =
@@ -153,6 +231,27 @@ mod tests {
     }
 
     #[test]
+    fn every_run_histograms_root_pulls() {
+        let mut s = source();
+        let report = run_to_end(&mut s);
+        assert_eq!(report.pull_latency.count, report.elements);
+        assert!(report.pull_p99_ns() >= report.pull_p50_ns());
+    }
+
+    #[test]
+    fn observed_run_traces_query_boundaries() {
+        let log = Arc::new(TraceLog::new(64));
+        let obs = PipelineObs::for_query(3).with_trace(Arc::clone(&log));
+        let mut s = source();
+        let report = run_observed(&mut s, &obs, |_| {});
+        assert_eq!(report.points_delivered, 200);
+        let evs = log.drain();
+        assert_eq!(evs.first().map(|e| e.kind), Some(TraceKind::QueryStart));
+        assert_eq!(evs.last().map(|e| e.kind), Some(TraceKind::QueryEnd));
+        assert!(evs.iter().all(|e| e.query_id == 3));
+    }
+
+    #[test]
     fn summary_serializes_to_json() {
         let mut s = source();
         let report = run_to_end(&mut s);
@@ -161,6 +260,7 @@ mod tests {
         let back: RunSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(back, summary);
         assert_eq!(back.points_delivered, 200);
+        assert_eq!(back.pull_latency.count, report.elements);
     }
 
     #[test]

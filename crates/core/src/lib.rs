@@ -53,6 +53,7 @@
 pub mod error;
 pub mod exec;
 pub mod model;
+pub mod obs;
 pub mod ops;
 pub mod query;
 pub mod stats;

@@ -83,10 +83,7 @@ impl<V: Pixel> GeoStream for SideStream<V> {
     }
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
-        out.push(OpReport {
-            name: format!("{}[split]", self.schema.name),
-            stats: self.op_stats(),
-        });
+        out.push(OpReport::new(format!("{}[split]", self.schema.name), self.op_stats()));
     }
 }
 
@@ -169,10 +166,10 @@ impl<S: GeoStream> GeoStream for TeeStream<S> {
         if self.side == 0 {
             self.state.lock().expect("tee lock").input.collect_stats(out);
         }
-        out.push(OpReport {
-            name: format!("{}[tee{}]", self.schema.name, self.side),
-            stats: self.op_stats(),
-        });
+        out.push(OpReport::new(
+            format!("{}[tee{}]", self.schema.name, self.side),
+            self.op_stats(),
+        ));
     }
 }
 

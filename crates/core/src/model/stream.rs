@@ -32,7 +32,7 @@ pub trait GeoStream {
     /// Appends this operator's (and its inputs') stats to a report,
     /// upstream first.
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
-        out.push(OpReport { name: self.schema().name.clone(), stats: self.op_stats() });
+        out.push(OpReport::new(self.schema().name.clone(), self.op_stats()));
     }
 
     /// Drains the stream, returning only the point records (test helper).

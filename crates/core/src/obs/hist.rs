@@ -1,0 +1,313 @@
+//! Lock-free log2-bucketed histogram.
+//!
+//! The paper argues about operator cost distributions ("constant cost
+//! per point", §3.1) — a histogram with power-of-two buckets is the
+//! cheapest structure that can verify such claims on a hot path: one
+//! `leading_zeros` and three relaxed atomic adds per sample, no locks,
+//! no allocation.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `i` (1..=62)
+/// holds values in `[2^(i-1), 2^i)`, and bucket 63 holds everything
+/// from `2^62` up (including `u64::MAX`).
+pub const NUM_BUCKETS: usize = 64;
+
+/// Index of the bucket that `value` falls into.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (the value reported for
+/// percentiles that land in it — conservative for latencies).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ if i >= NUM_BUCKETS - 1 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A fixed-size, lock-free histogram of `u64` samples (typically
+/// nanoseconds or bytes). All mutation is relaxed atomics: safe to
+/// share across threads behind an `Arc` and cheap enough for per-point
+/// hot paths.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Three relaxed atomic adds; no allocation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wraps on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Folds another histogram's counts into this one.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+    }
+
+    /// Upper bound of the bucket containing the `p`-th percentile
+    /// (`p` in `[0, 100]`); 0 if the histogram is empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.snapshot().percentile(p)
+    }
+
+    /// Resets every bucket to zero (not atomic across buckets; callers
+    /// that need a consistent view should snapshot instead).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    /// A plain-value copy of the current counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets: buckets.to_vec(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// A point-in-time, serializable copy of a [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`NUM_BUCKETS` entries; see
+    /// [`bucket_upper_bound`] for the value range of each).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket containing the `p`-th percentile
+    /// (`p` in `[0, 100]`); 0 if empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS - 1)
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile shorthand.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile shorthand.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Arithmetic mean of the recorded samples; 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1 << 20), 21);
+        assert_eq!(bucket_index((1 << 20) - 1), 20);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(1 << 62), NUM_BUCKETS - 1);
+        // (2^62)-1 is the top of the last bounded bucket; 2^62 and up
+        // saturate into the final catch-all bucket.
+        assert_eq!(bucket_index((1 << 62) - 1), NUM_BUCKETS - 2);
+    }
+
+    #[test]
+    fn upper_bounds_bracket_their_bucket() {
+        for v in [0u64, 1, 2, 3, 5, 100, 1023, 1024, 1 << 40] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_count() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 100_106);
+        let s = h.snapshot();
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn percentile_picks_the_right_bucket() {
+        let h = Histogram::new();
+        // 99 fast samples (~1µs) and one slow outlier (~1ms).
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        // 1000 lands in bucket [512, 1024) whose upper bound is 1023.
+        assert_eq!(h.percentile(0.0), 1023);
+        assert_eq!(h.percentile(50.0), 1023);
+        let p99 = h.percentile(99.0);
+        assert!(p99 < 1_000_000, "p99={p99}");
+        let p100 = h.percentile(100.0);
+        assert!(p100 >= 1_000_000, "p100={p100}");
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.snapshot().mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(10);
+        b.record(1 << 30);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 20 + (1 << 30));
+        let s = a.snapshot();
+        assert_eq!(s.buckets[bucket_index(10)], 2);
+        assert_eq!(s.buckets[bucket_index(1 << 30)], 1);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_atomic_merge() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [5u64, 9, 17] {
+            a.record(v);
+            b.record(v * 3);
+        }
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        a.merge(&b);
+        assert_eq!(sa, a.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let h = std::sync::Arc::clone(&h);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(i + t);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let h = Histogram::new();
+        h.record(42);
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

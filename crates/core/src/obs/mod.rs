@@ -1,0 +1,30 @@
+//! Observability: histograms, metric registry, and operator tracing.
+//!
+//! The paper's evaluation (§3–§4) is a space/time argument — restriction
+//! cost per point, frame-scoped buffering, composition cost by point
+//! organization. This module makes those quantities *measurable* on a
+//! running system rather than asserted:
+//!
+//! * [`Histogram`] — a lock-free, log2-bucketed latency/size histogram
+//!   (64 `AtomicU64` buckets; record/merge/percentile/snapshot);
+//! * [`Registry`] — named counters, gauges and histograms with label
+//!   sets, rendered as Prometheus text exposition v0.0.4 by hand
+//!   (std-only, scrape-ready);
+//! * [`TraceLog`] — a bounded ring of structured [`TraceEvent`]s
+//!   (query/sector boundaries, stalls, buffer peaks);
+//! * [`TracedStream`] — a [`GeoStream`](crate::model::GeoStream)
+//!   decorator the planner threads through every operator so
+//!   [`RunReport`](crate::exec::RunReport) can expose per-op pull/frame
+//!   latency percentiles.
+//!
+//! Everything here is `std`-only: no new dependencies.
+
+mod hist;
+mod registry;
+mod trace;
+mod traced;
+
+pub use hist::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use registry::{Counter, Gauge, HistogramHandle, MetricKey, Registry};
+pub use trace::{TraceEvent, TraceKind, TraceLog};
+pub use traced::{PipelineObs, TracedStream};

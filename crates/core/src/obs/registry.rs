@@ -1,0 +1,331 @@
+//! Named metric registry with Prometheus text rendering.
+//!
+//! A [`Registry`] hands out cheap cloneable handles ([`Counter`],
+//! [`Gauge`], [`HistogramHandle`]) keyed by metric name plus an
+//! optional label set, and renders everything it knows as Prometheus
+//! text exposition format v0.0.4 — by hand, std-only, so a running
+//! DSMS can be scraped without pulling in any client library.
+
+use super::hist::{bucket_upper_bound, Histogram, NUM_BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A metric identity: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (e.g. `geostreams_frames_delivered_total`).
+    pub name: String,
+    /// Label pairs, kept sorted for stable rendering.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+
+    fn render_labels(&self, extra: Option<(&str, &str)>) -> String {
+        let mut pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        if let Some((k, v)) = extra {
+            pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+        }
+        if pairs.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", pairs.join(","))
+        }
+    }
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle (a value that can go up and down).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds to the gauge.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts from the gauge (saturating at zero is the caller's
+    /// concern; this wraps like the underlying atomic).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared histogram handle.
+pub type HistogramHandle = Arc<Histogram>;
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<MetricKey, Arc<AtomicU64>>,
+    gauges: BTreeMap<MetricKey, Arc<AtomicU64>>,
+    histograms: BTreeMap<MetricKey, HistogramHandle>,
+    help: BTreeMap<String, String>,
+}
+
+/// A registry of named counters, gauges and histograms.
+///
+/// Registration takes a short mutex; the returned handles are
+/// lock-free. Register once (at pipeline/server construction), record
+/// on the hot path through the handle.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("registry poisoned");
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        Counter(Arc::clone(inner.counters.entry(key).or_default()))
+    }
+
+    /// Gets or creates a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        Gauge(Arc::clone(inner.gauges.entry(key).or_default()))
+    }
+
+    /// Gets or creates a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        Arc::clone(inner.histograms.entry(key).or_default())
+    }
+
+    /// Attaches HELP text to a metric name (rendered once per name).
+    pub fn set_help(&self, name: &str, help: &str) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.help.insert(name.to_string(), help.to_string());
+    }
+
+    /// Value of a counter if it exists (test/debug convenience).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = MetricKey::new(name, labels);
+        let inner = self.inner.lock().expect("registry poisoned");
+        inner.counters.get(&key).map(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Renders every registered metric as Prometheus text exposition
+    /// format v0.0.4.
+    ///
+    /// Counters render as `name{labels} value`; gauges likewise;
+    /// histograms render cumulative `name_bucket{le="…"}` lines (only
+    /// buckets at or below the last non-empty one, plus `+Inf`),
+    /// followed by `name_sum` and `name_count`.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut out = String::new();
+        let mut last_name = String::new();
+        let emit_head =
+            |out: &mut String, name: &str, kind: &str, last: &mut String| {
+                if *last != name {
+                    if let Some(help) = inner.help.get(name) {
+                        let _ = writeln!(out, "# HELP {name} {help}");
+                    }
+                    let _ = writeln!(out, "# TYPE {name} {kind}");
+                    *last = name.to_string();
+                }
+            };
+        for (key, v) in &inner.counters {
+            emit_head(&mut out, &key.name, "counter", &mut last_name);
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                key.name,
+                key.render_labels(None),
+                v.load(Ordering::Relaxed)
+            );
+        }
+        for (key, v) in &inner.gauges {
+            emit_head(&mut out, &key.name, "gauge", &mut last_name);
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                key.name,
+                key.render_labels(None),
+                v.load(Ordering::Relaxed)
+            );
+        }
+        for (key, h) in &inner.histograms {
+            emit_head(&mut out, &key.name, "histogram", &mut last_name);
+            let snap = h.snapshot();
+            let last_nonempty =
+                snap.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+            let mut cumulative = 0u64;
+            for (i, &n) in snap.buckets.iter().enumerate() {
+                cumulative += n;
+                if i > last_nonempty || i == NUM_BUCKETS - 1 {
+                    break;
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    key.name,
+                    key.render_labels(Some(("le", &bucket_upper_bound(i).to_string()))),
+                    cumulative
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                key.name,
+                key.render_labels(Some(("le", "+Inf"))),
+                snap.count
+            );
+            let _ = writeln!(out, "{}_sum{} {}", key.name, key.render_labels(None), snap.sum);
+            let _ =
+                writeln!(out, "{}_count{} {}", key.name, key.render_labels(None), snap.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_storage() {
+        let r = Registry::new();
+        let a = r.counter("hits_total", &[]);
+        let b = r.counter("hits_total", &[]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.counter_value("hits_total", &[]), Some(3));
+    }
+
+    #[test]
+    fn labels_distinguish_series() {
+        let r = Registry::new();
+        r.counter("req_total", &[("code", "200")]).add(7);
+        r.counter("req_total", &[("code", "500")]).inc();
+        assert_eq!(r.counter_value("req_total", &[("code", "200")]), Some(7));
+        assert_eq!(r.counter_value("req_total", &[("code", "500")]), Some(1));
+        // Label order is normalized.
+        let x = r.counter("multi", &[("b", "2"), ("a", "1")]);
+        let y = r.counter("multi", &[("a", "1"), ("b", "2")]);
+        x.inc();
+        assert_eq!(y.get(), 1);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("depth", &[]);
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_parseable() {
+        let r = Registry::new();
+        r.set_help("req_total", "Total requests.");
+        r.counter("req_total", &[("code", "200")]).add(5);
+        r.gauge("depth", &[]).set(3);
+        let h = r.histogram("lat_ns", &[]);
+        h.record(100);
+        h.record(100);
+        h.record(100_000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP req_total Total requests."));
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("req_total{code=\"200\"} 5"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("depth 3"));
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_ns_sum 100200"));
+        assert!(text.contains("lat_ns_count 3"));
+        // Bucket counts are cumulative and non-decreasing.
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("lat_ns_bucket")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= prev, "{line}");
+            prev = n;
+        }
+        assert_eq!(prev, 3);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("odd", &[("q", "a\"b\\c")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("odd{q=\"a\\\"b\\\\c\"} 1"));
+    }
+}

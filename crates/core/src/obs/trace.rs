@@ -1,0 +1,175 @@
+//! Structured operator/query event log.
+//!
+//! A bounded ring of [`TraceEvent`]s that the executor, operators and
+//! the DSMS append to at *coarse* granularity (query/sector/frame
+//! boundaries, stalls, buffer growth — never per point). Tests and the
+//! frontend drain it; when full, the oldest events are dropped and
+//! counted.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A query pipeline started executing.
+    QueryStart,
+    /// A query pipeline ran to completion.
+    QueryEnd,
+    /// A sector boundary passed through an operator.
+    Sector,
+    /// An operator consumed input without emitting (blocking behavior).
+    Stall,
+    /// An operator's buffer grew past a previous high-water mark.
+    BufferPeak,
+    /// A network request was served.
+    Request,
+    /// Anything else (detail carries the specifics).
+    Other,
+}
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Microseconds since the log was created.
+    pub ts_us: u64,
+    /// Query id (0 when not tied to a query).
+    pub query_id: u32,
+    /// Operator or subsystem name.
+    pub op: String,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Free-form detail (counts, regions, error text).
+    pub detail: String,
+}
+
+/// A bounded, thread-safe ring buffer of trace events.
+#[derive(Debug)]
+pub struct TraceLog {
+    epoch: Instant,
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+impl TraceLog {
+    /// Creates a log holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn record(&self, query_id: u32, op: &str, kind: TraceKind, detail: impl Into<String>) {
+        let ev = TraceEvent {
+            ts_us: self.epoch.elapsed().as_micros() as u64,
+            query_id,
+            op: op.to_string(),
+            kind,
+            detail: detail.into(),
+        };
+        let mut events = self.events.lock().expect("trace log poisoned");
+        if events.len() == self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(ev);
+    }
+
+    /// Removes and returns every buffered event, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut events = self.events.lock().expect("trace log poisoned");
+        events.drain(..).collect()
+    }
+
+    /// Copies the buffered events without draining them.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let events = self.events.lock().expect("trace log poisoned");
+        events.iter().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace log poisoned").len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Maximum number of buffered events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Default for TraceLog {
+    /// A log with the default capacity (4096 events).
+    fn default() -> Self {
+        TraceLog::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_drains_in_order() {
+        let log = TraceLog::new(16);
+        log.record(1, "restrict_space", TraceKind::QueryStart, "");
+        log.record(1, "restrict_space", TraceKind::Sector, "sector 0");
+        log.record(1, "restrict_space", TraceKind::QueryEnd, "42 points");
+        assert_eq!(log.len(), 3);
+        let evs = log.drain();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].kind, TraceKind::QueryStart);
+        assert_eq!(evs[2].detail, "42 points");
+        assert!(evs.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let log = TraceLog::new(3);
+        for i in 0..5 {
+            log.record(0, "op", TraceKind::Other, format!("{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let evs = log.drain();
+        assert_eq!(evs[0].detail, "2");
+        assert_eq!(evs[2].detail, "4");
+    }
+
+    #[test]
+    fn snapshot_does_not_drain() {
+        let log = TraceLog::new(8);
+        log.record(0, "op", TraceKind::Stall, "");
+        assert_eq!(log.snapshot().len(), 1);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn events_serialize() {
+        let log = TraceLog::new(8);
+        log.record(7, "compose", TraceKind::BufferPeak, "1024 points");
+        let evs = log.drain();
+        let json = serde_json::to_string(&evs).unwrap();
+        let back: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, evs);
+    }
+}

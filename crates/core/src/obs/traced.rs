@@ -1,0 +1,219 @@
+//! Per-operator tracing wrapper.
+//!
+//! [`TracedStream`] decorates any [`GeoStream`] with latency histograms
+//! and coarse trace events. The per-point hot path is two `Instant`
+//! reads and one atomic histogram record — no locks, no allocation.
+//! Boundary events (sectors, stalls, buffer peaks) additionally go to
+//! an optional shared [`TraceLog`].
+
+use super::hist::Histogram;
+use super::trace::{TraceKind, TraceLog};
+use crate::model::{Element, GeoStream, StreamSchema};
+use crate::stats::{OpReport, OpStats};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared configuration for instrumenting a pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineObs {
+    /// Query id stamped on trace events.
+    pub query_id: u32,
+    /// Optional shared event log (sector boundaries, stalls, peaks).
+    pub trace: Option<Arc<TraceLog>>,
+}
+
+impl PipelineObs {
+    /// Observation config for a query, without an event log.
+    pub fn for_query(query_id: u32) -> Self {
+        PipelineObs { query_id, trace: None }
+    }
+
+    /// Attaches a shared event log (builder style).
+    pub fn with_trace(mut self, trace: Arc<TraceLog>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+}
+
+/// A [`GeoStream`] decorator that measures its inner operator.
+pub struct TracedStream<S: GeoStream> {
+    inner: S,
+    pull_ns: Arc<Histogram>,
+    frame_ns: Arc<Histogram>,
+    frame_open: Option<Instant>,
+    last_stalls: u64,
+    last_buffer_peak: u64,
+    obs: PipelineObs,
+}
+
+impl<S: GeoStream> TracedStream<S> {
+    /// Wraps `inner` with fresh histograms.
+    pub fn new(inner: S, obs: PipelineObs) -> Self {
+        TracedStream {
+            inner,
+            pull_ns: Arc::new(Histogram::new()),
+            frame_ns: Arc::new(Histogram::new()),
+            frame_open: None,
+            last_stalls: 0,
+            last_buffer_peak: 0,
+            obs,
+        }
+    }
+
+    /// The wrapped stream.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Handle to the per-element pull-latency histogram (nanoseconds).
+    pub fn pull_histogram(&self) -> Arc<Histogram> {
+        Arc::clone(&self.pull_ns)
+    }
+
+    /// Handle to the per-frame latency histogram (nanoseconds).
+    pub fn frame_histogram(&self) -> Arc<Histogram> {
+        Arc::clone(&self.frame_ns)
+    }
+
+    /// Emits boundary trace events when the inner operator stalled or
+    /// grew its buffer past the previous peak. Called on frame/sector
+    /// edges only — off the per-point path.
+    fn check_pressure(&mut self) {
+        let Some(trace) = &self.obs.trace else { return };
+        let stats = self.inner.op_stats();
+        let name = &self.inner.schema().name;
+        if stats.stalls > self.last_stalls {
+            trace.record(
+                self.obs.query_id,
+                name,
+                TraceKind::Stall,
+                format!("+{} stalls ({} total)", stats.stalls - self.last_stalls, stats.stalls),
+            );
+            self.last_stalls = stats.stalls;
+        }
+        if stats.buffered_points_peak > self.last_buffer_peak {
+            trace.record(
+                self.obs.query_id,
+                name,
+                TraceKind::BufferPeak,
+                format!(
+                    "{} points / {} bytes buffered",
+                    stats.buffered_points_peak, stats.buffered_bytes_peak
+                ),
+            );
+            self.last_buffer_peak = stats.buffered_points_peak;
+        }
+    }
+}
+
+impl<S: GeoStream> GeoStream for TracedStream<S> {
+    type V = S::V;
+
+    fn schema(&self) -> &StreamSchema {
+        self.inner.schema()
+    }
+
+    fn next_element(&mut self) -> Option<Element<Self::V>> {
+        let t0 = Instant::now();
+        let el = self.inner.next_element();
+        let dt = t0.elapsed().as_nanos() as u64;
+        self.pull_ns.record(dt);
+        match &el {
+            Some(Element::FrameStart(_)) => self.frame_open = Some(t0),
+            Some(Element::FrameEnd(_)) => {
+                let opened = self.frame_open.take().unwrap_or(t0);
+                self.frame_ns.record(opened.elapsed().as_nanos() as u64);
+                self.check_pressure();
+            }
+            Some(Element::SectorStart(si)) => {
+                if let Some(trace) = &self.obs.trace {
+                    trace.record(
+                        self.obs.query_id,
+                        &self.inner.schema().name,
+                        TraceKind::Sector,
+                        format!("sector {} start", si.sector_id),
+                    );
+                }
+            }
+            Some(Element::SectorEnd(se)) => {
+                if let Some(trace) = &self.obs.trace {
+                    trace.record(
+                        self.obs.query_id,
+                        &self.inner.schema().name,
+                        TraceKind::Sector,
+                        format!("sector {} end", se.sector_id),
+                    );
+                }
+                self.check_pressure();
+            }
+            None => self.check_pressure(),
+            _ => {}
+        }
+        el
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.inner.op_stats()
+    }
+
+    fn collect_stats(&self, out: &mut Vec<OpReport>) {
+        self.inner.collect_stats(out);
+        // Decorate the inner operator's own report (the last one pushed)
+        // with this wrapper's latency observations.
+        if let Some(last) = out.last_mut() {
+            last.pull_latency = Some(self.pull_ns.snapshot());
+            last.frame_latency = Some(self.frame_ns.snapshot());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VecStream;
+    use crate::ops::SpatialRestrict;
+    use geostreams_geo::{Crs, LatticeGeoref, Rect, Region};
+
+    fn source() -> VecStream<f32> {
+        let lattice =
+            LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8);
+        VecStream::single_sector("src", lattice, 0, |c, r| f64::from(c + r))
+    }
+
+    #[test]
+    fn traced_stream_is_transparent() {
+        let mut plain = source();
+        let plain_pts = plain.drain_points();
+        let mut traced = TracedStream::new(source(), PipelineObs::for_query(1));
+        let traced_pts = traced.drain_points();
+        assert_eq!(plain_pts, traced_pts);
+    }
+
+    #[test]
+    fn latency_lands_in_the_report() {
+        let region = Region::Rect(Rect::new(0.0, 0.0, 4.0, 4.0));
+        let op = SpatialRestrict::new(source(), region);
+        let mut traced = TracedStream::new(op, PipelineObs::for_query(1));
+        while traced.next_element().is_some() {}
+        let mut per_op = Vec::new();
+        traced.collect_stats(&mut per_op);
+        assert_eq!(per_op.len(), 2);
+        // The decorated (last) report carries latency; the inner source
+        // does not (it was not wrapped).
+        assert!(per_op[0].pull_latency.is_none());
+        let lat = per_op[1].pull_latency.as_ref().expect("latency recorded");
+        assert!(lat.count > 0);
+        let frames = per_op[1].frame_latency.as_ref().expect("frame latency");
+        assert!(frames.count > 0);
+    }
+
+    #[test]
+    fn sector_events_hit_the_trace_log() {
+        let log = Arc::new(TraceLog::new(64));
+        let obs = PipelineObs::for_query(9).with_trace(Arc::clone(&log));
+        let mut traced = TracedStream::new(source(), obs);
+        while traced.next_element().is_some() {}
+        let evs = log.drain();
+        assert!(evs.iter().any(|e| e.kind == TraceKind::Sector && e.query_id == 9));
+    }
+}

@@ -222,7 +222,7 @@ impl<S: GeoStream> GeoStream for TemporalAggregate<S> {
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.input.collect_stats(out);
-        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+        out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
     }
 }
 
@@ -380,7 +380,7 @@ impl<S: GeoStream> GeoStream for SpatialAggregate<S> {
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.input.collect_stats(out);
-        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+        out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
     }
 }
 

@@ -502,7 +502,7 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> GeoStream for Compose<L, R> {
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.left.collect_stats(out);
         self.right.collect_stats(out);
-        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+        out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
     }
 }
 

@@ -151,6 +151,11 @@ impl<S: GeoStream> PngSink<S> {
         PngSink { assembler: ImageAssembler::new(input), rendering, options, bytes_delivered: 0 }
     }
 
+    /// The stream feeding this sink (for post-run stats collection).
+    pub fn inner(&self) -> &S {
+        self.assembler.inner()
+    }
+
     /// Pulls until the next delivered PNG frame.
     pub fn next_frame(&mut self) -> Option<DeliveredFrame> {
         let img = self.assembler.next_image()?;

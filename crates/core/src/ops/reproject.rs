@@ -453,7 +453,7 @@ impl<S: GeoStream> GeoStream for Reproject<S> {
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.input.collect_stats(out);
-        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+        out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
     }
 }
 

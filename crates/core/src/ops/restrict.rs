@@ -167,7 +167,7 @@ impl<S: GeoStream> GeoStream for SpatialRestrict<S> {
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.input.collect_stats(out);
-        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+        out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
     }
 }
 
@@ -235,7 +235,7 @@ impl<S: GeoStream> GeoStream for TemporalRestrict<S> {
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.input.collect_stats(out);
-        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+        out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
     }
 }
 
@@ -318,7 +318,7 @@ impl<S: GeoStream> GeoStream for ValueRestrict<S> {
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.input.collect_stats(out);
-        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+        out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
     }
 }
 

@@ -89,7 +89,7 @@ impl<S: GeoStream> GeoStream for Magnify<S> {
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.input.collect_stats(out);
-        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+        out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
     }
 }
 
@@ -232,7 +232,7 @@ impl<S: GeoStream> GeoStream for Downsample<S> {
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.input.collect_stats(out);
-        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+        out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
     }
 }
 

@@ -143,7 +143,7 @@ impl<S: GeoStream, W: Pixel> GeoStream for MapTransform<S, W> {
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.input.collect_stats(out);
-        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+        out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
     }
 }
 
@@ -186,7 +186,7 @@ impl<S: GeoStream, W: Pixel> GeoStream for CastTransform<S, W> {
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.input.collect_stats(out);
-        out.push(OpReport { name: self.schema.name.clone(), stats: self.op_stats() });
+        out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
     }
 }
 

@@ -8,6 +8,7 @@
 use super::ast::Expr;
 use crate::error::{CoreError, Result};
 use crate::model::{BoxedF32Stream, GeoStream, StreamSchema};
+use crate::obs::{PipelineObs, TracedStream};
 use crate::ops::{
     Compose, Delay, Downsample, FocalTransform, JoinStrategy, Magnify, MapTransform, Orient,
     Reproject, ReprojectConfig, Shed, SpatialAggregate, SpatialRestrict, StretchTransform,
@@ -109,10 +110,31 @@ impl<'a> Planner<'a> {
 
     /// Builds a runnable pipeline from an expression.
     pub fn build(&self, expr: &Expr) -> Result<BoxedF32Stream> {
+        self.build_inner(expr, None)
+    }
+
+    /// Builds a pipeline with every operator (sources included) wrapped
+    /// in a [`TracedStream`], so the resulting
+    /// [`RunReport`](crate::exec::RunReport) carries per-op pull/frame
+    /// latency histograms and `obs.trace` receives boundary events.
+    pub fn build_traced(&self, expr: &Expr, obs: &PipelineObs) -> Result<BoxedF32Stream> {
+        self.build_inner(expr, Some(obs))
+    }
+
+    fn build_inner(&self, expr: &Expr, obs: Option<&PipelineObs>) -> Result<BoxedF32Stream> {
+        let stream = self.build_node(expr, obs)?;
+        Ok(match obs {
+            Some(obs) => Box::new(TracedStream::new(stream, obs.clone())),
+            None => stream,
+        })
+    }
+
+    fn build_node(&self, expr: &Expr, obs: Option<&PipelineObs>) -> Result<BoxedF32Stream> {
+        let build = |input: &Expr| self.build_inner(input, obs);
         Ok(match expr {
             Expr::Source(name) => self.catalog.open(name)?,
             Expr::RestrictSpace { input, region, crs } => {
-                let stream = self.build(input)?;
+                let stream = build(input)?;
                 let stream_crs = stream.schema().crs;
                 let region = if *crs == stream_crs {
                     region.clone()
@@ -126,69 +148,69 @@ impl<'a> Planner<'a> {
                 Box::new(SpatialRestrict::new(stream, region))
             }
             Expr::RestrictTime { input, times } => {
-                Box::new(TemporalRestrict::new(self.build(input)?, times.clone()))
+                Box::new(TemporalRestrict::new(build(input)?, times.clone()))
             }
             Expr::RestrictValue { input, ranges } => {
-                Box::new(ValueRestrict::ranges(self.build(input)?, ranges.clone()))
+                Box::new(ValueRestrict::ranges(build(input)?, ranges.clone()))
             }
             Expr::MapValue { input, func } => {
-                Box::new(MapTransform::<_, f32>::new(self.build(input)?, *func))
+                Box::new(MapTransform::<_, f32>::new(build(input)?, *func))
             }
             Expr::Stretch { input, mode, scope } => {
-                Box::new(StretchTransform::new(self.build(input)?, *mode, *scope))
+                Box::new(StretchTransform::new(build(input)?, *mode, *scope))
             }
             Expr::Focal { input, func, k } => {
-                Box::new(FocalTransform::new(self.build(input)?, *func, *k))
+                Box::new(FocalTransform::new(build(input)?, *func, *k))
             }
             Expr::Orient { input, orientation } => {
-                Box::new(Orient::new(self.build(input)?, *orientation))
+                Box::new(Orient::new(build(input)?, *orientation))
             }
             Expr::Magnify { input, k } => {
                 if *k == 0 {
                     return Err(CoreError::InvalidParameter("magnify factor 0".into()));
                 }
-                Box::new(Magnify::new(self.build(input)?, *k))
+                Box::new(Magnify::new(build(input)?, *k))
             }
             Expr::Downsample { input, k } => {
                 if *k == 0 {
                     return Err(CoreError::InvalidParameter("downsample factor 0".into()));
                 }
-                Box::new(Downsample::new(self.build(input)?, *k))
+                Box::new(Downsample::new(build(input)?, *k))
             }
             Expr::Reproject { input, to, kernel } => {
                 let cfg = ReprojectConfig::new(*to).kernel(*kernel);
-                Box::new(Reproject::new(self.build(input)?, cfg)?)
+                Box::new(Reproject::new(build(input)?, cfg)?)
             }
             Expr::Compose { left, right, op } => Box::new(Compose::new(
-                self.build(left)?,
-                self.build(right)?,
+                build(left)?,
+                build(right)?,
                 *op,
                 JoinStrategy::Hash,
             )?),
             Expr::Ndvi { nir, vis } => Box::new(crate::ops::macro_ops::ndvi(
-                self.build(nir)?,
-                self.build(vis)?,
+                build(nir)?,
+                build(vis)?,
             )?),
             Expr::Shed { input, policy, stride } => {
                 if *stride == 0 {
                     return Err(CoreError::InvalidParameter("shed stride 0".into()));
                 }
-                Box::new(Shed::new(self.build(input)?, *policy, *stride))
+                Box::new(Shed::new(build(input)?, *policy, *stride))
             }
             Expr::Delay { input, d } => {
                 if *d == 0 {
                     return Err(CoreError::InvalidParameter("delay of 0 sectors".into()));
                 }
-                Box::new(Delay::new(self.build(input)?, *d))
+                Box::new(Delay::new(build(input)?, *d))
             }
             Expr::AggTime { input, func, window } => {
                 if *window == 0 {
                     return Err(CoreError::InvalidParameter("aggregate window 0".into()));
                 }
-                Box::new(TemporalAggregate::new(self.build(input)?, *func, *window as usize))
+                Box::new(TemporalAggregate::new(build(input)?, *func, *window as usize))
             }
             Expr::AggSpace { input, func, region } => {
-                Box::new(SpatialAggregate::new(self.build(input)?, *func, region.clone()))
+                Box::new(SpatialAggregate::new(build(input)?, *func, region.clone()))
             }
         })
     }

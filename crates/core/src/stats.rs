@@ -85,6 +85,37 @@ pub struct OpReport {
     pub name: String,
     /// Counter snapshot.
     pub stats: OpStats,
+    /// Per-element pull-latency histogram (nanoseconds), present when
+    /// the operator ran wrapped in an
+    /// [`obs::TracedStream`](crate::obs::TracedStream).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub pull_latency: Option<crate::obs::HistogramSnapshot>,
+    /// Per-frame latency histogram (nanoseconds, FrameStart→FrameEnd),
+    /// present when traced.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub frame_latency: Option<crate::obs::HistogramSnapshot>,
+}
+
+impl OpReport {
+    /// A report with counters only (no latency observations).
+    pub fn new(name: impl Into<String>, stats: OpStats) -> Self {
+        OpReport { name: name.into(), stats, pull_latency: None, frame_latency: None }
+    }
+
+    /// Median per-element pull latency in nanoseconds (0 if untraced).
+    pub fn pull_p50_ns(&self) -> u64 {
+        self.pull_latency.as_ref().map_or(0, |h| h.p50())
+    }
+
+    /// 95th-percentile pull latency in nanoseconds (0 if untraced).
+    pub fn pull_p95_ns(&self) -> u64 {
+        self.pull_latency.as_ref().map_or(0, |h| h.p95())
+    }
+
+    /// 99th-percentile pull latency in nanoseconds (0 if untraced).
+    pub fn pull_p99_ns(&self) -> u64 {
+        self.pull_latency.as_ref().map_or(0, |h| h.p99())
+    }
 }
 
 #[cfg(test)]

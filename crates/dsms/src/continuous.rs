@@ -10,16 +10,15 @@
 
 use crate::protocol::{ClientRequest, OutputFormat};
 use crate::server::QueryResult;
-use crossbeam::channel::{bounded, Receiver, Sender};
 use geostreams_core::model::{ChannelLike, Element, GeoStream};
 use geostreams_core::ops::delivery::PngSink;
 use geostreams_core::query::{optimize, parse_query, Catalog, Expr, Planner};
 use geostreams_core::{CoreError, Result};
 use geostreams_raster::png::PngOptions;
 use geostreams_satsim::Scanner;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
 
 /// Channel capacity per subscriber: how many elements a slow query may
 /// lag behind the downlink before back-pressure stalls ingest.
@@ -65,12 +64,12 @@ pub fn run_continuous(
 
     // Create one channel per (query, referenced source).
     type Rx = Receiver<Element<f32>>;
-    let mut band_subscribers: HashMap<String, Vec<Sender<Element<f32>>>> = HashMap::new();
+    let mut band_subscribers: HashMap<String, Vec<SyncSender<Element<f32>>>> = HashMap::new();
     let mut query_receivers: Vec<HashMap<String, Rx>> = Vec::new();
     for (expr, _) in &exprs {
         let mut receivers = HashMap::new();
         for name in expr.source_names() {
-            let (tx, rx) = bounded(CHANNEL_CAP);
+            let (tx, rx) = sync_channel(CHANNEL_CAP);
             band_subscribers.entry(name.clone()).or_default().push(tx);
             receivers.insert(name, rx);
         }
@@ -119,6 +118,7 @@ pub fn run_continuous(
                 catalog.register(schema.clone(), move || {
                     let rx = slot
                         .lock()
+                        .expect("source slot lock")
                         .take()
                         .expect("continuous sources are single-consumer");
                     let mut done = false;

@@ -1,48 +1,106 @@
-//! Server-wide metrics.
+//! Server-wide metrics, built on the `geostreams-core` observability
+//! registry.
+//!
+//! Every metric carries the stable `geostreams_` prefix and is
+//! registered once at server construction; the hot paths only touch
+//! lock-free handles. `GET /metrics` (see [`crate::net`]) renders the
+//! whole registry as Prometheus text exposition v0.0.4.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use geostreams_core::obs::{Counter, HistogramHandle, Registry, TraceLog};
+use std::sync::Arc;
 
-/// Atomic counters shared across the server's query threads.
-#[derive(Debug, Default)]
+/// Metric and trace handles shared across the server's query threads.
+#[derive(Debug)]
 pub struct ServerMetrics {
+    registry: Arc<Registry>,
     /// Continuous queries registered since start.
-    pub queries_registered: AtomicU64,
+    pub queries_registered: Counter,
     /// Queries rejected at parse/plan time.
-    pub queries_rejected: AtomicU64,
+    pub queries_rejected: Counter,
     /// PNG frames delivered to clients.
-    pub frames_delivered: AtomicU64,
+    pub frames_delivered: Counter,
     /// Total PNG bytes delivered.
-    pub bytes_delivered: AtomicU64,
+    pub bytes_delivered: Counter,
     /// Points pulled from source streams.
-    pub points_ingested: AtomicU64,
+    pub points_ingested: Counter,
+    /// Connections served successfully by the HTTP front end.
+    pub requests_handled: Counter,
+    /// Connections that failed mid-request (read/write errors).
+    pub requests_errored: Counter,
+    /// Per-query wall time, nanoseconds.
+    pub query_wall_ns: HistogramHandle,
+    /// Per-connection request latency, nanoseconds.
+    pub request_ns: HistogramHandle,
+    /// Structured event log (query/sector boundaries, stalls, peaks).
+    pub trace: Arc<TraceLog>,
 }
 
 impl ServerMetrics {
-    /// Creates zeroed metrics.
+    /// Creates zeroed metrics with the default trace capacity (4096).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_trace_capacity(4096)
     }
 
-    /// Convenience: adds to a counter.
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    /// Creates zeroed metrics with an explicit trace-ring capacity.
+    pub fn with_trace_capacity(trace_capacity: usize) -> Self {
+        let registry = Arc::new(Registry::new());
+        let help: &[(&str, &str)] = &[
+            ("geostreams_queries_registered_total", "Continuous queries registered."),
+            ("geostreams_queries_rejected_total", "Queries rejected at parse/plan time."),
+            ("geostreams_frames_delivered_total", "PNG frames delivered to clients."),
+            ("geostreams_bytes_delivered_total", "PNG bytes delivered to clients."),
+            ("geostreams_points_ingested_total", "Points pulled from source streams."),
+            ("geostreams_requests_handled_total", "Connections served successfully."),
+            ("geostreams_requests_errored_total", "Connections that failed mid-request."),
+            ("geostreams_query_wall_ns", "Per-query wall time in nanoseconds."),
+            ("geostreams_request_ns", "Per-connection request latency in nanoseconds."),
+        ];
+        for (name, text) in help {
+            registry.set_help(name, text);
+        }
+        ServerMetrics {
+            queries_registered: registry.counter("geostreams_queries_registered_total", &[]),
+            queries_rejected: registry.counter("geostreams_queries_rejected_total", &[]),
+            frames_delivered: registry.counter("geostreams_frames_delivered_total", &[]),
+            bytes_delivered: registry.counter("geostreams_bytes_delivered_total", &[]),
+            points_ingested: registry.counter("geostreams_points_ingested_total", &[]),
+            requests_handled: registry.counter("geostreams_requests_handled_total", &[]),
+            requests_errored: registry.counter("geostreams_requests_errored_total", &[]),
+            query_wall_ns: registry.histogram("geostreams_query_wall_ns", &[]),
+            request_ns: registry.histogram("geostreams_request_ns", &[]),
+            trace: Arc::new(TraceLog::new(trace_capacity)),
+            registry,
+        }
     }
 
-    /// Convenience: reads a counter.
-    pub fn get(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+    /// The underlying registry (for registering further metrics).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Renders every metric as Prometheus text exposition v0.0.4.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
     }
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "queries={} rejected={} frames={} bytes={} points_in={}",
-            Self::get(&self.queries_registered),
-            Self::get(&self.queries_rejected),
-            Self::get(&self.frames_delivered),
-            Self::get(&self.bytes_delivered),
-            Self::get(&self.points_ingested),
+            "queries={} rejected={} frames={} bytes={} points_in={} requests={} errored={}",
+            self.queries_registered.get(),
+            self.queries_rejected.get(),
+            self.frames_delivered.get(),
+            self.bytes_delivered.get(),
+            self.points_ingested.get(),
+            self.requests_handled.get(),
+            self.requests_errored.get(),
         )
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -53,9 +111,23 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let m = ServerMetrics::new();
-        ServerMetrics::add(&m.frames_delivered, 3);
-        ServerMetrics::add(&m.frames_delivered, 2);
-        assert_eq!(ServerMetrics::get(&m.frames_delivered), 5);
+        m.frames_delivered.add(3);
+        m.frames_delivered.add(2);
+        assert_eq!(m.frames_delivered.get(), 5);
         assert!(m.summary().contains("frames=5"));
+        assert!(m.summary().contains("errored=0"));
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_all_series() {
+        let m = ServerMetrics::new();
+        m.queries_registered.inc();
+        m.query_wall_ns.record(1_500_000);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE geostreams_queries_registered_total counter"));
+        assert!(text.contains("geostreams_queries_registered_total 1"));
+        assert!(text.contains("# TYPE geostreams_query_wall_ns histogram"));
+        assert!(text.contains("geostreams_query_wall_ns_count 1"));
+        assert!(text.contains("geostreams_requests_errored_total 0"));
     }
 }

@@ -4,7 +4,10 @@
 //! which are converted by the interface to specialized HTTP requests,
 //! are transmitted to the server". This module serves those requests
 //! over real sockets: one thread per connection, request line in,
-//! PNG (or error) response out.
+//! PNG (or error) response out. It also serves the operational
+//! endpoints `GET /metrics` (Prometheus text exposition) and
+//! `GET /healthz`, and records per-connection latency into the
+//! server's `geostreams_request_ns` histogram.
 
 use crate::server::Dsms;
 use std::io::{BufRead, BufReader, Write};
@@ -12,12 +15,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A running TCP server.
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handled: Arc<AtomicU64>,
+    errored: Arc<AtomicU64>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -29,9 +34,12 @@ impl HttpServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let handled = Arc::new(AtomicU64::new(0));
+        let errored = Arc::new(AtomicU64::new(0));
         let stop2 = Arc::clone(&stop);
         let handled2 = Arc::clone(&handled);
+        let errored2 = Arc::clone(&errored);
         let join = std::thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
             for conn in listener.incoming() {
                 if stop2.load(Ordering::Relaxed) {
                     break;
@@ -40,17 +48,38 @@ impl HttpServer {
                     Ok(stream) => {
                         let server = Arc::clone(&server);
                         let handled = Arc::clone(&handled2);
-                        std::thread::spawn(move || {
-                            if handle_connection(stream, &server).is_ok() {
-                                handled.fetch_add(1, Ordering::Relaxed);
+                        let errored = Arc::clone(&errored2);
+                        // Reap finished handlers so the vec stays small
+                        // on long-running servers.
+                        conns.retain(|h| !h.is_finished());
+                        conns.push(std::thread::spawn(move || {
+                            let started = Instant::now();
+                            match handle_connection(stream, &server) {
+                                Ok(()) => {
+                                    handled.fetch_add(1, Ordering::Relaxed);
+                                    server.metrics.requests_handled.inc();
+                                }
+                                Err(_) => {
+                                    errored.fetch_add(1, Ordering::Relaxed);
+                                    server.metrics.requests_errored.inc();
+                                }
                             }
-                        });
+                            server
+                                .metrics
+                                .request_ns
+                                .record(started.elapsed().as_nanos() as u64);
+                        }));
                     }
                     Err(_) => break,
                 }
             }
+            // Deterministic shutdown: every in-flight connection is
+            // drained before the acceptor exits.
+            for h in conns {
+                let _ = h.join();
+            }
         });
-        Ok(HttpServer { addr: local, stop, handled, join: Some(join) })
+        Ok(HttpServer { addr: local, stop, handled, errored, join: Some(join) })
     }
 
     /// The bound address.
@@ -63,10 +92,23 @@ impl HttpServer {
         self.handled.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting connections and joins the acceptor thread.
+    /// Number of connections that failed mid-request so far.
+    pub fn errored(&self) -> u64 {
+        self.errored.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting connections, waits for in-flight requests to
+    /// drain, and joins the acceptor thread. Deterministic: when this
+    /// returns, no server thread is running.
     pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        // Unblock the acceptor with a dummy connection.
+        // Unblock the acceptor with a dummy connection (the stop flag is
+        // checked before the connection is handled, so it is never
+        // served or counted).
         let _ = TcpStream::connect(self.addr);
         if let Some(join) = self.join.take() {
             let _ = join.join();
@@ -76,11 +118,7 @@ impl HttpServer {
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(join) = self.join.take() {
-            let _ = join.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -127,6 +165,11 @@ mod tests {
         buf
     }
 
+    fn body_of(resp: &[u8]) -> Vec<u8> {
+        let start = resp.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        resp[start..].to_vec()
+    }
+
     #[test]
     fn serves_png_over_a_real_socket() {
         let dsms = Arc::new(Dsms::over_scanner(&goes_like(32, 16, 3), 1));
@@ -136,8 +179,7 @@ mod tests {
         let resp = request(addr, "/query?q=goes-sim.b4-ir&format=png&sectors=1");
         let text = String::from_utf8_lossy(&resp[..32.min(resp.len())]).to_string();
         assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
-        let body_start = resp.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
-        assert!(geostreams_raster::png::decode(&resp[body_start..]).is_ok());
+        assert!(geostreams_raster::png::decode(&body_of(&resp)).is_ok());
 
         let bad = request(addr, "/query?q=borked(((");
         assert!(String::from_utf8_lossy(&bad).starts_with("HTTP/1.1 400"));
@@ -153,15 +195,61 @@ mod tests {
             let resp = j.join().expect("client thread");
             assert!(String::from_utf8_lossy(&resp[..16]).starts_with("HTTP/1.1 200"));
         }
-        // The counter increments after the response is flushed; give the
-        // handler threads a moment to finish bookkeeping.
-        for _ in 0..100 {
-            if http.handled() >= 6 {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(10));
-        }
-        assert!(http.handled() >= 6, "handled {}", http.handled());
         http.stop();
+    }
+
+    #[test]
+    fn stop_joins_all_connection_threads() {
+        let dsms = Arc::new(Dsms::over_scanner(&goes_like(32, 16, 3), 1));
+        let http = HttpServer::spawn(Arc::clone(&dsms), "127.0.0.1:0").expect("bind");
+        let addr = http.addr();
+        for _ in 0..3 {
+            let _ = request(addr, "/query?q=goes-sim.b4-ir&format=png&sectors=1");
+        }
+        // stop() joins the acceptor, which joins every handler — the
+        // counters are final as soon as it returns, without sleeping.
+        http.stop();
+        assert_eq!(dsms.metrics.requests_handled.get(), 3);
+    }
+
+    #[test]
+    fn healthz_and_metrics_are_served() {
+        let dsms = Arc::new(Dsms::over_scanner(&goes_like(32, 16, 3), 1));
+        let http = HttpServer::spawn(Arc::clone(&dsms), "127.0.0.1:0").expect("bind");
+        let addr = http.addr();
+
+        let health = request(addr, "/healthz");
+        assert!(String::from_utf8_lossy(&health).starts_with("HTTP/1.1 200"));
+        assert_eq!(body_of(&health), b"ok\n");
+
+        let _ = request(addr, "/query?q=goes-sim.b4-ir&format=png&sectors=1");
+        let metrics = request(addr, "/metrics");
+        let text = String::from_utf8(body_of(&metrics)).unwrap();
+        assert!(text.contains("geostreams_queries_registered_total 1"), "{text}");
+        assert!(text.contains("geostreams_frames_delivered_total"));
+        assert!(text.contains("geostreams_requests_errored_total 0"));
+        http.stop();
+    }
+
+    #[test]
+    fn failed_connections_are_counted() {
+        let dsms = Arc::new(Dsms::over_scanner(&goes_like(32, 16, 3), 1));
+        let http = HttpServer::spawn(Arc::clone(&dsms), "127.0.0.1:0").expect("bind");
+        let addr = http.addr();
+        // Client connects, sends a full request, but closes its read
+        // side immediately: the handler's response write fails.
+        {
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            write!(conn, "GET /query?q=goes-sim.b4-ir&format=png&sectors=1 HTTP/1.1\r\n\r\n")
+                .expect("send");
+            conn.shutdown(std::net::Shutdown::Both).expect("shutdown");
+        }
+        // A well-behaved request still succeeds afterwards.
+        let ok = request(addr, "/healthz");
+        assert!(String::from_utf8_lossy(&ok).starts_with("HTTP/1.1 200"));
+        http.stop();
+        let errored = dsms.metrics.requests_errored.get();
+        let handled = dsms.metrics.requests_handled.get();
+        assert_eq!(handled + errored, 2, "handled={handled} errored={errored}");
     }
 }

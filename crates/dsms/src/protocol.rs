@@ -78,6 +78,19 @@ fn url_decode(s: &str) -> Result<String> {
         .map_err(|_| CoreError::Parse { message: "invalid utf-8 after decode".into(), offset: 0 })
 }
 
+/// Extracts `(method, path)` from a raw request head — the path is the
+/// target with any query string stripped. Used to route the
+/// operational endpoints (`/metrics`, `/healthz`) before full query
+/// parsing; malformed requests yield empty strings.
+pub fn request_target(raw: &str) -> (&str, &str) {
+    let line = raw.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let (path, _) = target.split_once('?').unwrap_or((target, ""));
+    (method, path)
+}
+
 /// Parses a request line (optionally a full HTTP request; only the first
 /// line matters).
 pub fn parse_request(raw: &str) -> Result<ClientRequest> {
@@ -131,6 +144,19 @@ pub fn parse_request(raw: &str) -> Result<ClientRequest> {
         offset: 0,
     })?;
     Ok(ClientRequest { query, format, sectors })
+}
+
+/// Renders an HTTP response carrying a plain-text body (used for
+/// `/metrics` and `/healthz`).
+pub fn text_response(status: u16, content_type: &str, body: &str) -> Vec<u8> {
+    let reason = if status < 400 { "OK" } else { "Error" };
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
 }
 
 /// Renders an HTTP response carrying a JSON document.

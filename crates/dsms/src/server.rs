@@ -4,15 +4,16 @@ use crate::metrics::ServerMetrics;
 use crate::protocol::{ClientRequest, OutputFormat};
 use geostreams_core::exec::RunReport;
 use geostreams_core::model::GeoStream;
+use geostreams_core::obs::PipelineObs;
 use geostreams_core::ops::delivery::{DeliveredFrame, PngSink, Rendering};
 use geostreams_core::query::{optimize, parse_query, Catalog, Expr, Planner};
+use geostreams_core::stats::OpReport;
 use geostreams_core::{CoreError, Result};
 use geostreams_raster::colormap::ColorMap;
 use geostreams_raster::png::PngOptions;
 use geostreams_satsim::Scanner;
-use parking_lot::Mutex;
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// A registered continuous query.
 #[derive(Debug, Clone)]
@@ -94,11 +95,11 @@ impl Dsms {
     pub fn register(&self, request: &ClientRequest) -> Result<QueryHandle> {
         match self.register_inner(request) {
             Ok(h) => {
-                ServerMetrics::add(&self.metrics.queries_registered, 1);
+                self.metrics.queries_registered.inc();
                 Ok(h)
             }
             Err(e) => {
-                ServerMetrics::add(&self.metrics.queries_rejected, 1);
+                self.metrics.queries_rejected.inc();
                 Err(e)
             }
         }
@@ -127,7 +128,7 @@ impl Dsms {
             expr
         };
         let optimized = optimize(&expr, &self.catalog);
-        let mut id_guard = self.next_id.lock();
+        let mut id_guard = self.next_id.lock().expect("id lock");
         let id = *id_guard;
         *id_guard += 1;
         drop(id_guard);
@@ -139,7 +140,7 @@ impl Dsms {
             format: request.format,
             sectors: request.sectors,
         };
-        self.queries.lock().push(handle.clone());
+        self.queries.lock().expect("query registry lock").push(handle.clone());
         Ok(handle)
     }
 
@@ -150,17 +151,25 @@ impl Dsms {
 
     /// Currently registered queries.
     pub fn registered(&self) -> Vec<QueryHandle> {
-        self.queries.lock().clone()
+        self.queries.lock().expect("query registry lock").clone()
     }
 
     /// Runs one registered query to completion (synchronously).
+    ///
+    /// The pipeline runs with every operator traced: the returned
+    /// report carries per-op pull/frame latency histograms, boundary
+    /// events land in `metrics.trace`, and the query's wall time is
+    /// recorded in the `geostreams_query_wall_ns` histogram.
     pub fn run_query(&self, handle: &QueryHandle) -> Result<QueryResult> {
         let planner = Planner::new(&self.catalog);
-        let pipeline = planner.build(&handle.optimized)?;
+        let obs = PipelineObs::for_query(handle.id).with_trace(Arc::clone(&self.metrics.trace));
+        let pipeline = planner.build_traced(&handle.optimized, &obs)?;
+        let started = Instant::now();
         let result = match handle.format {
             OutputFormat::Stats | OutputFormat::Json => {
                 let mut pipeline = pipeline;
-                let report = geostreams_core::exec::run_to_end(&mut pipeline);
+                let report = geostreams_core::exec::run_observed(&mut pipeline, &obs, |_| {});
+                self.metrics.points_ingested.add(source_points(&report.per_op));
                 let points = report.points_delivered;
                 QueryResult { id: handle.id, frames: Vec::new(), report: Some(report), points }
             }
@@ -169,14 +178,19 @@ impl Dsms {
                 let mut sink = PngSink::new(pipeline, Some(rendering), PngOptions::default());
                 let mut frames = Vec::new();
                 while let Some(frame) = sink.next_frame() {
-                    ServerMetrics::add(&self.metrics.frames_delivered, 1);
-                    ServerMetrics::add(&self.metrics.bytes_delivered, frame.png.len() as u64);
+                    self.metrics.frames_delivered.inc();
+                    self.metrics.bytes_delivered.add(frame.png.len() as u64);
                     frames.push(frame);
                 }
+                let mut per_op = Vec::new();
+                sink.inner().collect_stats(&mut per_op);
+                self.metrics.points_ingested.add(source_points(&per_op));
+                let report = report_from_per_op(started.elapsed(), per_op);
                 let points = frames.len() as u64;
-                QueryResult { id: handle.id, frames, report: None, points }
+                QueryResult { id: handle.id, frames, report: Some(report), points }
             }
         };
+        self.metrics.query_wall_ns.record(started.elapsed().as_nanos() as u64);
         Ok(result)
     }
 
@@ -198,7 +212,23 @@ impl Dsms {
 
     /// Handles a raw HTTP-style request end-to-end, returning response
     /// bytes (the first delivered frame, or an error response).
+    ///
+    /// Besides `/query`, serves the operational endpoints: `GET
+    /// /metrics` (Prometheus text exposition v0.0.4) and `GET /healthz`.
     pub fn handle_http(&self, raw: &str) -> Vec<u8> {
+        match crate::protocol::request_target(raw) {
+            ("GET", "/metrics") => {
+                return crate::protocol::text_response(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &self.metrics.render_prometheus(),
+                );
+            }
+            ("GET", "/healthz") => {
+                return crate::protocol::text_response(200, "text/plain", "ok\n");
+            }
+            _ => {}
+        }
         let request = match crate::protocol::parse_request(raw) {
             Ok(r) => r,
             Err(e) => return crate::protocol::error_response(400, &e.to_string()),
@@ -228,8 +258,26 @@ impl Dsms {
 
     /// Snapshot of the server metrics counters.
     pub fn frames_delivered(&self) -> u64 {
-        self.metrics.frames_delivered.load(Ordering::Relaxed)
+        self.metrics.frames_delivered.get()
     }
+}
+
+/// Points emitted by source operators (those that consume no input):
+/// the server's ingest measure.
+fn source_points(per_op: &[OpReport]) -> u64 {
+    per_op.iter().filter(|r| r.stats.points_in == 0).map(|r| r.stats.points_out).sum()
+}
+
+/// Builds a [`RunReport`] for a sink-driven (PNG) run from collected
+/// per-op stats; the pipeline root is the last entry.
+fn report_from_per_op(wall: std::time::Duration, per_op: Vec<OpReport>) -> RunReport {
+    let root = per_op.last();
+    let points_delivered = root.map_or(0, |r| r.stats.points_out);
+    let pull_latency = root.and_then(|r| r.pull_latency.clone()).unwrap_or_default();
+    // The root histogram sees one pull per element plus the final None.
+    let elements = pull_latency.count.saturating_sub(1);
+    // OpStats does not count sector markers; 0 means "not observed".
+    RunReport { wall, elements, points_delivered, sectors: 0, per_op, pull_latency }
 }
 
 /// Chooses the PNG rendering for a format.
@@ -279,7 +327,7 @@ mod tests {
         let s = server();
         let err = s.register_text("scale(nosuch.band, 1, 0)", OutputFormat::PngGray, 1);
         assert!(matches!(err, Err(CoreError::UnknownSource(_))));
-        assert_eq!(ServerMetrics::get(&s.metrics.queries_rejected), 1);
+        assert_eq!(s.metrics.queries_rejected.get(), 1);
     }
 
     #[test]

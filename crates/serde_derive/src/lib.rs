@@ -1,0 +1,488 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-repo
+//! `serde` shim.
+//!
+//! The build environment is offline, so this crate hand-parses the
+//! `proc_macro::TokenStream` (no `syn`/`quote`) and emits impls of the
+//! shim's value-tree traits (`to_value`/`from_value`). Supported input
+//! shapes — everything this workspace derives on:
+//!
+//! - structs with named fields, optionally generic (`Grid2D<T>`)
+//! - enums with unit, newtype, tuple, and struct variants, optionally
+//!   generic (`Element<V>`)
+//! - field attributes `#[serde(default)]` and
+//!   `#[serde(default, skip_serializing_if = "...")]` (the predicate is
+//!   interpreted as "skip when the field serializes to `Null`", which
+//!   matches the only predicate used here, `Option::is_none`)
+//!
+//! Tuple structs, unions, lifetimes, and const generics are rejected
+//! with a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing/null on deserialize → `Default::default()`.
+    dfl: bool,
+    /// `#[serde(skip_serializing_if = ...)]`: omit when serialized `Null`.
+    skip_null: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    /// Tuple struct with this many fields; newtypes serialize
+    /// transparently as the inner value, like real serde.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i, &mut false, &mut false);
+    skip_visibility(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    let generics = parse_generics(&toks, &mut i);
+    // Skip an optional `where` clause; the body group follows.
+    let shape = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break match kind.as_str() {
+                    "struct" => Shape::Struct(parse_named_fields(g.stream())),
+                    "enum" => Shape::Enum(parse_variants(g.stream())),
+                    other => panic!("serde shim: cannot derive for `{other}`"),
+                };
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+            {
+                break Shape::TupleStruct(count_tuple_fields(g.stream()));
+            }
+            Some(_) => i += 1,
+            None => panic!("serde shim: no body found for `{name}`"),
+        }
+    };
+    Input { name, generics, shape }
+}
+
+/// Skips `#[...]` attributes at `toks[*i]`, recording whether any
+/// `#[serde(...)]` among them contains `default` / `skip_serializing_if`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize, dfl: &mut bool, skip_null: &mut bool) {
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            scan_serde_attr(g.stream(), dfl, skip_null);
+        }
+        *i += 2;
+    }
+}
+
+fn scan_serde_attr(attr: TokenStream, dfl: &mut bool, skip_null: &mut bool) {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    if let Some(TokenTree::Group(g)) = toks.get(1) {
+        for t in g.stream() {
+            if let TokenTree::Ident(id) = t {
+                match id.to_string().as_str() {
+                    "default" => *dfl = true,
+                    "skip_serializing_if" => *skip_null = true,
+                    other => panic!("serde shim: unsupported serde attribute `{other}`"),
+                }
+            }
+        }
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` at `toks[*i]` (if present) and returns the type
+/// parameter names. Bounds are allowed and skipped; lifetimes and const
+/// parameters are rejected.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return params,
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        match toks.get(*i).unwrap_or_else(|| panic!("serde shim: unclosed generics")) {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expect_param = true,
+                '\'' => panic!("serde shim: lifetime parameters are not supported"),
+                ':' if depth == 1 => expect_param = false,
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 1 && expect_param => {
+                let s = id.to_string();
+                if s == "const" {
+                    panic!("serde shim: const generics are not supported");
+                }
+                params.push(s);
+                expect_param = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut dfl = false;
+        let mut skip_null = false;
+        skip_attrs(&toks, &mut i, &mut dfl, &mut skip_null);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim: expected field name, found {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim: expected `:` after field `{name}`, found {other}"),
+        }
+        // Skip the type: everything up to a comma outside angle brackets.
+        let mut angle = 0i64;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, dfl, skip_null });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i, &mut false, &mut false);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim: expected variant name, found {other}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip anything (e.g. a discriminant) up to the separating comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Number of fields in a tuple-variant body (`(A, B<C, D>, E)` → 3).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i64;
+    let mut count = 1;
+    for t in &toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+// ------------------------------------------------------------- generation
+
+/// `(impl generics, type path)` — e.g. `("<V: ::serde::Serialize>",
+/// "Element<V>")`, or `("", "Rect")` for non-generic types.
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        return (String::new(), input.name.clone());
+    }
+    let bounded: Vec<String> =
+        input.generics.iter().map(|g| format!("{g}: {bound}")).collect();
+    (format!("<{}>", bounded.join(", ")), format!("{}<{}>", input.name, input.generics.join(", ")))
+}
+
+/// Serialize one set of named fields into `__fields`, reading each field
+/// through `accessor(name)` (an expression of type `&T`).
+fn gen_ser_fields(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        let expr = format!("::serde::Serialize::to_value({})", accessor(&f.name));
+        if f.skip_null {
+            out.push_str(&format!(
+                "{{ let __v = {expr}; if !::core::matches!(__v, ::serde::Value::Null) {{ \
+                 __fields.push((\"{n}\".to_string(), __v)); }} }}\n",
+                n = f.name
+            ));
+        } else {
+            out.push_str(&format!("__fields.push((\"{n}\".to_string(), {expr}));\n", n = f.name));
+        }
+    }
+    out.push_str("::serde::Value::Object(__fields)\n");
+    out
+}
+
+/// Deserialize one set of named fields as a struct-literal body,
+/// reading from the object expression `src`.
+fn gen_de_fields(fields: &[Field], ty: &str, src: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let expr = if f.dfl {
+            format!("::serde::__private::dfl_field({src}, \"{}\")?", f.name)
+        } else {
+            format!("::serde::__private::req_field({src}, \"{ty}\", \"{}\")?", f.name)
+        };
+        out.push_str(&format!("{}: {expr},\n", f.name));
+    }
+    out
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_generics, ty) = impl_header(input, "::serde::Serialize");
+    let body = match &input.shape {
+        Shape::Struct(fields) => gen_ser_fields(fields, |n| format!("&self.{n}")),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)\n".to_string(),
+        Shape::TupleStruct(k) => {
+            let elems: Vec<String> =
+                (0..*k).map(|j| format!("::serde::Serialize::to_value(&self.{j})")).collect();
+            format!("::serde::Value::Array(vec![{}])\n", elems.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let n = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{n} => ::serde::Value::Str(\"{n}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "Self::{n}(__f0) => ::serde::Value::Object(vec![(\"{n}\".to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(k) => {
+                        let binds: Vec<String> = (0..*k).map(|j| format!("__f{j}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{n}({}) => ::serde::Value::Object(vec![(\"{n}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = gen_ser_fields(fields, |fname| fname.to_string());
+                        arms.push_str(&format!(
+                            "Self::{n} {{ {} }} => {{ let __inner = {{ {inner} }}; \
+                             ::serde::Value::Object(vec![(\"{n}\".to_string(), __inner)]) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_generics, ty) = impl_header(input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => format!(
+            "::std::result::Result::Ok(Self {{\n{}}})\n",
+            gen_de_fields(fields, name, "__value")
+        ),
+        Shape::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__value)?))\n"
+                .to_string()
+        }
+        Shape::TupleStruct(k) => {
+            let elems: Vec<String> = (0..*k)
+                .map(|j| {
+                    format!(
+                        "::serde::Deserialize::from_value(::serde::__private::tuple_elem(\
+                         __value, \"{name}\", {j}, {k})?)?"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self({}))\n", elems.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let n = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{n}\" => ::std::result::Result::Ok(Self::{n}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{n}\" => ::std::result::Result::Ok(Self::{n}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(k) => {
+                        let elems: Vec<String> = (0..*k)
+                            .map(|j| {
+                                format!(
+                                    "::serde::Deserialize::from_value(::serde::__private::\
+                                     tuple_elem(__inner, \"{name}::{n}\", {j}, {k})?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{n}\" => ::std::result::Result::Ok(Self::{n}({})),\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let fields_src =
+                            gen_de_fields(fields, &format!("{name}::{n}"), "__inner");
+                        data_arms.push_str(&format!(
+                            "\"{n}\" => ::std::result::Result::Ok(Self::{n} {{\n{fields_src}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected string or single-key object for {name}\")),\n\
+                 }}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {ty} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}}}\n}}\n"
+    )
+}

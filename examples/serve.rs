@@ -1,0 +1,28 @@
+//! Runs the DSMS TCP front end until interrupted.
+//!
+//! Serves the §4 query protocol plus the operational endpoints of the
+//! observability layer:
+//!
+//! * `GET /query?q=<expr>&format=<png|gray|color|json|stats>&sectors=<n>`
+//! * `GET /metrics` — Prometheus text exposition v0.0.4
+//! * `GET /healthz` — liveness probe
+//!
+//! Run with `cargo run --release --example serve -- 127.0.0.1:8080`
+//! (the address defaults to `127.0.0.1:8080`).
+
+use geostreams_dsms::{Dsms, HttpServer};
+use geostreams_satsim::goes_like;
+use std::sync::Arc;
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:8080".to_string());
+    let dsms = Arc::new(Dsms::over_scanner(&goes_like(128, 64, 7), 2));
+    let names = dsms.catalog().names();
+    let http = HttpServer::spawn(dsms, &addr).expect("bind");
+    println!("listening on http://{}", http.addr());
+    println!("sources: {}", names.join(", "));
+    println!("try: /query?q={}&format=json&sectors=1 | /metrics | /healthz", names[0]);
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full local gate: release build, tests, and lints.
+#
+# Offline-safe: the workspace has no crates.io dependencies (serde/
+# serde_json/criterion are in-repo shims), so everything below runs
+# without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo clippy --offline --all-targets -- -D warnings

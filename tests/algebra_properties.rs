@@ -1,15 +1,17 @@
-//! Property-based tests of the query algebra: algebraic laws of the
-//! operators (§3) and semantic preservation of the optimizer's rewrites
-//! (§3.4) over randomized streams, regions and expressions.
+//! Property tests of the query algebra: algebraic laws of the operators
+//! (§3) and semantic preservation of the optimizer's rewrites (§3.4)
+//! over seeded pseudo-random streams, regions and expressions.
 
+mod common;
+
+use common::Rng;
+use geostreams::core::model::StreamSchema;
 use geostreams::core::model::{drain_points_of, GeoStream, PointRecord, VecStream};
 use geostreams::core::ops::{
     Compose, GammaOp, JoinStrategy, MapTransform, SpatialRestrict, ValueFunc, ValueRestrict,
 };
 use geostreams::core::query::{optimize, parse_query, Catalog, Planner};
-use geostreams::core::model::StreamSchema;
 use geostreams::geo::{Crs, LatticeGeoref, Rect, Region};
-use proptest::prelude::*;
 
 const W: u32 = 12;
 const H: u32 = 10;
@@ -33,74 +35,100 @@ fn sorted_points<S: GeoStream<V = f32>>(mut s: S) -> Vec<PointRecord<f32>> {
     pts
 }
 
-fn region_strategy() -> impl Strategy<Value = Region> {
-    (0.0f64..12.0, 0.0f64..10.0, 0.5f64..8.0, 0.5f64..8.0)
-        .prop_map(|(x, y, w, h)| Region::Rect(Rect::new(x, y, (x + w).min(12.0), (y + h).min(10.0))))
+fn random_region(rng: &mut Rng) -> Region {
+    let x = rng.uniform(0.0, 12.0);
+    let y = rng.uniform(0.0, 10.0);
+    let w = rng.uniform(0.5, 8.0);
+    let h = rng.uniform(0.5, 8.0);
+    Region::Rect(Rect::new(x, y, (x + w).min(12.0), (y + h).min(10.0)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Restriction is idempotent: G|R|R = G|R.
-    #[test]
-    fn spatial_restriction_idempotent(seed in 0u64..500, region in region_strategy()) {
+/// Restriction is idempotent: G|R|R = G|R.
+#[test]
+fn spatial_restriction_idempotent() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(case);
+        let seed = rng.int(0, 500);
+        let region = random_region(&mut rng);
         let once = sorted_points(SpatialRestrict::new(stream(seed), region.clone()));
         let twice = sorted_points(SpatialRestrict::new(
             SpatialRestrict::new(stream(seed), region.clone()),
             region,
         ));
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}");
     }
+}
 
-    /// Restrictions commute: (G|R)|V = (G|V)|R.
-    #[test]
-    fn restrictions_commute(seed in 0u64..500, region in region_strategy(),
-                            lo in 0.0f64..5.0, span in 0.5f64..5.0) {
+/// Restrictions commute: (G|R)|V = (G|V)|R.
+#[test]
+fn restrictions_commute() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(1000 + case);
+        let seed = rng.int(0, 500);
+        let region = random_region(&mut rng);
+        let lo = rng.uniform(0.0, 5.0);
+        let hi = lo + rng.uniform(0.5, 5.0);
         let a = sorted_points(ValueRestrict::range(
-            SpatialRestrict::new(stream(seed), region.clone()), lo, lo + span));
-        let b = sorted_points(SpatialRestrict::new(
-            ValueRestrict::range(stream(seed), lo, lo + span), region));
-        prop_assert_eq!(a, b);
+            SpatialRestrict::new(stream(seed), region.clone()),
+            lo,
+            hi,
+        ));
+        let b =
+            sorted_points(SpatialRestrict::new(ValueRestrict::range(stream(seed), lo, hi), region));
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Point-wise transforms commute with restrictions:
-    /// f(G|R) = f(G)|R when f does not change positions.
-    #[test]
-    fn map_commutes_with_spatial_restrict(seed in 0u64..500, region in region_strategy(),
-                                          scale in 0.1f64..3.0, offset in -5.0f64..5.0) {
-        let f = ValueFunc::Linear { scale, offset };
+/// Point-wise transforms commute with restrictions:
+/// f(G|R) = f(G)|R when f does not change positions.
+#[test]
+fn map_commutes_with_spatial_restrict() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(2000 + case);
+        let seed = rng.int(0, 500);
+        let region = random_region(&mut rng);
+        let f = ValueFunc::Linear { scale: rng.uniform(0.1, 3.0), offset: rng.uniform(-5.0, 5.0) };
         let a = sorted_points(MapTransform::<_, f32>::new(
-            SpatialRestrict::new(stream(seed), region.clone()), f));
-        let b = sorted_points(SpatialRestrict::new(
-            MapTransform::<_, f32>::new(stream(seed), f), region));
-        prop_assert_eq!(a.len(), b.len());
+            SpatialRestrict::new(stream(seed), region.clone()),
+            f,
+        ));
+        let b = sorted_points(SpatialRestrict::new(MapTransform::<_, f32>::new(stream(seed), f), region));
+        assert_eq!(a.len(), b.len(), "case {case}");
         for (x, y) in a.iter().zip(&b) {
-            prop_assert_eq!(x.cell, y.cell);
-            prop_assert!((x.value - y.value).abs() < 1e-5);
+            assert_eq!(x.cell, y.cell, "case {case}");
+            assert!((x.value - y.value).abs() < 1e-5, "case {case}");
         }
     }
+}
 
-    /// γ ∈ {+, ×, sup, inf} are commutative on matched points.
-    #[test]
-    fn commutative_gammas(seed1 in 0u64..200, seed2 in 0u64..200,
-                          op_idx in 0usize..4) {
-        let op = [GammaOp::Add, GammaOp::Mul, GammaOp::Sup, GammaOp::Inf][op_idx];
-        let ab = sorted_points(
-            Compose::new(stream(seed1), stream(seed2), op, JoinStrategy::Hash).unwrap());
-        let ba = sorted_points(
-            Compose::new(stream(seed2), stream(seed1), op, JoinStrategy::Hash).unwrap());
-        prop_assert_eq!(ab.len(), ba.len());
+/// γ ∈ {+, ×, sup, inf} are commutative on matched points.
+#[test]
+fn commutative_gammas() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(3000 + case);
+        let seed1 = rng.int(0, 200);
+        let seed2 = rng.int(0, 200);
+        let op = [GammaOp::Add, GammaOp::Mul, GammaOp::Sup, GammaOp::Inf][rng.index(4)];
+        let ab =
+            sorted_points(Compose::new(stream(seed1), stream(seed2), op, JoinStrategy::Hash).unwrap());
+        let ba =
+            sorted_points(Compose::new(stream(seed2), stream(seed1), op, JoinStrategy::Hash).unwrap());
+        assert_eq!(ab.len(), ba.len(), "case {case}");
         for (x, y) in ab.iter().zip(&ba) {
-            prop_assert_eq!(x.cell, y.cell);
-            prop_assert!((x.value - y.value).abs() < 1e-5);
+            assert_eq!(x.cell, y.cell, "case {case}");
+            assert!((x.value - y.value).abs() < 1e-5, "case {case}");
         }
     }
+}
 
-    /// Composition distributes restriction: (G1 γ G2)|R = (G1|R) γ (G2|R).
-    #[test]
-    fn restriction_distributes_over_composition(
-        seed1 in 0u64..200, seed2 in 0u64..200, region in region_strategy()
-    ) {
+/// Composition distributes restriction: (G1 γ G2)|R = (G1|R) γ (G2|R).
+#[test]
+fn restriction_distributes_over_composition() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(4000 + case);
+        let seed1 = rng.int(0, 200);
+        let seed2 = rng.int(0, 200);
+        let region = random_region(&mut rng);
         let outer = sorted_points(SpatialRestrict::new(
             Compose::new(stream(seed1), stream(seed2), GammaOp::Sub, JoinStrategy::Hash).unwrap(),
             region.clone(),
@@ -114,61 +142,75 @@ proptest! {
             )
             .unwrap(),
         );
-        prop_assert_eq!(outer, inner);
+        assert_eq!(outer, inner, "case {case}");
     }
+}
 
-    /// NormDiff equals the three-composition NDVI formula.
-    #[test]
-    fn fused_normdiff_equals_formula(seed1 in 0u64..200, seed2 in 0u64..200) {
+/// NormDiff equals the three-composition NDVI formula.
+#[test]
+fn fused_normdiff_equals_formula() {
+    for case in 0..16u64 {
+        let mut rng = Rng::new(5000 + case);
+        let seed1 = rng.int(0, 200);
+        let seed2 = rng.int(0, 200);
         let fused = sorted_points(
             Compose::new(stream(seed1), stream(seed2), GammaOp::NormDiff, JoinStrategy::Hash)
                 .unwrap(),
         );
+        let pts1 = sorted_points(stream(seed1));
+        let pts2 = sorted_points(stream(seed2));
         for p in &fused {
-            // Recompute from the definitions.
-            let a = {
-                let pts = sorted_points(stream(seed1));
-                pts.iter().find(|q| q.cell == p.cell).unwrap().value
-            };
-            let b = {
-                let pts = sorted_points(stream(seed2));
-                pts.iter().find(|q| q.cell == p.cell).unwrap().value
-            };
+            let a = pts1.iter().find(|q| q.cell == p.cell).unwrap().value;
+            let b = pts2.iter().find(|q| q.cell == p.cell).unwrap().value;
             let denom = f64::from(a) + f64::from(b);
-            let expect = if denom.abs() < 1e-12 {
-                0.0
-            } else {
-                (f64::from(a) - f64::from(b)) / denom
-            };
-            prop_assert!((f64::from(p.value) - expect).abs() < 1e-5);
+            let expect =
+                if denom.abs() < 1e-12 { 0.0 } else { (f64::from(a) - f64::from(b)) / denom };
+            assert!((f64::from(p.value) - expect).abs() < 1e-5, "case {case} at {:?}", p.cell);
         }
     }
 }
 
 /// Random query generator for optimizer-equivalence fuzzing.
-fn query_strategy() -> impl Strategy<Value = String> {
-    let region = (0.0f64..10.0, 0.0f64..8.0, 1.0f64..6.0, 1.0f64..6.0)
-        .prop_map(|(x, y, w, h)| format!("bbox({x:.3}, {y:.3}, {:.3}, {:.3})", x + w, y + h));
-    let leaf = prop_oneof![Just("g1".to_string()), Just("g2".to_string())];
-    leaf.prop_recursive(3, 12, 2, move |inner| {
-        let region = region.clone();
-        prop_oneof![
-            (inner.clone(), region.clone())
-                .prop_map(|(e, r)| format!("restrict_space({e}, {r}, \"latlon\")")),
-            (inner.clone(), -2.0f64..2.0, -1.0f64..1.0)
-                .prop_map(|(e, s, o)| format!("scale({e}, {s:.3}, {o:.3})")),
-            (inner.clone(), 0.0f64..5.0, 5.0f64..10.0)
-                .prop_map(|(e, lo, hi)| format!("restrict_value({e}, {lo:.3}, {hi:.3})")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| format!("add({a}, {b})")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| format!("div(sub({a}, {b}), add({b}, {a}))")),
-            inner.clone().prop_map(|e| format!("magnify({e}, 2)")),
-            inner.clone().prop_map(|e| format!("focal({e}, \"mean\", 3)")),
-            inner.clone().prop_map(|e| format!("shed({e}, \"points\", 2)")),
-            inner.clone().prop_map(|e| format!("shed({e}, \"rows\", 2)")),
-        ]
-    })
+fn gen_query(rng: &mut Rng, depth: u32) -> String {
+    if depth == 0 || rng.index(4) == 0 {
+        return if rng.chance() { "g1" } else { "g2" }.to_string();
+    }
+    match rng.index(9) {
+        0 => {
+            let x = rng.uniform(0.0, 10.0);
+            let y = rng.uniform(0.0, 8.0);
+            let w = rng.uniform(1.0, 6.0);
+            let h = rng.uniform(1.0, 6.0);
+            format!(
+                "restrict_space({}, bbox({x:.3}, {y:.3}, {:.3}, {:.3}), \"latlon\")",
+                gen_query(rng, depth - 1),
+                x + w,
+                y + h
+            )
+        }
+        1 => format!(
+            "scale({}, {:.3}, {:.3})",
+            gen_query(rng, depth - 1),
+            rng.uniform(-2.0, 2.0),
+            rng.uniform(-1.0, 1.0)
+        ),
+        2 => format!(
+            "restrict_value({}, {:.3}, {:.3})",
+            gen_query(rng, depth - 1),
+            rng.uniform(0.0, 5.0),
+            rng.uniform(5.0, 10.0)
+        ),
+        3 => format!("add({}, {})", gen_query(rng, depth - 1), gen_query(rng, depth - 1)),
+        4 => {
+            let a = gen_query(rng, depth - 1);
+            let b = gen_query(rng, depth - 1);
+            format!("div(sub({a}, {b}), add({b}, {a}))")
+        }
+        5 => format!("magnify({}, 2)", gen_query(rng, depth - 1)),
+        6 => format!("focal({}, \"mean\", 3)", gen_query(rng, depth - 1)),
+        7 => format!("shed({}, \"points\", 2)", gen_query(rng, depth - 1)),
+        _ => format!("shed({}, \"rows\", 2)", gen_query(rng, depth - 1)),
+    }
 }
 
 fn fuzz_catalog() -> Catalog {
@@ -182,13 +224,13 @@ fn fuzz_catalog() -> Catalog {
     cat
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The optimizer never changes query answers (the paper's rewrites
-    /// are equivalences).
-    #[test]
-    fn optimizer_preserves_semantics(q in query_strategy()) {
+/// The optimizer never changes query answers (the paper's rewrites are
+/// equivalences).
+#[test]
+fn optimizer_preserves_semantics() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(6000 + case);
+        let q = gen_query(&mut rng, 3);
         let cat = fuzz_catalog();
         let planner = Planner::new(&cat);
         let expr = parse_query(&q).unwrap();
@@ -199,20 +241,29 @@ proptest! {
         let mut b = drain_points_of(&mut opt);
         a.sort_by_key(|p| (p.cell.row, p.cell.col));
         b.sort_by_key(|p| (p.cell.row, p.cell.col));
-        prop_assert_eq!(a.len(), b.len(), "{} vs {}", expr, optimized);
+        assert_eq!(a.len(), b.len(), "{expr} vs {optimized}");
         for (x, y) in a.iter().zip(&b) {
-            prop_assert_eq!(x.cell, y.cell, "{} vs {}", expr, optimized);
-            prop_assert!((x.value - y.value).abs() < 1e-4,
-                "{} vs {}: {:?} {} != {}", expr, optimized, x.cell, x.value, y.value);
+            assert_eq!(x.cell, y.cell, "{expr} vs {optimized}");
+            assert!(
+                (x.value - y.value).abs() < 1e-4,
+                "{expr} vs {optimized}: {:?} {} != {}",
+                x.cell,
+                x.value,
+                y.value
+            );
         }
     }
+}
 
-    /// Parse/display round-trips on random generated queries.
-    #[test]
-    fn parser_display_round_trip(q in query_strategy()) {
+/// Parse/display round-trips on random generated queries.
+#[test]
+fn parser_display_round_trip() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(7000 + case);
+        let q = gen_query(&mut rng, 3);
         let e1 = parse_query(&q).unwrap();
         let rendered = e1.to_string();
         let e2 = parse_query(&rendered).unwrap();
-        prop_assert_eq!(e1, e2);
+        assert_eq!(e1, e2);
     }
 }

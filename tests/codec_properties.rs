@@ -1,68 +1,79 @@
-//! Property-based tests of the delivery codec stack: zlib and PNG must
+//! Property tests of the delivery codec stack: zlib and PNG must
 //! round-trip arbitrary data, and the trace serializer must replay
 //! streams byte-identically.
 
+mod common;
+
+use common::Rng;
 use geostreams::raster::png::{self, zlib, Filter, PngOptions, Strategy};
 use geostreams::raster::{Grid2D, Rgb8};
-use geostreams::satsim::trace::Trace;
 use geostreams::satsim::goes_like;
-use proptest::prelude::*;
+use geostreams::satsim::trace::Trace;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn zlib_round_trips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn zlib_round_trips_arbitrary_bytes() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(case);
+        let len = rng.index(4096);
+        let data = rng.bytes(len);
         for strategy in [Strategy::Stored, Strategy::FixedHuffman] {
             let z = zlib::compress(&data, strategy);
-            prop_assert_eq!(&zlib::inflate(&z).unwrap(), &data);
+            assert_eq!(zlib::inflate(&z).unwrap(), data, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn zlib_round_trips_repetitive_bytes(
-        pattern in proptest::collection::vec(any::<u8>(), 1..32),
-        reps in 1usize..256,
-    ) {
+#[test]
+fn zlib_round_trips_repetitive_bytes() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(1000 + case);
+        let len = rng.int(1, 32) as usize;
+        let pattern = rng.bytes(len);
+        let reps = rng.int(1, 256) as usize;
         let data: Vec<u8> = pattern.iter().cycle().take(pattern.len() * reps).copied().collect();
         let z = zlib::compress(&data, Strategy::FixedHuffman);
-        prop_assert_eq!(&zlib::inflate(&z).unwrap(), &data);
+        assert_eq!(zlib::inflate(&z).unwrap(), data, "case {case}");
     }
+}
 
-    #[test]
-    fn png_gray_round_trips(
-        w in 1u32..48, h in 1u32..48,
-        seed in any::<u64>(),
-        filter_sub in any::<bool>(),
-        huffman in any::<bool>(),
-    ) {
-        let mut s = seed;
+#[test]
+fn png_gray_round_trips() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(2000 + case);
+        let w = rng.int(1, 48) as u32;
+        let h = rng.int(1, 48) as u32;
+        let mut s = rng.next_u64();
         let grid = Grid2D::from_fn(w, h, |c, r| {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(u64::from(c * 31 + r));
             (s >> 56) as u8
         });
         let opts = PngOptions {
-            filter: if filter_sub { Filter::Sub } else { Filter::None },
-            strategy: if huffman { Strategy::FixedHuffman } else { Strategy::Stored },
+            filter: if rng.chance() { Filter::Sub } else { Filter::None },
+            strategy: if rng.chance() { Strategy::FixedHuffman } else { Strategy::Stored },
         };
         let bytes = png::encode_gray(&grid, opts);
         match png::decode(&bytes).unwrap() {
-            png::Decoded::Gray(g) => prop_assert_eq!(g, grid),
-            _ => prop_assert!(false, "wrong color type"),
+            png::Decoded::Gray(g) => assert_eq!(g, grid, "case {case}"),
+            _ => panic!("case {case}: wrong color type"),
         }
     }
+}
 
-    #[test]
-    fn png_rgb_round_trips(w in 1u32..32, h in 1u32..32, seed in any::<u64>()) {
-        let mut s = seed;
+#[test]
+fn png_rgb_round_trips() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(3000 + case);
+        let w = rng.int(1, 32) as u32;
+        let h = rng.int(1, 32) as u32;
+        let mut s = rng.next_u64();
         let grid = Grid2D::from_fn(w, h, |_, _| {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             Rgb8::new((s >> 40) as u8, (s >> 48) as u8, (s >> 56) as u8)
         });
         let bytes = png::encode_rgb(&grid, PngOptions::default());
         match png::decode(&bytes).unwrap() {
-            png::Decoded::Rgb(g) => prop_assert_eq!(g, grid),
-            _ => prop_assert!(false, "wrong color type"),
+            png::Decoded::Rgb(g) => assert_eq!(g, grid, "case {case}"),
+            _ => panic!("case {case}: wrong color type"),
         }
     }
 }

@@ -1,10 +1,12 @@
-//! Property-based tests of the geospatial substrate: every projection's
+//! Property tests of the geospatial substrate: every projection's
 //! forward/inverse pair must round-trip on its domain, and region
 //! mapping across CRSs must be conservative (no false negatives for the
 //! spatial restriction that consumes the mapped region).
 
+mod common;
+
+use common::Rng;
 use geostreams::geo::{map_region, Coord, Crs, LatticeGeoref, Rect, Region};
-use proptest::prelude::*;
 
 /// CRSs under test with their geographic domains (lon range, lat range).
 fn crs_cases() -> Vec<(Crs, Rect)> {
@@ -29,72 +31,84 @@ fn crs_cases() -> Vec<(Crs, Rect)> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn all_projections_round_trip(u in 0.0f64..1.0, v in 0.0f64..1.0, idx in 0usize..10) {
-        let (crs, dom) = crs_cases()[idx];
-        let lon = dom.x_min + u * dom.width();
-        let lat = dom.y_min + v * dom.height();
+#[test]
+fn all_projections_round_trip() {
+    for case in 0..128u64 {
+        let mut rng = Rng::new(case);
+        let (crs, dom) = crs_cases()[rng.index(10)];
+        let lon = dom.x_min + rng.uniform(0.0, 1.0) * dom.width();
+        let lat = dom.y_min + rng.uniform(0.0, 1.0) * dom.height();
         let p = Coord::new(lon, lat);
         let xy = crs.forward(p).unwrap();
-        prop_assert!(xy.is_finite());
+        assert!(xy.is_finite());
         let ll = crs.inverse(xy).unwrap();
-        prop_assert!((ll.x - lon).abs() < 1e-5, "{crs}: lon {lon} -> {}", ll.x);
-        prop_assert!((ll.y - lat).abs() < 1e-5, "{crs}: lat {lat} -> {}", ll.y);
+        assert!((ll.x - lon).abs() < 1e-5, "{crs}: lon {lon} -> {}", ll.x);
+        assert!((ll.y - lat).abs() < 1e-5, "{crs}: lat {lat} -> {}", ll.y);
     }
+}
 
-    #[test]
-    fn conversion_through_any_pair_round_trips(
-        u in 0.05f64..0.95, v in 0.05f64..0.95, i in 0usize..10, j in 0usize..10
-    ) {
-        let (a, dom_a) = crs_cases()[i];
-        let (b, dom_b) = crs_cases()[j];
+#[test]
+fn conversion_through_any_pair_round_trips() {
+    for case in 0..128u64 {
+        let mut rng = Rng::new(1000 + case);
+        let (a, dom_a) = crs_cases()[rng.index(10)];
+        let (b, dom_b) = crs_cases()[rng.index(10)];
         // Pick a geographic point in both domains.
         let dom = dom_a.intersect(&dom_b);
-        prop_assume!(!dom.is_empty());
-        let lon = dom.x_min + u * dom.width();
-        let lat = dom.y_min + v * dom.height();
+        if dom.is_empty() {
+            continue;
+        }
+        let lon = dom.x_min + rng.uniform(0.05, 0.95) * dom.width();
+        let lat = dom.y_min + rng.uniform(0.05, 0.95) * dom.height();
         let pa = a.forward(Coord::new(lon, lat)).unwrap();
         let pb = a.convert_to(&b, pa).unwrap();
         let back = b.convert_to(&a, pb).unwrap();
         let tol = 1e-4 * a.meters_per_unit().max(1.0);
-        prop_assert!(pa.distance(back) < tol.max(1e-4), "{a} -> {b}: {pa} vs {back}");
+        assert!(pa.distance(back) < tol.max(1e-4), "{a} -> {b}: {pa} vs {back}");
     }
+}
 
-    #[test]
-    fn region_mapping_is_conservative(
-        cx in -120.0f64..-80.0, cy in 15.0f64..50.0,
-        w in 0.5f64..8.0, h in 0.5f64..8.0,
-        u in 0.0f64..1.0, v in 0.0f64..1.0,
-        target_idx in 0usize..10,
-    ) {
-        let (target, _) = crs_cases()[target_idx];
+#[test]
+fn region_mapping_is_conservative() {
+    for case in 0..128u64 {
+        let mut rng = Rng::new(2000 + case);
+        let cx = rng.uniform(-120.0, -80.0);
+        let cy = rng.uniform(15.0, 50.0);
+        let w = rng.uniform(0.5, 8.0);
+        let h = rng.uniform(0.5, 8.0);
+        let (target, _) = crs_cases()[rng.index(10)];
         let region = Region::Rect(Rect::new(cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0));
         let Ok(mapped) = map_region(&region, &Crs::LatLon, &target, 16) else {
             // Entirely invisible in the target; nothing to check.
-            return Ok(());
+            continue;
         };
         // Any interior point of the region that projects must land
         // inside the mapped rectangle.
-        let p = Coord::new(cx - w / 2.0 + u * w, cy - h / 2.0 + v * h);
+        let p = Coord::new(
+            cx - w / 2.0 + rng.uniform(0.0, 1.0) * w,
+            cy - h / 2.0 + rng.uniform(0.0, 1.0) * h,
+        );
         if let Ok(t) = target.forward(p) {
-            prop_assert!(
+            assert!(
                 mapped.contains(t),
                 "point {p} -> {t} escaped mapped region {mapped:?} in {target}"
             );
         }
     }
+}
 
-    #[test]
-    fn lattice_footprints_contain_exactly_their_cells(
-        w in 1u32..64, h in 1u32..64,
-        x1 in -124.0f64..-114.5, y1 in 32.0f64..41.5,
-        dx in 0.1f64..6.0, dy in 0.1f64..6.0,
-    ) {
-        let lattice = LatticeGeoref::north_up(
-            Crs::LatLon, Rect::new(-124.0, 32.0, -114.0, 42.0), w, h);
+#[test]
+fn lattice_footprints_contain_exactly_their_cells() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(3000 + case);
+        let w = rng.int(1, 64) as u32;
+        let h = rng.int(1, 64) as u32;
+        let x1 = rng.uniform(-124.0, -114.5);
+        let y1 = rng.uniform(32.0, 41.5);
+        let dx = rng.uniform(0.1, 6.0);
+        let dy = rng.uniform(0.1, 6.0);
+        let lattice =
+            LatticeGeoref::north_up(Crs::LatLon, Rect::new(-124.0, 32.0, -114.0, 42.0), w, h);
         let rect = Rect::new(x1, y1, (x1 + dx).min(-114.0), (y1 + dy).min(42.0));
         let fp = lattice.footprint(&rect);
         for col in 0..w {
@@ -111,28 +125,28 @@ proptest! {
                     || center.y < rect.y_min - 1e-9
                     || center.y > rect.y_max + 1e-9;
                 if strictly_inside {
-                    prop_assert!(inside_fp, "cell ({col},{row}) center {center} missing");
+                    assert!(inside_fp, "cell ({col},{row}) center {center} missing");
                 }
                 if strictly_outside {
-                    prop_assert!(!inside_fp, "cell ({col},{row}) center {center} wrongly included");
+                    assert!(!inside_fp, "cell ({col},{row}) center {center} wrongly included");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn affine_inverse_round_trips(
-        deg in -180.0f64..180.0, sx in 0.1f64..10.0, sy in 0.1f64..10.0,
-        tx in -100.0f64..100.0, ty in -100.0f64..100.0,
-        px in -50.0f64..50.0, py in -50.0f64..50.0,
-    ) {
-        use geostreams::geo::Affine;
-        let t = Affine::translation(tx, ty)
-            .then(&Affine::rotation(deg))
-            .then(&Affine::scaling(sx, sy));
+#[test]
+fn affine_inverse_round_trips() {
+    use geostreams::geo::Affine;
+    for case in 0..128u64 {
+        let mut rng = Rng::new(4000 + case);
+        let t = Affine::translation(rng.uniform(-100.0, 100.0), rng.uniform(-100.0, 100.0))
+            .then(&Affine::rotation(rng.uniform(-180.0, 180.0)))
+            .then(&Affine::scaling(rng.uniform(0.1, 10.0), rng.uniform(0.1, 10.0)));
         let inv = t.inverse().unwrap();
-        let p = Coord::new(px, py);
-        let back = inv.apply(t.apply(p));
-        prop_assert!((back.x - px).abs() < 1e-6 && (back.y - py).abs() < 1e-6);
+        let px = rng.uniform(-50.0, 50.0);
+        let py = rng.uniform(-50.0, 50.0);
+        let back = inv.apply(t.apply(Coord::new(px, py)));
+        assert!((back.x - px).abs() < 1e-6 && (back.y - py).abs() < 1e-6, "case {case}");
     }
 }

@@ -1,62 +1,76 @@
-//! Property-based tests of the raster substrate: statistics, resampling
+//! Property tests of the raster substrate: statistics, resampling
 //! kernels, and colormaps.
 
+mod common;
+
+use common::Rng;
 use geostreams::raster::resample::{block_average, magnify, sample, Kernel};
 use geostreams::raster::{Grid2D, Histogram, RangeTracker};
-use proptest::prelude::*;
 
-fn grid_strategy() -> impl Strategy<Value = Grid2D<f32>> {
-    (2u32..24, 2u32..24, any::<u64>()).prop_map(|(w, h, seed)| {
-        let mut s = seed;
-        Grid2D::from_fn(w, h, |c, r| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(u64::from(c * 131 + r));
-            ((s >> 40) as f64 / (1u64 << 24) as f64) as f32
-        })
+fn random_grid(rng: &mut Rng) -> Grid2D<f32> {
+    let w = rng.int(2, 24) as u32;
+    let h = rng.int(2, 24) as u32;
+    let mut s = rng.next_u64();
+    Grid2D::from_fn(w, h, |c, r| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(u64::from(c * 131 + r));
+        ((s >> 40) as f64 / (1u64 << 24) as f64) as f32
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Every interpolation kernel's output is bounded by the grid's
-    /// extrema (true for nearest/bilinear always; Catmull-Rom can
-    /// overshoot by a bounded factor).
-    #[test]
-    fn interpolation_is_bounded(grid in grid_strategy(),
-                                u in 0.0f64..1.0, v in 0.0f64..1.0) {
+/// Every interpolation kernel's output is bounded by the grid's extrema
+/// (true for nearest/bilinear always; Catmull-Rom can overshoot by a
+/// bounded factor).
+#[test]
+fn interpolation_is_bounded() {
+    for case in 0..96u64 {
+        let mut rng = Rng::new(case);
+        let grid = random_grid(&mut rng);
         let min = grid.data().iter().copied().fold(f32::INFINITY, f32::min) as f64;
         let max = grid.data().iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
-        let fc = u * f64::from(grid.width() - 1);
-        let fr = v * f64::from(grid.height() - 1);
+        let fc = rng.uniform(0.0, 1.0) * f64::from(grid.width() - 1);
+        let fr = rng.uniform(0.0, 1.0) * f64::from(grid.height() - 1);
         for kernel in [Kernel::Nearest, Kernel::Bilinear] {
             let s = sample(&grid, fc, fr, kernel);
-            prop_assert!(s >= min - 1e-9 && s <= max + 1e-9, "{kernel:?}: {s} ∉ [{min},{max}]");
+            assert!(s >= min - 1e-9 && s <= max + 1e-9, "{kernel:?}: {s} ∉ [{min},{max}]");
         }
         // Catmull-Rom overshoot is bounded by ~1.5x the range.
         let s = sample(&grid, fc, fr, Kernel::Bicubic);
         let span = (max - min).max(1e-9);
-        prop_assert!(s >= min - span && s <= max + span, "bicubic {s} far outside");
+        assert!(s >= min - span && s <= max + span, "bicubic {s} far outside");
     }
+}
 
-    /// Sampling exactly at integer cells returns the cell value for all
-    /// kernels (interpolation property).
-    #[test]
-    fn kernels_interpolate_cell_centers(grid in grid_strategy()) {
+/// Sampling exactly at integer cells returns the cell value for all
+/// kernels (interpolation property).
+#[test]
+fn kernels_interpolate_cell_centers() {
+    for case in 0..96u64 {
+        let mut rng = Rng::new(1000 + case);
+        let grid = random_grid(&mut rng);
         let c = grid.width() / 2;
         let r = grid.height() / 2;
         let expect = f64::from(grid.get(c, r));
         for kernel in [Kernel::Nearest, Kernel::Bilinear, Kernel::Bicubic] {
             let s = sample(&grid, f64::from(c), f64::from(r), kernel);
-            prop_assert!((s - expect).abs() < 1e-6, "{kernel:?} at center: {s} vs {expect}");
+            assert!((s - expect).abs() < 1e-6, "{kernel:?} at center: {s} vs {expect}");
         }
     }
+}
 
-    /// Block averaging preserves the global mean over the covered area.
-    #[test]
-    fn block_average_preserves_mean(grid in grid_strategy(), k in 1u32..4) {
-        prop_assume!(grid.width() >= k && grid.height() >= k);
+/// Block averaging preserves the global mean over the covered area.
+#[test]
+fn block_average_preserves_mean() {
+    for case in 0..96u64 {
+        let mut rng = Rng::new(2000 + case);
+        let grid = random_grid(&mut rng);
+        let k = rng.int(1, 4) as u32;
+        if grid.width() < k || grid.height() < k {
+            continue;
+        }
         let out = block_average(&grid, k);
-        prop_assume!(!out.is_empty());
+        if out.is_empty() {
+            continue;
+        }
         // Mean over the covered region (multiples of k).
         let (cw, ch) = (out.width() * k, out.height() * k);
         let mut covered_sum = 0.0;
@@ -68,24 +82,33 @@ proptest! {
         let covered_mean = covered_sum / f64::from(cw * ch);
         let out_mean: f64 =
             out.data().iter().map(|&v| f64::from(v)).sum::<f64>() / out.len() as f64;
-        prop_assert!((out_mean - covered_mean).abs() < 1e-4);
+        assert!((out_mean - covered_mean).abs() < 1e-4, "case {case}");
     }
+}
 
-    /// magnify(k) then block_average(k) is the identity.
-    #[test]
-    fn magnify_average_round_trip(grid in grid_strategy(), k in 1u32..4) {
+/// magnify(k) then block_average(k) is the identity.
+#[test]
+fn magnify_average_round_trip() {
+    for case in 0..96u64 {
+        let mut rng = Rng::new(3000 + case);
+        let grid = random_grid(&mut rng);
+        let k = rng.int(1, 4) as u32;
         let round = block_average(&magnify(&grid, k), k);
-        prop_assert_eq!(round.width(), grid.width());
+        assert_eq!(round.width(), grid.width(), "case {case}");
         for (c, r, v) in grid.iter_cells() {
-            prop_assert!((round.get(c, r) - v).abs() < 1e-4);
+            assert!((round.get(c, r) - v).abs() < 1e-4, "case {case} at ({c},{r})");
         }
     }
+}
 
-    /// RangeTracker::merge equals bulk accumulation regardless of split.
-    #[test]
-    fn tracker_merge_is_associative(values in proptest::collection::vec(-1e3f64..1e3, 1..200),
-                                    split in 0usize..200) {
-        let split = split.min(values.len());
+/// RangeTracker::merge equals bulk accumulation regardless of split.
+#[test]
+fn tracker_merge_is_associative() {
+    for case in 0..96u64 {
+        let mut rng = Rng::new(4000 + case);
+        let values: Vec<f64> =
+            (0..rng.int(1, 200)).map(|_| rng.uniform(-1e3, 1e3)).collect();
+        let split = rng.index(values.len() + 1);
         let mut bulk = RangeTracker::new();
         for &v in &values {
             bulk.push(v);
@@ -99,46 +122,55 @@ proptest! {
             b.push(v);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count, bulk.count);
-        prop_assert!((a.mean() - bulk.mean()).abs() < 1e-6);
-        prop_assert!((a.std_dev() - bulk.std_dev()).abs() < 1e-6);
-        prop_assert_eq!(a.min, bulk.min);
-        prop_assert_eq!(a.max, bulk.max);
+        assert_eq!(a.count, bulk.count);
+        assert!((a.mean() - bulk.mean()).abs() < 1e-6);
+        assert!((a.std_dev() - bulk.std_dev()).abs() < 1e-6);
+        assert_eq!(a.min, bulk.min);
+        assert_eq!(a.max, bulk.max);
     }
+}
 
-    /// Histogram CDF is monotone and reaches 1 at the top of the range.
-    #[test]
-    fn histogram_cdf_monotone(values in proptest::collection::vec(0.0f64..100.0, 1..300),
-                              bins in 2usize..64) {
+/// Histogram CDF is monotone and reaches 1 at the top of the range.
+#[test]
+fn histogram_cdf_monotone() {
+    for case in 0..96u64 {
+        let mut rng = Rng::new(5000 + case);
+        let bins = rng.int(2, 64) as usize;
         let mut h = Histogram::new(0.0, 100.0, bins);
-        for &v in &values {
-            h.push(v);
+        for _ in 0..rng.int(1, 300) {
+            h.push(rng.uniform(0.0, 100.0));
         }
         let mut prev = 0.0;
         for i in 0..=20 {
             let x = f64::from(i) * 5.0;
             let c = h.cdf(x);
-            prop_assert!(c >= prev - 1e-12, "cdf not monotone at {x}");
-            prop_assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-12, "cdf not monotone at {x}");
+            assert!((0.0..=1.0).contains(&c));
             prev = c;
         }
-        prop_assert!((h.cdf(100.0) - 1.0).abs() < 1e-12);
+        assert!((h.cdf(100.0) - 1.0).abs() < 1e-12, "case {case}");
     }
+}
 
-    /// Stretch maps observed extrema exactly onto the output bounds.
-    #[test]
-    fn stretch_hits_output_bounds(values in proptest::collection::vec(-50.0f64..50.0, 2..100)) {
+/// Stretch maps observed extrema exactly onto the output bounds.
+#[test]
+fn stretch_hits_output_bounds() {
+    for case in 0..96u64 {
+        let mut rng = Rng::new(6000 + case);
+        let values: Vec<f64> = (0..rng.int(2, 100)).map(|_| rng.uniform(-50.0, 50.0)).collect();
         let mut t = RangeTracker::new();
         for &v in &values {
             t.push(v);
         }
-        prop_assume!(t.range() > 1e-9);
-        prop_assert!((t.stretch(t.min, 0.0, 255.0) - 0.0).abs() < 1e-9);
-        prop_assert!((t.stretch(t.max, 0.0, 255.0) - 255.0).abs() < 1e-9);
+        if t.range() <= 1e-9 {
+            continue;
+        }
+        assert!((t.stretch(t.min, 0.0, 255.0) - 0.0).abs() < 1e-9);
+        assert!((t.stretch(t.max, 0.0, 255.0) - 255.0).abs() < 1e-9);
         // Interior values stay inside.
         for &v in &values {
             let s = t.stretch(v, 0.0, 255.0);
-            prop_assert!((-1e-9..=255.0 + 1e-9).contains(&s));
+            assert!((-1e-9..=255.0 + 1e-9).contains(&s), "case {case}");
         }
     }
 }
