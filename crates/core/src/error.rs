@@ -26,6 +26,9 @@ pub enum CoreError {
     InvalidParameter(String),
     /// The plan references a feature the executor does not support.
     Unsupported(String),
+    /// Static plan analysis refused the plan (unbounded buffering,
+    /// over-budget worst-case memory, or error-level diagnostics).
+    PlanRejected(String),
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +42,7 @@ impl fmt::Display for CoreError {
             CoreError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            CoreError::PlanRejected(msg) => write!(f, "plan rejected: {msg}"),
         }
     }
 }

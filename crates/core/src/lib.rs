@@ -49,6 +49,8 @@
 //! ```
 
 #![warn(missing_docs)]
+// Tests may unwrap freely; the deny applies to library code only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod error;
 pub mod exec;

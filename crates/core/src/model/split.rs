@@ -75,11 +75,11 @@ impl<V: Pixel> GeoStream for SideStream<V> {
     }
 
     fn next_element(&mut self) -> Option<Element<V>> {
-        self.state.lock().expect("split lock").pull(self.side)
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pull(self.side)
     }
 
     fn op_stats(&self) -> OpStats {
-        self.state.lock().expect("split lock").stats[self.side as usize].clone()
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats[self.side as usize].clone()
     }
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
@@ -129,7 +129,7 @@ impl<S: GeoStream> GeoStream for TeeStream<S> {
     }
 
     fn next_element(&mut self) -> Option<Element<S::V>> {
-        let mut st = self.state.lock().expect("tee lock");
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let si = self.side as usize;
         if let Some(el) = st.queues[si].pop_front() {
             if el.is_point() {
@@ -157,14 +157,14 @@ impl<S: GeoStream> GeoStream for TeeStream<S> {
     }
 
     fn op_stats(&self) -> OpStats {
-        self.state.lock().expect("tee lock").stats[self.side as usize].clone()
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats[self.side as usize].clone()
     }
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         // Report the upstream pipeline once (from side 0) plus this side's
         // tee queue.
         if self.side == 0 {
-            self.state.lock().expect("tee lock").input.collect_stats(out);
+            self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).input.collect_stats(out);
         }
         out.push(OpReport::new(
             format!("{}[tee{}]", self.schema.name, self.side),

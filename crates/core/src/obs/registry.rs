@@ -128,7 +128,7 @@ pub struct Registry {
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         f.debug_struct("Registry")
             .field("counters", &inner.counters.len())
             .field("gauges", &inner.gauges.len())
@@ -146,34 +146,34 @@ impl Registry {
     /// Gets or creates a counter.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let key = MetricKey::new(name, labels);
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         Counter(Arc::clone(inner.counters.entry(key).or_default()))
     }
 
     /// Gets or creates a gauge.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let key = MetricKey::new(name, labels);
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         Gauge(Arc::clone(inner.gauges.entry(key).or_default()))
     }
 
     /// Gets or creates a histogram.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
         let key = MetricKey::new(name, labels);
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(inner.histograms.entry(key).or_default())
     }
 
     /// Attaches HELP text to a metric name (rendered once per name).
     pub fn set_help(&self, name: &str, help: &str) {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.help.insert(name.to_string(), help.to_string());
     }
 
     /// Value of a counter if it exists (test/debug convenience).
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
         let key = MetricKey::new(name, labels);
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.counters.get(&key).map(|c| c.load(Ordering::Relaxed))
     }
 
@@ -185,7 +185,7 @@ impl Registry {
     /// buckets at or below the last non-empty one, plus `+Inf`),
     /// followed by `name_sum` and `name_count`.
     pub fn render_prometheus(&self) -> String {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::new();
         let mut last_name = String::new();
         let emit_head =

@@ -75,7 +75,7 @@ impl TraceLog {
             kind,
             detail: detail.into(),
         };
-        let mut events = self.events.lock().expect("trace log poisoned");
+        let mut events = self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if events.len() == self.capacity {
             events.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -85,19 +85,19 @@ impl TraceLog {
 
     /// Removes and returns every buffered event, oldest first.
     pub fn drain(&self) -> Vec<TraceEvent> {
-        let mut events = self.events.lock().expect("trace log poisoned");
+        let mut events = self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         events.drain(..).collect()
     }
 
     /// Copies the buffered events without draining them.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        let events = self.events.lock().expect("trace log poisoned");
+        let events = self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         events.iter().cloned().collect()
     }
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("trace log poisoned").len()
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// True when nothing is buffered.

@@ -384,6 +384,20 @@ impl<S: GeoStream> GeoStream for SpatialAggregate<S> {
     }
 }
 
+impl<S: GeoStream> TemporalAggregate<S> {
+    /// A sliding window of `W` images is frame-scale buffering (§6 / [27]).
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::BoundedFrame
+    }
+}
+
+impl<S: GeoStream> SpatialAggregate<S> {
+    /// One scalar accumulator per sector: O(1) state, non-blocking.
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::NonBlocking
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -506,6 +506,19 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> GeoStream for Compose<L, R> {
     }
 }
 
+impl<L: GeoStream, R: GeoStream<V = L::V>> Compose<L, R> {
+    /// §3.3: composition buffering "depends on the point organization
+    /// (whole image for image-by-image vs a single row for row-by-row)".
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        use crate::model::Organization;
+        if self.schema.organization == Organization::ImageByImage {
+            crate::ops::BlockingClass::BoundedFrame
+        } else {
+            crate::ops::BlockingClass::BoundedRows(1)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

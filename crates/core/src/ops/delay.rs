@@ -160,6 +160,13 @@ impl<S: GeoStream> GeoStream for Delay<S> {
     }
 }
 
+impl<S: GeoStream> Delay<S> {
+    /// A delay line holds `d + 1` whole images: frame-scale buffering.
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::BoundedFrame
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

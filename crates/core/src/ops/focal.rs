@@ -88,11 +88,12 @@ impl<V: Pixel> RowBand<V> {
             self.rows.push_back(None);
         }
         let idx = (cell.row - self.first_row) as usize;
-        if self.rows[idx].is_none() {
-            self.rows[idx] = Some(vec![V::default(); self.width as usize]);
-            grown = self.width as u64;
-        }
-        self.rows[idx].as_mut().expect("just ensured")[cell.col as usize] = v;
+        let width = self.width;
+        let row_vals = self.rows[idx].get_or_insert_with(|| {
+            grown = u64::from(width);
+            vec![V::default(); width as usize]
+        });
+        row_vals[cell.col as usize] = v;
         grown
     }
 
@@ -185,7 +186,7 @@ impl<S: GeoStream> FocalTransform<S> {
 
     /// Evaluates the focal function at one cell.
     fn evaluate(&mut self, col: u32, row: u32) -> f64 {
-        let band = self.band.as_ref().expect("band exists");
+        let Some(band) = self.band.as_ref() else { return 0.0 };
         let (c, r) = (i64::from(col), i64::from(row));
         match self.func {
             FocalFunc::Sobel => {
@@ -362,6 +363,13 @@ impl<S: GeoStream> GeoStream for FocalTransform<S> {
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.input.collect_stats(out);
         out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
+    }
+}
+
+impl<S: GeoStream> FocalTransform<S> {
+    /// §3.2: a k×k neighborhood operator buffers a k-row sliding band.
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::BoundedRows(self.k)
     }
 }
 

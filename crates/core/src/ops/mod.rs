@@ -16,6 +16,7 @@
 //! for clients.
 
 pub mod aggregate;
+pub mod blocking;
 pub mod compose;
 pub mod delay;
 pub mod delivery;
@@ -30,6 +31,7 @@ pub mod stretch;
 pub mod value_transform;
 
 pub use aggregate::{AggFunc, SpatialAggregate, TemporalAggregate};
+pub use blocking::BlockingClass;
 pub use compose::{Compose, GammaOp, JoinStrategy};
 pub use delay::Delay;
 pub use delivery::{ImageAssembler, PngSink, RgbComposite};

@@ -160,6 +160,13 @@ impl<S: GeoStream> GeoStream for Orient<S> {
     }
 }
 
+impl<S: GeoStream> Orient<S> {
+    /// §3.2: orientation changes remap cells point-wise, zero buffering.
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::NonBlocking
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -457,6 +457,21 @@ impl<S: GeoStream> GeoStream for Reproject<S> {
     }
 }
 
+impl<S: GeoStream> Reproject<S> {
+    /// §3.2: re-projection "may block arbitrarily" unless scan-sector
+    /// metadata bounds the needed input neighborhood to a narrow row
+    /// band around the current scanline.
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        if self.config.use_sector_metadata {
+            crate::ops::BlockingClass::BoundedRows(
+                2 * (self.config.kernel.support() + self.config.safety_rows) + 1,
+            )
+        } else {
+            crate::ops::BlockingClass::Unbounded
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -322,6 +322,27 @@ impl<S: GeoStream> GeoStream for ValueRestrict<S> {
     }
 }
 
+impl<S: GeoStream> SpatialRestrict<S> {
+    /// §3.1: restrictions are non-blocking, O(1) per point, zero buffering.
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::NonBlocking
+    }
+}
+
+impl<S: GeoStream> TemporalRestrict<S> {
+    /// §3.1: restrictions are non-blocking, O(1) per point, zero buffering.
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::NonBlocking
+    }
+}
+
+impl<S: GeoStream> ValueRestrict<S> {
+    /// §3.1: restrictions are non-blocking, O(1) per point, zero buffering.
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::NonBlocking
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -124,6 +124,13 @@ impl<S: GeoStream> GeoStream for Shed<S> {
     }
 }
 
+impl<S: GeoStream> Shed<S> {
+    /// Shedding drops elements in place: non-blocking, zero buffering.
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::NonBlocking
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -203,9 +203,10 @@ impl<S: GeoStream> GeoStream for Downsample<S> {
                     entry.sum += p.value.to_f64();
                     entry.count += 1;
                     if entry.count == k * k {
-                        let acc = self.acc.remove(&(oc, or)).expect("entry exists");
-                        self.stats.buffer_shrink(u64::from(acc.count), ACC_ENTRY_BYTES);
-                        self.emit_block((oc, or), acc);
+                        if let Some(acc) = self.acc.remove(&(oc, or)) {
+                            self.stats.buffer_shrink(u64::from(acc.count), ACC_ENTRY_BYTES);
+                            self.emit_block((oc, or), acc);
+                        }
                     }
                 }
                 Element::FrameEnd(_) => {}
@@ -233,6 +234,21 @@ impl<S: GeoStream> GeoStream for Downsample<S> {
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         self.input.collect_stats(out);
         out.push(OpReport::new(self.schema.name.clone(), self.op_stats()));
+    }
+}
+
+impl<S: GeoStream> Magnify<S> {
+    /// §3.2: "magnification needs no buffering".
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::NonBlocking
+    }
+}
+
+impl<S: GeoStream> Downsample<S> {
+    /// §3.2: "k× downsampling buffers k rows" (one output row of block
+    /// accumulators spans k input rows).
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::BoundedRows(self.k)
     }
 }
 

@@ -217,6 +217,21 @@ impl<S: GeoStream> GeoStream for StretchTransform<S> {
     }
 }
 
+impl<S: GeoStream> StretchTransform<S> {
+    /// §3.2: a frame-scoped stretch buffers one arrival frame (a single
+    /// row under row-by-row transmission); an image-scoped stretch must
+    /// hold the whole image before it can emit.
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        use crate::model::Organization;
+        match (self.scope, self.schema.organization) {
+            (StretchScope::Frame, Organization::RowByRow | Organization::PointByPoint) => {
+                crate::ops::BlockingClass::BoundedRows(1)
+            }
+            _ => crate::ops::BlockingClass::BoundedFrame,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

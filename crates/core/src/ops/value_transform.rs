@@ -190,6 +190,20 @@ impl<S: GeoStream, W: Pixel> GeoStream for CastTransform<S, W> {
     }
 }
 
+impl<S: GeoStream, W: Pixel> MapTransform<S, W> {
+    /// §3.2: point-wise value transforms are non-blocking.
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::NonBlocking
+    }
+}
+
+impl<S: GeoStream, W: Pixel> CastTransform<S, W> {
+    /// Pixel-type casts are point-wise and non-blocking.
+    pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
+        crate::ops::BlockingClass::NonBlocking
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

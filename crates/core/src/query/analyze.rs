@@ -1,0 +1,822 @@
+//! Static plan analysis ("planlint"): blocking classes, buffer bounds
+//! and typed diagnostics, derived from an [`Expr`] **before** execution.
+//!
+//! §3 of the paper classifies every operator by its streaming cost —
+//! restrictions are non-blocking and O(1) per point, k× downsampling
+//! buffers k rows, frame-scoped stretches buffer a whole frame ("for
+//! GOES up to 20 840 × 10 820 points ≈ 280 MB"), and re-projection "may
+//! block arbitrarily" unless scan-sector metadata bounds the needed
+//! neighborhood. The executor discovers these properties at runtime via
+//! [`crate::stats::OpStats`]; this module derives the same facts
+//! *statically* by walking the expression against a [`Catalog`], so a
+//! DSMS can practice Aurora-style admission control: refuse a continuous
+//! query whose worst-case buffer demand exceeds a memory budget, and
+//! reject outright any plan with no static bound at all.
+//!
+//! The analysis produces a [`PlanReport`]:
+//!
+//! * a per-operator [`BlockingClass`] and worst-case buffer bound in
+//!   bytes, derived from each source's `sector_lattice` and the pixel
+//!   width (f32 = 4 bytes, matching the executor's byte accounting);
+//! * schema/CRS type checks — cross-CRS region restrictions,
+//!   composition over mismatched coordinate systems or measurement-time
+//!   semantics (§3.3: such timestamps "would never match"), degenerate
+//!   restriction ranges;
+//! * ranked, typed [`Diagnostic`]s, each carrying the operator path and
+//!   the paper section the check comes from.
+//!
+//! The flagship check: a [`Expr::Reproject`] over an input without
+//! scan-sector metadata is statically [`BlockingClass::Unbounded`] and
+//! yields an error diagnostic; the same plan over a scan-sector source
+//! gets a narrow row-band bound.
+
+use super::ast::Expr;
+use super::plan::Catalog;
+use crate::model::{Organization, TimeSemantics, TimeSet};
+use crate::ops::{BlockingClass, StretchScope};
+use geostreams_geo::{map_region, Coord, Crs, LatticeGeoref, Region};
+use serde::{Deserialize, Serialize};
+
+/// Bytes per buffered stream value (pipelines are normalized to `f32`,
+/// and the executor's `OpStats` counts the same unit).
+pub const PIXEL_BYTES: u64 = 4;
+
+/// Bytes per downsampling block accumulator (mirrors
+/// `ops::spatial::ACC_ENTRY_BYTES`).
+const ACC_ENTRY_BYTES: u64 = 24;
+
+/// Bytes per cell of a sliding-window aggregate image (`f64` state).
+const AGG_CELL_BYTES: u64 = 8;
+
+/// Sector dimensions assumed when a source registers no
+/// `sector_lattice`: the byte bounds then describe a nominal
+/// 1000 × 1000-point sector (same default magnitude the cost model
+/// uses) and an info diagnostic marks the report as model-based.
+const DEFAULT_SECTOR_WIDTH: u32 = 1000;
+const DEFAULT_SECTOR_HEIGHT: u32 = 1000;
+
+/// Safety rows the streaming re-projection keeps around the kernel
+/// support (mirrors `ReprojectConfig::new`).
+const REPROJECT_SAFETY_ROWS: u32 = 2;
+
+/// Diagnostic severity; `Error` diagnostics make a plan inadmissible.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Severity {
+    /// Informational note (e.g. a cost bound is model-based).
+    Info,
+    /// Suspicious but runnable (e.g. a restriction that selects nothing).
+    Warn,
+    /// The plan is rejected (unbounded buffering, unknown source,
+    /// un-combinable schemas).
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One typed finding of the static analyzer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `reproject-unbounded`).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Slash-separated operator path from the plan root.
+    pub path: String,
+    /// Paper section the check derives from (e.g. `§3.2`).
+    pub section: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {} ({})",
+            self.severity, self.code, self.path, self.message, self.section
+        )
+    }
+}
+
+/// Static verdict for one operator of the plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpAnalysis {
+    /// Slash-separated operator path from the plan root.
+    pub path: String,
+    /// Operator name (the textual algebra keyword).
+    pub operator: String,
+    /// Declared blocking class.
+    pub blocking: BlockingClass,
+    /// Worst-case buffered bytes for this operator alone.
+    pub buffer_bytes: u64,
+    /// Estimated points flowing out of this operator per sector.
+    pub points_per_sector: u64,
+}
+
+/// The static analyzer's verdict for a whole plan.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlanReport {
+    /// Per-operator analyses, innermost (sources) first.
+    pub per_op: Vec<OpAnalysis>,
+    /// Worst blocking class across all operators.
+    pub blocking: BlockingClass,
+    /// Worst-case peak buffered bytes for the whole plan (sum of the
+    /// per-operator bounds — all operators of a pipeline buffer
+    /// concurrently). `None` when any operator is [`BlockingClass::Unbounded`].
+    pub peak_buffer_bytes: Option<u64>,
+    /// Findings, ranked most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl PlanReport {
+    /// True when any diagnostic is [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// The error diagnostics, rendered one per line (used by the DSMS
+    /// to explain a refused registration).
+    pub fn render_errors(&self) -> String {
+        let lines: Vec<String> = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(Diagnostic::to_string)
+            .collect();
+        lines.join("; ")
+    }
+
+    /// True when an observed buffering peak exceeds the static bound —
+    /// the observability cross-check the DSMS counts as
+    /// `geostreams_plan_buffer_overrun_total`. An unbounded plan never
+    /// "overruns" (there is no bound to exceed).
+    pub fn buffer_overrun(&self, observed_bytes: u64) -> bool {
+        match self.peak_buffer_bytes {
+            Some(bound) => observed_bytes > bound,
+            None => false,
+        }
+    }
+}
+
+/// Stream properties derived while walking an expression: the schema
+/// facts the next operator up needs for its own classification.
+#[derive(Clone)]
+struct Derived {
+    crs: Crs,
+    organization: Organization,
+    time_semantics: TimeSemantics,
+    /// Effective sector lattice (shrunk by restrictions, resampled by
+    /// resolution changes); `None` when no scan-sector metadata exists.
+    lattice: Option<LatticeGeoref>,
+}
+
+impl Derived {
+    fn width(&self) -> u32 {
+        self.lattice.map_or(DEFAULT_SECTOR_WIDTH, |l| l.width)
+    }
+
+    fn height(&self) -> u32 {
+        self.lattice.map_or(DEFAULT_SECTOR_HEIGHT, |l| l.height)
+    }
+
+    fn points(&self) -> u64 {
+        u64::from(self.width()) * u64::from(self.height())
+    }
+
+    fn row_bytes(&self) -> u64 {
+        u64::from(self.width()) * PIXEL_BYTES
+    }
+
+    fn image_bytes(&self) -> u64 {
+        self.points() * PIXEL_BYTES
+    }
+}
+
+/// A restriction's effect on the effective lattice: the sub-lattice
+/// covered by `rect` (in lattice CRS), or `None` when disjoint.
+fn restricted_lattice(lat: &LatticeGeoref, rect: &geostreams_geo::Rect) -> Option<LatticeGeoref> {
+    let fp = lat.footprint(rect)?;
+    Some(LatticeGeoref::new(
+        lat.crs,
+        Coord::new(
+            lat.origin.x + f64::from(fp.col_min) * lat.step_x,
+            lat.origin.y + f64::from(fp.row_min) * lat.step_y,
+        ),
+        lat.step_x,
+        lat.step_y,
+        fp.width(),
+        fp.height(),
+    ))
+}
+
+struct Analyzer<'a> {
+    catalog: &'a Catalog,
+    per_op: Vec<OpAnalysis>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Analyzer<'_> {
+    fn diag(&mut self, severity: Severity, code: &str, path: &str, message: String, section: &str) {
+        self.diagnostics.push(Diagnostic {
+            severity,
+            code: code.to_string(),
+            message,
+            path: path.to_string(),
+            section: section.to_string(),
+        });
+    }
+
+    fn record(
+        &mut self,
+        path: &str,
+        operator: &str,
+        blocking: BlockingClass,
+        buffer_bytes: u64,
+        d: &Derived,
+    ) {
+        self.per_op.push(OpAnalysis {
+            path: path.to_string(),
+            operator: operator.to_string(),
+            blocking,
+            buffer_bytes,
+            points_per_sector: d.points(),
+        });
+    }
+
+    fn walk(&mut self, expr: &Expr, parent: &str) -> Derived {
+        match expr {
+            Expr::Source(name) => {
+                let path = format!("{parent}/source[{name}]");
+                match self.catalog.schema(name) {
+                    Some(schema) => {
+                        if schema.sector_lattice.is_none() {
+                            self.diag(
+                                Severity::Info,
+                                "source-no-scan-sector",
+                                &path,
+                                format!(
+                                    "source `{name}` registers no sector lattice; byte \
+                                     bounds use the default {DEFAULT_SECTOR_WIDTH}x\
+                                     {DEFAULT_SECTOR_HEIGHT} sector model"
+                                ),
+                                "§2",
+                            );
+                        }
+                        let d = Derived {
+                            crs: schema.crs,
+                            organization: schema.organization,
+                            time_semantics: schema.time_semantics,
+                            lattice: schema.sector_lattice,
+                        };
+                        self.record(&path, "source", BlockingClass::NonBlocking, 0, &d);
+                        d
+                    }
+                    None => {
+                        self.diag(
+                            Severity::Error,
+                            "unknown-source",
+                            &path,
+                            format!("source `{name}` is not registered in the catalog"),
+                            "§4",
+                        );
+                        let d = Derived {
+                            crs: Crs::LatLon,
+                            organization: Organization::RowByRow,
+                            time_semantics: TimeSemantics::SectorId,
+                            lattice: None,
+                        };
+                        self.record(&path, "source", BlockingClass::NonBlocking, 0, &d);
+                        d
+                    }
+                }
+            }
+            Expr::RestrictSpace { input, region, crs } => {
+                let path = format!("{parent}/restrict_space");
+                let mut d = self.walk(input, &path);
+                if region.bbox().area() <= 0.0 {
+                    self.diag(
+                        Severity::Warn,
+                        "empty-region",
+                        &path,
+                        "spatial restriction region has zero area; no point can pass".into(),
+                        "§3.1",
+                    );
+                }
+                let rect_in_stream = if *crs == d.crs {
+                    Some(region.bbox())
+                } else {
+                    self.diag(
+                        Severity::Info,
+                        "region-cross-crs",
+                        &path,
+                        format!(
+                            "region given in {crs} over a {} stream; the planner maps it \
+                             (conservative bounding box)",
+                            d.crs
+                        ),
+                        "§3.4",
+                    );
+                    match map_region(region, crs, &d.crs, 8) {
+                        Ok(rect) => Some(rect),
+                        Err(e) => {
+                            self.diag(
+                                Severity::Error,
+                                "region-unmappable",
+                                &path,
+                                format!("region cannot be mapped into the stream CRS: {e}"),
+                                "§3.4",
+                            );
+                            None
+                        }
+                    }
+                };
+                if let (Some(lat), Some(rect)) = (d.lattice, rect_in_stream) {
+                    match restricted_lattice(&lat, &rect) {
+                        Some(sub) => d.lattice = Some(sub),
+                        None => {
+                            self.diag(
+                                Severity::Warn,
+                                "region-disjoint",
+                                &path,
+                                "restriction region does not intersect the source sector; \
+                                 the query selects no points"
+                                    .into(),
+                                "§3.1",
+                            );
+                            d.lattice = Some(LatticeGeoref::new(
+                                lat.crs, lat.origin, lat.step_x, lat.step_y, 0, 0,
+                            ));
+                        }
+                    }
+                }
+                self.record(&path, "restrict_space", BlockingClass::NonBlocking, 0, &d);
+                d
+            }
+            Expr::RestrictTime { input, times } => {
+                let path = format!("{parent}/restrict_time");
+                let d = self.walk(input, &path);
+                let degenerate = match times {
+                    TimeSet::Instants(v) => v.is_empty(),
+                    TimeSet::Interval { lo: Some(lo), hi: Some(hi) } => lo >= hi,
+                    TimeSet::Interval { .. } => false,
+                    TimeSet::Recurring { period, len, .. } => *period <= 0 || *len <= 0,
+                };
+                if degenerate {
+                    self.diag(
+                        Severity::Warn,
+                        "empty-time-set",
+                        &path,
+                        "temporal restriction selects no timestamps; no sector can pass".into(),
+                        "§3.1",
+                    );
+                }
+                self.record(&path, "restrict_time", BlockingClass::NonBlocking, 0, &d);
+                d
+            }
+            Expr::RestrictValue { input, ranges } => {
+                let path = format!("{parent}/restrict_value");
+                let d = self.walk(input, &path);
+                if ranges.is_empty() || ranges.iter().all(|(lo, hi)| lo > hi) {
+                    self.diag(
+                        Severity::Warn,
+                        "degenerate-value-range",
+                        &path,
+                        "value restriction accepts no values; every point is dropped".into(),
+                        "§3.1",
+                    );
+                }
+                self.record(&path, "restrict_value", BlockingClass::NonBlocking, 0, &d);
+                d
+            }
+            Expr::MapValue { input, .. } => {
+                let path = format!("{parent}/map_value");
+                let d = self.walk(input, &path);
+                self.record(&path, "map_value", BlockingClass::NonBlocking, 0, &d);
+                d
+            }
+            Expr::Stretch { input, scope, .. } => {
+                let path = format!("{parent}/stretch");
+                let d = self.walk(input, &path);
+                let (class, bytes) = match (scope, d.organization) {
+                    (
+                        StretchScope::Frame,
+                        Organization::RowByRow | Organization::PointByPoint,
+                    ) => (BlockingClass::BoundedRows(1), d.row_bytes()),
+                    _ => {
+                        self.diag(
+                            Severity::Info,
+                            "stretch-buffers-image",
+                            &path,
+                            format!(
+                                "image-scoped stretch must buffer the whole image \
+                                 ({} bytes) before emitting",
+                                d.image_bytes()
+                            ),
+                            "§3.2",
+                        );
+                        (BlockingClass::BoundedFrame, d.image_bytes())
+                    }
+                };
+                self.record(&path, "stretch", class, bytes, &d);
+                d
+            }
+            Expr::Focal { input, k, .. } => {
+                let path = format!("{parent}/focal");
+                let d = self.walk(input, &path);
+                let class = BlockingClass::BoundedRows(*k);
+                let bytes = u64::from(*k) * d.row_bytes();
+                self.record(&path, "focal", class, bytes, &d);
+                d
+            }
+            Expr::Orient { input, orientation } => {
+                let path = format!("{parent}/orient");
+                let mut d = self.walk(input, &path);
+                if orientation.swaps_axes() {
+                    if let Some(lat) = d.lattice {
+                        d.lattice = Some(LatticeGeoref::new(
+                            lat.crs, lat.origin, lat.step_x, lat.step_y, lat.height, lat.width,
+                        ));
+                    }
+                }
+                self.record(&path, "orient", BlockingClass::NonBlocking, 0, &d);
+                d
+            }
+            Expr::Magnify { input, k } => {
+                let path = format!("{parent}/magnify");
+                let mut d = self.walk(input, &path);
+                if *k == 0 {
+                    self.diag(
+                        Severity::Error,
+                        "invalid-parameter",
+                        &path,
+                        "magnification factor must be at least 1".into(),
+                        "§3.2",
+                    );
+                } else if let Some(lat) = d.lattice {
+                    d.lattice = Some(lat.magnified(*k));
+                }
+                self.record(&path, "magnify", BlockingClass::NonBlocking, 0, &d);
+                d
+            }
+            Expr::Downsample { input, k } => {
+                let path = format!("{parent}/downsample");
+                let mut d = self.walk(input, &path);
+                if *k == 0 {
+                    self.diag(
+                        Severity::Error,
+                        "invalid-parameter",
+                        &path,
+                        "downsampling factor must be at least 1".into(),
+                        "§3.2",
+                    );
+                    self.record(&path, "downsample", BlockingClass::NonBlocking, 0, &d);
+                    return d;
+                }
+                // One output row of block accumulators spans k input rows.
+                let out_width = u64::from(d.width() / *k);
+                let bytes = out_width.max(1) * ACC_ENTRY_BYTES;
+                if let Some(lat) = d.lattice {
+                    d.lattice = Some(lat.reduced(*k));
+                }
+                self.record(&path, "downsample", BlockingClass::BoundedRows(*k), bytes, &d);
+                d
+            }
+            Expr::Reproject { input, to, kernel } => {
+                let path = format!("{parent}/reproject");
+                let mut d = self.walk(input, &path);
+                match d.lattice {
+                    Some(lat) => {
+                        let band = 2 * (kernel.support() + REPROJECT_SAFETY_ROWS) + 1;
+                        let bytes = u64::from(band) * d.row_bytes();
+                        // Derive the output lattice the way the streaming
+                        // operator does: same cell count over the mapped
+                        // world bbox.
+                        d.lattice = map_region(
+                            &Region::Rect(lat.world_bbox()),
+                            &lat.crs,
+                            to,
+                            8,
+                        )
+                        .ok()
+                        .map(|rect| LatticeGeoref::north_up(*to, rect, lat.width, lat.height));
+                        if d.lattice.is_none() {
+                            self.diag(
+                                Severity::Warn,
+                                "reproject-extent-unknown",
+                                &path,
+                                format!(
+                                    "sector extent cannot be mapped into {to}; downstream \
+                                     bounds fall back to the default sector model"
+                                ),
+                                "§3.2",
+                            );
+                        }
+                        d.crs = *to;
+                        self.record(
+                            &path,
+                            "reproject",
+                            BlockingClass::BoundedRows(band),
+                            bytes,
+                            &d,
+                        );
+                    }
+                    None => {
+                        self.diag(
+                            Severity::Error,
+                            "reproject-unbounded",
+                            &path,
+                            format!(
+                                "re-projection to {to} over a stream without scan-sector \
+                                 metadata may block arbitrarily; register the source with \
+                                 a sector lattice or restrict the stream first"
+                            ),
+                            "§3.2",
+                        );
+                        d.crs = *to;
+                        self.record(&path, "reproject", BlockingClass::Unbounded, 0, &d);
+                    }
+                }
+                d
+            }
+            Expr::Compose { left, right, op } => {
+                let path = format!("{parent}/compose[{}]", op.symbol());
+                let l = self.walk(left, &path);
+                let r = self.walk(right, &path);
+                self.compose_like(&path, "compose", l, r)
+            }
+            Expr::Ndvi { nir, vis } => {
+                let path = format!("{parent}/ndvi");
+                let l = self.walk(nir, &path);
+                let r = self.walk(vis, &path);
+                self.compose_like(&path, "ndvi", l, r)
+            }
+            Expr::Shed { input, stride, .. } => {
+                let path = format!("{parent}/shed");
+                let d = self.walk(input, &path);
+                if *stride == 0 {
+                    self.diag(
+                        Severity::Error,
+                        "invalid-parameter",
+                        &path,
+                        "shed stride must be at least 1".into(),
+                        "§3.1",
+                    );
+                }
+                self.record(&path, "shed", BlockingClass::NonBlocking, 0, &d);
+                d
+            }
+            Expr::Delay { input, d: shift } => {
+                let path = format!("{parent}/delay");
+                let d = self.walk(input, &path);
+                if *shift == 0 {
+                    self.diag(
+                        Severity::Error,
+                        "invalid-parameter",
+                        &path,
+                        "delay must shift by at least one sector".into(),
+                        "§3.3",
+                    );
+                }
+                let bytes = u64::from(shift + 1) * d.image_bytes();
+                self.record(&path, "delay", BlockingClass::BoundedFrame, bytes, &d);
+                d
+            }
+            Expr::AggTime { input, window, .. } => {
+                let path = format!("{parent}/agg_time");
+                let d = self.walk(input, &path);
+                if *window == 0 {
+                    self.diag(
+                        Severity::Error,
+                        "invalid-parameter",
+                        &path,
+                        "aggregate window must span at least one image".into(),
+                        "§6",
+                    );
+                }
+                let bytes = u64::from(*window) * d.points() * AGG_CELL_BYTES;
+                self.record(&path, "agg_time", BlockingClass::BoundedFrame, bytes, &d);
+                d
+            }
+            Expr::AggSpace { input, region, .. } => {
+                let path = format!("{parent}/agg_space");
+                let mut d = self.walk(input, &path);
+                if region.bbox().area() <= 0.0 {
+                    self.diag(
+                        Severity::Warn,
+                        "empty-region",
+                        &path,
+                        "aggregate region has zero area; the aggregate sees no points".into(),
+                        "§6",
+                    );
+                }
+                // The output is a 1×1-lattice scalar stream.
+                d.lattice = Some(LatticeGeoref::north_up(d.crs, region.bbox(), 1, 1));
+                self.record(&path, "agg_space", BlockingClass::NonBlocking, 0, &d);
+                d
+            }
+        }
+    }
+
+    /// Shared classification for `Compose` and the fused NDVI macro
+    /// (§3.3): buffering depends on the point organization, and the
+    /// timestamp semantics decide whether points can match at all.
+    fn compose_like(&mut self, path: &str, operator: &str, l: Derived, r: Derived) -> Derived {
+        if l.crs != r.crs {
+            self.diag(
+                Severity::Error,
+                "compose-crs-mismatch",
+                path,
+                format!(
+                    "composition inputs use different coordinate systems ({} vs {}); \
+                     re-project one side first",
+                    l.crs, r.crs
+                ),
+                "§3.3",
+            );
+        }
+        if l.time_semantics == TimeSemantics::MeasurementTime
+            || r.time_semantics == TimeSemantics::MeasurementTime
+        {
+            self.diag(
+                Severity::Warn,
+                "compose-measurement-time",
+                path,
+                "an input is timestamped by measurement time; timestamps from different \
+                 streams essentially never match, so the composition produces no output"
+                    .into(),
+                "§3.3",
+            );
+        }
+        if let (Some(ll), Some(rl)) = (l.lattice, r.lattice) {
+            if ll.width != rl.width || ll.height != rl.height {
+                self.diag(
+                    Severity::Warn,
+                    "compose-lattice-mismatch",
+                    path,
+                    format!(
+                        "input lattices differ ({}x{} vs {}x{}); Definition 10 requires one \
+                         point lattice — unmatched points are dropped",
+                        ll.width, ll.height, rl.width, rl.height
+                    ),
+                    "§3.3",
+                );
+            }
+        }
+        let image_by_image = l.organization == Organization::ImageByImage
+            || r.organization == Organization::ImageByImage;
+        let (class, bytes) = if image_by_image {
+            (BlockingClass::BoundedFrame, l.image_bytes() + r.image_bytes())
+        } else {
+            (BlockingClass::BoundedRows(1), l.row_bytes() + r.row_bytes())
+        };
+        let out = Derived {
+            crs: l.crs,
+            organization: l.organization,
+            time_semantics: l.time_semantics,
+            lattice: l.lattice.or(r.lattice),
+        };
+        self.record(path, operator, class, bytes, &out);
+        out
+    }
+}
+
+/// Statically analyzes a plan against a catalog.
+///
+/// Never fails: problems surface as ranked [`Diagnostic`]s in the
+/// returned [`PlanReport`] so callers can render all findings at once.
+pub fn analyze(expr: &Expr, catalog: &Catalog) -> PlanReport {
+    let mut a = Analyzer { catalog, per_op: Vec::new(), diagnostics: Vec::new() };
+    a.walk(expr, "");
+    let blocking = a
+        .per_op
+        .iter()
+        .map(|op| op.blocking)
+        .fold(BlockingClass::NonBlocking, BlockingClass::worse);
+    let peak_buffer_bytes = if blocking == BlockingClass::Unbounded {
+        None
+    } else {
+        Some(a.per_op.iter().map(|op| op.buffer_bytes).sum())
+    };
+    // Rank: errors first, then warnings, then info (stable within class).
+    a.diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    PlanReport { per_op: a.per_op, blocking, peak_buffer_bytes, diagnostics: a.diagnostics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{StreamSchema, VecStream};
+    use crate::query::parse_query;
+    use geostreams_geo::Rect;
+
+    fn catalog() -> Catalog {
+        let lattice =
+            LatticeGeoref::north_up(Crs::LatLon, Rect::new(-124.0, 36.0, -120.0, 40.0), 64, 64);
+        let mut cat = Catalog::new();
+        for name in ["g1", "g2"] {
+            let mut schema = StreamSchema::new(name, Crs::LatLon);
+            schema.sector_lattice = Some(lattice);
+            let name = name.to_string();
+            cat.register(schema, move || {
+                Box::new(VecStream::<f32>::single_sector(&name, lattice, 0, |_, _| 0.0))
+            });
+        }
+        // A source that never registered scan-sector metadata.
+        cat.register(StreamSchema::new("nolat", Crs::LatLon), || {
+            Box::new(VecStream::<f32>::single_sector(
+                "nolat",
+                LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), 4, 4),
+                0,
+                |_, _| 0.0,
+            ))
+        });
+        cat
+    }
+
+    fn report(q: &str) -> PlanReport {
+        analyze(&parse_query(q).unwrap(), &catalog())
+    }
+
+    #[test]
+    fn restrictions_are_non_blocking_with_zero_bytes() {
+        for q in [
+            "g1",
+            "restrict_space(g1, bbox(-123, 37, -122, 38), \"latlon\")",
+            "restrict_time(g1, interval(0, 5))",
+            "restrict_value(g1, 0, 1)",
+            "scale(g1, 2, 0)",
+            "orient(g1, \"rot90\")",
+            "magnify(g1, 2)",
+            "shed(g1, \"points\", 4)",
+        ] {
+            let r = report(q);
+            assert_eq!(r.blocking, BlockingClass::NonBlocking, "{q}");
+            assert_eq!(r.peak_buffer_bytes, Some(0), "{q}");
+            assert!(!r.has_errors(), "{q}: {:?}", r.diagnostics);
+        }
+    }
+
+    #[test]
+    fn reprojection_without_metadata_is_unbounded() {
+        let r = report("reproject(nolat, \"utm:10N\")");
+        assert_eq!(r.blocking, BlockingClass::Unbounded);
+        assert_eq!(r.peak_buffer_bytes, None);
+        assert!(r.has_errors());
+        assert!(r.diagnostics.iter().any(|d| d.code == "reproject-unbounded"));
+        // Same plan over a scan-sector source is a narrow row band.
+        let ok = report("reproject(g1, \"utm:10N\")");
+        assert!(matches!(ok.blocking, BlockingClass::BoundedRows(_)));
+        assert!(ok.peak_buffer_bytes.is_some());
+        assert!(!ok.has_errors());
+    }
+
+    #[test]
+    fn restriction_shrinks_downstream_buffer_bounds() {
+        let full = report("focal(g1, \"sobel\", 3)");
+        let cut = report(
+            "focal(restrict_space(g1, bbox(-124, 38, -122, 40), \"latlon\"), \"sobel\", 3)",
+        );
+        assert!(cut.peak_buffer_bytes.unwrap() < full.peak_buffer_bytes.unwrap());
+    }
+
+    #[test]
+    fn diagnostics_rank_errors_first() {
+        let r = report("reproject(restrict_value(nolat, 5, 1), \"utm:10N\")");
+        assert!(r.diagnostics.len() >= 2);
+        assert_eq!(r.diagnostics[0].severity, Severity::Error);
+        let mut last = Severity::Error;
+        for d in &r.diagnostics {
+            assert!(d.severity <= last);
+            last = d.severity;
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = report("stretch(ndvi(g1, g2), \"linear\", \"image\")");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PlanReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn buffer_overrun_compares_against_bound() {
+        let r = report("stretch(g1, \"linear\", \"image\")");
+        let bound = r.peak_buffer_bytes.unwrap();
+        assert!(bound >= 64 * 64 * 4);
+        assert!(!r.buffer_overrun(bound));
+        assert!(r.buffer_overrun(bound + 1));
+        let unbounded = report("reproject(nolat, \"utm:10N\")");
+        assert!(!unbounded.buffer_overrun(u64::MAX));
+    }
+}

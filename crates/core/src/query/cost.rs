@@ -25,6 +25,23 @@ mod weight {
     pub const AGGREGATE: f64 = 2.0;
 }
 
+/// Selectivity assumed when the geometry needed to compute a real one
+/// is missing (no source lattice, or a degenerate world extent).
+///
+/// 0.5 is the maximum-entropy guess for "some points pass, some don't":
+/// with no metadata there is no basis for anything sharper, and the
+/// midpoint keeps the estimate order-preserving — a restriction still
+/// reads as cheaper than no restriction, but never as free (which a
+/// guess of 0 would claim) nor as useless (a guess of 1). The same duty
+/// cycle is used for temporal and value restrictions, whose long-run
+/// pass rate is equally unknowable at plan time.
+pub const DEFAULT_SELECTIVITY: f64 = 0.5;
+
+/// Buffer-byte stand-in for a plan the static analyzer could not bound
+/// (a finite sentinel rather than `f64::INFINITY` so estimates stay
+/// JSON-serializable and comparisons stay total).
+pub const UNBOUNDED_BUFFER_BYTES: f64 = 1.0e18;
+
 /// Estimated cost of a plan (per scan sector).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct CostEstimate {
@@ -53,10 +70,10 @@ fn region_selectivity(catalog: &Catalog, expr: &Expr, region: &geostreams_geo::R
             }
         }
     });
-    let Some(lat) = lattice else { return 0.5 };
+    let Some(lat) = lattice else { return DEFAULT_SELECTIVITY };
     let world = lat.world_bbox();
     if world.area() <= 0.0 {
-        return 0.5;
+        return DEFAULT_SELECTIVITY;
     }
     // Map the region into the source CRS when needed (bbox approximation).
     let stream_crs = catalog.crs_of(expr).unwrap_or(lat.crs);
@@ -72,7 +89,23 @@ fn region_selectivity(catalog: &Catalog, expr: &Expr, region: &geostreams_geo::R
 }
 
 /// Estimates the cost of an expression over a catalog.
+///
+/// Points and work come from the recursive model below; the buffer
+/// bound is taken from the static plan analyzer
+/// ([`super::analyze::analyze`]), whose per-operator worst cases are
+/// derived from the actual sector lattices rather than the
+/// `sqrt(points)` row approximation. An unbounded plan reports
+/// [`UNBOUNDED_BUFFER_BYTES`].
 pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
+    let mut c = estimate_inner(expr, catalog)?;
+    c.buffer_bytes = match super::analyze::analyze(expr, catalog).peak_buffer_bytes {
+        Some(bytes) => bytes as f64,
+        None => UNBOUNDED_BUFFER_BYTES,
+    };
+    Ok(c)
+}
+
+fn estimate_inner(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
     Ok(match expr {
         Expr::Source(name) => {
             let points = catalog
@@ -82,7 +115,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             CostEstimate::leaf(points)
         }
         Expr::RestrictSpace { input, region, .. } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             let sel = region_selectivity(catalog, input, region);
             CostEstimate {
                 points_out: c.points_out * sel,
@@ -91,7 +124,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::RestrictTime { input, .. } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             // Per-sector model: a temporal restriction passes or drops
             // whole sectors; use 0.5 as the long-run duty cycle.
             CostEstimate {
@@ -101,7 +134,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::RestrictValue { input, .. } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             CostEstimate {
                 points_out: c.points_out * 0.5,
                 work: c.work + c.points_out * weight::RESTRICT,
@@ -109,7 +142,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::MapValue { input, .. } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             CostEstimate {
                 points_out: c.points_out,
                 work: c.work + c.points_out * weight::MAP,
@@ -117,7 +150,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::Stretch { input, scope, .. } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             let buffered = match scope {
                 StretchScope::Image => c.points_out,
                 StretchScope::Frame => c.points_out.sqrt(), // ≈ one row
@@ -129,7 +162,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::Focal { input, k, .. } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             let k2 = f64::from(*k) * f64::from(*k);
             CostEstimate {
                 points_out: c.points_out,
@@ -138,7 +171,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::Orient { input, .. } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             CostEstimate {
                 points_out: c.points_out,
                 work: c.work + c.points_out * weight::RESTRICT,
@@ -146,7 +179,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::Magnify { input, k } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             let k2 = f64::from(*k) * f64::from(*k);
             CostEstimate {
                 points_out: c.points_out * k2,
@@ -155,7 +188,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::Downsample { input, k } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             let k2 = f64::from(*k) * f64::from(*k);
             CostEstimate {
                 points_out: c.points_out / k2,
@@ -164,7 +197,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::Reproject { input, .. } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             CostEstimate {
                 points_out: c.points_out,
                 work: c.work + c.points_out * weight::REPROJECT,
@@ -173,8 +206,8 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::Compose { left, right, .. } | Expr::Ndvi { nir: left, vis: right } => {
-            let l = estimate(left, catalog)?;
-            let r = estimate(right, catalog)?;
+            let l = estimate_inner(left, catalog)?;
+            let r = estimate_inner(right, catalog)?;
             let matched = l.points_out.min(r.points_out);
             CostEstimate {
                 points_out: matched,
@@ -186,7 +219,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::Shed { input, stride, .. } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             CostEstimate {
                 points_out: c.points_out / f64::from(*stride),
                 work: c.work + c.points_out * weight::RESTRICT,
@@ -194,7 +227,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::Delay { input, d } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             CostEstimate {
                 points_out: c.points_out,
                 work: c.work + c.points_out * weight::RESTRICT,
@@ -202,7 +235,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::AggTime { input, window, .. } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             CostEstimate {
                 points_out: c.points_out,
                 work: c.work + c.points_out * weight::AGGREGATE * f64::from(*window),
@@ -210,7 +243,7 @@ pub fn estimate(expr: &Expr, catalog: &Catalog) -> Result<CostEstimate> {
             }
         }
         Expr::AggSpace { input, region, .. } => {
-            let c = estimate(input, catalog)?;
+            let c = estimate_inner(input, catalog)?;
             let sel = region_selectivity(catalog, input, region);
             CostEstimate {
                 points_out: 1.0,
@@ -290,6 +323,45 @@ mod tests {
         let reproj =
             estimate(&parse_query("reproject(g1, \"utm:10N\")").unwrap(), &cat).unwrap();
         assert!(reproj.work > 10.0 * plain.work);
+    }
+
+    #[test]
+    fn unknown_lattice_falls_back_to_default_selectivity() {
+        let mut cat = Catalog::new();
+        // Registered with no sector lattice: no geometry to compute a
+        // real selectivity from.
+        cat.register(StreamSchema::new("bare", Crs::LatLon), || {
+            let lattice =
+                LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), 4, 4);
+            Box::new(VecStream::<f32>::single_sector("bare", lattice, 0, |_, _| 0.0))
+        });
+        let e = parse_query("restrict_space(bare, bbox(0, 0, 1, 1), \"latlon\")").unwrap();
+        let c = estimate(&e, &cat).unwrap();
+        let src = estimate(&parse_query("bare").unwrap(), &cat).unwrap();
+        assert!(
+            (c.points_out - src.points_out * DEFAULT_SELECTIVITY).abs() < 1e-9,
+            "{} vs {}",
+            c.points_out,
+            src.points_out
+        );
+    }
+
+    #[test]
+    fn buffer_bound_comes_from_the_analyzer() {
+        let cat = catalog();
+        // Image-scoped stretch buffers exactly one 64x64 f32 image.
+        let c = estimate(&parse_query("stretch(g1, \"linear\", \"image\")").unwrap(), &cat)
+            .unwrap();
+        assert_eq!(c.buffer_bytes, 64.0 * 64.0 * 4.0);
+        // A plan the analyzer cannot bound reports the finite sentinel.
+        let mut cat2 = Catalog::new();
+        cat2.register(StreamSchema::new("bare", Crs::LatLon), || {
+            let lattice =
+                LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), 4, 4);
+            Box::new(VecStream::<f32>::single_sector("bare", lattice, 0, |_, _| 0.0))
+        });
+        let c = estimate(&parse_query("reproject(bare, \"utm:10N\")").unwrap(), &cat2).unwrap();
+        assert_eq!(c.buffer_bytes, UNBOUNDED_BUFFER_BYTES);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Query language, optimizer and multi-query index (§3.4 and §4).
 
+pub mod analyze;
 pub mod ast;
 pub mod cascade;
 pub mod cost;
@@ -7,6 +8,7 @@ pub mod optimizer;
 pub mod parser;
 pub mod plan;
 
+pub use analyze::{analyze, Diagnostic, OpAnalysis, PlanReport, Severity};
 pub use ast::Expr;
 pub use cascade::{CascadeTree, NaiveRegionIndex, RegionIndex};
 pub use optimizer::optimize;

@@ -35,13 +35,29 @@ use crate::ops::GammaOp;
 use geostreams_geo::{map_region, Region};
 
 /// Applies all rewrite rules to an expression.
+///
+/// Rewrites must never worsen the plan's static blocking class
+/// (restriction pushdown, macro fusion and identity removal are all
+/// blocking-neutral). The invariant is asserted in debug builds; in
+/// release builds a rewrite that *would* worsen it is discarded and the
+/// original expression is kept.
 pub fn optimize(expr: &Expr, catalog: &Catalog) -> Expr {
+    let before = super::analyze::analyze(expr, catalog).blocking;
     let e = simplify(expr.clone());
     let e = fuse_macros(e);
     let e = push_restrictions(e, catalog);
     let e = merge_restricts(e);
     // Pushdown can duplicate value transforms; fuse once more.
-    simplify(e)
+    let e = simplify(e);
+    let after = super::analyze::analyze(&e, catalog).blocking;
+    debug_assert!(
+        after <= before,
+        "optimizer worsened blocking class: {before} -> {after}"
+    );
+    if after > before {
+        return expr.clone();
+    }
+    e
 }
 
 /// Bottom-up algebraic simplifications:

@@ -96,7 +96,7 @@ impl<'a> Lexer<'a> {
                         }
                         self.pos += 1;
                     }
-                    let text = std::str::from_utf8(&self.src[s0..self.pos]).expect("ascii");
+                    let text = String::from_utf8_lossy(&self.src[s0..self.pos]);
                     let n: f64 =
                         text.parse().map_err(|_| self.error(format!("bad number `{text}`")))?;
                     out.push((Token::Number(n), s0));
@@ -113,7 +113,7 @@ impl<'a> Lexer<'a> {
                     {
                         self.pos += 1;
                     }
-                    let text = std::str::from_utf8(&self.src[s0..self.pos]).expect("ascii");
+                    let text = String::from_utf8_lossy(&self.src[s0..self.pos]);
                     out.push((Token::Ident(text.to_string()), s0));
                 }
                 other => {
@@ -519,7 +519,8 @@ impl Parser {
             "add" | "sub" | "mul" | "div" | "sup" | "inf" | "normdiff" => {
                 let left = self.expr_arg(&args, 0, &lname)?;
                 let right = self.expr_arg(&args, 1, &lname)?;
-                let op = GammaOp::from_symbol(&lname).expect("vetted symbol");
+                let op = GammaOp::from_symbol(&lname)
+                    .ok_or_else(|| self.error(format!("unknown γ operator `{lname}`")))?;
                 Ok(Arg::Expr(Expr::Compose {
                     left: Box::new(left),
                     right: Box::new(right),

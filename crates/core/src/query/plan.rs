@@ -252,12 +252,12 @@ impl<'a> Planner<'a> {
             Expr::AggTime { func, window, .. } => format!("agg_time {func:?} w={window}"),
             Expr::AggSpace { func, .. } => format!("agg_space {func:?}"),
         };
-        writeln!(
+        // Writing to a String cannot fail.
+        let _ = writeln!(
             out,
             "{indent}{label}  [out≈{:.0} pts/sector, work≈{:.0}, buf≈{:.0} B]",
             est.points_out, est.work, est.buffer_bytes
-        )
-        .expect("write to string");
+        );
         match expr {
             Expr::Source(_) => {}
             Expr::Compose { left, right, .. } => {

@@ -106,26 +106,30 @@ pub fn run_continuous(
     for ((expr, format), receivers) in exprs.into_iter().zip(query_receivers) {
         let schemas: HashMap<String, geostreams_core::model::StreamSchema> = receivers
             .keys()
-            .map(|name| (name.clone(), schema_catalog.schema(name).expect("vetted").clone()))
+            .filter_map(|name| {
+                schema_catalog.schema(name).map(|s| (name.clone(), s.clone()))
+            })
             .collect();
         query_handles.push(std::thread::spawn(move || -> Result<QueryResult> {
             // A per-query catalog whose factories hand out each channel
             // receiver exactly once.
             let mut catalog = Catalog::new();
             for (name, rx) in receivers {
-                let schema = schemas.get(&name).expect("schema present").clone();
+                let Some(schema) = schemas.get(&name).cloned() else { continue };
                 let slot = Arc::new(Mutex::new(Some(rx)));
                 catalog.register(schema.clone(), move || {
-                    let rx = slot
+                    // Sources are single-consumer: the first open takes
+                    // the receiver, later opens get an exhausted stream.
+                    let rx_opt = slot
                         .lock()
-                        .expect("source slot lock")
-                        .take()
-                        .expect("continuous sources are single-consumer");
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take();
                     let mut done = false;
                     Box::new(ChannelLike::new(schema.clone(), move || {
                         if done {
                             return None;
                         }
+                        let rx = rx_opt.as_ref()?;
                         match rx.recv() {
                             Ok(el) => Some(el),
                             Err(_) => {

@@ -119,11 +119,9 @@ impl<I: RegionIndex> MultiQueryFrontEnd<I> {
                                     let Some(fp) = lattice.footprint(&state.region) else {
                                         continue;
                                     };
-                                    state.grid = Some((
-                                        Grid2D::new(fp.width(), fp.height()),
-                                        fp,
-                                    ));
-                                    state.grid.as_mut().expect("just set")
+                                    state
+                                        .grid
+                                        .insert((Grid2D::new(fp.width(), fp.height()), fp))
                                 }
                             };
                             if footprint.contains(p.cell) {

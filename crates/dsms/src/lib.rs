@@ -21,6 +21,8 @@
 //! * **delivery** ships PNG frames per client session.
 
 #![warn(missing_docs)]
+// Tests may unwrap freely; the deny applies to library code only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod continuous;
 pub mod frontend;
@@ -33,5 +35,5 @@ pub use continuous::run_continuous;
 pub use frontend::{FrontEndStats, MultiQueryFrontEnd};
 pub use net::HttpServer;
 pub use metrics::ServerMetrics;
-pub use protocol::{parse_request, ClientRequest, OutputFormat};
-pub use server::{Dsms, QueryHandle, QueryResult};
+pub use protocol::{parse_explain, parse_request, ClientRequest, OutputFormat};
+pub use server::{Dsms, Explanation, QueryHandle, QueryResult, DEFAULT_MEMORY_BUDGET_BYTES};

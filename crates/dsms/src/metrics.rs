@@ -27,6 +27,9 @@ pub struct ServerMetrics {
     pub requests_handled: Counter,
     /// Connections that failed mid-request (read/write errors).
     pub requests_errored: Counter,
+    /// Executions whose observed peak buffering exceeded the static
+    /// plan-analysis bound (a cost-model soundness alarm).
+    pub plan_buffer_overruns: Counter,
     /// Per-query wall time, nanoseconds.
     pub query_wall_ns: HistogramHandle,
     /// Per-connection request latency, nanoseconds.
@@ -52,6 +55,10 @@ impl ServerMetrics {
             ("geostreams_points_ingested_total", "Points pulled from source streams."),
             ("geostreams_requests_handled_total", "Connections served successfully."),
             ("geostreams_requests_errored_total", "Connections that failed mid-request."),
+            (
+                "geostreams_plan_buffer_overrun_total",
+                "Query runs whose observed peak buffering exceeded the static bound.",
+            ),
             ("geostreams_query_wall_ns", "Per-query wall time in nanoseconds."),
             ("geostreams_request_ns", "Per-connection request latency in nanoseconds."),
         ];
@@ -66,6 +73,8 @@ impl ServerMetrics {
             points_ingested: registry.counter("geostreams_points_ingested_total", &[]),
             requests_handled: registry.counter("geostreams_requests_handled_total", &[]),
             requests_errored: registry.counter("geostreams_requests_errored_total", &[]),
+            plan_buffer_overruns: registry
+                .counter("geostreams_plan_buffer_overrun_total", &[]),
             query_wall_ns: registry.histogram("geostreams_query_wall_ns", &[]),
             request_ns: registry.histogram("geostreams_request_ns", &[]),
             trace: Arc::new(TraceLog::new(trace_capacity)),

@@ -94,6 +94,17 @@ pub fn request_target(raw: &str) -> (&str, &str) {
 /// Parses a request line (optionally a full HTTP request; only the first
 /// line matters).
 pub fn parse_request(raw: &str) -> Result<ClientRequest> {
+    parse_request_at(raw, "/query")
+}
+
+/// Parses an `EXPLAIN` request — same parameter shape as `/query`
+/// (`q=`, `format=`, `sectors=`) but addressed to `/explain`, asking
+/// for the plan's static analysis instead of its execution.
+pub fn parse_explain(raw: &str) -> Result<ClientRequest> {
+    parse_request_at(raw, "/explain")
+}
+
+fn parse_request_at(raw: &str, expected_path: &str) -> Result<ClientRequest> {
     let line = raw.lines().next().unwrap_or("");
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or("");
@@ -105,7 +116,7 @@ pub fn parse_request(raw: &str) -> Result<ClientRequest> {
     }
     let target = parts.next().unwrap_or("");
     let (path, qs) = target.split_once('?').unwrap_or((target, ""));
-    if path != "/query" {
+    if path != expected_path {
         return Err(CoreError::Parse { message: format!("unknown path `{path}`"), offset: 0 });
     }
     let mut query = None;
@@ -210,6 +221,15 @@ mod tests {
         let req = parse_request("GET /query?q=scale(goes.b1,+2,+0) HTTP/1.1").unwrap();
         assert_eq!(req.query, "scale(goes.b1, 2, 0)");
         assert_eq!(req.format, OutputFormat::PngGray);
+    }
+
+    #[test]
+    fn explain_uses_its_own_path() {
+        let req = parse_explain("GET /explain?q=goes.b1&format=stats HTTP/1.1").unwrap();
+        assert_eq!(req.query, "goes.b1");
+        assert_eq!(req.format, OutputFormat::Stats);
+        assert!(parse_explain("GET /query?q=goes.b1 HTTP/1.1").is_err());
+        assert!(parse_request("GET /explain?q=goes.b1 HTTP/1.1").is_err());
     }
 
     #[test]

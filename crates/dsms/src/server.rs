@@ -6,14 +6,19 @@ use geostreams_core::exec::RunReport;
 use geostreams_core::model::GeoStream;
 use geostreams_core::obs::PipelineObs;
 use geostreams_core::ops::delivery::{DeliveredFrame, PngSink, Rendering};
-use geostreams_core::query::{optimize, parse_query, Catalog, Expr, Planner};
+use geostreams_core::query::{analyze, optimize, parse_query, Catalog, Expr, Planner, PlanReport};
 use geostreams_core::stats::OpReport;
 use geostreams_core::{CoreError, Result};
 use geostreams_raster::colormap::ColorMap;
 use geostreams_raster::png::PngOptions;
 use geostreams_satsim::Scanner;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Default per-query worst-case memory budget: 1 GiB.
+pub const DEFAULT_MEMORY_BUDGET_BYTES: u64 = 1 << 30;
 
 /// A registered continuous query.
 #[derive(Debug, Clone)]
@@ -26,10 +31,29 @@ pub struct QueryHandle {
     pub expr: Expr,
     /// Optimized expression actually executed.
     pub optimized: Expr,
+    /// Static analysis of the optimized plan (admission evidence).
+    pub plan: PlanReport,
     /// Delivery format.
     pub format: OutputFormat,
     /// Sectors to run.
     pub sectors: u64,
+}
+
+/// The answer to an `EXPLAIN` request: the plan as the server would run
+/// it, its static analysis, and the admission verdict — without
+/// executing anything.
+#[derive(Debug, Clone, Serialize)]
+pub struct Explanation {
+    /// Original query text.
+    pub query: String,
+    /// Optimized algebra expression (re-parsable text form).
+    pub optimized: String,
+    /// Static plan analysis of the optimized expression.
+    pub report: PlanReport,
+    /// Whether registration would admit this plan.
+    pub admitted: bool,
+    /// The budget the admission decision was made against.
+    pub budget_bytes: u64,
 }
 
 /// Result of running one continuous query to completion.
@@ -50,6 +74,8 @@ pub struct Dsms {
     catalog: Arc<Catalog>,
     queries: Mutex<Vec<QueryHandle>>,
     next_id: Mutex<u32>,
+    /// Per-query worst-case memory budget for admission control.
+    budget_bytes: AtomicU64,
     /// Server metrics (shared with query threads).
     pub metrics: Arc<ServerMetrics>,
 }
@@ -72,6 +98,7 @@ impl Dsms {
             catalog: Arc::new(catalog),
             queries: Mutex::new(Vec::new()),
             next_id: Mutex::new(1),
+            budget_bytes: AtomicU64::new(DEFAULT_MEMORY_BUDGET_BYTES),
             metrics: Arc::new(ServerMetrics::new()),
         }
     }
@@ -82,6 +109,7 @@ impl Dsms {
             catalog: Arc::new(catalog),
             queries: Mutex::new(Vec::new()),
             next_id: Mutex::new(1),
+            budget_bytes: AtomicU64::new(DEFAULT_MEMORY_BUDGET_BYTES),
             metrics: Arc::new(ServerMetrics::new()),
         }
     }
@@ -89,6 +117,18 @@ impl Dsms {
     /// The server's catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Sets the per-query worst-case memory budget. Registrations whose
+    /// static buffer bound exceeds it are refused; already-registered
+    /// queries are unaffected.
+    pub fn set_memory_budget(&self, bytes: u64) {
+        self.budget_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// The current per-query memory budget in bytes.
+    pub fn memory_budget(&self) -> u64 {
+        self.budget_bytes.load(Ordering::Relaxed)
     }
 
     /// Registers a query from a parsed client request.
@@ -128,7 +168,13 @@ impl Dsms {
             expr
         };
         let optimized = optimize(&expr, &self.catalog);
-        let mut id_guard = self.next_id.lock().expect("id lock");
+        // Admission control (§3's cost analysis, enforced): reject plans
+        // with error diagnostics, no static buffer bound, or a bound
+        // over the server's per-query memory budget.
+        let plan = analyze(&optimized, &self.catalog);
+        self.admission_check(&plan)?;
+        let mut id_guard =
+            self.next_id.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let id = *id_guard;
         *id_guard += 1;
         drop(id_guard);
@@ -137,11 +183,62 @@ impl Dsms {
             text: request.query.clone(),
             expr,
             optimized,
+            plan,
             format: request.format,
             sectors: request.sectors,
         };
-        self.queries.lock().expect("query registry lock").push(handle.clone());
+        self.queries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(handle.clone());
         Ok(handle)
+    }
+
+    /// The admission decision for an analyzed plan.
+    fn admission_check(&self, plan: &PlanReport) -> Result<()> {
+        if plan.has_errors() {
+            return Err(CoreError::PlanRejected(plan.render_errors()));
+        }
+        let budget = self.memory_budget();
+        match plan.peak_buffer_bytes {
+            None => Err(CoreError::PlanRejected(
+                "plan has no static buffer bound".to_string(),
+            )),
+            Some(bytes) if bytes > budget => Err(CoreError::PlanRejected(format!(
+                "worst-case buffering of {bytes} bytes exceeds the per-query budget of \
+                 {budget} bytes"
+            ))),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Statically explains a query without running it: parse, optimize,
+    /// analyze, and report the admission verdict against the current
+    /// budget. Fails only when the query does not parse or names
+    /// unknown sources with no analyzable plan at all.
+    pub fn explain(&self, request: &ClientRequest) -> Result<Explanation> {
+        let expr = parse_query(&request.query)?;
+        let expr = if request.sectors > 0 {
+            Expr::RestrictTime {
+                input: Box::new(expr),
+                times: geostreams_core::model::TimeSet::Interval {
+                    lo: None,
+                    hi: Some(request.sectors as i64),
+                },
+            }
+        } else {
+            expr
+        };
+        let optimized = optimize(&expr, &self.catalog);
+        let report = analyze(&optimized, &self.catalog);
+        let admitted = self.admission_check(&report).is_ok();
+        Ok(Explanation {
+            query: request.query.clone(),
+            optimized: optimized.to_string(),
+            report,
+            admitted,
+            budget_bytes: self.memory_budget(),
+        })
     }
 
     /// Registers a query given as raw algebra text.
@@ -151,7 +248,7 @@ impl Dsms {
 
     /// Currently registered queries.
     pub fn registered(&self) -> Vec<QueryHandle> {
-        self.queries.lock().expect("query registry lock").clone()
+        self.queries.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
     }
 
     /// Runs one registered query to completion (synchronously).
@@ -190,6 +287,13 @@ impl Dsms {
                 QueryResult { id: handle.id, frames, report: Some(report), points }
             }
         };
+        // Cross-check observed buffering against the static bound; an
+        // overrun means the analyzer's cost model under-estimated.
+        if let Some(report) = &result.report {
+            if handle.plan.buffer_overrun(report.peak_buffered_bytes()) {
+                self.metrics.plan_buffer_overruns.inc();
+            }
+        }
         self.metrics.query_wall_ns.record(started.elapsed().as_nanos() as u64);
         Ok(result)
     }
@@ -214,7 +318,8 @@ impl Dsms {
     /// bytes (the first delivered frame, or an error response).
     ///
     /// Besides `/query`, serves the operational endpoints: `GET
-    /// /metrics` (Prometheus text exposition v0.0.4) and `GET /healthz`.
+    /// /metrics` (Prometheus text exposition v0.0.4), `GET /healthz`,
+    /// and `GET /explain` (static plan analysis as JSON, no execution).
     pub fn handle_http(&self, raw: &str) -> Vec<u8> {
         match crate::protocol::request_target(raw) {
             ("GET", "/metrics") => {
@@ -226,6 +331,19 @@ impl Dsms {
             }
             ("GET", "/healthz") => {
                 return crate::protocol::text_response(200, "text/plain", "ok\n");
+            }
+            ("GET", "/explain") => {
+                let request = match crate::protocol::parse_explain(raw) {
+                    Ok(r) => r,
+                    Err(e) => return crate::protocol::error_response(400, &e.to_string()),
+                };
+                return match self.explain(&request) {
+                    Ok(explanation) => {
+                        let body = serde_json::to_vec(&explanation).unwrap_or_default();
+                        crate::protocol::json_response(&body)
+                    }
+                    Err(e) => crate::protocol::error_response(400, &e.to_string()),
+                };
             }
             _ => {}
         }

@@ -10,3 +10,32 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --all-targets -- -D warnings
+
+# Forbidden-pattern lint: non-test library code of the first-party
+# crates must not panic or exit. Everything before the first
+# `#[cfg(test)]` marker in each file is library code; `src/bin/`
+# binaries may exit and are skipped. clippy's unwrap/expect deny
+# covers core and dsms; this catches the remaining crates and the
+# macro forms clippy has no lint for.
+lint_failed=0
+for crate in core dsms geo raster satsim bench; do
+  dir="crates/$crate/src"
+  [ -d "$dir" ] || continue
+  while IFS= read -r file; do
+    case "$file" in */src/bin/*) continue ;; esac
+    hits=$(awk '
+      /#\[cfg\(test\)\]/ { exit }
+      /panic!|todo!\(|unimplemented!\(|std::process::exit/ { print FILENAME ":" FNR ": " $0 }
+    ' "$file")
+    if [ -n "$hits" ]; then
+      echo "forbidden pattern in non-test library code:" >&2
+      echo "$hits" >&2
+      lint_failed=1
+    fi
+  done < <(find "$dir" -name '*.rs')
+done
+if [ "$lint_failed" -ne 0 ]; then
+  echo "source lint failed (panic!/todo!/unimplemented!/process::exit in library code)" >&2
+  exit 1
+fi
+echo "source lint OK"

@@ -106,11 +106,15 @@ fn multiple_instruments_can_share_one_server() {
     let server = Dsms::over_catalog(catalog);
     assert!(server.catalog().names().iter().any(|n| n.starts_with("goes-sim")));
     assert!(server.catalog().names().iter().any(|n| n.starts_with("modis-sim")));
-    // Cross-instrument composition is rejected: different CRSs.
-    let h = server
-        .register_text("add(goes-sim.b1-vis, modis-sim.red)", OutputFormat::Stats, 1)
-        .unwrap();
-    assert!(server.run_query(&h).is_err(), "geos vs sinusoidal lattices cannot compose");
+    // Cross-instrument composition is refused at registration: the
+    // static analyzer flags the CRS mismatch before anything runs.
+    let err = server.register_text("add(goes-sim.b1-vis, modis-sim.red)", OutputFormat::Stats, 1);
+    match err {
+        Err(geostreams::core::CoreError::PlanRejected(msg)) => {
+            assert!(msg.contains("compose-crs-mismatch"), "{msg}");
+        }
+        other => panic!("geos vs sinusoidal composition must be rejected, got {other:?}"),
+    }
     // Same-instrument queries run.
     let h = server.register_text("modis-sim.red", OutputFormat::PngGray, 1).unwrap();
     assert_eq!(server.run_query(&h).unwrap().frames.len(), 1);

@@ -1,0 +1,302 @@
+//! Static plan analysis end-to-end: per-variant blocking classes and
+//! buffer bounds, the reproject-without-metadata rejection, the
+//! optimizer's never-worsen property, DSMS admission control against a
+//! memory budget, and the EXPLAIN surface (protocol + HTTP).
+
+use geostreams::core::model::{StreamSchema, VecStream};
+use geostreams::core::ops::BlockingClass;
+use geostreams::core::query::{analyze, optimize, parse_query, Catalog, PlanReport, Severity};
+use geostreams::core::CoreError;
+use geostreams::dsms::{Dsms, OutputFormat, DEFAULT_MEMORY_BUDGET_BYTES};
+use geostreams::geo::{Crs, LatticeGeoref, Rect};
+use geostreams::satsim::goes_like;
+use std::sync::Arc;
+
+const W: u64 = 64;
+const H: u64 = 64;
+const PX: u64 = 4; // bytes per f32 point
+
+/// A catalog with two 64x64 lat/lon scan-sector sources and one source
+/// registered without sector metadata.
+fn catalog() -> Catalog {
+    let lattice =
+        LatticeGeoref::north_up(Crs::LatLon, Rect::new(-124.0, 36.0, -120.0, 40.0), 64, 64);
+    let mut cat = Catalog::new();
+    for name in ["g1", "g2"] {
+        let mut schema = StreamSchema::new(name, Crs::LatLon);
+        schema.sector_lattice = Some(lattice);
+        let name = name.to_string();
+        cat.register(schema, move || {
+            Box::new(VecStream::<f32>::single_sector(&name, lattice, 0, |_, _| 0.0))
+        });
+    }
+    cat.register(StreamSchema::new("nolat", Crs::LatLon), move || {
+        Box::new(VecStream::<f32>::single_sector("nolat", lattice, 0, |_, _| 0.0))
+    });
+    cat
+}
+
+fn report(q: &str) -> PlanReport {
+    analyze(&parse_query(q).unwrap(), &catalog())
+}
+
+/// The analysis entry for the plan root (last recorded operator).
+fn root_op(r: &PlanReport) -> &geostreams::core::query::OpAnalysis {
+    r.per_op.last().unwrap()
+}
+
+#[test]
+fn every_variant_gets_a_blocking_class_and_bound() {
+    // (query, root operator name, expected class, expected root bytes)
+    let row = W * PX;
+    let image = W * H * PX;
+    let cases: &[(&str, &str, BlockingClass, u64)] = &[
+        ("g1", "source", BlockingClass::NonBlocking, 0),
+        (
+            "restrict_space(g1, bbox(-123, 37, -122, 38), \"latlon\")",
+            "restrict_space",
+            BlockingClass::NonBlocking,
+            0,
+        ),
+        ("restrict_time(g1, interval(0, 5))", "restrict_time", BlockingClass::NonBlocking, 0),
+        ("restrict_value(g1, 0, 1)", "restrict_value", BlockingClass::NonBlocking, 0),
+        ("scale(g1, 2, 1)", "map_value", BlockingClass::NonBlocking, 0),
+        ("stretch(g1, \"linear\", \"frame\")", "stretch", BlockingClass::BoundedRows(1), row),
+        ("stretch(g1, \"linear\", \"image\")", "stretch", BlockingClass::BoundedFrame, image),
+        ("focal(g1, \"mean\", 5)", "focal", BlockingClass::BoundedRows(5), 5 * row),
+        ("orient(g1, \"rot90\")", "orient", BlockingClass::NonBlocking, 0),
+        ("magnify(g1, 2)", "magnify", BlockingClass::NonBlocking, 0),
+        ("downsample(g1, 4)", "downsample", BlockingClass::BoundedRows(4), (W / 4) * 24),
+        // Bilinear support 1 + 2 safety rows each side, plus the center.
+        ("reproject(g1, \"utm:10N\")", "reproject", BlockingClass::BoundedRows(7), 7 * row),
+        ("add(g1, g2)", "compose", BlockingClass::BoundedRows(1), 2 * row),
+        ("ndvi(g1, g2)", "ndvi", BlockingClass::BoundedRows(1), 2 * row),
+        ("shed(g1, \"points\", 2)", "shed", BlockingClass::NonBlocking, 0),
+        ("delay(g1, 2)", "delay", BlockingClass::BoundedFrame, 3 * image),
+        ("agg_time(g1, \"mean\", 4)", "agg_time", BlockingClass::BoundedFrame, 4 * W * H * 8),
+        (
+            "agg_space(g1, \"mean\", bbox(-124, 36, -120, 40))",
+            "agg_space",
+            BlockingClass::NonBlocking,
+            0,
+        ),
+    ];
+    for (q, op, class, bytes) in cases {
+        let r = report(q);
+        let root = root_op(&r);
+        assert_eq!(&root.operator, op, "{q}");
+        assert_eq!(root.blocking, *class, "{q}");
+        assert_eq!(root.buffer_bytes, *bytes, "{q}");
+        assert!(r.peak_buffer_bytes.is_some(), "{q}");
+        assert!(!r.has_errors(), "{q}: {:?}", r.diagnostics);
+    }
+}
+
+#[test]
+fn reproject_without_scan_sector_metadata_is_rejected() {
+    let r = report("reproject(nolat, \"utm:10N\")");
+    assert_eq!(r.blocking, BlockingClass::Unbounded);
+    assert_eq!(r.peak_buffer_bytes, None);
+    let diag = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "reproject-unbounded")
+        .expect("flagship diagnostic");
+    assert_eq!(diag.severity, Severity::Error);
+    assert_eq!(diag.section, "§3.2");
+    assert!(diag.path.contains("reproject"), "{}", diag.path);
+    // The identical plan over a scan-sector source is statically bounded.
+    let ok = report("reproject(g1, \"utm:10N\")");
+    assert_eq!(ok.blocking, BlockingClass::BoundedRows(7));
+    assert!(!ok.has_errors());
+}
+
+#[test]
+fn nested_reprojection_stays_bounded_over_metadata_sources() {
+    // The analyzer derives the output lattice of a re-projection, so a
+    // second re-projection above it is still bounded.
+    let r = report("reproject(reproject(g1, \"utm:10N\"), \"latlon\")");
+    assert!(r.blocking < BlockingClass::Unbounded, "{:?}", r.blocking);
+    assert!(!r.has_errors(), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn compose_checks_crs_and_time_semantics() {
+    let cat = catalog();
+    // CRS mismatch is an error: one side re-projected, the other not.
+    let e = parse_query("add(reproject(g1, \"utm:10N\"), g2)").unwrap();
+    let r = analyze(&e, &cat);
+    assert!(r.diagnostics.iter().any(|d| d.code == "compose-crs-mismatch"
+        && d.severity == Severity::Error));
+
+    // Measurement-time semantics warns (§3.3: timestamps never match).
+    let lattice =
+        LatticeGeoref::north_up(Crs::LatLon, Rect::new(-124.0, 36.0, -120.0, 40.0), 64, 64);
+    let mut cat2 = catalog();
+    let mut schema = StreamSchema::new("mt", Crs::LatLon);
+    schema.sector_lattice = Some(lattice);
+    schema.time_semantics = geostreams::core::model::TimeSemantics::MeasurementTime;
+    cat2.register(schema, move || {
+        Box::new(VecStream::<f32>::single_sector("mt", lattice, 0, |_, _| 0.0))
+    });
+    let e = parse_query("add(mt, g1)").unwrap();
+    let r = analyze(&e, &cat2);
+    assert!(r
+        .diagnostics
+        .iter()
+        .any(|d| d.code == "compose-measurement-time" && d.severity == Severity::Warn));
+}
+
+#[test]
+fn optimizer_never_worsens_blocking_class() {
+    let cat = catalog();
+    let queries = [
+        "restrict_space(reproject(ndvi(g1, g2), \"utm:10N\"), \
+         bbox(430000, 4200000, 480000, 4250000), \"utm:10N\")",
+        "restrict_value(stretch(add(g1, g2), \"linear\", \"image\"), 0, 1)",
+        "scale(scale(delay(g1, 1), 2, 0), 3, 1)",
+        "restrict_time(agg_time(focal(g1, \"mean\", 3), \"max\", 2), interval(0, 4))",
+        "magnify(downsample(reproject(g1, \"utm:10N\"), 2), 2)",
+    ];
+    for q in queries {
+        let e = parse_query(q).unwrap();
+        let before = analyze(&e, &cat).blocking;
+        let after = analyze(&optimize(&e, &cat), &cat).blocking;
+        assert!(after <= before, "{q}: {before:?} -> {after:?}");
+    }
+}
+
+#[test]
+fn restriction_pushdown_shrinks_the_static_bound() {
+    let cat = catalog();
+    let q = "restrict_space(focal(g1, \"mean\", 3), bbox(-124, 38, -123, 39), \"latlon\")";
+    let e = parse_query(q).unwrap();
+    let base = analyze(&e, &cat).peak_buffer_bytes.unwrap();
+    let opt = analyze(&optimize(&e, &cat), &cat).peak_buffer_bytes.unwrap();
+    assert!(opt < base, "pushdown should shrink the bound: {opt} vs {base}");
+}
+
+#[test]
+fn dsms_refuses_over_budget_plans_and_admits_within_budget() {
+    let server = Dsms::over_scanner(&goes_like(32, 16, 7), 1);
+    assert_eq!(server.memory_budget(), DEFAULT_MEMORY_BUDGET_BYTES);
+    let q = "stretch(goes-sim.b1-vis, \"linear\", \"image\")";
+
+    // 32x16 f32 image = 2048 bytes > 1000-byte budget: refused, with the
+    // diagnostic text carried in the typed error.
+    server.set_memory_budget(1000);
+    let err = server.register_text(q, OutputFormat::Stats, 1);
+    match err {
+        Err(CoreError::PlanRejected(msg)) => {
+            assert!(msg.contains("budget"), "{msg}");
+        }
+        other => panic!("expected PlanRejected, got {other:?}"),
+    }
+    assert_eq!(server.metrics.queries_rejected.get(), 1);
+
+    // Restored budget: the same query is admitted and runs.
+    server.set_memory_budget(DEFAULT_MEMORY_BUDGET_BYTES);
+    let h = server.register_text(q, OutputFormat::Stats, 1).unwrap();
+    assert!(h.plan.peak_buffer_bytes.unwrap() >= 32 * 16 * 4);
+    let result = server.run_query(&h).unwrap();
+    assert!(result.points > 0);
+}
+
+#[test]
+fn dsms_rejects_unbounded_reprojection_at_registration() {
+    let server = Dsms::over_catalog(catalog());
+    let err = server.register_text("reproject(nolat, \"utm:10N\")", OutputFormat::Stats, 0);
+    match err {
+        Err(CoreError::PlanRejected(msg)) => {
+            assert!(msg.contains("reproject-unbounded"), "{msg}");
+            assert!(msg.contains("§3.2"), "{msg}");
+        }
+        other => panic!("expected PlanRejected, got {other:?}"),
+    }
+    // The same shape over a metadata-carrying source registers fine.
+    server.register_text("reproject(g1, \"utm:10N\")", OutputFormat::Stats, 0).unwrap();
+}
+
+#[test]
+fn explain_reports_without_executing() {
+    let server = Dsms::over_catalog(catalog());
+    let req = geostreams::dsms::ClientRequest {
+        query: "reproject(nolat, \"utm:10N\")".into(),
+        format: OutputFormat::Stats,
+        sectors: 0,
+    };
+    let ex = server.explain(&req).unwrap();
+    assert!(!ex.admitted);
+    assert!(ex.report.has_errors());
+    assert_eq!(ex.budget_bytes, DEFAULT_MEMORY_BUDGET_BYTES);
+
+    let req_ok = geostreams::dsms::ClientRequest {
+        query: "focal(g1, \"mean\", 3)".into(),
+        format: OutputFormat::Stats,
+        sectors: 0,
+    };
+    let ex = server.explain(&req_ok).unwrap();
+    assert!(ex.admitted);
+    // The optimized text round-trips through the parser.
+    parse_query(&ex.optimized).unwrap();
+    // Nothing ran: no query was registered, no frames delivered.
+    assert!(server.registered().is_empty());
+    assert_eq!(server.frames_delivered(), 0);
+}
+
+#[test]
+fn explain_http_endpoint_returns_json() {
+    let server = Arc::new(Dsms::over_scanner(&goes_like(32, 16, 7), 1));
+    let resp = server
+        .handle_http("GET /explain?q=stretch(goes-sim.b1-vis,+%22linear%22)&format=stats HTTP/1.1");
+    let text = String::from_utf8_lossy(&resp).to_string();
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    assert!(text.contains("application/json"), "{text}");
+    let body_start = text.find("\r\n\r\n").unwrap() + 4;
+    let body: serde_json::Value = serde_json::from_str(&text[body_start..]).unwrap();
+    assert_eq!(body.get("admitted"), Some(&serde_json::Value::Bool(true)));
+    let peak = body
+        .get("report")
+        .and_then(|r| r.get("peak_buffer_bytes"))
+        .expect("report.peak_buffer_bytes present");
+    assert!(
+        matches!(peak, serde_json::Value::U64(_) | serde_json::Value::I64(_)),
+        "{peak:?}"
+    );
+
+    // A malformed query is a 400, not a crash.
+    let resp = server.handle_http("GET /explain?q=magnify(goes-sim.b1-vis) HTTP/1.1");
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 400"));
+}
+
+#[test]
+fn overrun_counter_stays_zero_when_bounds_hold() {
+    // Run a frame-buffering query and check observed peaks against the
+    // static bound: the conservative sum must cover the runtime max.
+    let server = Dsms::over_scanner(&goes_like(32, 16, 7), 2);
+    let h = server
+        .register_text("stretch(goes-sim.b1-vis, \"linear\", \"image\")", OutputFormat::Stats, 2)
+        .unwrap();
+    let result = server.run_query(&h).unwrap();
+    let observed = result.report.unwrap().peak_buffered_bytes();
+    assert!(observed > 0, "stretch must buffer");
+    assert!(
+        !h.plan.buffer_overrun(observed),
+        "static bound {:?} must cover observed {observed}",
+        h.plan.peak_buffer_bytes
+    );
+    assert_eq!(server.metrics.plan_buffer_overruns.get(), 0);
+    // The counter is exposed on /metrics.
+    let text = server.metrics.render_prometheus();
+    assert!(text.contains("geostreams_plan_buffer_overrun_total 0"), "{text}");
+}
+
+#[test]
+fn buffer_overrun_flags_excess_only_for_bounded_plans() {
+    let bounded = report("delay(g1, 1)");
+    let bound = bounded.peak_buffer_bytes.unwrap();
+    assert!(!bounded.buffer_overrun(bound));
+    assert!(bounded.buffer_overrun(bound + 1));
+    let unbounded = report("reproject(nolat, \"utm:10N\")");
+    assert!(!unbounded.buffer_overrun(u64::MAX));
+}
