@@ -11,6 +11,7 @@
 //!   georeference carried in the sector metadata — see [`StreamSchema`].
 
 mod element;
+mod repair;
 mod schema;
 mod split;
 mod stream;
@@ -18,6 +19,9 @@ mod timestamp;
 mod validate;
 
 pub use element::{Element, FrameEnd, FrameInfo, PointRecord, SectorEnd, SectorInfo};
+pub use repair::{
+    RepairCounters, RepairProbe, RepairStats, SectorCompleteness, StreamRepair,
+};
 pub use schema::{Organization, StreamSchema};
 pub use split::{split2, tee2, SideStream, TeeStream};
 pub use stream::{drain_points_of, BoxedF32Stream, ChannelLike, GeoStream, VecStream};

@@ -1,0 +1,753 @@
+//! Gap detection and frame finalization for degraded streams.
+//!
+//! The element protocol ([`super::element`]) is what frame-scoped
+//! operators key their buffering on: `stretch`, `aggregate` and
+//! `compose` hold points until the `FrameEnd`/`SectorEnd` marker that
+//! closes the scope (§3). Over a real downlink those markers — and the
+//! rows they close — get lost, and a naive pipeline blocks forever on a
+//! frame that will never complete. [`Validator`](super::Validator)
+//! *detects* such damage; [`StreamRepair`] goes further and **repairs
+//! the framing** so downstream operators always terminate:
+//!
+//! * a missing `FrameEnd`/`SectorEnd` is synthesized as soon as the
+//!   scan-sector metadata proves the scope is over (a new frame/sector
+//!   starts, or the stream ends) — the frame is finalized *partial*
+//!   with a completeness ratio derived from its declared cell box;
+//! * duplicated frames and points (link-layer retransmissions) are
+//!   dropped, so aggregates are not double-counted;
+//! * out-of-order and orphaned elements (a point after its frame was
+//!   finalized, an end marker for a scope that is not open) are dropped
+//!   and counted as disorder rather than corrupting open scopes.
+//!
+//! The output of `StreamRepair` is always protocol-valid — it passes
+//! [`Validator`](super::Validator) clean even when the input is
+//! arbitrarily damaged — which is the invariant the supervised DSMS
+//! runtime relies on: queries over a degraded feed *complete*, with the
+//! degradation quantified in [`RepairStats`] and per-sector
+//! [`SectorCompleteness`] records instead of silently wrong output.
+
+use super::element::{Element, FrameEnd, FrameInfo, SectorEnd};
+use super::stream::GeoStream;
+use crate::model::StreamSchema;
+use crate::obs::Counter;
+use crate::stats::{OpReport, OpStats};
+use geostreams_geo::Cell;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Counters of everything [`StreamRepair`] detected and fixed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairStats {
+    /// Input elements consumed.
+    pub elements_in: u64,
+    /// Discontinuities: frames finalized incomplete, plus wholly
+    /// missing frames/sectors inferred from identifier jumps.
+    pub gaps: u64,
+    /// Points missing from finalized frames (declared box area minus
+    /// distinct points received).
+    pub gap_points: u64,
+    /// Duplicate frames dropped (frame id already delivered).
+    pub duplicate_frames: u64,
+    /// Duplicate points dropped (cell already delivered in its frame).
+    pub duplicate_points: u64,
+    /// Out-of-order observations: mismatched end markers, row
+    /// regressions within a sector.
+    pub disorder: u64,
+    /// Orphaned elements dropped (no open scope to attribute them to).
+    pub orphans: u64,
+    /// `FrameEnd` markers synthesized.
+    pub synthesized_frame_ends: u64,
+    /// `SectorEnd` markers synthesized.
+    pub synthesized_sector_ends: u64,
+    /// Frames finalized with missing points.
+    pub partial_frames: u64,
+    /// Sectors finalized with missing points.
+    pub partial_sectors: u64,
+    /// Points expected across all opened sectors (lattice areas).
+    pub expected_points: u64,
+    /// Distinct points actually delivered.
+    pub received_points: u64,
+    /// Input ended with an open frame or sector.
+    pub truncated: bool,
+}
+
+impl RepairStats {
+    /// Fraction of expected points delivered, in `[0, 1]`; `1.0` for an
+    /// empty stream.
+    pub fn completeness(&self) -> f64 {
+        if self.expected_points == 0 {
+            1.0
+        } else {
+            self.received_points as f64 / self.expected_points as f64
+        }
+    }
+
+    /// True when nothing had to be repaired.
+    pub fn is_clean(&self) -> bool {
+        self.gaps == 0
+            && self.duplicate_frames == 0
+            && self.duplicate_points == 0
+            && self.disorder == 0
+            && self.orphans == 0
+            && self.synthesized_frame_ends == 0
+            && self.synthesized_sector_ends == 0
+            && !self.truncated
+    }
+}
+
+/// Per-sector completeness record, finalized when the sector closes
+/// (or is force-closed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SectorCompleteness {
+    /// Sector identifier.
+    pub sector_id: u64,
+    /// Spectral band of the stream.
+    pub band: u16,
+    /// Points the sector lattice declares.
+    pub expected_points: u64,
+    /// Distinct points delivered.
+    pub received_points: u64,
+    /// Frames delivered (including partial ones).
+    pub frames_seen: u64,
+    /// The closing `SectorEnd` was synthesized, not received.
+    pub synthesized_end: bool,
+}
+
+impl SectorCompleteness {
+    /// Fraction of the sector's declared points delivered.
+    pub fn ratio(&self) -> f64 {
+        if self.expected_points == 0 {
+            1.0
+        } else {
+            self.received_points as f64 / self.expected_points as f64
+        }
+    }
+}
+
+/// Shared view of a [`StreamRepair`]'s outcome; stays readable after
+/// the stream was moved into a query thread. Synced at sector
+/// boundaries and at end of stream.
+#[derive(Debug, Default)]
+pub struct RepairProbe {
+    inner: Mutex<ProbeState>,
+}
+
+#[derive(Debug, Default)]
+struct ProbeState {
+    stats: RepairStats,
+    sectors: Vec<SectorCompleteness>,
+}
+
+impl RepairProbe {
+    /// Snapshot of the repair counters.
+    pub fn stats(&self) -> RepairStats {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats.clone()
+    }
+
+    /// Snapshot of the per-sector completeness records.
+    pub fn sectors(&self) -> Vec<SectorCompleteness> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).sectors.clone()
+    }
+}
+
+/// Live metric hooks, incremented as repairs happen (in addition to the
+/// cumulative [`RepairStats`]). The DSMS wires these to its
+/// `geostreams_*` registry so recovery is visible on `/metrics` while
+/// queries run.
+#[derive(Debug, Clone, Default)]
+pub struct RepairCounters {
+    /// Gap detections (incomplete frames, missing frames/sectors).
+    pub gaps: Counter,
+    /// Duplicate frames + points dropped.
+    pub duplicates: Counter,
+    /// Disorder observations.
+    pub disorder: Counter,
+    /// Frames finalized partial.
+    pub partial_frames: Counter,
+}
+
+/// An open frame being tracked.
+struct OpenFrame {
+    info: FrameInfo,
+    expected: u64,
+    cells: HashSet<Cell>,
+}
+
+/// An open sector being tracked.
+struct OpenSector {
+    id: u64,
+    band: u16,
+    expected: u64,
+    received: u64,
+    frames_seen: u64,
+    last_frame_id: Option<u64>,
+    last_row: Option<u32>,
+}
+
+/// A normalizing adapter that turns an arbitrarily damaged element
+/// sequence into a protocol-valid one (see the module docs).
+pub struct StreamRepair<S: GeoStream> {
+    input: S,
+    out: VecDeque<Element<S::V>>,
+    stats: RepairStats,
+    sector: Option<OpenSector>,
+    frame: Option<OpenFrame>,
+    /// Frame ids already delivered (duplicate suppression).
+    seen_frames: HashSet<u64>,
+    /// Inside a duplicate frame whose elements are being discarded.
+    dup_skip: Option<u64>,
+    last_sector_id: Option<u64>,
+    ended: bool,
+    probe: Arc<RepairProbe>,
+    counters: Option<RepairCounters>,
+}
+
+impl<S: GeoStream> StreamRepair<S> {
+    /// Wraps a stream with a fresh probe.
+    pub fn new(input: S) -> Self {
+        Self::with_probe(input, Arc::new(RepairProbe::default()))
+    }
+
+    /// Wraps a stream, reporting into a caller-supplied probe (so the
+    /// probe can be held before the stream is moved into a thread).
+    pub fn with_probe(input: S, probe: Arc<RepairProbe>) -> Self {
+        StreamRepair {
+            input,
+            out: VecDeque::new(),
+            stats: RepairStats::default(),
+            sector: None,
+            frame: None,
+            seen_frames: HashSet::new(),
+            dup_skip: None,
+            last_sector_id: None,
+            ended: false,
+            probe,
+            counters: None,
+        }
+    }
+
+    /// Attaches live metric counters (builder style).
+    pub fn with_counters(mut self, counters: RepairCounters) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// Shared handle to the repair outcome.
+    pub fn probe(&self) -> Arc<RepairProbe> {
+        Arc::clone(&self.probe)
+    }
+
+    /// The repair counters so far.
+    pub fn repair_stats(&self) -> RepairStats {
+        self.stats.clone()
+    }
+
+    fn sync_probe(&self, sector: Option<SectorCompleteness>) {
+        let mut guard =
+            self.probe.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.stats = self.stats.clone();
+        if let Some(s) = sector {
+            guard.sectors.push(s);
+        }
+    }
+
+    fn note_gap(&mut self, n: u64) {
+        self.stats.gaps += n;
+        if let Some(c) = &self.counters {
+            c.gaps.add(n);
+        }
+    }
+
+    fn note_duplicate(&mut self) {
+        if let Some(c) = &self.counters {
+            c.duplicates.inc();
+        }
+    }
+
+    fn note_disorder(&mut self) {
+        self.stats.disorder += 1;
+        if let Some(c) = &self.counters {
+            c.disorder.inc();
+        }
+    }
+
+    /// Finalizes the open frame (if any), synthesizing its `FrameEnd`
+    /// when `synthesize` is set, and accounts its completeness.
+    fn close_frame(&mut self, synthesize: bool) {
+        let Some(open) = self.frame.take() else { return };
+        let seen = open.cells.len() as u64;
+        if seen < open.expected {
+            self.stats.partial_frames += 1;
+            self.stats.gap_points += open.expected - seen;
+            self.note_gap(1);
+            if let Some(c) = &self.counters {
+                c.partial_frames.inc();
+            }
+        }
+        if synthesize {
+            self.stats.synthesized_frame_ends += 1;
+        }
+        self.out.push_back(Element::FrameEnd(FrameEnd {
+            frame_id: open.info.frame_id,
+            sector_id: open.info.sector_id,
+        }));
+    }
+
+    /// Finalizes the open sector (if any); `synthesize` emits the
+    /// missing `SectorEnd`.
+    fn close_sector(&mut self, synthesize: bool) {
+        let Some(open) = self.sector.take() else { return };
+        if open.received < open.expected {
+            self.stats.partial_sectors += 1;
+        }
+        if synthesize {
+            self.stats.synthesized_sector_ends += 1;
+        }
+        self.out.push_back(Element::SectorEnd(SectorEnd { sector_id: open.id }));
+        let record = SectorCompleteness {
+            sector_id: open.id,
+            band: open.band,
+            expected_points: open.expected,
+            received_points: open.received,
+            frames_seen: open.frames_seen,
+            synthesized_end: synthesize,
+        };
+        self.sync_probe(Some(record));
+    }
+}
+
+impl<S: GeoStream> GeoStream for StreamRepair<S> {
+    type V = S::V;
+
+    fn schema(&self) -> &StreamSchema {
+        self.input.schema()
+    }
+
+    fn next_element(&mut self) -> Option<Element<S::V>> {
+        loop {
+            if let Some(el) = self.out.pop_front() {
+                return Some(el);
+            }
+            if self.ended {
+                return None;
+            }
+            let Some(el) = self.input.next_element() else {
+                self.ended = true;
+                if self.frame.is_some() || self.sector.is_some() {
+                    self.stats.truncated = true;
+                    self.close_frame(true);
+                    self.close_sector(true);
+                } else {
+                    self.sync_probe(None);
+                }
+                continue;
+            };
+            self.stats.elements_in += 1;
+            match el {
+                Element::SectorStart(si) => {
+                    self.dup_skip = None;
+                    if let Some(open) = &self.sector {
+                        if open.id == si.sector_id {
+                            // Retransmitted SectorStart for the open
+                            // sector: drop.
+                            self.stats.duplicate_frames += 1;
+                            self.note_duplicate();
+                            continue;
+                        }
+                        // Previous sector never closed: force-close it
+                        // (and any open frame) before opening the new
+                        // one.
+                        self.close_frame(true);
+                        self.close_sector(true);
+                    }
+                    if let Some(prev) = self.last_sector_id {
+                        if si.sector_id > prev + 1 {
+                            // Whole sectors missing from the downlink.
+                            self.note_gap(si.sector_id - prev - 1);
+                        }
+                    }
+                    self.last_sector_id = Some(si.sector_id);
+                    let area = u64::from(si.lattice.width) * u64::from(si.lattice.height);
+                    self.stats.expected_points += area;
+                    self.sector = Some(OpenSector {
+                        id: si.sector_id,
+                        band: si.band,
+                        expected: area,
+                        received: 0,
+                        frames_seen: 0,
+                        last_frame_id: None,
+                        last_row: None,
+                    });
+                    self.out.push_back(Element::SectorStart(si));
+                }
+                Element::FrameStart(fi) => {
+                    self.dup_skip = None;
+                    if self.sector.is_none() {
+                        // No sector to attribute the frame to (its
+                        // SectorStart is lost or still in flight): drop
+                        // the frame header; its points will be dropped
+                        // as orphans.
+                        self.stats.orphans += 1;
+                        self.note_disorder();
+                        continue;
+                    }
+                    if !self.seen_frames.insert(fi.frame_id) {
+                        // Retransmitted frame: discard its whole body.
+                        self.stats.duplicate_frames += 1;
+                        self.note_duplicate();
+                        self.dup_skip = Some(fi.frame_id);
+                        continue;
+                    }
+                    // Previous frame never closed: finalize it partial.
+                    self.close_frame(true);
+                    let expected = u64::from(fi.cells.col_max - fi.cells.col_min + 1)
+                        * u64::from(fi.cells.row_max - fi.cells.row_min + 1);
+                    let mut gap_frames = 0u64;
+                    let mut disorders = 0u32;
+                    if let Some(open) = &mut self.sector {
+                        open.frames_seen += 1;
+                        if let Some(prev) = open.last_frame_id {
+                            if fi.frame_id > prev + 1 {
+                                // Whole frames (scan rows) missing.
+                                gap_frames = fi.frame_id - prev - 1;
+                            } else if fi.frame_id < prev {
+                                disorders += 1;
+                            }
+                        }
+                        open.last_frame_id = Some(fi.frame_id);
+                        if let Some(prev_row) = open.last_row {
+                            if fi.cells.row_min < prev_row {
+                                disorders += 1;
+                            }
+                        }
+                        open.last_row = Some(fi.cells.row_min);
+                    }
+                    if gap_frames > 0 {
+                        self.note_gap(gap_frames);
+                    }
+                    for _ in 0..disorders {
+                        self.note_disorder();
+                    }
+                    self.frame = Some(OpenFrame { info: fi, expected, cells: HashSet::new() });
+                    self.out.push_back(Element::FrameStart(fi));
+                }
+                Element::Point(p) => {
+                    if self.dup_skip.is_some() {
+                        self.stats.duplicate_points += 1;
+                        self.note_duplicate();
+                        continue;
+                    }
+                    let Some(open) = &mut self.frame else {
+                        self.stats.orphans += 1;
+                        continue;
+                    };
+                    if !open.cells.insert(p.cell) {
+                        self.stats.duplicate_points += 1;
+                        self.note_duplicate();
+                        continue;
+                    }
+                    self.stats.received_points += 1;
+                    if let Some(sec) = &mut self.sector {
+                        sec.received += 1;
+                    }
+                    self.out.push_back(Element::Point(p));
+                }
+                Element::FrameEnd(fe) => {
+                    if self.dup_skip == Some(fe.frame_id) {
+                        self.dup_skip = None;
+                        continue;
+                    }
+                    self.dup_skip = None;
+                    match &self.frame {
+                        Some(open) if open.info.frame_id == fe.frame_id => {
+                            self.close_frame(false);
+                        }
+                        Some(_) => {
+                            // An end marker for a frame that is not
+                            // open — out-of-order or already
+                            // force-closed. Keep the open frame.
+                            self.note_disorder();
+                            self.stats.orphans += 1;
+                        }
+                        None => {
+                            self.stats.orphans += 1;
+                        }
+                    }
+                }
+                Element::SectorEnd(se) => {
+                    self.dup_skip = None;
+                    match &self.sector {
+                        Some(open) if open.id == se.sector_id => {
+                            // Close any frame the lost markers left
+                            // open, then the sector itself.
+                            self.close_frame(true);
+                            self.close_sector(false);
+                        }
+                        Some(_) => {
+                            self.note_disorder();
+                            self.stats.orphans += 1;
+                        }
+                        None => {
+                            self.stats.orphans += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.input.op_stats()
+    }
+
+    fn collect_stats(&self, out: &mut Vec<OpReport>) {
+        self.input.collect_stats(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{
+        Element, StreamSchema, Validator, VecStream,
+    };
+    use geostreams_geo::{Crs, LatticeGeoref, Rect};
+
+    fn lattice() -> LatticeGeoref {
+        LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 4.0, 4.0), 4, 4)
+    }
+
+    fn clean_elements(n_sectors: u64) -> Vec<Element<f32>> {
+        let mut s: VecStream<f32> =
+            VecStream::sectors("x", lattice(), n_sectors, |s, c, r| f64::from(c + r) + s as f64);
+        s.drain_elements()
+    }
+
+    fn repair(els: Vec<Element<f32>>) -> (Vec<Element<f32>>, RepairStats, Vec<SectorCompleteness>) {
+        let mut r =
+            StreamRepair::new(VecStream::new(StreamSchema::new("x", Crs::LatLon), els));
+        let out = r.drain_elements();
+        let probe = r.probe();
+        (out, probe.stats(), probe.sectors())
+    }
+
+    /// The repaired stream must always be protocol-valid.
+    fn assert_valid(els: &[Element<f32>]) {
+        let mut v = Validator::new(VecStream::new(
+            StreamSchema::new("x", Crs::LatLon),
+            els.to_vec(),
+        ));
+        while v.next_element().is_some() {}
+        let _ = v.next_element();
+        assert!(v.is_clean(), "repaired stream invalid: {:?}", v.violations);
+    }
+
+    #[test]
+    fn clean_stream_is_untouched() {
+        let base = clean_elements(2);
+        let (out, stats, sectors) = repair(base.clone());
+        assert_eq!(out, base);
+        assert!(stats.is_clean(), "{stats:?}");
+        assert_eq!(stats.completeness(), 1.0);
+        assert_eq!(sectors.len(), 2);
+        assert!(sectors.iter().all(|s| s.ratio() == 1.0 && !s.synthesized_end));
+    }
+
+    #[test]
+    fn missing_frame_end_is_synthesized() {
+        let mut els = clean_elements(1);
+        // Remove the first FrameEnd: its frame stays open until the
+        // next FrameStart proves it over.
+        let idx = els.iter().position(|e| matches!(e, Element::FrameEnd(_))).unwrap();
+        els.remove(idx);
+        let (out, stats, _) = repair(els);
+        assert_valid(&out);
+        assert_eq!(stats.synthesized_frame_ends, 1);
+        // All points were present, so the frame is complete despite the
+        // lost marker.
+        assert_eq!(stats.partial_frames, 0);
+        assert_eq!(stats.completeness(), 1.0);
+    }
+
+    #[test]
+    fn missing_sector_end_is_synthesized() {
+        let mut els = clean_elements(2);
+        // Remove the first SectorEnd; the next SectorStart forces the
+        // close.
+        let idx = els.iter().position(|e| matches!(e, Element::SectorEnd(_))).unwrap();
+        els.remove(idx);
+        let (out, stats, sectors) = repair(els);
+        assert_valid(&out);
+        assert_eq!(stats.synthesized_sector_ends, 1);
+        assert!(sectors[0].synthesized_end);
+        assert!(!sectors[1].synthesized_end);
+    }
+
+    #[test]
+    fn dropped_points_yield_partial_frames_with_ratio() {
+        let mut els = clean_elements(1);
+        // Drop 3 of the 16 points.
+        let mut dropped = 0;
+        els.retain(|e| {
+            if dropped < 3 && e.is_point() {
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        let (out, stats, sectors) = repair(els);
+        assert_valid(&out);
+        assert_eq!(stats.gap_points, 3);
+        assert!(stats.partial_frames >= 1);
+        assert_eq!(stats.expected_points, 16);
+        assert_eq!(stats.received_points, 13);
+        assert!((stats.completeness() - 13.0 / 16.0).abs() < 1e-12);
+        assert!((sectors[0].ratio() - 13.0 / 16.0).abs() < 1e-12);
+        assert_eq!(stats.partial_sectors, 1);
+    }
+
+    #[test]
+    fn duplicate_frames_are_dropped() {
+        let mut els = clean_elements(1);
+        // Retransmit the first frame (FrameStart..FrameEnd block).
+        let start = els.iter().position(|e| matches!(e, Element::FrameStart(_))).unwrap();
+        let end = els.iter().position(|e| matches!(e, Element::FrameEnd(_))).unwrap();
+        let block: Vec<_> = els[start..=end].to_vec();
+        els.splice(end + 1..end + 1, block);
+        let (out, stats, _) = repair(els);
+        assert_valid(&out);
+        assert_eq!(stats.duplicate_frames, 1);
+        assert_eq!(out, clean_elements(1), "retransmission removed entirely");
+        assert_eq!(stats.completeness(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_points_are_dropped() {
+        let mut els = clean_elements(1);
+        let idx = els.iter().position(Element::is_point).unwrap();
+        let p = els[idx].clone();
+        els.insert(idx, p);
+        let (out, stats, _) = repair(els);
+        assert_valid(&out);
+        assert_eq!(stats.duplicate_points, 1);
+        assert_eq!(out, clean_elements(1));
+    }
+
+    #[test]
+    fn truncated_stream_is_closed_out() {
+        let mut els = clean_elements(1);
+        els.truncate(els.len() - 4); // inside the last frame
+        let (out, stats, sectors) = repair(els);
+        assert_valid(&out);
+        assert!(stats.truncated);
+        assert_eq!(stats.synthesized_frame_ends, 1);
+        assert_eq!(stats.synthesized_sector_ends, 1);
+        assert!(stats.completeness() < 1.0);
+        assert!(sectors[0].synthesized_end);
+    }
+
+    #[test]
+    fn orphan_elements_are_dropped_not_propagated() {
+        let mut els = clean_elements(1);
+        // A stray point before any sector, and a stray FrameEnd after
+        // everything closed.
+        els.insert(0, Element::point(geostreams_geo::Cell::new(0, 0), 1.0f32));
+        els.push(Element::FrameEnd(FrameEnd { frame_id: 99, sector_id: 0 }));
+        let (out, stats, _) = repair(els);
+        assert_valid(&out);
+        assert_eq!(stats.orphans, 2);
+        assert_eq!(out, clean_elements(1));
+    }
+
+    #[test]
+    fn mismatched_frame_end_counts_disorder() {
+        let mut els = clean_elements(1);
+        // Swap a FrameEnd with the following FrameStart (pairwise
+        // reorder at a frame boundary).
+        let idx = els.iter().position(|e| matches!(e, Element::FrameEnd(_))).unwrap();
+        els.swap(idx, idx + 1);
+        let (out, stats, _) = repair(els);
+        assert_valid(&out);
+        assert!(stats.disorder >= 1, "{stats:?}");
+        assert!(stats.synthesized_frame_ends >= 1);
+    }
+
+    #[test]
+    fn missing_whole_frames_count_as_gaps() {
+        let mut els = clean_elements(1);
+        // Remove the second frame entirely (FrameStart..FrameEnd).
+        let starts: Vec<usize> = els
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e, Element::FrameStart(_)).then_some(i))
+            .collect();
+        let s = starts[1];
+        let e = els[s..].iter().position(|e| matches!(e, Element::FrameEnd(_))).unwrap() + s;
+        els.drain(s..=e);
+        let (out, stats, sectors) = repair(els);
+        assert_valid(&out);
+        assert!(stats.gaps >= 1, "{stats:?}");
+        assert_eq!(stats.received_points, 12);
+        assert_eq!(sectors[0].frames_seen, 3);
+        assert!((sectors[0].ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_whole_sectors_count_as_gaps() {
+        let els = clean_elements(3);
+        // Keep sectors 0 and 2; drop sector 1 entirely.
+        let mut keep = Vec::new();
+        let mut current = 0u64;
+        for el in els {
+            if let Element::SectorStart(si) = &el {
+                current = si.sector_id;
+            }
+            if current != 1 {
+                keep.push(el);
+            }
+        }
+        let (out, stats, sectors) = repair(keep);
+        assert_valid(&out);
+        assert!(stats.gaps >= 1);
+        assert_eq!(sectors.len(), 2);
+        // Expected points only count sectors that were announced.
+        assert_eq!(stats.expected_points, 32);
+    }
+
+    #[test]
+    fn live_counters_track_repairs() {
+        let counters = RepairCounters::default();
+        let mut els = clean_elements(1);
+        let idx = els.iter().position(Element::is_point).unwrap();
+        let p = els[idx].clone();
+        els.insert(idx, p);
+        let mut r = StreamRepair::new(VecStream::new(
+            StreamSchema::new("x", Crs::LatLon),
+            els,
+        ))
+        .with_counters(counters.clone());
+        let _ = r.drain_elements();
+        assert_eq!(counters.duplicates.get(), 1);
+        assert_eq!(counters.gaps.get(), 0);
+    }
+
+    #[test]
+    fn frame_scoped_operator_terminates_on_damaged_input() {
+        // The motivating case: stretch buffers per frame; a lost
+        // FrameEnd must not make it buffer forever.
+        use crate::ops::{StretchMode, StretchScope, StretchTransform};
+        let mut els = clean_elements(1);
+        els.retain(|e| !matches!(e, Element::FrameEnd(_) | Element::SectorEnd(_)));
+        let src = StreamRepair::new(VecStream::new(StreamSchema::new("x", Crs::LatLon), els));
+        let mut op = StretchTransform::new(
+            src,
+            StretchMode::Linear { out_lo: 0.0, out_hi: 1.0 },
+            StretchScope::Frame,
+        );
+        let out = op.drain_elements();
+        assert!(out.iter().filter(|e| e.is_point()).count() > 0);
+        assert_valid(&out);
+    }
+}

@@ -186,6 +186,80 @@ mod tests {
     }
 
     #[test]
+    fn keep_ratio_matches_stride() {
+        for stride in [1u32, 2, 3, 7, 16] {
+            let op = Shed::new(source(4, 4), ShedPolicy::Points, stride);
+            assert!((op.keep_ratio() - 1.0 / f64::from(stride)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn keep_ratio_holds_under_bursty_input() {
+        // Frames arriving in uneven bursts (many short rows, then long
+        // ones) must still converge on the declared keep ratio.
+        use crate::model::{Element, FrameEnd, FrameInfo, SectorInfo, StreamSchema};
+        use crate::model::{Organization, Timestamp};
+        use geostreams_geo::{Cell, CellBox};
+        let lattice =
+            LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 8.0), 64, 32);
+        let mut els: Vec<Element<f32>> = vec![Element::SectorStart(SectorInfo {
+            sector_id: 0,
+            lattice,
+            band: 0,
+            organization: Organization::RowByRow,
+            timestamp: Timestamp::new(0),
+        })];
+        // Bursts: rows of width 1, 64, 2, 64, 3, ... (id = row).
+        let widths = [1u32, 64, 2, 64, 3, 64, 4, 64, 5, 64];
+        for (row, w) in widths.iter().enumerate() {
+            let row = row as u32;
+            els.push(Element::FrameStart(FrameInfo {
+                frame_id: u64::from(row),
+                sector_id: 0,
+                timestamp: Timestamp::new(0),
+                cells: CellBox::new(0, row, w - 1, row),
+            }));
+            for col in 0..*w {
+                els.push(Element::point(Cell::new(col, row), 1.0f32));
+            }
+            els.push(Element::FrameEnd(FrameEnd { frame_id: u64::from(row), sector_id: 0 }));
+        }
+        els.push(Element::SectorEnd(crate::model::SectorEnd { sector_id: 0 }));
+        let total: u64 = widths.iter().map(|w| u64::from(*w)).sum();
+
+        // Rows policy: exactly every stride-th frame survives, whatever
+        // its burst size.
+        let src = VecStream::new(StreamSchema::new("bursty", Crs::LatLon), els.clone());
+        let mut op = Shed::new(src, ShedPolicy::Rows, 2);
+        let pts = op.drain_points();
+        let kept_rows: u64 = widths.iter().step_by(2).map(|w| u64::from(*w)).sum();
+        assert_eq!(pts.len() as u64, kept_rows);
+        assert_eq!(op.dropped, total - kept_rows);
+        assert!((op.keep_ratio() - 0.5).abs() < 1e-12);
+
+        // Points policy: the kept fraction tracks 1/stride² on the
+        // subgrid (cols and rows both strided), independent of burst
+        // shape.
+        let src = VecStream::new(StreamSchema::new("bursty", Crs::LatLon), els);
+        let mut op = Shed::new(src, ShedPolicy::Points, 4);
+        let pts = op.drain_points();
+        assert!(pts.iter().all(|p| p.cell.col % 4 == 0 && p.cell.row % 4 == 0));
+        assert_eq!(pts.len() as u64 + op.dropped, total, "every point accounted for");
+    }
+
+    #[test]
+    fn declared_blocking_stays_nonblocking() {
+        // The PR 2 static analyzer admits shed pipelines as NonBlocking;
+        // this pins the contract for both policies and any stride.
+        for policy in [ShedPolicy::Rows, ShedPolicy::Points] {
+            for stride in [1, 2, 8] {
+                let op = Shed::new(source(4, 4), policy, stride);
+                assert_eq!(op.declared_blocking(), crate::ops::BlockingClass::NonBlocking);
+            }
+        }
+    }
+
+    #[test]
     fn shed_then_downsample_degrades_gracefully() {
         // A classic shed-then-aggregate pipeline still yields an image.
         use crate::ops::Downsample;

@@ -1,44 +1,187 @@
-//! Continuous shared-ingest execution.
+//! Continuous shared-ingest execution under supervision.
 //!
 //! `Dsms::run_query` lets every query pull its own source instances —
 //! convenient, but a real receiving station decodes the downlink
 //! **once**. This module implements the actual Fig. 3 dataflow: one
 //! ingest thread per referenced spectral band fans the element stream
-//! out to bounded channels (back-pressure included), and each registered
-//! continuous query runs its optimized pipeline on its own thread over
-//! channel-backed sources.
+//! out to bounded channels, and each registered continuous query runs
+//! its optimized pipeline on its own thread over channel-backed,
+//! gap-repaired sources.
+//!
+//! Unlike the happy-path version this grew from, the runtime is
+//! **supervised** (see DESIGN.md "Fault model & recovery"):
+//!
+//! * every ingest thread runs under a per-band supervisor that detects
+//!   death (panic, injected crash, truncated downlink) and restarts the
+//!   feed with capped exponential backoff, resuming at the next scan
+//!   sector — restarts count into
+//!   `geostreams_ingest_restarts_total`;
+//! * fan-out is non-blocking under [`FanoutPolicy::Shed`]: a slow
+//!   subscriber loses points (counted in
+//!   `geostreams_fanout_shed_total`) instead of head-of-line-blocking
+//!   every sibling query through the bounded channels, and a subscriber
+//!   that stays wedged past a patience window is declared dead;
+//! * each query's sources are wrapped in
+//!   [`StreamRepair`](geostreams_core::model::StreamRepair), so frame-
+//!   scoped operators emit *partial* frames with completeness ratios
+//!   instead of blocking forever on rows the downlink lost;
+//! * an optional per-query watchdog cancels (not hangs) a query that
+//!   exceeds its deadline — e.g. one wedged on a stalled client — and
+//!   counts into `geostreams_watchdog_cancellations_total`.
+//!
+//! Degradation is injected deterministically via
+//! [`FaultPlan`](geostreams_satsim::FaultPlan): same seed, same faults,
+//! byte-identical results (`scripts/chaos.sh` diffs two runs).
 
+use crate::metrics::ServerMetrics;
 use crate::protocol::{ClientRequest, OutputFormat};
-use crate::server::QueryResult;
-use geostreams_core::model::{ChannelLike, Element, GeoStream};
+use crate::server::{QueryResult, SourceRepair};
+use geostreams_core::model::{
+    BoxedF32Stream, ChannelLike, Element, GeoStream, RepairCounters, RepairProbe, StreamRepair,
+};
+use geostreams_core::obs::Counter;
 use geostreams_core::ops::delivery::PngSink;
 use geostreams_core::query::{optimize, parse_query, Catalog, Expr, Planner};
 use geostreams_core::{CoreError, Result};
 use geostreams_raster::png::PngOptions;
-use geostreams_satsim::Scanner;
+use geostreams_satsim::{ChaosStream, FaultPlan, FaultStats, Scanner};
 use std::collections::HashMap;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-/// Channel capacity per subscriber: how many elements a slow query may
-/// lag behind the downlink before back-pressure stalls ingest.
+/// Default channel capacity per subscriber: how many elements a slow
+/// query may lag behind the downlink before the fan-out policy kicks in.
 const CHANNEL_CAP: usize = 8192;
+
+/// Poll interval for watchdog-aware channel reads and stall slicing.
+const POLL: Duration = Duration::from_millis(20);
+
+/// How the per-band ingest pump treats a subscriber whose bounded
+/// channel is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FanoutPolicy {
+    /// Lossless blocking send: back-pressure is absolute, but one hung
+    /// subscriber stalls the whole band (the legacy behavior; kept for
+    /// compatibility and for callers that prefer loss-free delivery).
+    Blocking,
+    /// Never block ingest: points are shed (and counted) the moment a
+    /// subscriber's buffer is full; framing markers are retried within
+    /// a patience window, after which the subscriber is declared dead
+    /// and unsubscribed.
+    #[default]
+    Shed,
+}
+
+/// Tuning knobs of the supervised runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Bounded-channel capacity per (query, band) subscription.
+    pub channel_cap: usize,
+    /// Fan-out policy for full subscriber buffers.
+    pub fanout: FanoutPolicy,
+    /// Per-query deadline; a query still running past it is cancelled
+    /// (its sources end early and buffered scopes flush partial).
+    /// `None` disables the watchdog.
+    pub watchdog: Option<Duration>,
+    /// Maximum supervised restarts per band before giving up on the
+    /// feed.
+    pub max_restarts: u32,
+    /// First restart backoff; doubles per consecutive restart.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// How long the shed policy retries a framing marker into a full
+    /// buffer before declaring the subscriber dead.
+    pub marker_patience: Duration,
+    /// Deterministic downlink degradation applied to every ingested
+    /// band (`None` = clean feed).
+    pub fault_plan: Option<FaultPlan>,
+    /// Artificial per-element processing stall for selected queries
+    /// (request index → stall), simulating slow or wedged clients; the
+    /// watchdog cuts through the stall.
+    pub query_stall: Vec<(usize, Duration)>,
+    /// Server metrics to surface recovery actions on (`/metrics`).
+    pub metrics: Option<Arc<ServerMetrics>>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            channel_cap: CHANNEL_CAP,
+            fanout: FanoutPolicy::Shed,
+            watchdog: None,
+            max_restarts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(250),
+            marker_patience: Duration::from_secs(2),
+            fault_plan: None,
+            query_stall: Vec::new(),
+            metrics: None,
+        }
+    }
+}
 
 /// Statistics of one continuous run.
 #[derive(Debug, Clone, Default)]
 pub struct IngestStats {
     /// Elements fanned out per band (band id → elements).
     pub elements_per_band: Vec<(u16, u64)>,
+    /// Supervised ingest restarts per band (band id → restarts).
+    pub restarts_per_band: Vec<(u16, u32)>,
+    /// Total supervised ingest restarts.
+    pub restarts: u64,
+    /// Elements shed by the fan-out instead of blocking.
+    pub shed_elements: u64,
+    /// Queries cancelled by the watchdog.
+    pub watchdog_cancellations: u64,
+    /// Injected-fault counters per band (band id → stats), present
+    /// when a fault plan was active.
+    pub faults_per_band: Vec<(u16, FaultStats)>,
+}
+
+/// One subscriber of a band's fan-out.
+struct SubSlot {
+    tx: Option<SyncSender<Element<f32>>>,
+    /// Elements this subscriber lost to shedding (incl. being declared
+    /// dead).
+    shed: u64,
+    /// Start of the current continuously-full stretch.
+    full_since: Option<Instant>,
+}
+
+/// Progress shared between an ingest attempt and its supervisor, so a
+/// restart can resume behind the last delivered sector.
+#[derive(Default)]
+struct PumpProgress {
+    elements: AtomicU64,
+    /// `sector_id + 1` of the last `SectorStart` pumped (0 = none).
+    last_sector: AtomicU64,
 }
 
 /// Runs a set of continuous queries over a scanner with shared ingest:
-/// each referenced band is generated once and fanned out.
+/// each referenced band is generated once and fanned out. Legacy
+/// lossless entry point — equivalent to [`run_supervised`] with
+/// [`FanoutPolicy::Blocking`], no watchdog and a clean feed.
 ///
 /// Returns per-query results in request order, plus ingest statistics.
 pub fn run_continuous(
     scanner: &Scanner,
     n_sectors: u64,
     requests: &[ClientRequest],
+) -> Result<(Vec<Result<QueryResult>>, IngestStats)> {
+    let config = RuntimeConfig { fanout: FanoutPolicy::Blocking, ..RuntimeConfig::default() };
+    run_supervised(scanner, n_sectors, requests, &config)
+}
+
+/// Runs a set of continuous queries over a scanner with shared,
+/// supervised ingest (see the module docs for the recovery model).
+pub fn run_supervised(
+    scanner: &Scanner,
+    n_sectors: u64,
+    requests: &[ClientRequest],
+    config: &RuntimeConfig,
 ) -> Result<(Vec<Result<QueryResult>>, IngestStats)> {
     // Schema-only catalog for parsing/optimizing (factories unused here).
     let mut schema_catalog = Catalog::new();
@@ -64,21 +207,34 @@ pub fn run_continuous(
 
     // Create one channel per (query, referenced source).
     type Rx = Receiver<Element<f32>>;
-    let mut band_subscribers: HashMap<String, Vec<SyncSender<Element<f32>>>> = HashMap::new();
+    let mut band_slots: HashMap<String, Vec<SubSlot>> = HashMap::new();
     let mut query_receivers: Vec<HashMap<String, Rx>> = Vec::new();
     for (expr, _) in &exprs {
         let mut receivers = HashMap::new();
         for name in expr.source_names() {
-            let (tx, rx) = sync_channel(CHANNEL_CAP);
-            band_subscribers.entry(name.clone()).or_default().push(tx);
+            let (tx, rx) = sync_channel(config.channel_cap);
+            band_slots
+                .entry(name.clone())
+                .or_default()
+                .push(SubSlot { tx: Some(tx), shed: 0, full_since: None });
             receivers.insert(name, rx);
         }
         query_receivers.push(receivers);
     }
 
-    // Ingest threads: one per referenced band.
+    // Per-band supervised ingest: a supervisor thread spawns the pump
+    // in an inner thread (panic isolation), inspects its fate, and
+    // restarts with capped exponential backoff, resuming at the sector
+    // after the last one started.
+    struct BandReport {
+        band_id: u16,
+        elements: u64,
+        restarts: u32,
+        faults: Option<FaultStats>,
+    }
     let mut ingest_handles = Vec::new();
-    for (name, senders) in band_subscribers {
+    let mut band_sub_arcs: Vec<Arc<Mutex<Vec<SubSlot>>>> = Vec::new();
+    for (name, slots) in band_slots {
         let band_idx = scanner
             .instrument
             .bands
@@ -87,96 +243,383 @@ pub fn run_continuous(
             .ok_or_else(|| CoreError::UnknownSource(name.clone()))?;
         let band_id = scanner.instrument.bands[band_idx].id;
         let scanner = scanner.clone();
-        ingest_handles.push(std::thread::spawn(move || -> (u16, u64) {
-            let mut stream = scanner.band_stream(band_idx, n_sectors);
-            let mut n = 0u64;
-            while let Some(el) = stream.next_element() {
-                n += 1;
-                for tx in &senders {
-                    // A closed receiver (query finished/failed) is fine.
-                    let _ = tx.send(el.clone());
+        let subs = Arc::new(Mutex::new(slots));
+        band_sub_arcs.push(Arc::clone(&subs));
+        let plan = config.fault_plan.clone();
+        let fanout = config.fanout;
+        let marker_patience = config.marker_patience;
+        let max_restarts = config.max_restarts;
+        let backoff_base = config.backoff_base;
+        let backoff_cap = config.backoff_cap;
+        let metrics = config.metrics.clone();
+        ingest_handles.push(std::thread::spawn(move || -> BandReport {
+            let mut attempt: u32 = 0;
+            let mut start_sector: u64 = 0;
+            let mut elements: u64 = 0;
+            let mut faults: Option<FaultStats> = None;
+            loop {
+                let base = scanner.band_stream(band_idx, n_sectors);
+                let (probe, stream): (_, BoxedF32Stream) = match &plan {
+                    Some(p) if !p.for_attempt(attempt).is_benign() => {
+                        // Salt by band and attempt: bands sharing a
+                        // seed degrade independently, and a restarted
+                        // feed sees a fresh (still deterministic)
+                        // fault pattern.
+                        let salt = (u64::from(attempt) << 32) | u64::from(band_id);
+                        let chaos = ChaosStream::new(base, p.for_attempt(attempt), salt);
+                        (Some(chaos.probe()), Box::new(chaos))
+                    }
+                    _ => (None, Box::new(base)),
+                };
+                let subs2 = Arc::clone(&subs);
+                let progress = Arc::new(PumpProgress::default());
+                let progress2 = Arc::clone(&progress);
+                let shed_counter = metrics.as_ref().map(|m| m.fanout_shed.clone());
+                let points_counter = metrics.as_ref().map(|m| m.points_ingested.clone());
+                let inner = std::thread::spawn(move || {
+                    pump(
+                        stream,
+                        &subs2,
+                        &progress2,
+                        start_sector,
+                        fanout,
+                        marker_patience,
+                        shed_counter,
+                        points_counter,
+                    );
+                });
+                let panicked = inner.join().is_err();
+                let attempt_faults = probe.as_ref().map(|p| p.stats());
+                elements += progress.elements.load(Ordering::Relaxed);
+                let crashed = panicked
+                    || attempt_faults.as_ref().is_some_and(|f| f.died || f.truncated);
+                if let Some(f) = attempt_faults {
+                    faults.get_or_insert_with(FaultStats::default).merge(&f);
                 }
+                if !crashed || attempt >= max_restarts {
+                    break;
+                }
+                // Supervised restart: resume at the sector after the
+                // last one the dead attempt began delivering (the
+                // partial sector is lost; queries see it finalized
+                // partial by their repair stage).
+                attempt += 1;
+                if let Some(m) = &metrics {
+                    m.ingest_restarts.inc();
+                }
+                let last = progress.last_sector.load(Ordering::Relaxed);
+                start_sector = start_sector.max(last);
+                let exp = attempt.saturating_sub(1).min(16);
+                let backoff = backoff_base
+                    .saturating_mul(1u32 << exp)
+                    .min(backoff_cap);
+                std::thread::sleep(backoff);
             }
-            (band_id, n)
+            // Unsubscribe everyone: queries see end-of-stream.
+            let mut guard = subs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for slot in guard.iter_mut() {
+                slot.tx = None;
+            }
+            BandReport { band_id, elements, restarts: attempt, faults }
         }));
     }
 
-    // Query threads: pipelines over channel-backed catalogs.
+    // Query threads: pipelines over channel-backed, repaired catalogs.
+    let repair_counters = config.metrics.as_ref().map(|m| RepairCounters {
+        gaps: m.gaps_detected.clone(),
+        duplicates: m.duplicates_dropped.clone(),
+        disorder: m.disorder_detected.clone(),
+        partial_frames: m.partial_frames.clone(),
+    });
     let mut query_handles = Vec::new();
-    for ((expr, format), receivers) in exprs.into_iter().zip(query_receivers) {
+    for (qid, ((expr, format), receivers)) in
+        exprs.into_iter().zip(query_receivers).enumerate()
+    {
         let schemas: HashMap<String, geostreams_core::model::StreamSchema> = receivers
             .keys()
             .filter_map(|name| {
                 schema_catalog.schema(name).map(|s| (name.clone(), s.clone()))
             })
             .collect();
-        query_handles.push(std::thread::spawn(move || -> Result<QueryResult> {
-            // A per-query catalog whose factories hand out each channel
-            // receiver exactly once.
-            let mut catalog = Catalog::new();
-            for (name, rx) in receivers {
-                let Some(schema) = schemas.get(&name).cloned() else { continue };
-                let slot = Arc::new(Mutex::new(Some(rx)));
-                catalog.register(schema.clone(), move || {
-                    // Sources are single-consumer: the first open takes
-                    // the receiver, later opens get an exhausted stream.
-                    let rx_opt = slot
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .take();
-                    let mut done = false;
-                    Box::new(ChannelLike::new(schema.clone(), move || {
-                        if done {
-                            return None;
+        let watchdog = config.watchdog;
+        let stall = config
+            .query_stall
+            .iter()
+            .find(|(i, _)| *i == qid)
+            .map(|(_, d)| *d);
+        let counters = repair_counters.clone();
+        let watchdog_counter = config.metrics.as_ref().map(|m| m.watchdog_cancellations.clone());
+        query_handles.push(std::thread::spawn(
+            move || -> (Result<QueryResult>, bool) {
+                let deadline = watchdog.map(|d| Instant::now() + d);
+                let cancelled = Arc::new(AtomicBool::new(false));
+                let fired = Arc::new(AtomicBool::new(false));
+                // A per-query catalog whose factories hand out each
+                // channel receiver exactly once, watchdog-aware and
+                // wrapped in a repair stage.
+                let mut catalog = Catalog::new();
+                let mut probes: Vec<(String, Arc<RepairProbe>)> = Vec::new();
+                for (name, rx) in receivers {
+                    let Some(schema) = schemas.get(&name).cloned() else { continue };
+                    let probe = Arc::new(RepairProbe::default());
+                    probes.push((name.clone(), Arc::clone(&probe)));
+                    let slot = Arc::new(Mutex::new(Some(rx)));
+                    let cancelled = Arc::clone(&cancelled);
+                    let fired = Arc::clone(&fired);
+                    let watchdog_counter = watchdog_counter.clone();
+                    let counters = counters.clone();
+                    catalog.register(schema.clone(), move || {
+                        // Sources are single-consumer: the first open
+                        // takes the receiver, later opens get an
+                        // exhausted stream.
+                        let rx_opt = slot
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .take();
+                        let mut done = false;
+                        let cancelled = Arc::clone(&cancelled);
+                        let fired = Arc::clone(&fired);
+                        let watchdog_counter = watchdog_counter.clone();
+                        let pull = move || {
+                            loop {
+                                if expired(deadline) {
+                                    if !fired.swap(true, Ordering::SeqCst) {
+                                        if let Some(c) = &watchdog_counter {
+                                            c.inc();
+                                        }
+                                    }
+                                    cancelled.store(true, Ordering::SeqCst);
+                                }
+                                if done || cancelled.load(Ordering::SeqCst) {
+                                    return None;
+                                }
+                                let rx = rx_opt.as_ref()?;
+                                match rx.recv_timeout(POLL) {
+                                    Ok(el) => {
+                                        if let Some(d) = stall {
+                                            // Simulated slow client;
+                                            // sliced so the watchdog
+                                            // can cut through it.
+                                            if !stall_sliced(d, deadline, &cancelled) {
+                                                continue;
+                                            }
+                                        }
+                                        return Some(el);
+                                    }
+                                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                                        done = true;
+                                        return None;
+                                    }
+                                }
+                            }
+                        };
+                        let repaired = StreamRepair::with_probe(
+                            ChannelLike::new(schema.clone(), pull),
+                            Arc::clone(&probe),
+                        );
+                        match &counters {
+                            Some(c) => Box::new(repaired.with_counters(c.clone())),
+                            None => Box::new(repaired),
                         }
-                        let rx = rx_opt.as_ref()?;
-                        match rx.recv() {
-                            Ok(el) => Some(el),
-                            Err(_) => {
-                                done = true;
-                                None
+                    });
+                }
+                let run = || -> Result<QueryResult> {
+                    let planner = Planner::new(&catalog);
+                    let pipeline = planner.build(&expr)?;
+                    let mut result = match format {
+                        OutputFormat::Stats | OutputFormat::Json => {
+                            let mut pipeline = pipeline;
+                            let report = geostreams_core::exec::run_to_end(&mut pipeline);
+                            let points = report.points_delivered;
+                            QueryResult {
+                                id: qid as u32,
+                                frames: Vec::new(),
+                                report: Some(report),
+                                points,
+                                repair: Vec::new(),
+                                cancelled: false,
                             }
                         }
-                    }))
-                });
-            }
-            let planner = Planner::new(&catalog);
-            let pipeline = planner.build(&expr)?;
-            match format {
-                OutputFormat::Stats | OutputFormat::Json => {
-                    let mut pipeline = pipeline;
-                    let report = geostreams_core::exec::run_to_end(&mut pipeline);
-                    let points = report.points_delivered;
-                    Ok(QueryResult { id: 0, frames: Vec::new(), report: Some(report), points })
-                }
-                _ => {
-                    let mut sink = PngSink::new(pipeline, None, PngOptions::default());
-                    let mut frames = Vec::new();
-                    while let Some(f) = sink.next_frame() {
-                        frames.push(f);
-                    }
-                    let points = frames.len() as u64;
-                    Ok(QueryResult { id: 0, frames, report: None, points })
-                }
-            }
-        }));
+                        _ => {
+                            let mut sink = PngSink::new(pipeline, None, PngOptions::default());
+                            let mut frames = Vec::new();
+                            while let Some(f) = sink.next_frame() {
+                                frames.push(f);
+                            }
+                            let points = frames.len() as u64;
+                            QueryResult {
+                                id: qid as u32,
+                                frames,
+                                report: None,
+                                points,
+                                repair: Vec::new(),
+                                cancelled: false,
+                            }
+                        }
+                    };
+                    result.repair = probes
+                        .iter()
+                        .map(|(source, p)| SourceRepair {
+                            source: source.clone(),
+                            stats: p.stats(),
+                            sectors: p.sectors(),
+                        })
+                        .collect();
+                    result.cancelled = fired.load(Ordering::SeqCst);
+                    Ok(result)
+                };
+                (run(), fired.load(Ordering::SeqCst))
+            },
+        ));
     }
 
+    let mut cancellations = 0u64;
     let results: Vec<Result<QueryResult>> = query_handles
         .into_iter()
-        .map(|h| {
-            h.join()
-                .unwrap_or_else(|_| Err(CoreError::Unsupported("query thread panicked".into())))
+        .map(|h| match h.join() {
+            Ok((res, fired)) => {
+                if fired {
+                    cancellations += 1;
+                }
+                res
+            }
+            Err(_) => Err(CoreError::Unsupported("query thread panicked".into())),
         })
         .collect();
     let mut stats = IngestStats::default();
     for h in ingest_handles {
-        if let Ok(pair) = h.join() {
-            stats.elements_per_band.push(pair);
+        if let Ok(report) = h.join() {
+            stats.elements_per_band.push((report.band_id, report.elements));
+            if report.restarts > 0 {
+                stats.restarts_per_band.push((report.band_id, report.restarts));
+                stats.restarts += u64::from(report.restarts);
+            }
+            if let Some(f) = report.faults {
+                stats.faults_per_band.push((report.band_id, f));
+            }
         }
     }
+    for subs in band_sub_arcs {
+        let guard = subs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        stats.shed_elements += guard.iter().map(|s| s.shed).sum::<u64>();
+    }
+    stats.watchdog_cancellations = cancellations;
     stats.elements_per_band.sort_unstable();
+    stats.restarts_per_band.sort_unstable();
+    stats.faults_per_band.sort_unstable_by_key(|(id, _)| *id);
     Ok((results, stats))
+}
+
+/// True when a deadline exists and has passed.
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Sleeps `total` in watchdog-sized slices; returns `false` when the
+/// deadline passed or the query was cancelled mid-stall.
+fn stall_sliced(total: Duration, deadline: Option<Instant>, cancelled: &AtomicBool) -> bool {
+    let until = Instant::now() + total;
+    while Instant::now() < until {
+        if expired(deadline) || cancelled.load(Ordering::SeqCst) {
+            return false;
+        }
+        std::thread::sleep(POLL.min(until.saturating_duration_since(Instant::now())));
+    }
+    true
+}
+
+/// One ingest attempt: drains the stream into every live subscriber,
+/// skipping sectors before `start_sector` (restart resume).
+#[allow(clippy::too_many_arguments)]
+fn pump(
+    mut stream: BoxedF32Stream,
+    subs: &Mutex<Vec<SubSlot>>,
+    progress: &PumpProgress,
+    start_sector: u64,
+    fanout: FanoutPolicy,
+    marker_patience: Duration,
+    shed_counter: Option<Counter>,
+    points_counter: Option<Counter>,
+) {
+    let mut skipping = start_sector > 0;
+    while let Some(el) = stream.next_element() {
+        if skipping {
+            match &el {
+                Element::SectorStart(si) if si.sector_id >= start_sector => skipping = false,
+                _ => continue,
+            }
+        }
+        if let Element::SectorStart(si) = &el {
+            progress.last_sector.store(si.sector_id + 1, Ordering::Relaxed);
+        }
+        progress.elements.fetch_add(1, Ordering::Relaxed);
+        if el.is_point() {
+            if let Some(c) = &points_counter {
+                c.inc();
+            }
+        }
+        let is_marker = !el.is_point();
+        let mut guard = subs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for slot in guard.iter_mut() {
+            fanout_one(slot, &el, is_marker, fanout, marker_patience, &shed_counter);
+        }
+    }
+}
+
+/// Delivers one element to one subscriber under the fan-out policy.
+fn fanout_one(
+    slot: &mut SubSlot,
+    el: &Element<f32>,
+    is_marker: bool,
+    fanout: FanoutPolicy,
+    marker_patience: Duration,
+    shed_counter: &Option<Counter>,
+) {
+    let Some(tx) = &slot.tx else { return };
+    match fanout {
+        FanoutPolicy::Blocking => {
+            // A closed receiver (query finished/failed) is fine.
+            if tx.send(el.clone()).is_err() {
+                slot.tx = None;
+            }
+        }
+        FanoutPolicy::Shed => loop {
+            match tx.try_send(el.clone()) {
+                Ok(()) => {
+                    slot.full_since = None;
+                    return;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    slot.tx = None;
+                    return;
+                }
+                Err(TrySendError::Full(_)) => {
+                    let since = *slot.full_since.get_or_insert_with(Instant::now);
+                    if !is_marker {
+                        // Points are expendable: shed immediately
+                        // rather than stall the band.
+                        slot.shed += 1;
+                        if let Some(c) = shed_counter {
+                            c.inc();
+                        }
+                        return;
+                    }
+                    if since.elapsed() >= marker_patience {
+                        // A subscriber that cannot even accept framing
+                        // markers is wedged: unsubscribe it.
+                        slot.tx = None;
+                        slot.shed += 1;
+                        if let Some(c) = shed_counter {
+                            c.inc();
+                        }
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        },
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +649,10 @@ mod tests {
         let b4 = stats.elements_per_band.iter().find(|(id, _)| *id == 4).unwrap();
         assert!(b4.1 > 0);
         assert_eq!(stats.elements_per_band.len(), 2, "only referenced bands ingest");
+        // Clean feed: no recovery actions.
+        assert_eq!(stats.restarts, 0);
+        assert_eq!(stats.shed_elements, 0);
+        assert_eq!(stats.watchdog_cancellations, 0);
     }
 
     #[test]
@@ -224,5 +671,144 @@ mod tests {
         let scanner = goes_like(8, 4, 1);
         let err = run_continuous(&scanner, 1, &[req("nosuch.band", OutputFormat::Stats)]);
         assert!(matches!(err, Err(CoreError::UnknownSource(_))));
+    }
+
+    #[test]
+    fn query_ids_follow_request_order() {
+        let scanner = goes_like(16, 8, 1);
+        let requests = vec![
+            req("goes-sim.b4-ir", OutputFormat::Stats),
+            req("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats),
+            req("goes-sim.b5-ir", OutputFormat::Stats),
+        ];
+        let (results, _) = run_continuous(&scanner, 1, &requests).unwrap();
+        let ids: Vec<u32> = results.iter().map(|r| r.as_ref().unwrap().id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn injected_death_triggers_supervised_restart() {
+        let scanner = goes_like(32, 16, 1);
+        let metrics = Arc::new(ServerMetrics::new());
+        let config = RuntimeConfig {
+            // Kill the feed partway through sector 1 of 3.
+            fault_plan: Some(FaultPlan::seeded(7).with_death_after(60)),
+            backoff_base: Duration::from_millis(1),
+            metrics: Some(Arc::clone(&metrics)),
+            ..RuntimeConfig::default()
+        };
+        let (results, stats) =
+            run_supervised(&scanner, 3, &[req("goes-sim.b4-ir", OutputFormat::Stats)], &config)
+                .unwrap();
+        let r = results[0].as_ref().unwrap();
+        assert!(r.report.is_some());
+        assert_eq!(stats.restarts, 1, "{stats:?}");
+        assert_eq!(metrics.ingest_restarts.get(), 1);
+        assert!(stats.faults_per_band.iter().any(|(_, f)| f.died));
+        // The feed resumed: later sectors were delivered after the
+        // crash (the query still saw data past the cut).
+        assert!(r.report.as_ref().unwrap().points_delivered > 0);
+    }
+
+    #[test]
+    fn watchdog_cancels_hung_query_without_stalling_sibling() {
+        let scanner = goes_like(32, 16, 5);
+        let metrics = Arc::new(ServerMetrics::new());
+        let config = RuntimeConfig {
+            watchdog: Some(Duration::from_millis(300)),
+            // Query 1 "processes" each element for 10s: hopelessly
+            // wedged, must be cancelled, not waited for.
+            query_stall: vec![(1, Duration::from_secs(10))],
+            marker_patience: Duration::from_millis(50),
+            metrics: Some(Arc::clone(&metrics)),
+            ..RuntimeConfig::default()
+        };
+        let requests = vec![
+            req("goes-sim.b4-ir", OutputFormat::Stats),
+            req("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats),
+        ];
+        let started = Instant::now();
+        let (results, stats) = run_supervised(&scanner, 2, &requests, &config).unwrap();
+        // The healthy sibling on the same band is complete and correct.
+        let r0 = results[0].as_ref().unwrap();
+        assert!(!r0.cancelled);
+        assert_eq!(r0.report.as_ref().unwrap().points_delivered, 2 * 8 * 4);
+        // The wedged query was cancelled, and nobody waited 10s.
+        let r1 = results[1].as_ref().unwrap();
+        assert!(r1.cancelled);
+        assert_eq!(stats.watchdog_cancellations, 1);
+        assert_eq!(metrics.watchdog_cancellations.get(), 1);
+        assert!(started.elapsed() < Duration::from_secs(8), "watchdog failed to cut through");
+    }
+
+    #[test]
+    fn chaotic_feed_yields_partial_frames_with_completeness() {
+        let scanner = goes_like(32, 16, 5);
+        let metrics = Arc::new(ServerMetrics::new());
+        let config = RuntimeConfig {
+            fault_plan: Some(
+                FaultPlan::seeded(42)
+                    .with_dropped_rows(0.1)
+                    .with_dropped_points(0.05)
+                    .with_dropped_end_markers(0.1)
+                    .with_duplicates(0.05),
+            ),
+            metrics: Some(Arc::clone(&metrics)),
+            ..RuntimeConfig::default()
+        };
+        let (results, _) =
+            run_supervised(&scanner, 4, &[req("goes-sim.b4-ir", OutputFormat::Stats)], &config)
+                .unwrap();
+        let r = results[0].as_ref().unwrap();
+        let repair = &r.repair[0];
+        assert!(repair.stats.completeness() < 1.0);
+        assert!(repair.stats.completeness() > 0.5);
+        assert!(!repair.sectors.is_empty());
+        for s in &repair.sectors {
+            assert!(s.ratio() <= 1.0);
+        }
+        assert!(metrics.gaps_detected.get() > 0);
+    }
+
+    #[test]
+    fn same_seed_runs_are_identical() {
+        let run = || {
+            let scanner = goes_like(32, 16, 5);
+            let config = RuntimeConfig {
+                fault_plan: Some(
+                    FaultPlan::seeded(9)
+                        .with_dropped_rows(0.1)
+                        .with_dropped_points(0.05)
+                        .with_duplicates(0.05)
+                        .with_reordering(0.05),
+                ),
+                // Big enough that timing can never shed.
+                channel_cap: 1 << 16,
+                ..RuntimeConfig::default()
+            };
+            let requests = vec![
+                req("goes-sim.b4-ir", OutputFormat::Stats),
+                req("goes-sim.b1-vis", OutputFormat::PngGray),
+            ];
+            run_supervised(&scanner, 3, &requests, &config).unwrap()
+        };
+        let (a, _) = run();
+        let (b, _) = run();
+        let a0 = a[0].as_ref().unwrap();
+        let b0 = b[0].as_ref().unwrap();
+        assert_eq!(
+            a0.report.as_ref().unwrap().points_delivered,
+            b0.report.as_ref().unwrap().points_delivered
+        );
+        let a1 = a[1].as_ref().unwrap();
+        let b1 = b[1].as_ref().unwrap();
+        assert_eq!(a1.frames.len(), b1.frames.len());
+        for (fa, fb) in a1.frames.iter().zip(&b1.frames) {
+            assert_eq!(fa.png, fb.png, "frame bytes must be identical across runs");
+        }
+        assert_eq!(
+            a0.repair.first().map(|r| r.stats.clone()),
+            b0.repair.first().map(|r| r.stats.clone())
+        );
     }
 }

@@ -30,6 +30,22 @@ pub struct ServerMetrics {
     /// Executions whose observed peak buffering exceeded the static
     /// plan-analysis bound (a cost-model soundness alarm).
     pub plan_buffer_overruns: Counter,
+    /// Supervised restarts of dead/stalled ingest threads.
+    pub ingest_restarts: Counter,
+    /// Gap detections in ingested streams (incomplete frames, missing
+    /// rows/sectors).
+    pub gaps_detected: Counter,
+    /// Frames finalized partial (missing points) instead of blocking.
+    pub partial_frames: Counter,
+    /// Duplicate frames/points dropped at the repair stage.
+    pub duplicates_dropped: Counter,
+    /// Out-of-order element observations.
+    pub disorder_detected: Counter,
+    /// Elements shed by the non-blocking fan-out instead of
+    /// head-of-line blocking the band.
+    pub fanout_shed: Counter,
+    /// Queries cancelled by the per-query watchdog.
+    pub watchdog_cancellations: Counter,
     /// Per-query wall time, nanoseconds.
     pub query_wall_ns: HistogramHandle,
     /// Per-connection request latency, nanoseconds.
@@ -59,6 +75,31 @@ impl ServerMetrics {
                 "geostreams_plan_buffer_overrun_total",
                 "Query runs whose observed peak buffering exceeded the static bound.",
             ),
+            (
+                "geostreams_ingest_restarts_total",
+                "Supervised restarts of dead/stalled ingest threads.",
+            ),
+            (
+                "geostreams_gaps_detected_total",
+                "Gap detections in ingested streams (incomplete frames, missing rows/sectors).",
+            ),
+            (
+                "geostreams_partial_frames_total",
+                "Frames finalized partial (missing points) instead of blocking.",
+            ),
+            (
+                "geostreams_duplicates_dropped_total",
+                "Duplicate frames and points dropped at the repair stage.",
+            ),
+            ("geostreams_disorder_total", "Out-of-order element observations."),
+            (
+                "geostreams_fanout_shed_total",
+                "Elements shed by the non-blocking fan-out instead of blocking the band.",
+            ),
+            (
+                "geostreams_watchdog_cancellations_total",
+                "Queries cancelled by the per-query watchdog.",
+            ),
             ("geostreams_query_wall_ns", "Per-query wall time in nanoseconds."),
             ("geostreams_request_ns", "Per-connection request latency in nanoseconds."),
         ];
@@ -75,6 +116,14 @@ impl ServerMetrics {
             requests_errored: registry.counter("geostreams_requests_errored_total", &[]),
             plan_buffer_overruns: registry
                 .counter("geostreams_plan_buffer_overrun_total", &[]),
+            ingest_restarts: registry.counter("geostreams_ingest_restarts_total", &[]),
+            gaps_detected: registry.counter("geostreams_gaps_detected_total", &[]),
+            partial_frames: registry.counter("geostreams_partial_frames_total", &[]),
+            duplicates_dropped: registry.counter("geostreams_duplicates_dropped_total", &[]),
+            disorder_detected: registry.counter("geostreams_disorder_total", &[]),
+            fanout_shed: registry.counter("geostreams_fanout_shed_total", &[]),
+            watchdog_cancellations: registry
+                .counter("geostreams_watchdog_cancellations_total", &[]),
             query_wall_ns: registry.histogram("geostreams_query_wall_ns", &[]),
             request_ns: registry.histogram("geostreams_request_ns", &[]),
             trace: Arc::new(TraceLog::new(trace_capacity)),

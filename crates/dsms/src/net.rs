@@ -15,7 +15,16 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long a handler waits for request bytes before giving up on the
+/// connection. A client that connects and goes silent cannot pin a
+/// handler thread past this.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long a handler blocks writing response bytes to a client that
+/// stops reading (full TCP window) before the connection is dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A running TCP server.
 pub struct HttpServer {
@@ -125,7 +134,8 @@ impl Drop for HttpServer {
 /// Reads the request head (through the blank line) and writes the
 /// response.
 fn handle_connection(stream: TcpStream, server: &Dsms) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut head = String::new();
     loop {

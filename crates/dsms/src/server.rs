@@ -56,10 +56,23 @@ pub struct Explanation {
     pub budget_bytes: u64,
 }
 
+/// Stream-repair outcome of one source feeding a query (supervised
+/// runs; see [`crate::continuous`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct SourceRepair {
+    /// Source (band) name.
+    pub source: String,
+    /// Cumulative repair counters.
+    pub stats: geostreams_core::model::RepairStats,
+    /// Per-sector completeness records.
+    pub sectors: Vec<geostreams_core::model::SectorCompleteness>,
+}
+
 /// Result of running one continuous query to completion.
 #[derive(Debug)]
 pub struct QueryResult {
-    /// The query that ran.
+    /// The query that ran (request-order index under
+    /// [`crate::continuous::run_continuous`], server id otherwise).
     pub id: u32,
     /// Delivered PNG frames (empty for `Stats` format).
     pub frames: Vec<DeliveredFrame>,
@@ -67,6 +80,12 @@ pub struct QueryResult {
     pub report: Option<RunReport>,
     /// Points delivered by the pipeline root.
     pub points: u64,
+    /// Per-source repair/completeness outcome (empty when the run was
+    /// unsupervised or the sources needed no repair accounting).
+    pub repair: Vec<SourceRepair>,
+    /// The per-query watchdog cancelled this query before its sources
+    /// ended; delivered frames up to the deadline are still present.
+    pub cancelled: bool,
 }
 
 /// The prototype DSMS server of §4.
@@ -268,7 +287,14 @@ impl Dsms {
                 let report = geostreams_core::exec::run_observed(&mut pipeline, &obs, |_| {});
                 self.metrics.points_ingested.add(source_points(&report.per_op));
                 let points = report.points_delivered;
-                QueryResult { id: handle.id, frames: Vec::new(), report: Some(report), points }
+                QueryResult {
+                    id: handle.id,
+                    frames: Vec::new(),
+                    report: Some(report),
+                    points,
+                    repair: Vec::new(),
+                    cancelled: false,
+                }
             }
             format => {
                 let rendering = rendering_for(format, pipeline.schema().value_range);
@@ -284,7 +310,14 @@ impl Dsms {
                 self.metrics.points_ingested.add(source_points(&per_op));
                 let report = report_from_per_op(started.elapsed(), per_op);
                 let points = frames.len() as u64;
-                QueryResult { id: handle.id, frames, report: Some(report), points }
+                QueryResult {
+                    id: handle.id,
+                    frames,
+                    report: Some(report),
+                    points,
+                    repair: Vec::new(),
+                    cancelled: false,
+                }
             }
         };
         // Cross-check observed buffering against the static bound; an

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod airborne;
+pub mod faults;
 pub mod field;
 pub mod goes;
 pub mod instrument;
@@ -32,6 +33,7 @@ pub mod noise;
 pub mod scanner;
 pub mod trace;
 
+pub use faults::{ChaosStream, FaultPlan, FaultProbe, FaultStats};
 pub use field::{BandKind, EarthModel};
 pub use goes::goes_like;
 pub use modis::modis_like;

@@ -39,3 +39,7 @@ if [ "$lint_failed" -ne 0 ]; then
   exit 1
 fi
 echo "source lint OK"
+
+# Seeded chaos suite: acceptance tests plus a run-twice-and-diff
+# determinism check over the fault-injected runtime.
+scripts/chaos.sh
