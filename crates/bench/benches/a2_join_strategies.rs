@@ -45,13 +45,9 @@ fn bench_join_strategies(c: &mut Criterion) {
 
     // Identical outputs across strategies.
     let run = |strategy| {
-        let mut op = Compose::new(
-            replay(&schema, &a),
-            replay(&schema, &b_els),
-            GammaOp::Mul,
-            strategy,
-        )
-        .expect("compose");
+        let mut op =
+            Compose::new(replay(&schema, &a), replay(&schema, &b_els), GammaOp::Mul, strategy)
+                .expect("compose");
         let mut pts = op.drain_points();
         pts.sort_by_key(|p| (p.cell.row, p.cell.col));
         pts.iter().map(|p| p.value).collect::<Vec<f32>>()

@@ -41,8 +41,7 @@ fn bench_restrictions(c: &mut Criterion) {
             &(),
             |b, ()| {
                 b.iter(|| {
-                    let op =
-                        SpatialRestrict::new(replay(&schema, &elements), region.clone());
+                    let op = SpatialRestrict::new(replay(&schema, &elements), region.clone());
                     black_box(drain(op))
                 })
             },

@@ -38,22 +38,16 @@ fn bench_composition(c: &mut Criterion) {
     group.throughput(Throughput::Elements(image * 2));
     group.bench_function("row_by_row_transport", |b| {
         b.iter(|| {
-            let (s0, s1) = split2(
-                row_transport.clone().into_iter(),
-                schema.renamed("a"),
-                schema.renamed("b"),
-            );
+            let (s0, s1) =
+                split2(row_transport.clone().into_iter(), schema.renamed("a"), schema.renamed("b"));
             let op = Compose::new(s0, s1, GammaOp::Add, JoinStrategy::Hash).expect("compose");
             black_box(drain(op))
         })
     });
     group.bench_function("image_by_image_transport", |b| {
         b.iter(|| {
-            let (s0, s1) = split2(
-                seq_transport.clone().into_iter(),
-                schema.renamed("a"),
-                schema.renamed("b"),
-            );
+            let (s0, s1) =
+                split2(seq_transport.clone().into_iter(), schema.renamed("a"), schema.renamed("b"));
             let op = Compose::new(s0, s1, GammaOp::Add, JoinStrategy::Hash).expect("compose");
             black_box(drain(op))
         })
@@ -61,13 +55,11 @@ fn bench_composition(c: &mut Criterion) {
     group.finish();
 
     // Shape assertions recorded in EXPERIMENTS.md.
-    let (s0, s1) =
-        split2(row_transport.into_iter(), schema.renamed("a"), schema.renamed("b"));
+    let (s0, s1) = split2(row_transport.into_iter(), schema.renamed("a"), schema.renamed("b"));
     let (n, peak_row) =
         drain(Compose::new(s0, s1, GammaOp::Add, JoinStrategy::Hash).expect("compose"));
     assert_eq!(n, image * 2);
-    let (s0, s1) =
-        split2(seq_transport.into_iter(), schema.renamed("a"), schema.renamed("b"));
+    let (s0, s1) = split2(seq_transport.into_iter(), schema.renamed("a"), schema.renamed("b"));
     let (n, peak_img) =
         drain(Compose::new(s0, s1, GammaOp::Add, JoinStrategy::Hash).expect("compose"));
     assert_eq!(n, image * 2);

@@ -29,8 +29,7 @@ fn bench_aggregates(c: &mut Criterion) {
     for window in [2usize, 8, 32] {
         group.bench_with_input(BenchmarkId::new("mean", window), &window, |b, &window| {
             b.iter(|| {
-                let op =
-                    TemporalAggregate::new(replay(&schema, &elements), AggFunc::Mean, window);
+                let op = TemporalAggregate::new(replay(&schema, &elements), AggFunc::Mean, window);
                 black_box(drain(op))
             })
         });

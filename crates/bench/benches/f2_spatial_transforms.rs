@@ -44,11 +44,8 @@ fn bench_spatial_transforms(c: &mut Criterion) {
     group.throughput(Throughput::Elements(192 * 96));
     group.bench_function("geos_to_latlon_streaming", |b| {
         b.iter(|| {
-            let op = Reproject::new(
-                scanner.band_stream(0, 1),
-                ReprojectConfig::new(Crs::LatLon),
-            )
-            .expect("reproject");
+            let op = Reproject::new(scanner.band_stream(0, 1), ReprojectConfig::new(Crs::LatLon))
+                .expect("reproject");
             black_box(drain(op))
         })
     });
@@ -64,11 +61,9 @@ fn bench_spatial_transforms(c: &mut Criterion) {
     });
     group.bench_function("geos_to_utm14", |b| {
         b.iter(|| {
-            let op = Reproject::new(
-                scanner.band_stream(0, 1),
-                ReprojectConfig::new(Crs::utm(14, true)),
-            )
-            .expect("reproject");
+            let op =
+                Reproject::new(scanner.band_stream(0, 1), ReprojectConfig::new(Crs::utm(14, true)))
+                    .expect("reproject");
             black_box(drain(op))
         })
     });

@@ -55,8 +55,8 @@ fn bench_dsms(c: &mut Criterion) {
     group.bench_function("http_round_trip", |b| {
         let server = Arc::new(Dsms::over_scanner(&scanner, 1));
         b.iter(|| {
-            let resp = server
-                .handle_http("GET /query?q=goes-sim.b4-ir&format=png&sectors=1 HTTP/1.1");
+            let resp =
+                server.handle_http("GET /query?q=goes-sim.b4-ir&format=png&sectors=1 HTTP/1.1");
             black_box(resp.len())
         })
     });

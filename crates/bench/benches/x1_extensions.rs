@@ -35,9 +35,7 @@ fn bench_extensions(c: &mut Criterion) {
         ("sobel", FocalFunc::Sobel, 3),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
-            b.iter(|| {
-                black_box(drain(FocalTransform::new(replay(&schema, &elements), func, k)))
-            })
+            b.iter(|| black_box(drain(FocalTransform::new(replay(&schema, &elements), func, k))))
         });
     }
     group.finish();
@@ -49,14 +47,10 @@ fn bench_extensions(c: &mut Criterion) {
         b.iter(|| black_box(drain(Orient::new(replay(&schema, &elements), Orientation::Rot90))))
     });
     group.bench_function("shed_rows_4", |b| {
-        b.iter(|| {
-            black_box(drain(Shed::new(replay(&schema, &elements), ShedPolicy::Rows, 4)))
-        })
+        b.iter(|| black_box(drain(Shed::new(replay(&schema, &elements), ShedPolicy::Rows, 4))))
     });
     group.bench_function("shed_points_4", |b| {
-        b.iter(|| {
-            black_box(drain(Shed::new(replay(&schema, &elements), ShedPolicy::Points, 4)))
-        })
+        b.iter(|| black_box(drain(Shed::new(replay(&schema, &elements), ShedPolicy::Points, 4))))
     });
     // Change detection: G - delay(G, 1) over 4 sectors.
     let (schema4, elements4) = ramp_elements(96, 96, 4);

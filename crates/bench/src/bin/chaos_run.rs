@@ -32,7 +32,13 @@ fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
 }
 
 /// Serializes one scenario's outcome with stable field order.
-fn digest(name: &str, results: &[geostreams_core::Result<QueryResult>], bands: &[(u16, u64)], faults: &[(u16, geostreams_satsim::FaultStats)], restarts: u64) -> String {
+fn digest(
+    name: &str,
+    results: &[geostreams_core::Result<QueryResult>],
+    bands: &[(u16, u64)],
+    faults: &[(u16, geostreams_satsim::FaultStats)],
+    restarts: u64,
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("{{\"scenario\":\"{name}\",\"restarts\":{restarts},\"bands\":["));
     for (i, (band, elements)) in bands.iter().enumerate() {
@@ -66,12 +72,9 @@ fn digest(name: &str, results: &[geostreams_core::Result<QueryResult>], bands: &
         match r {
             Err(e) => out.push_str(&format!("{{\"id\":{i},\"error\":\"{e}\"}}")),
             Ok(r) => {
-                let png_hash = r
-                    .frames
-                    .iter()
-                    .fold(0xcbf2_9ce4_8422_2325u64, |h, f| fnv1a(&f.png, h));
-                let points =
-                    r.report.as_ref().map_or(0, |rep| rep.points_delivered);
+                let png_hash =
+                    r.frames.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, f| fnv1a(&f.png, h));
+                let points = r.report.as_ref().map_or(0, |rep| rep.points_delivered);
                 out.push_str(&format!(
                     "{{\"id\":{},\"points\":{points},\"frames\":{},\"png_fnv\":\"{png_hash:016x}\",\"repair\":[",
                     r.id,
@@ -113,12 +116,7 @@ fn digest(name: &str, results: &[geostreams_core::Result<QueryResult>], bands: &
     out
 }
 
-fn run_scenario(
-    name: &str,
-    plan: FaultPlan,
-    requests: &[ClientRequest],
-    sectors: u64,
-) -> String {
+fn run_scenario(name: &str, plan: FaultPlan, requests: &[ClientRequest], sectors: u64) -> String {
     let scanner = goes_like(64, 32, 11);
     let config = RuntimeConfig {
         fault_plan: Some(plan),
@@ -129,8 +127,8 @@ fn run_scenario(
         backoff_base: Duration::from_millis(1),
         ..RuntimeConfig::default()
     };
-    let (results, stats) = run_supervised(&scanner, sectors, requests, &config)
-        .expect("chaos scenario must register");
+    let (results, stats) =
+        run_supervised(&scanner, sectors, requests, &config).expect("chaos scenario must register");
     digest(name, &results, &stats.elements_per_band, &stats.faults_per_band, stats.restarts)
 }
 

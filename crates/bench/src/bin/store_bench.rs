@@ -1,0 +1,103 @@
+//! Tiled raster archive benchmark (`BENCH_store.json`).
+//!
+//! Ingests a seeded GOES-like visible band into a fresh archive,
+//! replays it in full, and reports ingest/replay throughput (MB/s over
+//! raw pixel bytes) plus the achieved compression ratio. The ISSUE 4
+//! acceptance bar is a ratio >= 2x versus raw `f32` pixels.
+//!
+//! With `--digest` nothing timing-dependent is printed: one JSON line
+//! with element counts, stored/raw byte totals, the compression ratio
+//! in permille, and an FNV-1a hash over every replayed pixel value —
+//! so `scripts/store_gate.sh` can run this binary twice and `diff` the
+//! outputs to prove the whole persist/replay path is deterministic.
+
+use geostreams_core::model::{Element, GeoStream};
+use geostreams_satsim::goes_like;
+use geostreams_store::{Archive, ArchiveConfig};
+use std::time::Instant;
+
+const SECTORS: u64 = 6;
+
+fn fnv1a_u32(v: u32, mut hash: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn main() {
+    let digest = std::env::args().any(|a| a == "--digest");
+    let path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_store.json".to_string());
+
+    let dir = std::env::temp_dir().join(format!("gs-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Wide frames so the fixed per-tile record overhead is amortized,
+    // as on a real instrument row (512 px at full resolution).
+    let scanner = goes_like(512, 96, 7);
+    let mut cfg = ArchiveConfig::new(&dir);
+    cfg.tile_width = 256;
+    let archive = Archive::create(cfg).expect("create bench archive");
+
+    let mut stream = scanner.band_stream(0, SECTORS);
+    let band = stream.schema().band;
+    archive.bind_band(stream.schema()).expect("bind band");
+    let t0 = Instant::now();
+    while let Some(el) = stream.next_element() {
+        archive.ingest(band, &el).expect("ingest element");
+    }
+    archive.flush().expect("flush archive");
+    let ingest_s = t0.elapsed().as_secs_f64();
+
+    let stats = archive.stats();
+    let raw_mb = stats.raw_bytes as f64 / (1024.0 * 1024.0);
+    let stored_mb = stats.bytes_written as f64 / (1024.0 * 1024.0);
+    let ratio = stats.raw_bytes as f64 / stats.bytes_written.max(1) as f64;
+
+    let t1 = Instant::now();
+    let mut replay = archive.replay(band, None, None, None).expect("open replay");
+    let mut replay_points = 0u64;
+    let mut replay_frames = 0u64;
+    let mut value_fnv = 0xcbf2_9ce4_8422_2325u64;
+    while let Some(el) = replay.next_element() {
+        match el {
+            Element::Point(p) => {
+                replay_points += 1;
+                value_fnv = fnv1a_u32(p.value.to_bits(), value_fnv);
+            }
+            Element::FrameStart(_) => replay_frames += 1,
+            _ => {}
+        }
+    }
+    let replay_s = t1.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if digest {
+        println!(
+            "{{\"bench\":\"store\",\"sectors\":{SECTORS},\"frames\":{},\"tiles\":{},\"raw_bytes\":{},\"bytes_written\":{},\"compression_permille\":{},\"replay_frames\":{replay_frames},\"replay_points\":{replay_points},\"value_fnv\":\"{value_fnv:016x}\"}}",
+            stats.frames,
+            stats.tiles,
+            stats.raw_bytes,
+            stats.bytes_written,
+            stats.raw_bytes * 1000 / stats.bytes_written.max(1),
+        );
+        return;
+    }
+
+    let json = format!(
+        "{{\"sectors\":{SECTORS},\"frames\":{},\"tiles\":{},\"raw_mb\":{raw_mb:.3},\"stored_mb\":{stored_mb:.3},\"compression_ratio\":{ratio:.3},\"ingest_mb_s\":{:.1},\"replay_mb_s\":{:.1},\"ingest_s\":{ingest_s:.4},\"replay_s\":{replay_s:.4},\"replay_points\":{replay_points}}}",
+        stats.frames,
+        stats.tiles,
+        raw_mb / ingest_s.max(1e-9),
+        raw_mb / replay_s.max(1e-9),
+    );
+    std::fs::write(&path, json.as_bytes()).expect("write store report");
+    println!(
+        "wrote {path}: {raw_mb:.1} MB raw -> {stored_mb:.1} MB stored ({ratio:.2}x), ingest {:.0} MB/s, replay {:.0} MB/s",
+        raw_mb / ingest_s.max(1e-9),
+        raw_mb / replay_s.max(1e-9),
+    );
+}

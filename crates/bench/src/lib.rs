@@ -99,8 +99,7 @@ impl RegionGen {
     }
 
     fn next_f64(&mut self) -> f64 {
-        self.state =
-            self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         ((self.state >> 33) as f64) / (1u64 << 31) as f64
     }
 

@@ -29,6 +29,9 @@ pub enum CoreError {
     /// Static plan analysis refused the plan (unbounded buffering,
     /// over-budget worst-case memory, or error-level diagnostics).
     PlanRejected(String),
+    /// The tiled raster archive failed (I/O, corrupt segment record,
+    /// or an unreadable replay slice).
+    Storage(String),
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +46,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             CoreError::PlanRejected(msg) => write!(f, "plan rejected: {msg}"),
+            CoreError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }

@@ -201,8 +201,7 @@ mod tests {
     use std::sync::Arc;
 
     fn source() -> VecStream<f32> {
-        let lattice =
-            LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 10.0, 10.0), 10, 10);
+        let lattice = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 10.0, 10.0), 10, 10);
         VecStream::sectors("src", lattice, 2, |s, c, r| f64::from(c + r) + s as f64)
     }
 

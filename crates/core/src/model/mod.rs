@@ -19,11 +19,9 @@ mod timestamp;
 mod validate;
 
 pub use element::{Element, FrameEnd, FrameInfo, PointRecord, SectorEnd, SectorInfo};
-pub use repair::{
-    RepairCounters, RepairProbe, RepairStats, SectorCompleteness, StreamRepair,
-};
+pub use repair::{RepairCounters, RepairProbe, RepairStats, SectorCompleteness, StreamRepair};
 pub use schema::{Organization, StreamSchema};
 pub use split::{split2, tee2, SideStream, TeeStream};
 pub use stream::{drain_points_of, BoxedF32Stream, ChannelLike, GeoStream, VecStream};
-pub use validate::{Validator, Violation};
 pub use timestamp::{TimeSemantics, TimeSet, Timestamp};
+pub use validate::{Validator, Violation};

@@ -244,8 +244,7 @@ impl<S: GeoStream> StreamRepair<S> {
     }
 
     fn sync_probe(&self, sector: Option<SectorCompleteness>) {
-        let mut guard =
-            self.probe.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut guard = self.probe.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         guard.stats = self.stats.clone();
         if let Some(s) = sector {
             guard.sectors.push(s);
@@ -509,9 +508,7 @@ impl<S: GeoStream> GeoStream for StreamRepair<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{
-        Element, StreamSchema, Validator, VecStream,
-    };
+    use crate::model::{Element, StreamSchema, Validator, VecStream};
     use geostreams_geo::{Crs, LatticeGeoref, Rect};
 
     fn lattice() -> LatticeGeoref {
@@ -525,8 +522,7 @@ mod tests {
     }
 
     fn repair(els: Vec<Element<f32>>) -> (Vec<Element<f32>>, RepairStats, Vec<SectorCompleteness>) {
-        let mut r =
-            StreamRepair::new(VecStream::new(StreamSchema::new("x", Crs::LatLon), els));
+        let mut r = StreamRepair::new(VecStream::new(StreamSchema::new("x", Crs::LatLon), els));
         let out = r.drain_elements();
         let probe = r.probe();
         (out, probe.stats(), probe.sectors())
@@ -534,10 +530,8 @@ mod tests {
 
     /// The repaired stream must always be protocol-valid.
     fn assert_valid(els: &[Element<f32>]) {
-        let mut v = Validator::new(VecStream::new(
-            StreamSchema::new("x", Crs::LatLon),
-            els.to_vec(),
-        ));
+        let mut v =
+            Validator::new(VecStream::new(StreamSchema::new("x", Crs::LatLon), els.to_vec()));
         while v.next_element().is_some() {}
         let _ = v.next_element();
         assert!(v.is_clean(), "repaired stream invalid: {:?}", v.violations);
@@ -723,11 +717,8 @@ mod tests {
         let idx = els.iter().position(Element::is_point).unwrap();
         let p = els[idx].clone();
         els.insert(idx, p);
-        let mut r = StreamRepair::new(VecStream::new(
-            StreamSchema::new("x", Crs::LatLon),
-            els,
-        ))
-        .with_counters(counters.clone());
+        let mut r = StreamRepair::new(VecStream::new(StreamSchema::new("x", Crs::LatLon), els))
+            .with_counters(counters.clone());
         let _ = r.drain_elements();
         assert_eq!(counters.duplicates.get(), 1);
         assert_eq!(counters.gaps.get(), 0);

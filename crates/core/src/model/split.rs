@@ -79,7 +79,9 @@ impl<V: Pixel> GeoStream for SideStream<V> {
     }
 
     fn op_stats(&self) -> OpStats {
-        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats[self.side as usize].clone()
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats
+            [self.side as usize]
+            .clone()
     }
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
@@ -157,19 +159,22 @@ impl<S: GeoStream> GeoStream for TeeStream<S> {
     }
 
     fn op_stats(&self) -> OpStats {
-        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats[self.side as usize].clone()
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).stats
+            [self.side as usize]
+            .clone()
     }
 
     fn collect_stats(&self, out: &mut Vec<OpReport>) {
         // Report the upstream pipeline once (from side 0) plus this side's
         // tee queue.
         if self.side == 0 {
-            self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).input.collect_stats(out);
+            self.state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .input
+                .collect_stats(out);
         }
-        out.push(OpReport::new(
-            format!("{}[tee{}]", self.schema.name, self.side),
-            self.op_stats(),
-        ));
+        out.push(OpReport::new(format!("{}[tee{}]", self.schema.name, self.side), self.op_stats()));
     }
 }
 
@@ -208,11 +213,8 @@ mod tests {
     fn round_robin_interleaving_needs_no_queueing() {
         let a = elements(8);
         let b = elements(8);
-        let transport: Vec<(u8, Element<f32>)> = a
-            .into_iter()
-            .zip(b)
-            .flat_map(|(x, y)| [(0u8, x), (1u8, y)])
-            .collect();
+        let transport: Vec<(u8, Element<f32>)> =
+            a.into_iter().zip(b).flat_map(|(x, y)| [(0u8, x), (1u8, y)]).collect();
         let (mut s0, mut s1) = split2(
             transport.into_iter(),
             StreamSchema::new("band0", Crs::LatLon),
@@ -236,11 +238,8 @@ mod tests {
         let b = elements(16);
         let n_points = 16;
         // All of band 0, then all of band 1 (image-by-image downlink).
-        let transport: Vec<(u8, Element<f32>)> = a
-            .into_iter()
-            .map(|e| (0u8, e))
-            .chain(b.into_iter().map(|e| (1u8, e)))
-            .collect();
+        let transport: Vec<(u8, Element<f32>)> =
+            a.into_iter().map(|e| (0u8, e)).chain(b.into_iter().map(|e| (1u8, e))).collect();
         let (mut s0, mut s1) = split2(
             transport.into_iter(),
             StreamSchema::new("band0", Crs::LatLon),
@@ -260,9 +259,8 @@ mod tests {
     #[test]
     fn tee_duplicates_every_element() {
         let lattice = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 4.0, 4.0), 4, 2);
-        let src: VecStream<f32> = VecStream::single_sector("x", lattice, 0, |c, r| {
-            f64::from(c + 10 * r)
-        });
+        let src: VecStream<f32> =
+            VecStream::single_sector("x", lattice, 0, |c, r| f64::from(c + 10 * r));
         let (mut a, mut b) = tee2(src);
         let ea = a.drain_elements();
         let eb = b.drain_elements();

@@ -174,14 +174,9 @@ impl<V: Pixel> VecStream<V> {
         let mut elements = Vec::new();
         let mut frame_id = 0;
         for s in 0..n_sectors {
-            push_sector(
-                &mut elements,
-                lattice,
-                s,
-                Organization::RowByRow,
-                frame_id,
-                &|c, r| f(s, c, r),
-            );
+            push_sector(&mut elements, lattice, s, Organization::RowByRow, frame_id, &|c, r| {
+                f(s, c, r)
+            });
             frame_id += u64::from(lattice.height);
         }
         VecStream::new(schema, elements)
@@ -293,9 +288,8 @@ mod tests {
 
     #[test]
     fn single_sector_protocol_shape() {
-        let mut s: VecStream<f32> = VecStream::single_sector("t", lattice(3, 2), 9, |c, r| {
-            f64::from(c + 10 * r)
-        });
+        let mut s: VecStream<f32> =
+            VecStream::single_sector("t", lattice(3, 2), 9, |c, r| f64::from(c + 10 * r));
         let els = s.drain_elements();
         // 1 SectorStart + 2*(FrameStart + 3 points + FrameEnd) + 1 SectorEnd.
         assert_eq!(els.len(), 1 + 2 * 5 + 1);
@@ -349,11 +343,9 @@ mod tests {
 
     #[test]
     fn channel_like_pulls_until_none() {
-        let mut vals = vec![
-            Element::point(Cell::new(0, 0), 1.0f32),
-            Element::point(Cell::new(1, 0), 2.0f32),
-        ]
-        .into_iter();
+        let mut vals =
+            vec![Element::point(Cell::new(0, 0), 1.0f32), Element::point(Cell::new(1, 0), 2.0f32)]
+                .into_iter();
         let mut s = ChannelLike::new(StreamSchema::new("ch", Crs::LatLon), move || vals.next());
         assert!(s.next_element().is_some());
         assert!(s.next_element().is_some());

@@ -119,8 +119,7 @@ impl<S: GeoStream> GeoStream for Validator<S> {
                 match &self.sector {
                     None => self.record(Violation::FrameOutsideSector),
                     Some((_, _, sector_ts)) => {
-                        if self.schema().time_semantics
-                            == crate::model::TimeSemantics::SectorId
+                        if self.schema().time_semantics == crate::model::TimeSemantics::SectorId
                             && fi.timestamp.value() != *sector_ts
                         {
                             self.record(Violation::TimestampMismatch);
@@ -182,9 +181,7 @@ impl<S: GeoStream> GeoStream for Validator<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{
-        Element, FrameEnd, SectorEnd, StreamSchema, Timestamp, VecStream,
-    };
+    use crate::model::{Element, FrameEnd, SectorEnd, StreamSchema, Timestamp, VecStream};
     use geostreams_geo::{Cell, Crs, LatticeGeoref, Rect};
 
     fn lattice() -> LatticeGeoref {
@@ -241,10 +238,7 @@ mod tests {
     fn detects_out_of_box_point() {
         let mut els = clean_elements();
         // Inject a point with a cell outside the lattice into a frame.
-        let idx = els
-            .iter()
-            .position(|e| matches!(e, Element::FrameStart(_)))
-            .unwrap();
+        let idx = els.iter().position(|e| matches!(e, Element::FrameStart(_))).unwrap();
         els.insert(idx + 1, Element::point(Cell::new(99, 99), 1.0f32));
         let vs = validate(els);
         assert!(vs.contains(&Violation::PointOutsideFrameBox));
@@ -258,11 +252,7 @@ mod tests {
             Element::SectorEnd(SectorEnd { sector_id: 0 }),
         ];
         let vs = validate(els);
-        assert_eq!(
-            vs.iter().filter(|v| **v == Violation::UnmatchedEnd).count(),
-            2,
-            "{vs:?}"
-        );
+        assert_eq!(vs.iter().filter(|v| **v == Violation::UnmatchedEnd).count(), 2, "{vs:?}");
     }
 
     #[test]
@@ -299,10 +289,8 @@ mod tests {
     #[test]
     fn validator_is_transparent() {
         let base = clean_elements();
-        let mut v = Validator::new(VecStream::new(
-            StreamSchema::new("x", Crs::LatLon),
-            base.clone(),
-        ));
+        let mut v =
+            Validator::new(VecStream::new(StreamSchema::new("x", Crs::LatLon), base.clone()));
         let mut passed = Vec::new();
         while let Some(el) = v.next_element() {
             passed.push(el);

@@ -110,11 +110,7 @@ impl Histogram {
         for (out, b) in buckets.iter_mut().zip(&self.buckets) {
             *out = b.load(Ordering::Relaxed);
         }
-        HistogramSnapshot {
-            buckets: buckets.to_vec(),
-            count: self.count(),
-            sum: self.sum(),
-        }
+        HistogramSnapshot { buckets: buckets.to_vec(), count: self.count(), sum: self.sum() }
     }
 }
 

@@ -30,11 +30,8 @@ impl MetricKey {
     }
 
     fn render_labels(&self, extra: Option<(&str, &str)>) -> String {
-        let mut pairs: Vec<String> = self
-            .labels
-            .iter()
-            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
-            .collect();
+        let mut pairs: Vec<String> =
+            self.labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
         if let Some((k, v)) = extra {
             pairs.push(format!("{k}=\"{}\"", escape_label(v)));
         }
@@ -188,16 +185,15 @@ impl Registry {
         let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut out = String::new();
         let mut last_name = String::new();
-        let emit_head =
-            |out: &mut String, name: &str, kind: &str, last: &mut String| {
-                if *last != name {
-                    if let Some(help) = inner.help.get(name) {
-                        let _ = writeln!(out, "# HELP {name} {help}");
-                    }
-                    let _ = writeln!(out, "# TYPE {name} {kind}");
-                    *last = name.to_string();
+        let emit_head = |out: &mut String, name: &str, kind: &str, last: &mut String| {
+            if *last != name {
+                if let Some(help) = inner.help.get(name) {
+                    let _ = writeln!(out, "# HELP {name} {help}");
                 }
-            };
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                *last = name.to_string();
+            }
+        };
         for (key, v) in &inner.counters {
             emit_head(&mut out, &key.name, "counter", &mut last_name);
             let _ = writeln!(
@@ -221,8 +217,7 @@ impl Registry {
         for (key, h) in &inner.histograms {
             emit_head(&mut out, &key.name, "histogram", &mut last_name);
             let snap = h.snapshot();
-            let last_nonempty =
-                snap.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+            let last_nonempty = snap.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
             let mut cumulative = 0u64;
             for (i, &n) in snap.buckets.iter().enumerate() {
                 cumulative += n;
@@ -245,8 +240,7 @@ impl Registry {
                 snap.count
             );
             let _ = writeln!(out, "{}_sum{} {}", key.name, key.render_labels(None), snap.sum);
-            let _ =
-                writeln!(out, "{}_count{} {}", key.name, key.render_labels(None), snap.count);
+            let _ = writeln!(out, "{}_count{} {}", key.name, key.render_labels(None), snap.count);
         }
         out
     }

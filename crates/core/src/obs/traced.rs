@@ -175,8 +175,7 @@ mod tests {
     use geostreams_geo::{Crs, LatticeGeoref, Rect, Region};
 
     fn source() -> VecStream<f32> {
-        let lattice =
-            LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8);
+        let lattice = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8);
         VecStream::single_sector("src", lattice, 0, |c, r| f64::from(c + r))
     }
 

@@ -111,10 +111,7 @@ impl<S: GeoStream> TemporalAggregate<S> {
         let Some(lattice) = self.lattice else { return };
         let w = lattice.width as usize;
         let h = lattice.height as usize;
-        self.queue.push_back(Element::SectorStart(SectorInfo {
-            lattice,
-            ..si_template.clone()
-        }));
+        self.queue.push_back(Element::SectorStart(SectorInfo { lattice, ..si_template.clone() }));
         let frame_id = self.next_frame_id;
         self.next_frame_id += 1;
         self.stats.frames_out += 1;
@@ -143,8 +140,7 @@ impl<S: GeoStream> TemporalAggregate<S> {
         }
         self.queue
             .push_back(Element::FrameEnd(FrameEnd { frame_id, sector_id: si_template.sector_id }));
-        self.queue
-            .push_back(Element::SectorEnd(SectorEnd { sector_id: si_template.sector_id }));
+        self.queue.push_back(Element::SectorEnd(SectorEnd { sector_id: si_template.sector_id }));
     }
 }
 
@@ -166,8 +162,7 @@ impl<S: GeoStream> GeoStream for TemporalAggregate<S> {
                     // Lattice changes reset the window (different geometry
                     // cannot aggregate cell-wise).
                     if self.lattice != Some(si.lattice) {
-                        let freed: u64 =
-                            self.history.iter().map(|i| i.values.len() as u64).sum();
+                        let freed: u64 = self.history.iter().map(|i| i.values.len() as u64).sum();
                         self.stats.buffer_shrink(freed, freed * 8);
                         self.history.clear();
                         self.lattice = Some(si.lattice);
@@ -186,8 +181,8 @@ impl<S: GeoStream> GeoStream for TemporalAggregate<S> {
                     self.stats.points_in += 1;
                     if let (Some(cur), Some(lat)) = (&mut self.current, &self.lattice) {
                         if p.cell.col < lat.width && p.cell.row < lat.height {
-                            let idx = (p.cell.row as usize) * (lat.width as usize)
-                                + p.cell.col as usize;
+                            let idx =
+                                (p.cell.row as usize) * (lat.width as usize) + p.cell.col as usize;
                             cur.values[idx] = p.value.to_f64();
                             cur.present[idx] = true;
                         }

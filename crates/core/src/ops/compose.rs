@@ -16,9 +16,7 @@
 //!    image-by-image transmission and one *row* for row-by-row.
 
 use crate::error::{CoreError, Result};
-use crate::model::{
-    Element, FrameEnd, FrameInfo, GeoStream, SectorEnd, StreamSchema, Timestamp,
-};
+use crate::model::{Element, FrameEnd, FrameInfo, GeoStream, SectorEnd, StreamSchema, Timestamp};
 use crate::stats::{OpReport, OpStats};
 use geostreams_geo::{Cell, CellBox};
 use geostreams_raster::Pixel;
@@ -173,8 +171,7 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> Compose<L, R> {
                 ls.crs, rs.crs
             )));
         }
-        let mut schema =
-            ls.renamed(format!("compose[{} {} {}]", ls.name, op.symbol(), rs.name));
+        let mut schema = ls.renamed(format!("compose[{} {} {}]", ls.name, op.symbol(), rs.name));
         // The composed range is heuristic; macro operators refine it.
         let (llo, lhi) = ls.value_range;
         let (rlo, rhi) = rs.value_range;
@@ -444,10 +441,8 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> GeoStream for Compose<L, R> {
                         loop {
                             match self.left.next_element() {
                                 Some(el) => {
-                                    let end = matches!(
-                                        el,
-                                        Element::FrameEnd(_) | Element::SectorEnd(_)
-                                    );
+                                    let end =
+                                        matches!(el, Element::FrameEnd(_) | Element::SectorEnd(_));
                                     self.left_pos.elements += 1;
                                     if matches!(el, Element::SectorEnd(_)) {
                                         self.left_pos.sectors += 1;
@@ -469,10 +464,8 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> GeoStream for Compose<L, R> {
                         loop {
                             match self.right.next_element() {
                                 Some(el) => {
-                                    let end = matches!(
-                                        el,
-                                        Element::FrameEnd(_) | Element::SectorEnd(_)
-                                    );
+                                    let end =
+                                        matches!(el, Element::FrameEnd(_) | Element::SectorEnd(_));
                                     self.right_pos.elements += 1;
                                     if matches!(el, Element::SectorEnd(_)) {
                                         self.right_pos.sectors += 1;
@@ -546,7 +539,8 @@ mod tests {
 
     #[test]
     fn gamma_symbols_round_trip() {
-        for op in [GammaOp::Add, GammaOp::Sub, GammaOp::Mul, GammaOp::Div, GammaOp::Sup, GammaOp::Inf]
+        for op in
+            [GammaOp::Add, GammaOp::Sub, GammaOp::Mul, GammaOp::Div, GammaOp::Sup, GammaOp::Inf]
         {
             assert_eq!(GammaOp::from_symbol(op.symbol()), Some(op));
         }
@@ -570,12 +564,8 @@ mod tests {
     #[test]
     fn compose_rejects_crs_mismatch() {
         let a = band("a", 2, 2, |_, _| 0.0);
-        let lat2 = LatticeGeoref::north_up(
-            Crs::utm(10, true),
-            Rect::new(0.0, 0.0, 100.0, 100.0),
-            2,
-            2,
-        );
+        let lat2 =
+            LatticeGeoref::north_up(Crs::utm(10, true), Rect::new(0.0, 0.0, 100.0, 100.0), 2, 2);
         let b: VecStream<f32> = VecStream::single_sector("b", lat2, 0, |_, _| 0.0);
         assert!(Compose::new(a, b, GammaOp::Add, JoinStrategy::Hash).is_err());
     }
@@ -607,11 +597,8 @@ mod tests {
         let a = elements_of(band("a", 8, 8, |c, _| f64::from(c)));
         let b = elements_of(band("b", 8, 8, |_, r| f64::from(r)));
         // Whole image of band a, then whole image of band b.
-        let transport: Vec<(u8, Element<f32>)> = a
-            .into_iter()
-            .map(|e| (0u8, e))
-            .chain(b.into_iter().map(|e| (1u8, e)))
-            .collect();
+        let transport: Vec<(u8, Element<f32>)> =
+            a.into_iter().map(|e| (0u8, e)).chain(b.into_iter().map(|e| (1u8, e))).collect();
         let (s0, s1) = split2(
             transport.into_iter(),
             StreamSchema::new("a", Crs::LatLon),
@@ -673,9 +660,7 @@ mod tests {
     #[test]
     fn multi_sector_composition_flushes_between_sectors() {
         let mk = |name: &str| {
-            VecStream::<f32>::sectors(name, lattice(4, 4), 3, |s, c, r| {
-                f64::from(c + r) + s as f64
-            })
+            VecStream::<f32>::sectors(name, lattice(4, 4), 3, |s, c, r| f64::from(c + r) + s as f64)
         };
         let mut op = Compose::new(mk("a"), mk("b"), GammaOp::Sub, JoinStrategy::Hash).unwrap();
         let els = op.drain_elements();
@@ -694,10 +679,7 @@ mod tests {
 
     /// Helper: interleave two row-by-row element sequences row frame by
     /// row frame (band-interleaved-by-line transmission).
-    fn interleave_rows(
-        a: Vec<Element<f32>>,
-        b: Vec<Element<f32>>,
-    ) -> Vec<(u8, Element<f32>)> {
+    fn interleave_rows(a: Vec<Element<f32>>, b: Vec<Element<f32>>) -> Vec<(u8, Element<f32>)> {
         let frames = |els: Vec<Element<f32>>| {
             let mut out: Vec<Vec<Element<f32>>> = vec![Vec::new()];
             for el in els {

@@ -61,10 +61,8 @@ impl<S: GeoStream> Delay<S> {
         // The delayed image is re-georeferenced to its own (old) lattice
         // but stamped with the *current* timestamp/sector so it joins
         // against the live stream.
-        self.queue.push_back(Element::SectorStart(SectorInfo {
-            lattice: held.lattice,
-            ..si.clone()
-        }));
+        self.queue
+            .push_back(Element::SectorStart(SectorInfo { lattice: held.lattice, ..si.clone() }));
         let frame_id = self.next_frame_id;
         self.next_frame_id += 1;
         self.stats.frames_out += 1;
@@ -78,14 +76,11 @@ impl<S: GeoStream> Delay<S> {
         for (idx, v) in held.values.iter().enumerate() {
             if let Some(v) = v {
                 self.stats.points_out += 1;
-                self.queue.push_back(Element::point(
-                    Cell::new((idx % w) as u32, (idx / w) as u32),
-                    *v,
-                ));
+                self.queue
+                    .push_back(Element::point(Cell::new((idx % w) as u32, (idx / w) as u32), *v));
             }
         }
-        self.queue
-            .push_back(Element::FrameEnd(FrameEnd { frame_id, sector_id: si.sector_id }));
+        self.queue.push_back(Element::FrameEnd(FrameEnd { frame_id, sector_id: si.sector_id }));
         self.queue.push_back(Element::SectorEnd(SectorEnd { sector_id: si.sector_id }));
     }
 
@@ -180,9 +175,7 @@ mod tests {
 
     fn sectors(n: u64) -> VecStream<f32> {
         // Sector s: value = cell index + 10·s.
-        VecStream::sectors("src", lattice(), n, |s, c, r| {
-            f64::from(c + 4 * r) + 10.0 * s as f64
-        })
+        VecStream::sectors("src", lattice(), n, |s, c, r| f64::from(c + 4 * r) + 10.0 * s as f64)
     }
 
     #[test]
@@ -233,11 +226,7 @@ mod tests {
         for d in [1u32, 3] {
             let mut op = Delay::new(sectors(8), d);
             let _ = op.drain_points();
-            assert_eq!(
-                op.op_stats().buffered_points_peak,
-                u64::from(d + 1) * 16,
-                "delay {d}"
-            );
+            assert_eq!(op.op_stats().buffered_points_peak, u64::from(d + 1) * 16, "delay {d}");
         }
     }
 

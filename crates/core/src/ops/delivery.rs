@@ -290,10 +290,9 @@ mod tests {
 
     #[test]
     fn png_sink_gray_round_trip() {
-        let src: VecStream<f32> = VecStream::single_sector("src", lattice(), 0, |c, _| {
-            f64::from(c) / 7.0
-        })
-        .with_value_range(0.0, 1.0);
+        let src: VecStream<f32> =
+            VecStream::single_sector("src", lattice(), 0, |c, _| f64::from(c) / 7.0)
+                .with_value_range(0.0, 1.0);
         let mut sink = PngSink::new(src, None, PngOptions::default());
         let frame = sink.next_frame().unwrap();
         assert_eq!((frame.width, frame.height), (8, 8));
@@ -310,10 +309,8 @@ mod tests {
     #[test]
     fn rgb_composite_combines_three_bands() {
         let mk = |v: f64| -> VecStream<f32> {
-            VecStream::single_sector("band", lattice(), 0, move |c, _| {
-                v * f64::from(c) / 7.0
-            })
-            .with_value_range(0.0, 1.0)
+            VecStream::single_sector("band", lattice(), 0, move |c, _| v * f64::from(c) / 7.0)
+                .with_value_range(0.0, 1.0)
         };
         let mut comp = RgbComposite::new(mk(1.0), mk(0.5), mk(0.0), PngOptions::default());
         let frame = comp.next_frame().unwrap();
@@ -350,8 +347,7 @@ mod tests {
         let src: VecStream<f32> = VecStream::single_sector("ndvi", lattice(), 0, |c, _| {
             f64::from(c) / 7.0 * 2.0 - 1.0 // NDVI in [-1, 1]
         });
-        let rendering =
-            Rendering::Mapped { lo: -1.0, hi: 1.0, map: ColorMap::ndvi() };
+        let rendering = Rendering::Mapped { lo: -1.0, hi: 1.0, map: ColorMap::ndvi() };
         let mut sink = PngSink::new(src, Some(rendering), PngOptions::default());
         let frame = sink.next_frame().unwrap();
         match geostreams_raster::png::decode(&frame.png).unwrap() {

@@ -191,10 +191,10 @@ impl<S: GeoStream> FocalTransform<S> {
         match self.func {
             FocalFunc::Sobel => {
                 let g = |dc: i64, dr: i64| band.at(c + dc, r + dr);
-                let gx = (g(1, -1) + 2.0 * g(1, 0) + g(1, 1))
-                    - (g(-1, -1) + 2.0 * g(-1, 0) + g(-1, 1));
-                let gy = (g(-1, 1) + 2.0 * g(0, 1) + g(1, 1))
-                    - (g(-1, -1) + 2.0 * g(0, -1) + g(1, -1));
+                let gx =
+                    (g(1, -1) + 2.0 * g(1, 0) + g(1, 1)) - (g(-1, -1) + 2.0 * g(-1, 0) + g(-1, 1));
+                let gy =
+                    (g(-1, 1) + 2.0 * g(0, 1) + g(1, 1)) - (g(-1, -1) + 2.0 * g(0, -1) + g(1, -1));
                 gx.hypot(gy)
             }
             FocalFunc::Laplacian => {
@@ -213,8 +213,11 @@ impl<S: GeoStream> FocalTransform<S> {
             }
             FocalFunc::Min | FocalFunc::Max => {
                 let h = i64::from(self.half());
-                let mut best =
-                    if matches!(self.func, FocalFunc::Min) { f64::INFINITY } else { f64::NEG_INFINITY };
+                let mut best = if matches!(self.func, FocalFunc::Min) {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                };
                 for dr in -h..=h {
                     for dc in -h..=h {
                         let v = band.at(c + dc, r + dr);
@@ -248,9 +251,8 @@ impl<S: GeoStream> FocalTransform<S> {
         let h = self.half();
         while self.cursor < lattice.height {
             let needed_last = self.cursor + h;
-            let ready = force
-                || self.rows_complete > needed_last
-                || self.rows_complete >= lattice.height;
+            let ready =
+                force || self.rows_complete > needed_last || self.rows_complete >= lattice.height;
             if !ready {
                 break;
             }
@@ -328,8 +330,7 @@ impl<S: GeoStream> GeoStream for FocalTransform<S> {
                             match complete.checked_sub(band.first_row) {
                                 None => complete += 1, // already evicted
                                 Some(i) => {
-                                    if band.rows.get(i as usize).map(|r| r.is_some())
-                                        == Some(true)
+                                    if band.rows.get(i as usize).map(|r| r.is_some()) == Some(true)
                                     {
                                         complete += 1;
                                     } else {
@@ -424,13 +425,19 @@ mod tests {
 
     #[test]
     fn sobel_detects_a_vertical_edge() {
-        let src = VecStream::<f32>::single_sector("e", lattice(10, 6), 0, |c, _| {
-            if c < 5 {
-                0.0
-            } else {
-                1.0
-            }
-        });
+        let src =
+            VecStream::<f32>::single_sector(
+                "e",
+                lattice(10, 6),
+                0,
+                |c, _| {
+                    if c < 5 {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                },
+            );
         let mut op = FocalTransform::new(src, FocalFunc::Sobel, 3);
         let pts = op.drain_points();
         for p in &pts {

@@ -174,8 +174,7 @@ mod tests {
     use geostreams_geo::Crs;
 
     fn source(w: u32, h: u32) -> VecStream<f32> {
-        let lattice =
-            LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 4.0), w, h);
+        let lattice = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 4.0), w, h);
         VecStream::single_sector("src", lattice, 0, |c, r| f64::from(c + 100 * r))
     }
 
@@ -227,7 +226,8 @@ mod tests {
 
     #[test]
     fn involutions_are_identity() {
-        for o in [Orientation::Rot180, Orientation::FlipH, Orientation::FlipV, Orientation::Transpose]
+        for o in
+            [Orientation::Rot180, Orientation::FlipH, Orientation::FlipV, Orientation::Transpose]
         {
             let twice = Orient::new(Orient::new(source(5, 3), o), o);
             let g = grid_of(twice);

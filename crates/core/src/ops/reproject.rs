@@ -170,8 +170,7 @@ impl<S: GeoStream> Reproject<S> {
         let from_crs = input.schema().crs;
         let from_proj = from_crs.projection()?;
         let to_proj = config.to.projection()?;
-        let mut schema =
-            input.schema().renamed(format!("reproject[{}->{}]", from_crs, config.to));
+        let mut schema = input.schema().renamed(format!("reproject[{}->{}]", from_crs, config.to));
         schema.crs = config.to;
         schema.sector_lattice = None;
         Ok(Reproject {
@@ -244,8 +243,8 @@ impl<S: GeoStream> Reproject<S> {
             }
             plan.needed.push(if lo.is_finite() {
                 let lo_row = (lo.floor() as i64 - i64::from(support)).max(0) as u32;
-                let hi_row =
-                    ((hi.ceil() as i64 + i64::from(support)).max(0) as u32).min(in_h.saturating_sub(1));
+                let hi_row = ((hi.ceil() as i64 + i64::from(support)).max(0) as u32)
+                    .min(in_h.saturating_sub(1));
                 Some((lo_row.min(in_h.saturating_sub(1)), hi_row))
             } else {
                 None
@@ -373,8 +372,7 @@ impl<S: GeoStream> GeoStream for Reproject<S> {
                         // Blocking variant: every out row "needs" the
                         // whole sector.
                         let last = si.lattice.height.saturating_sub(1);
-                        plan.needed =
-                            vec![Some((0, last)); plan.out_lattice.height as usize];
+                        plan.needed = vec![Some((0, last)); plan.out_lattice.height as usize];
                         plan.min_needed_from = vec![0; plan.needed.len() + 1];
                         if let Some(slot) = plan.min_needed_from.last_mut() {
                             *slot = si.lattice.height;
@@ -418,8 +416,7 @@ impl<S: GeoStream> GeoStream for Reproject<S> {
                                         complete += 1; // already evicted
                                     }
                                     Some(i) => {
-                                        if w.rows.get(i as usize).map(|r| r.is_some())
-                                            == Some(true)
+                                        if w.rows.get(i as usize).map(|r| r.is_some()) == Some(true)
                                         {
                                             complete += 1;
                                         } else {
@@ -536,11 +533,9 @@ mod tests {
     fn streaming_buffer_smaller_than_blocking() {
         let lattice = latlon_lattice(48, 48);
         let streaming = {
-            let mut op = Reproject::new(
-                lon_field(lattice),
-                ReprojectConfig::new(Crs::utm(10, true)),
-            )
-            .unwrap();
+            let mut op =
+                Reproject::new(lon_field(lattice), ReprojectConfig::new(Crs::utm(10, true)))
+                    .unwrap();
             let _ = op.drain_points();
             op.op_stats()
         };
@@ -636,8 +631,7 @@ mod tests {
         let lattice =
             LatticeGeoref::north_up(Crs::LatLon, Rect::new(100.0, -5.0, 110.0, 5.0), 8, 8);
         let src = VecStream::<f32>::single_sector("src", lattice, 0, |_, _| 1.0);
-        let mut op =
-            Reproject::new(src, ReprojectConfig::new(Crs::geostationary(-75.0))).unwrap();
+        let mut op = Reproject::new(src, ReprojectConfig::new(Crs::geostationary(-75.0))).unwrap();
         let els = op.drain_elements();
         assert!(els.iter().all(|e| !e.is_point()), "no points should map");
     }

@@ -419,8 +419,7 @@ mod tests {
 
     #[test]
     fn temporal_interval_keeps_matching_sectors() {
-        let mut src: VecStream<f32> =
-            VecStream::sectors("src", lattice(), 5, |s, _, _| s as f64);
+        let mut src: VecStream<f32> = VecStream::sectors("src", lattice(), 5, |s, _, _| s as f64);
         let _ = &mut src;
         let op = TemporalRestrict::new(src, TimeSet::Interval { lo: Some(1), hi: Some(3) });
         let mut op = op;
@@ -488,10 +487,8 @@ mod tests {
     #[test]
     fn enumerated_point_region_snaps_single_cell() {
         // Cell (2, 7) center is at lon 2.5, lat 2.5.
-        let region = Region::Points {
-            coords: vec![geostreams_geo::Coord::new(2.5, 2.5)],
-            tolerance: 0.4,
-        };
+        let region =
+            Region::Points { coords: vec![geostreams_geo::Coord::new(2.5, 2.5)], tolerance: 0.4 };
         let mut op = SpatialRestrict::new(source(), region);
         let pts = op.drain_points();
         assert_eq!(pts.len(), 1);

@@ -138,8 +138,7 @@ mod tests {
     use geostreams_geo::{Crs, LatticeGeoref, Rect};
 
     fn source(w: u32, h: u32) -> VecStream<f32> {
-        let lattice =
-            LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 8.0), w, h);
+        let lattice = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 8.0), w, h);
         VecStream::single_sector("src", lattice, 0, |c, r| f64::from(c + 100 * r))
     }
 
@@ -200,8 +199,7 @@ mod tests {
         use crate::model::{Element, FrameEnd, FrameInfo, SectorInfo, StreamSchema};
         use crate::model::{Organization, Timestamp};
         use geostreams_geo::{Cell, CellBox};
-        let lattice =
-            LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 8.0), 64, 32);
+        let lattice = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 8.0), 64, 32);
         let mut els: Vec<Element<f32>> = vec![Element::SectorStart(SectorInfo {
             sector_id: 0,
             lattice,

@@ -32,6 +32,7 @@
 
 use super::ast::Expr;
 use super::plan::Catalog;
+use super::pushdown::{time_set_window, TimeWindow};
 use crate::model::{Organization, TimeSemantics, TimeSet};
 use crate::ops::{BlockingClass, StretchScope};
 use geostreams_geo::{map_region, Coord, Crs, LatticeGeoref, Region};
@@ -60,9 +61,7 @@ const DEFAULT_SECTOR_HEIGHT: u32 = 1000;
 const REPROJECT_SAFETY_ROWS: u32 = 2;
 
 /// Diagnostic severity; `Error` diagnostics make a plan inadmissible.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Severity {
     /// Informational note (e.g. a cost bound is model-based).
     Info,
@@ -108,6 +107,42 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
+/// Archive-index size estimate for serving a source's past temporal
+/// window: the evidence that classifies a replayed `G|T` plan as
+/// *bounded* (a finite set of archived frames with a known byte size,
+/// unlike a live feed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReplayEstimate {
+    /// Archived frames inside the window.
+    pub frames: u64,
+    /// Stored tile records backing those frames.
+    pub tiles: u64,
+    /// Compressed bytes the replay will read.
+    pub bytes: u64,
+}
+
+/// Supplies archive-index estimates to the analyzer, so the core crate
+/// stays independent of the storage layer (`geostreams-store`
+/// implements this for its archive).
+pub trait ReplayProvider {
+    /// Size of the archived slice of `source` inside `[lo, hi)`, or
+    /// `None` when the source is not archived at all.
+    fn estimate(&self, source: &str, lo: Option<i64>, hi: Option<i64>) -> Option<ReplayEstimate>;
+}
+
+/// Context for [`analyze_with`]: what the analyzer may assume about
+/// "now" and about archived history.
+#[derive(Default)]
+pub struct AnalyzeOptions<'a> {
+    /// The live feed's current logical time (its starting scan sector
+    /// under sector-id semantics); `None` disables past-window
+    /// classification entirely (plain [`analyze`] behavior).
+    pub now: Option<i64>,
+    /// Archive index for replay estimates; `None` means no history is
+    /// retained anywhere.
+    pub replay: Option<&'a dyn ReplayProvider>,
+}
+
 /// Static verdict for one operator of the plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpAnalysis {
@@ -121,6 +156,10 @@ pub struct OpAnalysis {
     pub buffer_bytes: u64,
     /// Estimated points flowing out of this operator per sector.
     pub points_per_sector: u64,
+    /// For source operators whose temporal window reaches into the
+    /// past: the archive's bounded-replay estimate (see
+    /// [`ReplayEstimate`]); `None` for live sources and non-sources.
+    pub replay: Option<ReplayEstimate>,
 }
 
 /// The static analyzer's verdict for a whole plan.
@@ -221,6 +260,11 @@ fn restricted_lattice(lat: &LatticeGeoref, rect: &geostreams_geo::Rect) -> Optio
 
 struct Analyzer<'a> {
     catalog: &'a Catalog,
+    opts: &'a AnalyzeOptions<'a>,
+    /// Stack of effective temporal windows: each `RestrictTime` pushes
+    /// its intersection with the window above, so the top is the window
+    /// the current subtree is observed through.
+    windows: Vec<TimeWindow>,
     per_op: Vec<OpAnalysis>,
     diagnostics: Vec<Diagnostic>,
 }
@@ -250,7 +294,101 @@ impl Analyzer<'_> {
             blocking,
             buffer_bytes,
             points_per_sector: d.points(),
+            replay: None,
         });
+    }
+
+    fn window(&self) -> TimeWindow {
+        self.windows.last().copied().unwrap_or_else(TimeWindow::unbounded)
+    }
+
+    /// Past-window classification for a source leaf (§3.1 `G|T` over
+    /// history): decides whether the effective temporal window needs the
+    /// archive, and whether the archive can actually serve it. Runs only
+    /// under [`AnalyzeOptions::now`]; attaches the replay estimate to
+    /// the just-recorded source's [`OpAnalysis`].
+    fn classify_replay(&mut self, name: &str, path: &str) {
+        let Some(now) = self.opts.now else { return };
+        let win = self.window();
+        if win.is_empty() {
+            return; // `empty-time-set` already warns upstream.
+        }
+        if win == TimeWindow::unbounded() {
+            // No explicit temporal restriction: an ordinary continuous
+            // query, live from registration onward (§3.1 default).
+            return;
+        }
+        if win.wholly_before(now) {
+            let est = self.opts.replay.and_then(|r| r.estimate(name, win.lo, win.hi));
+            match est {
+                Some(est) if est.frames > 0 => {
+                    self.diag(
+                        Severity::Info,
+                        "replay-from-archive",
+                        path,
+                        format!(
+                            "temporal window {win} lies wholly before the live feed \
+                             (now={now}); served as a bounded archive replay (~{} frames, \
+                             {} compressed bytes)",
+                            est.frames, est.bytes
+                        ),
+                        "§3.1",
+                    );
+                    if let Some(op) = self.per_op.last_mut() {
+                        op.replay = Some(est);
+                    }
+                }
+                _ => {
+                    self.diag(
+                        Severity::Error,
+                        "past-interval-unservable",
+                        path,
+                        format!(
+                            "temporal window {win} lies wholly before the live feed \
+                             (now={now}) and no archived frames cover it; the query could \
+                             only ever return an empty stream"
+                        ),
+                        "§3.1",
+                    );
+                }
+            }
+        } else if win.starts_before(now) {
+            // Hybrid: the archive backfills [lo, now), the live feed
+            // takes over at the watermark.
+            let est = self.opts.replay.and_then(|r| r.estimate(name, win.lo, Some(now)));
+            match est {
+                Some(est) if est.frames > 0 => {
+                    self.diag(
+                        Severity::Info,
+                        "replay-hybrid",
+                        path,
+                        format!(
+                            "temporal window {win} starts before the live feed (now={now}); \
+                             backfilled from the archive (~{} frames, {} compressed bytes), \
+                             then spliced onto the live stream at the watermark",
+                            est.frames, est.bytes
+                        ),
+                        "§3.1",
+                    );
+                    if let Some(op) = self.per_op.last_mut() {
+                        op.replay = Some(est);
+                    }
+                }
+                _ => {
+                    self.diag(
+                        Severity::Warn,
+                        "past-start-no-archive",
+                        path,
+                        format!(
+                            "temporal window {win} starts before the live feed (now={now}) \
+                             but no archived frames cover the past portion; those frames \
+                             will be missing from the result"
+                        ),
+                        "§3.1",
+                    );
+                }
+            }
+        }
     }
 
     fn walk(&mut self, expr: &Expr, parent: &str) -> Derived {
@@ -279,6 +417,7 @@ impl Analyzer<'_> {
                             lattice: schema.sector_lattice,
                         };
                         self.record(&path, "source", BlockingClass::NonBlocking, 0, &d);
+                        self.classify_replay(name, &path);
                         d
                     }
                     None => {
@@ -364,7 +503,10 @@ impl Analyzer<'_> {
             }
             Expr::RestrictTime { input, times } => {
                 let path = format!("{parent}/restrict_time");
+                let narrowed = self.window().intersect(&time_set_window(times));
+                self.windows.push(narrowed);
                 let d = self.walk(input, &path);
+                self.windows.pop();
                 let degenerate = match times {
                     TimeSet::Instants(v) => v.is_empty(),
                     TimeSet::Interval { lo: Some(lo), hi: Some(hi) } => lo >= hi,
@@ -408,10 +550,9 @@ impl Analyzer<'_> {
                 let path = format!("{parent}/stretch");
                 let d = self.walk(input, &path);
                 let (class, bytes) = match (scope, d.organization) {
-                    (
-                        StretchScope::Frame,
-                        Organization::RowByRow | Organization::PointByPoint,
-                    ) => (BlockingClass::BoundedRows(1), d.row_bytes()),
+                    (StretchScope::Frame, Organization::RowByRow | Organization::PointByPoint) => {
+                        (BlockingClass::BoundedRows(1), d.row_bytes())
+                    }
                     _ => {
                         self.diag(
                             Severity::Info,
@@ -501,14 +642,9 @@ impl Analyzer<'_> {
                         // Derive the output lattice the way the streaming
                         // operator does: same cell count over the mapped
                         // world bbox.
-                        d.lattice = map_region(
-                            &Region::Rect(lat.world_bbox()),
-                            &lat.crs,
-                            to,
-                            8,
-                        )
-                        .ok()
-                        .map(|rect| LatticeGeoref::north_up(*to, rect, lat.width, lat.height));
+                        d.lattice = map_region(&Region::Rect(lat.world_bbox()), &lat.crs, to, 8)
+                            .ok()
+                            .map(|rect| LatticeGeoref::north_up(*to, rect, lat.width, lat.height));
                         if d.lattice.is_none() {
                             self.diag(
                                 Severity::Warn,
@@ -577,7 +713,13 @@ impl Analyzer<'_> {
             }
             Expr::Delay { input, d: shift } => {
                 let path = format!("{parent}/delay");
+                // `delay(g, d)` re-stamps data from `d` sectors ago: an
+                // output window [lo, hi) consumes input from [lo-d, hi).
+                let w = self.window();
+                let shifted = TimeWindow { lo: w.shifted(-i64::from(*shift)).lo, hi: w.hi };
+                self.windows.push(shifted);
                 let d = self.walk(input, &path);
+                self.windows.pop();
                 if *shift == 0 {
                     self.diag(
                         Severity::Error,
@@ -695,7 +837,25 @@ impl Analyzer<'_> {
 /// Never fails: problems surface as ranked [`Diagnostic`]s in the
 /// returned [`PlanReport`] so callers can render all findings at once.
 pub fn analyze(expr: &Expr, catalog: &Catalog) -> PlanReport {
-    let mut a = Analyzer { catalog, per_op: Vec::new(), diagnostics: Vec::new() };
+    analyze_with(expr, catalog, &AnalyzeOptions::default())
+}
+
+/// [`analyze`] with runtime context: when [`AnalyzeOptions::now`] is
+/// set, source leaves whose effective temporal window reaches before
+/// `now` are classified — bounded archive replay (`replay-from-archive`
+/// / `replay-hybrid`, with a [`ReplayEstimate`] on the source's
+/// [`OpAnalysis`]), a warning when the past portion is not archived, or
+/// an error (`past-interval-unservable`) when a wholly-past window has
+/// no archive coverage and the query could only ever return an empty
+/// stream.
+pub fn analyze_with(expr: &Expr, catalog: &Catalog, opts: &AnalyzeOptions<'_>) -> PlanReport {
+    let mut a = Analyzer {
+        catalog,
+        opts,
+        windows: Vec::new(),
+        per_op: Vec::new(),
+        diagnostics: Vec::new(),
+    };
     a.walk(expr, "");
     let blocking = a
         .per_op
@@ -783,9 +943,8 @@ mod tests {
     #[test]
     fn restriction_shrinks_downstream_buffer_bounds() {
         let full = report("focal(g1, \"sobel\", 3)");
-        let cut = report(
-            "focal(restrict_space(g1, bbox(-124, 38, -122, 40), \"latlon\"), \"sobel\", 3)",
-        );
+        let cut =
+            report("focal(restrict_space(g1, bbox(-124, 38, -122, 40), \"latlon\"), \"sobel\", 3)");
         assert!(cut.peak_buffer_bytes.unwrap() < full.peak_buffer_bytes.unwrap());
     }
 
@@ -807,6 +966,106 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: PlanReport = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    /// Fake archive holding frames for timestamps `[0, archived_hi)`,
+    /// one frame and 64 bytes per archived sector.
+    struct FakeArchive {
+        archived_hi: i64,
+    }
+
+    impl ReplayProvider for FakeArchive {
+        fn estimate(
+            &self,
+            _source: &str,
+            lo: Option<i64>,
+            hi: Option<i64>,
+        ) -> Option<ReplayEstimate> {
+            let lo = lo.unwrap_or(0).max(0);
+            let hi = hi.unwrap_or(self.archived_hi).min(self.archived_hi);
+            let frames = u64::try_from(hi - lo).unwrap_or(0);
+            Some(ReplayEstimate { frames, tiles: frames, bytes: frames * 64 })
+        }
+    }
+
+    fn report_with(q: &str, opts: &AnalyzeOptions<'_>) -> PlanReport {
+        analyze_with(&parse_query(q).unwrap(), &catalog(), opts)
+    }
+
+    #[test]
+    fn wholly_past_window_without_archive_is_an_error() {
+        let q = "restrict_time(g1, interval(0, 4))";
+        // Plain analysis (no notion of "now") stays permissive.
+        assert!(!report(q).has_errors());
+        // With the live feed at sector 10 and no archive, the window can
+        // never be served: silent-empty-result becomes a typed error.
+        let r = report_with(q, &AnalyzeOptions { now: Some(10), replay: None });
+        assert!(r.has_errors());
+        assert!(r.diagnostics.iter().any(|d| d.code == "past-interval-unservable"));
+    }
+
+    #[test]
+    fn wholly_past_window_with_archive_is_bounded_replay() {
+        let archive = FakeArchive { archived_hi: 10 };
+        let r = report_with(
+            "restrict_time(g1, interval(2, 6))",
+            &AnalyzeOptions { now: Some(10), replay: Some(&archive) },
+        );
+        assert!(!r.has_errors(), "{:?}", r.diagnostics);
+        assert!(r.diagnostics.iter().any(|d| d.code == "replay-from-archive"));
+        let src = r.per_op.iter().find(|op| op.operator == "source").unwrap();
+        assert_eq!(src.replay, Some(ReplayEstimate { frames: 4, tiles: 4, bytes: 256 }));
+    }
+
+    #[test]
+    fn past_start_splits_into_hybrid_backfill() {
+        let archive = FakeArchive { archived_hi: 10 };
+        // Open-ended window starting in the past: backfill [1, 5), then live.
+        let r = report_with(
+            "restrict_time(g1, interval(1, none))",
+            &AnalyzeOptions { now: Some(5), replay: Some(&archive) },
+        );
+        assert!(!r.has_errors());
+        assert!(r.diagnostics.iter().any(|d| d.code == "replay-hybrid"));
+        let src = r.per_op.iter().find(|op| op.operator == "source").unwrap();
+        assert_eq!(src.replay.unwrap().frames, 4);
+    }
+
+    #[test]
+    fn past_start_without_archive_warns() {
+        let r = report_with(
+            "restrict_time(g1, interval(1, none))",
+            &AnalyzeOptions { now: Some(5), replay: None },
+        );
+        assert!(!r.has_errors());
+        assert!(r.diagnostics.iter().any(|d| d.code == "past-start-no-archive"));
+    }
+
+    #[test]
+    fn live_only_windows_are_untouched_by_context() {
+        let archive = FakeArchive { archived_hi: 10 };
+        for q in ["g1", "restrict_time(g1, interval(5, 9))"] {
+            let r = report_with(q, &AnalyzeOptions { now: Some(5), replay: Some(&archive) });
+            assert!(!r.has_errors(), "{q}");
+            assert!(
+                !r.diagnostics
+                    .iter()
+                    .any(|d| d.code.starts_with("replay") || d.code.starts_with("past")),
+                "{q}: {:?}",
+                r.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn nested_restrictions_classify_through_their_intersection() {
+        let archive = FakeArchive { archived_hi: 10 };
+        // [0, 20) ∩ [2, 6) = [2, 6): wholly past of now=8.
+        let r = report_with(
+            "restrict_time(restrict_time(g1, interval(0, 20)), interval(2, 6))",
+            &AnalyzeOptions { now: Some(8), replay: Some(&archive) },
+        );
+        assert!(r.diagnostics.iter().any(|d| d.code == "replay-from-archive"));
     }
 
     #[test]

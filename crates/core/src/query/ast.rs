@@ -18,7 +18,9 @@
 //! ```
 
 use crate::model::TimeSet;
-use crate::ops::{AggFunc, FocalFunc, GammaOp, Orientation, ShedPolicy, StretchMode, StretchScope, ValueFunc};
+use crate::ops::{
+    AggFunc, FocalFunc, GammaOp, Orientation, ShedPolicy, StretchMode, StretchScope, ValueFunc,
+};
 use geostreams_geo::{Crs, Region};
 use geostreams_raster::resample::Kernel;
 use serde::{Deserialize, Serialize};

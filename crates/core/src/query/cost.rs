@@ -289,10 +289,7 @@ mod tests {
     fn restriction_reduces_points() {
         let cat = catalog();
         // A quarter of the sector.
-        let e = parse_query(
-            "restrict_space(g1, bbox(-124, 38, -122, 40), \"latlon\")",
-        )
-        .unwrap();
+        let e = parse_query("restrict_space(g1, bbox(-124, 38, -122, 40), \"latlon\")").unwrap();
         let c = estimate(&e, &cat).unwrap();
         assert!((c.points_out - 1024.0).abs() / 1024.0 < 0.1, "{}", c.points_out);
     }
@@ -320,8 +317,7 @@ mod tests {
     fn reprojection_dominates_work() {
         let cat = catalog();
         let plain = estimate(&parse_query("scale(g1, 1, 0)").unwrap(), &cat).unwrap();
-        let reproj =
-            estimate(&parse_query("reproject(g1, \"utm:10N\")").unwrap(), &cat).unwrap();
+        let reproj = estimate(&parse_query("reproject(g1, \"utm:10N\")").unwrap(), &cat).unwrap();
         assert!(reproj.work > 10.0 * plain.work);
     }
 
@@ -331,8 +327,7 @@ mod tests {
         // Registered with no sector lattice: no geometry to compute a
         // real selectivity from.
         cat.register(StreamSchema::new("bare", Crs::LatLon), || {
-            let lattice =
-                LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), 4, 4);
+            let lattice = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), 4, 4);
             Box::new(VecStream::<f32>::single_sector("bare", lattice, 0, |_, _| 0.0))
         });
         let e = parse_query("restrict_space(bare, bbox(0, 0, 1, 1), \"latlon\")").unwrap();
@@ -350,14 +345,13 @@ mod tests {
     fn buffer_bound_comes_from_the_analyzer() {
         let cat = catalog();
         // Image-scoped stretch buffers exactly one 64x64 f32 image.
-        let c = estimate(&parse_query("stretch(g1, \"linear\", \"image\")").unwrap(), &cat)
-            .unwrap();
+        let c =
+            estimate(&parse_query("stretch(g1, \"linear\", \"image\")").unwrap(), &cat).unwrap();
         assert_eq!(c.buffer_bytes, 64.0 * 64.0 * 4.0);
         // A plan the analyzer cannot bound reports the finite sentinel.
         let mut cat2 = Catalog::new();
         cat2.register(StreamSchema::new("bare", Crs::LatLon), || {
-            let lattice =
-                LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), 4, 4);
+            let lattice = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), 4, 4);
             Box::new(VecStream::<f32>::single_sector("bare", lattice, 0, |_, _| 0.0))
         });
         let c = estimate(&parse_query("reproject(bare, \"utm:10N\")").unwrap(), &cat2).unwrap();

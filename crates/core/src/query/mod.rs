@@ -7,10 +7,17 @@ pub mod cost;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
+pub mod pushdown;
 
-pub use analyze::{analyze, Diagnostic, OpAnalysis, PlanReport, Severity};
+pub use analyze::{
+    analyze, analyze_with, AnalyzeOptions, Diagnostic, OpAnalysis, PlanReport, ReplayEstimate,
+    ReplayProvider, Severity,
+};
 pub use ast::Expr;
 pub use cascade::{CascadeTree, NaiveRegionIndex, RegionIndex};
 pub use optimizer::optimize;
 pub use parser::parse_query;
 pub use plan::{Catalog, Planner};
+pub use pushdown::{
+    merged_source_windows, source_windows, time_set_window, SourceWindow, TimeWindow,
+};

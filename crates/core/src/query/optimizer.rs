@@ -50,10 +50,7 @@ pub fn optimize(expr: &Expr, catalog: &Catalog) -> Expr {
     // Pushdown can duplicate value transforms; fuse once more.
     let e = simplify(e);
     let after = super::analyze::analyze(&e, catalog).blocking;
-    debug_assert!(
-        after <= before,
-        "optimizer worsened blocking class: {before} -> {after}"
-    );
+    debug_assert!(after <= before, "optimizer worsened blocking class: {before} -> {after}");
     if after > before {
         return expr.clone();
     }
@@ -71,10 +68,8 @@ fn simplify(e: Expr) -> Expr {
     use crate::ops::ValueFunc;
     let e = map_children(e, &mut simplify);
     match e {
-        Expr::MapValue {
-            input,
-            func: ValueFunc::Linear { scale: s2, offset: o2 },
-        } => match *input {
+        Expr::MapValue { input, func: ValueFunc::Linear { scale: s2, offset: o2 } } => match *input
+        {
             Expr::MapValue { input: inner, func: ValueFunc::Linear { scale: s1, offset: o1 } } => {
                 simplify(Expr::MapValue {
                     input: inner,
@@ -123,9 +118,7 @@ fn map_children(e: Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
         Expr::Stretch { input, mode, scope } => {
             Expr::Stretch { input: Box::new(f(*input)), mode, scope }
         }
-        Expr::Focal { input, func, k } => {
-            Expr::Focal { input: Box::new(f(*input)), func, k }
-        }
+        Expr::Focal { input, func, k } => Expr::Focal { input: Box::new(f(*input)), func, k },
         Expr::Orient { input, orientation } => {
             Expr::Orient { input: Box::new(f(*input)), orientation }
         }
@@ -141,9 +134,7 @@ fn map_children(e: Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
         Expr::Compose { left, right, op } => {
             Expr::Compose { left: Box::new(f(*left)), right: Box::new(f(*right)), op }
         }
-        Expr::Ndvi { nir, vis } => {
-            Expr::Ndvi { nir: Box::new(f(*nir)), vis: Box::new(f(*vis)) }
-        }
+        Expr::Ndvi { nir, vis } => Expr::Ndvi { nir: Box::new(f(*nir)), vis: Box::new(f(*vis)) },
         Expr::AggTime { input, func, window } => {
             Expr::AggTime { input: Box::new(f(*input)), func, window }
         }
@@ -250,8 +241,7 @@ fn push_space(
                 Some(step) => {
                     let in_crs = catalog.crs_of(&input).unwrap_or(*rcrs);
                     let margin = 2.0 * convert_margin(step, &in_crs, rcrs);
-                    let (i, _) =
-                        push_space(*input, &expanded(region, margin), rcrs, catalog);
+                    let (i, _) = push_space(*input, &expanded(region, margin), rcrs, catalog);
                     (Expr::Magnify { input: Box::new(i), k }, false)
                 }
                 None => (Expr::Magnify { input, k }, false),
@@ -264,10 +254,8 @@ fn push_space(
             match source_step(&input, catalog) {
                 Some(step) => {
                     let in_crs = catalog.crs_of(&input).unwrap_or(*rcrs);
-                    let margin =
-                        2.0 * convert_margin(step * f64::from(k + 1), &in_crs, rcrs);
-                    let (i, _) =
-                        push_space(*input, &expanded(region, margin), rcrs, catalog);
+                    let margin = 2.0 * convert_margin(step * f64::from(k + 1), &in_crs, rcrs);
+                    let (i, _) = push_space(*input, &expanded(region, margin), rcrs, catalog);
                     (Expr::Downsample { input: Box::new(i), k }, false)
                 }
                 None => (Expr::Downsample { input, k }, false),
@@ -279,8 +267,7 @@ fn push_space(
             match source_step(&input, catalog) {
                 Some(step) => {
                     let in_crs = catalog.crs_of(&input).unwrap_or(*rcrs);
-                    let margin =
-                        2.0 * convert_margin(step * f64::from(k / 2 + 1), &in_crs, rcrs);
+                    let margin = 2.0 * convert_margin(step * f64::from(k / 2 + 1), &in_crs, rcrs);
                     let (i, _) = push_space(*input, &expanded(region, margin), rcrs, catalog);
                     (Expr::Focal { input: Box::new(i), func, k }, false)
                 }
@@ -332,17 +319,15 @@ fn push_space(
             // region is a conservative bbox (padded), so the result is
             // never exact — the caller keeps the original restriction.
             let input_crs = catalog.crs_of(&input);
-            let mapped = input_crs
-                .ok()
-                .and_then(|c| map_region(region, rcrs, &c, 16).ok().map(|r| (c, r)));
+            let mapped =
+                input_crs.ok().and_then(|c| map_region(region, rcrs, &c, 16).ok().map(|r| (c, r)));
             match mapped {
                 Some((in_crs, rect)) => {
                     // Pad by a few source cells so boundary interpolation
                     // neighbors survive the pushed restriction.
                     let margin = source_step(&input, catalog).unwrap_or(0.0) * 4.0;
                     let rect = rect.expand(margin);
-                    let (i, _) =
-                        push_space(*input, &Region::Rect(rect), &in_crs, catalog);
+                    let (i, _) = push_space(*input, &Region::Rect(rect), &in_crs, catalog);
                     (Expr::Reproject { input: Box::new(i), to, kernel }, false)
                 }
                 None => (Expr::Reproject { input, to, kernel }, false),
@@ -358,11 +343,8 @@ fn push_space(
         // world regions); spatial aggregates own their region; sources
         // are where the restriction lands.
         Expr::Stretch { .. } | Expr::Orient { .. } | Expr::AggSpace { .. } | Expr::Source(_) => {
-            let node = Expr::RestrictSpace {
-                input: Box::new(e),
-                region: region.clone(),
-                crs: *rcrs,
-            };
+            let node =
+                Expr::RestrictSpace { input: Box::new(e), region: region.clone(), crs: *rcrs };
             (node, true)
         }
     }
@@ -478,10 +460,9 @@ mod tests {
     #[test]
     fn pushes_restriction_through_value_transform() {
         let cat = catalog();
-        let e = parse_query(
-            "restrict_space(scale(g1, 2, 0), bbox(-123, 37, -122, 38), \"latlon\")",
-        )
-        .unwrap();
+        let e =
+            parse_query("restrict_space(scale(g1, 2, 0), bbox(-123, 37, -122, 38), \"latlon\")")
+                .unwrap();
         let o = optimize(&e, &cat);
         // The restriction now sits directly on the source.
         match &o {
@@ -495,10 +476,8 @@ mod tests {
     #[test]
     fn pushes_restriction_into_both_compose_inputs() {
         let cat = catalog();
-        let e = parse_query(
-            "restrict_space(add(g1, g2), bbox(-123, 37, -122, 38), \"latlon\")",
-        )
-        .unwrap();
+        let e = parse_query("restrict_space(add(g1, g2), bbox(-123, 37, -122, 38), \"latlon\")")
+            .unwrap();
         let o = optimize(&e, &cat);
         assert_eq!(count_nodes(&o, |x| matches!(x, Expr::RestrictSpace { .. })), 2);
         match &o {
@@ -547,10 +526,7 @@ mod tests {
     #[test]
     fn fuses_the_ndvi_pattern() {
         let cat = catalog();
-        for q in [
-            "div(sub(g1, g2), add(g2, g1))",
-            "div(sub(g1, g2), add(g1, g2))",
-        ] {
+        for q in ["div(sub(g1, g2), add(g2, g1))", "div(sub(g1, g2), add(g1, g2))"] {
             let e = parse_query(q).unwrap();
             let o = optimize(&e, &cat);
             assert!(matches!(o, Expr::Ndvi { .. }), "{q} -> {o}");
@@ -588,10 +564,7 @@ mod tests {
         let o = optimize(&e, &cat);
         match o {
             Expr::MapValue { func, input } => {
-                assert_eq!(
-                    func,
-                    crate::ops::ValueFunc::Linear { scale: 6.0, offset: 2.0 }
-                );
+                assert_eq!(func, crate::ops::ValueFunc::Linear { scale: 6.0, offset: 2.0 });
                 assert!(matches!(*input, Expr::Source(_)));
             }
             other => panic!("{other}"),
@@ -601,8 +574,12 @@ mod tests {
     #[test]
     fn identity_operators_vanish() {
         let cat = catalog();
-        for q in ["scale(g1, 1, 0)", "magnify(g1, 1)", "downsample(g1, 1)",
-                  "orient(orient(g1, \"fliph\"), \"fliph\")"] {
+        for q in [
+            "scale(g1, 1, 0)",
+            "magnify(g1, 1)",
+            "downsample(g1, 1)",
+            "orient(orient(g1, \"fliph\"), \"fliph\")",
+        ] {
             let e = parse_query(q).unwrap();
             let o = optimize(&e, &cat);
             assert!(matches!(o, Expr::Source(_)), "{q} -> {o}");

@@ -17,7 +17,9 @@
 use super::ast::Expr;
 use crate::error::{CoreError, Result};
 use crate::model::TimeSet;
-use crate::ops::{AggFunc, FocalFunc, GammaOp, Orientation, ShedPolicy, StretchMode, StretchScope, ValueFunc};
+use crate::ops::{
+    AggFunc, FocalFunc, GammaOp, Orientation, ShedPolicy, StretchMode, StretchScope, ValueFunc,
+};
 use geostreams_geo::{Coord, Crs, Polygon, Rect, Region};
 use geostreams_raster::resample::Kernel;
 
@@ -86,7 +88,10 @@ impl<'a> Lexer<'a> {
                     let s0 = self.pos;
                     self.pos += 1;
                     while self.pos < self.src.len()
-                        && matches!(self.src[self.pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+')
+                        && matches!(
+                            self.src[self.pos],
+                            b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+'
+                        )
                     {
                         // Allow exponent signs only right after e/E.
                         if matches!(self.src[self.pos], b'-' | b'+')
@@ -285,9 +290,7 @@ impl Parser {
     fn crs_arg(&self, args: &[Arg], i: usize, default: Crs, ctx: &str) -> Result<Crs> {
         match args.get(i) {
             None => Ok(default),
-            Some(Arg::Str(s)) => {
-                s.parse().map_err(|e: String| self.error(format!("{ctx}: {e}")))
-            }
+            Some(Arg::Str(s)) => s.parse().map_err(|e: String| self.error(format!("{ctx}: {e}"))),
             Some(other) => {
                 Err(self.error(format!("{ctx}: CRS must be a string, found {}", other.kind())))
             }
@@ -312,10 +315,9 @@ impl Parser {
                 if n.len() < 6 || n.len() % 2 != 0 {
                     return Err(self.error("polygon expects at least 3 coordinate pairs"));
                 }
-                let verts: Vec<Coord> =
-                    n.chunks_exact(2).map(|c| Coord::new(c[0], c[1])).collect();
-                let poly = Polygon::new(verts)
-                    .map_err(|e| self.error(format!("bad polygon: {e}")))?;
+                let verts: Vec<Coord> = n.chunks_exact(2).map(|c| Coord::new(c[0], c[1])).collect();
+                let poly =
+                    Polygon::new(verts).map_err(|e| self.error(format!("bad polygon: {e}")))?;
                 Ok(Arg::Region(Region::Polygon(poly)))
             }
             "interval" => {
@@ -504,13 +506,12 @@ impl Parser {
                         "nearest" => Kernel::Nearest,
                         "bilinear" => Kernel::Bilinear,
                         "bicubic" => Kernel::Bicubic,
-                        other => {
-                            return Err(self.error(format!("unknown kernel `{other}`")))
-                        }
+                        other => return Err(self.error(format!("unknown kernel `{other}`"))),
                     },
                     Some(other) => {
-                        return Err(self
-                            .error(format!("kernel must be a string, found {}", other.kind())))
+                        return Err(
+                            self.error(format!("kernel must be a string, found {}", other.kind()))
+                        )
                     }
                 };
                 Ok(Arg::Expr(Expr::Reproject { input: Box::new(input), to: crs, kernel }))
@@ -521,11 +522,7 @@ impl Parser {
                 let right = self.expr_arg(&args, 1, &lname)?;
                 let op = GammaOp::from_symbol(&lname)
                     .ok_or_else(|| self.error(format!("unknown γ operator `{lname}`")))?;
-                Ok(Arg::Expr(Expr::Compose {
-                    left: Box::new(left),
-                    right: Box::new(right),
-                    op,
-                }))
+                Ok(Arg::Expr(Expr::Compose { left: Box::new(left), right: Box::new(right), op }))
             }
             "compose" => {
                 let left = self.expr_arg(&args, 0, "compose")?;
@@ -533,11 +530,7 @@ impl Parser {
                 let right = self.expr_arg(&args, 2, "compose")?;
                 let op = GammaOp::from_symbol(&sym)
                     .ok_or_else(|| self.error(format!("unknown γ operator `{sym}`")))?;
-                Ok(Arg::Expr(Expr::Compose {
-                    left: Box::new(left),
-                    right: Box::new(right),
-                    op,
-                }))
+                Ok(Arg::Expr(Expr::Compose { left: Box::new(left), right: Box::new(right), op }))
             }
             "ndvi" => {
                 let nir = self.expr_arg(&args, 0, "ndvi")?;
@@ -674,17 +667,17 @@ mod tests {
     fn rejects_malformed_queries() {
         for q in [
             "",
-            "bbox(1,2,3,4)",              // literal, not an expression
-            "restrict_space(g1)",         // missing region
-            "magnify(g1)",                // missing factor
-            "unknownop(g1)",              // unknown operator
-            "add(g1)",                    // arity
+            "bbox(1,2,3,4)",      // literal, not an expression
+            "restrict_space(g1)", // missing region
+            "magnify(g1)",        // missing factor
+            "unknownop(g1)",      // unknown operator
+            "add(g1)",            // arity
             "restrict_space(g1, bbox(1,2,3), \"latlon\")", // bbox arity
-            "ndvi(g1, g2",                // unbalanced parens
-            "reproject(g1, \"mars:1\")",  // unknown CRS
-            "g1 g2",                      // trailing input
-            "compose(g1, \"%\", g2)",     // unknown gamma
-            "stretch(g1, \"funky\")",     // unknown mode
+            "ndvi(g1, g2",        // unbalanced parens
+            "reproject(g1, \"mars:1\")", // unknown CRS
+            "g1 g2",              // trailing input
+            "compose(g1, \"%\", g2)", // unknown gamma
+            "stretch(g1, \"funky\")", // unknown mode
         ] {
             assert!(parse_query(q).is_err(), "should reject `{q}`");
         }

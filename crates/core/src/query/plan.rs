@@ -181,16 +181,12 @@ impl<'a> Planner<'a> {
                 let cfg = ReprojectConfig::new(*to).kernel(*kernel);
                 Box::new(Reproject::new(build(input)?, cfg)?)
             }
-            Expr::Compose { left, right, op } => Box::new(Compose::new(
-                build(left)?,
-                build(right)?,
-                *op,
-                JoinStrategy::Hash,
-            )?),
-            Expr::Ndvi { nir, vis } => Box::new(crate::ops::macro_ops::ndvi(
-                build(nir)?,
-                build(vis)?,
-            )?),
+            Expr::Compose { left, right, op } => {
+                Box::new(Compose::new(build(left)?, build(right)?, *op, JoinStrategy::Hash)?)
+            }
+            Expr::Ndvi { nir, vis } => {
+                Box::new(crate::ops::macro_ops::ndvi(build(nir)?, build(vis)?)?)
+            }
             Expr::Shed { input, policy, stride } => {
                 if *stride == 0 {
                     return Err(CoreError::InvalidParameter("shed stride 0".into()));
@@ -289,8 +285,7 @@ impl<'a> Planner<'a> {
     /// Parses, optionally optimizes, and builds a query in one step.
     pub fn plan_text(&self, text: &str, optimize: bool) -> Result<BoxedF32Stream> {
         let expr = super::parser::parse_query(text)?;
-        let expr =
-            if optimize { super::optimizer::optimize(&expr, self.catalog) } else { expr };
+        let expr = if optimize { super::optimizer::optimize(&expr, self.catalog) } else { expr };
         self.build(&expr)
     }
 }
@@ -311,11 +306,10 @@ mod tests {
             schema.value_range = (0.0, 40.0);
             let name = name.to_string();
             cat.register(schema, move || {
-                let s: VecStream<f32> =
-                    VecStream::single_sector(&name, lattice, 0, move |c, r| {
-                        f64::from(c + r) + bump
-                    })
-                    .with_value_range(0.0, 40.0);
+                let s: VecStream<f32> = VecStream::single_sector(&name, lattice, 0, move |c, r| {
+                    f64::from(c + r) + bump
+                })
+                .with_value_range(0.0, 40.0);
                 Box::new(s)
             });
         }
@@ -345,9 +339,7 @@ mod tests {
     fn plans_and_runs_simple_query() {
         let cat = catalog();
         let planner = Planner::new(&cat);
-        let mut pipe = planner
-            .plan_text("restrict_value(scale(g1, 2, 0), 20, 30)", false)
-            .unwrap();
+        let mut pipe = planner.plan_text("restrict_value(scale(g1, 2, 0), 20, 30)", false).unwrap();
         let pts = pipe.drain_points();
         assert!(!pts.is_empty());
         assert!(pts.iter().all(|p| (20.0..=30.0).contains(&p.value)));
@@ -406,8 +398,10 @@ mod tests {
         // Indentation shows nesting: source is deeper than the root.
         let root_line = text.lines().next().unwrap();
         let src_line = text.lines().find(|l| l.contains("source g1")).unwrap();
-        assert!(src_line.len() - src_line.trim_start().len()
-            > root_line.len() - root_line.trim_start().len());
+        assert!(
+            src_line.len() - src_line.trim_start().len()
+                > root_line.len() - root_line.trim_start().len()
+        );
     }
 
     #[test]

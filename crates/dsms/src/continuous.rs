@@ -41,10 +41,14 @@ use geostreams_core::model::{
 };
 use geostreams_core::obs::Counter;
 use geostreams_core::ops::delivery::PngSink;
-use geostreams_core::query::{optimize, parse_query, Catalog, Expr, Planner};
+use geostreams_core::query::{
+    analyze_with, merged_source_windows, optimize, parse_query, AnalyzeOptions, Catalog, Expr,
+    Planner, ReplayProvider, TimeWindow,
+};
 use geostreams_core::{CoreError, Result};
 use geostreams_raster::png::PngOptions;
 use geostreams_satsim::{ChaosStream, FaultPlan, FaultStats, Scanner};
+use geostreams_store::{Archive, ArchiveReplay, SpliceStream, StoreMetrics};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -104,6 +108,20 @@ pub struct RuntimeConfig {
     pub query_stall: Vec<(usize, Duration)>,
     /// Server metrics to surface recovery actions on (`/metrics`).
     pub metrics: Option<Arc<ServerMetrics>>,
+    /// Tiled raster archive. When set, every ingested element is also
+    /// persisted, and queries whose temporal restriction reaches before
+    /// [`RuntimeConfig::start_sector`] are served from the archive —
+    /// alone (wholly past) or spliced into the live feed (hybrid).
+    pub archive: Option<Arc<Archive>>,
+    /// First live scan sector — the runtime's "now". Live feeds join
+    /// the downlink here; earlier sectors exist only in the archive.
+    pub start_sector: u64,
+    /// Retention knob applied to the attached archive at run start:
+    /// maximum archive bytes (`None` keeps the archive's own setting).
+    pub archive_max_bytes: Option<u64>,
+    /// Retention knob: maximum archived frames (`None` keeps the
+    /// archive's own setting). Eviction is segment-granular.
+    pub archive_max_frames: Option<u64>,
 }
 
 impl Default for RuntimeConfig {
@@ -119,8 +137,21 @@ impl Default for RuntimeConfig {
             fault_plan: None,
             query_stall: Vec::new(),
             metrics: None,
+            archive: None,
+            start_sector: 0,
+            archive_max_bytes: None,
+            archive_max_frames: None,
         }
     }
+}
+
+/// How one source of an admitted query is served.
+enum SourceRoute {
+    /// Replay of a wholly-past window; no live subscription at all.
+    ArchiveOnly(ArchiveReplay),
+    /// Backfill-from-archive spliced into the live channel at the
+    /// recorded watermark sector.
+    Hybrid { replay: ArchiveReplay, watermark: Option<u64> },
 }
 
 /// Statistics of one continuous run.
@@ -192,8 +223,32 @@ pub fn run_supervised(
         schema_catalog.register(schema, move || Box::new(scanner2.band_stream(band_idx, 1)));
     }
 
-    // Parse and optimize every request; collect referenced bands.
-    let mut exprs: Vec<(Expr, OutputFormat)> = Vec::new();
+    // Archive context: "now" is the first live sector; retention knobs
+    // and metric handles are applied before any query is admitted.
+    let now = config.start_sector as i64;
+    if let Some(archive) = &config.archive {
+        if config.archive_max_bytes.is_some() || config.archive_max_frames.is_some() {
+            archive.set_retention(config.archive_max_bytes, config.archive_max_frames)?;
+        }
+        if let Some(m) = &config.metrics {
+            archive.attach_metrics(StoreMetrics::register(m.registry()));
+        }
+    }
+    let store_metrics = match (&config.archive, &config.metrics) {
+        (Some(_), Some(m)) => Some(StoreMetrics::register(m.registry())),
+        _ => None,
+    };
+    let analyze_opts = AnalyzeOptions {
+        now: Some(now),
+        replay: config.archive.as_deref().map(|a| a as &dyn ReplayProvider),
+    };
+
+    // Parse, optimize, and admit every request. A query whose plan
+    // analysis carries errors (e.g. a wholly-past window with no
+    // archive coverage — it would silently deliver nothing) gets a
+    // per-query `PlanRejected` slot instead of failing the whole run.
+    type Admitted = (Expr, OutputFormat, HashMap<String, SourceRoute>);
+    let mut exprs: Vec<Result<Admitted>> = Vec::new();
     for req in requests {
         let expr = parse_query(&req.query)?;
         for name in expr.source_names() {
@@ -202,22 +257,56 @@ pub fn run_supervised(
             }
         }
         let expr = optimize(&expr, &schema_catalog);
-        exprs.push((expr, req.format));
+        let plan = analyze_with(&expr, &schema_catalog, &analyze_opts);
+        if plan.has_errors() {
+            exprs.push(Err(CoreError::PlanRejected(plan.render_errors())));
+            continue;
+        }
+        // Route each temporally-restricted source: wholly-past windows
+        // replay from the archive with no live subscription; windows
+        // that merely start in the past backfill `[lo, now)` and splice
+        // into the live feed at the archive's frame watermark.
+        let mut routes = HashMap::new();
+        if let Some(archive) = &config.archive {
+            for (name, sw) in merged_source_windows(&expr, &schema_catalog) {
+                let w = sw.window;
+                if w == TimeWindow::unbounded() || w.is_empty() {
+                    continue;
+                }
+                let Some(band) = archive.band_of(&name) else { continue };
+                if w.wholly_before(now) {
+                    let replay = archive.replay(band, w.lo, w.hi, sw.region.as_ref())?;
+                    routes.insert(name, SourceRoute::ArchiveOnly(replay));
+                } else if w.starts_before(now) {
+                    let replay = archive.replay(band, w.lo, Some(now), sw.region.as_ref())?;
+                    let watermark = archive.watermark(band).map(|(s, _)| s);
+                    routes.insert(name, SourceRoute::Hybrid { replay, watermark });
+                }
+            }
+        }
+        exprs.push(Ok((expr, req.format, routes)));
     }
 
-    // Create one channel per (query, referenced source).
+    // Create one channel per (query, live-served source). Archive-only
+    // sources never subscribe: their band need not be ingested at all.
     type Rx = Receiver<Element<f32>>;
     let mut band_slots: HashMap<String, Vec<SubSlot>> = HashMap::new();
     let mut query_receivers: Vec<HashMap<String, Rx>> = Vec::new();
-    for (expr, _) in &exprs {
+    for admitted in &exprs {
         let mut receivers = HashMap::new();
-        for name in expr.source_names() {
-            let (tx, rx) = sync_channel(config.channel_cap);
-            band_slots
-                .entry(name.clone())
-                .or_default()
-                .push(SubSlot { tx: Some(tx), shed: 0, full_since: None });
-            receivers.insert(name, rx);
+        if let Ok((expr, _, routes)) = admitted {
+            for name in expr.source_names() {
+                if matches!(routes.get(&name), Some(SourceRoute::ArchiveOnly(_))) {
+                    continue;
+                }
+                let (tx, rx) = sync_channel(config.channel_cap);
+                band_slots.entry(name.clone()).or_default().push(SubSlot {
+                    tx: Some(tx),
+                    shed: 0,
+                    full_since: None,
+                });
+                receivers.insert(name, rx);
+            }
         }
         query_receivers.push(receivers);
     }
@@ -252,13 +341,15 @@ pub fn run_supervised(
         let backoff_base = config.backoff_base;
         let backoff_cap = config.backoff_cap;
         let metrics = config.metrics.clone();
+        let archive = config.archive.clone();
+        let first_sector = config.start_sector;
         ingest_handles.push(std::thread::spawn(move || -> BandReport {
             let mut attempt: u32 = 0;
-            let mut start_sector: u64 = 0;
+            let mut start_sector: u64 = first_sector;
             let mut elements: u64 = 0;
             let mut faults: Option<FaultStats> = None;
             loop {
-                let base = scanner.band_stream(band_idx, n_sectors);
+                let base = scanner.band_stream_from(band_idx, first_sector, n_sectors);
                 let (probe, stream): (_, BoxedF32Stream) = match &plan {
                     Some(p) if !p.for_attempt(attempt).is_benign() => {
                         // Salt by band and attempt: bands sharing a
@@ -276,6 +367,7 @@ pub fn run_supervised(
                 let progress2 = Arc::clone(&progress);
                 let shed_counter = metrics.as_ref().map(|m| m.fanout_shed.clone());
                 let points_counter = metrics.as_ref().map(|m| m.points_ingested.clone());
+                let archive2 = archive.clone();
                 let inner = std::thread::spawn(move || {
                     pump(
                         stream,
@@ -286,13 +378,15 @@ pub fn run_supervised(
                         marker_patience,
                         shed_counter,
                         points_counter,
+                        archive2,
+                        band_id,
                     );
                 });
                 let panicked = inner.join().is_err();
                 let attempt_faults = probe.as_ref().map(|p| p.stats());
                 elements += progress.elements.load(Ordering::Relaxed);
-                let crashed = panicked
-                    || attempt_faults.as_ref().is_some_and(|f| f.died || f.truncated);
+                let crashed =
+                    panicked || attempt_faults.as_ref().is_some_and(|f| f.died || f.truncated);
                 if let Some(f) = attempt_faults {
                     faults.get_or_insert_with(FaultStats::default).merge(&f);
                 }
@@ -310,9 +404,7 @@ pub fn run_supervised(
                 let last = progress.last_sector.load(Ordering::Relaxed);
                 start_sector = start_sector.max(last);
                 let exp = attempt.saturating_sub(1).min(16);
-                let backoff = backoff_base
-                    .saturating_mul(1u32 << exp)
-                    .min(backoff_cap);
+                let backoff = backoff_base.saturating_mul(1u32 << exp).min(backoff_cap);
                 std::thread::sleep(backoff);
             }
             // Unsubscribe everyone: queries see end-of-stream.
@@ -331,25 +423,30 @@ pub fn run_supervised(
         disorder: m.disorder_detected.clone(),
         partial_frames: m.partial_frames.clone(),
     });
-    let mut query_handles = Vec::new();
-    for (qid, ((expr, format), receivers)) in
-        exprs.into_iter().zip(query_receivers).enumerate()
-    {
+    enum QuerySlot {
+        Running(std::thread::JoinHandle<(Result<QueryResult>, bool)>),
+        Rejected(CoreError),
+    }
+    let mut query_slots = Vec::new();
+    for (qid, (admitted, receivers)) in exprs.into_iter().zip(query_receivers).enumerate() {
+        let (expr, format, mut routes) = match admitted {
+            Ok(parts) => parts,
+            Err(e) => {
+                query_slots.push(QuerySlot::Rejected(e));
+                continue;
+            }
+        };
         let schemas: HashMap<String, geostreams_core::model::StreamSchema> = receivers
             .keys()
-            .filter_map(|name| {
-                schema_catalog.schema(name).map(|s| (name.clone(), s.clone()))
-            })
+            .chain(routes.keys())
+            .filter_map(|name| schema_catalog.schema(name).map(|s| (name.clone(), s.clone())))
             .collect();
         let watchdog = config.watchdog;
-        let stall = config
-            .query_stall
-            .iter()
-            .find(|(i, _)| *i == qid)
-            .map(|(_, d)| *d);
+        let stall = config.query_stall.iter().find(|(i, _)| *i == qid).map(|(_, d)| *d);
         let counters = repair_counters.clone();
         let watchdog_counter = config.metrics.as_ref().map(|m| m.watchdog_cancellations.clone());
-        query_handles.push(std::thread::spawn(
+        let store_metrics = store_metrics.clone();
+        query_slots.push(QuerySlot::Running(std::thread::spawn(
             move || -> (Result<QueryResult>, bool) {
                 let deadline = watchdog.map(|d| Instant::now() + d);
                 let cancelled = Arc::new(AtomicBool::new(false));
@@ -364,18 +461,26 @@ pub fn run_supervised(
                     let probe = Arc::new(RepairProbe::default());
                     probes.push((name.clone(), Arc::clone(&probe)));
                     let slot = Arc::new(Mutex::new(Some(rx)));
+                    // A hybrid source backfills from this replay, then
+                    // splices into the live channel (first open only).
+                    let hybrid = match routes.remove(&name) {
+                        Some(SourceRoute::Hybrid { replay, watermark }) => {
+                            Some((replay, watermark))
+                        }
+                        _ => None,
+                    };
+                    let hybrid_slot = Arc::new(Mutex::new(hybrid));
                     let cancelled = Arc::clone(&cancelled);
                     let fired = Arc::clone(&fired);
                     let watchdog_counter = watchdog_counter.clone();
                     let counters = counters.clone();
+                    let store_metrics = store_metrics.clone();
                     catalog.register(schema.clone(), move || {
                         // Sources are single-consumer: the first open
                         // takes the receiver, later opens get an
                         // exhausted stream.
-                        let rx_opt = slot
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .take();
+                        let rx_opt =
+                            slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
                         let mut done = false;
                         let cancelled = Arc::clone(&cancelled);
                         let fired = Arc::clone(&fired);
@@ -414,13 +519,58 @@ pub fn run_supervised(
                                 }
                             }
                         };
-                        let repaired = StreamRepair::with_probe(
-                            ChannelLike::new(schema.clone(), pull),
-                            Arc::clone(&probe),
-                        );
-                        match &counters {
-                            Some(c) => Box::new(repaired.with_counters(c.clone())),
-                            None => Box::new(repaired),
+                        let channel = ChannelLike::new(schema.clone(), pull);
+                        match lock_opt(&hybrid_slot).take() {
+                            Some((replay, watermark)) => {
+                                let on_switch = store_metrics.clone().map(|sm| {
+                                    Box::new(move |ns: u64| sm.backfill_ns.record(ns))
+                                        as Box<dyn FnOnce(u64) + Send>
+                                });
+                                let spliced = SpliceStream::new(
+                                    replay,
+                                    Box::new(channel),
+                                    watermark,
+                                    on_switch,
+                                );
+                                let repaired =
+                                    StreamRepair::with_probe(spliced, Arc::clone(&probe));
+                                match &counters {
+                                    Some(c) => Box::new(repaired.with_counters(c.clone())),
+                                    None => Box::new(repaired),
+                                }
+                            }
+                            None => {
+                                let repaired =
+                                    StreamRepair::with_probe(channel, Arc::clone(&probe));
+                                match &counters {
+                                    Some(c) => Box::new(repaired.with_counters(c.clone())),
+                                    None => Box::new(repaired),
+                                }
+                            }
+                        }
+                    });
+                }
+                // Archive-only sources: the replay IS the source — no
+                // live subscription exists for them at all.
+                for (name, route) in routes {
+                    let SourceRoute::ArchiveOnly(replay) = route else { continue };
+                    let Some(schema) = schemas.get(&name).cloned() else { continue };
+                    let probe = Arc::new(RepairProbe::default());
+                    probes.push((name.clone(), Arc::clone(&probe)));
+                    let slot = Arc::new(Mutex::new(Some(replay)));
+                    let counters = counters.clone();
+                    catalog.register(schema.clone(), move || {
+                        match lock_opt(&slot).take() {
+                            Some(r) => {
+                                let repaired = StreamRepair::with_probe(r, Arc::clone(&probe));
+                                match &counters {
+                                    Some(c) => Box::new(repaired.with_counters(c.clone())),
+                                    None => Box::new(repaired),
+                                }
+                            }
+                            // Later opens of a single-consumer source
+                            // get an exhausted stream.
+                            None => Box::new(ChannelLike::new(schema.clone(), || None)),
                         }
                     });
                 }
@@ -471,20 +621,23 @@ pub fn run_supervised(
                 };
                 (run(), fired.load(Ordering::SeqCst))
             },
-        ));
+        )));
     }
 
     let mut cancellations = 0u64;
-    let results: Vec<Result<QueryResult>> = query_handles
+    let results: Vec<Result<QueryResult>> = query_slots
         .into_iter()
-        .map(|h| match h.join() {
-            Ok((res, fired)) => {
-                if fired {
-                    cancellations += 1;
+        .map(|slot| match slot {
+            QuerySlot::Rejected(e) => Err(e),
+            QuerySlot::Running(h) => match h.join() {
+                Ok((res, fired)) => {
+                    if fired {
+                        cancellations += 1;
+                    }
+                    res
                 }
-                res
-            }
-            Err(_) => Err(CoreError::Unsupported("query thread panicked".into())),
+                Err(_) => Err(CoreError::Unsupported("query thread panicked".into())),
+            },
         })
         .collect();
     let mut stats = IngestStats::default();
@@ -511,6 +664,11 @@ pub fn run_supervised(
     Ok((results, stats))
 }
 
+/// Poison-tolerant lock (metrics/state stay usable after a panic).
+fn lock_opt<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// True when a deadline exists and has passed.
 fn expired(deadline: Option<Instant>) -> bool {
     deadline.is_some_and(|d| Instant::now() >= d)
@@ -530,7 +688,9 @@ fn stall_sliced(total: Duration, deadline: Option<Instant>, cancelled: &AtomicBo
 }
 
 /// One ingest attempt: drains the stream into every live subscriber,
-/// skipping sectors before `start_sector` (restart resume).
+/// skipping sectors before `start_sector` (restart resume). When an
+/// archive is attached, every delivered element (post-chaos, i.e. what
+/// the downlink actually produced) is also persisted.
 #[allow(clippy::too_many_arguments)]
 fn pump(
     mut stream: BoxedF32Stream,
@@ -541,7 +701,15 @@ fn pump(
     marker_patience: Duration,
     shed_counter: Option<Counter>,
     points_counter: Option<Counter>,
+    mut archive: Option<Arc<Archive>>,
+    band_id: u16,
 ) {
+    if let Some(a) = &archive {
+        if let Err(e) = a.bind_band(stream.schema()) {
+            eprintln!("archive: bind band {band_id} failed, persistence disabled: {e}");
+            archive = None;
+        }
+    }
     let mut skipping = start_sector > 0;
     while let Some(el) = stream.next_element() {
         if skipping {
@@ -559,11 +727,20 @@ fn pump(
                 c.inc();
             }
         }
+        if let Some(a) = &archive {
+            if let Err(e) = a.ingest(band_id, &el) {
+                eprintln!("archive: ingest on band {band_id} failed, persistence disabled: {e}");
+                archive = None;
+            }
+        }
         let is_marker = !el.is_point();
         let mut guard = subs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for slot in guard.iter_mut() {
             fanout_one(slot, &el, is_marker, fanout, marker_patience, &shed_counter);
         }
+    }
+    if let Some(a) = &archive {
+        let _ = a.flush();
     }
 }
 
@@ -658,8 +835,10 @@ mod tests {
     #[test]
     fn cross_band_query_over_shared_ingest() {
         let scanner = goes_like(32, 16, 5);
-        let requests =
-            vec![req("ndvi(goes-sim.b2-nir, downsample(goes-sim.b1-vis, 4))", OutputFormat::PngNdvi)];
+        let requests = vec![req(
+            "ndvi(goes-sim.b2-nir, downsample(goes-sim.b1-vis, 4))",
+            OutputFormat::PngNdvi,
+        )];
         let (results, _) = run_continuous(&scanner, 1, &requests).unwrap();
         let r = results[0].as_ref().unwrap();
         assert_eq!(r.frames.len(), 1);

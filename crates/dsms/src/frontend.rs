@@ -14,8 +14,8 @@
 
 use geostreams_core::model::{Element, GeoStream};
 use geostreams_core::query::cascade::{QueryId, RegionIndex};
-use geostreams_raster::{Grid2D, RasterImage};
 use geostreams_geo::{LatticeGeoref, Rect};
+use geostreams_raster::{Grid2D, RasterImage};
 use std::collections::HashMap;
 
 /// Routing statistics of one front-end pass.
@@ -119,9 +119,7 @@ impl<I: RegionIndex> MultiQueryFrontEnd<I> {
                                     let Some(fp) = lattice.footprint(&state.region) else {
                                         continue;
                                     };
-                                    state
-                                        .grid
-                                        .insert((Grid2D::new(fp.width(), fp.height()), fp))
+                                    state.grid.insert((Grid2D::new(fp.width(), fp.height()), fp))
                                 }
                             };
                             if footprint.contains(p.cell) {
@@ -159,10 +157,7 @@ impl<I: RegionIndex> MultiQueryFrontEnd<I> {
                                 fp.height(),
                             );
                             self.stats.images_out += 1;
-                            deliver(
-                                id,
-                                RasterImage::new(grid, georef, self.timestamp, self.band),
-                            );
+                            deliver(id, RasterImage::new(grid, georef, self.timestamp, self.band));
                         }
                         state.filled = 0;
                     }
@@ -226,10 +221,8 @@ mod tests {
                 }
                 fe.run(&mut src, |id, img| collect(id, img, &mut delivered));
             } else {
-                let mut fe = MultiQueryFrontEnd::new(CascadeTree::new(
-                    Rect::new(0.0, 0.0, 16.0, 16.0),
-                    8,
-                ));
+                let mut fe =
+                    MultiQueryFrontEnd::new(CascadeTree::new(Rect::new(0.0, 0.0, 16.0, 16.0), 8));
                 for (i, r) in regions.iter().enumerate() {
                     fe.subscribe(i as u32, *r);
                 }

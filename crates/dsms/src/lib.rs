@@ -31,12 +31,10 @@ pub mod net;
 pub mod protocol;
 pub mod server;
 
-pub use continuous::{
-    run_continuous, run_supervised, FanoutPolicy, IngestStats, RuntimeConfig,
-};
+pub use continuous::{run_continuous, run_supervised, FanoutPolicy, IngestStats, RuntimeConfig};
 pub use frontend::{FrontEndStats, MultiQueryFrontEnd};
-pub use net::HttpServer;
 pub use metrics::ServerMetrics;
+pub use net::HttpServer;
 pub use protocol::{parse_explain, parse_request, ClientRequest, OutputFormat};
 pub use server::{
     Dsms, Explanation, QueryHandle, QueryResult, SourceRepair, DEFAULT_MEMORY_BUDGET_BYTES,

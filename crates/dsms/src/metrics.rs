@@ -114,8 +114,7 @@ impl ServerMetrics {
             points_ingested: registry.counter("geostreams_points_ingested_total", &[]),
             requests_handled: registry.counter("geostreams_requests_handled_total", &[]),
             requests_errored: registry.counter("geostreams_requests_errored_total", &[]),
-            plan_buffer_overruns: registry
-                .counter("geostreams_plan_buffer_overrun_total", &[]),
+            plan_buffer_overruns: registry.counter("geostreams_plan_buffer_overrun_total", &[]),
             ingest_restarts: registry.counter("geostreams_ingest_restarts_total", &[]),
             gaps_detected: registry.counter("geostreams_gaps_detected_total", &[]),
             partial_frames: registry.counter("geostreams_partial_frames_total", &[]),

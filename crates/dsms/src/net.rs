@@ -73,10 +73,7 @@ impl HttpServer {
                                     server.metrics.requests_errored.inc();
                                 }
                             }
-                            server
-                                .metrics
-                                .request_ns
-                                .record(started.elapsed().as_nanos() as u64);
+                            server.metrics.request_ns.record(started.elapsed().as_nanos() as u64);
                         }));
                     }
                     Err(_) => break,

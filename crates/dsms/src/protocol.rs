@@ -150,10 +150,8 @@ fn parse_request_at(raw: &str, expected_path: &str) -> Result<ClientRequest> {
             _ => {} // ignore unknown parameters
         }
     }
-    let query = query.ok_or_else(|| CoreError::Parse {
-        message: "missing `q` parameter".into(),
-        offset: 0,
-    })?;
+    let query = query
+        .ok_or_else(|| CoreError::Parse { message: "missing `q` parameter".into(), offset: 0 })?;
     Ok(ClientRequest { query, format, sectors })
 }
 

@@ -6,12 +6,16 @@ use geostreams_core::exec::RunReport;
 use geostreams_core::model::GeoStream;
 use geostreams_core::obs::PipelineObs;
 use geostreams_core::ops::delivery::{DeliveredFrame, PngSink, Rendering};
-use geostreams_core::query::{analyze, optimize, parse_query, Catalog, Expr, Planner, PlanReport};
+use geostreams_core::query::{
+    analyze_with, optimize, parse_query, AnalyzeOptions, Catalog, Expr, PlanReport, Planner,
+    ReplayProvider,
+};
 use geostreams_core::stats::OpReport;
 use geostreams_core::{CoreError, Result};
 use geostreams_raster::colormap::ColorMap;
 use geostreams_raster::png::PngOptions;
 use geostreams_satsim::Scanner;
+use geostreams_store::{Archive, StoreMetrics};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -95,6 +99,9 @@ pub struct Dsms {
     next_id: Mutex<u32>,
     /// Per-query worst-case memory budget for admission control.
     budget_bytes: AtomicU64,
+    /// Attached raster archive and the "now" timestamp admissions are
+    /// decided against (`GET /archive`, replay-aware plan analysis).
+    archive: Mutex<Option<(Arc<Archive>, i64)>>,
     /// Server metrics (shared with query threads).
     pub metrics: Arc<ServerMetrics>,
 }
@@ -109,15 +116,14 @@ impl Dsms {
             let template = scanner.band_stream(band_idx, n_sectors);
             let schema = template.schema().clone();
             let scanner = scanner.clone();
-            catalog.register(schema, move || {
-                Box::new(scanner.band_stream(band_idx, n_sectors))
-            });
+            catalog.register(schema, move || Box::new(scanner.band_stream(band_idx, n_sectors)));
         }
         Dsms {
             catalog: Arc::new(catalog),
             queries: Mutex::new(Vec::new()),
             next_id: Mutex::new(1),
             budget_bytes: AtomicU64::new(DEFAULT_MEMORY_BUDGET_BYTES),
+            archive: Mutex::new(None),
             metrics: Arc::new(ServerMetrics::new()),
         }
     }
@@ -129,6 +135,7 @@ impl Dsms {
             queries: Mutex::new(Vec::new()),
             next_id: Mutex::new(1),
             budget_bytes: AtomicU64::new(DEFAULT_MEMORY_BUDGET_BYTES),
+            archive: Mutex::new(None),
             metrics: Arc::new(ServerMetrics::new()),
         }
     }
@@ -148,6 +155,44 @@ impl Dsms {
     /// The current per-query memory budget in bytes.
     pub fn memory_budget(&self) -> u64 {
         self.budget_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Attaches a tiled raster archive: plan analysis becomes
+    /// replay-aware (a temporal restriction reaching before `now` is
+    /// classified against the archive's coverage), `GET /archive`
+    /// serves its statistics, and `geostreams_store_*` metrics land on
+    /// this server's `/metrics` endpoint.
+    pub fn attach_archive(&self, archive: Arc<Archive>, now: i64) {
+        archive.attach_metrics(StoreMetrics::register(self.metrics.registry()));
+        *self.archive.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some((archive, now));
+    }
+
+    /// The attached archive, if any.
+    pub fn archive(&self) -> Option<Arc<Archive>> {
+        self.archive
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .map(|(a, _)| Arc::clone(a))
+    }
+
+    /// Analyzes an optimized plan in the server's temporal context:
+    /// with an archive attached, replay classification runs against its
+    /// coverage; without one, the analysis is context-free.
+    fn analyze_plan(&self, optimized: &Expr) -> PlanReport {
+        let ctx = self.archive.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match ctx.as_ref() {
+            Some((archive, now)) => analyze_with(
+                optimized,
+                &self.catalog,
+                &AnalyzeOptions {
+                    now: Some(*now),
+                    replay: Some(archive.as_ref() as &dyn ReplayProvider),
+                },
+            ),
+            None => analyze_with(optimized, &self.catalog, &AnalyzeOptions::default()),
+        }
     }
 
     /// Registers a query from a parsed client request.
@@ -190,10 +235,9 @@ impl Dsms {
         // Admission control (§3's cost analysis, enforced): reject plans
         // with error diagnostics, no static buffer bound, or a bound
         // over the server's per-query memory budget.
-        let plan = analyze(&optimized, &self.catalog);
+        let plan = self.analyze_plan(&optimized);
         self.admission_check(&plan)?;
-        let mut id_guard =
-            self.next_id.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut id_guard = self.next_id.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let id = *id_guard;
         *id_guard += 1;
         drop(id_guard);
@@ -206,10 +250,7 @@ impl Dsms {
             format: request.format,
             sectors: request.sectors,
         };
-        self.queries
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(handle.clone());
+        self.queries.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(handle.clone());
         Ok(handle)
     }
 
@@ -220,9 +261,7 @@ impl Dsms {
         }
         let budget = self.memory_budget();
         match plan.peak_buffer_bytes {
-            None => Err(CoreError::PlanRejected(
-                "plan has no static buffer bound".to_string(),
-            )),
+            None => Err(CoreError::PlanRejected("plan has no static buffer bound".to_string())),
             Some(bytes) if bytes > budget => Err(CoreError::PlanRejected(format!(
                 "worst-case buffering of {bytes} bytes exceeds the per-query budget of \
                  {budget} bytes"
@@ -249,7 +288,7 @@ impl Dsms {
             expr
         };
         let optimized = optimize(&expr, &self.catalog);
-        let report = analyze(&optimized, &self.catalog);
+        let report = self.analyze_plan(&optimized);
         let admitted = self.admission_check(&report).is_ok();
         Ok(Explanation {
             query: request.query.clone(),
@@ -261,7 +300,12 @@ impl Dsms {
     }
 
     /// Registers a query given as raw algebra text.
-    pub fn register_text(&self, query: &str, format: OutputFormat, sectors: u64) -> Result<QueryHandle> {
+    pub fn register_text(
+        &self,
+        query: &str,
+        format: OutputFormat,
+        sectors: u64,
+    ) -> Result<QueryHandle> {
         self.register(&ClientRequest { query: query.to_string(), format, sectors })
     }
 
@@ -343,7 +387,10 @@ impl Dsms {
         }
         joins
             .into_iter()
-            .map(|j| j.join().unwrap_or_else(|_| Err(CoreError::Unsupported("query thread panicked".into()))))
+            .map(|j| {
+                j.join()
+                    .unwrap_or_else(|_| Err(CoreError::Unsupported("query thread panicked".into())))
+            })
             .collect()
     }
 
@@ -364,6 +411,15 @@ impl Dsms {
             }
             ("GET", "/healthz") => {
                 return crate::protocol::text_response(200, "text/plain", "ok\n");
+            }
+            ("GET", "/archive") => {
+                return match self.archive() {
+                    Some(archive) => {
+                        let body = serde_json::to_vec(&archive.stats()).unwrap_or_default();
+                        crate::protocol::json_response(&body)
+                    }
+                    None => crate::protocol::error_response(404, "no archive attached"),
+                };
             }
             ("GET", "/explain") => {
                 let request = match crate::protocol::parse_explain(raw) {

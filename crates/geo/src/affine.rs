@@ -153,9 +153,9 @@ mod tests {
 
     #[test]
     fn inverse_round_trips() {
-        let t = Affine::rotation(33.0).then(&Affine::scaling(2.5, 0.5)).then(
-            &Affine::translation(4.0, -9.0),
-        );
+        let t = Affine::rotation(33.0)
+            .then(&Affine::scaling(2.5, 0.5))
+            .then(&Affine::translation(4.0, -9.0));
         let inv = t.inverse().unwrap();
         for p in [Coord::new(0.0, 0.0), Coord::new(10.0, -3.0), Coord::new(-7.5, 2.25)] {
             assert!(close(inv.apply(t.apply(p)), p));

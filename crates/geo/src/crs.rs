@@ -10,8 +10,8 @@
 use crate::coord::Coord;
 use crate::error::{GeoError, Result};
 use crate::projection::{
-    Albers, Geostationary, LambertConformal, Mercator, PlateCarree, PolarStereographic,
-    Projection, Sinusoidal, TransverseMercator,
+    Albers, Geostationary, LambertConformal, Mercator, PlateCarree, PolarStereographic, Projection,
+    Sinusoidal, TransverseMercator,
 };
 use serde::{Deserialize, Serialize};
 
@@ -98,9 +98,7 @@ impl Crs {
                 Box::new(LambertConformal::new(lat1, lat2, lat0, lon0))
             }
             Crs::Sinusoidal { lon0 } => Box::new(Sinusoidal::new(lon0)),
-            Crs::Albers { lat1, lat2, lat0, lon0 } => {
-                Box::new(Albers::new(lat1, lat2, lat0, lon0))
-            }
+            Crs::Albers { lat1, lat2, lat0, lon0 } => Box::new(Albers::new(lat1, lat2, lat0, lon0)),
             Crs::PolarStereographic { north, lon0 } => {
                 Box::new(PolarStereographic::new(north, lon0))
             }
@@ -192,8 +190,7 @@ impl std::str::FromStr for Crs {
                     "S" | "s" => (digits, false),
                     _ => (tail, true),
                 };
-                let zone: u8 =
-                    zone_str.parse().map_err(|_| format!("bad UTM zone in `{s}`"))?;
+                let zone: u8 = zone_str.parse().map_err(|_| format!("bad UTM zone in `{s}`"))?;
                 if zone == 0 || zone > 60 {
                     return Err(format!("UTM zone {zone} out of range 1..=60"));
                 }

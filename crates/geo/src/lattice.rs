@@ -85,10 +85,7 @@ impl LatticeGeoref {
     /// Fractional cell coordinates (for interpolation); unclamped.
     #[inline]
     pub fn world_to_fractional(&self, w: Coord) -> (f64, f64) {
-        (
-            (w.x - self.origin.x) / self.step_x,
-            (w.y - self.origin.y) / self.step_y,
-        )
+        ((w.x - self.origin.x) / self.step_x, (w.y - self.origin.y) / self.step_y)
     }
 
     /// World-space bounding box of the full lattice (cell centers
@@ -238,10 +235,7 @@ mod tests {
         for col in fp.col_min..=fp.col_max {
             for row in fp.row_min..=fp.row_max {
                 let w = g.cell_to_world(Cell::new(col, row));
-                assert!(
-                    w.x >= -121.0 - 1e-9 && w.x <= -119.0 + 1e-9,
-                    "col {col} center {w}"
-                );
+                assert!(w.x >= -121.0 - 1e-9 && w.x <= -119.0 + 1e-9, "col {col} center {w}");
                 assert!(w.y >= 33.0 - 1e-9 && w.y <= 35.0 + 1e-9, "row {row} center {w}");
             }
         }

@@ -56,7 +56,16 @@ impl TransverseMercator {
             4397.0 * n4 / 161280.0,
         ];
         let k0_a_rect = k0 * ellipsoid.rectifying_radius();
-        TransverseMercator { lon0_deg, k0, false_easting, false_northing, ellipsoid, alpha, beta, k0_a_rect }
+        TransverseMercator {
+            lon0_deg,
+            k0,
+            false_easting,
+            false_northing,
+            ellipsoid,
+            alpha,
+            beta,
+            k0_a_rect,
+        }
     }
 
     /// The UTM instance for a zone (1..=60) and hemisphere.

@@ -33,12 +33,7 @@ pub struct Rect {
 impl Rect {
     /// Builds a rectangle from two opposite corners (any order).
     pub fn new(x1: f64, y1: f64, x2: f64, y2: f64) -> Rect {
-        Rect {
-            x_min: x1.min(x2),
-            y_min: y1.min(y2),
-            x_max: x1.max(x2),
-            y_max: y1.max(y2),
-        }
+        Rect { x_min: x1.min(x2), y_min: y1.min(y2), x_max: x1.max(x2), y_max: y1.max(y2) }
     }
 
     /// The degenerate empty rectangle used as a fold seed.
@@ -241,9 +236,7 @@ impl Region {
             Region::HalfPlanes(hs) => half_plane_bbox(hs, clamp),
             Region::Points { coords, tolerance } => coords
                 .iter()
-                .fold(Rect::empty(), |r, c| {
-                    r.union(&Rect::new(c.x, c.y, c.x, c.y))
-                })
+                .fold(Rect::empty(), |r, c| r.union(&Rect::new(c.x, c.y, c.x, c.y)))
                 .expand(*tolerance)
                 .intersect(&clamp),
         }
@@ -375,12 +368,9 @@ mod tests {
 
     #[test]
     fn polygon_point_in_triangle() {
-        let tri = Polygon::new(vec![
-            Coord::new(0.0, 0.0),
-            Coord::new(4.0, 0.0),
-            Coord::new(0.0, 4.0),
-        ])
-        .unwrap();
+        let tri =
+            Polygon::new(vec![Coord::new(0.0, 0.0), Coord::new(4.0, 0.0), Coord::new(0.0, 4.0)])
+                .unwrap();
         assert!(tri.contains(Coord::new(1.0, 1.0)));
         assert!(!tri.contains(Coord::new(3.0, 3.0)));
         assert_eq!(tri.bbox(), Rect::new(0.0, 0.0, 4.0, 4.0));
@@ -394,8 +384,10 @@ mod tests {
     #[test]
     fn half_planes_form_a_band() {
         // 1 ≤ x ≤ 3 as two half-planes.
-        let region =
-            Region::HalfPlanes(vec![HalfPlane::new(1.0, 0.0, 3.0), HalfPlane::new(-1.0, 0.0, -1.0)]);
+        let region = Region::HalfPlanes(vec![
+            HalfPlane::new(1.0, 0.0, 3.0),
+            HalfPlane::new(-1.0, 0.0, -1.0),
+        ]);
         assert!(region.contains(Coord::new(2.0, 100.0)));
         assert!(!region.contains(Coord::new(0.5, 0.0)));
         let clamp = Rect::new(-10.0, -10.0, 10.0, 10.0);
@@ -419,8 +411,10 @@ mod tests {
 
     #[test]
     fn infeasible_half_planes_are_empty() {
-        let region =
-            Region::HalfPlanes(vec![HalfPlane::new(1.0, 0.0, 0.0), HalfPlane::new(-1.0, 0.0, -1.0)]);
+        let region = Region::HalfPlanes(vec![
+            HalfPlane::new(1.0, 0.0, 0.0),
+            HalfPlane::new(-1.0, 0.0, -1.0),
+        ]);
         assert!(region.bbox_clamped(Rect::new(-10.0, -10.0, 10.0, 10.0)).is_empty());
     }
 

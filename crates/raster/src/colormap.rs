@@ -62,11 +62,7 @@ impl ColorMap {
                 let (p0, c0) = self.stops[i - 1];
                 let (p1, c1) = self.stops[i];
                 let f = if p1 > p0 { (t - p0) / (p1 - p0) } else { 0.0 };
-                Rgb8::new(
-                    lerp_u8(c0.r, c1.r, f),
-                    lerp_u8(c0.g, c1.g, f),
-                    lerp_u8(c0.b, c1.b, f),
-                )
+                Rgb8::new(lerp_u8(c0.r, c1.r, f), lerp_u8(c0.g, c1.g, f), lerp_u8(c0.b, c1.b, f))
             }
         }
     }

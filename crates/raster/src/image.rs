@@ -94,8 +94,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "width mismatch")]
     fn dimension_mismatch_panics() {
-        let georef =
-            LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), 5, 5);
+        let georef = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), 5, 5);
         let _ = RasterImage::new(Grid2D::<u8>::new(4, 5), georef, 0, 0);
     }
 }

@@ -14,11 +14,7 @@ pub fn mae<T: Pixel>(a: &Grid2D<T>, b: &Grid2D<T>) -> f64 {
     if a.is_empty() {
         return 0.0;
     }
-    a.data()
-        .iter()
-        .zip(b.data())
-        .map(|(x, y)| (x.to_f64() - y.to_f64()).abs())
-        .sum::<f64>()
+    a.data().iter().zip(b.data()).map(|(x, y)| (x.to_f64() - y.to_f64()).abs()).sum::<f64>()
         / a.len() as f64
 }
 

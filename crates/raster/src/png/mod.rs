@@ -134,8 +134,7 @@ pub fn decode(png: &[u8]) -> Result<Decoded, String> {
             return Err("truncated chunk".into());
         }
         let data = &png[pos + 8..pos + 8 + len];
-        let crc_stored =
-            u32::from_be_bytes(png[pos + 8 + len..pos + 12 + len].try_into().unwrap());
+        let crc_stored = u32::from_be_bytes(png[pos + 8 + len..pos + 12 + len].try_into().unwrap());
         let mut crc = Crc32::new();
         crc.update(kind);
         crc.update(data);
@@ -250,10 +249,8 @@ mod tests {
         let img = gradient(256, 256);
         let none_stored =
             encode_gray(&img, PngOptions { filter: Filter::None, strategy: Strategy::Stored });
-        let sub_fixed = encode_gray(
-            &img,
-            PngOptions { filter: Filter::Sub, strategy: Strategy::FixedHuffman },
-        );
+        let sub_fixed =
+            encode_gray(&img, PngOptions { filter: Filter::Sub, strategy: Strategy::FixedHuffman });
         assert!(
             sub_fixed.len() * 10 < none_stored.len(),
             "sub+fixed {} vs none+stored {}",

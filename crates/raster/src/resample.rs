@@ -76,12 +76,7 @@ pub fn sample_source<S: SampleSource + ?Sized>(src: &S, fc: f64, fr: f64, kernel
             let mut rows = [0.0; 4];
             for (j, row_acc) in rows.iter_mut().enumerate() {
                 let r = r0 - 1 + j as i64;
-                let p = [
-                    src.at(c0 - 1, r),
-                    src.at(c0, r),
-                    src.at(c0 + 1, r),
-                    src.at(c0 + 2, r),
-                ];
+                let p = [src.at(c0 - 1, r), src.at(c0, r), src.at(c0 + 1, r), src.at(c0 + 2, r)];
                 *row_acc = catmull_rom(p, tx);
             }
             catmull_rom(rows, ty)

@@ -302,9 +302,7 @@ impl<S: GeoStream> ChaosStream<S> {
     /// that share a seed (use e.g. the band id, or the ingest attempt
     /// number) without losing run-to-run determinism.
     pub fn new(input: S, plan: FaultPlan, salt: u64) -> Self {
-        let rng = plan
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let rng = plan.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9)
             ^ 0x5A17_5A17_5A17_5A17;
         ChaosStream {
@@ -333,8 +331,7 @@ impl<S: GeoStream> ChaosStream<S> {
     }
 
     fn sync_probe(&self) {
-        let mut guard =
-            self.probe.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut guard = self.probe.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         *guard = self.stats.clone();
     }
 
@@ -458,8 +455,7 @@ impl<S: GeoStream> GeoStream for ChaosStream<S> {
                     }
                     if self.plan.corrupt > 0.0 && roll(&mut self.rng) < self.plan.corrupt {
                         self.stats.corrupted += 1;
-                        let delta =
-                            (roll(&mut self.rng) * 2.0 - 1.0) * self.plan.corrupt_magnitude;
+                        let delta = (roll(&mut self.rng) * 2.0 - 1.0) * self.plan.corrupt_magnitude;
                         Element::point(p.cell, S::V::from_f64(p.value.to_f64() + delta))
                     } else {
                         Element::Point(p)

@@ -166,9 +166,12 @@ mod tests {
         let m = model();
         for i in 0..200 {
             let p = Coord::new(-130.0 + i as f64 * 0.7, -60.0 + i as f64 * 0.6);
-            for kind in
-                [BandKind::Visible, BandKind::NearInfrared, BandKind::WaterVapor, BandKind::ThermalIr]
-            {
+            for kind in [
+                BandKind::Visible,
+                BandKind::NearInfrared,
+                BandKind::WaterVapor,
+                BandKind::ThermalIr,
+            ] {
                 let v = m.sample(kind, p, i);
                 assert!((0.0..=1.0).contains(&v), "{kind:?} {v} at {p}");
             }
@@ -229,10 +232,7 @@ mod tests {
         let mut best_cloud = (0.0, Coord::new(0.0, 0.0));
         let mut clear = None;
         for i in 0..40_000 {
-            let p = Coord::new(
-                -170.0 + (i % 200) as f64 * 0.85,
-                -50.0 + (i / 200) as f64 * 0.5,
-            );
+            let p = Coord::new(-170.0 + (i % 200) as f64 * 0.85, -50.0 + (i / 200) as f64 * 0.5);
             let c = m.cloud(p, 0);
             if c > best_cloud.0 {
                 best_cloud = (c, p);

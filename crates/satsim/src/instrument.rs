@@ -82,12 +82,7 @@ mod tests {
                 BandSpec { id: 1, name: "vis".into(), kind: BandKind::Visible, reduction: 1 },
                 BandSpec { id: 2, name: "nir".into(), kind: BandKind::NearInfrared, reduction: 2 },
             ],
-            base_lattice: LatticeGeoref::north_up(
-                Crs::LatLon,
-                Rect::new(0.0, 0.0, 8.0, 8.0),
-                8,
-                8,
-            ),
+            base_lattice: LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 8.0, 8.0), 8, 8),
             sector_period: 1,
             drift_per_sector: (0.0, 0.0),
         }

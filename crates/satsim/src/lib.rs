@@ -36,6 +36,6 @@ pub mod trace;
 pub use faults::{ChaosStream, FaultPlan, FaultProbe, FaultStats};
 pub use field::{BandKind, EarthModel};
 pub use goes::goes_like;
-pub use modis::modis_like;
 pub use instrument::{BandSpec, Instrument};
+pub use modis::modis_like;
 pub use scanner::{Scanner, SyntheticStream};

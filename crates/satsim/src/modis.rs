@@ -18,23 +18,14 @@ use geostreams_geo::{Coord, Crs, LatticeGeoref, Rect};
 /// The first granule covers a swath starting at `(start_lon, start_lat)`
 /// degrees; each subsequent granule advances one swath-height southward
 /// along the descending track.
-pub fn modis_like(
-    width: u32,
-    height: u32,
-    start_lon: f64,
-    start_lat: f64,
-    seed: u64,
-) -> Scanner {
+pub fn modis_like(width: u32, height: u32, start_lon: f64, start_lat: f64, seed: u64) -> Scanner {
     let sinu = Crs::Sinusoidal { lon0: 0.0 };
     // A swath ≈ 2330 km across track (the real MODIS swath) scaled to
     // keep granules compact relative to the requested grid.
-    let origin = sinu
-        .forward(Coord::new(start_lon, start_lat))
-        .expect("start point projects");
+    let origin = sinu.forward(Coord::new(start_lon, start_lat)).expect("start point projects");
     let swath_w = 2_330_000.0;
     let swath_h = swath_w * f64::from(height) / f64::from(width);
-    let bounds =
-        Rect::new(origin.x, origin.y - swath_h, origin.x + swath_w, origin.y);
+    let bounds = Rect::new(origin.x, origin.y - swath_h, origin.x + swath_w, origin.y);
     let base_lattice = LatticeGeoref::north_up(sinu, bounds, width, height);
     let instrument = Instrument {
         name: "modis-sim".into(),

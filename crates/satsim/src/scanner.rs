@@ -41,10 +41,8 @@ impl Scanner {
     pub fn sector_lattice(&self, band_idx: usize, sector: u64) -> LatticeGeoref {
         let mut lat = self.instrument.band_lattice(band_idx);
         let (dx, dy) = self.instrument_drift();
-        lat.origin = Coord::new(
-            lat.origin.x + dx * sector as f64,
-            lat.origin.y + dy * sector as f64,
-        );
+        lat.origin =
+            Coord::new(lat.origin.x + dx * sector as f64, lat.origin.y + dy * sector as f64);
         lat
     }
 
@@ -54,11 +52,26 @@ impl Scanner {
 
     /// A lazy stream of `n_sectors` sectors for one band.
     pub fn band_stream(&self, band_idx: usize, n_sectors: u64) -> SyntheticStream {
+        self.band_stream_from(band_idx, 0, n_sectors)
+    }
+
+    /// A lazy stream of `n_sectors` sectors for one band, starting at
+    /// `first_sector` (the "now" of a live feed joining a downlink that
+    /// has been transmitting for a while). Frame ids are assigned from
+    /// the global scan position, so `band_stream_from(b, k, n)` emits
+    /// exactly the frames (ids included) that sectors `[k, k+n)` of
+    /// `band_stream(b, k+n)` would — archived history and a late-started
+    /// live feed agree on identity.
+    pub fn band_stream_from(
+        &self,
+        band_idx: usize,
+        first_sector: u64,
+        n_sectors: u64,
+    ) -> SyntheticStream {
         let ins = &self.instrument;
         assert!(band_idx < ins.bands.len(), "band index out of range");
         let band = &ins.bands[band_idx];
-        let mut schema =
-            StreamSchema::new(format!("{}.{}", ins.name, band.name), ins.crs);
+        let mut schema = StreamSchema::new(format!("{}.{}", ins.name, band.name), ins.crs);
         schema.band = band.id;
         schema.organization = ins.organization;
         schema.time_semantics = ins.time_semantics;
@@ -68,18 +81,32 @@ impl Scanner {
         SyntheticStream {
             scanner: self.clone(),
             band_idx,
-            n_sectors,
+            n_sectors: first_sector + n_sectors,
             projection,
             schema,
-            sector: 0,
+            sector: first_sector,
             row: 0,
             col: 0,
             burst_left: 0,
-            next_frame_id: 0,
+            next_frame_id: first_sector * self.frames_per_sector(band_idx),
             phase: Phase::SectorStart,
             lattice: None,
             stats: OpStats::default(),
             points_emitted: 0,
+        }
+    }
+
+    /// Frames one sector of `band_idx` decomposes into (rows for
+    /// row-by-row instruments, one whole image for frame cameras, point
+    /// bursts for LIDAR-style instruments).
+    pub fn frames_per_sector(&self, band_idx: usize) -> u64 {
+        let lat = self.instrument.band_lattice(band_idx);
+        match self.instrument.organization {
+            Organization::ImageByImage => 1,
+            Organization::RowByRow => u64::from(lat.height),
+            Organization::PointByPoint => {
+                u64::from(lat.height) * u64::from(lat.width.div_ceil(POINT_BURST))
+            }
         }
     }
 
@@ -317,9 +344,10 @@ impl GeoStream for SyntheticStream {
                         self.col = 0;
                         self.row += 1;
                     }
-                    return Some(Element::Point(
-                        geostreams_core::model::PointRecord { cell, value: v },
-                    ));
+                    return Some(Element::Point(geostreams_core::model::PointRecord {
+                        cell,
+                        value: v,
+                    }));
                 }
                 Phase::FrameEnd => {
                     let lattice = self.lattice.expect("sector open");
@@ -346,10 +374,7 @@ impl GeoStream for SyntheticStream {
                     } else {
                         Phase::FrameStart
                     };
-                    return Some(Element::FrameEnd(FrameEnd {
-                        frame_id,
-                        sector_id: self.sector,
-                    }));
+                    return Some(Element::FrameEnd(FrameEnd { frame_id, sector_id: self.sector }));
                 }
                 Phase::SectorEnd => {
                     let id = self.sector;
@@ -381,12 +406,7 @@ mod tests {
             time_semantics: TimeSemantics::SectorId,
             bands: vec![
                 BandSpec { id: 1, name: "vis".into(), kind: BandKind::Visible, reduction: 1 },
-                BandSpec {
-                    id: 2,
-                    name: "nir".into(),
-                    kind: BandKind::NearInfrared,
-                    reduction: 1,
-                },
+                BandSpec { id: 2, name: "nir".into(), kind: BandKind::NearInfrared, reduction: 1 },
             ],
             base_lattice: LatticeGeoref::north_up(
                 Crs::LatLon,
@@ -466,10 +486,18 @@ mod tests {
 
     #[test]
     fn stream_values_are_deterministic() {
-        let a: Vec<f32> =
-            scanner(Organization::RowByRow).band_stream(0, 2).drain_points().iter().map(|p| p.value).collect();
-        let b: Vec<f32> =
-            scanner(Organization::RowByRow).band_stream(0, 2).drain_points().iter().map(|p| p.value).collect();
+        let a: Vec<f32> = scanner(Organization::RowByRow)
+            .band_stream(0, 2)
+            .drain_points()
+            .iter()
+            .map(|p| p.value)
+            .collect();
+        let b: Vec<f32> = scanner(Organization::RowByRow)
+            .band_stream(0, 2)
+            .drain_points()
+            .iter()
+            .map(|p| p.value)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -521,6 +549,23 @@ mod tests {
         let n = stamps.len();
         stamps.dedup();
         assert_eq!(stamps.len(), n, "burst timestamps must differ");
+    }
+
+    #[test]
+    fn band_stream_from_matches_the_tail_of_a_full_run() {
+        for org in [Organization::RowByRow, Organization::ImageByImage, Organization::PointByPoint]
+        {
+            let sc = scanner(org);
+            let full: Vec<Element<f32>> = sc.band_stream(0, 4).drain_elements();
+            let tail: Vec<Element<f32>> = sc.band_stream_from(0, 2, 2).drain_elements();
+            // The late-started stream is exactly the suffix of the full
+            // run from sector 2 on — frame ids included.
+            let cut = full
+                .iter()
+                .position(|e| matches!(e, Element::SectorStart(si) if si.sector_id == 2))
+                .unwrap();
+            assert_eq!(&full[cut..], &tail[..], "{org}");
+        }
     }
 
     #[test]

@@ -39,9 +39,7 @@ impl Value {
     /// Looks up a key in an object value.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
-            Value::Object(entries) => {
-                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -253,9 +251,7 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &Value) -> Result<Self, Error> {
         let items = Vec::<T>::from_value(v)?;
         let n = items.len();
-        items
-            .try_into()
-            .map_err(|_| Error::msg(format!("expected {N}-element array, got {n}")))
+        items.try_into().map_err(|_| Error::msg(format!("expected {N}-element array, got {n}")))
     }
 }
 
@@ -318,10 +314,9 @@ impl<V: Serialize> Serialize for BTreeMap<String, V> {
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
-            Value::Object(entries) => entries
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
-                .collect(),
+            Value::Object(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
             other => Err(Error::msg(format!("expected object, got {other:?}"))),
         }
     }
@@ -340,10 +335,9 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
 impl<V: Deserialize> Deserialize for HashMap<String, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
-            Value::Object(entries) => entries
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
-                .collect(),
+            Value::Object(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
             other => Err(Error::msg(format!("expected object, got {other:?}"))),
         }
     }

@@ -298,8 +298,7 @@ fn impl_header(input: &Input, bound: &str) -> (String, String) {
     if input.generics.is_empty() {
         return (String::new(), input.name.clone());
     }
-    let bounded: Vec<String> =
-        input.generics.iter().map(|g| format!("{g}: {bound}")).collect();
+    let bounded: Vec<String> = input.generics.iter().map(|g| format!("{g}: {bound}")).collect();
     (format!("<{}>", bounded.join(", ")), format!("{}<{}>", input.name, input.generics.join(", ")))
 }
 
@@ -378,8 +377,7 @@ fn gen_serialize(input: &Input) -> String {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let binds: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let inner = gen_ser_fields(fields, |fname| fname.to_string());
                         arms.push_str(&format!(
                             "Self::{n} {{ {} }} => {{ let __inner = {{ {inner} }}; \
@@ -428,9 +426,8 @@ fn gen_deserialize(input: &Input) -> String {
             for v in variants {
                 let n = &v.name;
                 match &v.kind {
-                    VariantKind::Unit => unit_arms.push_str(&format!(
-                        "\"{n}\" => ::std::result::Result::Ok(Self::{n}),\n"
-                    )),
+                    VariantKind::Unit => unit_arms
+                        .push_str(&format!("\"{n}\" => ::std::result::Result::Ok(Self::{n}),\n")),
                     VariantKind::Tuple(1) => data_arms.push_str(&format!(
                         "\"{n}\" => ::std::result::Result::Ok(Self::{n}(\
                          ::serde::Deserialize::from_value(__inner)?)),\n"
@@ -450,8 +447,7 @@ fn gen_deserialize(input: &Input) -> String {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let fields_src =
-                            gen_de_fields(fields, &format!("{name}::{n}"), "__inner");
+                        let fields_src = gen_de_fields(fields, &format!("{name}::{n}"), "__inner");
                         data_arms.push_str(&format!(
                             "\"{n}\" => ::std::result::Result::Ok(Self::{n} {{\n{fields_src}}}),\n"
                         ));

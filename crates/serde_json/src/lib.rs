@@ -10,8 +10,8 @@
 //! `float_roundtrip` feature of real serde_json holds by construction).
 //! Non-finite floats render as `null`, matching real serde_json.
 
-pub use serde::{Error, Value};
 use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
 
 /// Result alias matching real serde_json's signature shape.
 pub type Result<T> = std::result::Result<T, Error>;
@@ -143,10 +143,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::msg(format!(
-                "expected `{}` at offset {}",
-                b as char, self.pos
-            )))
+            Err(Error::msg(format!("expected `{}` at offset {}", b as char, self.pos)))
         }
     }
 
@@ -226,16 +223,12 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
-            let b = self
-                .peek()
-                .ok_or_else(|| Error::msg("unterminated string"))?;
+            let b = self.peek().ok_or_else(|| Error::msg("unterminated string"))?;
             self.pos += 1;
             match b {
                 b'"' => return Ok(out),
                 b'\\' => {
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    let esc = self.peek().ok_or_else(|| Error::msg("unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -266,10 +259,7 @@ impl<'a> Parser<'a> {
                             out.push(c.ok_or_else(|| Error::msg("invalid \\u escape"))?);
                         }
                         other => {
-                            return Err(Error::msg(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::msg(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -279,10 +269,8 @@ impl<'a> Parser<'a> {
                     let start = self.pos - 1;
                     let len = utf8_len(b);
                     let end = start + len;
-                    let slice = self
-                        .bytes
-                        .get(start..end)
-                        .ok_or_else(|| Error::msg("truncated utf-8"))?;
+                    let slice =
+                        self.bytes.get(start..end).ok_or_else(|| Error::msg("truncated utf-8"))?;
                     let s = std::str::from_utf8(slice)
                         .map_err(|_| Error::msg("invalid utf-8 in string"))?;
                     out.push_str(s);

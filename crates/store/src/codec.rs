@@ -1,0 +1,480 @@
+//! Tile codecs: quantization, delta chains, byte planes and PackBits.
+//!
+//! A tile stripe (one `tile_width`-column slice of a frame) is encoded
+//! in four steps:
+//!
+//! 1. **Lanes** — each cell value becomes an integer lane: a 16-bit
+//!    quantized count under [`Codec::Quant16`] (faithful to GOES GVAR's
+//!    10-bit detector counts, and half the size of `f32` before any
+//!    compression even starts), or the raw `f32` bit pattern under
+//!    [`Codec::LosslessF32`].
+//! 2. **Delta** — a *keyframe* stripe stores horizontal deltas (each
+//!    lane minus its left neighbor); a chained stripe stores vertical
+//!    deltas against the previous frame's co-located stripe. Deltas are
+//!    wrapping subtraction for Quant16 and XOR for LosslessF32, so the
+//!    chain is exactly invertible.
+//! 3. **Byte planes** — deltas are split into per-byte planes (2 for
+//!    Quant16, 4 for LosslessF32); smooth imagery concentrates entropy
+//!    in the low plane and leaves high planes almost all zero.
+//! 4. **PackBits RLE** — each plane (and the presence bitmap) is
+//!    run-length encoded with the classic PackBits scheme.
+//!
+//! Cells the instrument never delivered are recorded in a **presence
+//! bitmap** and re-emitted as gaps on replay — the archive never invents
+//! data. Missing lanes are filled with their predicted value (left
+//! neighbor on keyframes, previous frame otherwise) so they cost ~zero
+//! bits and keep the delta chain deterministic on both sides.
+
+use geostreams_core::{CoreError, Result};
+
+/// Tile payload encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Codec {
+    /// 16-bit quantization over the stream's declared value range
+    /// (lossy: ~1/65535 of the range, below sensor noise for GOES-class
+    /// counts), then delta + 2 byte planes + PackBits.
+    #[default]
+    Quant16,
+    /// Bit-exact `f32` storage: XOR delta of bit patterns, 4 byte
+    /// planes + PackBits. Larger, but replay is bitwise identical.
+    LosslessF32,
+}
+
+impl Codec {
+    /// Number of byte planes a delta lane splits into.
+    pub fn planes(self) -> usize {
+        match self {
+            Codec::Quant16 => 2,
+            Codec::LosslessF32 => 4,
+        }
+    }
+
+    /// Wire tag for segment records.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Codec::Quant16 => 0,
+            Codec::LosslessF32 => 1,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_u8(v: u8) -> Result<Codec> {
+        match v {
+            0 => Ok(Codec::Quant16),
+            1 => Ok(Codec::LosslessF32),
+            other => Err(CoreError::Storage(format!("unknown codec tag {other}"))),
+        }
+    }
+
+    /// Lane for a value.
+    fn lane(self, v: f32, range: (f64, f64)) -> u32 {
+        match self {
+            Codec::Quant16 => u32::from(quantize(v, range)),
+            Codec::LosslessF32 => v.to_bits(),
+        }
+    }
+
+    /// Value for a lane.
+    pub fn value(self, lane: u32, range: (f64, f64)) -> f32 {
+        match self {
+            Codec::Quant16 => dequantize(lane as u16, range),
+            Codec::LosslessF32 => f32::from_bits(lane),
+        }
+    }
+
+    /// Invertible delta `a ⊖ b`.
+    fn delta(self, a: u32, b: u32) -> u32 {
+        match self {
+            Codec::Quant16 => u32::from((a as u16).wrapping_sub(b as u16)),
+            Codec::LosslessF32 => a ^ b,
+        }
+    }
+
+    /// Inverse of [`Codec::delta`]: recovers `a` from `d = a ⊖ b`.
+    fn undelta(self, d: u32, b: u32) -> u32 {
+        match self {
+            Codec::Quant16 => u32::from((d as u16).wrapping_add(b as u16)),
+            Codec::LosslessF32 => d ^ b,
+        }
+    }
+}
+
+/// Quantizes a value into the 16-bit lane domain over `range` (clamped;
+/// a degenerate range maps everything to 0).
+pub fn quantize(v: f32, (lo, hi): (f64, f64)) -> u16 {
+    let span = hi - lo;
+    if span <= 0.0 {
+        return 0;
+    }
+    let t = ((f64::from(v) - lo) / span * 65535.0).round();
+    if t <= 0.0 {
+        0
+    } else if t >= 65535.0 {
+        65535
+    } else {
+        t as u16
+    }
+}
+
+/// Inverse of [`quantize`] (the codebook midpoint of the chosen level).
+pub fn dequantize(q: u16, (lo, hi): (f64, f64)) -> f32 {
+    (lo + f64::from(q) / 65535.0 * (hi - lo)) as f32
+}
+
+/// PackBits run-length encoding: control byte `c` in `0..=127` is
+/// followed by `c + 1` literal bytes; `c` in `129..=255` means the next
+/// byte repeats `257 - c` times; `128` is reserved (never emitted).
+pub fn packbits_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    let mut i = 0;
+    while i < data.len() {
+        // Measure the run starting at i (capped at 128).
+        let b = data[i];
+        let mut run = 1;
+        while run < 128 && i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        if run >= 3 {
+            out.push((257 - run) as u8);
+            out.push(b);
+            i += run;
+            continue;
+        }
+        // Literal chunk: extend until a run of >= 3 starts (or 128 bytes).
+        let start = i;
+        let mut end = i + run;
+        while end < data.len() && end - start < 128 {
+            let c = data[end];
+            let mut r = 1;
+            while r < 3 && end + r < data.len() && data[end + r] == c {
+                r += 1;
+            }
+            if r >= 3 {
+                break;
+            }
+            end += r;
+        }
+        let end = end.min(start + 128).min(data.len());
+        out.push((end - start - 1) as u8);
+        out.extend_from_slice(&data[start..end]);
+        i = end;
+    }
+    out
+}
+
+/// Decodes PackBits data into exactly `expected_len` bytes.
+pub fn packbits_decode(data: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut i = 0;
+    while out.len() < expected_len {
+        let Some(&c) = data.get(i) else {
+            return Err(CoreError::Storage("truncated PackBits stream".into()));
+        };
+        i += 1;
+        if c < 128 {
+            let n = usize::from(c) + 1;
+            let Some(lit) = data.get(i..i + n) else {
+                return Err(CoreError::Storage("truncated PackBits literal".into()));
+            };
+            out.extend_from_slice(lit);
+            i += n;
+        } else if c == 128 {
+            return Err(CoreError::Storage("reserved PackBits control byte 128".into()));
+        } else {
+            let n = 257 - usize::from(c);
+            let Some(&b) = data.get(i) else {
+                return Err(CoreError::Storage("truncated PackBits run".into()));
+            };
+            i += 1;
+            out.extend(std::iter::repeat_n(b, n));
+        }
+    }
+    if out.len() != expected_len || i != data.len() {
+        return Err(CoreError::Storage(format!(
+            "PackBits length mismatch: decoded {} of {expected_len} expected bytes, \
+             consumed {i} of {} input bytes",
+            out.len(),
+            data.len()
+        )));
+    }
+    Ok(out)
+}
+
+fn pack_bits(present: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; present.len().div_ceil(8)];
+    for (i, &p) in present.iter().enumerate() {
+        if p {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
+    (0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect()
+}
+
+fn push_section(out: &mut Vec<u8>, raw: &[u8]) {
+    let packed = packbits_encode(raw);
+    out.extend_from_slice(&u32::try_from(packed.len()).unwrap_or(u32::MAX).to_le_bytes());
+    out.extend_from_slice(&packed);
+}
+
+fn read_section(payload: &[u8], at: &mut usize, raw_len: usize) -> Result<Vec<u8>> {
+    let Some(hdr) = payload.get(*at..*at + 4) else {
+        return Err(CoreError::Storage("truncated tile section header".into()));
+    };
+    let clen = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
+    *at += 4;
+    let Some(body) = payload.get(*at..*at + clen) else {
+        return Err(CoreError::Storage("truncated tile section body".into()));
+    };
+    *at += clen;
+    packbits_decode(body, raw_len)
+}
+
+/// An encoded stripe plus the lane vector that continues its delta chain.
+pub struct EncodedStripe {
+    /// Payload bytes for the segment's tile record.
+    pub payload: Vec<u8>,
+    /// Reconstructed lanes — the `prev` input for the next frame's
+    /// co-located stripe.
+    pub lanes: Vec<u32>,
+    /// Number of present (delivered) cells.
+    pub n_points: u32,
+}
+
+/// Encodes one stripe of cell values.
+///
+/// `prev` is the co-located stripe of the previous frame; pass
+/// `keyframe = true` whenever it is absent or its length differs (the
+/// caller decides keyframe cadence, the codec enforces soundness).
+pub fn encode_stripe(
+    codec: Codec,
+    range: (f64, f64),
+    values: &[Option<f32>],
+    prev: Option<&[u32]>,
+    keyframe: bool,
+) -> Result<EncodedStripe> {
+    let chained = match prev {
+        Some(p) if !keyframe && p.len() == values.len() => Some(p),
+        Some(_) if !keyframe => {
+            return Err(CoreError::Storage("delta chain length mismatch without keyframe".into()));
+        }
+        _ if !keyframe => {
+            return Err(CoreError::Storage("delta chain has no predecessor".into()));
+        }
+        _ => None,
+    };
+    let mut present = Vec::with_capacity(values.len());
+    let mut lanes = Vec::with_capacity(values.len());
+    let mut n_points = 0u32;
+    for (i, v) in values.iter().enumerate() {
+        match v {
+            Some(v) => {
+                present.push(true);
+                lanes.push(codec.lane(*v, range));
+                n_points += 1;
+            }
+            None => {
+                present.push(false);
+                // Predicted fill: zero delta bits, deterministic on decode.
+                let fill = match chained {
+                    Some(p) => p[i],
+                    None if i > 0 => lanes[i - 1],
+                    None => 0,
+                };
+                lanes.push(fill);
+            }
+        }
+    }
+    let deltas: Vec<u32> = (0..lanes.len())
+        .map(|i| match chained {
+            Some(p) => codec.delta(lanes[i], p[i]),
+            None if i > 0 => codec.delta(lanes[i], lanes[i - 1]),
+            None => lanes[i],
+        })
+        .collect();
+    let mut payload = Vec::new();
+    push_section(&mut payload, &pack_bits(&present));
+    for p in 0..codec.planes() {
+        let plane: Vec<u8> = deltas.iter().map(|d| (d >> (8 * p)) as u8).collect();
+        push_section(&mut payload, &plane);
+    }
+    Ok(EncodedStripe { payload, lanes, n_points })
+}
+
+/// A decoded stripe: which cells were present, and the lane vector (both
+/// the data and the chain state for the next frame).
+pub struct DecodedStripe {
+    /// Presence bitmap, one flag per cell of the stripe.
+    pub present: Vec<bool>,
+    /// Reconstructed lanes (convert with [`Codec::value`]).
+    pub lanes: Vec<u32>,
+}
+
+/// Decodes one stripe of `n_cells` cells; `prev` must be the lanes of
+/// the previous frame's co-located stripe unless `keyframe`.
+pub fn decode_stripe(
+    codec: Codec,
+    payload: &[u8],
+    n_cells: usize,
+    prev: Option<&[u32]>,
+    keyframe: bool,
+) -> Result<DecodedStripe> {
+    let chained = match prev {
+        _ if keyframe => None,
+        Some(p) if p.len() == n_cells => Some(p),
+        _ => {
+            return Err(CoreError::Storage(
+                "chained tile decoded without a matching predecessor".into(),
+            ));
+        }
+    };
+    let mut at = 0usize;
+    let present = unpack_bits(&read_section(payload, &mut at, n_cells.div_ceil(8))?, n_cells);
+    let mut planes = Vec::with_capacity(codec.planes());
+    for _ in 0..codec.planes() {
+        planes.push(read_section(payload, &mut at, n_cells)?);
+    }
+    if at != payload.len() {
+        return Err(CoreError::Storage("trailing bytes after tile sections".into()));
+    }
+    let mut lanes = Vec::with_capacity(n_cells);
+    for i in 0..n_cells {
+        let mut d = 0u32;
+        for (p, plane) in planes.iter().enumerate() {
+            d |= u32::from(plane[i]) << (8 * p);
+        }
+        let lane = match chained {
+            Some(p) => codec.undelta(d, p[i]),
+            None if i > 0 => codec.undelta(d, lanes[i - 1]),
+            None => d,
+        };
+        lanes.push(lane);
+    }
+    Ok(DecodedStripe { present, lanes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packbits_round_trips() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![7],
+            vec![0; 1000],
+            vec![1, 2, 3, 4, 5],
+            vec![1, 1, 2, 2, 3, 3],
+            (0..=255u8).chain(std::iter::repeat_n(9, 300)).collect(),
+            {
+                let mut v: Vec<u8> = (0..512).map(|i| (i % 7) as u8).collect();
+                v.extend(vec![42u8; 129]);
+                v
+            },
+        ];
+        for data in cases {
+            let enc = packbits_encode(&data);
+            let dec = packbits_decode(&enc, data.len()).unwrap();
+            assert_eq!(dec, data);
+        }
+    }
+
+    #[test]
+    fn packbits_compresses_constant_data() {
+        let data = vec![0u8; 4096];
+        assert!(packbits_encode(&data).len() < 80);
+    }
+
+    #[test]
+    fn quantize_is_monotone_and_clamped() {
+        let r = (0.0, 1.0);
+        assert_eq!(quantize(-1.0, r), 0);
+        assert_eq!(quantize(2.0, r), 65535);
+        assert!(quantize(0.25, r) < quantize(0.75, r));
+        // Dequantized value stays within half a step of the original.
+        let v = 0.6180339f32;
+        assert!((dequantize(quantize(v, r), r) - v).abs() < 1.0 / 65534.0);
+    }
+
+    fn chain_case(codec: Codec) {
+        let range = (0.0, 1.0);
+        let rows: Vec<Vec<Option<f32>>> = (0..5)
+            .map(|f| {
+                (0..64)
+                    .map(|c| {
+                        if f == 2 && c % 7 == 0 {
+                            None // a frame with gaps
+                        } else {
+                            Some((c as f32 / 64.0 + f as f32 * 0.01).min(1.0))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut enc_prev: Option<Vec<u32>> = None;
+        let mut dec_prev: Option<Vec<u32>> = None;
+        for (f, vals) in rows.iter().enumerate() {
+            let key = f == 0;
+            let e = encode_stripe(codec, range, vals, enc_prev.as_deref(), key).unwrap();
+            let d = decode_stripe(codec, &e.payload, vals.len(), dec_prev.as_deref(), key).unwrap();
+            assert_eq!(d.lanes, e.lanes, "frame {f}");
+            for (i, v) in vals.iter().enumerate() {
+                match v {
+                    None => assert!(!d.present[i]),
+                    Some(v) => {
+                        assert!(d.present[i]);
+                        let got = codec.value(d.lanes[i], range);
+                        match codec {
+                            Codec::LosslessF32 => assert_eq!(got.to_bits(), v.to_bits()),
+                            Codec::Quant16 => assert!((got - v).abs() < 1.0 / 65534.0),
+                        }
+                    }
+                }
+            }
+            enc_prev = Some(e.lanes);
+            dec_prev = Some(d.lanes);
+        }
+    }
+
+    #[test]
+    fn quant16_chain_round_trips() {
+        chain_case(Codec::Quant16);
+    }
+
+    #[test]
+    fn lossless_chain_is_bitwise_exact() {
+        chain_case(Codec::LosslessF32);
+    }
+
+    #[test]
+    fn chained_decode_without_predecessor_errors() {
+        let vals: Vec<Option<f32>> = (0..8).map(|c| Some(c as f32)).collect();
+        let range = (0.0, 8.0);
+        let key = encode_stripe(Codec::Quant16, range, &vals, None, true).unwrap();
+        let e = encode_stripe(Codec::Quant16, range, &vals, Some(&key.lanes), false).unwrap();
+        assert!(decode_stripe(Codec::Quant16, &e.payload, 8, None, false).is_err());
+        assert!(encode_stripe(Codec::Quant16, range, &vals, None, false).is_err());
+    }
+
+    #[test]
+    fn smooth_rows_compress_well() {
+        // A smooth gradient row chained over 16 frames: the payload must
+        // be much smaller than raw f32 (the ratio the bench reports).
+        let range = (0.0, 1.0);
+        let mut prev: Option<Vec<u32>> = None;
+        let mut payload_bytes = 0usize;
+        let n = 512;
+        for f in 0..16 {
+            let vals: Vec<Option<f32>> =
+                (0..n).map(|c| Some(((c as f32 / n as f32) + f as f32 * 0.001).fract())).collect();
+            let e = encode_stripe(Codec::Quant16, range, &vals, prev.as_deref(), f == 0).unwrap();
+            payload_bytes += e.payload.len();
+            prev = Some(e.lanes);
+        }
+        let raw = 16 * n * 4;
+        assert!(payload_bytes * 2 < raw, "compressed {payload_bytes} vs raw {raw} bytes");
+    }
+}

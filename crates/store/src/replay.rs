@@ -1,0 +1,388 @@
+//! The archive's read path: [`ArchiveReplay`], a `GeoStream`-compatible
+//! source that replays an indexed `[t0, t1) × region` slice in lattice
+//! order, and [`SpliceStream`], which splices such a backfill onto the
+//! live feed exactly once at the recorded watermark.
+
+use crate::archive::{Archive, PlannedFrame, PlannedSector, ReplayPlan};
+use crate::codec::decode_stripe;
+use geostreams_core::model::{Element, FrameEnd, FrameInfo, PointRecord, SectorEnd, StreamSchema};
+use geostreams_core::stats::OpStats;
+use geostreams_core::{GeoStream, Result};
+use geostreams_geo::{Cell, CellBox, Rect};
+use std::collections::{HashMap, VecDeque};
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A decoded tile kept in the shared cache: presence flags plus lanes.
+pub(crate) struct TileData {
+    pub(crate) present: Vec<bool>,
+    pub(crate) lanes: Vec<u32>,
+}
+
+/// Shared decoded-tile cache with tick-based LRU eviction, keyed by
+/// `(band, sector, frame, tile_x)`. Overlapping replays (many
+/// late-joining subscribers over one downlink) hit instead of
+/// re-reading and re-decoding the chain.
+pub(crate) struct TileCache {
+    cap: usize,
+    tick: u64,
+    map: HashMap<TileKey, (u64, Arc<TileData>)>,
+}
+
+/// `(band, sector, frame, tile_x)`.
+type TileKey = (u16, u64, u64, u32);
+
+impl TileCache {
+    pub(crate) fn new(cap: usize) -> TileCache {
+        TileCache { cap, tick: 0, map: HashMap::new() }
+    }
+
+    fn get(&mut self, key: TileKey) -> Option<Arc<TileData>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (t, data) = self.map.get_mut(&key)?;
+        *t = tick;
+        Some(Arc::clone(data))
+    }
+
+    fn put(&mut self, key: TileKey, data: Arc<TileData>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.map.insert(key, (self.tick, data));
+        while self.map.len() > self.cap {
+            let Some((&victim, _)) = self.map.iter().min_by_key(|(_, (t, _))| *t) else {
+                return;
+            };
+            self.map.remove(&victim);
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A `GeoStream` source replaying an archived slice in lattice order.
+///
+/// Construction snapshots the index and opens the referenced segment
+/// files, so concurrent ingest and even segment eviction cannot corrupt
+/// the replay. Only tiles intersecting the requested region are decoded
+/// (restriction pushdown into the store); cells the downlink never
+/// delivered replay as honest gaps.
+pub struct ArchiveReplay {
+    band: u16,
+    schema: StreamSchema,
+    value_range: (f64, f64),
+    sectors: VecDeque<PlannedSector>,
+    current: Option<SectorCursor>,
+    files: HashMap<u64, Arc<File>>,
+    cache: Arc<Mutex<TileCache>>,
+    metrics: Option<crate::metrics::StoreMetrics>,
+    out: VecDeque<Element<f32>>,
+    stats: OpStats,
+    done: bool,
+}
+
+struct SectorCursor {
+    sector_id: u64,
+    emit_box: Option<CellBox>,
+    frames: VecDeque<PlannedFrame>,
+    chains: HashMap<u32, Arc<TileData>>,
+}
+
+impl Archive {
+    /// Opens a replay of `band` over `[lo, hi)` (`None` = unbounded)
+    /// restricted to `region` in the source CRS.
+    pub fn replay(
+        &self,
+        band: u16,
+        lo: Option<i64>,
+        hi: Option<i64>,
+        region: Option<&Rect>,
+    ) -> Result<ArchiveReplay> {
+        let plan = self.plan_replay(band, lo, hi, region)?;
+        Ok(ArchiveReplay::from_plan(plan, Arc::clone(&self.cache), self.metrics().cloned()))
+    }
+}
+
+impl ArchiveReplay {
+    pub(crate) fn from_plan(
+        plan: ReplayPlan,
+        cache: Arc<Mutex<TileCache>>,
+        metrics: Option<crate::metrics::StoreMetrics>,
+    ) -> ArchiveReplay {
+        let value_range = plan.schema.value_range;
+        ArchiveReplay {
+            band: plan.band,
+            schema: plan.schema,
+            value_range,
+            sectors: plan.sectors.into(),
+            current: None,
+            files: plan.files,
+            cache,
+            metrics,
+            out: VecDeque::new(),
+            stats: OpStats::default(),
+            done: false,
+        }
+    }
+
+    /// Number of sectors the replay will visit.
+    pub fn planned_sectors(&self) -> usize {
+        self.sectors.len() + usize::from(self.current.is_some())
+    }
+
+    /// Decodes one frame's selected tiles, advancing the delta chains;
+    /// returns the decoded stripes when the frame should be emitted.
+    fn decode_frame(
+        &mut self,
+        cursor_sector: u64,
+        chains: &mut HashMap<u32, Arc<TileData>>,
+        frame: &PlannedFrame,
+    ) -> Result<Vec<(CellBox, Arc<TileData>)>> {
+        let mut stripes = Vec::with_capacity(frame.tiles.len());
+        for t in &frame.tiles {
+            let key = (self.band, cursor_sector, frame.frame_id, t.tile_x);
+            let cached = lock(&self.cache).get(key);
+            let data = match cached {
+                Some(d) => {
+                    if let Some(m) = &self.metrics {
+                        m.cache_hits.inc();
+                    }
+                    d
+                }
+                None => {
+                    if let Some(m) = &self.metrics {
+                        m.cache_misses.inc();
+                    }
+                    let Some(file) = self.files.get(&t.segment) else {
+                        return Err(geostreams_core::CoreError::Storage(format!(
+                            "replay references unopened segment {}",
+                            t.segment
+                        )));
+                    };
+                    let mut payload = vec![0u8; t.len as usize];
+                    file.read_exact_at(&mut payload, t.offset).map_err(|e| {
+                        geostreams_core::CoreError::Storage(format!(
+                            "read segment {} @{}: {e}",
+                            t.segment, t.offset
+                        ))
+                    })?;
+                    let prev = chains.get(&t.tile_x);
+                    let dec = decode_stripe(
+                        t.codec,
+                        &payload,
+                        t.cells.len() as usize,
+                        prev.map(|p| p.lanes.as_slice()),
+                        t.keyframe,
+                    )?;
+                    let data = Arc::new(TileData { present: dec.present, lanes: dec.lanes });
+                    lock(&self.cache).put(key, Arc::clone(&data));
+                    data
+                }
+            };
+            chains.insert(t.tile_x, Arc::clone(&data));
+            stripes.push((t.cells, data));
+        }
+        Ok(stripes)
+    }
+
+    /// Refills the output queue with the next batch of elements.
+    fn refill(&mut self) -> Result<()> {
+        while self.out.is_empty() {
+            let Some(cursor) = self.current.as_mut() else {
+                let Some(sector) = self.sectors.pop_front() else {
+                    self.done = true;
+                    return Ok(());
+                };
+                self.out.push_back(Element::SectorStart(sector.info.clone()));
+                self.current = Some(SectorCursor {
+                    sector_id: sector.info.sector_id,
+                    emit_box: sector.emit_box,
+                    frames: sector.frames.into(),
+                    chains: HashMap::new(),
+                });
+                continue;
+            };
+            let Some(frame) = cursor.frames.pop_front() else {
+                let sector_id = cursor.sector_id;
+                self.current = None;
+                self.out.push_back(Element::SectorEnd(SectorEnd { sector_id }));
+                continue;
+            };
+            let sector_id = cursor.sector_id;
+            let emit_box = cursor.emit_box;
+            let mut chains = std::mem::take(&mut cursor.chains);
+            let stripes = self.decode_frame(sector_id, &mut chains, &frame)?;
+            if let Some(cursor) = self.current.as_mut() {
+                cursor.chains = chains;
+            }
+            if !frame.emit {
+                continue; // chain prefix only
+            }
+            let emit_cells = match emit_box {
+                None => Some(frame.cells),
+                Some(eb) => frame.cells.intersect(&eb),
+            };
+            let Some(emit_cells) = emit_cells else { continue };
+            self.out.push_back(Element::FrameStart(FrameInfo {
+                frame_id: frame.frame_id,
+                sector_id,
+                timestamp: geostreams_core::model::Timestamp::new(frame.timestamp),
+                cells: emit_cells,
+            }));
+            // Lattice (row-major) order across the frame's stripes.
+            for row in emit_cells.row_min..=emit_cells.row_max {
+                for (cells, data) in &stripes {
+                    if row < cells.row_min || row > cells.row_max {
+                        continue;
+                    }
+                    let lo = cells.col_min.max(emit_cells.col_min);
+                    let hi = cells.col_max.min(emit_cells.col_max);
+                    for col in lo..=hi {
+                        let idx = (row - cells.row_min) as usize * cells.width() as usize
+                            + (col - cells.col_min) as usize;
+                        if data.present[idx] {
+                            let value = frame
+                                .tiles
+                                .first()
+                                .map_or(crate::codec::Codec::Quant16, |t| t.codec)
+                                .value(data.lanes[idx], self.value_range);
+                            self.out.push_back(Element::Point(PointRecord {
+                                cell: Cell::new(col, row),
+                                value,
+                            }));
+                        }
+                    }
+                }
+            }
+            self.out.push_back(Element::FrameEnd(FrameEnd { frame_id: frame.frame_id, sector_id }));
+            self.stats.frames_out += 1;
+        }
+        Ok(())
+    }
+}
+
+impl GeoStream for ArchiveReplay {
+    type V = f32;
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element<f32>> {
+        if self.out.is_empty() && !self.done {
+            if let Err(e) = self.refill() {
+                // A torn replay must not masquerade as a clean end: the
+                // error is surfaced once, then the stream ends.
+                self.done = true;
+                self.out.clear();
+                self.stats.stalls += 1;
+                eprintln!("archive replay error: {e}");
+                return None;
+            }
+        }
+        let el = self.out.pop_front()?;
+        if el.is_point() {
+            self.stats.points_out += 1;
+        }
+        Some(el)
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// Splices an archive backfill onto the live feed: emits the whole
+/// replay first, then live elements, skipping any live sector at or
+/// below the recorded watermark so the seam has no overlap. Wrap the
+/// result in `StreamRepair` to also deduplicate frame ids under faulty
+/// downlinks.
+pub struct SpliceStream {
+    replay: Option<ArchiveReplay>,
+    live: Box<dyn GeoStream<V = f32> + Send>,
+    schema: StreamSchema,
+    /// Skip live sectors with `sector_id <= watermark_sector`.
+    watermark_sector: Option<u64>,
+    skipping_live_sector: bool,
+    started: std::time::Instant,
+    on_switch: Option<Box<dyn FnOnce(u64) + Send>>,
+    stats: OpStats,
+}
+
+impl SpliceStream {
+    /// Builds a splice; `watermark_sector` is the last archived sector
+    /// (from [`Archive::watermark`]) and `on_switch` observes the
+    /// backfill latency in nanoseconds at the handoff.
+    pub fn new(
+        replay: ArchiveReplay,
+        live: Box<dyn GeoStream<V = f32> + Send>,
+        watermark_sector: Option<u64>,
+        on_switch: Option<Box<dyn FnOnce(u64) + Send>>,
+    ) -> SpliceStream {
+        let schema = live.schema().clone();
+        SpliceStream {
+            replay: Some(replay),
+            live,
+            schema,
+            watermark_sector,
+            skipping_live_sector: false,
+            started: std::time::Instant::now(),
+            on_switch,
+            stats: OpStats::default(),
+        }
+    }
+}
+
+impl GeoStream for SpliceStream {
+    type V = f32;
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element<f32>> {
+        if let Some(replay) = self.replay.as_mut() {
+            if let Some(el) = replay.next_element() {
+                if el.is_point() {
+                    self.stats.points_out += 1;
+                }
+                return Some(el);
+            }
+            self.replay = None;
+            if let Some(f) = self.on_switch.take() {
+                let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                f(ns);
+            }
+        }
+        loop {
+            let el = self.live.next_element()?;
+            match &el {
+                Element::SectorStart(info) => {
+                    self.skipping_live_sector =
+                        self.watermark_sector.is_some_and(|wm| info.sector_id <= wm);
+                }
+                Element::SectorEnd(_) if self.skipping_live_sector => {
+                    self.skipping_live_sector = false;
+                    continue;
+                }
+                _ => {}
+            }
+            if self.skipping_live_sector {
+                continue;
+            }
+            if el.is_point() {
+                self.stats.points_out += 1;
+            }
+            return Some(el);
+        }
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}

@@ -1,0 +1,376 @@
+//! On-disk segment files: append-only record logs holding compressed
+//! tiles plus the metadata needed to rebuild the index from disk.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "GSSTORE1"                                  8-byte magic
+//! record*                                     until EOF
+//!
+//! record   := kind:u8 len:u32 body[len]
+//! kind 0   := SectorMeta — serde_json(SectorInfo)
+//! kind 1   := Tile       — TileHeader(56 bytes) ++ payload
+//! kind 2   := BandMeta   — serde_json(StreamSchema)
+//! ```
+//!
+//! Every segment is self-describing: the band schema and the open
+//! sector's metadata are re-emitted at the head of each new segment, so
+//! after segment-granular eviction the surviving files still rebuild a
+//! complete index ([`scan_segment`]).
+
+use crate::codec::Codec;
+use geostreams_core::model::{SectorInfo, StreamSchema};
+use geostreams_core::{CoreError, Result};
+use geostreams_geo::CellBox;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every segment file.
+pub const MAGIC: &[u8; 8] = b"GSSTORE1";
+
+/// Record kind tags.
+const KIND_SECTOR: u8 = 0;
+const KIND_TILE: u8 = 1;
+const KIND_BAND: u8 = 2;
+
+/// Size of the fixed [`TileHeader`] encoding.
+pub const TILE_HEADER_BYTES: usize = 56;
+
+/// Fixed-size header of a tile record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileHeader {
+    /// Spectral band of the owning stream.
+    pub band: u16,
+    /// Scan sector the tile's frame belongs to.
+    pub sector_id: u64,
+    /// Frame the tile belongs to.
+    pub frame_id: u64,
+    /// Frame timestamp (sector id under sector-id semantics).
+    pub timestamp: i64,
+    /// Stripe index: the tile covers columns
+    /// `[tile_x * tile_width, …)` of the sector lattice.
+    pub tile_x: u32,
+    /// Exact cell range the tile covers (frame rows × stripe columns).
+    pub cells: CellBox,
+    /// Payload codec.
+    pub codec: Codec,
+    /// True when the payload is a keyframe (no delta predecessor).
+    pub keyframe: bool,
+    /// Number of present (delivered) cells.
+    pub n_points: u32,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+}
+
+impl TileHeader {
+    fn encode(&self) -> [u8; TILE_HEADER_BYTES] {
+        let mut b = [0u8; TILE_HEADER_BYTES];
+        b[0..2].copy_from_slice(&self.band.to_le_bytes());
+        b[2..10].copy_from_slice(&self.sector_id.to_le_bytes());
+        b[10..18].copy_from_slice(&self.frame_id.to_le_bytes());
+        b[18..26].copy_from_slice(&self.timestamp.to_le_bytes());
+        b[26..30].copy_from_slice(&self.tile_x.to_le_bytes());
+        b[30..34].copy_from_slice(&self.cells.col_min.to_le_bytes());
+        b[34..38].copy_from_slice(&self.cells.row_min.to_le_bytes());
+        b[38..42].copy_from_slice(&self.cells.col_max.to_le_bytes());
+        b[42..46].copy_from_slice(&self.cells.row_max.to_le_bytes());
+        b[46] = self.codec.to_u8();
+        b[47] = u8::from(self.keyframe);
+        b[48..52].copy_from_slice(&self.n_points.to_le_bytes());
+        b[52..56].copy_from_slice(&self.payload_len.to_le_bytes());
+        b
+    }
+
+    fn parse(b: &[u8]) -> Result<TileHeader> {
+        if b.len() < TILE_HEADER_BYTES {
+            return Err(CoreError::Storage("short tile header".into()));
+        }
+        let u16le = |i: usize| u16::from_le_bytes([b[i], b[i + 1]]);
+        let u32le = |i: usize| u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+        let u64le = |i: usize| {
+            u64::from_le_bytes([
+                b[i],
+                b[i + 1],
+                b[i + 2],
+                b[i + 3],
+                b[i + 4],
+                b[i + 5],
+                b[i + 6],
+                b[i + 7],
+            ])
+        };
+        Ok(TileHeader {
+            band: u16le(0),
+            sector_id: u64le(2),
+            frame_id: u64le(10),
+            timestamp: u64le(18) as i64,
+            tile_x: u32le(26),
+            cells: CellBox::new(u32le(30), u32le(34), u32le(38), u32le(42)),
+            codec: Codec::from_u8(b[46])?,
+            keyframe: b[47] != 0,
+            n_points: u32le(48),
+            payload_len: u32le(52),
+        })
+    }
+}
+
+fn io_err(op: &str, path: &Path, e: std::io::Error) -> CoreError {
+    CoreError::Storage(format!("{op} {}: {e}", path.display()))
+}
+
+/// Path of segment `id` inside `dir`.
+pub fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("segment-{id:06}.seg"))
+}
+
+/// Parses a segment id back out of a file name.
+pub fn parse_segment_id(name: &str) -> Option<u64> {
+    name.strip_prefix("segment-")?.strip_suffix(".seg")?.parse().ok()
+}
+
+/// Appends records to one segment file.
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    id: u64,
+    bytes: u64,
+}
+
+impl SegmentWriter {
+    /// Creates segment `id` in `dir` and writes the magic.
+    pub fn create(dir: &Path, id: u64) -> Result<SegmentWriter> {
+        let path = segment_path(dir, id);
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("create", &path, e))?;
+        file.write_all(MAGIC).map_err(|e| io_err("write", &path, e))?;
+        Ok(SegmentWriter { file, path, id, bytes: MAGIC.len() as u64 })
+    }
+
+    fn append(&mut self, kind: u8, body: &[&[u8]]) -> Result<u64> {
+        let len: usize = body.iter().map(|b| b.len()).sum();
+        let len32 = u32::try_from(len)
+            .map_err(|_| CoreError::Storage("segment record over 4 GiB".into()))?;
+        let mut rec = Vec::with_capacity(5 + len);
+        rec.push(kind);
+        rec.extend_from_slice(&len32.to_le_bytes());
+        for b in body {
+            rec.extend_from_slice(b);
+        }
+        self.file.write_all(&rec).map_err(|e| io_err("append", &self.path, e))?;
+        let at = self.bytes;
+        self.bytes += rec.len() as u64;
+        Ok(at)
+    }
+
+    /// Appends sector metadata.
+    pub fn append_sector(&mut self, info: &SectorInfo) -> Result<()> {
+        let json = serde_json::to_vec(info)
+            .map_err(|e| CoreError::Storage(format!("encode sector meta: {e}")))?;
+        self.append(KIND_SECTOR, &[&json])?;
+        Ok(())
+    }
+
+    /// Appends band (stream schema) metadata.
+    pub fn append_band(&mut self, schema: &StreamSchema) -> Result<()> {
+        let json = serde_json::to_vec(schema)
+            .map_err(|e| CoreError::Storage(format!("encode band meta: {e}")))?;
+        self.append(KIND_BAND, &[&json])?;
+        Ok(())
+    }
+
+    /// Appends a tile record, returning the file offset of its payload.
+    pub fn append_tile(&mut self, header: &TileHeader, payload: &[u8]) -> Result<u64> {
+        let record_at = self.append(KIND_TILE, &[&header.encode(), payload])?;
+        Ok(record_at + 5 + TILE_HEADER_BYTES as u64)
+    }
+
+    /// Segment id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Bytes written so far (= current file size).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Flushes buffered writes to the OS.
+    pub fn flush(&mut self) -> Result<()> {
+        self.file.flush().map_err(|e| io_err("flush", &self.path, e))
+    }
+}
+
+/// One record recovered by [`scan_segment`].
+pub enum Record {
+    /// Sector metadata.
+    Sector(SectorInfo),
+    /// Band schema metadata.
+    Band(StreamSchema),
+    /// A tile: parsed header plus the file offset of its payload.
+    Tile {
+        /// Parsed fixed header.
+        header: TileHeader,
+        /// Offset of the payload within the segment file.
+        payload_offset: u64,
+    },
+}
+
+/// Reads every record of a segment file (used to rebuild the in-memory
+/// index when an archive directory is reopened).
+pub fn scan_segment(path: &Path) -> Result<Vec<Record>> {
+    let data = std::fs::read(path).map_err(|e| io_err("read", path, e))?;
+    if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+        return Err(CoreError::Storage(format!("{}: bad segment magic", path.display())));
+    }
+    let mut out = Vec::new();
+    let mut at = MAGIC.len();
+    while at < data.len() {
+        let Some(hdr) = data.get(at..at + 5) else {
+            return Err(CoreError::Storage(format!(
+                "{}: truncated record header at {at}",
+                path.display()
+            )));
+        };
+        let kind = hdr[0];
+        let len = u32::from_le_bytes([hdr[1], hdr[2], hdr[3], hdr[4]]) as usize;
+        let body_at = at + 5;
+        let Some(body) = data.get(body_at..body_at + len) else {
+            return Err(CoreError::Storage(format!(
+                "{}: truncated record body at {at}",
+                path.display()
+            )));
+        };
+        match kind {
+            KIND_SECTOR => {
+                let info: SectorInfo = serde_json::from_slice(body).map_err(|e| {
+                    CoreError::Storage(format!("{}: sector meta: {e}", path.display()))
+                })?;
+                out.push(Record::Sector(info));
+            }
+            KIND_BAND => {
+                let schema: StreamSchema = serde_json::from_slice(body).map_err(|e| {
+                    CoreError::Storage(format!("{}: band meta: {e}", path.display()))
+                })?;
+                out.push(Record::Band(schema));
+            }
+            KIND_TILE => {
+                let header = TileHeader::parse(body)?;
+                if body.len() != TILE_HEADER_BYTES + header.payload_len as usize {
+                    return Err(CoreError::Storage(format!(
+                        "{}: tile record length mismatch at {at}",
+                        path.display()
+                    )));
+                }
+                out.push(Record::Tile {
+                    header,
+                    payload_offset: (body_at + TILE_HEADER_BYTES) as u64,
+                });
+            }
+            other => {
+                return Err(CoreError::Storage(format!(
+                    "{}: unknown record kind {other} at {at}",
+                    path.display()
+                )));
+            }
+        }
+        at = body_at + len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geostreams_core::model::Timestamp;
+    use geostreams_geo::{Crs, LatticeGeoref, Rect};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gs-store-seg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn tile_header_round_trips() {
+        let h = TileHeader {
+            band: 3,
+            sector_id: 11,
+            frame_id: 0xDEAD_BEEF,
+            timestamp: -5,
+            tile_x: 2,
+            cells: CellBox::new(128, 7, 191, 7),
+            codec: Codec::LosslessF32,
+            keyframe: true,
+            n_points: 64,
+            payload_len: 123,
+        };
+        assert_eq!(TileHeader::parse(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn write_then_scan_recovers_records() {
+        let dir = tmp_dir("roundtrip");
+        let lattice = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), 8, 8);
+        let sector = SectorInfo {
+            sector_id: 4,
+            lattice,
+            band: 1,
+            organization: geostreams_core::Organization::RowByRow,
+            timestamp: Timestamp::new(4),
+        };
+        let schema = StreamSchema::new("t", Crs::LatLon);
+        let header = TileHeader {
+            band: 1,
+            sector_id: 4,
+            frame_id: 9,
+            timestamp: 4,
+            tile_x: 0,
+            cells: CellBox::new(0, 0, 7, 0),
+            codec: Codec::Quant16,
+            keyframe: true,
+            n_points: 8,
+            payload_len: 4,
+        };
+        let mut w = SegmentWriter::create(&dir, 0).unwrap();
+        w.append_band(&schema).unwrap();
+        w.append_sector(&sector).unwrap();
+        let payload_at = w.append_tile(&header, &[1, 2, 3, 4]).unwrap();
+        w.flush().unwrap();
+
+        let recs = scan_segment(&segment_path(&dir, 0)).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert!(matches!(&recs[0], Record::Band(s) if s.name == "t"));
+        assert!(matches!(&recs[1], Record::Sector(s) if s.sector_id == 4));
+        match &recs[2] {
+            Record::Tile { header: h, payload_offset } => {
+                assert_eq!(*h, header);
+                assert_eq!(*payload_offset, payload_at);
+                let data = std::fs::read(segment_path(&dir, 0)).unwrap();
+                assert_eq!(&data[*payload_offset as usize..][..4], &[1, 2, 3, 4]);
+            }
+            _ => unreachable!(),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let dir = tmp_dir("magic");
+        let path = dir.join("segment-000000.seg");
+        std::fs::write(&path, b"NOTSTORE").unwrap();
+        assert!(scan_segment(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_names_parse() {
+        assert_eq!(parse_segment_id("segment-000042.seg"), Some(42));
+        assert_eq!(parse_segment_id("segment-x.seg"), None);
+        assert_eq!(parse_segment_id("other.txt"), None);
+    }
+}

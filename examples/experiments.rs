@@ -10,9 +10,7 @@
 //! (append `-- --quick` for a faster, smaller pass).
 
 use geostreams_core::exec::{run_to_end, RunReport};
-use geostreams_core::model::{
-    split2, Element, GeoStream, StreamSchema, TimeSemantics, VecStream,
-};
+use geostreams_core::model::{split2, Element, GeoStream, StreamSchema, TimeSemantics, VecStream};
 use geostreams_core::ops::{
     AggFunc, Compose, Downsample, FocalFunc, FocalTransform, GammaOp, JoinStrategy, Magnify,
     MapTransform, Orient, Orientation, Reproject, ReprojectConfig, SpatialRestrict, StretchMode,
@@ -63,10 +61,11 @@ fn latlon_lattice(w: u32, h: u32) -> LatticeGeoref {
 
 /// Materialized row-by-row stream elements (replayable cheaply).
 fn ramp_elements(w: u32, h: u32, sectors: u64) -> (StreamSchema, Vec<Element<f32>>) {
-    let mut s: VecStream<f32> = VecStream::sectors("ramp", latlon_lattice(w, h), sectors, |q, c, r| {
-        f64::from(c) * 0.001 + f64::from(r) * 0.01 + q as f64 * 0.1
-    })
-    .with_value_range(0.0, 10.0);
+    let mut s: VecStream<f32> =
+        VecStream::sectors("ramp", latlon_lattice(w, h), sectors, |q, c, r| {
+            f64::from(c) * 0.001 + f64::from(r) * 0.01 + q as f64 * 0.1
+        })
+        .with_value_range(0.0, 10.0);
     let schema = s.schema().clone();
     let elements = s.drain_elements();
     (schema, elements)
@@ -161,7 +160,9 @@ fn f1_point_organizations(scale: u32) {
 /// E1 (§3.1): restrictions are non-blocking with constant per-point cost.
 fn e1_restrictions(scale: u32) {
     println!("## E1 — restriction operators (§3.1 claims)");
-    println!("| stream points | ns/point (25% bbox) | ns/point (100%) | ns/point (1%) | peak buffer |");
+    println!(
+        "| stream points | ns/point (25% bbox) | ns/point (100%) | ns/point (1%) | peak buffer |"
+    );
     println!("|---|---|---|---|---|");
     for mult in [1u32, 2, 4, 8] {
         let w = 128 * scale * mult;
@@ -257,7 +258,11 @@ fn f2_spatial_transforms(scale: u32) {
     println!("|---|---|---|---|");
 
     let (_, rep, ops) = time_run(Magnify::new(replay(&schema, &elements), 3));
-    println!("| magnify x3 | {} | {} | 0 (no neighbors needed) |", rep.points_delivered, max_peak(&ops));
+    println!(
+        "| magnify x3 | {} | {} | 0 (no neighbors needed) |",
+        rep.points_delivered,
+        max_peak(&ops)
+    );
 
     for k in [2u32, 4, 8] {
         let (_, rep, ops) = time_run(Downsample::new(replay(&schema, &elements), k));
@@ -305,8 +310,7 @@ fn e3_composition(scale: u32) {
 
     // Row-interleaved (row-by-row downlink).
     let transport = interleave_rows(&a, &b);
-    let (s0, s1) =
-        split2(transport.into_iter(), schema_a.renamed("a"), schema_b.renamed("b"));
+    let (s0, s1) = split2(transport.into_iter(), schema_a.renamed("a"), schema_b.renamed("b"));
     let op = Compose::new(s0, s1, GammaOp::Add, JoinStrategy::Hash).expect("compose");
     let (_, rep, ops) = time_run(op);
     assert_eq!(rep.points_delivered, image * 2);
@@ -319,8 +323,7 @@ fn e3_composition(scale: u32) {
     // Band-sequential (image-by-image downlink): per sector, all of a
     // then all of b.
     let transport = band_sequential(&a, &b);
-    let (s0, s1) =
-        split2(transport.into_iter(), schema_a.renamed("a"), schema_b.renamed("b"));
+    let (s0, s1) = split2(transport.into_iter(), schema_a.renamed("a"), schema_b.renamed("b"));
     let op = Compose::new(s0, s1, GammaOp::Add, JoinStrategy::Hash).expect("compose");
     let (_, rep, ops) = time_run(op);
     assert_eq!(rep.points_delivered, image * 2);
@@ -344,10 +347,7 @@ fn e3_composition(scale: u32) {
     );
 }
 
-fn interleave_rows(
-    a: &[Element<f32>],
-    b: &[Element<f32>],
-) -> Vec<(u8, Element<f32>)> {
+fn interleave_rows(a: &[Element<f32>], b: &[Element<f32>]) -> Vec<(u8, Element<f32>)> {
     let groups = |els: &[Element<f32>]| {
         let mut out: Vec<Vec<Element<f32>>> = vec![Vec::new()];
         for el in els {
@@ -369,10 +369,7 @@ fn interleave_rows(
     out
 }
 
-fn band_sequential(
-    a: &[Element<f32>],
-    b: &[Element<f32>],
-) -> Vec<(u8, Element<f32>)> {
+fn band_sequential(a: &[Element<f32>], b: &[Element<f32>]) -> Vec<(u8, Element<f32>)> {
     // Split per sector.
     let sectors = |els: &[Element<f32>]| {
         let mut out: Vec<Vec<Element<f32>>> = vec![Vec::new()];
@@ -561,10 +558,22 @@ fn f3_dsms_pipeline(scale: u32) {
     let scanner = goes_like(128 * scale, 64 * scale, 9);
     let server = Arc::new(Dsms::over_scanner(&scanner, 2));
     let queries = [
-        ("client 1: visible ROI", "restrict_space(goes-sim.b1-vis, bbox(-105, 30, -95, 40), \"latlon\")", OutputFormat::PngGray),
-        ("client 2: NDVI", "ndvi(goes-sim.b2-nir, downsample(goes-sim.b1-vis, 4))", OutputFormat::PngNdvi),
+        (
+            "client 1: visible ROI",
+            "restrict_space(goes-sim.b1-vis, bbox(-105, 30, -95, 40), \"latlon\")",
+            OutputFormat::PngGray,
+        ),
+        (
+            "client 2: NDVI",
+            "ndvi(goes-sim.b2-nir, downsample(goes-sim.b1-vis, 4))",
+            OutputFormat::PngNdvi,
+        ),
         ("client 3: thermal", "stretch(goes-sim.b4-ir, \"linear\")", OutputFormat::PngThermal),
-        ("client 4: WV stats", "agg_space(goes-sim.b3-wv, \"mean\", bbox(-8000000, -8000000, 8000000, 8000000))", OutputFormat::Stats),
+        (
+            "client 4: WV stats",
+            "agg_space(goes-sim.b3-wv, \"mean\", bbox(-8000000, -8000000, 8000000, 8000000))",
+            OutputFormat::Stats,
+        ),
     ];
     for (_, q, fmt) in &queries {
         server.register_text(q, *fmt, 2).expect("registers");
@@ -632,10 +641,9 @@ fn a1_resample_kernels(scale: u32) {
     // Value = longitude; after reprojection, compare against truth.
     let lattice = latlon_lattice(96 * scale, 96 * scale);
     let src_schema = StreamSchema::new("lonfield", Crs::LatLon);
-    let mut base: VecStream<f32> =
-        VecStream::single_sector("lonfield", lattice, 0, move |c, r| {
-            lattice.cell_to_world(geostreams_geo::Cell::new(c, r)).x
-        });
+    let mut base: VecStream<f32> = VecStream::single_sector("lonfield", lattice, 0, move |c, r| {
+        lattice.cell_to_world(geostreams_geo::Cell::new(c, r)).x
+    });
     let elements = base.drain_elements();
     println!("| kernel | wall | RMSE (deg lon) | points out |");
     println!("|---|---|---|---|");
@@ -712,8 +720,7 @@ fn a3_png_encoders(scale: u32) {
     println!("## A3 — PNG delivery encoders (ablation)");
     // Render one GOES visible sector to an 8-bit image.
     let scanner = goes_like(256 * scale, 128 * scale, 13);
-    let mut assembler =
-        geostreams_core::ops::ImageAssembler::new(scanner.band_stream(0, 1));
+    let mut assembler = geostreams_core::ops::ImageAssembler::new(scanner.band_stream(0, 1));
     let img = assembler.next_image().expect("image");
     let gray: Grid2D<u8> = img.grid.map(|v| (v.clamp(0.0, 1.0) * 255.0) as u8);
     let raw = gray.len();

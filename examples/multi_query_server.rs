@@ -14,8 +14,8 @@
 use geostreams_core::query::cascade::{CascadeTree, NaiveRegionIndex, RegionIndex};
 use geostreams_dsms::protocol::ClientRequest;
 use geostreams_dsms::{run_continuous, Dsms, HttpServer, MultiQueryFrontEnd, OutputFormat};
-use geostreams_satsim::goes_like;
 use geostreams_geo::Rect;
+use geostreams_satsim::goes_like;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -125,7 +125,9 @@ fn main() {
     );
     for (req, result) in requests.iter().zip(&results) {
         match result {
-            Ok(r) => println!("  {:<60} -> {} frames / {} points", req.query, r.frames.len(), r.points),
+            Ok(r) => {
+                println!("  {:<60} -> {} frames / {} points", req.query, r.frames.len(), r.points)
+            }
             Err(e) => println!("  {:<60} -> error {e}", req.query),
         }
     }

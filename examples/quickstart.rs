@@ -30,9 +30,7 @@ fn main() {
     let query = "restrict_space(\
                    ndvi(goes-sim.b2-nir, downsample(goes-sim.b1-vis, 4)),\
                    bbox(-105, 28, -85, 42), \"latlon\")";
-    let handle = server
-        .register_text(query, OutputFormat::PngNdvi, 2)
-        .expect("query registers");
+    let handle = server.register_text(query, OutputFormat::PngNdvi, 2).expect("query registers");
     println!("\nquery      : {}", handle.text);
     println!("parsed     : {}", handle.expr);
     println!("optimized  : {}", handle.optimized);

@@ -47,23 +47,13 @@ fn main() {
     assert_eq!(n, granules, "one composite per granule");
 
     // A rotated quick-look of the first granule (ascending-pass display).
-    let rotated = Orient::new(
-        scanner.band_stream_by_id(1, 1).expect("red band"),
-        Orientation::Rot90,
-    );
-    let mut sink = geostreams_core::ops::delivery::PngSink::new(
-        rotated,
-        None,
-        PngOptions::default(),
-    );
+    let rotated =
+        Orient::new(scanner.band_stream_by_id(1, 1).expect("red band"), Orientation::Rot90);
+    let mut sink =
+        geostreams_core::ops::delivery::PngSink::new(rotated, None, PngOptions::default());
     let frame = sink.next_frame().expect("rotated frame");
     let path = out.join("granule0_rot90.png");
     fs::write(&path, &frame.png).expect("write");
-    println!(
-        "rotated quick-look -> {} ({}x{})",
-        path.display(),
-        frame.width,
-        frame.height
-    );
+    println!("rotated quick-look -> {} ({}x{})", path.display(), frame.width, frame.height);
     assert_eq!((frame.width, frame.height), (96, 192), "axes swapped by rot90");
 }

@@ -10,6 +10,7 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --offline --all-targets -- -D warnings
+cargo fmt --check
 
 # Forbidden-pattern lint: non-test library code of the first-party
 # crates must not panic or exit. Everything before the first
@@ -18,7 +19,7 @@ cargo clippy --offline --all-targets -- -D warnings
 # covers core and dsms; this catches the remaining crates and the
 # macro forms clippy has no lint for.
 lint_failed=0
-for crate in core dsms geo raster satsim bench; do
+for crate in core dsms geo raster satsim store bench; do
   dir="crates/$crate/src"
   [ -d "$dir" ] || continue
   while IFS= read -r file; do
@@ -43,3 +44,7 @@ echo "source lint OK"
 # Seeded chaos suite: acceptance tests plus a run-twice-and-diff
 # determinism check over the fault-injected runtime.
 scripts/chaos.sh
+
+# Archive gate: acceptance tests, run-twice-and-diff determinism over
+# the persist/replay path, and the >= 2x compression bar.
+scripts/store_gate.sh

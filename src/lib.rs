@@ -14,6 +14,8 @@
 //! * [`satsim`] — the instrument simulator (GOES-like, airborne, LIDAR);
 //! * [`core`] — the paper's data & query model: operators, query
 //!   language, optimizer, executor, cascade tree;
+//! * [`store`] — the tiled raster archive: persistence, replay, and
+//!   hybrid replay+live splicing for continuous queries;
 //! * [`dsms`] — the §4 prototype server.
 //!
 //! See `examples/quickstart.rs` for a guided tour and `EXPERIMENTS.md`
@@ -26,3 +28,4 @@ pub use geostreams_dsms as dsms;
 pub use geostreams_geo as geo;
 pub use geostreams_raster as raster;
 pub use geostreams_satsim as satsim;
+pub use geostreams_store as store;

@@ -92,7 +92,10 @@ fn map_commutes_with_spatial_restrict() {
             SpatialRestrict::new(stream(seed), region.clone()),
             f,
         ));
-        let b = sorted_points(SpatialRestrict::new(MapTransform::<_, f32>::new(stream(seed), f), region));
+        let b = sorted_points(SpatialRestrict::new(
+            MapTransform::<_, f32>::new(stream(seed), f),
+            region,
+        ));
         assert_eq!(a.len(), b.len(), "case {case}");
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.cell, y.cell, "case {case}");
@@ -109,10 +112,12 @@ fn commutative_gammas() {
         let seed1 = rng.int(0, 200);
         let seed2 = rng.int(0, 200);
         let op = [GammaOp::Add, GammaOp::Mul, GammaOp::Sup, GammaOp::Inf][rng.index(4)];
-        let ab =
-            sorted_points(Compose::new(stream(seed1), stream(seed2), op, JoinStrategy::Hash).unwrap());
-        let ba =
-            sorted_points(Compose::new(stream(seed2), stream(seed1), op, JoinStrategy::Hash).unwrap());
+        let ab = sorted_points(
+            Compose::new(stream(seed1), stream(seed2), op, JoinStrategy::Hash).unwrap(),
+        );
+        let ba = sorted_points(
+            Compose::new(stream(seed2), stream(seed1), op, JoinStrategy::Hash).unwrap(),
+        );
         assert_eq!(ab.len(), ba.len(), "case {case}");
         for (x, y) in ab.iter().zip(&ba) {
             assert_eq!(x.cell, y.cell, "case {case}");

@@ -34,13 +34,7 @@ fn chaos_plan(seed: u64) -> FaultPlan {
 /// everything it spawns.
 fn thread_count() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    status
-        .lines()
-        .find(|l| l.starts_with("Threads:"))?
-        .split_whitespace()
-        .nth(1)?
-        .parse()
-        .ok()
+    status.lines().find(|l| l.starts_with("Threads:"))?.split_whitespace().nth(1)?.parse().ok()
 }
 
 #[test]

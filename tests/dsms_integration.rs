@@ -84,10 +84,8 @@ fn explain_runs_against_the_live_catalog() {
     assert!(text.contains("reproject -> utm:14N"));
     assert!(text.contains("ndvi (fused macro)"));
     // The optimized plan pushed restrictions onto the sources.
-    let inner_restricts = text
-        .lines()
-        .filter(|l| l.contains("restrict_space") && l.contains("geos"))
-        .count();
+    let inner_restricts =
+        text.lines().filter(|l| l.contains("restrict_space") && l.contains("geos")).count();
     assert!(inner_restricts >= 2, "pushed to both bands:\n{text}");
 }
 

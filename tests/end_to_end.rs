@@ -4,9 +4,9 @@ use geostreams::core::exec::run_to_end;
 use geostreams::core::model::GeoStream;
 use geostreams::core::query::{parse_query, Planner};
 use geostreams::dsms::{Dsms, OutputFormat};
+use geostreams::geo::{Coord, Crs, Rect};
 use geostreams::raster::png::{decode, Decoded};
 use geostreams::satsim::{airborne::airborne_camera, goes_like, lidar::lidar_profiler};
-use geostreams::geo::{Coord, Crs, Rect};
 use std::sync::Arc;
 
 fn server() -> Arc<Dsms> {
@@ -82,10 +82,7 @@ fn ndvi_over_vegetation_is_positive_and_matches_ground_truth() {
     let scanner = goes_like(64, 32, 9);
     let model = scanner.model;
     let nir = scanner.band_stream_by_id(2, 1).unwrap();
-    let vis4 = geostreams::core::ops::Downsample::new(
-        scanner.band_stream_by_id(1, 1).unwrap(),
-        4,
-    );
+    let vis4 = geostreams::core::ops::Downsample::new(scanner.band_stream_by_id(1, 1).unwrap(), 4);
     let mut op = geostreams::core::ops::macro_ops::ndvi(nir, vis4).unwrap();
     let lattice = scanner.sector_lattice(1, 0); // band index 1 = b2-nir
     let geos = Crs::geostationary(-75.0);
@@ -117,7 +114,9 @@ fn three_instrument_presets_interoperate_with_operators() {
         Box::new(
             airborne_camera(Rect::new(-120.0, 35.0, -119.5, 35.4), 16, 16, 1).band_stream(0, 2),
         ),
-        Box::new(lidar_profiler(Rect::new(-120.0, 38.0, -119.0, 38.05), 64, 2, 1).band_stream(0, 1)),
+        Box::new(
+            lidar_profiler(Rect::new(-120.0, 38.0, -119.0, 38.05), 64, 2, 1).band_stream(0, 1),
+        ),
     ];
     for mut stream in streams {
         let name = stream.schema().name.clone();

@@ -19,7 +19,11 @@ use std::sync::Arc;
 fn traced_query_reports_per_op_latency_percentiles() {
     let server = Dsms::over_scanner(&goes_like(64, 32, 7), 2);
     let h = server
-        .register_text("focal(restrict_value(goes-sim.b4-ir, 0.1, 0.95), \"mean\", 3)", OutputFormat::Stats, 2)
+        .register_text(
+            "focal(restrict_value(goes-sim.b4-ir, 0.1, 0.95), \"mean\", 3)",
+            OutputFormat::Stats,
+            2,
+        )
         .unwrap();
     let report = server.run_query(&h).unwrap().report.unwrap();
 

@@ -4,11 +4,11 @@
 
 use geostreams::core::exec::run_to_end;
 use geostreams::core::model::{
-    split2, drain_points_of, Element, GeoStream, StreamSchema, TimeSemantics, Timestamp, VecStream,
+    drain_points_of, split2, Element, GeoStream, StreamSchema, TimeSemantics, Timestamp, VecStream,
 };
 use geostreams::core::ops::{
-    Compose, Downsample, GammaOp, JoinStrategy, Magnify, Reproject, ReprojectConfig,
-    SpatialRestrict, StretchMode, StretchScope, StretchTransform, TemporalAggregate, AggFunc,
+    AggFunc, Compose, Downsample, GammaOp, JoinStrategy, Magnify, Reproject, ReprojectConfig,
+    SpatialRestrict, StretchMode, StretchScope, StretchTransform, TemporalAggregate,
 };
 use geostreams::core::stats::OpReport;
 use geostreams::geo::{Crs, LatticeGeoref, Rect, Region};
@@ -86,19 +86,14 @@ fn claim_resolution_change_buffering() {
 fn claim_reprojection_metadata_bounds_buffering() {
     let scanner = goes_like(96, 48, 4);
     let streaming = {
-        let op = Reproject::new(
-            scanner.band_stream(0, 1),
-            ReprojectConfig::new(Crs::LatLon),
-        )
-        .unwrap();
+        let op =
+            Reproject::new(scanner.band_stream(0, 1), ReprojectConfig::new(Crs::LatLon)).unwrap();
         peak_of(op).0
     };
     let blocking = {
-        let op = Reproject::new(
-            scanner.band_stream(0, 1),
-            ReprojectConfig::new(Crs::LatLon).blocking(),
-        )
-        .unwrap();
+        let op =
+            Reproject::new(scanner.band_stream(0, 1), ReprojectConfig::new(Crs::LatLon).blocking())
+                .unwrap();
         peak_of(op).0
     };
     assert_eq!(blocking, 96 * 48, "blocking variant holds the whole sector");
@@ -127,11 +122,8 @@ fn claim_composition_buffer_depends_on_organization() {
     // Band-sequential (image-by-image downlink).
     let a = elements(1);
     let b = elements(2);
-    let transport: Vec<(u8, Element<f32>)> = a
-        .into_iter()
-        .map(|e| (0u8, e))
-        .chain(b.into_iter().map(|e| (1u8, e)))
-        .collect();
+    let transport: Vec<(u8, Element<f32>)> =
+        a.into_iter().map(|e| (0u8, e)).chain(b.into_iter().map(|e| (1u8, e))).collect();
     let (s0, s1) = split2(transport.into_iter(), schema.renamed("a"), schema.renamed("b"));
     let op = Compose::new(s0, s1, GammaOp::Add, JoinStrategy::Hash).unwrap();
     let (peak_image, out) = peak_of(op);
@@ -162,10 +154,7 @@ fn claim_composition_buffer_depends_on_organization() {
     let op = Compose::new(s0, s1, GammaOp::Add, JoinStrategy::Hash).unwrap();
     let (peak_row, out) = peak_of(op);
     assert_eq!(out, image);
-    assert!(
-        peak_row <= 2 * u64::from(w),
-        "row-by-row composition buffers ~a row: {peak_row}"
-    );
+    assert!(peak_row <= 2 * u64::from(w), "row-by-row composition buffers ~a row: {peak_row}");
     assert!(peak_row * 8 < peak_image, "row ≪ image");
 }
 
@@ -178,8 +167,7 @@ fn claim_measurement_timestamps_never_join() {
         let mut schema = StreamSchema::new("m", Crs::LatLon);
         schema.time_semantics = TimeSemantics::MeasurementTime;
         let els: Vec<Element<f32>> = {
-            let mut s =
-                VecStream::<f32>::single_sector("m", lattice(8, 8), 0, |c, _| f64::from(c));
+            let mut s = VecStream::<f32>::single_sector("m", lattice(8, 8), 0, |c, _| f64::from(c));
             s.drain_elements()
                 .into_iter()
                 .map(|el| match el {

@@ -126,8 +126,10 @@ fn compose_checks_crs_and_time_semantics() {
     // CRS mismatch is an error: one side re-projected, the other not.
     let e = parse_query("add(reproject(g1, \"utm:10N\"), g2)").unwrap();
     let r = analyze(&e, &cat);
-    assert!(r.diagnostics.iter().any(|d| d.code == "compose-crs-mismatch"
-        && d.severity == Severity::Error));
+    assert!(r
+        .diagnostics
+        .iter()
+        .any(|d| d.code == "compose-crs-mismatch" && d.severity == Severity::Error));
 
     // Measurement-time semantics warns (§3.3: timestamps never match).
     let lattice =
@@ -259,10 +261,7 @@ fn explain_http_endpoint_returns_json() {
         .get("report")
         .and_then(|r| r.get("peak_buffer_bytes"))
         .expect("report.peak_buffer_bytes present");
-    assert!(
-        matches!(peak, serde_json::Value::U64(_) | serde_json::Value::I64(_)),
-        "{peak:?}"
-    );
+    assert!(matches!(peak, serde_json::Value::U64(_) | serde_json::Value::I64(_)), "{peak:?}");
 
     // A malformed query is a 400, not a crash.
     let resp = server.handle_http("GET /explain?q=magnify(goes-sim.b1-vis) HTTP/1.1");

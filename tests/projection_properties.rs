@@ -26,8 +26,14 @@ fn crs_cases() -> Vec<(Crs, Rect)> {
             Crs::Albers { lat1: 29.5, lat2: 45.5, lat0: 23.0, lon0: -96.0 },
             Rect::new(-130.0, 10.0, -60.0, 70.0),
         ),
-        (Crs::PolarStereographic { north: true, lon0: -45.0 }, Rect::new(-179.0, -30.0, 179.0, 89.0)),
-        (Crs::PolarStereographic { north: false, lon0: 0.0 }, Rect::new(-179.0, -89.0, 179.0, 30.0)),
+        (
+            Crs::PolarStereographic { north: true, lon0: -45.0 },
+            Rect::new(-179.0, -30.0, 179.0, 89.0),
+        ),
+        (
+            Crs::PolarStereographic { north: false, lon0: 0.0 },
+            Rect::new(-179.0, -89.0, 179.0, 30.0),
+        ),
     ]
 }
 
@@ -77,7 +83,8 @@ fn region_mapping_is_conservative() {
         let w = rng.uniform(0.5, 8.0);
         let h = rng.uniform(0.5, 8.0);
         let (target, _) = crs_cases()[rng.index(10)];
-        let region = Region::Rect(Rect::new(cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0));
+        let region =
+            Region::Rect(Rect::new(cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0));
         let Ok(mapped) = map_region(&region, &Crs::LatLon, &target, 16) else {
             // Entirely invisible in the target; nothing to check.
             continue;
@@ -113,7 +120,8 @@ fn lattice_footprints_contain_exactly_their_cells() {
         let fp = lattice.footprint(&rect);
         for col in 0..w {
             for row in 0..h {
-                let inside_fp = fp.is_some_and(|b| b.contains(geostreams::geo::Cell::new(col, row)));
+                let inside_fp =
+                    fp.is_some_and(|b| b.contains(geostreams::geo::Cell::new(col, row)));
                 let center = lattice.cell_to_world(geostreams::geo::Cell::new(col, row));
                 // Allow boundary ties either way (floating rounding).
                 let strictly_inside = center.x > rect.x_min + 1e-9

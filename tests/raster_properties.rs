@@ -106,8 +106,7 @@ fn magnify_average_round_trip() {
 fn tracker_merge_is_associative() {
     for case in 0..96u64 {
         let mut rng = Rng::new(4000 + case);
-        let values: Vec<f64> =
-            (0..rng.int(1, 200)).map(|_| rng.uniform(-1e3, 1e3)).collect();
+        let values: Vec<f64> = (0..rng.int(1, 200)).map(|_| rng.uniform(-1e3, 1e3)).collect();
         let split = rng.index(values.len() + 1);
         let mut bulk = RangeTracker::new();
         for &v in &values {
