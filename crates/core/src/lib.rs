@@ -61,5 +61,8 @@ pub mod query;
 pub mod stats;
 
 pub use error::{CoreError, Result};
-pub use model::{Element, GeoStream, Organization, StreamSchema, TimeSemantics, Timestamp};
+pub use model::{
+    Chunk, ChunkOrMarker, Element, GeoStream, Marker, Organization, StreamSchema, TimeSemantics,
+    Timestamp, DEFAULT_CHUNK_BUDGET,
+};
 pub use stats::OpStats;

@@ -1,0 +1,388 @@
+//! Chunked (vectorized) element transport.
+//!
+//! The scalar [`GeoStream::next_element`] protocol moves one element per
+//! virtual call — for a GOES frame of 20 840 × 10 820 points that is
+//! hundreds of millions of dynamic dispatches per frame. This module
+//! introduces a batch carrier, [`Chunk`], holding a **contiguous run of
+//! points from a single frame**, and the [`ChunkOrMarker`] item type
+//! returned by [`GeoStream::next_chunk`].
+//!
+//! The chunk contract (DESIGN.md §12):
+//!
+//! * A chunk's `points` never cross a framing marker: every point in one
+//!   chunk belongs to the same frame of the same sector.
+//! * The marker that *terminated* the run rides along in [`Chunk::end`];
+//!   `end == None` means the pull budget was exhausted mid-frame and the
+//!   next item continues the same frame.
+//! * A marker with no preceding points is delivered standalone as
+//!   [`ChunkOrMarker::Marker`].
+//! * Flattening an item (points first, then its trailing marker) must
+//!   reproduce the scalar element sequence byte for byte; the
+//!   `tests/vectorized.rs` differential suite enforces this for every
+//!   operator against the scalar oracle.
+//! * Point buffers come from a thread-local pool keyed by the pixel
+//!   type; call [`Chunk::recycle`] (or [`ChunkOrMarker::recycle`]) when
+//!   done so steady-state execution allocates nothing.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+
+use geostreams_raster::Pixel;
+
+use super::element::{Element, FrameEnd, FrameInfo, PointRecord, SectorEnd, SectorInfo};
+use super::stream::GeoStream;
+
+/// Default point budget per [`GeoStream::next_chunk`] pull — large enough
+/// to amortize dispatch and timing, small enough to stay cache-resident.
+pub const DEFAULT_CHUNK_BUDGET: usize = 1024;
+
+/// A framing marker: any non-point [`Element`]. Markers carry no pixel
+/// value, so they pass unchanged through value-type-converting operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Marker {
+    /// Opens a scan sector.
+    SectorStart(SectorInfo),
+    /// Opens a frame within the current sector.
+    FrameStart(FrameInfo),
+    /// Closes the current frame.
+    FrameEnd(FrameEnd),
+    /// Closes the current sector.
+    SectorEnd(SectorEnd),
+}
+
+impl Marker {
+    /// Rewraps the marker as a scalar element of any value type.
+    pub fn into_element<V>(self) -> Element<V> {
+        match self {
+            Marker::SectorStart(si) => Element::SectorStart(si),
+            Marker::FrameStart(fi) => Element::FrameStart(fi),
+            Marker::FrameEnd(fe) => Element::FrameEnd(fe),
+            Marker::SectorEnd(se) => Element::SectorEnd(se),
+        }
+    }
+
+    /// Splits an element into marker or point record.
+    pub fn from_element<V>(el: Element<V>) -> Result<Marker, PointRecord<V>> {
+        match el {
+            Element::Point(p) => Err(p),
+            Element::SectorStart(si) => Ok(Marker::SectorStart(si)),
+            Element::FrameStart(fi) => Ok(Marker::FrameStart(fi)),
+            Element::FrameEnd(fe) => Ok(Marker::FrameEnd(fe)),
+            Element::SectorEnd(se) => Ok(Marker::SectorEnd(se)),
+        }
+    }
+}
+
+/// How many pooled buffers to retain per pixel type (bounds idle memory).
+const POOL_MAX_VECS: usize = 64;
+
+thread_local! {
+    /// Per-thread buffer pool, keyed by pixel `TypeId` (sound because
+    /// `Pixel: 'static`). Each slot holds `Vec<Vec<PointRecord<V>>>`.
+    static CHUNK_POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// Takes a cleared point buffer from the pool (or allocates one).
+fn pool_get<V: Pixel>(capacity: usize) -> Vec<PointRecord<V>> {
+    CHUNK_POOL.with(|p| {
+        let mut map = p.borrow_mut();
+        let slot = map
+            .entry(TypeId::of::<V>())
+            .or_insert_with(|| Box::new(Vec::<Vec<PointRecord<V>>>::new()) as Box<dyn Any>);
+        if let Some(stack) = slot.downcast_mut::<Vec<Vec<PointRecord<V>>>>() {
+            if let Some(mut v) = stack.pop() {
+                if v.capacity() < capacity {
+                    v.reserve(capacity - v.capacity());
+                }
+                return v;
+            }
+        }
+        Vec::with_capacity(capacity)
+    })
+}
+
+/// Returns a point buffer to the pool for reuse.
+fn pool_put<V: Pixel>(mut v: Vec<PointRecord<V>>) {
+    if v.capacity() == 0 {
+        return;
+    }
+    v.clear();
+    CHUNK_POOL.with(|p| {
+        let mut map = p.borrow_mut();
+        let slot = map
+            .entry(TypeId::of::<V>())
+            .or_insert_with(|| Box::new(Vec::<Vec<PointRecord<V>>>::new()) as Box<dyn Any>);
+        if let Some(stack) = slot.downcast_mut::<Vec<Vec<PointRecord<V>>>>() {
+            if stack.len() < POOL_MAX_VECS {
+                stack.push(v);
+            }
+        }
+    });
+}
+
+/// A contiguous run of points from one frame, plus the marker that
+/// terminated the run (if any). See the module docs for the contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk<V: Pixel> {
+    /// The point run, in stream order. Never crosses a marker.
+    pub points: Vec<PointRecord<V>>,
+    /// The marker that ended this run; `None` = budget exhausted
+    /// mid-frame (the next item continues the same frame).
+    pub end: Option<Marker>,
+}
+
+impl<V: Pixel> Chunk<V> {
+    /// A fresh chunk whose buffer comes from the thread-local pool.
+    pub fn with_budget(budget: usize) -> Self {
+        Chunk { points: pool_get(budget.max(1)), end: None }
+    }
+
+    /// Number of points in the run.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the run holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the point buffer to the pool for reuse.
+    pub fn recycle(self) {
+        pool_put(self.points);
+    }
+}
+
+/// One item of the chunked pull protocol: either a point run (with an
+/// optional trailing marker) or a standalone marker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChunkOrMarker<V: Pixel> {
+    /// A non-empty point run, optionally terminated by a marker.
+    Chunk(Chunk<V>),
+    /// A marker with no preceding points.
+    Marker(Marker),
+}
+
+impl<V: Pixel> ChunkOrMarker<V> {
+    /// Number of points carried by this item.
+    pub fn point_count(&self) -> usize {
+        match self {
+            ChunkOrMarker::Chunk(c) => c.points.len(),
+            ChunkOrMarker::Marker(_) => 0,
+        }
+    }
+
+    /// Number of scalar elements this item flattens to (points plus the
+    /// marker, if present). Always at least 1 for protocol-valid items.
+    pub fn element_count(&self) -> u64 {
+        match self {
+            ChunkOrMarker::Chunk(c) => c.points.len() as u64 + u64::from(c.end.is_some()),
+            ChunkOrMarker::Marker(_) => 1,
+        }
+    }
+
+    /// The trailing (or standalone) marker, if any.
+    pub fn marker(&self) -> Option<&Marker> {
+        match self {
+            ChunkOrMarker::Chunk(c) => c.end.as_ref(),
+            ChunkOrMarker::Marker(m) => Some(m),
+        }
+    }
+
+    /// Visits the flattened element sequence by reference: points in
+    /// order, then the trailing marker.
+    pub fn for_each_element(&self, f: &mut dyn FnMut(&Element<V>)) {
+        match self {
+            ChunkOrMarker::Chunk(c) => {
+                for p in &c.points {
+                    f(&Element::Point(*p));
+                }
+                if let Some(m) = &c.end {
+                    f(&m.clone().into_element());
+                }
+            }
+            ChunkOrMarker::Marker(m) => f(&m.clone().into_element()),
+        }
+    }
+
+    /// Consumes the item into its flattened element sequence, recycling
+    /// the point buffer.
+    pub fn into_elements(self, f: &mut dyn FnMut(Element<V>)) {
+        match self {
+            ChunkOrMarker::Chunk(mut c) => {
+                let end = c.end.take();
+                for p in c.points.drain(..) {
+                    f(Element::Point(p));
+                }
+                c.recycle();
+                if let Some(m) = end {
+                    f(m.into_element());
+                }
+            }
+            ChunkOrMarker::Marker(m) => f(m.into_element()),
+        }
+    }
+
+    /// Returns the point buffer (if any) to the pool.
+    pub fn recycle(self) {
+        if let ChunkOrMarker::Chunk(c) = self {
+            c.recycle();
+        }
+    }
+}
+
+/// Packs the front of a scalar element queue into one chunk item:
+/// a leading marker is returned standalone; otherwise up to `budget`
+/// points are drained, folding an immediately following marker into
+/// [`Chunk::end`]. Returns `None` when the queue is empty.
+///
+/// Operators that batch output through an internal `VecDeque<Element>`
+/// (chaos injection, stream repair, composition, archive replay) use
+/// this to speak the chunked protocol without reshaping their logic.
+pub fn pack_queue<V: Pixel>(
+    queue: &mut VecDeque<Element<V>>,
+    budget: usize,
+) -> Option<ChunkOrMarker<V>> {
+    let budget = budget.max(1);
+    let first = queue.pop_front()?;
+    let mut chunk = match Marker::from_element(first) {
+        Ok(m) => return Some(ChunkOrMarker::Marker(m)),
+        Err(p) => {
+            let mut c = Chunk::with_budget(budget);
+            c.points.push(p);
+            c
+        }
+    };
+    while chunk.points.len() < budget {
+        match queue.front() {
+            Some(Element::Point(_)) => {
+                if let Some(Element::Point(p)) = queue.pop_front() {
+                    chunk.points.push(p);
+                }
+            }
+            Some(_) => {
+                if let Some(el) = queue.pop_front() {
+                    chunk.end = Marker::from_element(el).ok();
+                }
+                break;
+            }
+            None => break,
+        }
+    }
+    if chunk.end.is_none() {
+        // A marker right at the budget boundary still belongs to this run.
+        if let Some(el) = queue.front() {
+            if !matches!(el, Element::Point(_)) {
+                if let Some(el) = queue.pop_front() {
+                    chunk.end = Marker::from_element(el).ok();
+                }
+            }
+        }
+    }
+    Some(ChunkOrMarker::Chunk(chunk))
+}
+
+/// Drains a stream through the chunked interface and returns the
+/// flattened element sequence — the differential-test and bench helper
+/// for comparing against [`GeoStream::drain_elements`].
+pub fn drain_chunked<S: GeoStream + ?Sized>(stream: &mut S, budget: usize) -> Vec<Element<S::V>> {
+    let mut out = Vec::new();
+    while let Some(item) = stream.next_chunk(budget) {
+        item.into_elements(&mut |el| out.push(el));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{StreamSchema, Timestamp, VecStream};
+    use geostreams_geo::{Crs, LatticeGeoref, Rect};
+
+    fn source(w: u32, h: u32) -> VecStream<f32> {
+        let lattice = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 4.0, 4.0), w, h);
+        VecStream::single_sector("chunk-src", lattice, 0, |c, r| f64::from(c + 10 * r))
+    }
+
+    #[test]
+    fn default_adapter_matches_scalar_flattening() {
+        for budget in [1usize, 3, 8, 1024] {
+            let scalar = source(8, 4).drain_elements();
+            let chunked = drain_chunked(&mut source(8, 4), budget);
+            assert_eq!(scalar, chunked, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn chunks_never_cross_markers() {
+        let mut s = source(8, 4);
+        while let Some(item) = s.next_chunk(5) {
+            if let ChunkOrMarker::Chunk(c) = &item {
+                assert!(!c.points.is_empty(), "chunks carry at least one point");
+                let row = c.points[0].cell.row;
+                assert!(c.points.iter().all(|p| p.cell.row == row), "run stays in one frame");
+                assert!(c.points.len() <= 5 || c.end.is_some());
+            }
+            item.recycle();
+        }
+    }
+
+    #[test]
+    fn partial_run_attaches_trailing_marker() {
+        // Row width 8, budget 5: the second run of each row holds 3
+        // points and must carry the row's FrameEnd in `end` rather than
+        // splitting it into a separate pull.
+        let mut s = source(8, 2);
+        let mut saw_partial_run_with_end = false;
+        while let Some(item) = s.next_chunk(5) {
+            if let ChunkOrMarker::Chunk(c) = &item {
+                if c.points.len() == 3 {
+                    assert!(matches!(c.end, Some(Marker::FrameEnd(_))));
+                    saw_partial_run_with_end = true;
+                }
+            }
+            item.recycle();
+        }
+        assert!(saw_partial_run_with_end);
+    }
+
+    #[test]
+    fn pack_queue_round_trips() {
+        let els = source(6, 3).drain_elements();
+        for budget in [1usize, 4, 100] {
+            let mut q: VecDeque<Element<f32>> = els.iter().cloned().collect();
+            let mut out = Vec::new();
+            while let Some(item) = pack_queue(&mut q, budget) {
+                item.into_elements(&mut |el| out.push(el));
+            }
+            assert_eq!(out, els, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn pool_reuses_buffers() {
+        let mut c = Chunk::<f32>::with_budget(256);
+        c.points.push(PointRecord { cell: geostreams_geo::Cell::new(0, 0), value: 1.0 });
+        let cap = c.points.capacity();
+        let ptr = c.points.as_ptr() as usize;
+        c.recycle();
+        let c2 = Chunk::<f32>::with_budget(16);
+        assert!(c2.points.is_empty());
+        assert_eq!(c2.points.as_ptr() as usize, ptr, "buffer came back from the pool");
+        assert!(c2.points.capacity() >= cap);
+    }
+
+    #[test]
+    fn element_counts_cover_markers() {
+        let lattice = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 1.0, 1.0), 2, 1);
+        let mut s = VecStream::new(
+            StreamSchema::new("m", Crs::LatLon),
+            vec![Element::<f32>::point(geostreams_geo::Cell::new(0, 0), 1.0)],
+        );
+        let item = s.next_chunk(4).expect("one item");
+        assert_eq!(item.element_count(), 1);
+        assert_eq!(item.point_count(), 1);
+        let _ = (lattice, Timestamp::new(0));
+    }
+}

@@ -10,6 +10,7 @@
 //! * A **GeoStream** attaches a coordinate system via the lattice
 //!   georeference carried in the sector metadata — see [`StreamSchema`].
 
+pub mod chunk;
 mod element;
 mod repair;
 mod schema;
@@ -18,10 +19,13 @@ mod stream;
 mod timestamp;
 mod validate;
 
+pub use chunk::{drain_chunked, pack_queue, Chunk, ChunkOrMarker, Marker, DEFAULT_CHUNK_BUDGET};
 pub use element::{Element, FrameEnd, FrameInfo, PointRecord, SectorEnd, SectorInfo};
 pub use repair::{RepairCounters, RepairProbe, RepairStats, SectorCompleteness, StreamRepair};
 pub use schema::{Organization, StreamSchema};
 pub use split::{split2, tee2, SideStream, TeeStream};
-pub use stream::{drain_points_of, BoxedF32Stream, ChannelLike, GeoStream, VecStream};
+pub use stream::{
+    drain_points_of, BoxedF32Stream, ChannelLike, ChunkChannel, GeoStream, VecStream,
+};
 pub use timestamp::{TimeSemantics, TimeSet, Timestamp};
 pub use validate::{Validator, Violation};

@@ -26,6 +26,7 @@
 //! degradation quantified in [`RepairStats`] and per-sector
 //! [`SectorCompleteness`] records instead of silently wrong output.
 
+use super::chunk::{pack_queue, ChunkOrMarker};
 use super::element::{Element, FrameEnd, FrameInfo, SectorEnd};
 use super::stream::GeoStream;
 use crate::model::StreamSchema;
@@ -293,6 +294,177 @@ impl<S: GeoStream> StreamRepair<S> {
         }));
     }
 
+    /// Handles the end of the input stream: force-closes open scopes
+    /// and syncs the probe. Idempotent via `self.ended`.
+    fn finish_input(&mut self) {
+        self.ended = true;
+        if self.frame.is_some() || self.sector.is_some() {
+            self.stats.truncated = true;
+            self.close_frame(true);
+            self.close_sector(true);
+        } else {
+            self.sync_probe(None);
+        }
+    }
+
+    /// Runs one input element through the repair state machine, queueing
+    /// whatever survives onto `self.out`. This is the shared body of the
+    /// scalar and chunked paths, so both produce identical output and
+    /// identical [`RepairStats`].
+    fn process_one(&mut self, el: Element<S::V>) {
+        self.stats.elements_in += 1;
+        match el {
+            Element::SectorStart(si) => {
+                self.dup_skip = None;
+                if let Some(open) = &self.sector {
+                    if open.id == si.sector_id {
+                        // Retransmitted SectorStart for the open
+                        // sector: drop.
+                        self.stats.duplicate_frames += 1;
+                        self.note_duplicate();
+                        return;
+                    }
+                    // Previous sector never closed: force-close it
+                    // (and any open frame) before opening the new
+                    // one.
+                    self.close_frame(true);
+                    self.close_sector(true);
+                }
+                if let Some(prev) = self.last_sector_id {
+                    if si.sector_id > prev + 1 {
+                        // Whole sectors missing from the downlink.
+                        self.note_gap(si.sector_id - prev - 1);
+                    }
+                }
+                self.last_sector_id = Some(si.sector_id);
+                let area = u64::from(si.lattice.width) * u64::from(si.lattice.height);
+                self.stats.expected_points += area;
+                self.sector = Some(OpenSector {
+                    id: si.sector_id,
+                    band: si.band,
+                    expected: area,
+                    received: 0,
+                    frames_seen: 0,
+                    last_frame_id: None,
+                    last_row: None,
+                });
+                self.out.push_back(Element::SectorStart(si));
+            }
+            Element::FrameStart(fi) => {
+                self.dup_skip = None;
+                if self.sector.is_none() {
+                    // No sector to attribute the frame to (its
+                    // SectorStart is lost or still in flight): drop
+                    // the frame header; its points will be dropped
+                    // as orphans.
+                    self.stats.orphans += 1;
+                    self.note_disorder();
+                    return;
+                }
+                if !self.seen_frames.insert(fi.frame_id) {
+                    // Retransmitted frame: discard its whole body.
+                    self.stats.duplicate_frames += 1;
+                    self.note_duplicate();
+                    self.dup_skip = Some(fi.frame_id);
+                    return;
+                }
+                // Previous frame never closed: finalize it partial.
+                self.close_frame(true);
+                let expected = u64::from(fi.cells.col_max - fi.cells.col_min + 1)
+                    * u64::from(fi.cells.row_max - fi.cells.row_min + 1);
+                let mut gap_frames = 0u64;
+                let mut disorders = 0u32;
+                if let Some(open) = &mut self.sector {
+                    open.frames_seen += 1;
+                    if let Some(prev) = open.last_frame_id {
+                        if fi.frame_id > prev + 1 {
+                            // Whole frames (scan rows) missing.
+                            gap_frames = fi.frame_id - prev - 1;
+                        } else if fi.frame_id < prev {
+                            disorders += 1;
+                        }
+                    }
+                    open.last_frame_id = Some(fi.frame_id);
+                    if let Some(prev_row) = open.last_row {
+                        if fi.cells.row_min < prev_row {
+                            disorders += 1;
+                        }
+                    }
+                    open.last_row = Some(fi.cells.row_min);
+                }
+                if gap_frames > 0 {
+                    self.note_gap(gap_frames);
+                }
+                for _ in 0..disorders {
+                    self.note_disorder();
+                }
+                self.frame = Some(OpenFrame { info: fi, expected, cells: HashSet::new() });
+                self.out.push_back(Element::FrameStart(fi));
+            }
+            Element::Point(p) => {
+                if self.dup_skip.is_some() {
+                    self.stats.duplicate_points += 1;
+                    self.note_duplicate();
+                    return;
+                }
+                let Some(open) = &mut self.frame else {
+                    self.stats.orphans += 1;
+                    return;
+                };
+                if !open.cells.insert(p.cell) {
+                    self.stats.duplicate_points += 1;
+                    self.note_duplicate();
+                    return;
+                }
+                self.stats.received_points += 1;
+                if let Some(sec) = &mut self.sector {
+                    sec.received += 1;
+                }
+                self.out.push_back(Element::Point(p));
+            }
+            Element::FrameEnd(fe) => {
+                if self.dup_skip == Some(fe.frame_id) {
+                    self.dup_skip = None;
+                    return;
+                }
+                self.dup_skip = None;
+                match &self.frame {
+                    Some(open) if open.info.frame_id == fe.frame_id => {
+                        self.close_frame(false);
+                    }
+                    Some(_) => {
+                        // An end marker for a frame that is not
+                        // open — out-of-order or already
+                        // force-closed. Keep the open frame.
+                        self.note_disorder();
+                        self.stats.orphans += 1;
+                    }
+                    None => {
+                        self.stats.orphans += 1;
+                    }
+                }
+            }
+            Element::SectorEnd(se) => {
+                self.dup_skip = None;
+                match &self.sector {
+                    Some(open) if open.id == se.sector_id => {
+                        // Close any frame the lost markers left
+                        // open, then the sector itself.
+                        self.close_frame(true);
+                        self.close_sector(false);
+                    }
+                    Some(_) => {
+                        self.note_disorder();
+                        self.stats.orphans += 1;
+                    }
+                    None => {
+                        self.stats.orphans += 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Finalizes the open sector (if any); `synthesize` emits the
     /// missing `SectorEnd`.
     fn close_sector(&mut self, synthesize: bool) {
@@ -331,167 +503,33 @@ impl<S: GeoStream> GeoStream for StreamRepair<S> {
             if self.ended {
                 return None;
             }
-            let Some(el) = self.input.next_element() else {
-                self.ended = true;
-                if self.frame.is_some() || self.sector.is_some() {
-                    self.stats.truncated = true;
-                    self.close_frame(true);
-                    self.close_sector(true);
-                } else {
-                    self.sync_probe(None);
+            match self.input.next_element() {
+                Some(el) => self.process_one(el),
+                None => self.finish_input(),
+            }
+        }
+    }
+
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<S::V>> {
+        loop {
+            if let Some(item) = pack_queue(&mut self.out, budget) {
+                return Some(item);
+            }
+            if self.ended {
+                return None;
+            }
+            match self.input.next_chunk(budget.max(1)) {
+                Some(ChunkOrMarker::Marker(m)) => self.process_one(m.into_element()),
+                Some(ChunkOrMarker::Chunk(mut c)) => {
+                    for p in c.points.drain(..) {
+                        self.process_one(Element::Point(p));
+                    }
+                    if let Some(m) = c.end.take() {
+                        self.process_one(m.into_element());
+                    }
+                    c.recycle();
                 }
-                continue;
-            };
-            self.stats.elements_in += 1;
-            match el {
-                Element::SectorStart(si) => {
-                    self.dup_skip = None;
-                    if let Some(open) = &self.sector {
-                        if open.id == si.sector_id {
-                            // Retransmitted SectorStart for the open
-                            // sector: drop.
-                            self.stats.duplicate_frames += 1;
-                            self.note_duplicate();
-                            continue;
-                        }
-                        // Previous sector never closed: force-close it
-                        // (and any open frame) before opening the new
-                        // one.
-                        self.close_frame(true);
-                        self.close_sector(true);
-                    }
-                    if let Some(prev) = self.last_sector_id {
-                        if si.sector_id > prev + 1 {
-                            // Whole sectors missing from the downlink.
-                            self.note_gap(si.sector_id - prev - 1);
-                        }
-                    }
-                    self.last_sector_id = Some(si.sector_id);
-                    let area = u64::from(si.lattice.width) * u64::from(si.lattice.height);
-                    self.stats.expected_points += area;
-                    self.sector = Some(OpenSector {
-                        id: si.sector_id,
-                        band: si.band,
-                        expected: area,
-                        received: 0,
-                        frames_seen: 0,
-                        last_frame_id: None,
-                        last_row: None,
-                    });
-                    self.out.push_back(Element::SectorStart(si));
-                }
-                Element::FrameStart(fi) => {
-                    self.dup_skip = None;
-                    if self.sector.is_none() {
-                        // No sector to attribute the frame to (its
-                        // SectorStart is lost or still in flight): drop
-                        // the frame header; its points will be dropped
-                        // as orphans.
-                        self.stats.orphans += 1;
-                        self.note_disorder();
-                        continue;
-                    }
-                    if !self.seen_frames.insert(fi.frame_id) {
-                        // Retransmitted frame: discard its whole body.
-                        self.stats.duplicate_frames += 1;
-                        self.note_duplicate();
-                        self.dup_skip = Some(fi.frame_id);
-                        continue;
-                    }
-                    // Previous frame never closed: finalize it partial.
-                    self.close_frame(true);
-                    let expected = u64::from(fi.cells.col_max - fi.cells.col_min + 1)
-                        * u64::from(fi.cells.row_max - fi.cells.row_min + 1);
-                    let mut gap_frames = 0u64;
-                    let mut disorders = 0u32;
-                    if let Some(open) = &mut self.sector {
-                        open.frames_seen += 1;
-                        if let Some(prev) = open.last_frame_id {
-                            if fi.frame_id > prev + 1 {
-                                // Whole frames (scan rows) missing.
-                                gap_frames = fi.frame_id - prev - 1;
-                            } else if fi.frame_id < prev {
-                                disorders += 1;
-                            }
-                        }
-                        open.last_frame_id = Some(fi.frame_id);
-                        if let Some(prev_row) = open.last_row {
-                            if fi.cells.row_min < prev_row {
-                                disorders += 1;
-                            }
-                        }
-                        open.last_row = Some(fi.cells.row_min);
-                    }
-                    if gap_frames > 0 {
-                        self.note_gap(gap_frames);
-                    }
-                    for _ in 0..disorders {
-                        self.note_disorder();
-                    }
-                    self.frame = Some(OpenFrame { info: fi, expected, cells: HashSet::new() });
-                    self.out.push_back(Element::FrameStart(fi));
-                }
-                Element::Point(p) => {
-                    if self.dup_skip.is_some() {
-                        self.stats.duplicate_points += 1;
-                        self.note_duplicate();
-                        continue;
-                    }
-                    let Some(open) = &mut self.frame else {
-                        self.stats.orphans += 1;
-                        continue;
-                    };
-                    if !open.cells.insert(p.cell) {
-                        self.stats.duplicate_points += 1;
-                        self.note_duplicate();
-                        continue;
-                    }
-                    self.stats.received_points += 1;
-                    if let Some(sec) = &mut self.sector {
-                        sec.received += 1;
-                    }
-                    self.out.push_back(Element::Point(p));
-                }
-                Element::FrameEnd(fe) => {
-                    if self.dup_skip == Some(fe.frame_id) {
-                        self.dup_skip = None;
-                        continue;
-                    }
-                    self.dup_skip = None;
-                    match &self.frame {
-                        Some(open) if open.info.frame_id == fe.frame_id => {
-                            self.close_frame(false);
-                        }
-                        Some(_) => {
-                            // An end marker for a frame that is not
-                            // open — out-of-order or already
-                            // force-closed. Keep the open frame.
-                            self.note_disorder();
-                            self.stats.orphans += 1;
-                        }
-                        None => {
-                            self.stats.orphans += 1;
-                        }
-                    }
-                }
-                Element::SectorEnd(se) => {
-                    self.dup_skip = None;
-                    match &self.sector {
-                        Some(open) if open.id == se.sector_id => {
-                            // Close any frame the lost markers left
-                            // open, then the sector itself.
-                            self.close_frame(true);
-                            self.close_sector(false);
-                        }
-                        Some(_) => {
-                            self.note_disorder();
-                            self.stats.orphans += 1;
-                        }
-                        None => {
-                            self.stats.orphans += 1;
-                        }
-                    }
-                }
+                None => self.finish_input(),
             }
         }
     }

@@ -1,5 +1,6 @@
 //! The `GeoStream` trait and basic sources.
 
+use super::chunk::{Chunk, ChunkOrMarker, Marker};
 use super::element::{Element, FrameEnd, FrameInfo, PointRecord, SectorEnd, SectorInfo};
 use super::schema::{Organization, StreamSchema};
 use super::timestamp::Timestamp;
@@ -23,6 +24,43 @@ pub trait GeoStream {
 
     /// Pulls the next element; `None` means the stream has ended.
     fn next_element(&mut self) -> Option<Element<Self::V>>;
+
+    /// Pulls the next run of up to `budget` points (or a standalone
+    /// marker). See [`crate::model::chunk`] for the chunk contract.
+    ///
+    /// The default implementation adapts any element-at-a-time operator
+    /// by accumulating its scalar output, so the algebra stays closed:
+    /// legacy operators keep working unmodified inside chunked
+    /// pipelines. Hot operators override this with a batch-native path.
+    ///
+    /// A stream instance should be driven through *one* of the two pull
+    /// interfaces; interleaving `next_element` and `next_chunk` calls on
+    /// the same instance is allowed but may split runs arbitrarily.
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<Self::V>> {
+        let budget = budget.max(1);
+        let first = self.next_element()?;
+        let mut chunk = match Marker::from_element(first) {
+            Ok(m) => return Some(ChunkOrMarker::Marker(m)),
+            Err(p) => {
+                let mut c = Chunk::with_budget(budget);
+                c.points.push(p);
+                c
+            }
+        };
+        while chunk.points.len() < budget {
+            match self.next_element() {
+                None => break,
+                Some(el) => match Marker::from_element(el) {
+                    Ok(m) => {
+                        chunk.end = Some(m);
+                        break;
+                    }
+                    Err(p) => chunk.points.push(p),
+                },
+            }
+        }
+        Some(ChunkOrMarker::Chunk(chunk))
+    }
 
     /// This operator's own counters (sources may return zeros).
     fn op_stats(&self) -> OpStats {
@@ -90,6 +128,10 @@ impl<S: GeoStream + ?Sized> GeoStream for Box<S> {
         (**self).next_element()
     }
 
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<Self::V>> {
+        (**self).next_chunk(budget)
+    }
+
     fn op_stats(&self) -> OpStats {
         (**self).op_stats()
     }
@@ -110,6 +152,10 @@ impl<S: GeoStream + ?Sized> GeoStream for &mut S {
         (**self).next_element()
     }
 
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<Self::V>> {
+        (**self).next_chunk(budget)
+    }
+
     fn op_stats(&self) -> OpStats {
         (**self).op_stats()
     }
@@ -124,14 +170,17 @@ impl<S: GeoStream + ?Sized> GeoStream for &mut S {
 #[derive(Debug, Clone)]
 pub struct VecStream<V> {
     schema: StreamSchema,
-    elements: std::vec::IntoIter<Element<V>>,
+    elements: Vec<Element<V>>,
+    /// Replay cursor into `elements` (a slice position rather than a
+    /// consuming iterator, so the chunk path can copy whole point runs).
+    idx: usize,
     stats: OpStats,
 }
 
 impl<V: Pixel> VecStream<V> {
     /// Creates a source from a schema and element sequence.
     pub fn new(schema: StreamSchema, elements: Vec<Element<V>>) -> Self {
-        VecStream { schema, elements: elements.into_iter(), stats: OpStats::default() }
+        VecStream { schema, elements, idx: 0, stats: OpStats::default() }
     }
 
     /// Builds a single-sector stream over `lattice` with one frame per
@@ -224,13 +273,51 @@ impl<V: Pixel> GeoStream for VecStream<V> {
     }
 
     fn next_element(&mut self) -> Option<Element<V>> {
-        let el = self.elements.next()?;
+        let el = self.elements.get(self.idx)?.clone();
+        self.idx += 1;
         match &el {
             Element::Point(_) => self.stats.points_out += 1,
             Element::FrameStart(_) => self.stats.frames_out += 1,
             _ => {}
         }
         Some(el)
+    }
+
+    /// Batch-native pull: the backing sequence is already materialized,
+    /// so a whole run of points is copied straight off the slice with no
+    /// per-element dispatch.
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<V>> {
+        let budget = budget.max(1);
+        let first = self.elements.get(self.idx)?;
+        if let Ok(m) = Marker::from_element(first.clone()) {
+            self.idx += 1;
+            if matches!(m, Marker::FrameStart(_)) {
+                self.stats.frames_out += 1;
+            }
+            return Some(ChunkOrMarker::Marker(m));
+        }
+        let rest = &self.elements[self.idx..];
+        let run = rest.iter().take(budget).take_while(|e| matches!(e, Element::Point(_))).count();
+        let mut chunk = Chunk::with_budget(budget);
+        chunk.points.extend(rest[..run].iter().filter_map(|e| match e {
+            Element::Point(p) => Some(*p),
+            _ => None,
+        }));
+        self.idx += run;
+        self.stats.points_out += run as u64;
+        if run < budget {
+            // The run ended at a marker; fold it into the chunk.
+            if let Some(el) = self.elements.get(self.idx) {
+                if let Ok(m) = Marker::from_element(el.clone()) {
+                    if matches!(m, Marker::FrameStart(_)) {
+                        self.stats.frames_out += 1;
+                    }
+                    chunk.end = Some(m);
+                    self.idx += 1;
+                }
+            }
+        }
+        Some(ChunkOrMarker::Chunk(chunk))
     }
 
     fn op_stats(&self) -> OpStats {
@@ -270,6 +357,74 @@ impl<V: Pixel> GeoStream for ChannelLike<V> {
             self.stats.points_out += 1;
         }
         Some(el)
+    }
+
+    fn op_stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+/// A source that pulls whole [`ChunkOrMarker`] items from a
+/// caller-supplied closure — the chunk-native counterpart of
+/// [`ChannelLike`], used by the DSMS so chunks cross ingest channels
+/// intact instead of being re-split into per-point sends.
+pub struct ChunkChannel<V: Pixel> {
+    schema: StreamSchema,
+    pull: Box<dyn FnMut() -> Option<ChunkOrMarker<V>> + Send>,
+    /// Flattening buffer serving legacy `next_element` consumers.
+    buf: std::collections::VecDeque<Element<V>>,
+    stats: OpStats,
+}
+
+impl<V: Pixel> ChunkChannel<V> {
+    /// Creates a source from a chunk-pull closure (return `None` to end
+    /// the stream).
+    pub fn new(
+        schema: StreamSchema,
+        pull: impl FnMut() -> Option<ChunkOrMarker<V>> + Send + 'static,
+    ) -> Self {
+        ChunkChannel {
+            schema,
+            pull: Box::new(pull),
+            buf: std::collections::VecDeque::new(),
+            stats: OpStats::default(),
+        }
+    }
+}
+
+impl<V: Pixel> GeoStream for ChunkChannel<V> {
+    type V = V;
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element<V>> {
+        loop {
+            if let Some(el) = self.buf.pop_front() {
+                if el.is_point() {
+                    self.stats.points_out += 1;
+                }
+                return Some(el);
+            }
+            let item = (self.pull)()?;
+            item.into_elements(&mut |el| self.buf.push_back(el));
+        }
+    }
+
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<V>> {
+        // Serve any scalar leftovers first so mixed-mode callers never
+        // observe reordering.
+        if !self.buf.is_empty() {
+            let item = super::chunk::pack_queue(&mut self.buf, budget);
+            if let Some(it) = &item {
+                self.stats.points_out += it.point_count() as u64;
+            }
+            return item;
+        }
+        let item = (self.pull)()?;
+        self.stats.points_out += item.point_count() as u64;
+        Some(item)
     }
 
     fn op_stats(&self) -> OpStats {

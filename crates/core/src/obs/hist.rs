@@ -66,6 +66,20 @@ impl Histogram {
         self.sum.fetch_add(value, Ordering::Relaxed);
     }
 
+    /// Records `n` samples of the same `value` with a single set of
+    /// atomic adds — the per-chunk form used by the vectorized executor
+    /// to keep latency histograms element-denominated (`count` advances
+    /// by `n`) without paying one `record` call per element.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -241,6 +255,18 @@ mod tests {
         assert!(p99 < 1_000_000, "p99={p99}");
         let p100 = h.percentile(100.0);
         assert!(p100 >= 1_000_000, "p100={p100}");
+    }
+
+    #[test]
+    fn record_n_matches_n_records() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..37 {
+            a.record(900);
+        }
+        b.record_n(900, 37);
+        b.record_n(900, 0); // no-op
+        assert_eq!(a.snapshot(), b.snapshot());
     }
 
     #[test]

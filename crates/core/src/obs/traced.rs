@@ -8,7 +8,7 @@
 
 use super::hist::Histogram;
 use super::trace::{TraceKind, TraceLog};
-use crate::model::{Element, GeoStream, StreamSchema};
+use crate::model::{ChunkOrMarker, Element, GeoStream, Marker, StreamSchema};
 use crate::stats::{OpReport, OpStats};
 use std::sync::Arc;
 use std::time::Instant;
@@ -104,6 +104,41 @@ impl<S: GeoStream> TracedStream<S> {
             self.last_buffer_peak = stats.buffered_points_peak;
         }
     }
+
+    /// Boundary bookkeeping for a marker observed on the chunked path:
+    /// frame latency, sector trace events, pressure checks. `t0` is the
+    /// pull start of the item that carried the marker.
+    fn note_marker(&mut self, m: &Marker, t0: Instant) {
+        match m {
+            Marker::FrameStart(_) => self.frame_open = Some(t0),
+            Marker::FrameEnd(_) => {
+                let opened = self.frame_open.take().unwrap_or(t0);
+                self.frame_ns.record(opened.elapsed().as_nanos() as u64);
+                self.check_pressure();
+            }
+            Marker::SectorStart(si) => {
+                if let Some(trace) = &self.obs.trace {
+                    trace.record(
+                        self.obs.query_id,
+                        &self.inner.schema().name,
+                        TraceKind::Sector,
+                        format!("sector {} start", si.sector_id),
+                    );
+                }
+            }
+            Marker::SectorEnd(se) => {
+                if let Some(trace) = &self.obs.trace {
+                    trace.record(
+                        self.obs.query_id,
+                        &self.inner.schema().name,
+                        TraceKind::Sector,
+                        format!("sector {} end", se.sector_id),
+                    );
+                }
+                self.check_pressure();
+            }
+        }
+    }
 }
 
 impl<S: GeoStream> GeoStream for TracedStream<S> {
@@ -150,6 +185,31 @@ impl<S: GeoStream> GeoStream for TracedStream<S> {
             _ => {}
         }
         el
+    }
+
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<Self::V>> {
+        let t0 = Instant::now();
+        let item = self.inner.next_chunk(budget);
+        let dt = t0.elapsed().as_nanos() as u64;
+        match &item {
+            Some(item) => {
+                // One amortized latency record per chunk: the per-element
+                // cost is the pull time divided over everything the
+                // chunk carried, so histogram counts still equal element
+                // counts.
+                let n = item.element_count().max(1);
+                self.pull_ns.record_n(dt / n, n);
+                if let Some(m) = item.marker() {
+                    let m = m.clone();
+                    self.note_marker(&m, t0);
+                }
+            }
+            None => {
+                self.pull_ns.record(dt);
+                self.check_pressure();
+            }
+        }
+        item
     }
 
     fn op_stats(&self) -> OpStats {

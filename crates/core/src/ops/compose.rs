@@ -16,7 +16,10 @@
 //!    image-by-image transmission and one *row* for row-by-row.
 
 use crate::error::{CoreError, Result};
-use crate::model::{Element, FrameEnd, FrameInfo, GeoStream, SectorEnd, StreamSchema, Timestamp};
+use crate::model::{
+    Chunk, ChunkOrMarker, Element, FrameEnd, FrameInfo, GeoStream, SectorEnd, StreamSchema,
+    Timestamp,
+};
 use crate::stats::{OpReport, OpStats};
 use geostreams_geo::{Cell, CellBox};
 use geostreams_raster::Pixel;
@@ -156,8 +159,44 @@ pub struct Compose<L: GeoStream, R: GeoStream<V = L::V>> {
     pub unmatched_dropped: u64,
 
     queue: VecDeque<Element<L::V>>,
+    /// Set on the first `next_chunk` call: side pulls are then staged
+    /// through whole input chunks (amortizing upstream dispatch) while
+    /// the element-level join schedule stays exactly the scalar one.
+    chunked: bool,
+    left_stage: StageCursor<L::V>,
+    right_stage: StageCursor<L::V>,
     stats: OpStats,
     schema: StreamSchema,
+}
+
+/// A staged input chunk consumed element-at-a-time by the join
+/// schedule: points are read in place through a cursor instead of being
+/// copied into an intermediate queue.
+struct StageCursor<V: Pixel> {
+    chunk: Chunk<V>,
+    idx: usize,
+}
+
+impl<V: Pixel> StageCursor<V> {
+    fn empty() -> Self {
+        StageCursor { chunk: Chunk { points: Vec::new(), end: None }, idx: 0 }
+    }
+
+    /// The next staged element, if any remains in the current chunk.
+    fn next(&mut self) -> Option<Element<V>> {
+        if self.idx < self.chunk.points.len() {
+            let p = self.chunk.points[self.idx];
+            self.idx += 1;
+            return Some(Element::Point(p));
+        }
+        self.chunk.end.take().map(|m| m.into_element())
+    }
+
+    /// Replaces the staged chunk, recycling the consumed one.
+    fn refill(&mut self, chunk: Chunk<V>) {
+        std::mem::replace(&mut self.chunk, chunk).recycle();
+        self.idx = 0;
+    }
 }
 
 impl<L: GeoStream, R: GeoStream<V = L::V>> Compose<L, R> {
@@ -205,9 +244,45 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> Compose<L, R> {
             next_frame_id: 0,
             unmatched_dropped: 0,
             queue: VecDeque::new(),
+            chunked: false,
+            left_stage: StageCursor::empty(),
+            right_stage: StageCursor::empty(),
             stats: OpStats::default(),
             schema,
         })
+    }
+
+    /// Pulls one element from the left input — directly in scalar mode,
+    /// via whole staged chunks in chunked mode.
+    fn left_next(&mut self) -> Option<Element<L::V>> {
+        if !self.chunked {
+            return self.left.next_element();
+        }
+        loop {
+            if let Some(el) = self.left_stage.next() {
+                return Some(el);
+            }
+            match self.left.next_chunk(crate::model::DEFAULT_CHUNK_BUDGET)? {
+                ChunkOrMarker::Marker(m) => return Some(m.into_element()),
+                ChunkOrMarker::Chunk(c) => self.left_stage.refill(c),
+            }
+        }
+    }
+
+    /// Pulls one element from the right input (see [`Self::left_next`]).
+    fn right_next(&mut self) -> Option<Element<L::V>> {
+        if !self.chunked {
+            return self.right.next_element();
+        }
+        loop {
+            if let Some(el) = self.right_stage.next() {
+                return Some(el);
+            }
+            match self.right.next_chunk(crate::model::DEFAULT_CHUNK_BUDGET)? {
+                ChunkOrMarker::Marker(m) => return Some(m.into_element()),
+                ChunkOrMarker::Chunk(c) => self.right_stage.refill(c),
+            }
+        }
     }
 
     /// Opens/continues the output frame for timestamp `ts`, emitting
@@ -352,6 +427,88 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> Compose<L, R> {
         }
     }
 
+    /// One scheduling step: advances the join until it either produced
+    /// output or must be called again; returns `false` when the stream
+    /// is fully exhausted (termination cleanup done, queue empty).
+    ///
+    /// FrameMerge is a restricted schedule of the same join: it is
+    /// selected by biasing the scheduler to finish the left frame
+    /// first. Both strategies share the matching code path; the
+    /// strategy only alters pull order (measured by A2).
+    fn advance(&mut self) -> bool {
+        if self.left_done && self.right_done {
+            self.evict_all();
+            if self.active.is_some() || self.open_frame.is_some() {
+                self.flush_sector();
+                return true;
+            }
+            return false;
+        }
+        match self.strategy {
+            JoinStrategy::Hash => {
+                if !self.pump() && self.queue.is_empty() {
+                    self.evict_all();
+                    if self.active.is_some() || self.open_frame.is_some() {
+                        self.flush_sector();
+                        return true;
+                    }
+                    return false;
+                }
+                true
+            }
+            JoinStrategy::FrameMerge => {
+                // Pull a whole left frame, then a whole right frame.
+                if !self.left_done {
+                    loop {
+                        match self.left_next() {
+                            Some(el) => {
+                                let end =
+                                    matches!(el, Element::FrameEnd(_) | Element::SectorEnd(_));
+                                self.left_pos.elements += 1;
+                                if matches!(el, Element::SectorEnd(_)) {
+                                    self.left_pos.sectors += 1;
+                                }
+                                self.process(0, el);
+                                if end {
+                                    break;
+                                }
+                            }
+                            None => {
+                                self.left_done = true;
+                                self.left_sector_closed = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !self.right_done {
+                    loop {
+                        match self.right_next() {
+                            Some(el) => {
+                                let end =
+                                    matches!(el, Element::FrameEnd(_) | Element::SectorEnd(_));
+                                self.right_pos.elements += 1;
+                                if matches!(el, Element::SectorEnd(_)) {
+                                    self.right_pos.sectors += 1;
+                                }
+                                self.process(1, el);
+                                if end {
+                                    break;
+                                }
+                            }
+                            None => {
+                                self.right_done = true;
+                                self.right_sector_closed = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+
     /// Pulls one element from whichever side is behind; returns `false`
     /// when both inputs are exhausted.
     fn pump(&mut self) -> bool {
@@ -363,7 +520,7 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> Compose<L, R> {
             self.left_pos <= self.right_pos
         };
         if pull_left {
-            match self.left.next_element() {
+            match self.left_next() {
                 Some(el) => {
                     self.left_pos.elements += 1;
                     if matches!(el, Element::SectorEnd(_)) {
@@ -379,7 +536,7 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> Compose<L, R> {
                 }
             }
         } else if !self.right_done {
-            match self.right.next_element() {
+            match self.right_next() {
                 Some(el) => {
                     self.right_pos.elements += 1;
                     if matches!(el, Element::SectorEnd(_)) {
@@ -408,82 +565,35 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> GeoStream for Compose<L, R> {
     }
 
     fn next_element(&mut self) -> Option<Element<L::V>> {
-        // FrameMerge is a restricted schedule of the same join: it is
-        // selected by biasing the scheduler to finish the left frame
-        // first. Both strategies share the matching code path; the
-        // strategy only alters pull order (measured by A2).
         loop {
             if let Some(el) = self.queue.pop_front() {
                 return Some(el);
             }
-            if self.left_done && self.right_done {
-                self.evict_all();
-                if self.active.is_some() || self.open_frame.is_some() {
-                    self.flush_sector();
-                    continue;
-                }
+            if !self.advance() {
                 return None;
             }
-            match self.strategy {
-                JoinStrategy::Hash => {
-                    if !self.pump() && self.queue.is_empty() {
-                        self.evict_all();
-                        if self.active.is_some() || self.open_frame.is_some() {
-                            self.flush_sector();
-                            continue;
-                        }
-                        return None;
-                    }
+        }
+    }
+
+    fn next_chunk(&mut self, budget: usize) -> Option<crate::model::ChunkOrMarker<L::V>> {
+        // Switch side pulls to chunk staging; the join schedule itself
+        // is element-granular either way, so output is byte-identical
+        // to the scalar path.
+        self.chunked = true;
+        loop {
+            // Fill the output queue past one full run before packing, so
+            // chunk size is set by the budget rather than by how little a
+            // single advance() happens to emit.
+            while self.queue.len() <= budget {
+                if !self.advance() {
+                    break;
                 }
-                JoinStrategy::FrameMerge => {
-                    // Pull a whole left frame, then a whole right frame.
-                    if !self.left_done {
-                        loop {
-                            match self.left.next_element() {
-                                Some(el) => {
-                                    let end =
-                                        matches!(el, Element::FrameEnd(_) | Element::SectorEnd(_));
-                                    self.left_pos.elements += 1;
-                                    if matches!(el, Element::SectorEnd(_)) {
-                                        self.left_pos.sectors += 1;
-                                    }
-                                    self.process(0, el);
-                                    if end {
-                                        break;
-                                    }
-                                }
-                                None => {
-                                    self.left_done = true;
-                                    self.left_sector_closed = true;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    if !self.right_done {
-                        loop {
-                            match self.right.next_element() {
-                                Some(el) => {
-                                    let end =
-                                        matches!(el, Element::FrameEnd(_) | Element::SectorEnd(_));
-                                    self.right_pos.elements += 1;
-                                    if matches!(el, Element::SectorEnd(_)) {
-                                        self.right_pos.sectors += 1;
-                                    }
-                                    self.process(1, el);
-                                    if end {
-                                        break;
-                                    }
-                                }
-                                None => {
-                                    self.right_done = true;
-                                    self.right_sector_closed = true;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                }
+            }
+            if let Some(item) = crate::model::pack_queue(&mut self.queue, budget) {
+                return Some(item);
+            }
+            if !self.advance() {
+                return None;
             }
         }
     }

@@ -9,7 +9,7 @@
 //! per-frame metadata), and experiment E1 verifies the flat per-point
 //! cost.
 
-use crate::model::{Element, FrameInfo, GeoStream, StreamSchema, TimeSet};
+use crate::model::{ChunkOrMarker, Element, FrameInfo, GeoStream, Marker, StreamSchema, TimeSet};
 use crate::stats::{OpReport, OpStats};
 use geostreams_geo::{CellBox, LatticeGeoref, Region};
 use std::collections::VecDeque;
@@ -31,12 +31,17 @@ impl LazyFrame {
     /// Called before emitting a point; returns the `FrameStart` to emit
     /// first, if the frame is not open yet.
     fn ensure_open<V>(&mut self) -> Option<Element<V>> {
+        self.ensure_open_info().map(Element::FrameStart)
+    }
+
+    /// Marker-typed form of [`LazyFrame::ensure_open`] for chunked paths.
+    fn ensure_open_info(&mut self) -> Option<FrameInfo> {
         if self.open {
             return None;
         }
         let info = self.pending.take()?;
         self.open = true;
-        Some(Element::FrameStart(info))
+        Some(info)
     }
 
     /// Called on input `FrameEnd`; returns whether the end should be
@@ -65,6 +70,7 @@ pub struct SpatialRestrict<S: GeoStream> {
     lattice: Option<LatticeGeoref>,
     frame: LazyFrame,
     queue: VecDeque<Element<S::V>>,
+    cqueue: VecDeque<ChunkOrMarker<S::V>>,
     stats: OpStats,
     schema: StreamSchema,
 }
@@ -82,6 +88,7 @@ impl<S: GeoStream> SpatialRestrict<S> {
             lattice: None,
             frame: LazyFrame::default(),
             queue: VecDeque::new(),
+            cqueue: VecDeque::new(),
             stats: OpStats::default(),
             schema,
         }
@@ -90,6 +97,41 @@ impl<S: GeoStream> SpatialRestrict<S> {
     /// The restriction region.
     pub fn region(&self) -> &Region {
         &self.region
+    }
+
+    /// Marker transition shared by the scalar and chunked paths; returns
+    /// the marker to forward, if any.
+    fn chunk_marker(&mut self, m: Marker) -> Option<Marker> {
+        match m {
+            Marker::SectorStart(si) => {
+                self.footprint = si.lattice.footprint_of_region(&self.region);
+                self.lattice = Some(si.lattice);
+                Some(Marker::SectorStart(si))
+            }
+            Marker::FrameStart(mut fi) => {
+                self.stats.frames_in += 1;
+                match self.footprint.and_then(|fp| fp.intersect(&fi.cells)) {
+                    Some(isect) => {
+                        fi.cells = isect;
+                        self.frame.begin(fi);
+                    }
+                    None => {
+                        self.frame.pending = None;
+                        self.frame.open = false;
+                    }
+                }
+                None
+            }
+            Marker::FrameEnd(fe) => {
+                if self.frame.close() {
+                    Some(Marker::FrameEnd(fe))
+                } else {
+                    self.stats.stalls += 1;
+                    None
+                }
+            }
+            Marker::SectorEnd(se) => Some(Marker::SectorEnd(se)),
+        }
     }
 }
 
@@ -161,6 +203,63 @@ impl<S: GeoStream> GeoStream for SpatialRestrict<S> {
         }
     }
 
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<S::V>> {
+        loop {
+            if let Some(item) = self.cqueue.pop_front() {
+                return Some(item);
+            }
+            match self.input.next_chunk(budget)? {
+                ChunkOrMarker::Marker(m) => {
+                    if let Some(out) = self.chunk_marker(m) {
+                        return Some(ChunkOrMarker::Marker(out));
+                    }
+                }
+                ChunkOrMarker::Chunk(mut c) => {
+                    // Batched accounting: one add per run, not per point.
+                    self.stats.points_in += c.points.len() as u64;
+                    let end = c.end.take();
+                    // Frame state is constant across a run (runs never
+                    // cross markers), so the per-point guards hoist out.
+                    let swallowed = self.frame.pending.is_none() && !self.frame.open;
+                    match self.footprint {
+                        Some(_) if swallowed => c.points.clear(),
+                        Some(fp) if self.exact => match self.lattice {
+                            Some(lat) => {
+                                let region = &self.region;
+                                c.points.retain(|p| {
+                                    fp.contains(p.cell)
+                                        && region.contains(lat.cell_to_world(p.cell))
+                                });
+                            }
+                            None => c.points.clear(),
+                        },
+                        Some(fp) => c.points.retain(|p| fp.contains(p.cell)),
+                        None => c.points.clear(),
+                    }
+                    if !c.points.is_empty() {
+                        self.stats.points_out += c.points.len() as u64;
+                        if let Some(fi) = self.frame.ensure_open_info() {
+                            self.stats.frames_out += 1;
+                            self.cqueue.push_back(ChunkOrMarker::Marker(Marker::FrameStart(fi)));
+                        }
+                    }
+                    // The trailing marker is processed *after* the run's
+                    // points, exactly as the scalar path orders it.
+                    let end_keep = end.and_then(|m| self.chunk_marker(m));
+                    if c.points.is_empty() {
+                        c.recycle();
+                        if let Some(m) = end_keep {
+                            self.cqueue.push_back(ChunkOrMarker::Marker(m));
+                        }
+                    } else {
+                        c.end = end_keep;
+                        self.cqueue.push_back(ChunkOrMarker::Chunk(c));
+                    }
+                }
+            }
+        }
+    }
+
     fn op_stats(&self) -> OpStats {
         self.stats.clone()
     }
@@ -188,6 +287,32 @@ impl<S: GeoStream> TemporalRestrict<S> {
     pub fn new(input: S, times: TimeSet) -> Self {
         let schema = input.schema().renamed("restrict_time");
         TemporalRestrict { input, times, passing: false, stats: OpStats::default(), schema }
+    }
+
+    /// Marker transition shared by the scalar and chunked paths.
+    fn chunk_marker(&mut self, m: Marker) -> Option<Marker> {
+        match m {
+            Marker::FrameStart(fi) => {
+                self.stats.frames_in += 1;
+                self.passing = self.times.contains(fi.timestamp);
+                if self.passing {
+                    self.stats.frames_out += 1;
+                    Some(Marker::FrameStart(fi))
+                } else {
+                    self.stats.stalls += 1;
+                    None
+                }
+            }
+            Marker::FrameEnd(fe) => {
+                if self.passing {
+                    self.passing = false;
+                    Some(Marker::FrameEnd(fe))
+                } else {
+                    None
+                }
+            }
+            other => Some(other),
+        }
     }
 }
 
@@ -229,6 +354,40 @@ impl<S: GeoStream> GeoStream for TemporalRestrict<S> {
         }
     }
 
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<S::V>> {
+        loop {
+            match self.input.next_chunk(budget)? {
+                ChunkOrMarker::Marker(m) => {
+                    if let Some(out) = self.chunk_marker(m) {
+                        return Some(ChunkOrMarker::Marker(out));
+                    }
+                }
+                ChunkOrMarker::Chunk(mut c) => {
+                    self.stats.points_in += c.points.len() as u64;
+                    let end = c.end.take();
+                    // The frame test ran at FrameStart; the whole run
+                    // shares its verdict.
+                    let keep = self.passing;
+                    if keep {
+                        self.stats.points_out += c.points.len() as u64;
+                    } else {
+                        c.points.clear();
+                    }
+                    let end_keep = end.and_then(|m| self.chunk_marker(m));
+                    if c.points.is_empty() {
+                        c.recycle();
+                        if let Some(m) = end_keep {
+                            return Some(ChunkOrMarker::Marker(m));
+                        }
+                    } else {
+                        c.end = end_keep;
+                        return Some(ChunkOrMarker::Chunk(c));
+                    }
+                }
+            }
+        }
+    }
+
     fn op_stats(&self) -> OpStats {
         self.stats.clone()
     }
@@ -246,6 +405,7 @@ pub struct ValueRestrict<S: GeoStream> {
     ranges: Vec<(f64, f64)>,
     frame: LazyFrame,
     queue: VecDeque<Element<S::V>>,
+    cqueue: VecDeque<ChunkOrMarker<S::V>>,
     stats: OpStats,
     schema: StreamSchema,
 }
@@ -264,8 +424,29 @@ impl<S: GeoStream> ValueRestrict<S> {
             ranges,
             frame: LazyFrame::default(),
             queue: VecDeque::new(),
+            cqueue: VecDeque::new(),
             stats: OpStats::default(),
             schema,
+        }
+    }
+
+    /// Marker transition shared by the scalar and chunked paths.
+    fn chunk_marker(&mut self, m: Marker) -> Option<Marker> {
+        match m {
+            Marker::FrameStart(fi) => {
+                self.stats.frames_in += 1;
+                self.frame.begin(fi);
+                None
+            }
+            Marker::FrameEnd(fe) => {
+                if self.frame.close() {
+                    Some(Marker::FrameEnd(fe))
+                } else {
+                    self.stats.stalls += 1;
+                    None
+                }
+            }
+            other => Some(other),
         }
     }
 }
@@ -308,6 +489,48 @@ impl<S: GeoStream> GeoStream for ValueRestrict<S> {
                     self.stats.stalls += 1;
                 }
                 other => return Some(other),
+            }
+        }
+    }
+
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<S::V>> {
+        use geostreams_raster::Pixel;
+        loop {
+            if let Some(item) = self.cqueue.pop_front() {
+                return Some(item);
+            }
+            match self.input.next_chunk(budget)? {
+                ChunkOrMarker::Marker(m) => {
+                    if let Some(out) = self.chunk_marker(m) {
+                        return Some(ChunkOrMarker::Marker(out));
+                    }
+                }
+                ChunkOrMarker::Chunk(mut c) => {
+                    self.stats.points_in += c.points.len() as u64;
+                    let end = c.end.take();
+                    let ranges = &self.ranges;
+                    c.points.retain(|p| {
+                        let v = p.value.to_f64();
+                        ranges.iter().any(|&(lo, hi)| v >= lo && v <= hi)
+                    });
+                    if !c.points.is_empty() {
+                        self.stats.points_out += c.points.len() as u64;
+                        if let Some(fi) = self.frame.ensure_open_info() {
+                            self.stats.frames_out += 1;
+                            self.cqueue.push_back(ChunkOrMarker::Marker(Marker::FrameStart(fi)));
+                        }
+                    }
+                    let end_keep = end.and_then(|m| self.chunk_marker(m));
+                    if c.points.is_empty() {
+                        c.recycle();
+                        if let Some(m) = end_keep {
+                            self.cqueue.push_back(ChunkOrMarker::Marker(m));
+                        }
+                    } else {
+                        c.end = end_keep;
+                        self.cqueue.push_back(ChunkOrMarker::Chunk(c));
+                    }
+                }
             }
         }
     }

@@ -9,7 +9,7 @@
 //! pipeline falls behind the downlink, and every dropped point is
 //! counted.
 
-use crate::model::{Element, GeoStream, StreamSchema};
+use crate::model::{ChunkOrMarker, Element, GeoStream, Marker, StreamSchema};
 use crate::stats::{OpReport, OpStats};
 use serde::{Deserialize, Serialize};
 
@@ -57,6 +57,37 @@ impl<S: GeoStream> Shed<S> {
     /// The effective keep ratio.
     pub fn keep_ratio(&self) -> f64 {
         1.0 / f64::from(self.stride)
+    }
+
+    /// Marker transition shared by the scalar and chunked paths.
+    fn chunk_marker(&mut self, m: Marker) -> Option<Marker> {
+        match (m, self.policy) {
+            (Marker::FrameStart(fi), ShedPolicy::Rows) => {
+                self.stats.frames_in += 1;
+                self.keeping_frame = self.frame_counter.is_multiple_of(u64::from(self.stride));
+                self.frame_counter += 1;
+                if self.keeping_frame {
+                    self.stats.frames_out += 1;
+                    Some(Marker::FrameStart(fi))
+                } else {
+                    self.stats.stalls += 1;
+                    None
+                }
+            }
+            (Marker::FrameEnd(fe), ShedPolicy::Rows) => {
+                if self.keeping_frame {
+                    Some(Marker::FrameEnd(fe))
+                } else {
+                    None
+                }
+            }
+            (Marker::FrameStart(fi), ShedPolicy::Points) => {
+                self.stats.frames_in += 1;
+                self.stats.frames_out += 1;
+                Some(Marker::FrameStart(fi))
+            }
+            (m, _) => Some(m),
+        }
     }
 }
 
@@ -110,6 +141,52 @@ impl<S: GeoStream> GeoStream for Shed<S> {
                     return Some(el);
                 }
                 _ => return Some(el),
+            }
+        }
+    }
+
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<S::V>> {
+        loop {
+            match self.input.next_chunk(budget)? {
+                ChunkOrMarker::Marker(m) => {
+                    if let Some(out) = self.chunk_marker(m) {
+                        return Some(ChunkOrMarker::Marker(out));
+                    }
+                }
+                ChunkOrMarker::Chunk(mut c) => {
+                    let n = c.points.len() as u64;
+                    self.stats.points_in += n;
+                    let end = c.end.take();
+                    match self.policy {
+                        ShedPolicy::Rows => {
+                            // The whole run shares the frame's verdict.
+                            if self.keeping_frame {
+                                self.stats.points_out += n;
+                            } else {
+                                self.dropped += n;
+                                c.points.clear();
+                            }
+                        }
+                        ShedPolicy::Points => {
+                            let stride = self.stride;
+                            c.points
+                                .retain(|p| p.cell.col % stride == 0 && p.cell.row % stride == 0);
+                            let kept = c.points.len() as u64;
+                            self.stats.points_out += kept;
+                            self.dropped += n - kept;
+                        }
+                    }
+                    let end_keep = end.and_then(|m| self.chunk_marker(m));
+                    if c.points.is_empty() {
+                        c.recycle();
+                        if let Some(m) = end_keep {
+                            return Some(ChunkOrMarker::Marker(m));
+                        }
+                    } else {
+                        c.end = end_keep;
+                        return Some(ChunkOrMarker::Chunk(c));
+                    }
+                }
             }
         }
     }

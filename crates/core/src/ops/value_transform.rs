@@ -6,7 +6,7 @@
 //! operators hold no state and cost O(1) per point; the frame-scoped
 //! stretches that *do* buffer live in [`crate::ops::stretch`].
 
-use crate::model::{Element, GeoStream, StreamSchema};
+use crate::model::{Chunk, ChunkOrMarker, Element, GeoStream, Marker, PointRecord, StreamSchema};
 use crate::stats::{OpReport, OpStats};
 use geostreams_raster::Pixel;
 use serde::{Deserialize, Serialize};
@@ -137,6 +137,36 @@ impl<S: GeoStream, W: Pixel> GeoStream for MapTransform<S, W> {
         Some(el.map_value(|v| W::from_f64(self.func.apply(v.to_f64()))))
     }
 
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<W>> {
+        match self.input.next_chunk(budget)? {
+            ChunkOrMarker::Marker(m) => {
+                if matches!(m, Marker::FrameStart(_)) {
+                    self.stats.frames_in += 1;
+                    self.stats.frames_out += 1;
+                }
+                Some(ChunkOrMarker::Marker(m))
+            }
+            ChunkOrMarker::Chunk(mut c) => {
+                let n = c.points.len() as u64;
+                self.stats.points_in += n;
+                self.stats.points_out += n;
+                if let Some(Marker::FrameStart(_)) = &c.end {
+                    self.stats.frames_in += 1;
+                    self.stats.frames_out += 1;
+                }
+                let mut out = Chunk::with_budget(c.points.len());
+                let func = self.func;
+                out.points.extend(c.points.drain(..).map(|p| PointRecord {
+                    cell: p.cell,
+                    value: W::from_f64(func.apply(p.value.to_f64())),
+                }));
+                out.end = c.end.take();
+                c.recycle();
+                Some(ChunkOrMarker::Chunk(out))
+            }
+        }
+    }
+
     fn op_stats(&self) -> OpStats {
         self.stats.clone()
     }
@@ -178,6 +208,27 @@ impl<S: GeoStream, W: Pixel> GeoStream for CastTransform<S, W> {
             self.stats.points_out += 1;
         }
         Some(el.map_value(|v| W::from_f64(v.to_f64())))
+    }
+
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<W>> {
+        match self.input.next_chunk(budget)? {
+            ChunkOrMarker::Marker(m) => Some(ChunkOrMarker::Marker(m)),
+            ChunkOrMarker::Chunk(mut c) => {
+                let n = c.points.len() as u64;
+                self.stats.points_in += n;
+                self.stats.points_out += n;
+                let mut out = Chunk::with_budget(c.points.len());
+                out.points.extend(
+                    c.points.drain(..).map(|p| PointRecord {
+                        cell: p.cell,
+                        value: W::from_f64(p.value.to_f64()),
+                    }),
+                );
+                out.end = c.end.take();
+                c.recycle();
+                Some(ChunkOrMarker::Chunk(out))
+            }
+        }
     }
 
     fn op_stats(&self) -> OpStats {

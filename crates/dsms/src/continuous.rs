@@ -37,7 +37,8 @@ use crate::metrics::ServerMetrics;
 use crate::protocol::{ClientRequest, OutputFormat};
 use crate::server::{QueryResult, SourceRepair};
 use geostreams_core::model::{
-    BoxedF32Stream, ChannelLike, Element, GeoStream, RepairCounters, RepairProbe, StreamRepair,
+    BoxedF32Stream, ChannelLike, ChunkChannel, ChunkOrMarker, GeoStream, Marker, RepairCounters,
+    RepairProbe, StreamRepair, DEFAULT_CHUNK_BUDGET,
 };
 use geostreams_core::obs::Counter;
 use geostreams_core::ops::delivery::PngSink;
@@ -55,8 +56,9 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Default channel capacity per subscriber: how many elements a slow
-/// query may lag behind the downlink before the fan-out policy kicks in.
+/// Default channel capacity per subscriber: how many chunked items a
+/// slow query may lag behind the downlink before the fan-out policy
+/// kicks in.
 const CHANNEL_CAP: usize = 8192;
 
 /// Poll interval for watchdog-aware channel reads and stall slicing.
@@ -172,9 +174,11 @@ pub struct IngestStats {
     pub faults_per_band: Vec<(u16, FaultStats)>,
 }
 
-/// One subscriber of a band's fan-out.
+/// One subscriber of a band's fan-out. The channel carries whole
+/// chunked items, so per-subscriber dispatch and channel overhead are
+/// amortized over entire point runs.
 struct SubSlot {
-    tx: Option<SyncSender<Element<f32>>>,
+    tx: Option<SyncSender<ChunkOrMarker<f32>>>,
     /// Elements this subscriber lost to shedding (incl. being declared
     /// dead).
     shed: u64,
@@ -289,7 +293,7 @@ pub fn run_supervised(
 
     // Create one channel per (query, live-served source). Archive-only
     // sources never subscribe: their band need not be ingested at all.
-    type Rx = Receiver<Element<f32>>;
+    type Rx = Receiver<ChunkOrMarker<f32>>;
     let mut band_slots: HashMap<String, Vec<SubSlot>> = HashMap::new();
     let mut query_receivers: Vec<HashMap<String, Rx>> = Vec::new();
     for admitted in &exprs {
@@ -500,7 +504,7 @@ pub fn run_supervised(
                                 }
                                 let rx = rx_opt.as_ref()?;
                                 match rx.recv_timeout(POLL) {
-                                    Ok(el) => {
+                                    Ok(item) => {
                                         if let Some(d) = stall {
                                             // Simulated slow client;
                                             // sliced so the watchdog
@@ -509,7 +513,7 @@ pub fn run_supervised(
                                                 continue;
                                             }
                                         }
-                                        return Some(el);
+                                        return Some(item);
                                     }
                                     Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
                                     Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
@@ -519,7 +523,7 @@ pub fn run_supervised(
                                 }
                             }
                         };
-                        let channel = ChannelLike::new(schema.clone(), pull);
+                        let channel = ChunkChannel::new(schema.clone(), pull);
                         match lock_opt(&hybrid_slot).take() {
                             Some((replay, watermark)) => {
                                 let on_switch = store_metrics.clone().map(|sm| {
@@ -711,32 +715,52 @@ fn pump(
         }
     }
     let mut skipping = start_sector > 0;
-    while let Some(el) = stream.next_element() {
-        if skipping {
-            match &el {
-                Element::SectorStart(si) if si.sector_id >= start_sector => skipping = false,
-                _ => continue,
+    while let Some(item) = stream.next_chunk(DEFAULT_CHUNK_BUDGET) {
+        let item = if skipping {
+            // Restart resume: drop everything before `start_sector`. A
+            // point run inside a skipped sector is discarded whole; only
+            // a `SectorStart` at or past the resume point ends the skip.
+            match item {
+                ChunkOrMarker::Marker(Marker::SectorStart(si)) if si.sector_id >= start_sector => {
+                    skipping = false;
+                    ChunkOrMarker::Marker(Marker::SectorStart(si))
+                }
+                ChunkOrMarker::Marker(_) => continue,
+                ChunkOrMarker::Chunk(mut c) => match c.end.take() {
+                    Some(Marker::SectorStart(si)) if si.sector_id >= start_sector => {
+                        skipping = false;
+                        c.recycle();
+                        ChunkOrMarker::Marker(Marker::SectorStart(si))
+                    }
+                    _ => {
+                        c.recycle();
+                        continue;
+                    }
+                },
             }
-        }
-        if let Element::SectorStart(si) = &el {
+        } else {
+            item
+        };
+        if let Some(Marker::SectorStart(si)) = item.marker() {
             progress.last_sector.store(si.sector_id + 1, Ordering::Relaxed);
         }
-        progress.elements.fetch_add(1, Ordering::Relaxed);
-        if el.is_point() {
+        progress.elements.fetch_add(item.element_count(), Ordering::Relaxed);
+        let n_points = item.point_count() as u64;
+        if n_points > 0 {
             if let Some(c) = &points_counter {
-                c.inc();
+                c.add(n_points);
             }
         }
         if let Some(a) = &archive {
-            if let Err(e) = a.ingest(band_id, &el) {
+            if let Err(e) = a.ingest_chunk(band_id, &item) {
                 eprintln!("archive: ingest on band {band_id} failed, persistence disabled: {e}");
                 archive = None;
             }
         }
-        let is_marker = !el.is_point();
+        let has_marker = item.marker().is_some();
         let mut guard = subs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         for slot in guard.iter_mut() {
-            fanout_one(slot, &el, is_marker, fanout, marker_patience, &shed_counter);
+            fanout_one(slot, &item, has_marker, fanout, marker_patience, &shed_counter);
         }
     }
     if let Some(a) = &archive {
@@ -744,11 +768,12 @@ fn pump(
     }
 }
 
-/// Delivers one element to one subscriber under the fan-out policy.
+/// Delivers one chunked item to one subscriber under the fan-out
+/// policy.
 fn fanout_one(
     slot: &mut SubSlot,
-    el: &Element<f32>,
-    is_marker: bool,
+    item: &ChunkOrMarker<f32>,
+    has_marker: bool,
     fanout: FanoutPolicy,
     marker_patience: Duration,
     shed_counter: &Option<Counter>,
@@ -757,12 +782,12 @@ fn fanout_one(
     match fanout {
         FanoutPolicy::Blocking => {
             // A closed receiver (query finished/failed) is fine.
-            if tx.send(el.clone()).is_err() {
+            if tx.send(item.clone()).is_err() {
                 slot.tx = None;
             }
         }
         FanoutPolicy::Shed => loop {
-            match tx.try_send(el.clone()) {
+            match tx.try_send(item.clone()) {
                 Ok(()) => {
                     slot.full_since = None;
                     return;
@@ -773,12 +798,13 @@ fn fanout_one(
                 }
                 Err(TrySendError::Full(_)) => {
                     let since = *slot.full_since.get_or_insert_with(Instant::now);
-                    if !is_marker {
-                        // Points are expendable: shed immediately
-                        // rather than stall the band.
-                        slot.shed += 1;
+                    if !has_marker {
+                        // Pure point runs are expendable: shed the whole
+                        // run immediately rather than stall the band.
+                        let n = item.point_count() as u64;
+                        slot.shed += n;
                         if let Some(c) = shed_counter {
-                            c.inc();
+                            c.add(n);
                         }
                         return;
                     }
@@ -786,9 +812,10 @@ fn fanout_one(
                         // A subscriber that cannot even accept framing
                         // markers is wedged: unsubscribe it.
                         slot.tx = None;
-                        slot.shed += 1;
+                        let n = item.element_count();
+                        slot.shed += n;
                         if let Some(c) = shed_counter {
-                            c.inc();
+                            c.add(n);
                         }
                         return;
                     }

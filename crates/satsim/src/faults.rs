@@ -23,7 +23,7 @@
 //!   supervisor's restart trigger) or the downlink ends early
 //!   (`truncate_after`).
 
-use geostreams_core::model::{Element, GeoStream, StreamSchema};
+use geostreams_core::model::{pack_queue, ChunkOrMarker, Element, GeoStream, StreamSchema};
 use geostreams_core::stats::{OpReport, OpStats};
 use geostreams_raster::Pixel;
 use serde::{Deserialize, Serialize};
@@ -345,6 +345,128 @@ impl<S: GeoStream> ChaosStream<S> {
             self.out.push_back(el);
         }
     }
+
+    /// Handles the clean end of the input: a held element is released
+    /// (death drops it in [`Self::process_one`] instead).
+    fn finish_input(&mut self) {
+        self.ended = true;
+        if let Some(h) = self.held.take() {
+            self.out.push_back(h);
+        }
+        self.sync_probe();
+    }
+
+    /// Runs one input element through the fault machinery, queueing the
+    /// survivors onto `self.out`. Shared by the scalar and chunked
+    /// paths, so the RNG draw order — and therefore the injected fault
+    /// sequence for a given seed — is identical in both.
+    fn process_one(&mut self, el: Element<S::V>) {
+        self.stats.elements_in += 1;
+        if let Some(n) = self.plan.die_after {
+            if self.stats.elements_in > n {
+                self.stats.died = true;
+                self.ended = true;
+                self.held = None;
+                self.sync_probe();
+                return;
+            }
+        }
+        if let Some(n) = self.plan.truncate_after {
+            if self.stats.elements_in > n {
+                self.stats.truncated = true;
+                self.ended = true;
+                self.held = None;
+                self.sync_probe();
+                return;
+            }
+        }
+        if self.plan.stall > 0.0 && roll(&mut self.rng) < self.plan.stall {
+            self.stats.stalls += 1;
+            if self.plan.stall_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(self.plan.stall_ms));
+            }
+        }
+        // Structural drops: whole sectors, whole frames, markers.
+        let el = match el {
+            Element::SectorStart(si) => {
+                if roll(&mut self.rng) < self.plan.drop_sector {
+                    self.stats.sectors_dropped += 1;
+                    self.skip_sector = true;
+                    return;
+                }
+                self.skip_sector = false;
+                self.skip_frame = false;
+                Element::SectorStart(si)
+            }
+            Element::SectorEnd(se) => {
+                if self.skip_sector {
+                    self.skip_sector = false;
+                    return;
+                }
+                if roll(&mut self.rng) < self.plan.drop_end_marker {
+                    self.stats.end_markers_dropped += 1;
+                    return;
+                }
+                Element::SectorEnd(se)
+            }
+            Element::FrameStart(fi) => {
+                if self.skip_sector {
+                    return;
+                }
+                if roll(&mut self.rng) < self.plan.drop_frame {
+                    self.stats.frames_dropped += 1;
+                    self.skip_frame = true;
+                    return;
+                }
+                self.skip_frame = false;
+                Element::FrameStart(fi)
+            }
+            Element::FrameEnd(fe) => {
+                if self.skip_sector {
+                    return;
+                }
+                if self.skip_frame {
+                    self.skip_frame = false;
+                    return;
+                }
+                if roll(&mut self.rng) < self.plan.drop_end_marker {
+                    self.stats.end_markers_dropped += 1;
+                    return;
+                }
+                Element::FrameEnd(fe)
+            }
+            Element::Point(p) => {
+                if self.skip_sector || self.skip_frame {
+                    return;
+                }
+                if roll(&mut self.rng) < self.plan.drop_point {
+                    self.stats.points_dropped += 1;
+                    return;
+                }
+                if self.plan.corrupt > 0.0 && roll(&mut self.rng) < self.plan.corrupt {
+                    self.stats.corrupted += 1;
+                    let delta = (roll(&mut self.rng) * 2.0 - 1.0) * self.plan.corrupt_magnitude;
+                    Element::point(p.cell, S::V::from_f64(p.value.to_f64() + delta))
+                } else {
+                    Element::Point(p)
+                }
+            }
+        };
+        if self.plan.duplicate > 0.0 && roll(&mut self.rng) < self.plan.duplicate {
+            self.stats.duplicated += 1;
+            self.out.push_back(el.clone());
+        }
+        if self.plan.reorder > 0.0 && self.held.is_none() && roll(&mut self.rng) < self.plan.reorder
+        {
+            self.stats.reordered += 1;
+            self.held = Some(el);
+            return;
+        }
+        self.emit(el);
+        if self.stats.elements_in.is_multiple_of(1024) {
+            self.sync_probe();
+        }
+    }
 }
 
 impl<S: GeoStream> GeoStream for ChaosStream<S> {
@@ -362,121 +484,41 @@ impl<S: GeoStream> GeoStream for ChaosStream<S> {
             if self.ended {
                 return None;
             }
-            let Some(el) = self.input.next_element() else {
-                self.ended = true;
-                // A clean end releases a held element; death drops it.
-                if let Some(h) = self.held.take() {
-                    self.out.push_back(h);
-                }
-                self.sync_probe();
-                continue;
-            };
-            self.stats.elements_in += 1;
-            if let Some(n) = self.plan.die_after {
-                if self.stats.elements_in > n {
-                    self.stats.died = true;
-                    self.ended = true;
-                    self.held = None;
-                    self.sync_probe();
-                    return None;
-                }
+            match self.input.next_element() {
+                Some(el) => self.process_one(el),
+                None => self.finish_input(),
             }
-            if let Some(n) = self.plan.truncate_after {
-                if self.stats.elements_in > n {
-                    self.stats.truncated = true;
-                    self.ended = true;
-                    self.held = None;
-                    self.sync_probe();
-                    return None;
-                }
+        }
+    }
+
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<S::V>> {
+        loop {
+            if let Some(item) = pack_queue(&mut self.out, budget) {
+                return Some(item);
             }
-            if self.plan.stall > 0.0 && roll(&mut self.rng) < self.plan.stall {
-                self.stats.stalls += 1;
-                if self.plan.stall_ms > 0 {
-                    std::thread::sleep(std::time::Duration::from_millis(self.plan.stall_ms));
-                }
+            if self.ended {
+                return None;
             }
-            // Structural drops: whole sectors, whole frames, markers.
-            let el = match el {
-                Element::SectorStart(si) => {
-                    if roll(&mut self.rng) < self.plan.drop_sector {
-                        self.stats.sectors_dropped += 1;
-                        self.skip_sector = true;
-                        continue;
+            match self.input.next_chunk(budget.max(1)) {
+                Some(ChunkOrMarker::Marker(m)) => self.process_one(m.into_element()),
+                Some(ChunkOrMarker::Chunk(mut c)) => {
+                    for p in c.points.drain(..) {
+                        if self.ended {
+                            // Death/truncation fired mid-run: the rest of
+                            // the pulled input is never consumed, exactly
+                            // as the scalar path never pulls past it.
+                            break;
+                        }
+                        self.process_one(Element::Point(p));
                     }
-                    self.skip_sector = false;
-                    self.skip_frame = false;
-                    Element::SectorStart(si)
+                    if !self.ended {
+                        if let Some(m) = c.end.take() {
+                            self.process_one(m.into_element());
+                        }
+                    }
+                    c.recycle();
                 }
-                Element::SectorEnd(se) => {
-                    if self.skip_sector {
-                        self.skip_sector = false;
-                        continue;
-                    }
-                    if roll(&mut self.rng) < self.plan.drop_end_marker {
-                        self.stats.end_markers_dropped += 1;
-                        continue;
-                    }
-                    Element::SectorEnd(se)
-                }
-                Element::FrameStart(fi) => {
-                    if self.skip_sector {
-                        continue;
-                    }
-                    if roll(&mut self.rng) < self.plan.drop_frame {
-                        self.stats.frames_dropped += 1;
-                        self.skip_frame = true;
-                        continue;
-                    }
-                    self.skip_frame = false;
-                    Element::FrameStart(fi)
-                }
-                Element::FrameEnd(fe) => {
-                    if self.skip_sector {
-                        continue;
-                    }
-                    if self.skip_frame {
-                        self.skip_frame = false;
-                        continue;
-                    }
-                    if roll(&mut self.rng) < self.plan.drop_end_marker {
-                        self.stats.end_markers_dropped += 1;
-                        continue;
-                    }
-                    Element::FrameEnd(fe)
-                }
-                Element::Point(p) => {
-                    if self.skip_sector || self.skip_frame {
-                        continue;
-                    }
-                    if roll(&mut self.rng) < self.plan.drop_point {
-                        self.stats.points_dropped += 1;
-                        continue;
-                    }
-                    if self.plan.corrupt > 0.0 && roll(&mut self.rng) < self.plan.corrupt {
-                        self.stats.corrupted += 1;
-                        let delta = (roll(&mut self.rng) * 2.0 - 1.0) * self.plan.corrupt_magnitude;
-                        Element::point(p.cell, S::V::from_f64(p.value.to_f64() + delta))
-                    } else {
-                        Element::Point(p)
-                    }
-                }
-            };
-            if self.plan.duplicate > 0.0 && roll(&mut self.rng) < self.plan.duplicate {
-                self.stats.duplicated += 1;
-                self.out.push_back(el.clone());
-            }
-            if self.plan.reorder > 0.0
-                && self.held.is_none()
-                && roll(&mut self.rng) < self.plan.reorder
-            {
-                self.stats.reordered += 1;
-                self.held = Some(el);
-                continue;
-            }
-            self.emit(el);
-            if self.stats.elements_in.is_multiple_of(1024) {
-                self.sync_probe();
+                None => self.finish_input(),
             }
         }
     }

@@ -12,8 +12,8 @@
 use crate::field::EarthModel;
 use crate::instrument::Instrument;
 use geostreams_core::model::{
-    Element, FrameEnd, FrameInfo, GeoStream, Organization, SectorEnd, SectorInfo, StreamSchema,
-    TimeSemantics, Timestamp,
+    Chunk, ChunkOrMarker, Element, FrameEnd, FrameInfo, GeoStream, Marker, Organization,
+    PointRecord, SectorEnd, SectorInfo, StreamSchema, TimeSemantics, Timestamp,
 };
 use geostreams_core::stats::OpStats;
 use geostreams_geo::{Cell, CellBox, Coord, LatticeGeoref, Projection};
@@ -344,10 +344,7 @@ impl GeoStream for SyntheticStream {
                         self.col = 0;
                         self.row += 1;
                     }
-                    return Some(Element::Point(geostreams_core::model::PointRecord {
-                        cell,
-                        value: v,
-                    }));
+                    return Some(Element::Point(PointRecord { cell, value: v }));
                 }
                 Phase::FrameEnd => {
                     let lattice = self.lattice.expect("sector open");
@@ -384,6 +381,67 @@ impl GeoStream for SyntheticStream {
                 }
             }
         }
+    }
+
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<f32>> {
+        let budget = budget.max(1);
+        let mut chunk = Chunk::with_budget(budget);
+        if self.phase != Phase::Points {
+            // Marker phases emit exactly one element each; serve it
+            // standalone through the scalar state machine so all phase
+            // transitions stay in one place.
+            let el = self.next_element()?;
+            match Marker::from_element(el) {
+                Ok(m) => {
+                    chunk.recycle();
+                    return Some(ChunkOrMarker::Marker(m));
+                }
+                Err(p) => chunk.points.push(p),
+            }
+        }
+        // Points phase: emit the rest of the frame's run inline with the
+        // exact scalar cursor semantics. `points_emitted` advances per
+        // point because MeasurementTime timestamps derive from it.
+        let lattice = self.lattice.expect("sector open");
+        let org = self.scanner.instrument.organization;
+        while chunk.points.len() < budget {
+            let frame_exhausted = match org {
+                Organization::ImageByImage => self.row >= lattice.height,
+                Organization::RowByRow => self.col >= lattice.width,
+                Organization::PointByPoint => self.burst_left == 0 || self.col >= lattice.width,
+            };
+            if frame_exhausted {
+                self.phase = Phase::FrameEnd;
+                // The scalar FrameEnd phase repositions the cursor and
+                // picks the next phase; fold its marker into this run.
+                if let Some(Ok(m)) = self.next_element().map(Marker::from_element) {
+                    chunk.end = Some(m);
+                }
+                break;
+            }
+            let cell = Cell::new(self.col, self.row);
+            let v = self.sample(&lattice, cell);
+            self.points_emitted += 1;
+            self.stats.points_out += 1;
+            self.col += 1;
+            if self.burst_left > 0 {
+                self.burst_left -= 1;
+            }
+            if self.col >= lattice.width && org == Organization::ImageByImage {
+                self.col = 0;
+                self.row += 1;
+            }
+            chunk.points.push(PointRecord { cell, value: v });
+        }
+        if chunk.points.is_empty() {
+            let end = chunk.end.take();
+            chunk.recycle();
+            return match end {
+                Some(m) => Some(ChunkOrMarker::Marker(m)),
+                None => self.next_chunk(budget),
+            };
+        }
+        Some(ChunkOrMarker::Chunk(chunk))
     }
 
     fn op_stats(&self) -> OpStats {

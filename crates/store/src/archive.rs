@@ -17,7 +17,7 @@ use crate::replay::TileCache;
 use crate::segment::{
     parse_segment_id, scan_segment, segment_path, Record, SegmentWriter, TileHeader,
 };
-use geostreams_core::model::{Element, FrameInfo, SectorInfo, StreamSchema};
+use geostreams_core::model::{ChunkOrMarker, Element, FrameInfo, SectorInfo, StreamSchema};
 use geostreams_core::query::{ReplayEstimate, ReplayProvider};
 use geostreams_core::{CoreError, Result};
 use geostreams_geo::{CellBox, Rect};
@@ -360,9 +360,34 @@ impl Archive {
     /// boundary, orphan points are dropped and counted.
     pub fn ingest(&self, band: u16, el: &Element<f32>) -> Result<()> {
         let mut inner = lock(&self.inner);
+        self.ingest_locked(&mut inner, band, el)
+    }
+
+    /// Consumes one chunked item (a run of points with an optional
+    /// trailing marker, or a standalone marker) for `band`, taking the
+    /// archive lock once per item instead of once per element.
+    pub fn ingest_chunk(&self, band: u16, item: &ChunkOrMarker<f32>) -> Result<()> {
+        let mut inner = lock(&self.inner);
+        match item {
+            ChunkOrMarker::Marker(m) => {
+                self.ingest_locked(&mut inner, band, &m.clone().into_element::<f32>())
+            }
+            ChunkOrMarker::Chunk(c) => {
+                for p in &c.points {
+                    self.ingest_locked(&mut inner, band, &Element::Point(*p))?;
+                }
+                if let Some(m) = &c.end {
+                    self.ingest_locked(&mut inner, band, &m.clone().into_element::<f32>())?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn ingest_locked(&self, inner: &mut Inner, band: u16, el: &Element<f32>) -> Result<()> {
         match el {
             Element::SectorStart(info) => {
-                self.flush_open_frame(&mut inner, band)?;
+                self.flush_open_frame(inner, band)?;
                 let bw = inner.writers.entry(band).or_default();
                 bw.sector = Some(info.clone());
                 bw.seen_frames.clear();
@@ -376,13 +401,13 @@ impl Archive {
                     .info = info.clone();
                 let cfg = self.cfg.clone();
                 let info = info.clone();
-                let w = active_writer(&mut inner, &cfg)?;
+                let w = active_writer(inner, &cfg)?;
                 w.append_sector(&info)?;
                 let bytes = w.bytes();
-                note_active_bytes(&mut inner, bytes);
+                note_active_bytes(inner, bytes);
             }
             Element::FrameStart(fi) => {
-                self.flush_open_frame(&mut inner, band)?;
+                self.flush_open_frame(inner, band)?;
                 let bw = inner.writers.entry(band).or_default();
                 bw.skipping = None;
                 if bw.sector.is_none() {
@@ -423,10 +448,10 @@ impl Archive {
                 if bw.skipping.take().is_some() {
                     return Ok(());
                 }
-                self.flush_open_frame(&mut inner, band)?;
+                self.flush_open_frame(inner, band)?;
             }
             Element::SectorEnd(_) => {
-                self.flush_open_frame(&mut inner, band)?;
+                self.flush_open_frame(inner, band)?;
                 let bw = inner.writers.entry(band).or_default();
                 bw.sector = None;
                 bw.skipping = None;

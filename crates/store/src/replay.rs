@@ -5,7 +5,10 @@
 
 use crate::archive::{Archive, PlannedFrame, PlannedSector, ReplayPlan};
 use crate::codec::decode_stripe;
-use geostreams_core::model::{Element, FrameEnd, FrameInfo, PointRecord, SectorEnd, StreamSchema};
+use geostreams_core::model::{
+    pack_queue, ChunkOrMarker, Element, FrameEnd, FrameInfo, Marker, PointRecord, SectorEnd,
+    StreamSchema,
+};
 use geostreams_core::stats::OpStats;
 use geostreams_core::{GeoStream, Result};
 use geostreams_geo::{Cell, CellBox, Rect};
@@ -292,6 +295,23 @@ impl GeoStream for ArchiveReplay {
         Some(el)
     }
 
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<f32>> {
+        if self.out.is_empty() && !self.done {
+            if let Err(e) = self.refill() {
+                self.done = true;
+                self.out.clear();
+                self.stats.stalls += 1;
+                eprintln!("archive replay error: {e}");
+                return None;
+            }
+        }
+        // Tiles decode frame-at-a-time into the queue; packing it into
+        // runs batches the per-point stats into one add.
+        let item = pack_queue(&mut self.out, budget)?;
+        self.stats.points_out += item.point_count() as u64;
+        Some(item)
+    }
+
     fn op_stats(&self) -> OpStats {
         self.stats.clone()
     }
@@ -379,6 +399,78 @@ impl GeoStream for SpliceStream {
                 self.stats.points_out += 1;
             }
             return Some(el);
+        }
+    }
+
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<f32>> {
+        if let Some(replay) = self.replay.as_mut() {
+            if let Some(item) = replay.next_chunk(budget) {
+                self.stats.points_out += item.point_count() as u64;
+                return Some(item);
+            }
+            self.replay = None;
+            if let Some(f) = self.on_switch.take() {
+                let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                f(ns);
+            }
+        }
+        loop {
+            match self.live.next_chunk(budget)? {
+                ChunkOrMarker::Marker(m) => {
+                    match &m {
+                        Marker::SectorStart(info) => {
+                            self.skipping_live_sector =
+                                self.watermark_sector.is_some_and(|wm| info.sector_id <= wm);
+                        }
+                        Marker::SectorEnd(_) if self.skipping_live_sector => {
+                            self.skipping_live_sector = false;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    if self.skipping_live_sector {
+                        continue;
+                    }
+                    return Some(ChunkOrMarker::Marker(m));
+                }
+                ChunkOrMarker::Chunk(mut c) => {
+                    if self.skipping_live_sector {
+                        // The run belongs to a sector at or below the
+                        // watermark: drop its points; only a boundary
+                        // marker can change the skip state.
+                        match c.end.take() {
+                            Some(Marker::SectorEnd(_)) => {
+                                self.skipping_live_sector = false;
+                                c.recycle();
+                                continue;
+                            }
+                            Some(Marker::SectorStart(info)) => {
+                                self.skipping_live_sector =
+                                    self.watermark_sector.is_some_and(|wm| info.sector_id <= wm);
+                                c.recycle();
+                                if self.skipping_live_sector {
+                                    continue;
+                                }
+                                return Some(ChunkOrMarker::Marker(Marker::SectorStart(info)));
+                            }
+                            _ => {
+                                c.recycle();
+                                continue;
+                            }
+                        }
+                    }
+                    // Live sector passes; a trailing SectorStart at or
+                    // below the watermark starts a skip and is swallowed.
+                    if let Some(Marker::SectorStart(info)) = &c.end {
+                        if self.watermark_sector.is_some_and(|wm| info.sector_id <= wm) {
+                            self.skipping_live_sector = true;
+                            c.end = None;
+                        }
+                    }
+                    self.stats.points_out += c.points.len() as u64;
+                    return Some(ChunkOrMarker::Chunk(c));
+                }
+            }
         }
     }
 

@@ -48,3 +48,7 @@ scripts/chaos.sh
 # Archive gate: acceptance tests, run-twice-and-diff determinism over
 # the persist/replay path, and the >= 2x compression bar.
 scripts/store_gate.sh
+
+# Chunked-execution gate: scalar/chunked differential suite, digest
+# determinism, and the >= 3x microbench speedup bar.
+scripts/exec_gate.sh

@@ -1,0 +1,293 @@
+//! Differential suite for chunked (vectorized) execution.
+//!
+//! Every operator in the algebra — plus the fault injector and the
+//! observability decorator — is run twice from identical construction:
+//! once through the scalar `next_element` oracle and once through
+//! `next_chunk` at several pull budgets. The flattened chunked output
+//! must be byte-identical to the scalar sequence (same elements, same
+//! markers, same order), and `OpStats` totals must match exactly
+//! (per-chunk batched accounting vs per-element accounting).
+
+use geostreams::core::model::{drain_chunked, GeoStream, StreamRepair, TimeSet, VecStream};
+use geostreams::core::obs::{PipelineObs, TracedStream};
+use geostreams::core::ops::{
+    CastTransform, Compose, GammaOp, JoinStrategy, MapTransform, Shed, ShedPolicy, SpatialRestrict,
+    TemporalRestrict, ValueFunc, ValueRestrict,
+};
+use geostreams::geo::{Coord, Crs, LatticeGeoref, Polygon, Rect, Region};
+use geostreams::satsim::airborne::airborne_camera;
+use geostreams::satsim::lidar::lidar_profiler;
+use geostreams::satsim::{goes_like, ChaosStream, FaultPlan, SyntheticStream};
+
+/// Fixture width; the last budget equals one full row so chunk
+/// boundaries land exactly on frame boundaries in row-by-row streams.
+const W: u32 = 16;
+const H: u32 = 8;
+
+/// Pull budgets exercised by every differential case: pathological
+/// (1 point per chunk), prime (misaligned with every row width),
+/// larger than a whole sector, and exactly one row.
+const BUDGETS: &[usize] = &[1, 7, 256, W as usize];
+
+/// The differential oracle: scalar `drain_elements` output and final
+/// `op_stats` must match `drain_chunked` output and stats at every
+/// budget, for a fresh identically-constructed stream per run.
+fn assert_scalar_chunked_identical<S, F>(label: &str, make: F)
+where
+    S: GeoStream,
+    S::V: std::fmt::Debug + PartialEq,
+    F: Fn() -> S,
+{
+    let mut scalar = make();
+    let expected = scalar.drain_elements();
+    let expected_stats = scalar.op_stats();
+    assert!(!expected.is_empty(), "{label}: scalar oracle produced nothing");
+    for &budget in BUDGETS {
+        let mut chunked = make();
+        let got = drain_chunked(&mut chunked, budget);
+        assert_eq!(got, expected, "{label}: elements diverge at budget {budget}");
+        assert_eq!(
+            chunked.op_stats(),
+            expected_stats,
+            "{label}: OpStats diverge at budget {budget}"
+        );
+    }
+}
+
+fn lattice() -> LatticeGeoref {
+    LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, W as f64, H as f64), W, H)
+}
+
+/// A deterministic multi-sector in-memory source (exercises the
+/// default `next_chunk` adapter, since `VecStream` has no override).
+fn vec_fixture() -> VecStream<f32> {
+    VecStream::sectors("vec-fixture", lattice(), 3, |s, x, y| {
+        (s as f64) * 100.0 + (y as f64) * 10.0 + (x as f64) * 0.5
+    })
+}
+
+/// Row-by-row synthetic scanner band (native `next_chunk`).
+fn goes_fixture() -> SyntheticStream {
+    goes_like(W, H, 7).band_stream(0, 2)
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+#[test]
+fn vecstream_default_adapter_matches_scalar() {
+    assert_scalar_chunked_identical("VecStream", vec_fixture);
+}
+
+#[test]
+fn scanner_row_by_row_matches_scalar() {
+    assert_scalar_chunked_identical("SyntheticStream/RowByRow", goes_fixture);
+}
+
+#[test]
+fn scanner_image_by_image_matches_scalar() {
+    assert_scalar_chunked_identical("SyntheticStream/ImageByImage", || {
+        airborne_camera(Rect::new(-100.0, 30.0, -99.0, 31.0), W, H, 5).band_stream(0, 2)
+    });
+}
+
+#[test]
+fn scanner_point_by_point_matches_scalar() {
+    assert_scalar_chunked_identical("SyntheticStream/PointByPoint", || {
+        lidar_profiler(Rect::new(0.0, 0.0, 1.0, 1.0), W, H, 9).band_stream(0, 2)
+    });
+}
+
+// ---------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------
+
+#[test]
+fn spatial_restrict_rect_matches_scalar() {
+    assert_scalar_chunked_identical("SpatialRestrict/Rect", || {
+        SpatialRestrict::new(vec_fixture(), Region::Rect(Rect::new(2.0, 1.0, 10.0, 6.0)))
+    });
+}
+
+#[test]
+fn spatial_restrict_polygon_matches_scalar() {
+    let poly = || {
+        Polygon::new(vec![Coord::new(1.0, 0.5), Coord::new(14.0, 1.0), Coord::new(8.0, 7.5)])
+            .unwrap()
+    };
+    assert_scalar_chunked_identical("SpatialRestrict/Polygon", move || {
+        SpatialRestrict::new(vec_fixture(), Region::Polygon(poly()))
+    });
+}
+
+#[test]
+fn temporal_restrict_matches_scalar() {
+    assert_scalar_chunked_identical("TemporalRestrict/Interval", || {
+        TemporalRestrict::new(vec_fixture(), TimeSet::Interval { lo: Some(1), hi: None })
+    });
+}
+
+#[test]
+fn value_restrict_matches_scalar() {
+    assert_scalar_chunked_identical("ValueRestrict", || {
+        ValueRestrict::range(vec_fixture(), 50.0, 250.0)
+    });
+}
+
+#[test]
+fn map_transform_matches_scalar() {
+    assert_scalar_chunked_identical("MapTransform/Linear", || {
+        MapTransform::<_, f32>::new(vec_fixture(), ValueFunc::Linear { scale: 0.25, offset: -3.0 })
+    });
+}
+
+#[test]
+fn cast_transform_matches_scalar() {
+    assert_scalar_chunked_identical("CastTransform/f32→f64", || {
+        CastTransform::<_, f64>::new(vec_fixture())
+    });
+}
+
+#[test]
+fn shed_rows_matches_scalar() {
+    assert_scalar_chunked_identical("Shed/Rows", || Shed::new(vec_fixture(), ShedPolicy::Rows, 2));
+}
+
+#[test]
+fn shed_points_matches_scalar() {
+    assert_scalar_chunked_identical("Shed/Points", || {
+        Shed::new(vec_fixture(), ShedPolicy::Points, 3)
+    });
+}
+
+#[test]
+fn compose_hash_matches_scalar() {
+    assert_scalar_chunked_identical("Compose/Hash", || {
+        let left = vec_fixture();
+        let right =
+            VecStream::sectors("rhs", lattice(), 3, |s, x, y| (s as f64) + (x as f64) - (y as f64));
+        Compose::new(left, right, GammaOp::Add, JoinStrategy::Hash).unwrap()
+    });
+}
+
+#[test]
+fn compose_frame_merge_matches_scalar() {
+    assert_scalar_chunked_identical("Compose/FrameMerge", || {
+        let left = vec_fixture();
+        let right =
+            VecStream::sectors("rhs", lattice(), 3, |s, x, y| (s as f64) * 2.0 + (x * y) as f64);
+        Compose::new(left, right, GammaOp::Sup, JoinStrategy::FrameMerge).unwrap()
+    });
+}
+
+// ---------------------------------------------------------------------
+// Fault injection and repair
+// ---------------------------------------------------------------------
+
+/// A fault plan touching every non-stalling fault class, so the chunked
+/// path must reproduce the scalar RNG draw order exactly.
+fn nasty_plan() -> FaultPlan {
+    FaultPlan::seeded(0xBAD5EED)
+        .with_dropped_points(0.05)
+        .with_dropped_rows(0.02)
+        .with_dropped_sectors(0.1)
+        .with_dropped_end_markers(0.05)
+        .with_duplicates(0.04)
+        .with_reordering(0.03)
+        .with_corruption(0.02, 5.0)
+}
+
+#[test]
+fn chaos_stream_matches_scalar() {
+    let run = |chunk_budget: Option<usize>| {
+        let mut s = ChaosStream::new(goes_fixture(), nasty_plan(), 42);
+        let els = match chunk_budget {
+            None => s.drain_elements(),
+            Some(b) => drain_chunked(&mut s, b),
+        };
+        (els, s.fault_stats())
+    };
+    let (expected, expected_faults) = run(None);
+    assert!(!expected.is_empty());
+    for &budget in BUDGETS {
+        let (got, faults) = run(Some(budget));
+        assert_eq!(got, expected, "ChaosStream elements diverge at budget {budget}");
+        assert_eq!(faults, expected_faults, "FaultStats diverge at budget {budget}");
+    }
+}
+
+#[test]
+fn chaos_stream_death_matches_scalar() {
+    // Death mid-stream: the chunked path must deliver exactly the
+    // pre-death prefix and report identical FaultStats.
+    let run = |chunk_budget: Option<usize>| {
+        let plan = FaultPlan::seeded(77).with_duplicates(0.05).with_death_after(150);
+        let mut s = ChaosStream::new(goes_fixture(), plan, 9);
+        let els = match chunk_budget {
+            None => s.drain_elements(),
+            Some(b) => drain_chunked(&mut s, b),
+        };
+        (els, s.fault_stats())
+    };
+    let (expected, expected_faults) = run(None);
+    assert!(!expected.is_empty());
+    for &budget in BUDGETS {
+        let (got, faults) = run(Some(budget));
+        assert_eq!(got, expected, "death-case elements diverge at budget {budget}");
+        assert_eq!(faults, expected_faults, "death-case FaultStats diverge at budget {budget}");
+    }
+}
+
+#[test]
+fn stream_repair_over_damage_matches_scalar() {
+    let run = |chunk_budget: Option<usize>| {
+        let chaos = ChaosStream::new(goes_fixture(), nasty_plan(), 1234);
+        let mut repair = StreamRepair::new(chaos);
+        let probe = repair.probe();
+        let els = match chunk_budget {
+            None => repair.drain_elements(),
+            Some(b) => drain_chunked(&mut repair, b),
+        };
+        (els, probe.stats())
+    };
+    let (expected, expected_stats) = run(None);
+    assert!(!expected.is_empty());
+    for &budget in BUDGETS {
+        let (got, stats) = run(Some(budget));
+        assert_eq!(got, expected, "repair elements diverge at budget {budget}");
+        assert_eq!(stats, expected_stats, "RepairStats diverge at budget {budget}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Observability decorator and stacked pipelines
+// ---------------------------------------------------------------------
+
+#[test]
+fn traced_stream_is_transparent_in_chunked_mode() {
+    // The decorator must not alter the element sequence, scalar or
+    // chunked, and must count every element in its latency histogram.
+    assert_scalar_chunked_identical("TracedStream", || {
+        TracedStream::new(vec_fixture(), PipelineObs::for_query(1))
+    });
+    let raw = vec_fixture().drain_elements();
+    let mut traced = TracedStream::new(vec_fixture(), PipelineObs::for_query(2));
+    let got = drain_chunked(&mut traced, 7);
+    assert_eq!(got, raw, "TracedStream altered the stream");
+}
+
+#[test]
+fn stacked_pipeline_matches_scalar() {
+    // A realistic multi-operator stack: repair over chaos over a
+    // scanner, restricted, transformed, shed — every layer chunked.
+    assert_scalar_chunked_identical("stacked-pipeline", || {
+        let chaos = ChaosStream::new(goes_fixture(), nasty_plan(), 7);
+        let repaired = StreamRepair::new(chaos);
+        let restricted =
+            SpatialRestrict::new(repaired, Region::Rect(Rect::new(-0.1, -0.1, 0.12, 0.12)));
+        let transformed =
+            MapTransform::<_, f32>::new(restricted, ValueFunc::Normalize { lo: 0.0, hi: 400.0 });
+        Shed::new(transformed, ShedPolicy::Rows, 2)
+    });
+}
