@@ -8,8 +8,10 @@
 #![warn(missing_docs)]
 
 use geostreams_core::exec::{run_observed, RunSummary};
-use geostreams_core::model::{Element, GeoStream, StreamSchema, VecStream};
-use geostreams_core::obs::{PipelineObs, TraceLog};
+use geostreams_core::model::{
+    ChunkOrMarker, Element, GeoStream, StreamSchema, VecStream, DEFAULT_CHUNK_BUDGET,
+};
+use geostreams_core::obs::{FlightRecorder, PipelineObs, SpanStream, TraceLog};
 use geostreams_core::query::{parse_query, Catalog, Planner};
 use geostreams_geo::{Crs, LatticeGeoref, Rect};
 use serde::{Deserialize, Serialize};
@@ -150,6 +152,131 @@ pub struct ObsBenchReport {
     pub trace_events: u64,
     /// Trace events dropped by the bounded ring.
     pub trace_dropped: u64,
+    /// Instrumentation-overhead measurement on the chunked hot path
+    /// (absent in reports written before the tracing layer existed).
+    #[serde(default)]
+    pub overhead: Option<OverheadReport>,
+}
+
+/// Cost of full causal tracing (per-operator spans + flight recorder +
+/// trace log + delivery span) on the chunked hot path, measured as
+/// traced vs untraced throughput over the same pipeline and data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// Points/s through the plain (untraced) chunked driver.
+    pub untraced_pps: f64,
+    /// Points/s with the full instrumentation stack attached.
+    pub traced_pps: f64,
+    /// `traced_pps * 1000 / untraced_pps` — the gate bar is >= 950
+    /// (tracing costs at most 5%).
+    pub traced_throughput_permille: u64,
+    /// Points delivered per run (identical on both sides).
+    pub points: u64,
+    /// FNV-1a hash over every delivered pixel (identical on both sides).
+    pub fnv: u64,
+    /// Spans the flight recorder captured during one traced run.
+    pub spans: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a_u32(v: u32, mut hash: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// One chunked drain with per-pixel hashing: wall seconds, points, FNV.
+fn drain_chunked<S: GeoStream<V = f32>>(stream: &mut S, obs: &PipelineObs) -> (f64, u64, u64) {
+    let mut fnv = FNV_OFFSET;
+    let start = std::time::Instant::now();
+    let report = geostreams_core::exec::run_chunked(stream, obs, DEFAULT_CHUNK_BUDGET, |item| {
+        if let ChunkOrMarker::Chunk(c) = item {
+            for p in &c.points {
+                fnv = fnv1a_u32(p.value.to_bits(), fnv);
+            }
+        }
+    });
+    (start.elapsed().as_secs_f64(), report.points_delivered, fnv)
+}
+
+/// Measures the cost of the full tracing stack on the chunked hot path:
+/// the same planner-built pipeline over the same materialized ramp is
+/// drained untraced (plain `build`, default obs) and traced
+/// (`build_traced` with a trace log, a flight recorder chaining one
+/// span per operator, and a root delivery [`SpanStream`]); each side is
+/// best-of-`runs` and both must deliver identical points and pixel
+/// hashes.
+pub fn run_overhead_bench(w: u32, h: u32, sectors: u64, runs: usize) -> OverheadReport {
+    let query = "scale(ramp, 2, 0)";
+    let (schema, elements) = ramp_elements(w, h, sectors);
+    let mut catalog = Catalog::new();
+    let factory_schema = schema.clone();
+    catalog.register(schema, move || Box::new(replay(&factory_schema, &elements)));
+    let planner = Planner::new(&catalog);
+    let expr = parse_query(query).expect("overhead bench query parses");
+
+    // Each iteration times the two sides back to back (alternating
+    // which goes first, so frequency ramps and caches do not
+    // systematically favor one side) and the reported overhead is the
+    // pair with the MEDIAN traced/untraced ratio: on a shared vCPU,
+    // background steal bursts hit single drains, so any single pair —
+    // fastest, best-ratio, or worst — is an outlier sample, while the
+    // median pair is robust to bursts landing on either side.
+    let mut pairs: Vec<(f64, f64)> = Vec::new();
+    let mut reference: Option<(u64, u64)> = None;
+    let mut spans = 0u64;
+    for run in 0..runs.max(1) {
+        let mut untraced_pipeline = planner.build(&expr).expect("overhead bench query plans");
+
+        let trace = Arc::new(TraceLog::new(4096));
+        let rec = Arc::new(FlightRecorder::for_query(1));
+        let deliver_id = rec.alloc_span();
+        let obs = PipelineObs::for_query(1)
+            .with_trace(Arc::clone(&trace))
+            .with_recorder(Arc::clone(&rec))
+            .under(deliver_id);
+        let built = planner.build_traced(&expr, &obs).expect("overhead bench query plans");
+        let deliver = rec.begin_with_id(deliver_id, "deliver", 0);
+        let mut traced_pipeline = SpanStream::new(built, deliver);
+
+        let (u, t) = if run % 2 == 0 {
+            let u = drain_chunked(&mut untraced_pipeline, &PipelineObs::default());
+            let t = drain_chunked(&mut traced_pipeline, &obs);
+            (u, t)
+        } else {
+            let t = drain_chunked(&mut traced_pipeline, &obs);
+            let u = drain_chunked(&mut untraced_pipeline, &PipelineObs::default());
+            (u, t)
+        };
+        drop(traced_pipeline);
+        spans = rec.len() as u64;
+
+        assert_eq!(u.1, t.1, "tracing changed the point count");
+        assert_eq!(u.2, t.2, "tracing changed the pixel hash");
+        if let Some(r) = &reference {
+            assert_eq!((u.1, u.2), *r, "overhead bench run is nondeterministic");
+        }
+        reference = Some((u.1, u.2));
+        pairs.push((u.0, t.0));
+    }
+    let (points, fnv) = reference.expect("at least one run pair");
+    pairs
+        .sort_by(|a, b| (a.1 / a.0).partial_cmp(&(b.1 / b.0)).unwrap_or(std::cmp::Ordering::Equal));
+    let (untraced_secs, traced_secs) = pairs[pairs.len() / 2];
+
+    let untraced_pps = points as f64 / untraced_secs.max(1e-9);
+    let traced_pps = points as f64 / traced_secs.max(1e-9);
+    OverheadReport {
+        untraced_pps,
+        traced_pps,
+        traced_throughput_permille: (traced_pps * 1000.0 / untraced_pps.max(1e-9)) as u64,
+        points,
+        fnv,
+        spans,
+    }
 }
 
 /// Runs a representative traced query over a deterministic ramp source
@@ -187,6 +314,7 @@ pub fn run_obs_bench(w: u32, h: u32, sectors: u64) -> ObsBenchReport {
         op_latency_ns,
         trace_events: trace.len() as u64,
         trace_dropped: trace.dropped(),
+        overhead: None,
     }
 }
 
@@ -225,6 +353,20 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: ObsBenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn overhead_bench_is_deterministic_and_records_spans() {
+        let a = run_overhead_bench(32, 32, 2, 2);
+        let b = run_overhead_bench(32, 32, 2, 2);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.fnv, b.fnv);
+        assert_eq!(a.spans, b.spans);
+        assert!(a.points > 0);
+        // scale(ramp) plans as two wrapped operators plus the delivery
+        // span; all of them must have closed into the ring.
+        assert!(a.spans >= 3, "expected source+op+deliver spans, got {}", a.spans);
+        assert!(a.traced_throughput_permille > 0);
     }
 
     #[test]

@@ -123,19 +123,32 @@ fn pool_put<V: Pixel>(mut v: Vec<PointRecord<V>>) {
 
 /// A contiguous run of points from one frame, plus the marker that
 /// terminated the run (if any). See the module docs for the contract.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Chunk<V: Pixel> {
     /// The point run, in stream order. Never crosses a marker.
     pub points: Vec<PointRecord<V>>,
     /// The marker that ended this run; `None` = budget exhausted
     /// mid-frame (the next item continues the same frame).
     pub end: Option<Marker>,
+    /// Causal identity of the producing stage (the ingest pump stamps
+    /// its span context here before fan-out). `Copy` metadata: it rides
+    /// through channels and clones for free and is excluded from
+    /// equality, so traced and untraced runs compare identical.
+    pub ctx: Option<crate::obs::TraceContext>,
+}
+
+impl<V: Pixel> PartialEq for Chunk<V> {
+    fn eq(&self, other: &Self) -> bool {
+        // ctx is provenance, not payload: the differential suites
+        // compare data content only.
+        self.points == other.points && self.end == other.end
+    }
 }
 
 impl<V: Pixel> Chunk<V> {
     /// A fresh chunk whose buffer comes from the thread-local pool.
     pub fn with_budget(budget: usize) -> Self {
-        Chunk { points: pool_get(budget.max(1)), end: None }
+        Chunk { points: pool_get(budget.max(1)), end: None, ctx: None }
     }
 
     /// Number of points in the run.

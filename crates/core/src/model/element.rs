@@ -44,7 +44,7 @@ pub struct SectorInfo {
 }
 
 /// Metadata opening a frame: a maximal same-timestamp chunk of arrival.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FrameInfo {
     /// Frame identifier, unique within the stream.
     pub frame_id: u64,
@@ -54,6 +54,23 @@ pub struct FrameInfo {
     pub timestamp: Timestamp,
     /// Cell range of the sector lattice this frame covers.
     pub cells: CellBox,
+    /// Synthesis tick: when the frame was materialized, on the
+    /// [`now_ns`](crate::obs::now_ns) process clock (0 = unknown).
+    /// Event-time freshness metadata only — excluded from equality so
+    /// separately-synthesized but identical streams still compare
+    /// equal, and delivery-side lag is `now_ns() - synth_ns`.
+    #[serde(default)]
+    pub synth_ns: u64,
+}
+
+impl PartialEq for FrameInfo {
+    fn eq(&self, other: &Self) -> bool {
+        // synth_ns is wall-clock provenance, not frame identity.
+        self.frame_id == other.frame_id
+            && self.sector_id == other.sector_id
+            && self.timestamp == other.timestamp
+            && self.cells == other.cells
+    }
 }
 
 /// Closes a frame.
@@ -171,6 +188,7 @@ mod tests {
             sector_id: 7,
             timestamp: Timestamp::new(7),
             cells: CellBox::new(0, 1, 1, 1),
+            synth_ns: 0,
         });
         let json = serde_json::to_string(&el).unwrap();
         let back: Element<f32> = serde_json::from_str(&json).unwrap();

@@ -256,6 +256,7 @@ fn push_sector<V: Pixel>(
             sector_id,
             timestamp: ts,
             cells: CellBox::new(0, row, lattice.width.saturating_sub(1), row),
+            synth_ns: crate::obs::now_ns(),
         }));
         for col in 0..lattice.width {
             elements.push(Element::point(Cell::new(col, row), V::from_f64(f(col, row))));

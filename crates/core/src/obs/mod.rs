@@ -15,16 +15,25 @@
 //! * [`TracedStream`] — a [`GeoStream`](crate::model::GeoStream)
 //!   decorator the planner threads through every operator so
 //!   [`RunReport`](crate::exec::RunReport) can expose per-op pull/frame
-//!   latency percentiles.
+//!   latency percentiles;
+//! * [`TraceContext`] / [`Span`] / [`FlightRecorder`] / [`SpanStream`]
+//!   — causal tracing: a per-query trace context propagated on the
+//!   chunk flow, per-stage spans with parentage and outcomes, and a
+//!   bounded flight recorder with failure-edge dumps.
 //!
 //! Everything here is `std`-only: no new dependencies.
 
 mod hist;
 mod registry;
+mod span;
 mod trace;
 mod traced;
 
 pub use hist::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricKey, Registry};
+pub use span::{
+    now_ns, FlightRecorder, FrameHook, RecorderDump, RecorderSnapshot, Span, SpanGuard,
+    SpanOutcome, SpanStream, TraceContext, DEFAULT_SPAN_CAPACITY,
+};
 pub use trace::{TraceEvent, TraceKind, TraceLog};
 pub use traced::{PipelineObs, TracedStream};

@@ -7,6 +7,7 @@
 //! an optional shared [`TraceLog`].
 
 use super::hist::Histogram;
+use super::span::{FlightRecorder, SpanGuard, SpanOutcome};
 use super::trace::{TraceKind, TraceLog};
 use crate::model::{ChunkOrMarker, Element, GeoStream, Marker, StreamSchema};
 use crate::stats::{OpReport, OpStats};
@@ -20,12 +21,17 @@ pub struct PipelineObs {
     pub query_id: u32,
     /// Optional shared event log (sector boundaries, stalls, peaks).
     pub trace: Option<Arc<TraceLog>>,
+    /// Optional per-query flight recorder; when set, the planner opens
+    /// one span per operator and chains them by parentage.
+    pub recorder: Option<Arc<FlightRecorder>>,
+    /// Span id the next wrapped operator should chain under (0 = root).
+    pub parent: u64,
 }
 
 impl PipelineObs {
     /// Observation config for a query, without an event log.
     pub fn for_query(query_id: u32) -> Self {
-        PipelineObs { query_id, trace: None }
+        PipelineObs { query_id, trace: None, recorder: None, parent: 0 }
     }
 
     /// Attaches a shared event log (builder style).
@@ -33,7 +39,28 @@ impl PipelineObs {
         self.trace = Some(trace);
         self
     }
+
+    /// Attaches a per-query flight recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Same config, chained under `parent` (builder style).
+    pub fn under(mut self, parent: u64) -> Self {
+        self.parent = parent;
+        self
+    }
 }
+
+/// Chunked pulls are clock-sampled at this rate (must be a power of
+/// two): one timed pull amortizes its latency over the elements of the
+/// untimed pulls since the previous sample. Reading the monotonic
+/// clock twice per pull is the single largest instrumentation cost on
+/// cheap pipelines — sampling keeps the traced chunked hot path within
+/// the gate's 5% overhead budget while histogram counts stay
+/// element-denominated.
+const PULL_SAMPLE_EVERY: u64 = 16;
 
 /// A [`GeoStream`] decorator that measures its inner operator.
 pub struct TracedStream<S: GeoStream> {
@@ -44,11 +71,30 @@ pub struct TracedStream<S: GeoStream> {
     last_stalls: u64,
     last_buffer_peak: u64,
     obs: PipelineObs,
+    span: Option<SpanGuard>,
+    /// Chunked pulls issued so far (sampling phase).
+    pull_seq: u64,
+    /// Frames opened so far on the chunked path (frame-latency
+    /// sampling phase).
+    frame_seq: u64,
+    /// Elements delivered by untimed chunked pulls since the last
+    /// clock sample, waiting to be recorded at the next one.
+    unsampled_elements: u64,
+    /// Per-element latency of the last clock sample, used to flush
+    /// [`unsampled_elements`](Self::unsampled_elements) at end of
+    /// stream.
+    last_unit_ns: u64,
 }
 
 impl<S: GeoStream> TracedStream<S> {
     /// Wraps `inner` with fresh histograms.
     pub fn new(inner: S, obs: PipelineObs) -> Self {
+        TracedStream::with_span(inner, obs, None)
+    }
+
+    /// Wraps `inner`, additionally accounting into `span` (opened by
+    /// the planner with the operator's causal parentage).
+    pub fn with_span(inner: S, obs: PipelineObs, span: Option<SpanGuard>) -> Self {
         TracedStream {
             inner,
             pull_ns: Arc::new(Histogram::new()),
@@ -57,6 +103,11 @@ impl<S: GeoStream> TracedStream<S> {
             last_stalls: 0,
             last_buffer_peak: 0,
             obs,
+            span,
+            pull_seq: 0,
+            frame_seq: 0,
+            unsampled_elements: 0,
+            last_unit_ns: 0,
         }
     }
 
@@ -107,14 +158,26 @@ impl<S: GeoStream> TracedStream<S> {
 
     /// Boundary bookkeeping for a marker observed on the chunked path:
     /// frame latency, sector trace events, pressure checks. `t0` is the
-    /// pull start of the item that carried the marker.
-    fn note_marker(&mut self, m: &Marker, t0: Instant) {
+    /// pull start of the item that carried the marker, when that pull
+    /// was clock-sampled. Frame latency is itself sampled: every
+    /// [`PULL_SAMPLE_EVERY`]th frame forces a clock read at its start
+    /// so some frames always land in the histogram even when the pull
+    /// sampling phase never lines up with a `FrameStart`.
+    fn note_marker(&mut self, m: &Marker, t0: Option<Instant>) {
         match m {
-            Marker::FrameStart(_) => self.frame_open = Some(t0),
+            Marker::FrameStart(_) => {
+                let timed = self.frame_seq & (PULL_SAMPLE_EVERY - 1) == 0;
+                self.frame_seq = self.frame_seq.wrapping_add(1);
+                self.frame_open = if timed { t0.or_else(|| Some(Instant::now())) } else { t0 };
+            }
             Marker::FrameEnd(_) => {
-                let opened = self.frame_open.take().unwrap_or(t0);
-                self.frame_ns.record(opened.elapsed().as_nanos() as u64);
-                self.check_pressure();
+                if let Some(opened) = self.frame_open.take() {
+                    self.frame_ns.record(opened.elapsed().as_nanos() as u64);
+                }
+                // Pressure checks run on sector edges only here: one
+                // `op_stats()` walk per frame is measurable on the
+                // chunked hot path, and peaks/stalls are high-water
+                // marks that coalesce losslessly to the next check.
             }
             Marker::SectorStart(si) => {
                 if let Some(trace) = &self.obs.trace {
@@ -154,6 +217,11 @@ impl<S: GeoStream> GeoStream for TracedStream<S> {
         let dt = t0.elapsed().as_nanos() as u64;
         self.pull_ns.record(dt);
         match &el {
+            Some(Element::Point(_)) => {
+                if let Some(span) = &mut self.span {
+                    span.add_points(1);
+                }
+            }
             Some(Element::FrameStart(_)) => self.frame_open = Some(t0),
             Some(Element::FrameEnd(_)) => {
                 let opened = self.frame_open.take().unwrap_or(t0);
@@ -181,32 +249,61 @@ impl<S: GeoStream> GeoStream for TracedStream<S> {
                 }
                 self.check_pressure();
             }
-            None => self.check_pressure(),
-            _ => {}
+            None => {
+                self.check_pressure();
+                if let Some(span) = self.span.take() {
+                    span.finish(SpanOutcome::Ok);
+                }
+            }
         }
         el
     }
 
     fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<Self::V>> {
-        let t0 = Instant::now();
+        let sampled = self.pull_seq & (PULL_SAMPLE_EVERY - 1) == 0;
+        self.pull_seq = self.pull_seq.wrapping_add(1);
+        let t0 = if sampled { Some(Instant::now()) } else { None };
         let item = self.inner.next_chunk(budget);
-        let dt = t0.elapsed().as_nanos() as u64;
         match &item {
             Some(item) => {
-                // One amortized latency record per chunk: the per-element
-                // cost is the pull time divided over everything the
-                // chunk carried, so histogram counts still equal element
-                // counts.
                 let n = item.element_count().max(1);
-                self.pull_ns.record_n(dt / n, n);
+                self.unsampled_elements += n;
+                if let Some(t0) = t0 {
+                    // One amortized latency record per clock sample: the
+                    // per-element cost is this pull's time divided over
+                    // its own elements, recorded on behalf of everything
+                    // accumulated since the previous sample so histogram
+                    // counts still equal element counts.
+                    let unit = t0.elapsed().as_nanos() as u64 / n;
+                    self.last_unit_ns = unit;
+                    self.pull_ns.record_n(unit, self.unsampled_elements);
+                    self.unsampled_elements = 0;
+                }
+                if let Some(span) = &mut self.span {
+                    if let ChunkOrMarker::Chunk(c) = item {
+                        span.add_points(c.points.len() as u64);
+                    }
+                }
                 if let Some(m) = item.marker() {
                     let m = m.clone();
                     self.note_marker(&m, t0);
                 }
             }
             None => {
-                self.pull_ns.record(dt);
+                // Flush the elements still unaccounted since the last
+                // clock sample at its per-element latency, then record
+                // the end-of-stream pull itself if it was sampled.
+                if self.unsampled_elements > 0 {
+                    self.pull_ns.record_n(self.last_unit_ns, self.unsampled_elements);
+                    self.unsampled_elements = 0;
+                }
+                if let Some(t0) = t0 {
+                    self.pull_ns.record(t0.elapsed().as_nanos() as u64);
+                }
                 self.check_pressure();
+                if let Some(span) = self.span.take() {
+                    span.finish(SpanOutcome::Ok);
+                }
             }
         }
         item

@@ -120,6 +120,7 @@ impl<S: GeoStream> TemporalAggregate<S> {
             sector_id: si_template.sector_id,
             timestamp: si_template.timestamp,
             cells: CellBox::full(lattice.width, lattice.height),
+            synth_ns: crate::obs::now_ns(),
         }));
         let mut obs: Vec<f64> = Vec::with_capacity(self.window);
         for idx in 0..w * h {
@@ -356,6 +357,7 @@ impl<S: GeoStream> GeoStream for SpatialAggregate<S> {
                             sector_id,
                             timestamp: ts,
                             cells: CellBox::new(0, 0, 0, 0),
+                            synth_ns: crate::obs::now_ns(),
                         }));
                         let v = self.acc.reduce(self.func);
                         self.stats.points_out += 1;

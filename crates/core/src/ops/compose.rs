@@ -179,7 +179,7 @@ struct StageCursor<V: Pixel> {
 
 impl<V: Pixel> StageCursor<V> {
     fn empty() -> Self {
-        StageCursor { chunk: Chunk { points: Vec::new(), end: None }, idx: 0 }
+        StageCursor { chunk: Chunk { points: Vec::new(), end: None, ctx: None }, idx: 0 }
     }
 
     /// The next staged element, if any remains in the current chunk.
@@ -308,6 +308,7 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> Compose<L, R> {
                 sector_id,
                 timestamp: ts,
                 cells,
+                synth_ns: crate::obs::now_ns(),
             }));
             self.open_frame = Some((ts, frame_id, sector_id));
         }

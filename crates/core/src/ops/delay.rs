@@ -71,6 +71,7 @@ impl<S: GeoStream> Delay<S> {
             sector_id: si.sector_id,
             timestamp: si.timestamp,
             cells: CellBox::full(held.lattice.width, held.lattice.height),
+            synth_ns: crate::obs::now_ns(),
         }));
         let w = held.lattice.width as usize;
         for (idx, v) in held.values.iter().enumerate() {

@@ -265,6 +265,7 @@ impl<S: GeoStream> FocalTransform<S> {
                 sector_id: self.sector_id,
                 timestamp: self.timestamp,
                 cells: CellBox::new(0, row, lattice.width.saturating_sub(1), row),
+                synth_ns: crate::obs::now_ns(),
             }));
             for col in 0..lattice.width {
                 let v = self.evaluate(col, row);

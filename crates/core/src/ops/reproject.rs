@@ -323,6 +323,7 @@ impl<S: GeoStream> Reproject<S> {
                 sector_id: plan.sector_id,
                 timestamp: plan.timestamp,
                 cells: CellBox::new(0, out_row, w.saturating_sub(1), out_row),
+                synth_ns: crate::obs::now_ns(),
             }));
             self.stats.points_out += row_elems.len() as u64;
             self.queue.extend(row_elems);

@@ -293,6 +293,7 @@ mod tests {
                 sector_id: 0,
                 timestamp: Timestamp::new(0),
                 cells: CellBox::new(0, row, w - 1, row),
+                synth_ns: 0,
             }));
             for col in 0..*w {
                 els.push(Element::point(Cell::new(col, row), 1.0f32));

@@ -179,6 +179,7 @@ impl<S: GeoStream> GeoStream for Downsample<S> {
                             sector_id: si.sector_id,
                             timestamp: si.timestamp,
                             cells: CellBox::full(out_lat.width, out_lat.height),
+                            synth_ns: crate::obs::now_ns(),
                         }));
                     }
                 }

@@ -117,16 +117,38 @@ impl<'a> Planner<'a> {
     /// in a [`TracedStream`], so the resulting
     /// [`RunReport`](crate::exec::RunReport) carries per-op pull/frame
     /// latency histograms and `obs.trace` receives boundary events.
+    ///
+    /// When `obs.recorder` is set, every wrapper additionally opens a
+    /// [`Span`](crate::obs::Span) chained under `obs.parent`, giving the
+    /// flight recorder a parent-linked tree of operator spans. Source
+    /// factories learn their parent via
+    /// [`FlightRecorder::build_parent`](crate::obs::FlightRecorder),
+    /// which is set to the wrapping span's id just before each
+    /// `catalog.open`.
     pub fn build_traced(&self, expr: &Expr, obs: &PipelineObs) -> Result<BoxedF32Stream> {
         self.build_inner(expr, Some(obs))
     }
 
     fn build_inner(&self, expr: &Expr, obs: Option<&PipelineObs>) -> Result<BoxedF32Stream> {
-        let stream = self.build_node(expr, obs)?;
-        Ok(match obs {
-            Some(obs) => Box::new(TracedStream::new(stream, obs.clone())),
-            None => stream,
-        })
+        let Some(obs) = obs else {
+            return self.build_node(expr, None);
+        };
+        match &obs.recorder {
+            Some(rec) => {
+                // Reserve this wrapper's span id *before* recursing so
+                // child operators (built inside-out) can chain under it.
+                let span_id = rec.alloc_span();
+                let child_obs = obs.clone().under(span_id);
+                rec.set_build_parent(span_id);
+                let stream = self.build_node(expr, Some(&child_obs))?;
+                let guard = rec.begin_with_id(span_id, &stream.schema().name, obs.parent);
+                Ok(Box::new(TracedStream::with_span(stream, obs.clone(), Some(guard))))
+            }
+            None => {
+                let stream = self.build_node(expr, Some(obs))?;
+                Ok(Box::new(TracedStream::new(stream, obs.clone())))
+            }
+        }
     }
 
     fn build_node(&self, expr: &Expr, obs: Option<&PipelineObs>) -> Result<BoxedF32Stream> {

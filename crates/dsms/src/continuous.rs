@@ -40,7 +40,9 @@ use geostreams_core::model::{
     BoxedF32Stream, ChannelLike, ChunkChannel, ChunkOrMarker, GeoStream, Marker, RepairCounters,
     RepairProbe, StreamRepair, DEFAULT_CHUNK_BUDGET,
 };
-use geostreams_core::obs::Counter;
+use geostreams_core::obs::{
+    now_ns, Counter, Gauge, PipelineObs, SpanGuard, SpanOutcome, SpanStream, TraceContext,
+};
 use geostreams_core::ops::delivery::PngSink;
 use geostreams_core::query::{
     analyze_with, merged_source_windows, optimize, parse_query, AnalyzeOptions, Catalog, Expr,
@@ -184,6 +186,9 @@ struct SubSlot {
     shed: u64,
     /// Start of the current continuously-full stretch.
     full_since: Option<Instant>,
+    /// Channel-depth gauge shared with the subscribing query: the pump
+    /// adds per delivered item, the query side subtracts per receive.
+    depth: Option<Gauge>,
 }
 
 /// Progress shared between an ingest attempt and its supervisor, so a
@@ -253,7 +258,13 @@ pub fn run_supervised(
     // per-query `PlanRejected` slot instead of failing the whole run.
     type Admitted = (Expr, OutputFormat, HashMap<String, SourceRoute>);
     let mut exprs: Vec<Result<Admitted>> = Vec::new();
-    for req in requests {
+    for (qid, req) in requests.iter().enumerate() {
+        // Directory entry + flight recorder, minted at admission so the
+        // query is observable (`GET /queries`, `GET /trace/<id>`) from
+        // its very first span.
+        if let Some(m) = &config.metrics {
+            m.register_query(qid as u32, &req.query);
+        }
         let expr = parse_query(&req.query)?;
         for name in expr.source_names() {
             if schema_catalog.schema(&name).is_none() {
@@ -263,6 +274,9 @@ pub fn run_supervised(
         let expr = optimize(&expr, &schema_catalog);
         let plan = analyze_with(&expr, &schema_catalog, &analyze_opts);
         if plan.has_errors() {
+            if let Some(m) = &config.metrics {
+                m.set_query_state(qid as u32, "rejected");
+            }
             exprs.push(Err(CoreError::PlanRejected(plan.render_errors())));
             continue;
         }
@@ -296,7 +310,7 @@ pub fn run_supervised(
     type Rx = Receiver<ChunkOrMarker<f32>>;
     let mut band_slots: HashMap<String, Vec<SubSlot>> = HashMap::new();
     let mut query_receivers: Vec<HashMap<String, Rx>> = Vec::new();
-    for admitted in &exprs {
+    for (qid, admitted) in exprs.iter().enumerate() {
         let mut receivers = HashMap::new();
         if let Ok((expr, _, routes)) = admitted {
             for name in expr.source_names() {
@@ -308,6 +322,7 @@ pub fn run_supervised(
                     tx: Some(tx),
                     shed: 0,
                     full_since: None,
+                    depth: config.metrics.as_ref().and_then(|m| m.query_depth_gauge(qid as u32)),
                 });
                 receivers.insert(name, rx);
             }
@@ -348,14 +363,22 @@ pub fn run_supervised(
         let archive = config.archive.clone();
         let first_sector = config.start_sector;
         ingest_handles.push(std::thread::spawn(move || -> BandReport {
+            // Ingest observability: the shared-ingest runtime records
+            // into the reserved `u32::MAX` flight recorder, and each
+            // band exports how long its pump has made no progress.
+            let rec = metrics.as_ref().map(|m| m.recorder(u32::MAX));
+            let staleness = metrics
+                .as_ref()
+                .map(|m| m.registry().gauge("geostreams_band_staleness_ns", &[("band", &name)]));
             let mut attempt: u32 = 0;
             let mut start_sector: u64 = first_sector;
             let mut elements: u64 = 0;
             let mut faults: Option<FaultStats> = None;
             loop {
                 let base = scanner.band_stream_from(band_idx, first_sector, n_sectors);
+                let chaotic = matches!(&plan, Some(p) if !p.for_attempt(attempt).is_benign());
                 let (probe, stream): (_, BoxedF32Stream) = match &plan {
-                    Some(p) if !p.for_attempt(attempt).is_benign() => {
+                    Some(p) if chaotic => {
                         // Salt by band and attempt: bands sharing a
                         // seed degrade independently, and a restarted
                         // feed sees a fresh (still deterministic)
@@ -365,6 +388,20 @@ pub fn run_supervised(
                         (Some(chaos.probe()), Box::new(chaos))
                     }
                     _ => (None, Box::new(base)),
+                };
+                // Span chain for this attempt: scan ← chaos ← pump. The
+                // pump guard travels into the pump thread, counts points
+                // and stamps its context onto every chunk fanned out.
+                let (attempt_spans, pump_span) = match &rec {
+                    Some(rec) => {
+                        let scan = rec.begin(&format!("scan:{name}#{attempt}"), 0);
+                        let chaos = chaotic
+                            .then(|| rec.begin(&format!("chaos:{name}#{attempt}"), scan.span_id()));
+                        let parent = chaos.as_ref().map_or(scan.span_id(), SpanGuard::span_id);
+                        let pump = rec.begin(&format!("pump:{name}#{attempt}"), parent);
+                        (Some((scan, chaos)), Some(pump))
+                    }
+                    None => (None, None),
                 };
                 let subs2 = Arc::clone(&subs);
                 let progress = Arc::new(PumpProgress::default());
@@ -384,8 +421,26 @@ pub fn run_supervised(
                         points_counter,
                         archive2,
                         band_id,
+                        pump_span,
                     );
                 });
+                // With metrics attached, the supervisor watches the pump
+                // instead of blocking on it, feeding the band staleness
+                // gauge from its element progress.
+                if let Some(g) = &staleness {
+                    let mut last_seen = progress.elements.load(Ordering::Relaxed);
+                    let mut last_progress_ns = now_ns();
+                    while !inner.is_finished() {
+                        std::thread::sleep(POLL);
+                        let seen = progress.elements.load(Ordering::Relaxed);
+                        if seen != last_seen {
+                            last_seen = seen;
+                            last_progress_ns = now_ns();
+                        }
+                        g.set(now_ns().saturating_sub(last_progress_ns));
+                    }
+                    g.set(0);
+                }
                 let panicked = inner.join().is_err();
                 let attempt_faults = probe.as_ref().map(|p| p.stats());
                 elements += progress.elements.load(Ordering::Relaxed);
@@ -393,6 +448,13 @@ pub fn run_supervised(
                     panicked || attempt_faults.as_ref().is_some_and(|f| f.died || f.truncated);
                 if let Some(f) = attempt_faults {
                     faults.get_or_insert_with(FaultStats::default).merge(&f);
+                }
+                if let Some((scan, chaos)) = attempt_spans {
+                    let outcome = if crashed { SpanOutcome::Error } else { SpanOutcome::Ok };
+                    if let Some(c) = chaos {
+                        c.finish(outcome);
+                    }
+                    scan.finish(outcome);
                 }
                 if !crashed || attempt >= max_restarts {
                     break;
@@ -409,6 +471,24 @@ pub fn run_supervised(
                 start_sector = start_sector.max(last);
                 let exp = attempt.saturating_sub(1).min(16);
                 let backoff = backoff_base.saturating_mul(1u32 << exp).min(backoff_cap);
+                if let Some(m) = &metrics {
+                    m.ingest_backoff_ms.add(backoff.as_millis() as u64);
+                }
+                if let Some(rec) = &rec {
+                    // Failure edge: leave a restart marker span and
+                    // freeze the ring for postmortem inspection.
+                    let t = now_ns();
+                    let reason = if panicked { "panic" } else { "restart" };
+                    rec.record_span(
+                        &format!("{reason}:{name}#{attempt}"),
+                        0,
+                        t,
+                        t,
+                        0,
+                        SpanOutcome::Error,
+                    );
+                    rec.freeze(&format!("{reason}:{name}"));
+                }
                 std::thread::sleep(backoff);
             }
             // Unsubscribe everyone: queries see end-of-stream.
@@ -450,11 +530,17 @@ pub fn run_supervised(
         let counters = repair_counters.clone();
         let watchdog_counter = config.metrics.as_ref().map(|m| m.watchdog_cancellations.clone());
         let store_metrics = store_metrics.clone();
+        let metrics = config.metrics.clone();
         query_slots.push(QuerySlot::Running(std::thread::spawn(
             move || -> (Result<QueryResult>, bool) {
                 let deadline = watchdog.map(|d| Instant::now() + d);
                 let cancelled = Arc::new(AtomicBool::new(false));
                 let fired = Arc::new(AtomicBool::new(false));
+                let recorder = metrics.as_ref().map(|m| m.recorder(qid as u32));
+                let depth = metrics.as_ref().and_then(|m| m.query_depth_gauge(qid as u32));
+                if let Some(m) = &metrics {
+                    m.set_query_state(qid as u32, "running");
+                }
                 // A per-query catalog whose factories hand out each
                 // channel receiver exactly once, watchdog-aware and
                 // wrapped in a repair stage.
@@ -479,6 +565,9 @@ pub fn run_supervised(
                     let watchdog_counter = watchdog_counter.clone();
                     let counters = counters.clone();
                     let store_metrics = store_metrics.clone();
+                    let recorder = recorder.clone();
+                    let depth = depth.clone();
+                    let src_name = name.clone();
                     catalog.register(schema.clone(), move || {
                         // Sources are single-consumer: the first open
                         // takes the receiver, later opens get an
@@ -489,12 +578,30 @@ pub fn run_supervised(
                         let cancelled = Arc::clone(&cancelled);
                         let fired = Arc::clone(&fired);
                         let watchdog_counter = watchdog_counter.clone();
+                        let wd_rec = recorder.clone();
+                        let depth = depth.clone();
                         let pull = move || {
                             loop {
                                 if expired(deadline) {
                                     if !fired.swap(true, Ordering::SeqCst) {
                                         if let Some(c) = &watchdog_counter {
                                             c.inc();
+                                        }
+                                        if let Some(rec) = &wd_rec {
+                                            // The cancellation itself is
+                                            // a recorded event, and the
+                                            // ring is frozen for
+                                            // postmortem inspection.
+                                            let t = now_ns();
+                                            rec.record_span(
+                                                "watchdog",
+                                                0,
+                                                t,
+                                                t,
+                                                0,
+                                                SpanOutcome::Cancelled,
+                                            );
+                                            rec.freeze("watchdog");
                                         }
                                     }
                                     cancelled.store(true, Ordering::SeqCst);
@@ -505,6 +612,9 @@ pub fn run_supervised(
                                 let rx = rx_opt.as_ref()?;
                                 match rx.recv_timeout(POLL) {
                                     Ok(item) => {
+                                        if let Some(g) = &depth {
+                                            g.sub(1);
+                                        }
                                         if let Some(d) = stall {
                                             // Simulated slow client;
                                             // sliced so the watchdog
@@ -524,33 +634,121 @@ pub fn run_supervised(
                             }
                         };
                         let channel = ChunkChannel::new(schema.clone(), pull);
+                        // With a recorder attached, the factory opens the
+                        // per-stage span chain repair ← splice ← scan
+                        // under the planner's source span (threaded in
+                        // via `build_parent`; ids are reserved up front
+                        // because the stack is built inside-out). The
+                        // scan span captures the first chunk-carried
+                        // pump context as its cross-trace link.
                         match lock_opt(&hybrid_slot).take() {
-                            Some((replay, watermark)) => {
-                                let on_switch = store_metrics.clone().map(|sm| {
-                                    Box::new(move |ns: u64| sm.backfill_ns.record(ns))
-                                        as Box<dyn FnOnce(u64) + Send>
-                                });
-                                let spliced = SpliceStream::new(
-                                    replay,
-                                    Box::new(channel),
-                                    watermark,
-                                    on_switch,
-                                );
-                                let repaired =
-                                    StreamRepair::with_probe(spliced, Arc::clone(&probe));
-                                match &counters {
-                                    Some(c) => Box::new(repaired.with_counters(c.clone())),
-                                    None => Box::new(repaired),
+                            Some((replay, watermark)) => match &recorder {
+                                Some(rec) => {
+                                    let repair_id = rec.alloc_span();
+                                    let splice_id = rec.alloc_span();
+                                    let scan_guard =
+                                        rec.begin(&format!("scan:{src_name}"), splice_id);
+                                    let scan =
+                                        SpanStream::new(channel, scan_guard).with_link_capture();
+                                    let rec2 = Arc::clone(rec);
+                                    let bf_name = src_name.clone();
+                                    let sm = store_metrics.clone();
+                                    let bf_start = now_ns();
+                                    let on_switch = Some(Box::new(move |ns: u64| {
+                                        if let Some(sm) = &sm {
+                                            sm.backfill_ns.record(ns);
+                                        }
+                                        // The backfill phase is a span of
+                                        // its own, closed at the splice
+                                        // switch when its duration is
+                                        // known.
+                                        rec2.record_span(
+                                            &format!("backfill:{bf_name}"),
+                                            splice_id,
+                                            bf_start,
+                                            bf_start.saturating_add(ns),
+                                            0,
+                                            SpanOutcome::Ok,
+                                        );
+                                    })
+                                        as Box<dyn FnOnce(u64) + Send>);
+                                    let spliced = SpliceStream::new(
+                                        replay,
+                                        Box::new(scan),
+                                        watermark,
+                                        on_switch,
+                                    );
+                                    let splice_guard = rec.begin_with_id(
+                                        splice_id,
+                                        &format!("splice:{src_name}"),
+                                        repair_id,
+                                    );
+                                    let spliced = SpanStream::new(spliced, splice_guard);
+                                    let repaired =
+                                        StreamRepair::with_probe(spliced, Arc::clone(&probe));
+                                    let repair_guard = rec.begin_with_id(
+                                        repair_id,
+                                        &format!("repair:{src_name}"),
+                                        rec.build_parent(),
+                                    );
+                                    match &counters {
+                                        Some(c) => Box::new(SpanStream::new(
+                                            repaired.with_counters(c.clone()),
+                                            repair_guard,
+                                        )),
+                                        None => Box::new(SpanStream::new(repaired, repair_guard)),
+                                    }
                                 }
-                            }
-                            None => {
-                                let repaired =
-                                    StreamRepair::with_probe(channel, Arc::clone(&probe));
-                                match &counters {
-                                    Some(c) => Box::new(repaired.with_counters(c.clone())),
-                                    None => Box::new(repaired),
+                                None => {
+                                    let on_switch = store_metrics.clone().map(|sm| {
+                                        Box::new(move |ns: u64| sm.backfill_ns.record(ns))
+                                            as Box<dyn FnOnce(u64) + Send>
+                                    });
+                                    let spliced = SpliceStream::new(
+                                        replay,
+                                        Box::new(channel),
+                                        watermark,
+                                        on_switch,
+                                    );
+                                    let repaired =
+                                        StreamRepair::with_probe(spliced, Arc::clone(&probe));
+                                    match &counters {
+                                        Some(c) => Box::new(repaired.with_counters(c.clone())),
+                                        None => Box::new(repaired),
+                                    }
                                 }
-                            }
+                            },
+                            None => match &recorder {
+                                Some(rec) => {
+                                    let repair_id = rec.alloc_span();
+                                    let scan_guard =
+                                        rec.begin(&format!("scan:{src_name}"), repair_id);
+                                    let scan =
+                                        SpanStream::new(channel, scan_guard).with_link_capture();
+                                    let repaired =
+                                        StreamRepair::with_probe(scan, Arc::clone(&probe));
+                                    let repair_guard = rec.begin_with_id(
+                                        repair_id,
+                                        &format!("repair:{src_name}"),
+                                        rec.build_parent(),
+                                    );
+                                    match &counters {
+                                        Some(c) => Box::new(SpanStream::new(
+                                            repaired.with_counters(c.clone()),
+                                            repair_guard,
+                                        )),
+                                        None => Box::new(SpanStream::new(repaired, repair_guard)),
+                                    }
+                                }
+                                None => {
+                                    let repaired =
+                                        StreamRepair::with_probe(channel, Arc::clone(&probe));
+                                    match &counters {
+                                        Some(c) => Box::new(repaired.with_counters(c.clone())),
+                                        None => Box::new(repaired),
+                                    }
+                                }
+                            },
                         }
                     });
                 }
@@ -563,15 +761,38 @@ pub fn run_supervised(
                     probes.push((name.clone(), Arc::clone(&probe)));
                     let slot = Arc::new(Mutex::new(Some(replay)));
                     let counters = counters.clone();
+                    let recorder = recorder.clone();
+                    let src_name = name.clone();
                     catalog.register(schema.clone(), move || {
                         match lock_opt(&slot).take() {
-                            Some(r) => {
-                                let repaired = StreamRepair::with_probe(r, Arc::clone(&probe));
-                                match &counters {
-                                    Some(c) => Box::new(repaired.with_counters(c.clone())),
-                                    None => Box::new(repaired),
+                            Some(r) => match &recorder {
+                                Some(rec) => {
+                                    let repair_id = rec.alloc_span();
+                                    let replay_guard =
+                                        rec.begin(&format!("replay:{src_name}"), repair_id);
+                                    let r = SpanStream::new(r, replay_guard);
+                                    let repaired = StreamRepair::with_probe(r, Arc::clone(&probe));
+                                    let repair_guard = rec.begin_with_id(
+                                        repair_id,
+                                        &format!("repair:{src_name}"),
+                                        rec.build_parent(),
+                                    );
+                                    match &counters {
+                                        Some(c) => Box::new(SpanStream::new(
+                                            repaired.with_counters(c.clone()),
+                                            repair_guard,
+                                        )),
+                                        None => Box::new(SpanStream::new(repaired, repair_guard)),
+                                    }
                                 }
-                            }
+                                None => {
+                                    let repaired = StreamRepair::with_probe(r, Arc::clone(&probe));
+                                    match &counters {
+                                        Some(c) => Box::new(repaired.with_counters(c.clone())),
+                                        None => Box::new(repaired),
+                                    }
+                                }
+                            },
                             // Later opens of a single-consumer source
                             // get an exhausted stream.
                             None => Box::new(ChannelLike::new(schema.clone(), || None)),
@@ -580,7 +801,27 @@ pub fn run_supervised(
                 }
                 let run = || -> Result<QueryResult> {
                     let planner = Planner::new(&catalog);
-                    let pipeline = planner.build(&expr)?;
+                    let pipeline: BoxedF32Stream = match (&metrics, &recorder) {
+                        (Some(m), Some(rec)) => {
+                            // Traced build: one span per operator,
+                            // chained under a root delivery span whose
+                            // frame hook feeds watermark and e2e-lag
+                            // accounting at the moment of delivery.
+                            let deliver_id = rec.alloc_span();
+                            let obs = PipelineObs::for_query(qid as u32)
+                                .with_trace(Arc::clone(&m.trace))
+                                .with_recorder(Arc::clone(rec))
+                                .under(deliver_id);
+                            let built = planner.build_traced(&expr, &obs)?;
+                            let deliver = rec.begin_with_id(deliver_id, "deliver", 0);
+                            let m2 = Arc::clone(m);
+                            Box::new(
+                                SpanStream::new(built, deliver)
+                                    .with_frame_hook(move |fi| m2.note_frame(qid as u32, fi)),
+                            )
+                        }
+                        _ => planner.build(&expr)?,
+                    };
                     let mut result = match format {
                         OutputFormat::Stats | OutputFormat::Json => {
                             let mut pipeline = pipeline;
@@ -623,7 +864,26 @@ pub fn run_supervised(
                     result.cancelled = fired.load(Ordering::SeqCst);
                     Ok(result)
                 };
-                (run(), fired.load(Ordering::SeqCst))
+                let result = run();
+                let was_cancelled = fired.load(Ordering::SeqCst);
+                if let Some(m) = &metrics {
+                    let state = if was_cancelled {
+                        "cancelled"
+                    } else if result.is_err() {
+                        "failed"
+                    } else {
+                        "done"
+                    };
+                    let (points, completeness) = match &result {
+                        Ok(r) => (
+                            r.points,
+                            r.repair.iter().map(|s| s.stats.completeness()).fold(1.0_f64, f64::min),
+                        ),
+                        Err(_) => (0, 0.0),
+                    };
+                    m.finish_query(qid as u32, state, points, completeness);
+                }
+                (result, was_cancelled)
             },
         )));
     }
@@ -707,7 +967,11 @@ fn pump(
     points_counter: Option<Counter>,
     mut archive: Option<Arc<Archive>>,
     band_id: u16,
+    mut span: Option<SpanGuard>,
 ) {
+    // Causal identity stamped onto every chunk this pump fans out, so
+    // subscribing queries can link their scan span back to this pump.
+    let ctx: Option<TraceContext> = span.as_ref().map(SpanGuard::ctx);
     if let Some(a) = &archive {
         if let Err(e) = a.bind_band(stream.schema()) {
             eprintln!("archive: bind band {band_id} failed, persistence disabled: {e}");
@@ -741,6 +1005,10 @@ fn pump(
         } else {
             item
         };
+        let mut item = item;
+        if let ChunkOrMarker::Chunk(c) = &mut item {
+            c.ctx = ctx;
+        }
         if let Some(Marker::SectorStart(si)) = item.marker() {
             progress.last_sector.store(si.sector_id + 1, Ordering::Relaxed);
         }
@@ -749,6 +1017,9 @@ fn pump(
         if n_points > 0 {
             if let Some(c) = &points_counter {
                 c.add(n_points);
+            }
+            if let Some(s) = &mut span {
+                s.add_points(n_points);
             }
         }
         if let Some(a) = &archive {
@@ -784,12 +1055,17 @@ fn fanout_one(
             // A closed receiver (query finished/failed) is fine.
             if tx.send(item.clone()).is_err() {
                 slot.tx = None;
+            } else if let Some(g) = &slot.depth {
+                g.add(1);
             }
         }
         FanoutPolicy::Shed => loop {
             match tx.try_send(item.clone()) {
                 Ok(()) => {
                     slot.full_since = None;
+                    if let Some(g) = &slot.depth {
+                        g.add(1);
+                    }
                     return;
                 }
                 Err(TrySendError::Disconnected(_)) => {

@@ -33,7 +33,7 @@ pub mod server;
 
 pub use continuous::{run_continuous, run_supervised, FanoutPolicy, IngestStats, RuntimeConfig};
 pub use frontend::{FrontEndStats, MultiQueryFrontEnd};
-pub use metrics::ServerMetrics;
+pub use metrics::{QueryStatus, ServerMetrics};
 pub use net::HttpServer;
 pub use protocol::{parse_explain, parse_request, ClientRequest, OutputFormat};
 pub use server::{

@@ -6,8 +6,64 @@
 //! lock-free handles. `GET /metrics` (see [`crate::net`]) renders the
 //! whole registry as Prometheus text exposition v0.0.4.
 
-use geostreams_core::obs::{Counter, HistogramHandle, Registry, TraceLog};
-use std::sync::Arc;
+use geostreams_core::model::FrameInfo;
+use geostreams_core::obs::{
+    now_ns, Counter, FlightRecorder, Gauge, HistogramHandle, Registry, TraceLog,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Live status of one registered query — the payload of `GET /queries`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryStatus {
+    /// Query id.
+    pub id: u32,
+    /// Query text as registered.
+    pub query: String,
+    /// Lifecycle state: `registered`, `running`, `done`, `cancelled`,
+    /// `failed`.
+    pub state: String,
+    /// Trace id of the query's flight recorder.
+    pub trace_id: u64,
+    /// Points delivered so far.
+    pub points_delivered: u64,
+    /// Frames delivered so far.
+    pub frames_delivered: u64,
+    /// Event-time watermark: latest delivered frame timestamp
+    /// (sector-id semantics), or -1 before the first frame.
+    pub watermark: i64,
+    /// Tick of the last frame delivery ([`now_ns`] clock; 0 = never).
+    pub last_delivery_ns: u64,
+    /// Time since the last frame delivery (0 until the first frame,
+    /// frozen once the query leaves the `running` state).
+    pub staleness_ns: u64,
+    /// Median synthesis→delivery lag, nanoseconds.
+    pub e2e_lag_p50_ns: u64,
+    /// 95th-percentile synthesis→delivery lag, nanoseconds.
+    pub e2e_lag_p95_ns: u64,
+    /// Repair-stage completeness ratio (1.0 until a run reports one).
+    pub completeness: f64,
+    /// Items currently queued in the query's fan-out channels.
+    pub queue_depth: u64,
+}
+
+/// Mutable per-query bookkeeping behind the directory mutex.
+#[derive(Debug)]
+struct QueryState {
+    query: String,
+    state: String,
+    trace_id: u64,
+    points: u64,
+    frames: u64,
+    watermark: Option<i64>,
+    last_delivery_ns: u64,
+    completeness: f64,
+    lag: HistogramHandle,
+    watermark_gauge: Gauge,
+    staleness_gauge: Gauge,
+    depth_gauge: Gauge,
+}
 
 /// Metric and trace handles shared across the server's query threads.
 #[derive(Debug)]
@@ -46,12 +102,24 @@ pub struct ServerMetrics {
     pub fanout_shed: Counter,
     /// Queries cancelled by the per-query watchdog.
     pub watchdog_cancellations: Counter,
+    /// Trace events and spans evicted from bounded rings (the trace
+    /// log plus every flight recorder), synced at scrape time.
+    pub trace_dropped: Counter,
+    /// Cumulative supervised-restart backoff, milliseconds.
+    pub ingest_backoff_ms: Counter,
     /// Per-query wall time, nanoseconds.
     pub query_wall_ns: HistogramHandle,
     /// Per-connection request latency, nanoseconds.
     pub request_ns: HistogramHandle,
+    /// End-to-end synthesis→delivery lag, nanoseconds (all queries;
+    /// per-query series carry a `query` label).
+    pub e2e_lag_ns: HistogramHandle,
     /// Structured event log (query/sector boundaries, stalls, peaks).
     pub trace: Arc<TraceLog>,
+    /// Per-query flight recorders, keyed by query id.
+    recorders: Mutex<BTreeMap<u32, Arc<FlightRecorder>>>,
+    /// Live query directory, keyed by query id.
+    queries: Mutex<BTreeMap<u32, QueryState>>,
 }
 
 impl ServerMetrics {
@@ -100,8 +168,27 @@ impl ServerMetrics {
                 "geostreams_watchdog_cancellations_total",
                 "Queries cancelled by the per-query watchdog.",
             ),
+            (
+                "geostreams_trace_dropped_total",
+                "Trace events and spans evicted from bounded rings.",
+            ),
+            (
+                "geostreams_ingest_backoff_ms_total",
+                "Cumulative supervised-restart backoff in milliseconds.",
+            ),
             ("geostreams_query_wall_ns", "Per-query wall time in nanoseconds."),
             ("geostreams_request_ns", "Per-connection request latency in nanoseconds."),
+            ("geostreams_e2e_lag_ns", "End-to-end synthesis-to-delivery lag in nanoseconds."),
+            (
+                "geostreams_watermark",
+                "Per-query event-time watermark (latest delivered frame timestamp).",
+            ),
+            ("geostreams_staleness_ns", "Per-query nanoseconds since the last frame delivery."),
+            (
+                "geostreams_band_staleness_ns",
+                "Per-band nanoseconds since ingest last made progress.",
+            ),
+            ("geostreams_fanout_depth", "Fan-out channel depth (queued items) per query source."),
         ];
         for (name, text) in help {
             registry.set_help(name, text);
@@ -123,9 +210,14 @@ impl ServerMetrics {
             fanout_shed: registry.counter("geostreams_fanout_shed_total", &[]),
             watchdog_cancellations: registry
                 .counter("geostreams_watchdog_cancellations_total", &[]),
+            trace_dropped: registry.counter("geostreams_trace_dropped_total", &[]),
+            ingest_backoff_ms: registry.counter("geostreams_ingest_backoff_ms_total", &[]),
             query_wall_ns: registry.histogram("geostreams_query_wall_ns", &[]),
             request_ns: registry.histogram("geostreams_request_ns", &[]),
+            e2e_lag_ns: registry.histogram("geostreams_e2e_lag_ns", &[]),
             trace: Arc::new(TraceLog::new(trace_capacity)),
+            recorders: Mutex::new(BTreeMap::new()),
+            queries: Mutex::new(BTreeMap::new()),
             registry,
         }
     }
@@ -135,8 +227,151 @@ impl ServerMetrics {
         &self.registry
     }
 
+    /// The flight recorder for `query_id`, minting one on first use.
+    pub fn recorder(&self, query_id: u32) -> Arc<FlightRecorder> {
+        let mut recs = self.recorders.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(
+            recs.entry(query_id).or_insert_with(|| Arc::new(FlightRecorder::for_query(query_id))),
+        )
+    }
+
+    /// The flight recorder for `query_id`, if one was minted.
+    pub fn try_recorder(&self, query_id: u32) -> Option<Arc<FlightRecorder>> {
+        let recs = self.recorders.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        recs.get(&query_id).map(Arc::clone)
+    }
+
+    /// Registers (or re-registers) a query in the live directory and
+    /// mints its flight recorder. Returns the recorder.
+    pub fn register_query(&self, query_id: u32, query: &str) -> Arc<FlightRecorder> {
+        let rec = self.recorder(query_id);
+        let label = query_id.to_string();
+        let state = QueryState {
+            query: query.to_string(),
+            state: "registered".to_string(),
+            trace_id: rec.trace_id(),
+            points: 0,
+            frames: 0,
+            watermark: None,
+            last_delivery_ns: 0,
+            completeness: 1.0,
+            lag: self.registry.histogram("geostreams_e2e_lag_ns", &[("query", &label)]),
+            watermark_gauge: self.registry.gauge("geostreams_watermark", &[("query", &label)]),
+            staleness_gauge: self.registry.gauge("geostreams_staleness_ns", &[("query", &label)]),
+            depth_gauge: self.registry.gauge("geostreams_fanout_depth", &[("query", &label)]),
+        };
+        let mut dir = self.queries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        dir.insert(query_id, state);
+        rec
+    }
+
+    /// Moves a query to a new lifecycle state.
+    pub fn set_query_state(&self, query_id: u32, state: &str) {
+        let mut dir = self.queries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(q) = dir.get_mut(&query_id) {
+            q.state = state.to_string();
+        }
+    }
+
+    /// The fan-out depth gauge of a registered query (shared with the
+    /// pump and pull sides of its channels).
+    pub fn query_depth_gauge(&self, query_id: u32) -> Option<Gauge> {
+        let dir = self.queries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        dir.get(&query_id).map(|q| q.depth_gauge.clone())
+    }
+
+    /// Delivery-side freshness accounting: called once per delivered
+    /// `FrameStart`. Records synthesis→delivery lag (global and
+    /// per-query), advances the event-time watermark, and stamps the
+    /// last-delivery tick consulted by the staleness gauge.
+    pub fn note_frame(&self, query_id: u32, fi: &FrameInfo) {
+        let now = now_ns();
+        let lag = now.saturating_sub(fi.synth_ns);
+        if fi.synth_ns > 0 {
+            self.e2e_lag_ns.record(lag);
+        }
+        let mut dir = self.queries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(q) = dir.get_mut(&query_id) {
+            if fi.synth_ns > 0 {
+                q.lag.record(lag);
+            }
+            q.frames += 1;
+            q.last_delivery_ns = now;
+            let ts = fi.timestamp.value();
+            if q.watermark.is_none_or(|w| ts > w) {
+                q.watermark = Some(ts);
+                q.watermark_gauge.set(ts.max(0) as u64);
+            }
+            q.staleness_gauge.set(0);
+        }
+    }
+
+    /// Final accounting when a query run ends.
+    pub fn finish_query(&self, query_id: u32, state: &str, points: u64, completeness: f64) {
+        let mut dir = self.queries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(q) = dir.get_mut(&query_id) {
+            q.state = state.to_string();
+            q.points = points;
+            q.completeness = completeness;
+        }
+    }
+
+    /// Snapshot of the live query directory, ordered by id.
+    pub fn query_statuses(&self) -> Vec<QueryStatus> {
+        self.refresh();
+        let dir = self.queries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        dir.iter()
+            .map(|(&id, q)| QueryStatus {
+                id,
+                query: q.query.clone(),
+                state: q.state.clone(),
+                trace_id: q.trace_id,
+                points_delivered: q.points,
+                frames_delivered: q.frames,
+                watermark: q.watermark.unwrap_or(-1),
+                last_delivery_ns: q.last_delivery_ns,
+                staleness_ns: q.staleness_gauge.get(),
+                e2e_lag_p50_ns: q.lag.percentile(0.50),
+                e2e_lag_p95_ns: q.lag.percentile(0.95),
+                completeness: q.completeness,
+                queue_depth: q.depth_gauge.get(),
+            })
+            .collect()
+    }
+
+    /// The `GET /queries` payload.
+    pub fn queries_json(&self) -> String {
+        serde_json::to_string(&self.query_statuses()).unwrap_or_else(|_| "[]".to_string())
+    }
+
+    /// The `GET /trace/<id>` payload, if the query has a recorder.
+    pub fn recorder_json(&self, query_id: u32) -> Option<String> {
+        let rec = self.try_recorder(query_id)?;
+        serde_json::to_string(&rec.to_snapshot()).ok()
+    }
+
+    /// Scrape-time sync of derived series: the `trace_dropped` counter
+    /// (the registry `Counter` is monotone, so the delta against the
+    /// rings' own drop counts is added) and per-query staleness gauges.
+    pub fn refresh(&self) {
+        let mut total = self.trace.dropped();
+        {
+            let recs = self.recorders.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            total += recs.values().map(|r| r.dropped()).sum::<u64>();
+        }
+        self.trace_dropped.add(total.saturating_sub(self.trace_dropped.get()));
+        let now = now_ns();
+        let dir = self.queries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for q in dir.values() {
+            if q.state == "running" && q.last_delivery_ns > 0 {
+                q.staleness_gauge.set(now.saturating_sub(q.last_delivery_ns));
+            }
+        }
+    }
+
     /// Renders every metric as Prometheus text exposition v0.0.4.
     pub fn render_prometheus(&self) -> String {
+        self.refresh();
         self.registry.render_prometheus()
     }
 

@@ -4,7 +4,7 @@ use crate::metrics::ServerMetrics;
 use crate::protocol::{ClientRequest, OutputFormat};
 use geostreams_core::exec::RunReport;
 use geostreams_core::model::GeoStream;
-use geostreams_core::obs::PipelineObs;
+use geostreams_core::obs::{PipelineObs, SpanStream};
 use geostreams_core::ops::delivery::{DeliveredFrame, PngSink, Rendering};
 use geostreams_core::query::{
     analyze_with, optimize, parse_query, AnalyzeOptions, Catalog, Expr, PlanReport, Planner,
@@ -251,6 +251,10 @@ impl Dsms {
             sectors: request.sectors,
         };
         self.queries.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(handle.clone());
+        // Observability: directory entry plus flight recorder, so the
+        // query shows on `GET /queries` and is traceable via
+        // `GET /trace/<id>` from registration on.
+        self.metrics.register_query(id, &request.query);
         Ok(handle)
     }
 
@@ -322,8 +326,30 @@ impl Dsms {
     /// recorded in the `geostreams_query_wall_ns` histogram.
     pub fn run_query(&self, handle: &QueryHandle) -> Result<QueryResult> {
         let planner = Planner::new(&self.catalog);
-        let obs = PipelineObs::for_query(handle.id).with_trace(Arc::clone(&self.metrics.trace));
-        let pipeline = planner.build_traced(&handle.optimized, &obs)?;
+        // Spans: every operator chains under a root delivery span whose
+        // frame hook stamps watermark/e2e-lag freshness at the moment a
+        // frame reaches the client side of the pipeline.
+        let rec = self.metrics.recorder(handle.id);
+        let deliver_id = rec.alloc_span();
+        let obs = PipelineObs::for_query(handle.id)
+            .with_trace(Arc::clone(&self.metrics.trace))
+            .with_recorder(Arc::clone(&rec))
+            .under(deliver_id);
+        let pipeline = match planner.build_traced(&handle.optimized, &obs) {
+            Ok(p) => p,
+            Err(e) => {
+                self.metrics.set_query_state(handle.id, "failed");
+                return Err(e);
+            }
+        };
+        let deliver = rec.begin_with_id(deliver_id, "deliver", 0);
+        let hook_metrics = Arc::clone(&self.metrics);
+        let qid = handle.id;
+        let pipeline: geostreams_core::model::BoxedF32Stream = Box::new(
+            SpanStream::new(pipeline, deliver)
+                .with_frame_hook(move |fi| hook_metrics.note_frame(qid, fi)),
+        );
+        self.metrics.set_query_state(handle.id, "running");
         let started = Instant::now();
         let result = match handle.format {
             OutputFormat::Stats | OutputFormat::Json => {
@@ -372,6 +398,8 @@ impl Dsms {
             }
         }
         self.metrics.query_wall_ns.record(started.elapsed().as_nanos() as u64);
+        // Unsupervised runs have no repair stage: completeness is 1.
+        self.metrics.finish_query(handle.id, "done", result.points, 1.0);
         Ok(result)
     }
 
@@ -411,6 +439,16 @@ impl Dsms {
             }
             ("GET", "/healthz") => {
                 return crate::protocol::text_response(200, "text/plain", "ok\n");
+            }
+            ("GET", "/queries") => {
+                return crate::protocol::json_response(self.metrics.queries_json().as_bytes());
+            }
+            ("GET", target) if target.starts_with("/trace/") => {
+                let id = target.strip_prefix("/trace/").and_then(|s| s.parse::<u32>().ok());
+                return match id.and_then(|id| self.metrics.recorder_json(id)) {
+                    Some(body) => crate::protocol::json_response(body.as_bytes()),
+                    None => crate::protocol::error_response(404, "no trace for that query id"),
+                };
             }
             ("GET", "/archive") => {
                 return match self.archive() {

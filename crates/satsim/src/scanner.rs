@@ -312,6 +312,9 @@ impl GeoStream for SyntheticStream {
                         sector_id: self.sector,
                         timestamp: self.timestamp(),
                         cells,
+                        // Event-time origin: the instrument materialized
+                        // this frame *now*; e2e lag is measured from here.
+                        synth_ns: geostreams_core::obs::now_ns(),
                     };
                     self.phase = Phase::Points;
                     self.stats.frames_out += 1;

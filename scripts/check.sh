@@ -52,3 +52,8 @@ scripts/store_gate.sh
 # Chunked-execution gate: scalar/chunked differential suite, digest
 # determinism, and the >= 3x microbench speedup bar.
 scripts/exec_gate.sh
+
+# Observability gate: tracing acceptance suite, traced-path digest
+# determinism, the <= 5% instrumentation-overhead bar, and the
+# HELP/TYPE exposition lint.
+scripts/obs_gate.sh
