@@ -15,6 +15,7 @@
 
 use crate::model::{ChunkOrMarker, Element, GeoStream, Marker, DEFAULT_CHUNK_BUDGET};
 use crate::obs::{Histogram, HistogramSnapshot, PipelineObs, TraceKind};
+use crate::ops::ChunkProtocolChecker;
 use crate::stats::OpReport;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -34,6 +35,11 @@ pub struct RunReport {
     pub per_op: Vec<OpReport>,
     /// Per-element pull latency at the pipeline root (nanoseconds).
     pub pull_latency: HistogramSnapshot,
+    /// Stream-protocol violations the debug-build
+    /// [`ChunkProtocolChecker`] observed at the pipeline root (marker
+    /// bracketing breaks, chunks crossing frame/sector edges). Always 0
+    /// in release builds, where the checker compiles out.
+    pub protocol_violations: u64,
 }
 
 impl RunReport {
@@ -110,6 +116,10 @@ pub struct RunSummary {
     /// Full root pull-latency histogram.
     #[serde(default)]
     pub pull_latency: HistogramSnapshot,
+    /// Stream-protocol violations observed at the pipeline root (debug
+    /// builds only; see [`RunReport::protocol_violations`]).
+    #[serde(default)]
+    pub protocol_violations: u64,
     /// Per-operator statistics, upstream first.
     pub per_op: Vec<OpReport>,
 }
@@ -128,6 +138,7 @@ impl RunReport {
             pull_p95_ns: self.pull_p95_ns(),
             pull_p99_ns: self.pull_p99_ns(),
             pull_latency: self.pull_latency.clone(),
+            protocol_violations: self.protocol_violations,
             per_op: self.per_op.clone(),
         }
     }
@@ -180,6 +191,10 @@ where
         trace.record(obs.query_id, &name, TraceKind::QueryStart, "");
     }
     let pull_ns = Histogram::new();
+    // Live protocol cross-check: observes every pulled item in debug
+    // builds; compiles to a no-op in release builds (the static
+    // certificate already carries the proof).
+    let mut checker = ChunkProtocolChecker::new();
     let start = Instant::now();
     let mut elements = 0u64;
     let mut points = 0u64;
@@ -195,6 +210,7 @@ where
         if let Some(Marker::SectorEnd(_)) = item.marker() {
             sectors += 1;
         }
+        checker.observe(&item);
         on_item(&item);
         item.recycle();
     }
@@ -216,6 +232,7 @@ where
         sectors,
         per_op,
         pull_latency: pull_ns.snapshot(),
+        protocol_violations: checker.violations(),
     }
 }
 
@@ -314,6 +331,18 @@ mod tests {
         let report = run_with(&mut s, |el| replayed.push(el.clone()));
         assert_eq!(replayed, scalar);
         assert_eq!(report.elements as usize, scalar.len());
+    }
+
+    #[test]
+    fn runs_are_protocol_clean() {
+        for budget in [1usize, 7, 64, DEFAULT_CHUNK_BUDGET] {
+            let mut s = source();
+            let report = run_chunked(&mut s, &PipelineObs::default(), budget, |_| {});
+            assert_eq!(report.protocol_violations, 0, "budget {budget}");
+        }
+        let region = Region::Rect(Rect::new(0.0, 0.0, 5.0, 5.0));
+        let mut op = SpatialRestrict::new(source(), region);
+        assert_eq!(run_to_end(&mut op).protocol_violations, 0);
     }
 
     #[test]

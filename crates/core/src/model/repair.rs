@@ -204,10 +204,22 @@ pub struct StreamRepair<S: GeoStream> {
     counters: Option<RepairCounters>,
 }
 
+/// The repair stage is the protocol's safety net: it tolerates
+/// arbitrary (chaotic) input and restores both bracketing and lattice
+/// order on its output, which is what re-certifies everything above it.
+pub fn repair_contract() -> crate::ops::ProtocolContract {
+    crate::ops::ProtocolContract::repairing("repair")
+}
+
 impl<S: GeoStream> StreamRepair<S> {
     /// Wraps a stream with a fresh probe.
     pub fn new(input: S) -> Self {
         Self::with_probe(input, Arc::new(RepairProbe::default()))
+    }
+
+    /// Protocol contract (see [`repair_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        repair_contract()
     }
 
     /// Wraps a stream, reporting into a caller-supplied probe (so the

@@ -50,6 +50,18 @@ fn escape_label(v: &str) -> String {
 }
 
 /// A monotonically increasing counter handle.
+///
+/// # Memory-ordering contract
+///
+/// Every access is `Ordering::Relaxed`, deliberately: a counter is a
+/// pure statistic. No thread reads it to decide whether *other* data is
+/// ready — nothing is published or acquired through it, so the only
+/// property needed is per-location atomicity, which `Relaxed` gives.
+/// Scrapes may observe increments slightly out of order across
+/// counters; the exposition endpoint documents totals as eventually
+/// consistent. If a counter ever doubles as a readiness flag it must be
+/// split into a separate `Acquire`/`Release` atomic — geolint's
+/// `relaxed-strong-mix` rule flags exactly that mixing per field.
 #[derive(Debug, Clone, Default)]
 pub struct Counter(Arc<AtomicU64>);
 
@@ -73,6 +85,11 @@ impl Counter {
 }
 
 /// A gauge handle (a value that can go up and down).
+///
+/// Same memory-ordering contract as [`Counter`]: all accesses are
+/// `Relaxed` because a gauge is an observational statistic (queue
+/// depth, bytes buffered), never a synchronization handoff. Writers on
+/// the hot path pay one uncontended atomic RMW and no fences.
 #[derive(Debug, Clone, Default)]
 pub struct Gauge(Arc<AtomicU64>);
 

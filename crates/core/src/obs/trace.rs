@@ -52,6 +52,10 @@ pub struct TraceLog {
     epoch: Instant,
     capacity: usize,
     events: Mutex<VecDeque<TraceEvent>>,
+    /// Evicted-event count. `Relaxed` on both sides: the counter is a
+    /// statistic, and the events themselves are already synchronized by
+    /// the `events` mutex (the lock's acquire/release orders the ring;
+    /// the atomic never carries a handoff of its own).
     dropped: AtomicU64,
 }
 

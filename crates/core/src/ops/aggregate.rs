@@ -381,10 +381,30 @@ impl<S: GeoStream> GeoStream for SpatialAggregate<S> {
     }
 }
 
+/// Aggregates accumulate per-cell or per-sector state that advances on
+/// frame boundaries: they need bracketed input and re-emit a fresh
+/// marker sequence, but accumulation itself is order-insensitive.
+pub fn aggregate_contract(operator: &str) -> crate::ops::ProtocolContract {
+    use crate::ops::protocol::{ChunkDiscipline, MarkerEffect, OrderEffect, ProtocolContract};
+    ProtocolContract {
+        operator: operator.to_string(),
+        markers: MarkerEffect::Resynthesize,
+        order: OrderEffect::Preserve,
+        chunks: ChunkDiscipline::Repack,
+        requires_bracketing: true,
+        requires_order: false,
+    }
+}
+
 impl<S: GeoStream> TemporalAggregate<S> {
     /// A sliding window of `W` images is frame-scale buffering (§6 / [27]).
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::BoundedFrame
+    }
+
+    /// Protocol contract (see [`aggregate_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        aggregate_contract("agg_time")
     }
 }
 
@@ -392,6 +412,11 @@ impl<S: GeoStream> SpatialAggregate<S> {
     /// One scalar accumulator per sector: O(1) state, non-blocking.
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::NonBlocking
+    }
+
+    /// Protocol contract (see [`aggregate_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        aggregate_contract("agg_space")
     }
 }
 

@@ -610,7 +610,19 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> GeoStream for Compose<L, R> {
     }
 }
 
+/// Composition merges two frame-aligned streams cell by cell: both
+/// sides must be bracketed and lattice-ordered for the merge to line
+/// up, and the output marker sequence is synthesized fresh.
+pub fn compose_contract(operator: &str) -> crate::ops::ProtocolContract {
+    crate::ops::ProtocolContract::resynthesizing(operator)
+}
+
 impl<L: GeoStream, R: GeoStream<V = L::V>> Compose<L, R> {
+    /// Protocol contract (see [`compose_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        compose_contract("compose")
+    }
+
     /// §3.3: composition buffering "depends on the point organization
     /// (whole image for image-by-image vs a single row for row-by-row)".
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {

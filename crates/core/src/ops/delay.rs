@@ -156,10 +156,31 @@ impl<S: GeoStream> GeoStream for Delay<S> {
     }
 }
 
+/// A delay line replays whole buffered frames: it needs bracketed input
+/// (frames are captured between `FrameStart`/`FrameEnd`) and re-emits
+/// its own marker sequence; order within a captured frame is kept as
+/// received, so it has no order requirement of its own.
+pub fn delay_contract() -> crate::ops::ProtocolContract {
+    use crate::ops::protocol::{ChunkDiscipline, MarkerEffect, OrderEffect, ProtocolContract};
+    ProtocolContract {
+        operator: "delay".to_string(),
+        markers: MarkerEffect::Resynthesize,
+        order: OrderEffect::Preserve,
+        chunks: ChunkDiscipline::Repack,
+        requires_bracketing: true,
+        requires_order: false,
+    }
+}
+
 impl<S: GeoStream> Delay<S> {
     /// A delay line holds `d + 1` whole images: frame-scale buffering.
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::BoundedFrame
+    }
+
+    /// Protocol contract (see [`delay_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        delay_contract()
     }
 }
 

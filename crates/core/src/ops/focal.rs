@@ -368,10 +368,22 @@ impl<S: GeoStream> GeoStream for FocalTransform<S> {
     }
 }
 
+/// A focal operator's k-row sliding band assumes rows arrive in lattice
+/// order within well-bracketed frames; the output frame is re-emitted
+/// from the band, markers and all.
+pub fn focal_contract() -> crate::ops::ProtocolContract {
+    crate::ops::ProtocolContract::resynthesizing("focal")
+}
+
 impl<S: GeoStream> FocalTransform<S> {
     /// §3.2: a k×k neighborhood operator buffers a k-row sliding band.
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::BoundedRows(self.k)
+    }
+
+    /// Protocol contract (see [`focal_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        focal_contract()
     }
 }
 

@@ -23,6 +23,7 @@ pub mod delivery;
 pub mod focal;
 pub mod macro_ops;
 pub mod orient;
+pub mod protocol;
 pub mod reproject;
 pub mod restrict;
 pub mod shed;
@@ -37,6 +38,10 @@ pub use delay::Delay;
 pub use delivery::{ImageAssembler, PngSink, RgbComposite};
 pub use focal::{FocalFunc, FocalTransform};
 pub use orient::{Orient, Orientation};
+pub use protocol::{
+    meet, CertBuilder, ChunkDiscipline, ChunkProtocolChecker, MarkerEffect, OrderEffect,
+    ProtocolCertificate, ProtocolContract, StageCheck, StreamGuarantees,
+};
 pub use reproject::{Reproject, ReprojectConfig};
 pub use restrict::{SpatialRestrict, TemporalRestrict, ValueRestrict};
 pub use shed::{Shed, ShedPolicy};

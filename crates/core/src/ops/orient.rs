@@ -160,10 +160,22 @@ impl<S: GeoStream> GeoStream for Orient<S> {
     }
 }
 
+/// Orientation changes remap cells point-wise and re-interpret the
+/// georeference; markers and traversal order pass through untouched, so
+/// the contract is a pure forwarder.
+pub fn orient_contract() -> crate::ops::ProtocolContract {
+    crate::ops::ProtocolContract::forwarding("orient")
+}
+
 impl<S: GeoStream> Orient<S> {
     /// §3.2: orientation changes remap cells point-wise, zero buffering.
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::NonBlocking
+    }
+
+    /// Protocol contract: transparent forwarder (see [`orient_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        orient_contract()
     }
 }
 

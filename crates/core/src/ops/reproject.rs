@@ -455,7 +455,19 @@ impl<S: GeoStream> GeoStream for Reproject<S> {
     }
 }
 
+/// Re-projection resamples into a brand-new output lattice: it emits a
+/// fresh marker sequence and its row-band window assumes bracketed,
+/// lattice-ordered input.
+pub fn reproject_contract() -> crate::ops::ProtocolContract {
+    crate::ops::ProtocolContract::resynthesizing("reproject")
+}
+
 impl<S: GeoStream> Reproject<S> {
+    /// Protocol contract (see [`reproject_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        reproject_contract()
+    }
+
     /// §3.2: re-projection "may block arbitrarily" unless scan-sector
     /// metadata bounds the needed input neighborhood to a narrow row
     /// band around the current scanline.

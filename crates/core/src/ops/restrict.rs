@@ -545,10 +545,22 @@ impl<S: GeoStream> GeoStream for ValueRestrict<S> {
     }
 }
 
+/// §3.1 restrictions are transparent forwarders: every marker and every
+/// surviving point passes through in place, so the stream protocol of
+/// the input is the stream protocol of the output.
+pub fn restriction_contract(operator: &str) -> crate::ops::ProtocolContract {
+    crate::ops::ProtocolContract::forwarding(operator)
+}
+
 impl<S: GeoStream> SpatialRestrict<S> {
     /// §3.1: restrictions are non-blocking, O(1) per point, zero buffering.
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::NonBlocking
+    }
+
+    /// Protocol contract: transparent forwarder (see [`restriction_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        restriction_contract("restrict_space")
     }
 }
 
@@ -557,12 +569,22 @@ impl<S: GeoStream> TemporalRestrict<S> {
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::NonBlocking
     }
+
+    /// Protocol contract: transparent forwarder (see [`restriction_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        restriction_contract("restrict_time")
+    }
 }
 
 impl<S: GeoStream> ValueRestrict<S> {
     /// §3.1: restrictions are non-blocking, O(1) per point, zero buffering.
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::NonBlocking
+    }
+
+    /// Protocol contract: transparent forwarder (see [`restriction_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        restriction_contract("restrict_value")
     }
 }
 

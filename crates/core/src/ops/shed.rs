@@ -201,10 +201,22 @@ impl<S: GeoStream> GeoStream for Shed<S> {
     }
 }
 
+/// Shedding drops *points* but always keeps markers (the PR 3 contract):
+/// the bracketing skeleton and surviving-point order pass through
+/// untouched, so the contract is a pure forwarder.
+pub fn shed_contract() -> crate::ops::ProtocolContract {
+    crate::ops::ProtocolContract::forwarding("shed")
+}
+
 impl<S: GeoStream> Shed<S> {
     /// Shedding drops elements in place: non-blocking, zero buffering.
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::NonBlocking
+    }
+
+    /// Protocol contract: transparent forwarder (see [`shed_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        shed_contract()
     }
 }
 

@@ -238,10 +238,29 @@ impl<S: GeoStream> GeoStream for Downsample<S> {
     }
 }
 
+/// Magnification synthesizes a k×-denser output lattice: markers are
+/// re-emitted for the new frame geometry, and the replication pattern
+/// only yields lattice-ordered output for lattice-ordered input.
+pub fn magnify_contract() -> crate::ops::ProtocolContract {
+    crate::ops::ProtocolContract::resynthesizing("magnify")
+}
+
+/// Downsampling accumulates k×k blocks and flushes them on row and
+/// frame boundaries: it needs bracketed, ordered input and re-emits a
+/// fresh marker sequence for the coarser output lattice.
+pub fn downsample_contract() -> crate::ops::ProtocolContract {
+    crate::ops::ProtocolContract::resynthesizing("downsample")
+}
+
 impl<S: GeoStream> Magnify<S> {
     /// §3.2: "magnification needs no buffering".
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::NonBlocking
+    }
+
+    /// Protocol contract (see [`magnify_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        magnify_contract()
     }
 }
 
@@ -250,6 +269,11 @@ impl<S: GeoStream> Downsample<S> {
     /// accumulators spans k input rows).
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::BoundedRows(self.k)
+    }
+
+    /// Protocol contract (see [`downsample_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        downsample_contract()
     }
 }
 

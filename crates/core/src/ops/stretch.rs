@@ -217,7 +217,28 @@ impl<S: GeoStream> GeoStream for StretchTransform<S> {
     }
 }
 
+/// A stretch buffers a frame's values but forwards the marker skeleton
+/// through its queue unchanged; it needs well-bracketed input (its flush
+/// is driven by `FrameEnd`/`SectorEnd`) but not lattice order — min/max
+/// over a frame is order-insensitive.
+pub fn stretch_contract() -> crate::ops::ProtocolContract {
+    use crate::ops::protocol::{ChunkDiscipline, MarkerEffect, OrderEffect, ProtocolContract};
+    ProtocolContract {
+        operator: "stretch".to_string(),
+        markers: MarkerEffect::Forward,
+        order: OrderEffect::Preserve,
+        chunks: ChunkDiscipline::Repack,
+        requires_bracketing: true,
+        requires_order: false,
+    }
+}
+
 impl<S: GeoStream> StretchTransform<S> {
+    /// Protocol contract (see [`stretch_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        stretch_contract()
+    }
+
     /// §3.2: a frame-scoped stretch buffers one arrival frame (a single
     /// row under row-by-row transmission); an image-scoped stretch must
     /// hold the whole image before it can emit.

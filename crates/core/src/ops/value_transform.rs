@@ -241,10 +241,21 @@ impl<S: GeoStream, W: Pixel> GeoStream for CastTransform<S, W> {
     }
 }
 
+/// Point-wise value transforms rewrite values in place: markers and
+/// lattice order are untouched, so the contract is a pure forwarder.
+pub fn value_transform_contract(operator: &str) -> crate::ops::ProtocolContract {
+    crate::ops::ProtocolContract::forwarding(operator)
+}
+
 impl<S: GeoStream, W: Pixel> MapTransform<S, W> {
     /// §3.2: point-wise value transforms are non-blocking.
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::NonBlocking
+    }
+
+    /// Protocol contract: transparent forwarder (see [`value_transform_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        value_transform_contract("map_value")
     }
 }
 
@@ -252,6 +263,11 @@ impl<S: GeoStream, W: Pixel> CastTransform<S, W> {
     /// Pixel-type casts are point-wise and non-blocking.
     pub fn declared_blocking(&self) -> crate::ops::BlockingClass {
         crate::ops::BlockingClass::NonBlocking
+    }
+
+    /// Protocol contract: transparent forwarder (see [`value_transform_contract`]).
+    pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
+        value_transform_contract("cast")
     }
 }
 

@@ -34,6 +34,9 @@ use super::ast::Expr;
 use super::plan::Catalog;
 use super::pushdown::{time_set_window, TimeWindow};
 use crate::model::{Organization, TimeSemantics, TimeSet};
+use crate::ops::protocol::{
+    meet, CertBuilder, ProtocolCertificate, ProtocolContract, StreamGuarantees,
+};
 use crate::ops::{BlockingClass, StretchScope};
 use geostreams_geo::{map_region, Coord, Crs, LatticeGeoref, Region};
 use serde::{Deserialize, Serialize};
@@ -175,6 +178,13 @@ pub struct PlanReport {
     pub peak_buffer_bytes: Option<u64>,
     /// Findings, ranked most severe first.
     pub diagnostics: Vec<Diagnostic>,
+    /// Composed stream-protocol certificate (see
+    /// [`ProtocolCertificate`]): the proof that every operator's marker
+    /// and ordering requirements are discharged by its upstream. The
+    /// serde default is deliberately *uncertified*, so a report that
+    /// never ran the verifier cannot pass admission.
+    #[serde(default)]
+    pub certificate: ProtocolCertificate,
 }
 
 impl PlanReport {
@@ -217,6 +227,9 @@ struct Derived {
     /// Effective sector lattice (shrunk by restrictions, resampled by
     /// resolution changes); `None` when no scan-sector metadata exists.
     lattice: Option<LatticeGeoref>,
+    /// Stream-protocol guarantees at this point of the plan (threaded
+    /// by the certificate builder).
+    proto: StreamGuarantees,
 }
 
 impl Derived {
@@ -267,6 +280,7 @@ struct Analyzer<'a> {
     windows: Vec<TimeWindow>,
     per_op: Vec<OpAnalysis>,
     diagnostics: Vec<Diagnostic>,
+    cert: CertBuilder,
 }
 
 impl Analyzer<'_> {
@@ -391,6 +405,23 @@ impl Analyzer<'_> {
         }
     }
 
+    /// Applies the source-leaf protocol contract at `path`. A source —
+    /// live scanner, bounded archive replay, or hybrid splice — always
+    /// synthesizes a pristine, well-bracketed marker sequence (the
+    /// supervised runtime wraps chaotic feeds in `StreamRepair` before
+    /// any operator sees them), so all three share the `source` contract
+    /// shape; the operator name records which kind the replay
+    /// classification picked.
+    fn apply_source_contract(&mut self, path: &str) -> StreamGuarantees {
+        let replayed = self.per_op.last().and_then(|op| op.replay).is_some();
+        let name = match (replayed, self.opts.now) {
+            (true, Some(now)) if self.window().wholly_before(now) => "replay-from-archive",
+            (true, _) => "replay-hybrid",
+            _ => "source",
+        };
+        self.cert.apply(path, &ProtocolContract::source(name), StreamGuarantees::pristine())
+    }
+
     fn walk(&mut self, expr: &Expr, parent: &str) -> Derived {
         match expr {
             Expr::Source(name) => {
@@ -410,14 +441,16 @@ impl Analyzer<'_> {
                                 "§2",
                             );
                         }
-                        let d = Derived {
+                        let mut d = Derived {
                             crs: schema.crs,
                             organization: schema.organization,
                             time_semantics: schema.time_semantics,
                             lattice: schema.sector_lattice,
+                            proto: StreamGuarantees::pristine(),
                         };
                         self.record(&path, "source", BlockingClass::NonBlocking, 0, &d);
                         self.classify_replay(name, &path);
+                        d.proto = self.apply_source_contract(&path);
                         d
                     }
                     None => {
@@ -428,13 +461,15 @@ impl Analyzer<'_> {
                             format!("source `{name}` is not registered in the catalog"),
                             "§4",
                         );
-                        let d = Derived {
+                        let mut d = Derived {
                             crs: Crs::LatLon,
                             organization: Organization::RowByRow,
                             time_semantics: TimeSemantics::SectorId,
                             lattice: None,
+                            proto: StreamGuarantees::pristine(),
                         };
                         self.record(&path, "source", BlockingClass::NonBlocking, 0, &d);
+                        d.proto = self.apply_source_contract(&path);
                         d
                     }
                 }
@@ -499,6 +534,11 @@ impl Analyzer<'_> {
                     }
                 }
                 self.record(&path, "restrict_space", BlockingClass::NonBlocking, 0, &d);
+                d.proto = self.cert.apply(
+                    &path,
+                    &crate::ops::restrict::restriction_contract("restrict_space"),
+                    d.proto,
+                );
                 d
             }
             Expr::RestrictTime { input, times } => {
@@ -523,6 +563,12 @@ impl Analyzer<'_> {
                     );
                 }
                 self.record(&path, "restrict_time", BlockingClass::NonBlocking, 0, &d);
+                let mut d = d;
+                d.proto = self.cert.apply(
+                    &path,
+                    &crate::ops::restrict::restriction_contract("restrict_time"),
+                    d.proto,
+                );
                 d
             }
             Expr::RestrictValue { input, ranges } => {
@@ -538,12 +584,24 @@ impl Analyzer<'_> {
                     );
                 }
                 self.record(&path, "restrict_value", BlockingClass::NonBlocking, 0, &d);
+                let mut d = d;
+                d.proto = self.cert.apply(
+                    &path,
+                    &crate::ops::restrict::restriction_contract("restrict_value"),
+                    d.proto,
+                );
                 d
             }
             Expr::MapValue { input, .. } => {
                 let path = format!("{parent}/map_value");
                 let d = self.walk(input, &path);
                 self.record(&path, "map_value", BlockingClass::NonBlocking, 0, &d);
+                let mut d = d;
+                d.proto = self.cert.apply(
+                    &path,
+                    &crate::ops::value_transform::value_transform_contract("map_value"),
+                    d.proto,
+                );
                 d
             }
             Expr::Stretch { input, scope, .. } => {
@@ -569,6 +627,8 @@ impl Analyzer<'_> {
                     }
                 };
                 self.record(&path, "stretch", class, bytes, &d);
+                let mut d = d;
+                d.proto = self.cert.apply(&path, &crate::ops::stretch::stretch_contract(), d.proto);
                 d
             }
             Expr::Focal { input, k, .. } => {
@@ -577,6 +637,8 @@ impl Analyzer<'_> {
                 let class = BlockingClass::BoundedRows(*k);
                 let bytes = u64::from(*k) * d.row_bytes();
                 self.record(&path, "focal", class, bytes, &d);
+                let mut d = d;
+                d.proto = self.cert.apply(&path, &crate::ops::focal::focal_contract(), d.proto);
                 d
             }
             Expr::Orient { input, orientation } => {
@@ -590,6 +652,7 @@ impl Analyzer<'_> {
                     }
                 }
                 self.record(&path, "orient", BlockingClass::NonBlocking, 0, &d);
+                d.proto = self.cert.apply(&path, &crate::ops::orient::orient_contract(), d.proto);
                 d
             }
             Expr::Magnify { input, k } => {
@@ -607,6 +670,7 @@ impl Analyzer<'_> {
                     d.lattice = Some(lat.magnified(*k));
                 }
                 self.record(&path, "magnify", BlockingClass::NonBlocking, 0, &d);
+                d.proto = self.cert.apply(&path, &crate::ops::spatial::magnify_contract(), d.proto);
                 d
             }
             Expr::Downsample { input, k } => {
@@ -621,6 +685,11 @@ impl Analyzer<'_> {
                         "§3.2",
                     );
                     self.record(&path, "downsample", BlockingClass::NonBlocking, 0, &d);
+                    d.proto = self.cert.apply(
+                        &path,
+                        &crate::ops::spatial::downsample_contract(),
+                        d.proto,
+                    );
                     return d;
                 }
                 // One output row of block accumulators spans k input rows.
@@ -630,6 +699,8 @@ impl Analyzer<'_> {
                     d.lattice = Some(lat.reduced(*k));
                 }
                 self.record(&path, "downsample", BlockingClass::BoundedRows(*k), bytes, &d);
+                d.proto =
+                    self.cert.apply(&path, &crate::ops::spatial::downsample_contract(), d.proto);
                 d
             }
             Expr::Reproject { input, to, kernel } => {
@@ -682,6 +753,8 @@ impl Analyzer<'_> {
                         self.record(&path, "reproject", BlockingClass::Unbounded, 0, &d);
                     }
                 }
+                d.proto =
+                    self.cert.apply(&path, &crate::ops::reproject::reproject_contract(), d.proto);
                 d
             }
             Expr::Compose { left, right, op } => {
@@ -709,6 +782,8 @@ impl Analyzer<'_> {
                     );
                 }
                 self.record(&path, "shed", BlockingClass::NonBlocking, 0, &d);
+                let mut d = d;
+                d.proto = self.cert.apply(&path, &crate::ops::shed::shed_contract(), d.proto);
                 d
             }
             Expr::Delay { input, d: shift } => {
@@ -731,6 +806,8 @@ impl Analyzer<'_> {
                 }
                 let bytes = u64::from(shift + 1) * d.image_bytes();
                 self.record(&path, "delay", BlockingClass::BoundedFrame, bytes, &d);
+                let mut d = d;
+                d.proto = self.cert.apply(&path, &crate::ops::delay::delay_contract(), d.proto);
                 d
             }
             Expr::AggTime { input, window, .. } => {
@@ -747,6 +824,12 @@ impl Analyzer<'_> {
                 }
                 let bytes = u64::from(*window) * d.points() * AGG_CELL_BYTES;
                 self.record(&path, "agg_time", BlockingClass::BoundedFrame, bytes, &d);
+                let mut d = d;
+                d.proto = self.cert.apply(
+                    &path,
+                    &crate::ops::aggregate::aggregate_contract("agg_time"),
+                    d.proto,
+                );
                 d
             }
             Expr::AggSpace { input, region, .. } => {
@@ -764,6 +847,11 @@ impl Analyzer<'_> {
                 // The output is a 1×1-lattice scalar stream.
                 d.lattice = Some(LatticeGeoref::north_up(d.crs, region.bbox(), 1, 1));
                 self.record(&path, "agg_space", BlockingClass::NonBlocking, 0, &d);
+                d.proto = self.cert.apply(
+                    &path,
+                    &crate::ops::aggregate::aggregate_contract("agg_space"),
+                    d.proto,
+                );
                 d
             }
         }
@@ -821,13 +909,20 @@ impl Analyzer<'_> {
         } else {
             (BlockingClass::BoundedRows(1), l.row_bytes() + r.row_bytes())
         };
-        let out = Derived {
+        let mut out = Derived {
             crs: l.crs,
             organization: l.organization,
             time_semantics: l.time_semantics,
             lattice: l.lattice.or(r.lattice),
+            proto: meet(l.proto, r.proto),
         };
         self.record(path, operator, class, bytes, &out);
+        // The merge sees the weaker of what each side guarantees.
+        out.proto = self.cert.apply(
+            path,
+            &crate::ops::compose::compose_contract(operator),
+            meet(l.proto, r.proto),
+        );
         out
     }
 }
@@ -855,8 +950,21 @@ pub fn analyze_with(expr: &Expr, catalog: &Catalog, opts: &AnalyzeOptions<'_>) -
         windows: Vec::new(),
         per_op: Vec::new(),
         diagnostics: Vec::new(),
+        cert: CertBuilder::new(),
     };
-    a.walk(expr, "");
+    let root = a.walk(expr, "");
+    let certificate = a.cert.finish(root.proto);
+    if !certificate.certified {
+        for v in &certificate.violations {
+            a.diagnostics.push(Diagnostic {
+                severity: Severity::Error,
+                code: "protocol-uncertified".to_string(),
+                message: v.clone(),
+                path: String::new(),
+                section: "§12".to_string(),
+            });
+        }
+    }
     let blocking = a
         .per_op
         .iter()
@@ -869,7 +977,13 @@ pub fn analyze_with(expr: &Expr, catalog: &Catalog, opts: &AnalyzeOptions<'_>) -
     };
     // Rank: errors first, then warnings, then info (stable within class).
     a.diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
-    PlanReport { per_op: a.per_op, blocking, peak_buffer_bytes, diagnostics: a.diagnostics }
+    PlanReport {
+        per_op: a.per_op,
+        blocking,
+        peak_buffer_bytes,
+        diagnostics: a.diagnostics,
+        certificate,
+    }
 }
 
 #[cfg(test)]
@@ -1066,6 +1180,76 @@ mod tests {
             &AnalyzeOptions { now: Some(8), replay: Some(&archive) },
         );
         assert!(r.diagnostics.iter().any(|d| d.code == "replay-from-archive"));
+    }
+
+    #[test]
+    fn every_plan_carries_a_certificate() {
+        for q in [
+            "g1",
+            "restrict_space(g1, bbox(-123, 37, -122, 38), \"latlon\")",
+            "restrict_time(g1, interval(0, 5))",
+            "restrict_value(g1, 0, 1)",
+            "scale(g1, 2, 0)",
+            "stretch(g1, \"linear\", \"image\")",
+            "focal(g1, \"sobel\", 3)",
+            "orient(g1, \"rot90\")",
+            "magnify(g1, 2)",
+            "downsample(g1, 2)",
+            "reproject(g1, \"utm:10N\")",
+            "compose(g1, \"+\", g2)",
+            "ndvi(g1, g2)",
+            "shed(g1, \"points\", 4)",
+            "delay(g1, 2)",
+            "agg_time(g1, \"mean\", 3)",
+            "agg_space(g1, \"mean\", bbox(-123, 37, -122, 38))",
+            "stretch(ndvi(restrict_space(g1, bbox(-123, 37, -122, 38), \"latlon\"), g2), \
+             \"linear\", \"image\")",
+        ] {
+            let r = report(q);
+            assert!(r.certificate.certified, "{q}: {:?}", r.certificate.violations);
+            assert!(r.certificate.output.bracketed, "{q}");
+            assert!(r.certificate.output.lattice_order, "{q}");
+            assert_eq!(r.certificate.stages.len(), r.per_op.len(), "{q}");
+            assert!(r.certificate.violations.is_empty(), "{q}");
+        }
+    }
+
+    #[test]
+    fn certificate_stage_paths_match_per_op_paths() {
+        let r = report("stretch(ndvi(g1, g2), \"linear\", \"image\")");
+        let op_paths: Vec<&str> = r.per_op.iter().map(|op| op.path.as_str()).collect();
+        let stage_paths: Vec<&str> = r.certificate.stages.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(op_paths, stage_paths);
+    }
+
+    #[test]
+    fn replayed_sources_certify_under_their_replay_contract() {
+        let archive = FakeArchive { archived_hi: 10 };
+        let r = report_with(
+            "restrict_time(g1, interval(2, 6))",
+            &AnalyzeOptions { now: Some(10), replay: Some(&archive) },
+        );
+        assert!(r.certificate.certified);
+        assert_eq!(r.certificate.stages[0].contract.operator, "replay-from-archive");
+        let h = report_with(
+            "restrict_time(g1, interval(1, none))",
+            &AnalyzeOptions { now: Some(5), replay: Some(&archive) },
+        );
+        assert!(h.certificate.certified);
+        assert_eq!(h.certificate.stages[0].contract.operator, "replay-hybrid");
+    }
+
+    #[test]
+    fn unverified_reports_deserialize_uncertified() {
+        let r = report("g1");
+        let json = serde_json::to_string(&r).unwrap();
+        // An older peer that never ran the verifier omits the field
+        // (`certificate` is the last field of the report).
+        let idx = json.rfind(",\"certificate\":").unwrap();
+        let legacy = format!("{}}}", &json[..idx]);
+        let back: PlanReport = serde_json::from_str(&legacy).unwrap();
+        assert!(!back.certificate.certified);
+        assert!(!back.certificate.violations.is_empty());
     }
 
     #[test]

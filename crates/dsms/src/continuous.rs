@@ -273,11 +273,19 @@ pub fn run_supervised(
         }
         let expr = optimize(&expr, &schema_catalog);
         let plan = analyze_with(&expr, &schema_catalog, &analyze_opts);
-        if plan.has_errors() {
+        if plan.has_errors() || !plan.certificate.certified {
             if let Some(m) = &config.metrics {
                 m.set_query_state(qid as u32, "rejected");
             }
-            exprs.push(Err(CoreError::PlanRejected(plan.render_errors())));
+            let reason = if plan.has_errors() {
+                plan.render_errors()
+            } else {
+                format!(
+                    "plan carries no valid protocol certificate: {}",
+                    plan.certificate.violations.join("; ")
+                )
+            };
+            exprs.push(Err(CoreError::PlanRejected(reason)));
             continue;
         }
         // Route each temporally-restricted source: wholly-past windows
@@ -827,6 +835,15 @@ pub fn run_supervised(
                             let mut pipeline = pipeline;
                             let report = geostreams_core::exec::run_to_end(&mut pipeline);
                             let points = report.points_delivered;
+                            // Debug-build runtime validator: any marker
+                            // bracketing or chunk-edge violation the
+                            // driver observed becomes a counted alarm
+                            // (always 0 in release builds).
+                            if report.protocol_violations > 0 {
+                                if let Some(m) = &metrics {
+                                    m.protocol_violations.add(report.protocol_violations);
+                                }
+                            }
                             QueryResult {
                                 id: qid as u32,
                                 frames: Vec::new(),
@@ -1029,76 +1046,139 @@ fn pump(
             }
         }
         let has_marker = item.marker().is_some();
-        let mut guard = subs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        for slot in guard.iter_mut() {
-            fanout_one(slot, &item, has_marker, fanout, marker_patience, &shed_counter);
-        }
+        fanout_all(subs, &item, has_marker, fanout, marker_patience, &shed_counter);
     }
     if let Some(a) = &archive {
         let _ = a.flush();
     }
 }
 
-/// Delivers one chunked item to one subscriber under the fan-out
-/// policy.
-fn fanout_one(
-    slot: &mut SubSlot,
+/// Delivers one chunked item to every subscriber under the fan-out
+/// policy — without ever blocking or sleeping while the `subs` guard is
+/// held. A bounded `send` can stall until a subscriber drains; holding
+/// the lock across it would wedge subscribe/unsubscribe and the
+/// supervisor's bookkeeping for the whole band (the geolint
+/// `lock-across-send` rule exists because an earlier version of this
+/// function did exactly that).
+fn fanout_all(
+    subs: &Mutex<Vec<SubSlot>>,
     item: &ChunkOrMarker<f32>,
     has_marker: bool,
     fanout: FanoutPolicy,
     marker_patience: Duration,
     shed_counter: &Option<Counter>,
 ) {
-    let Some(tx) = &slot.tx else { return };
     match fanout {
         FanoutPolicy::Blocking => {
-            // A closed receiver (query finished/failed) is fine.
-            if tx.send(item.clone()).is_err() {
-                slot.tx = None;
-            } else if let Some(g) = &slot.depth {
-                g.add(1);
+            // Snapshot the live senders under the lock, send unlocked
+            // (SyncSender clones share the same channel), then re-lock
+            // only to null out receivers that turned out closed (a
+            // finished/failed query is fine).
+            let live: Vec<(usize, SyncSender<ChunkOrMarker<f32>>, Option<Gauge>)> = {
+                let guard = lock_opt(subs);
+                guard
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.tx.clone().map(|tx| (i, tx, s.depth.clone())))
+                    .collect()
+            };
+            let mut dead = Vec::new();
+            for (i, tx, depth) in live {
+                if tx.send(item.clone()).is_err() {
+                    dead.push(i);
+                } else if let Some(g) = depth {
+                    g.add(1);
+                }
+            }
+            if !dead.is_empty() {
+                let mut guard = lock_opt(subs);
+                for i in dead {
+                    if let Some(slot) = guard.get_mut(i) {
+                        slot.tx = None;
+                    }
+                }
             }
         }
-        FanoutPolicy::Shed => loop {
-            match tx.try_send(item.clone()) {
-                Ok(()) => {
-                    slot.full_since = None;
-                    if let Some(g) = &slot.depth {
-                        g.add(1);
-                    }
-                    return;
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    slot.tx = None;
-                    return;
-                }
-                Err(TrySendError::Full(_)) => {
-                    let since = *slot.full_since.get_or_insert_with(Instant::now);
-                    if !has_marker {
-                        // Pure point runs are expendable: shed the whole
-                        // run immediately rather than stall the band.
-                        let n = item.point_count() as u64;
-                        slot.shed += n;
-                        if let Some(c) = shed_counter {
-                            c.add(n);
+        FanoutPolicy::Shed => {
+            // Non-blocking delivery pass under the lock; subscribers
+            // that are full on a *marker* are retried with the guard
+            // dropped between attempts (the 1 ms naps happen unlocked),
+            // until the marker patience runs out.
+            let mut delivered: Vec<bool> = Vec::new();
+            loop {
+                let mut pending = false;
+                {
+                    let mut guard = lock_opt(subs);
+                    delivered.resize(guard.len().max(delivered.len()), false);
+                    for (i, slot) in guard.iter_mut().enumerate() {
+                        if delivered[i] {
+                            continue;
                         }
-                        return;
-                    }
-                    if since.elapsed() >= marker_patience {
-                        // A subscriber that cannot even accept framing
-                        // markers is wedged: unsubscribe it.
-                        slot.tx = None;
-                        let n = item.element_count();
-                        slot.shed += n;
-                        if let Some(c) = shed_counter {
-                            c.add(n);
+                        if shed_try_one(slot, item, has_marker, marker_patience, shed_counter) {
+                            delivered[i] = true;
+                        } else {
+                            pending = true;
                         }
-                        return;
                     }
-                    std::thread::sleep(Duration::from_millis(1));
                 }
+                if !pending {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
             }
-        },
+        }
+    }
+}
+
+/// One non-blocking delivery attempt to one subscriber. Returns `true`
+/// when the item is settled for this slot (delivered, shed, or the
+/// subscriber was declared dead) and `false` when the caller should
+/// retry after an unlocked nap.
+fn shed_try_one(
+    slot: &mut SubSlot,
+    item: &ChunkOrMarker<f32>,
+    has_marker: bool,
+    marker_patience: Duration,
+    shed_counter: &Option<Counter>,
+) -> bool {
+    let Some(tx) = &slot.tx else { return true };
+    match tx.try_send(item.clone()) {
+        Ok(()) => {
+            slot.full_since = None;
+            if let Some(g) = &slot.depth {
+                g.add(1);
+            }
+            true
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            slot.tx = None;
+            true
+        }
+        Err(TrySendError::Full(_)) => {
+            let since = *slot.full_since.get_or_insert_with(Instant::now);
+            if !has_marker {
+                // Pure point runs are expendable: shed the whole run
+                // immediately rather than stall the band.
+                let n = item.point_count() as u64;
+                slot.shed += n;
+                if let Some(c) = shed_counter {
+                    c.add(n);
+                }
+                return true;
+            }
+            if since.elapsed() >= marker_patience {
+                // A subscriber that cannot even accept framing markers
+                // is wedged: unsubscribe it.
+                slot.tx = None;
+                let n = item.element_count();
+                slot.shed += n;
+                if let Some(c) = shed_counter {
+                    c.add(n);
+                }
+                return true;
+            }
+            false
+        }
     }
 }
 

@@ -102,6 +102,11 @@ pub struct ServerMetrics {
     pub fanout_shed: Counter,
     /// Queries cancelled by the per-query watchdog.
     pub watchdog_cancellations: Counter,
+    /// Stream-protocol violations observed by the debug-build runtime
+    /// validator (marker bracketing breaks, chunks crossing frame or
+    /// sector edges). Always 0 in release builds, where the validator
+    /// compiles out.
+    pub protocol_violations: Counter,
     /// Trace events and spans evicted from bounded rings (the trace
     /// log plus every flight recorder), synced at scrape time.
     pub trace_dropped: Counter,
@@ -169,6 +174,10 @@ impl ServerMetrics {
                 "Queries cancelled by the per-query watchdog.",
             ),
             (
+                "geostreams_protocol_violation_total",
+                "Stream-protocol violations observed by the debug-build runtime validator.",
+            ),
+            (
                 "geostreams_trace_dropped_total",
                 "Trace events and spans evicted from bounded rings.",
             ),
@@ -210,6 +219,7 @@ impl ServerMetrics {
             fanout_shed: registry.counter("geostreams_fanout_shed_total", &[]),
             watchdog_cancellations: registry
                 .counter("geostreams_watchdog_cancellations_total", &[]),
+            protocol_violations: registry.counter("geostreams_protocol_violation_total", &[]),
             trace_dropped: registry.counter("geostreams_trace_dropped_total", &[]),
             ingest_backoff_ms: registry.counter("geostreams_ingest_backoff_ms_total", &[]),
             query_wall_ns: registry.histogram("geostreams_query_wall_ns", &[]),

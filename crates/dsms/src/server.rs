@@ -263,6 +263,17 @@ impl Dsms {
         if plan.has_errors() {
             return Err(CoreError::PlanRejected(plan.render_errors()));
         }
+        if !plan.certificate.certified {
+            // An analyzer-composed plan that fails certification also
+            // carries `protocol-uncertified` error diagnostics, so this
+            // arm guards the other way in: a report that never ran the
+            // verifier at all (e.g. deserialized from an older peer)
+            // must not slip past admission.
+            return Err(CoreError::PlanRejected(format!(
+                "plan carries no valid protocol certificate: {}",
+                plan.certificate.violations.join("; ")
+            )));
+        }
         let budget = self.memory_budget();
         match plan.peak_buffer_bytes {
             None => Err(CoreError::PlanRejected("plan has no static buffer bound".to_string())),
@@ -522,7 +533,15 @@ fn report_from_per_op(wall: std::time::Duration, per_op: Vec<OpReport>) -> RunRe
     // The root histogram sees one pull per element plus the final None.
     let elements = pull_latency.count.saturating_sub(1);
     // OpStats does not count sector markers; 0 means "not observed".
-    RunReport { wall, elements, points_delivered, sectors: 0, per_op, pull_latency }
+    RunReport {
+        wall,
+        elements,
+        points_delivered,
+        sectors: 0,
+        per_op,
+        pull_latency,
+        protocol_violations: 0,
+    }
 }
 
 /// Chooses the PNG rendering for a format.

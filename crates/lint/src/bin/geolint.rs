@@ -1,0 +1,90 @@
+//! `geolint` — the workspace's first-party static analyzer.
+//!
+//! ```text
+//! geolint [--root DIR] [--allow FILE] [--json]
+//! ```
+//!
+//! Scans the `src/` trees of the first-party crates, applies the rule
+//! catalog (DESIGN.md §14), screens findings through the allowlist
+//! (default: `ROOT/geolint.allow` when present), and prints a report.
+//!
+//! Exit codes: `0` clean, `1` findings remain or the allowlist has
+//! stale entries, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use geostreams_lint::{
+    collect_workspace_sources, lint_files, render_human, render_json, Allowlist,
+};
+
+struct Opts {
+    root: PathBuf,
+    allow: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut root = PathBuf::from(".");
+    let mut allow = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--allow" => {
+                allow = Some(PathBuf::from(args.next().ok_or("--allow needs a file")?));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                return Err("usage: geolint [--root DIR] [--allow FILE] [--json]".to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Opts { root, allow, json })
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+    let files = collect_workspace_sources(&opts.root)?;
+    if files.is_empty() {
+        return Err(format!(
+            "no first-party sources under {} (is --root the repository root?)",
+            opts.root.display()
+        ));
+    }
+    let findings = lint_files(&files);
+    let allow_path = match &opts.allow {
+        Some(p) => Some(p.clone()),
+        None => {
+            let default = opts.root.join("geolint.allow");
+            default.is_file().then_some(default)
+        }
+    };
+    let allow = match allow_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(&p)
+                .map_err(|e| format!("read allowlist {}: {e}", p.display()))?;
+            Allowlist::parse(&text)?
+        }
+        None => Allowlist::default(),
+    };
+    let screened = allow.screen(findings);
+    let report = if opts.json { render_json(&screened) } else { render_human(&screened) };
+    print!("{report}");
+    Ok(screened.kept.is_empty() && screened.unused.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("geolint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! A comment- and string-aware Rust tokenizer.
+//!
+//! Deliberately tiny: geolint's rules need identifier/punctuation
+//! streams with line numbers, not a full grammar. The lexer's one hard
+//! job is to never be fooled by the things `grep` is fooled by —
+//! comments (line, nested block, doc), string literals (plain, raw,
+//! byte), char literals, and lifetimes.
+
+/// Token classes the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `lock`, `Ordering`, ...).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `{`, `!`, ...).
+    Punct,
+    /// String literal of any flavor (the text is the raw source slice).
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (identifiers/numbers verbatim; punctuation is one
+    /// character; literals keep their quotes).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes Rust source, skipping comments and whitespace entirely.
+/// The lexer is lossy by design (no spans, no doc text) but never
+/// misclassifies code inside comments or strings as code.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Nested block comments, per the Rust grammar.
+                let mut depth = 1u32;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (tok, ni, nl) = lex_string(&b, i, line);
+                toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let (tok, ni, nl) = lex_raw_or_byte(&b, i, line);
+                toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                let (tok, ni) = lex_quote(&b, i, line);
+                toks.push(tok);
+                i = ni;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Ident, text: b[start..i].iter().collect(), line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (is_ident_continue(b[i]) || b[i] == '.') {
+                    // Stop a `0..10` range from being eaten as one number.
+                    if b[i] == '.' && i + 1 < n && b[i + 1] == '.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Num, text: b[start..i].iter().collect(), line });
+            }
+            c => {
+                toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// True when position `i` starts `r"`, `r#"`, `b"`, `br"`, `b'`, etc.
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < n && b[j] == '\'' {
+            return true;
+        }
+    }
+    if j < n && b[j] == 'r' {
+        j += 1;
+        while j < n && b[j] == '#' {
+            j += 1;
+        }
+    }
+    j < n && b[j] == '"' && j > i
+}
+
+fn lex_string(b: &[char], start: usize, mut line: u32) -> (Tok, usize, u32) {
+    let tline = line;
+    let n = b.len();
+    let mut i = start + 1;
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    (Tok { kind: TokKind::Str, text: b[start..i.min(n)].iter().collect(), line: tline }, i, line)
+}
+
+fn lex_raw_or_byte(b: &[char], start: usize, mut line: u32) -> (Tok, usize, u32) {
+    let tline = line;
+    let n = b.len();
+    let mut i = start;
+    if b[i] == 'b' {
+        i += 1;
+        if i < n && b[i] == '\'' {
+            // Byte char `b'x'`.
+            let (mut tok, ni) = lex_quote(b, i, line);
+            tok.kind = TokKind::Char;
+            return (tok, ni, line);
+        }
+    }
+    let raw = i < n && b[i] == 'r';
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < n && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    // Opening quote.
+    i += 1;
+    while i < n {
+        if b[i] == '\n' {
+            line += 1;
+            i += 1;
+        } else if b[i] == '\\' && !raw {
+            i += 2;
+        } else if b[i] == '"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while raw && h < hashes && j < n && b[j] == '#' {
+                h += 1;
+                j += 1;
+            }
+            if !raw || h == hashes {
+                i = j;
+                break;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    (Tok { kind: TokKind::Str, text: b[start..i.min(n)].iter().collect(), line: tline }, i, line)
+}
+
+/// Disambiguates char literals from lifetimes, starting at a `'`.
+fn lex_quote(b: &[char], start: usize, line: u32) -> (Tok, usize) {
+    let n = b.len();
+    // `'\x'` escape char.
+    if start + 1 < n && b[start + 1] == '\\' {
+        let mut i = start + 2;
+        while i < n && b[i] != '\'' {
+            i += 1;
+        }
+        i = (i + 1).min(n);
+        return (Tok { kind: TokKind::Char, text: b[start..i].iter().collect(), line }, i);
+    }
+    // `'c'` plain char (exactly one char then a closing quote).
+    if start + 2 < n && b[start + 2] == '\'' && b[start + 1] != '\'' {
+        return (
+            Tok { kind: TokKind::Char, text: b[start..start + 3].iter().collect(), line },
+            start + 3,
+        );
+    }
+    // Otherwise: a lifetime (`'a`, `'static`) — consume the identifier.
+    let mut i = start + 1;
+    while i < n && is_ident_continue(b[i]) {
+        i += 1;
+    }
+    (Tok { kind: TokKind::Lifetime, text: b[start..i].iter().collect(), line }, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r##"
+            // panic!("not real")
+            /* lock().send() /* nested */ still comment */
+            let s = "panic!(\"in a string\")";
+            let r = r#"lock().send("raw")"#;
+            real();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"send".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn block_comment_newlines_counted() {
+        let toks = lex("/* a\nb\nc */ x");
+        assert_eq!(toks[0].line, 3);
+        assert_eq!(toks[0].text, "x");
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture for `relaxed-strong-mix`: one atomic field accessed with
+//! both `Relaxed` and acquire/release orderings (Relaxed sites are
+//! flagged), one pure-Relaxed statistic (not flagged), and a
+//! Relaxed/SeqCst pair (not flagged: SeqCst is not in the strong set).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct State {
+    ready: AtomicBool,
+    hits: AtomicU64,
+    seen: AtomicU64,
+}
+
+impl State {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn peek(&self) -> bool {
+        self.ready.load(Ordering::Relaxed) // flagged: breaks the handoff
+    }
+
+    pub fn count(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed); // fine: pure statistic
+    }
+
+    pub fn snapshot(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed) // fine: pure statistic
+    }
+
+    pub fn note(&self) {
+        self.seen.fetch_add(1, Ordering::Relaxed); // fine: SeqCst reader
+    }
+
+    pub fn dump(&self) -> u64 {
+        self.seen.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,33 @@
+//! Fixture for `unbounded-growth`: a hot-path push with no drain in
+//! the file (flagged) versus pushes bounded by `clear`, `mem::take`,
+//! or reassignment (not flagged).
+
+pub struct Queue {
+    backlog: Vec<u32>,
+    staged: Vec<u32>,
+    held: Vec<u32>,
+    rebuilt: Vec<u32>,
+}
+
+impl Queue {
+    pub fn pump(&mut self, item: u32) {
+        self.backlog.push(item); // flagged: nothing ever shrinks backlog
+    }
+
+    pub fn next_chunk(&mut self, item: u32) {
+        self.staged.push(item); // fine: flush() clears staged
+        self.held.push(item); // fine: flush() mem::takes held
+        self.rebuilt.push(item); // fine: flush() reassigns rebuilt
+    }
+
+    pub fn flush(&mut self) -> Vec<u32> {
+        self.staged.clear();
+        self.rebuilt = Vec::new();
+        std::mem::take(&mut self.held)
+    }
+
+    pub fn cold_path(&mut self, item: u32) {
+        // Not a hot-path function name: growth here is out of scope.
+        self.backlog.push(item);
+    }
+}

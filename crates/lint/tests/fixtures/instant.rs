@@ -1,0 +1,36 @@
+//! Fixture for `instant-in-chunk-loop`: a per-chunk `Instant::now()`
+//! inside a chunk-pulling loop (flagged) versus timing outside the
+//! loop or in a non-chunk loop (not flagged).
+
+use std::time::Instant;
+
+pub trait Source {
+    fn next_chunk(&mut self, budget: usize) -> Option<Vec<u32>>;
+}
+
+pub fn bad_clock_per_chunk(src: &mut dyn Source) -> u128 {
+    let mut total = 0u128;
+    while let Some(chunk) = src.next_chunk(64) {
+        let t0 = Instant::now(); // flagged: syscall per chunk
+        total += chunk.len() as u128 + t0.elapsed().as_nanos();
+    }
+    total
+}
+
+pub fn good_clock_outside_loop(src: &mut dyn Source) -> u128 {
+    let t0 = Instant::now();
+    let mut n = 0u128;
+    while let Some(chunk) = src.next_chunk(64) {
+        n += chunk.len() as u128;
+    }
+    n + t0.elapsed().as_nanos()
+}
+
+pub fn good_non_chunk_loop() -> u128 {
+    let mut total = 0u128;
+    for _ in 0..4 {
+        let t0 = Instant::now(); // fine: not a chunk loop
+        total += t0.elapsed().as_nanos();
+    }
+    total
+}

@@ -1,0 +1,23 @@
+//! Fixture for `lock-order-cycle`: two functions taking the same two
+//! locks in opposite orders (a classic ABBA deadlock).
+
+use std::sync::Mutex;
+
+pub struct Registry {
+    catalog: Mutex<Vec<u32>>,
+    metrics: Mutex<Vec<u32>>,
+}
+
+impl Registry {
+    pub fn ab(&self) -> usize {
+        let catalog = self.catalog.lock().unwrap();
+        let metrics = self.metrics.lock().unwrap();
+        catalog.len() + metrics.len()
+    }
+
+    pub fn ba(&self) -> usize {
+        let metrics = self.metrics.lock().unwrap();
+        let catalog = self.catalog.lock().unwrap();
+        metrics.len() + catalog.len()
+    }
+}

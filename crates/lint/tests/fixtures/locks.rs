@@ -1,0 +1,55 @@
+//! Fixture for `lock-across-blocking`: blocking calls under a live
+//! guard, guard release via `drop`, block-scoped guards, in-statement
+//! guard consumption, and transitive blocking through a free function.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Mutex;
+
+pub struct Pump {
+    subs: Mutex<Vec<SyncSender<u32>>>,
+    slot: Mutex<Option<Receiver<u32>>>,
+}
+
+impl Pump {
+    pub fn bad_send_under_guard(&self, item: u32) {
+        let guard = self.subs.lock().unwrap();
+        for tx in guard.iter() {
+            let _ = tx.send(item); // flagged: guard is live
+        }
+    }
+
+    pub fn good_drop_before_send(&self, item: u32, tx: &SyncSender<u32>) {
+        let guard = self.subs.lock().unwrap();
+        let n = guard.len();
+        drop(guard);
+        for _ in 0..n {
+            let _ = tx.send(item); // fine: guard dropped
+        }
+    }
+
+    pub fn good_block_scoped_snapshot(&self, item: u32) {
+        let live: Vec<SyncSender<u32>> = {
+            let guard = self.subs.lock().unwrap();
+            guard.iter().cloned().collect()
+        };
+        for tx in live {
+            let _ = tx.send(item); // fine: guard died with the block
+        }
+    }
+
+    pub fn good_take_consumes_guard(&self) -> Option<u32> {
+        let rx_opt = self.slot.lock().unwrap().take();
+        let rx = rx_opt.as_ref()?;
+        rx.recv().ok() // fine: the binding is the receiver, not a guard
+    }
+
+    pub fn bad_transitive_block(&self) {
+        let guard = self.subs.lock().unwrap();
+        nap(); // flagged: nap() sleeps
+        let _ = guard.len();
+    }
+}
+
+fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

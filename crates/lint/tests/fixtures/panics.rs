@@ -1,0 +1,42 @@
+//! Fixture for `panic-in-lib`: bad sites in library code, plus the
+//! shapes that must NOT be flagged (tests, comments, strings).
+
+pub fn bad_panic() {
+    panic!("boom");
+}
+
+pub fn bad_todo() -> u32 {
+    todo!()
+}
+
+pub fn bad_unimplemented() {
+    unimplemented!()
+}
+
+pub fn bad_exit() {
+    std::process::exit(2);
+}
+
+pub fn good_commented() {
+    // panic!("only a comment")
+    /* unimplemented!() inside a block comment */
+    let _msg = "panic!(\"only a string\")";
+    let _raw = r#"todo!() in a raw string"#;
+}
+
+#[test]
+fn good_test_fn_may_panic() {
+    panic!("tests are allowed to panic");
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn helper_in_test_mod() {
+        panic!("test-module helpers may panic too");
+    }
+
+    #[test]
+    fn asserts() {
+        helper_in_test_mod();
+    }
+}

@@ -1,0 +1,99 @@
+//! Engine acceptance tests: every rule against its fixture, asserting
+//! both the bad sites it must catch and the good shapes it must not
+//! flag. Fixtures live in `tests/fixtures/` (not compiled as tests).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use geostreams_lint::{lint_files, Finding};
+
+fn lint_fixture(name: &str, src: &str) -> Vec<Finding> {
+    // Fixtures pose as core library sources so path-scoped rules apply.
+    lint_files(&[(format!("crates/core/src/{name}"), src.to_string())])
+}
+
+fn rules_hit<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn panic_rule_catches_lib_sites_only() {
+    let findings = lint_fixture("panics.rs", include_str!("fixtures/panics.rs"));
+    let hits = rules_hit(&findings, "panic-in-lib");
+    let fns: Vec<&str> = hits.iter().map(|f| f.function.as_str()).collect();
+    assert_eq!(fns, vec!["bad_panic", "bad_todo", "bad_unimplemented", "bad_exit"]);
+}
+
+#[test]
+fn panic_rule_skips_bin_sources() {
+    let findings = lint_files(&[(
+        "crates/core/src/bin/tool.rs".to_string(),
+        "fn main() { std::process::exit(1); }".to_string(),
+    )]);
+    assert!(rules_hit(&findings, "panic-in-lib").is_empty());
+}
+
+#[test]
+fn lock_rule_separates_guarded_sends_from_safe_shapes() {
+    let findings = lint_fixture("locks.rs", include_str!("fixtures/locks.rs"));
+    let hits = rules_hit(&findings, "lock-across-blocking");
+    let fns: Vec<&str> = hits.iter().map(|f| f.function.as_str()).collect();
+    assert_eq!(fns, vec!["bad_send_under_guard", "bad_transitive_block"]);
+    // The transitive hit comes through the may-block fixpoint on nap().
+    assert!(hits[1].message.contains("nap"));
+}
+
+#[test]
+fn lock_order_rule_finds_the_abba_cycle() {
+    let findings = lint_fixture("lock_order.rs", include_str!("fixtures/lock_order.rs"));
+    let hits = rules_hit(&findings, "lock-order-cycle");
+    assert_eq!(hits.len(), 1, "one canonical report per cycle: {hits:?}");
+    assert!(hits[0].message.contains("catalog") && hits[0].message.contains("metrics"));
+}
+
+#[test]
+fn lock_order_rule_ignores_non_runtime_crates() {
+    let findings = lint_files(&[(
+        "crates/satsim/src/lock_order.rs".to_string(),
+        include_str!("fixtures/lock_order.rs").to_string(),
+    )]);
+    assert!(rules_hit(&findings, "lock-order-cycle").is_empty());
+}
+
+#[test]
+fn growth_rule_requires_a_drain_somewhere_in_the_file() {
+    let findings = lint_fixture("growth.rs", include_str!("fixtures/growth.rs"));
+    let hits = rules_hit(&findings, "unbounded-growth");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].function, "pump");
+    assert!(hits[0].message.contains("backlog"));
+}
+
+#[test]
+fn instant_rule_only_fires_inside_chunk_loops() {
+    let findings = lint_fixture("instant.rs", include_str!("fixtures/instant.rs"));
+    let hits = rules_hit(&findings, "instant-in-chunk-loop");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].function, "bad_clock_per_chunk");
+}
+
+#[test]
+fn atomics_rule_flags_relaxed_sites_of_mixed_fields() {
+    let findings = lint_fixture("atomics.rs", include_str!("fixtures/atomics.rs"));
+    let hits = rules_hit(&findings, "relaxed-strong-mix");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].function, "peek");
+    assert!(hits[0].message.contains("ready"));
+}
+
+#[test]
+fn findings_are_sorted_and_stable() {
+    let files = vec![
+        ("crates/core/src/b.rs".to_string(), "pub fn f() { panic!() }".to_string()),
+        ("crates/core/src/a.rs".to_string(), "pub fn g() { todo!() }".to_string()),
+    ];
+    let a = lint_files(&files);
+    let b = lint_files(&files);
+    assert_eq!(a, b);
+    assert_eq!(a[0].file, "crates/core/src/a.rs");
+    assert_eq!(a[1].file, "crates/core/src/b.rs");
+}

@@ -1,0 +1,44 @@
+//! Self-lint: the committed tree must be clean under the committed
+//! allowlist, with zero drift — the same gate `scripts/lint_gate.sh`
+//! applies in CI, run here so `cargo test` alone catches regressions.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+
+use geostreams_lint::{collect_workspace_sources, lint_files, render_json, Allowlist};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn workspace_is_clean_under_the_committed_allowlist() {
+    let root = repo_root();
+    let files = collect_workspace_sources(&root).expect("collect sources");
+    assert!(files.len() > 20, "expected the whole workspace, got {} files", files.len());
+    let allow_text =
+        std::fs::read_to_string(root.join("geolint.allow")).expect("read geolint.allow");
+    let allow = Allowlist::parse(&allow_text).expect("parse geolint.allow");
+    let screened = allow.screen(lint_files(&files));
+    assert!(
+        screened.kept.is_empty(),
+        "unallowlisted geolint findings:\n{}",
+        screened.kept.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+    assert!(
+        screened.unused.is_empty(),
+        "stale geolint.allow entries (drift): {:?}",
+        screened.unused
+    );
+    assert!(screened.allowed > 0, "the committed allowlist should be exercised");
+}
+
+#[test]
+fn self_lint_json_is_byte_stable() {
+    let root = repo_root();
+    let files = collect_workspace_sources(&root).expect("collect sources");
+    let a = render_json(&Allowlist::default().screen(lint_files(&files)));
+    let b = render_json(&Allowlist::default().screen(lint_files(&files)));
+    assert_eq!(a, b);
+}

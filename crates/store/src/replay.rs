@@ -111,7 +111,25 @@ impl Archive {
     }
 }
 
+/// Archive replay is a source: tiles are decoded and emitted in lattice
+/// order with a synthesized, well-bracketed marker sequence.
+pub fn replay_contract() -> geostreams_core::ops::ProtocolContract {
+    geostreams_core::ops::ProtocolContract::source("replay-from-archive")
+}
+
+/// A splice is a source to everything downstream: replay hands off to
+/// live exactly once at the watermark, and both halves emit bracketed,
+/// lattice-ordered sectors (the seam is deduplicated by `StreamRepair`).
+pub fn splice_contract() -> geostreams_core::ops::ProtocolContract {
+    geostreams_core::ops::ProtocolContract::source("replay-hybrid")
+}
+
 impl ArchiveReplay {
+    /// Protocol contract (see [`replay_contract`]).
+    pub fn declared_contract(&self) -> geostreams_core::ops::ProtocolContract {
+        replay_contract()
+    }
+
     pub(crate) fn from_plan(
         plan: ReplayPlan,
         cache: Arc<Mutex<TileCache>>,
@@ -359,6 +377,11 @@ impl SpliceStream {
             on_switch,
             stats: OpStats::default(),
         }
+    }
+
+    /// Protocol contract (see [`splice_contract`]).
+    pub fn declared_contract(&self) -> geostreams_core::ops::ProtocolContract {
+        splice_contract()
     }
 }
 

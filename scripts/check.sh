@@ -12,34 +12,13 @@ cargo test -q --offline --workspace
 cargo clippy --offline --all-targets -- -D warnings
 cargo fmt --check
 
-# Forbidden-pattern lint: non-test library code of the first-party
-# crates must not panic or exit. Everything before the first
-# `#[cfg(test)]` marker in each file is library code; `src/bin/`
-# binaries may exit and are skipped. clippy's unwrap/expect deny
-# covers core and dsms; this catches the remaining crates and the
-# macro forms clippy has no lint for.
-lint_failed=0
-for crate in core dsms geo raster satsim store bench; do
-  dir="crates/$crate/src"
-  [ -d "$dir" ] || continue
-  while IFS= read -r file; do
-    case "$file" in */src/bin/*) continue ;; esac
-    hits=$(awk '
-      /#\[cfg\(test\)\]/ { exit }
-      /panic!|todo!\(|unimplemented!\(|std::process::exit/ { print FILENAME ":" FNR ": " $0 }
-    ' "$file")
-    if [ -n "$hits" ]; then
-      echo "forbidden pattern in non-test library code:" >&2
-      echo "$hits" >&2
-      lint_failed=1
-    fi
-  done < <(find "$dir" -name '*.rs')
-done
-if [ "$lint_failed" -ne 0 ]; then
-  echo "source lint failed (panic!/todo!/unimplemented!/process::exit in library code)" >&2
-  exit 1
-fi
-echo "source lint OK"
+# Static analysis: geolint (crates/lint) replaces the old awk
+# forbidden-pattern pass with a comment/string-aware tokenizer and the
+# full rule catalog of DESIGN.md §14 — panic-in-lib, lock-across-
+# blocking, lock-order-cycle, unbounded-growth, instant-in-chunk-loop,
+# relaxed-strong-mix — gated through the justified allowlist in
+# geolint.allow (stale entries fail the gate too).
+scripts/lint_gate.sh
 
 # Seeded chaos suite: acceptance tests plus a run-twice-and-diff
 # determinism check over the fault-injected runtime.

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# geolint gate: the first-party static analyzer over its own workspace.
+#
+# Three checks, all offline (geolint is an in-workspace crate with no
+# dependencies):
+#
+#   1. Self-run: the tree is clean under the committed allowlist
+#      (exit 1 also covers allowlist drift — entries matching nothing).
+#   2. Run-twice JSON diff: the report is byte-deterministic, so the
+#      gate can never flake on ordering.
+#   3. Engine suite: the rule fixtures and the self-lint test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q --release --offline -p geostreams-lint
+
+GEOLINT=target/release/geolint
+
+echo "== geolint self-run (allowlist: geolint.allow) =="
+"$GEOLINT" --root . --allow geolint.allow
+
+echo "== geolint determinism (run-twice JSON diff) =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+"$GEOLINT" --root . --allow geolint.allow --json > "$tmpdir/run1.json"
+"$GEOLINT" --root . --allow geolint.allow --json > "$tmpdir/run2.json"
+diff -u "$tmpdir/run1.json" "$tmpdir/run2.json"
+echo "byte-identical across runs"
+
+echo "== geolint engine suite =="
+cargo test -q --offline -p geostreams-lint
+
+echo "lint gate OK"

@@ -65,6 +65,12 @@ fn degraded_downlink_completes_with_partial_frames() {
     for r in &results {
         let r = r.as_ref().unwrap();
         assert!(!r.cancelled);
+        // Even over a damaged downlink, the repaired streams the
+        // operators actually saw obeyed the §12 bracketing protocol:
+        // the debug-build runtime validator observed zero violations.
+        if let Some(report) = &r.report {
+            assert_eq!(report.protocol_violations, 0, "query {} violated the protocol", r.id);
+        }
         // The repair stage quantified the damage instead of hiding it.
         let repair = &r.repair[0];
         assert!(repair.stats.completeness() < 1.0, "8% row drops must show");
@@ -93,6 +99,9 @@ fn degraded_downlink_completes_with_partial_frames() {
     assert!(metrics.duplicates_dropped.get() > 0);
     let rendered = metrics.render_prometheus();
     assert!(rendered.contains("geostreams_gaps_detected_total"));
+    // The protocol-violation counter is exposed and stayed at zero.
+    assert!(rendered.contains("geostreams_protocol_violation_total"));
+    assert_eq!(metrics.protocol_violations.get(), 0);
     assert!(rendered.contains("geostreams_partial_frames_total"));
 
     // No thread leaks: everything the runtime spawned was joined.

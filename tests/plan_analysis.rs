@@ -299,3 +299,56 @@ fn buffer_overrun_flags_excess_only_for_bounded_plans() {
     let unbounded = report("reproject(nolat, \"utm:10N\")");
     assert!(!unbounded.buffer_overrun(u64::MAX));
 }
+
+#[test]
+fn every_admissible_plan_carries_a_protocol_certificate() {
+    // ISSUE 7: admission is gated on a composed ProtocolCertificate.
+    // Every variant exercised by this suite must certify, with one
+    // stage recorded per operator on the path.
+    let queries = [
+        "g1",
+        "restrict_space(g1, bbox(-123, 37, -122, 38), \"latlon\")",
+        "stretch(g1, \"linear\")",
+        "stretch(g1, \"linear\", \"image\")",
+        "focal(g1, \"mean\", 3)",
+        "delay(g1, 1)",
+        "compose(g1, \"+\", g2)",
+        "agg_time(g1, \"mean\", 2)",
+    ];
+    for q in queries {
+        let r = report(q);
+        assert!(!r.has_errors(), "{q} unexpectedly has errors");
+        assert!(r.certificate.certified, "{q} must certify: {:?}", r.certificate.violations);
+        assert!(r.certificate.violations.is_empty(), "{q}: {:?}", r.certificate.violations);
+        assert!(
+            r.certificate.stages.len() >= r.per_op.len(),
+            "{q}: every operator contributes a certificate stage"
+        );
+    }
+    // Registration against a live DSMS attaches the same certificate
+    // to the handle the runtime keeps.
+    let server = Dsms::over_catalog(catalog());
+    let h = server.register_text("stretch(g1, \"linear\")", OutputFormat::Stats, 1).unwrap();
+    assert!(h.plan.certificate.certified);
+}
+
+#[test]
+fn explain_exposes_the_protocol_certificate() {
+    let server = Arc::new(Dsms::over_scanner(&goes_like(32, 16, 7), 1));
+    let resp = server
+        .handle_http("GET /explain?q=stretch(goes-sim.b1-vis,+%22linear%22)&format=stats HTTP/1.1");
+    let text = String::from_utf8_lossy(&resp).to_string();
+    let body_start = text.find("\r\n\r\n").unwrap() + 4;
+    let body: serde_json::Value = serde_json::from_str(&text[body_start..]).unwrap();
+    let cert = body
+        .get("report")
+        .and_then(|r| r.get("certificate"))
+        .expect("report.certificate present in /explain JSON");
+    assert_eq!(cert.get("certified"), Some(&serde_json::Value::Bool(true)), "{cert:?}");
+    match cert.get("stages").expect("certificate.stages") {
+        serde_json::Value::Array(stages) => {
+            assert!(stages.len() >= 2, "source + stretch at minimum: {stages:?}");
+        }
+        other => panic!("certificate.stages should be an array: {other:?}"),
+    }
+}

@@ -11,8 +11,8 @@
 use geostreams::core::model::{drain_chunked, GeoStream, StreamRepair, TimeSet, VecStream};
 use geostreams::core::obs::{PipelineObs, TracedStream};
 use geostreams::core::ops::{
-    CastTransform, Compose, GammaOp, JoinStrategy, MapTransform, Shed, ShedPolicy, SpatialRestrict,
-    TemporalRestrict, ValueFunc, ValueRestrict,
+    CastTransform, ChunkProtocolChecker, Compose, GammaOp, JoinStrategy, MapTransform, Shed,
+    ShedPolicy, SpatialRestrict, TemporalRestrict, ValueFunc, ValueRestrict,
 };
 use geostreams::geo::{Coord, Crs, LatticeGeoref, Polygon, Rect, Region};
 use geostreams::satsim::airborne::airborne_camera;
@@ -290,4 +290,65 @@ fn stacked_pipeline_matches_scalar() {
             MapTransform::<_, f32>::new(restricted, ValueFunc::Normalize { lo: 0.0, hi: 400.0 });
         Shed::new(transformed, ShedPolicy::Rows, 2)
     });
+}
+
+// ---------------------------------------------------------------------
+// Runtime protocol validation (ISSUE 7)
+// ---------------------------------------------------------------------
+
+/// Drives every chunk of a pipeline through the debug-build protocol
+/// checker at every pull budget and requires a clean run.
+fn assert_protocol_clean<S, F>(label: &str, make: F)
+where
+    S: GeoStream<V = f32>,
+    F: Fn() -> S,
+{
+    for &budget in BUDGETS {
+        let mut s = make();
+        let mut checker = ChunkProtocolChecker::new();
+        while let Some(item) = s.next_chunk(budget) {
+            checker.observe(&item);
+        }
+        assert_eq!(
+            checker.violations(),
+            0,
+            "{label} violated the chunk protocol at budget {budget}"
+        );
+    }
+}
+
+#[test]
+fn chunked_pipelines_are_protocol_clean() {
+    // Sources, the repair layer over a damaged downlink, and the full
+    // stacked pipeline must all satisfy the §12 bracketing/chunking
+    // protocol as observed by the runtime validator.
+    assert_protocol_clean("vec-fixture", vec_fixture);
+    assert_protocol_clean("goes-scanner", goes_fixture);
+    assert_protocol_clean("repair-over-chaos", || {
+        StreamRepair::new(ChaosStream::new(goes_fixture(), nasty_plan(), 1234))
+    });
+    assert_protocol_clean("stacked-pipeline", || {
+        let chaos = ChaosStream::new(goes_fixture(), nasty_plan(), 7);
+        let repaired = StreamRepair::new(chaos);
+        let restricted =
+            SpatialRestrict::new(repaired, Region::Rect(Rect::new(-0.1, -0.1, 0.12, 0.12)));
+        let transformed =
+            MapTransform::<_, f32>::new(restricted, ValueFunc::Normalize { lo: 0.0, hi: 400.0 });
+        Shed::new(transformed, ShedPolicy::Rows, 2)
+    });
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn validator_catches_unrepaired_damage() {
+    // Sanity check that the validator can actually fail: a downlink
+    // that loses every end marker, pulled WITHOUT the repair layer,
+    // must register bracketing violations in debug builds.
+    let plan = FaultPlan::seeded(5).with_dropped_end_markers(1.0);
+    let mut s = ChaosStream::new(goes_fixture(), plan, 3);
+    let mut checker = ChunkProtocolChecker::new();
+    while let Some(item) = s.next_chunk(64) {
+        checker.observe(&item);
+    }
+    assert!(checker.violations() > 0, "dropping all end markers must trip the validator");
 }
