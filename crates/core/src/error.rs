@@ -32,6 +32,13 @@ pub enum CoreError {
     /// The tiled raster archive failed (I/O, corrupt segment record,
     /// or an unreadable replay slice).
     Storage(String),
+    /// Stored bytes failed an integrity check (CRC mismatch on a WAL
+    /// frame, segment record, or tile payload). Unlike [`Storage`],
+    /// this means the data on disk is provably not what was written —
+    /// it must never be decoded into pixels.
+    ///
+    /// [`Storage`]: CoreError::Storage
+    Corruption(String),
 }
 
 impl fmt::Display for CoreError {
@@ -47,6 +54,7 @@ impl fmt::Display for CoreError {
             CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             CoreError::PlanRejected(msg) => write!(f, "plan rejected: {msg}"),
             CoreError::Storage(msg) => write!(f, "storage error: {msg}"),
+            CoreError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
         }
     }
 }

@@ -242,6 +242,25 @@ pub fn run_supervised(
         if let Some(m) = &config.metrics {
             archive.attach_metrics(StoreMetrics::register(m.registry()));
         }
+        // Surface what crash recovery did when the archive was opened:
+        // the report also carries the WAL-committed per-band watermarks
+        // that `archive.watermark()` was re-anchored to, which is where
+        // hybrid splices pick up their handoff point below.
+        let report = archive.recovery_report();
+        if !report.clean() {
+            eprintln!(
+                "archive recovery: {} frames restored, {} frames lost (uncommitted), \
+                 {} bytes discarded, {} segments repaired, {} truncated, {} removed; \
+                 resuming at watermarks {:?}",
+                report.frames_recovered,
+                report.frames_discarded,
+                report.bytes_discarded,
+                report.segments_repaired,
+                report.segments_truncated,
+                report.segments_removed,
+                report.watermarks,
+            );
+        }
     }
     let store_metrics = match (&config.archive, &config.metrics) {
         (Some(_), Some(m)) => Some(StoreMetrics::register(m.registry())),
@@ -478,7 +497,19 @@ pub fn run_supervised(
                 let last = progress.last_sector.load(Ordering::Relaxed);
                 start_sector = start_sector.max(last);
                 let exp = attempt.saturating_sub(1).min(16);
-                let backoff = backoff_base.saturating_mul(1u32 << exp).min(backoff_cap);
+                // Bounded jitter: SplitMix64 over (band, attempt) maps
+                // to a factor in [0.5, 1.5), so bands killed by the same
+                // fault burst fan their restarts out instead of hammering
+                // the shared archive lock in lockstep — while staying
+                // deterministic for replayable supervision tests.
+                let mut z = ((u64::from(band_id) << 32) | u64::from(attempt))
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let jitter = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64;
+                let backoff =
+                    backoff_base.saturating_mul(1u32 << exp).min(backoff_cap).mul_f64(jitter);
                 if let Some(m) = &metrics {
                     m.ingest_backoff_ms.add(backoff.as_millis() as u64);
                 }

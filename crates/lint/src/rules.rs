@@ -191,6 +191,7 @@ pub fn run_all(files: &[SourceFile], out: &mut Vec<Finding>) {
     rule_unbounded_growth(files, out);
     rule_instant_in_chunk_loop(files, out);
     rule_relaxed_strong_mix(files, out);
+    rule_raw_file_io_in_store(files, out);
 }
 
 /// True for library source files (skips `src/bin/` entry points, which
@@ -895,4 +896,118 @@ fn receiver_path(toks: &[Tok], i: usize) -> String {
     }
     parts.reverse();
     parts.join(".")
+}
+
+/// Token index ranges of `#[cfg(test)] mod { ... }` bodies.
+fn cfg_test_mod_ranges(toks: &[Tok]) -> Vec<Range<usize>> {
+    let n = toks.len();
+    let mut ranges = Vec::new();
+    let mut pending_cfg_test = false;
+    let mut i = 0usize;
+    while i < n {
+        let t = &toks[i];
+        if t.is_punct('#') && i + 1 < n && toks[i + 1].is_punct('[') {
+            let mut j = i + 2;
+            let mut bd = 1usize;
+            let mut ids: Vec<&str> = Vec::new();
+            while j < n && bd > 0 {
+                if toks[j].is_punct('[') {
+                    bd += 1;
+                } else if toks[j].is_punct(']') {
+                    bd -= 1;
+                } else if toks[j].kind == TokKind::Ident {
+                    ids.push(toks[j].text.as_str());
+                }
+                j += 1;
+            }
+            if ids.first() == Some(&"cfg") && ids.contains(&"test") {
+                pending_cfg_test = true;
+            }
+            i = j;
+            continue;
+        }
+        if t.is_ident("mod") && pending_cfg_test {
+            let mut j = i + 1;
+            while j < n && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j < n && toks[j].is_punct('{') {
+                let start = j + 1;
+                let mut bd = 1usize;
+                let mut k = start;
+                while k < n && bd > 0 {
+                    if toks[k].is_punct('{') {
+                        bd += 1;
+                    } else if toks[k].is_punct('}') {
+                        bd -= 1;
+                    }
+                    k += 1;
+                }
+                ranges.push(start..k);
+                pending_cfg_test = false;
+                i = k;
+                continue;
+            }
+            pending_cfg_test = false;
+        } else if t.is_punct('{') || t.is_punct(';') {
+            pending_cfg_test = false;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// `raw-file-io-in-store`: direct `std::fs` / `File::` / `OpenOptions`
+/// use in `crates/store` library code outside `vfs.rs`. Every byte the
+/// archive touches must flow through the `Vfs` trait — a raw
+/// filesystem call is invisible to the crash harness's fault injection
+/// (torn writes, fsync failures, bit flips) and to the recovery
+/// accounting, so the durability contract it participates in is
+/// untested. Test code may use `std::fs` freely to set up and corrupt
+/// fixtures.
+fn rule_raw_file_io_in_store(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let in_scope = |p: &str| p.contains("crates/store/src/") && !p.ends_with("vfs.rs");
+    for f in files.iter().filter(|f| in_scope(&f.path)) {
+        let toks = &f.toks;
+        let test_ranges = cfg_test_mod_ranges(toks);
+        for i in 0..toks.len() {
+            if test_ranges.iter().any(|r| r.contains(&i)) {
+                continue;
+            }
+            let hit = if toks[i].is_ident("fs")
+                && i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("std")
+            {
+                Some("`std::fs`")
+            } else if toks[i].is_ident("File")
+                && i + 2 < toks.len()
+                && toks[i + 1].is_punct(':')
+                && toks[i + 2].is_punct(':')
+            {
+                Some("`File::`")
+            } else if toks[i].is_ident("OpenOptions") {
+                Some("`OpenOptions`")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                match innermost(&f.fns, i) {
+                    Some(fi) if f.fns[fi].is_test => {}
+                    located => out.push(Finding {
+                        rule: "raw-file-io-in-store",
+                        file: f.path.clone(),
+                        line: toks[i].line,
+                        function: located.map(|fi| f.fns[fi].name.clone()).unwrap_or_default(),
+                        message: format!(
+                            "{what} in crates/store outside vfs.rs; route archive I/O through \
+                             the `Vfs` trait so fault injection and recovery accounting see \
+                             every byte"
+                        ),
+                    }),
+                }
+            }
+        }
+    }
 }

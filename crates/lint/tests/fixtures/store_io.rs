@@ -1,0 +1,36 @@
+//! Fixture for `raw-file-io-in-store`: raw filesystem calls in store
+//! library code must be flagged; the same calls under `#[cfg(test)]`
+//! (or routed through the `Vfs` trait) must not.
+
+pub fn bad_std_fs(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+
+pub fn bad_file_open(path: &std::path::Path) -> std::io::Result<()> {
+    let _f = File::open(path)?;
+    Ok(())
+}
+
+pub fn bad_open_options(path: &std::path::Path) -> std::io::Result<()> {
+    let _f = OpenOptions::new().append(true).open(path)?;
+    Ok(())
+}
+
+pub fn good_vfs_read(vfs: &dyn Vfs, path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    vfs.read(path)
+}
+
+pub fn good_vfs_file(file: &mut dyn VfsFile, data: &[u8]) -> std::io::Result<()> {
+    file.append(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::fs;
+
+    #[test]
+    fn tests_may_touch_the_real_filesystem() {
+        let _ = fs::read("fixture");
+        let _ = std::fs::write("fixture", b"x");
+    }
+}

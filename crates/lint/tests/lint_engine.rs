@@ -97,3 +97,19 @@ fn findings_are_sorted_and_stable() {
     assert_eq!(a[0].file, "crates/core/src/a.rs");
     assert_eq!(a[1].file, "crates/core/src/b.rs");
 }
+
+#[test]
+fn raw_io_rule_guards_the_store_behind_vfs() {
+    let src = include_str!("fixtures/store_io.rs").to_string();
+    // Posed as store library code, the raw calls are violations.
+    let findings = lint_files(&[("crates/store/src/store_io.rs".to_string(), src.clone())]);
+    let hits = rules_hit(&findings, "raw-file-io-in-store");
+    let fns: Vec<&str> = hits.iter().map(|f| f.function.as_str()).collect();
+    assert_eq!(fns, vec!["bad_std_fs", "bad_file_open", "bad_open_options"], "{hits:?}");
+    // vfs.rs itself is the one allowed home for raw filesystem calls.
+    let as_vfs = lint_files(&[("crates/store/src/vfs.rs".to_string(), src.clone())]);
+    assert!(rules_hit(&as_vfs, "raw-file-io-in-store").is_empty());
+    // Other crates are out of scope for this rule.
+    let as_core = lint_files(&[("crates/core/src/store_io.rs".to_string(), src)]);
+    assert!(rules_hit(&as_core, "raw-file-io-in-store").is_empty());
+}

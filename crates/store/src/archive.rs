@@ -10,12 +10,32 @@
 //! chain — each segment is self-contained, which is what makes
 //! segment-granular eviction safe (no surviving frame ever needs an
 //! evicted predecessor).
+//!
+//! ## Durability
+//!
+//! Every byte destined for a segment is first logged to a write-ahead
+//! log ([`crate::wal`]): the frame is the atomic unit (one `FrameRedo`
+//! record, one segment append), groups of
+//! [`ArchiveConfig::group_commit_frames`] frames are sealed by a commit
+//! record, and the WAL rotates at every segment roll (the closing
+//! segment is fsynced before the WAL covering it is deleted, so sealed
+//! segments are durable without their log). [`Archive::open`] replays
+//! the newest WAL: committed frames are guaranteed recovered —
+//! rewritten from redo bytes if the segment tail was torn or corrupted
+//! — and anything after the last commit is discarded, bounding crash
+//! loss to at most one uncommitted group. The outcome is summarized in
+//! a [`RecoveryReport`].
 
 use crate::codec::{encode_stripe, Codec};
 use crate::metrics::StoreMetrics;
 use crate::replay::TileCache;
 use crate::segment::{
-    parse_segment_id, scan_segment, segment_path, Record, SegmentWriter, TileHeader,
+    encode_band_record, encode_sector_record, encode_tile_record, parse_segment_id, scan_segment,
+    segment_path, Record, SegmentWriter, TileHeader, MAGIC,
+};
+use crate::vfs::{crc32, StdVfs, Vfs, VfsFile};
+use crate::wal::{
+    parse_wal_id, scan_wal, wal_path, BandWatermark, FsyncPolicy, WalRecord, WalWriter,
 };
 use geostreams_core::model::{ChunkOrMarker, Element, FrameInfo, SectorInfo, StreamSchema};
 use geostreams_core::query::{ReplayEstimate, ReplayProvider};
@@ -23,8 +43,7 @@ use geostreams_core::{CoreError, Result};
 use geostreams_geo::{CellBox, Rect};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::fs::File;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Configuration of an [`Archive`].
@@ -50,6 +69,14 @@ pub struct ArchiveConfig {
     pub codec: Codec,
     /// Decoded-tile cache capacity in tiles (default 4096).
     pub tile_cache_tiles: usize,
+    /// Frames per WAL commit group (default 8): a crash loses at most
+    /// this many acknowledged frames per band set.
+    pub group_commit_frames: u32,
+    /// When the WAL fsyncs (default [`FsyncPolicy::OnCommit`]).
+    pub fsync: FsyncPolicy,
+    /// File system the archive talks through — [`StdVfs`] in
+    /// production, [`crate::vfs::ChaosVfs`] under fault injection.
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl ArchiveConfig {
@@ -64,6 +91,9 @@ impl ArchiveConfig {
             keyframe_interval: 16,
             codec: Codec::default(),
             tile_cache_tiles: 4096,
+            group_commit_frames: 8,
+            fsync: FsyncPolicy::OnCommit,
+            vfs: Arc::new(StdVfs),
         }
     }
 }
@@ -78,6 +108,8 @@ pub(crate) struct TileRef {
     pub(crate) cells: CellBox,
     pub(crate) keyframe: bool,
     pub(crate) codec: Codec,
+    /// CRC-32 of the payload, re-verified on every read.
+    pub(crate) crc: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -132,11 +164,19 @@ struct Totals {
     tiles: u64,
     evicted_segments: u64,
     dropped_points: u64,
+    wal_bytes: u64,
+    wal_commits: u64,
 }
 
 struct Inner {
     writer: Option<SegmentWriter>,
     next_segment: u64,
+    wal: Option<WalWriter>,
+    next_wal: u64,
+    /// Frames appended since the last WAL commit.
+    group_open_frames: u32,
+    /// True when the WAL holds records not yet sealed by a commit.
+    wal_dirty: bool,
     segments: BTreeMap<u64, SegmentMeta>,
     index: BTreeMap<(u16, u64), SectorEntry>,
     band_meta: HashMap<u16, StreamSchema>,
@@ -144,9 +184,53 @@ struct Inner {
     watermarks: HashMap<u16, (u64, u64)>,
     frames_indexed: u64,
     totals: Totals,
+    recovery: RecoveryReport,
     /// Live retention budget `(max_bytes, max_frames)`; starts from the
     /// config and may be re-tuned at runtime ([`Archive::set_retention`]).
     retention: (Option<u64>, Option<u64>),
+}
+
+/// What [`Archive::open`] had to do to bring the directory back to a
+/// consistent state (all-zero on a clean open). Served on `/archive`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RecoveryReport {
+    /// Committed frames whose redo records were verified or re-applied.
+    pub frames_recovered: u64,
+    /// Uncommitted frames discarded (the open group at crash time).
+    pub frames_discarded: u64,
+    /// Bytes discarded across WAL tails, segment tails, and removed
+    /// files (torn, corrupt, or uncommitted).
+    pub bytes_discarded: u64,
+    /// Segments whose damaged tail was rewritten from WAL redo bytes.
+    pub segments_repaired: u64,
+    /// Segments truncated to their last valid or committed byte.
+    pub segments_truncated: u64,
+    /// Segment files removed outright (no committed byte survived).
+    pub segments_removed: u64,
+    /// Committed redo records skipped because their segment file is
+    /// gone (evicted by retention after the commit).
+    pub missing_segments: u64,
+    /// Torn (incomplete trailing) records seen across WAL and segments.
+    pub torn_tails: u64,
+    /// CRC-failed or unparseable records seen across WAL and segments.
+    pub corrupt_records: u64,
+    /// Commit records found in the replayed WAL.
+    pub wal_commits_seen: u64,
+    /// Per-band watermarks after recovery (committed WAL watermarks
+    /// merged with the rebuilt index) — what the runtime re-anchors to.
+    pub watermarks: Vec<BandWatermark>,
+}
+
+impl RecoveryReport {
+    /// True when recovery found nothing to repair or discard.
+    pub fn clean(&self) -> bool {
+        self.bytes_discarded == 0
+            && self.segments_repaired == 0
+            && self.segments_truncated == 0
+            && self.segments_removed == 0
+            && self.torn_tails == 0
+            && self.corrupt_records == 0
+    }
 }
 
 /// Aggregate archive statistics (the `GET /archive` payload).
@@ -156,7 +240,8 @@ pub struct ArchiveStats {
     pub segments: u64,
     /// Bytes currently on disk across live segments.
     pub live_bytes: u64,
-    /// Compressed bytes ever appended (monotone).
+    /// Compressed bytes ever appended (monotone; segments only, the
+    /// WAL is accounted separately in `wal_bytes`).
     pub bytes_written: u64,
     /// Raw pixel bytes represented by archived points (4 bytes each).
     pub raw_bytes: u64,
@@ -172,6 +257,12 @@ pub struct ArchiveStats {
     pub dropped_points: u64,
     /// Raw bytes / written bytes (0 when nothing written).
     pub compression_ratio: f64,
+    /// Write-ahead log bytes ever written (monotone).
+    pub wal_bytes: u64,
+    /// WAL group commits ever written (monotone).
+    pub wal_commits: u64,
+    /// What the last [`Archive::open`] recovered.
+    pub recovery: RecoveryReport,
 }
 
 /// The tiled raster archive.
@@ -192,13 +283,22 @@ impl std::fmt::Debug for Archive {
     }
 }
 
+impl Drop for Archive {
+    fn drop(&mut self) {
+        // Graceful close seals the open group; a real crash skips this
+        // and recovery bounds the loss instead.
+        let _ = self.flush();
+    }
+}
+
 impl Archive {
     /// Creates a fresh archive; refuses a directory that already holds
     /// segments (use [`Archive::open`] for those).
     pub fn create(cfg: ArchiveConfig) -> Result<Archive> {
-        std::fs::create_dir_all(&cfg.dir)
+        cfg.vfs
+            .create_dir_all(&cfg.dir)
             .map_err(|e| CoreError::Storage(format!("create {}: {e}", cfg.dir.display())))?;
-        if !existing_segments(&cfg.dir)?.is_empty() {
+        if !existing_segments(cfg.vfs.as_ref(), &cfg.dir)?.is_empty() {
             return Err(CoreError::Storage(format!(
                 "{} already holds segments; use Archive::open",
                 cfg.dir.display()
@@ -215,6 +315,10 @@ impl Archive {
             inner: Mutex::new(Inner {
                 writer: None,
                 next_segment: 0,
+                wal: None,
+                next_wal: 0,
+                group_open_frames: 0,
+                wal_dirty: false,
                 segments: BTreeMap::new(),
                 index: BTreeMap::new(),
                 band_meta: HashMap::new(),
@@ -222,6 +326,7 @@ impl Archive {
                 watermarks: HashMap::new(),
                 frames_indexed: 0,
                 totals: Totals::default(),
+                recovery: RecoveryReport::default(),
                 retention,
             }),
             cache,
@@ -229,93 +334,35 @@ impl Archive {
         }
     }
 
-    /// Opens an existing archive directory, rebuilding the in-memory
-    /// index from the self-describing segment files.
+    /// Opens an existing archive directory: replays the write-ahead
+    /// log, repairs or truncates damaged segment tails (reporting every
+    /// discarded byte — nothing is thrown away silently), then rebuilds
+    /// the in-memory index from the now-clean segment files. The
+    /// outcome is available via [`Archive::recovery_report`].
     pub fn open(cfg: ArchiveConfig) -> Result<Archive> {
-        std::fs::create_dir_all(&cfg.dir)
+        cfg.vfs
+            .create_dir_all(&cfg.dir)
             .map_err(|e| CoreError::Storage(format!("create {}: {e}", cfg.dir.display())))?;
         let archive = Archive::empty(cfg);
-        {
-            let mut inner = lock(&archive.inner);
-            for (id, path) in existing_segments(&archive.cfg.dir)? {
-                let mut seg_frames = 0u64;
-                for rec in scan_segment(&path)? {
-                    match rec {
-                        Record::Band(schema) => {
-                            inner.band_meta.insert(schema.band, schema);
-                        }
-                        Record::Sector(info) => {
-                            inner.index.entry((info.band, info.sector_id)).or_insert_with(|| {
-                                SectorEntry { info: info.clone(), frames: BTreeMap::new() }
-                            });
-                        }
-                        Record::Tile { header: h, payload_offset } => {
-                            let entry =
-                                inner.index.entry((h.band, h.sector_id)).or_insert_with(|| {
-                                    SectorEntry {
-                                        // Orphan tile (its SectorMeta was in a
-                                        // corrupted record): synthesize minimal
-                                        // info so the tile stays reachable.
-                                        info: SectorInfo {
-                                            sector_id: h.sector_id,
-                                            lattice: geostreams_geo::LatticeGeoref::north_up(
-                                                geostreams_geo::Crs::LatLon,
-                                                Rect::new(0.0, 0.0, 1.0, 1.0),
-                                                h.cells.col_max + 1,
-                                                h.cells.row_max + 1,
-                                            ),
-                                            band: h.band,
-                                            organization: geostreams_core::Organization::RowByRow,
-                                            timestamp: geostreams_core::model::Timestamp::new(
-                                                h.timestamp,
-                                            ),
-                                        },
-                                        frames: BTreeMap::new(),
-                                    }
-                                });
-                            let tref = TileRef {
-                                segment: id,
-                                offset: payload_offset,
-                                len: h.payload_len,
-                                tile_x: h.tile_x,
-                                cells: h.cells,
-                                keyframe: h.keyframe,
-                                codec: h.codec,
-                            };
-                            let frame = entry.frames.entry(h.frame_id).or_insert_with(|| {
-                                seg_frames += 1;
-                                FrameEntry {
-                                    timestamp: h.timestamp,
-                                    cells: h.cells,
-                                    tiles: Vec::new(),
-                                }
-                            });
-                            frame.cells = union_cells(frame.cells, h.cells);
-                            frame.tiles.push(tref);
-                            inner.totals.tiles += 1;
-                            inner.totals.raw_bytes += u64::from(h.n_points) * 4;
-                            let wm = inner.watermarks.entry(h.band).or_insert((0, 0));
-                            *wm = (*wm).max((h.sector_id, h.frame_id));
-                        }
-                    }
-                }
-                let bytes = std::fs::metadata(&path)
-                    .map_err(|e| CoreError::Storage(format!("stat {}: {e}", path.display())))?
-                    .len();
-                inner.totals.bytes_written += bytes;
-                inner.frames_indexed += seg_frames;
-                inner.totals.frames += seg_frames;
-                inner.segments.insert(id, SegmentMeta { path, bytes, frames: seg_frames });
-                inner.next_segment = inner.next_segment.max(id + 1);
-            }
-        }
+        archive.recover()?;
         Ok(archive)
     }
 
     /// Attaches metric handles (first call wins; typically right after
-    /// the DSMS registers its metrics registry).
+    /// the DSMS registers its metrics registry). The last recovery's
+    /// counters are applied on first attach, so a restart's repairs are
+    /// visible on `/metrics`.
     pub fn attach_metrics(&self, metrics: StoreMetrics) {
-        let _ = self.metrics.set(metrics);
+        if self.metrics.set(metrics).is_ok() {
+            if let Some(m) = self.metrics.get() {
+                let inner = lock(&self.inner);
+                let r = &inner.recovery;
+                m.recovery_frames.add(r.frames_recovered);
+                m.recovery_bytes_discarded.add(r.bytes_discarded);
+                m.truncated_tails.add(r.torn_tails);
+                m.corruption_detected.add(r.corrupt_records);
+            }
+        }
     }
 
     /// Re-tunes the retention budget at runtime (e.g. from
@@ -337,6 +384,12 @@ impl Archive {
         &self.cfg
     }
 
+    /// What the last [`Archive::open`] had to recover (all-zero for an
+    /// archive created fresh or opened clean).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        lock(&self.inner).recovery.clone()
+    }
+
     /// Declares a band's stream schema (persisted so reopened archives
     /// and replays know the value range and CRS).
     pub fn bind_band(&self, schema: &StreamSchema) -> Result<()> {
@@ -345,11 +398,8 @@ impl Archive {
             return Ok(());
         }
         inner.band_meta.insert(schema.band, schema.clone());
-        let cfg = self.cfg.clone();
-        let w = active_writer(&mut inner, &cfg)?;
-        w.append_band(schema)?;
-        let bytes = w.bytes();
-        note_active_bytes(&mut inner, bytes);
+        let rec = encode_band_record(schema)?;
+        self.append_covered(&mut inner, rec)?;
         Ok(())
     }
 
@@ -399,12 +449,8 @@ impl Archive {
                     .entry((band, info.sector_id))
                     .or_insert_with(|| SectorEntry { info: info.clone(), frames: BTreeMap::new() })
                     .info = info.clone();
-                let cfg = self.cfg.clone();
-                let info = info.clone();
-                let w = active_writer(inner, &cfg)?;
-                w.append_sector(&info)?;
-                let bytes = w.bytes();
-                note_active_bytes(inner, bytes);
+                let rec = encode_sector_record(info)?;
+                self.append_covered(inner, rec)?;
             }
             Element::FrameStart(fi) => {
                 self.flush_open_frame(inner, band)?;
@@ -460,16 +506,170 @@ impl Archive {
         Ok(())
     }
 
-    /// Flushes the active segment's buffered writes to the OS.
+    /// Flushes the active segment's buffered writes and seals the open
+    /// WAL group with a commit (a graceful flush is a durability point).
     pub fn flush(&self) -> Result<()> {
         let mut inner = lock(&self.inner);
         if let Some(w) = inner.writer.as_mut() {
             w.flush()?;
         }
+        self.commit_locked(&mut inner)
+    }
+
+    /// Ensures the write-ahead log exists. Only callable while no
+    /// segment writer is active: the new WAL's floor is the *next*
+    /// segment id, so an active segment would fall outside coverage.
+    fn ensure_wal(&self, inner: &mut Inner) -> Result<()> {
+        if inner.wal.is_some() {
+            return Ok(());
+        }
+        let id = inner.next_wal;
+        let w = WalWriter::create(
+            self.cfg.vfs.as_ref(),
+            &self.cfg.dir,
+            id,
+            inner.next_segment,
+            self.cfg.fsync,
+        )?;
+        inner.next_wal = id + 1;
+        inner.totals.wal_bytes += w.bytes();
+        if let Some(m) = self.metrics() {
+            m.wal_bytes.add(w.bytes());
+        }
+        inner.wal = Some(w);
         Ok(())
     }
 
-    /// Encodes and persists the band's open frame, if any.
+    /// Ensures an active segment writer exists, creating the next
+    /// segment on demand — its very first bytes (the magic) are covered
+    /// by a `MetaRedo` like everything else.
+    fn ensure_writer(&self, inner: &mut Inner) -> Result<()> {
+        if inner.writer.is_some() {
+            return Ok(());
+        }
+        self.ensure_wal(inner)?;
+        let id = inner.next_segment;
+        self.wal_append(inner, &WalRecord::MetaRedo { seg: id, off: 0, data: MAGIC.to_vec() })?;
+        let mut w = SegmentWriter::create_bare(self.cfg.vfs.as_ref(), &self.cfg.dir, id)?;
+        w.append_raw(MAGIC)?;
+        inner.next_segment = id + 1;
+        inner.segments.insert(
+            id,
+            SegmentMeta { path: segment_path(&self.cfg.dir, id), bytes: w.bytes(), frames: 0 },
+        );
+        inner.writer = Some(w);
+        Ok(())
+    }
+
+    /// Appends one record to the WAL, tracking bytes. On failure the
+    /// WAL is abandoned (a torn log record would hide every record
+    /// after it), leaving the archive refusing further writes until
+    /// reopened.
+    fn wal_append(&self, inner: &mut Inner, rec: &WalRecord) -> Result<()> {
+        let Some(w) = inner.wal.as_mut() else {
+            return Err(CoreError::Storage(
+                "write-ahead log unavailable (failed earlier); reopen the archive".into(),
+            ));
+        };
+        let before = w.bytes();
+        match w.append(rec) {
+            Ok(()) => {
+                let delta = w.bytes() - before;
+                inner.totals.wal_bytes += delta;
+                inner.wal_dirty = true;
+                if let Some(m) = self.metrics() {
+                    m.wal_bytes.add(delta);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                inner.wal = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Seals the open group: flushes the segment, writes a commit
+    /// record carrying the current per-band watermarks, and fsyncs the
+    /// WAL per policy.
+    fn commit_locked(&self, inner: &mut Inner) -> Result<()> {
+        if !inner.wal_dirty {
+            return Ok(());
+        }
+        if let Some(w) = inner.writer.as_mut() {
+            w.flush()?;
+        }
+        let mut wms: Vec<BandWatermark> = inner
+            .watermarks
+            .iter()
+            .map(|(&band, &(sector, frame))| BandWatermark { band, sector, frame })
+            .collect();
+        wms.sort_by_key(|w| w.band);
+        let Some(w) = inner.wal.as_mut() else {
+            return Err(CoreError::Storage(
+                "write-ahead log unavailable (failed earlier); reopen the archive".into(),
+            ));
+        };
+        let before = w.bytes();
+        match w.commit(wms) {
+            Ok(()) => {
+                let delta = w.bytes() - before;
+                inner.totals.wal_bytes += delta;
+                inner.totals.wal_commits += 1;
+                inner.wal_dirty = false;
+                inner.group_open_frames = 0;
+                if let Some(m) = self.metrics() {
+                    m.wal_bytes.add(delta);
+                    m.wal_commits.inc();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                inner.wal = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Writes one pre-encoded metadata record to the active segment,
+    /// WAL-first.
+    fn append_covered(&self, inner: &mut Inner, rec: Vec<u8>) -> Result<u64> {
+        self.ensure_writer(inner)?;
+        let (seg, off) = match inner.writer.as_ref() {
+            Some(w) => (w.id(), w.bytes()),
+            None => return Err(CoreError::Storage("no active segment writer".into())),
+        };
+        let redo = WalRecord::MetaRedo { seg, off, data: rec };
+        self.wal_append(inner, &redo)?;
+        let WalRecord::MetaRedo { data, .. } = redo else {
+            return Err(CoreError::Storage("meta redo construction".into()));
+        };
+        self.append_to_segment(inner, &data)
+    }
+
+    /// Appends bytes to the active segment, abandoning the writer on
+    /// failure (a torn prefix may be on disk; offsets can no longer be
+    /// trusted — recovery rebuilds the tail from committed redos).
+    fn append_to_segment(&self, inner: &mut Inner, data: &[u8]) -> Result<u64> {
+        let Some(w) = inner.writer.as_mut() else {
+            return Err(CoreError::Storage("no active segment writer".into()));
+        };
+        match w.append_raw(data) {
+            Ok(at) => {
+                let bytes = w.bytes();
+                note_active_bytes(inner, bytes);
+                Ok(at)
+            }
+            Err(e) => {
+                inner.writer = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Encodes and persists the band's open frame, if any. The whole
+    /// frame is encoded into one buffer, logged as one `FrameRedo`, and
+    /// appended in one write — the atomic unit of crash recovery.
     fn flush_open_frame(&self, inner: &mut Inner, band: u16) -> Result<()> {
         let Some(bw) = inner.writers.get_mut(&band) else { return Ok(()) };
         let Some(frame) = bw.frame.take() else { return Ok(()) };
@@ -489,8 +689,9 @@ impl Archive {
         let tw = cfg.tile_width.max(1);
         let tx0 = cells.col_min / tw;
         let tx1 = cells.col_max / tw;
-        let mut tile_refs = Vec::new();
-        let mut frame_bytes = 0u64;
+        let mut buf: Vec<u8> = Vec::new();
+        // Tile refs staged with payload offsets relative to `buf`.
+        let mut staged: Vec<(u64, TileRef)> = Vec::new();
         let mut frame_points = 0u64;
         for tx in tx0..=tx1 {
             let col_lo = (tx * tw).max(cells.col_min);
@@ -533,34 +734,63 @@ impl Archive {
                 codec: cfg.codec,
                 keyframe,
                 n_points: enc.n_points,
-                payload_len: enc.payload.len() as u32,
+                payload_len: 0, // filled by encode_tile_record
+                payload_crc: 0, // filled by encode_tile_record
             };
-            let w = active_writer(inner, &cfg)?;
-            let before = w.bytes();
-            let offset = w.append_tile(&header, &enc.payload)?;
-            let after = w.bytes();
-            let seg_id = w.id();
-            note_active_bytes(inner, after);
-            frame_bytes += after - before;
+            let crc = crc32(&enc.payload);
+            let (rec, payload_in_rec) = encode_tile_record(&header, &enc.payload)?;
+            staged.push((
+                buf.len() as u64 + payload_in_rec,
+                TileRef {
+                    segment: 0, // patched after the append
+                    offset: 0,
+                    len: enc.payload.len() as u32,
+                    tile_x: tx,
+                    cells: stripe_box,
+                    keyframe,
+                    codec: cfg.codec,
+                    crc,
+                },
+            ));
+            buf.extend_from_slice(&rec);
             frame_points += u64::from(enc.n_points);
-            tile_refs.push(TileRef {
-                segment: seg_id,
-                offset,
-                len: header.payload_len,
-                tile_x: tx,
-                cells: stripe_box,
-                keyframe,
-                codec: cfg.codec,
-            });
         }
-        if tile_refs.is_empty() {
+        if staged.is_empty() {
             // An empty frame (all gaps) still counts as seen.
             if let Some(bw) = inner.writers.get_mut(&band) {
                 bw.seen_frames.insert(fi.frame_id);
             }
             return Ok(());
         }
-        let seg_id = tile_refs[0].segment;
+
+        // Write-ahead: the redo record carries the frame bytes; only
+        // then do the same bytes land in the segment.
+        self.ensure_writer(inner)?;
+        let (seg_id, base) = match inner.writer.as_ref() {
+            Some(w) => (w.id(), w.bytes()),
+            None => return Err(CoreError::Storage("no active segment writer".into())),
+        };
+        let redo = WalRecord::FrameRedo {
+            seg: seg_id,
+            off: base,
+            band,
+            sector: sector.sector_id,
+            frame: fi.frame_id,
+            data: buf,
+        };
+        self.wal_append(inner, &redo)?;
+        let WalRecord::FrameRedo { data: buf, .. } = redo else {
+            return Err(CoreError::Storage("frame redo construction".into()));
+        };
+        self.append_to_segment(inner, &buf)?;
+        let frame_bytes = buf.len() as u64;
+        let mut tile_refs = Vec::with_capacity(staged.len());
+        for (rel, mut t) in staged {
+            t.segment = seg_id;
+            t.offset = base + rel;
+            tile_refs.push(t);
+        }
+
         if let Some(seg) = inner.segments.get_mut(&seg_id) {
             seg.frames += 1;
         }
@@ -592,6 +822,10 @@ impl Archive {
                 m.compression_ratio_permille.set(permille);
             }
         }
+        inner.group_open_frames += 1;
+        if inner.group_open_frames >= cfg.group_commit_frames.max(1) {
+            self.commit_locked(inner)?;
+        }
         self.enforce_retention(inner)?;
         Ok(())
     }
@@ -599,10 +833,15 @@ impl Archive {
     /// Closes the active segment and opens the next one, re-emitting
     /// band and open-sector metadata so the new segment is
     /// self-describing, and resetting every delta chain so chains never
-    /// cross segment boundaries.
+    /// cross segment boundaries. The WAL rotates here: the closing
+    /// segment is sealed (flush + fsync) *before* the old log — the
+    /// only thing that could rebuild it — is deleted.
     fn roll_segment(&self, inner: &mut Inner) -> Result<()> {
+        // Seal the open group so the outgoing WAL ends on a commit.
+        self.commit_locked(inner)?;
         if let Some(mut w) = inner.writer.take() {
             w.flush()?;
+            w.sync()?;
             let (id, bytes) = (w.id(), w.bytes());
             if let Some(meta) = inner.segments.get_mut(&id) {
                 meta.bytes = bytes;
@@ -611,19 +850,30 @@ impl Archive {
         for bw in inner.writers.values_mut() {
             bw.chains.clear();
         }
-        let cfg = self.cfg.clone();
+        // Rotate: create the successor WAL (fsynced, floor = the next
+        // segment id), then drop the old one.
+        let old = inner.wal.take();
+        self.ensure_wal(inner)?;
+        if let Some(old) = old {
+            let path = wal_path(&self.cfg.dir, old.id());
+            drop(old);
+            self.cfg
+                .vfs
+                .remove_file(&path)
+                .map_err(|e| CoreError::Storage(format!("remove {}: {e}", path.display())))?;
+        }
+        // Re-emit metadata under the new WAL's coverage.
         let metas: Vec<StreamSchema> = inner.band_meta.values().cloned().collect();
         let sectors: Vec<SectorInfo> =
             inner.writers.values().filter_map(|bw| bw.sector.clone()).collect();
-        let w = active_writer(inner, &cfg)?;
         for schema in &metas {
-            w.append_band(schema)?;
+            let rec = encode_band_record(schema)?;
+            self.append_covered(inner, rec)?;
         }
         for info in &sectors {
-            w.append_sector(info)?;
+            let rec = encode_sector_record(info)?;
+            self.append_covered(inner, rec)?;
         }
-        let bytes = w.bytes();
-        note_active_bytes(inner, bytes);
         Ok(())
     }
 
@@ -645,7 +895,9 @@ impl Archive {
             let Some(meta) = inner.segments.remove(&victim) else { return Ok(()) };
             // Replays opened before this point hold their own file
             // handles; unlinking is safe for them (unix semantics).
-            std::fs::remove_file(&meta.path)
+            self.cfg
+                .vfs
+                .remove_file(&meta.path)
                 .map_err(|e| CoreError::Storage(format!("evict {}: {e}", meta.path.display())))?;
             let mut removed_frames = 0u64;
             inner.index.retain(|_, entry| {
@@ -703,6 +955,9 @@ impl Archive {
             } else {
                 t.raw_bytes as f64 / t.bytes_written as f64
             },
+            wal_bytes: t.wal_bytes,
+            wal_commits: t.wal_commits,
+            recovery: inner.recovery.clone(),
         }
     }
 
@@ -725,7 +980,7 @@ impl Archive {
         })?;
         let (lo, hi) = (lo.unwrap_or(i64::MIN), hi.unwrap_or(i64::MAX));
         let mut sectors = Vec::new();
-        let mut files: HashMap<u64, Arc<File>> = HashMap::new();
+        let mut files: HashMap<u64, Arc<dyn VfsFile>> = HashMap::new();
         for ((b, _), entry) in inner.index.range((band, 0)..=(band, u64::MAX)) {
             debug_assert_eq!(*b, band);
             let emit_box = match region {
@@ -787,10 +1042,10 @@ impl Archive {
                                 t.segment
                             )));
                         };
-                        let f = File::open(&seg.path).map_err(|e| {
+                        let f = self.cfg.vfs.open_read(&seg.path).map_err(|e| {
                             CoreError::Storage(format!("open {}: {e}", seg.path.display()))
                         })?;
-                        v.insert(Arc::new(f));
+                        v.insert(Arc::from(f));
                     }
                 }
                 planned_frames.push(PlannedFrame {
@@ -809,10 +1064,280 @@ impl Archive {
                 });
             }
         }
-        // Buffered appends must be visible to the opened read handles.
+        // Buffered appends must be visible to the opened read handles
+        // (and the flush commits the open group).
         drop(inner);
         self.flush()?;
         Ok(ReplayPlan { band, schema, sectors, files })
+    }
+
+    /// Crash recovery, run by [`Archive::open`].
+    ///
+    /// 1. Pick the newest parseable WAL (there are two only in the
+    ///    crash-during-rotation window; the newest is authoritative)
+    ///    and delete every other WAL file.
+    /// 2. Scan it: the prefix up to the last commit record is trusted;
+    ///    everything after — uncommitted frames, torn or corrupt tail —
+    ///    is counted and discarded.
+    /// 3. Per governed segment (`id >= floor`): compare the CRC-valid
+    ///    prefix against the committed redo coverage. Longer: truncate
+    ///    to the committed end (uncommitted bytes). Shorter: truncate
+    ///    to the last committed redo boundary inside the valid prefix
+    ///    and re-append the remaining committed redo bytes (repair).
+    ///    No committed byte at all: remove the file.
+    /// 4. Per sealed segment (below the floor, or no WAL): truncate any
+    ///    damaged tail, counting and logging the discarded bytes.
+    /// 5. Fsync every surviving governed segment, then delete the WAL —
+    ///    its coverage is now sealed into the files, which makes a
+    ///    second recovery a no-op (idempotence).
+    /// 6. Rebuild the index from the now-clean segments and re-anchor
+    ///    per-band watermarks against the committed WAL watermarks.
+    fn recover(&self) -> Result<()> {
+        let vfs: Arc<dyn Vfs> = Arc::clone(&self.cfg.vfs);
+        let vfs = vfs.as_ref();
+        let dir = self.cfg.dir.clone();
+        let mut inner = lock(&self.inner);
+        let mut report = RecoveryReport::default();
+        let rm_err = |p: &Path, e: std::io::Error| {
+            CoreError::Storage(format!("recovery: remove {}: {e}", p.display()))
+        };
+        let trunc_err = |p: &Path, e: std::io::Error| {
+            CoreError::Storage(format!("recovery: truncate {}: {e}", p.display()))
+        };
+
+        // 1. Choose the newest parseable WAL; delete the rest.
+        let mut wal_ids = existing_wals(vfs, &dir)?;
+        wal_ids.reverse();
+        let mut chosen_wal: Option<u64> = None;
+        let mut wal_scan: Option<crate::wal::WalScan> = None;
+        for id in wal_ids {
+            let path = wal_path(&dir, id);
+            if chosen_wal.is_none() {
+                if let Some(scan) = scan_wal(vfs, &path) {
+                    if scan.floor_seg.is_some() {
+                        chosen_wal = Some(id);
+                        wal_scan = Some(scan);
+                        inner.next_wal = inner.next_wal.max(id + 1);
+                        continue;
+                    }
+                }
+            }
+            // Superseded by a newer log, or torn at birth (no durable
+            // rotate record): its contents are not trusted.
+            report.bytes_discarded += vfs.len(&path).unwrap_or(0);
+            vfs.remove_file(&path).map_err(|e| rm_err(&path, e))?;
+        }
+
+        // 2. Extract the committed redo records, grouped per segment.
+        let mut floor = 0u64;
+        let mut per_seg: BTreeMap<u64, Vec<(u64, Vec<u8>, bool)>> = BTreeMap::new();
+        let mut committed_watermarks: Vec<BandWatermark> = Vec::new();
+        if let Some(scan) = wal_scan {
+            floor = scan.floor_seg.unwrap_or(0);
+            report.wal_commits_seen = scan.commits;
+            report.bytes_discarded += scan.discarded_bytes;
+            report.torn_tails += u64::from(scan.torn_tail);
+            report.corrupt_records += scan.corrupt_records;
+            report.frames_discarded += scan.uncommitted_frames;
+            committed_watermarks = scan.watermarks;
+            for rec in scan.committed {
+                match rec {
+                    WalRecord::MetaRedo { seg, off, data } => {
+                        per_seg.entry(seg).or_default().push((off, data, false));
+                    }
+                    WalRecord::FrameRedo { seg, off, data, .. } => {
+                        per_seg.entry(seg).or_default().push((off, data, true));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // 3./4. Repair or truncate each segment on disk.
+        let mut governed_survivors: Vec<PathBuf> = Vec::new();
+        for (id, path) in existing_segments(vfs, &dir)? {
+            let scan = scan_segment(vfs, &path)?;
+            let file_len = vfs
+                .len(&path)
+                .map_err(|e| CoreError::Storage(format!("stat {}: {e}", path.display())))?;
+            let governed = chosen_wal.is_some() && id >= floor;
+            if governed {
+                let redos = per_seg.remove(&id).unwrap_or_default();
+                let committed_end =
+                    redos.iter().map(|(off, d, _)| off + d.len() as u64).max().unwrap_or(0);
+                if committed_end == 0 {
+                    // Born inside the uncommitted tail: nothing in this
+                    // file is trusted.
+                    report.bytes_discarded += file_len;
+                    report.segments_removed += 1;
+                    vfs.remove_file(&path).map_err(|e| rm_err(&path, e))?;
+                    continue;
+                }
+                report.frames_recovered += redos.iter().filter(|(_, _, f)| *f).count() as u64;
+                report.torn_tails += u64::from(scan.torn_tail);
+                report.corrupt_records += scan.corrupt_records;
+                if scan.valid_len >= committed_end {
+                    if file_len > committed_end {
+                        // Valid-but-uncommitted (or damaged) bytes past
+                        // the last commit: not trusted.
+                        report.bytes_discarded += file_len - committed_end;
+                        report.segments_truncated += 1;
+                        vfs.truncate(&path, committed_end).map_err(|e| trunc_err(&path, e))?;
+                    }
+                } else {
+                    // Damage inside the committed range: rewind to the
+                    // last committed redo boundary at or before the
+                    // valid prefix and re-apply the rest. Redo coverage
+                    // is contiguous from byte 0, so this closes every
+                    // hole.
+                    let mut cut = committed_end;
+                    let mut replay_from = redos.len();
+                    for (i, (off, data, _)) in redos.iter().enumerate() {
+                        if off + data.len() as u64 > scan.valid_len {
+                            cut = *off;
+                            replay_from = i;
+                            break;
+                        }
+                    }
+                    report.bytes_discarded += file_len.saturating_sub(cut);
+                    report.segments_repaired += 1;
+                    vfs.truncate(&path, cut).map_err(|e| trunc_err(&path, e))?;
+                    let mut f = vfs.open_append(&path).map_err(|e| {
+                        CoreError::Storage(format!("recovery: open {}: {e}", path.display()))
+                    })?;
+                    for (_, data, _) in &redos[replay_from..] {
+                        f.append(data).map_err(|e| {
+                            CoreError::Storage(format!("recovery: append {}: {e}", path.display()))
+                        })?;
+                    }
+                    f.flush().map_err(|e| {
+                        CoreError::Storage(format!("recovery: flush {}: {e}", path.display()))
+                    })?;
+                }
+                governed_survivors.push(path);
+            } else if !scan.clean() {
+                // Sealed (or WAL-less) segment with a damaged tail: the
+                // bytes are unrecoverable — truncate loudly, never
+                // silently.
+                report.torn_tails += u64::from(scan.torn_tail);
+                report.corrupt_records += scan.corrupt_records;
+                report.bytes_discarded += scan.discarded_bytes;
+                eprintln!(
+                    "archive recovery: segment {id}: discarding {} damaged trailing bytes \
+                     (torn_tail={}, corrupt_records={})",
+                    scan.discarded_bytes, scan.torn_tail, scan.corrupt_records
+                );
+                if scan.valid_len == 0 {
+                    report.segments_removed += 1;
+                    vfs.remove_file(&path).map_err(|e| rm_err(&path, e))?;
+                } else {
+                    report.segments_truncated += 1;
+                    vfs.truncate(&path, scan.valid_len).map_err(|e| trunc_err(&path, e))?;
+                }
+            }
+        }
+        // Committed redos whose segment file is gone: evicted by
+        // retention after the commit — nothing to restore.
+        report.missing_segments = per_seg.values().filter(|redos| !redos.is_empty()).count() as u64;
+
+        // 5. Seal governed segments durable, then retire the WAL.
+        if let Some(wal_id) = chosen_wal {
+            for path in &governed_survivors {
+                let mut f = vfs.open_append(path).map_err(|e| {
+                    CoreError::Storage(format!("recovery: open {}: {e}", path.display()))
+                })?;
+                f.sync().map_err(|e| {
+                    CoreError::Storage(format!("recovery: sync {}: {e}", path.display()))
+                })?;
+            }
+            let path = wal_path(&dir, wal_id);
+            vfs.remove_file(&path).map_err(|e| rm_err(&path, e))?;
+        }
+
+        // 6. Rebuild the index from the clean files.
+        for (id, path) in existing_segments(vfs, &dir)? {
+            let scan = scan_segment(vfs, &path)?;
+            debug_assert!(scan.clean(), "segment {id} still damaged after recovery");
+            let mut seg_frames = 0u64;
+            for rec in scan.records {
+                match rec {
+                    Record::Band(schema) => {
+                        inner.band_meta.insert(schema.band, schema);
+                    }
+                    Record::Sector(info) => {
+                        inner.index.entry((info.band, info.sector_id)).or_insert_with(|| {
+                            SectorEntry { info: info.clone(), frames: BTreeMap::new() }
+                        });
+                    }
+                    Record::Tile { header: h, payload_offset } => {
+                        let entry = inner.index.entry((h.band, h.sector_id)).or_insert_with(|| {
+                            SectorEntry {
+                                // Orphan tile (its SectorMeta was in a
+                                // corrupted record): synthesize minimal
+                                // info so the tile stays reachable.
+                                info: SectorInfo {
+                                    sector_id: h.sector_id,
+                                    lattice: geostreams_geo::LatticeGeoref::north_up(
+                                        geostreams_geo::Crs::LatLon,
+                                        Rect::new(0.0, 0.0, 1.0, 1.0),
+                                        h.cells.col_max + 1,
+                                        h.cells.row_max + 1,
+                                    ),
+                                    band: h.band,
+                                    organization: geostreams_core::Organization::RowByRow,
+                                    timestamp: geostreams_core::model::Timestamp::new(h.timestamp),
+                                },
+                                frames: BTreeMap::new(),
+                            }
+                        });
+                        let tref = TileRef {
+                            segment: id,
+                            offset: payload_offset,
+                            len: h.payload_len,
+                            tile_x: h.tile_x,
+                            cells: h.cells,
+                            keyframe: h.keyframe,
+                            codec: h.codec,
+                            crc: h.payload_crc,
+                        };
+                        let frame = entry.frames.entry(h.frame_id).or_insert_with(|| {
+                            seg_frames += 1;
+                            FrameEntry { timestamp: h.timestamp, cells: h.cells, tiles: Vec::new() }
+                        });
+                        frame.cells = union_cells(frame.cells, h.cells);
+                        frame.tiles.push(tref);
+                        inner.totals.tiles += 1;
+                        inner.totals.raw_bytes += u64::from(h.n_points) * 4;
+                        let wm = inner.watermarks.entry(h.band).or_insert((0, 0));
+                        *wm = (*wm).max((h.sector_id, h.frame_id));
+                    }
+                }
+            }
+            inner.totals.bytes_written += scan.valid_len;
+            inner.frames_indexed += seg_frames;
+            inner.totals.frames += seg_frames;
+            inner
+                .segments
+                .insert(id, SegmentMeta { path, bytes: scan.valid_len, frames: seg_frames });
+            inner.next_segment = inner.next_segment.max(id + 1);
+        }
+
+        // Re-anchor watermarks: the committed WAL watermark can only
+        // run ahead of the rebuilt index when the frames were evicted
+        // after the commit; the max keeps splice handoff monotone.
+        for wm in &committed_watermarks {
+            let entry = inner.watermarks.entry(wm.band).or_insert((0, 0));
+            *entry = (*entry).max((wm.sector, wm.frame));
+        }
+        let mut final_wms: Vec<BandWatermark> = inner
+            .watermarks
+            .iter()
+            .map(|(&band, &(sector, frame))| BandWatermark { band, sector, frame })
+            .collect();
+        final_wms.sort_by_key(|w| w.band);
+        report.watermarks = final_wms;
+        inner.recovery = report;
+        Ok(())
     }
 }
 
@@ -840,7 +1365,7 @@ pub(crate) struct ReplayPlan {
     pub(crate) band: u16,
     pub(crate) schema: StreamSchema,
     pub(crate) sectors: Vec<PlannedSector>,
-    pub(crate) files: HashMap<u64, Arc<File>>,
+    pub(crate) files: HashMap<u64, Arc<dyn VfsFile>>,
 }
 
 pub(crate) struct PlannedSector {
@@ -866,43 +1391,27 @@ fn union_cells(a: CellBox, b: CellBox) -> CellBox {
     )
 }
 
-fn existing_segments(dir: &std::path::Path) -> Result<Vec<(u64, PathBuf)>> {
+fn existing_segments(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let names = vfs
+        .read_dir_names(dir)
+        .map_err(|e| CoreError::Storage(format!("read {}: {e}", dir.display())))?;
     let mut out = Vec::new();
-    let entries = match std::fs::read_dir(dir) {
-        Ok(e) => e,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
-        Err(e) => {
-            return Err(CoreError::Storage(format!("read {}: {e}", dir.display())));
-        }
-    };
-    for entry in entries {
-        let entry =
-            entry.map_err(|e| CoreError::Storage(format!("read {}: {e}", dir.display())))?;
-        if let Some(id) = entry.file_name().to_str().and_then(parse_segment_id) {
-            out.push((id, entry.path()));
+    for name in names {
+        if let Some(id) = parse_segment_id(&name) {
+            out.push((id, dir.join(&name)));
         }
     }
     out.sort();
     Ok(out)
 }
 
-/// Ensures an active segment writer exists, creating the next segment
-/// (and its metadata entry) on demand.
-fn active_writer<'a>(inner: &'a mut Inner, cfg: &ArchiveConfig) -> Result<&'a mut SegmentWriter> {
-    if inner.writer.is_none() {
-        let id = inner.next_segment;
-        inner.next_segment += 1;
-        let w = SegmentWriter::create(&cfg.dir, id)?;
-        inner.segments.insert(
-            id,
-            SegmentMeta { path: segment_path(&cfg.dir, id), bytes: w.bytes(), frames: 0 },
-        );
-        inner.writer = Some(w);
-    }
-    match inner.writer.as_mut() {
-        Some(w) => Ok(w),
-        None => Err(CoreError::Storage("no active segment writer".into())),
-    }
+fn existing_wals(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<u64>> {
+    let names = vfs
+        .read_dir_names(dir)
+        .map_err(|e| CoreError::Storage(format!("read {}: {e}", dir.display())))?;
+    let mut out: Vec<u64> = names.iter().filter_map(|n| parse_wal_id(n)).collect();
+    out.sort_unstable();
+    Ok(out)
 }
 
 /// Mirrors the active writer's size into its segment metadata (so byte

@@ -34,11 +34,15 @@ pub mod codec;
 pub mod metrics;
 pub mod replay;
 pub mod segment;
+pub mod vfs;
+pub mod wal;
 
-pub use archive::{Archive, ArchiveConfig, ArchiveStats};
+pub use archive::{Archive, ArchiveConfig, ArchiveStats, RecoveryReport};
 pub use codec::Codec;
 pub use metrics::StoreMetrics;
 pub use replay::{ArchiveReplay, SpliceStream};
+pub use vfs::{ChaosVfs, DiskFaultPlan, DiskFaultProbe, DiskFaultStats, StdVfs, Vfs, VfsFile};
+pub use wal::{BandWatermark, FsyncPolicy};
 
 #[cfg(test)]
 mod tests {

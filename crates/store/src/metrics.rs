@@ -32,6 +32,24 @@ pub struct StoreMetrics {
     /// Backfill latency: nanoseconds from replay start to the live
     /// splice, one observation per hybrid query.
     pub backfill_ns: HistogramHandle,
+    /// Frames restored from the write-ahead log at recovery.
+    pub recovery_frames: Counter,
+    /// Bytes discarded at recovery (uncommitted tails, torn records,
+    /// superseded WAL files).
+    pub recovery_bytes_discarded: Counter,
+    /// Integrity-check failures: CRC mismatches on WAL frames, segment
+    /// records, or tile payloads served to readers.
+    pub corruption_detected: Counter,
+    /// Group-commit records written to the WAL.
+    pub wal_commits: Counter,
+    /// Bytes appended to the WAL (kept separate from `bytes_written`,
+    /// which tracks segment bytes only).
+    pub wal_bytes: Counter,
+    /// Damaged segment/WAL tails truncated at recovery.
+    pub truncated_tails: Counter,
+    /// Splice handoffs refused because backfill replay failed (the gap
+    /// between archive and live tail could not be verified).
+    pub splice_refused: Counter,
 }
 
 impl StoreMetrics {
@@ -68,6 +86,28 @@ impl StoreMetrics {
                 "geostreams_store_backfill_ns",
                 "Backfill latency in nanoseconds per hybrid query splice.",
             ),
+            (
+                "geostreams_store_recovery_frames_total",
+                "Frames restored from the write-ahead log at recovery.",
+            ),
+            (
+                "geostreams_store_recovery_bytes_discarded_total",
+                "Bytes discarded at recovery (uncommitted or damaged tails).",
+            ),
+            (
+                "geostreams_store_corruption_detected_total",
+                "CRC integrity failures on WAL, segment, or tile bytes.",
+            ),
+            ("geostreams_store_wal_commits_total", "Group-commit records written to the WAL."),
+            ("geostreams_store_wal_bytes_total", "Bytes appended to the write-ahead log."),
+            (
+                "geostreams_store_truncated_tail_total",
+                "Damaged segment/WAL tails truncated at recovery.",
+            ),
+            (
+                "geostreams_store_splice_refused_total",
+                "Splice handoffs refused after a failed backfill replay.",
+            ),
         ] {
             registry.set_help(name, help);
         }
@@ -84,6 +124,15 @@ impl StoreMetrics {
             compression_ratio_permille: registry
                 .gauge("geostreams_store_compression_ratio_permille", &[]),
             backfill_ns: registry.histogram("geostreams_store_backfill_ns", &[]),
+            recovery_frames: registry.counter("geostreams_store_recovery_frames_total", &[]),
+            recovery_bytes_discarded: registry
+                .counter("geostreams_store_recovery_bytes_discarded_total", &[]),
+            corruption_detected: registry
+                .counter("geostreams_store_corruption_detected_total", &[]),
+            wal_commits: registry.counter("geostreams_store_wal_commits_total", &[]),
+            wal_bytes: registry.counter("geostreams_store_wal_bytes_total", &[]),
+            truncated_tails: registry.counter("geostreams_store_truncated_tail_total", &[]),
+            splice_refused: registry.counter("geostreams_store_splice_refused_total", &[]),
         }
     }
 }

@@ -5,6 +5,7 @@
 
 use crate::archive::{Archive, PlannedFrame, PlannedSector, ReplayPlan};
 use crate::codec::decode_stripe;
+use crate::vfs::{crc32, VfsFile};
 use geostreams_core::model::{
     pack_queue, ChunkOrMarker, Element, FrameEnd, FrameInfo, Marker, PointRecord, SectorEnd,
     StreamSchema,
@@ -13,8 +14,6 @@ use geostreams_core::stats::OpStats;
 use geostreams_core::{GeoStream, Result};
 use geostreams_geo::{Cell, CellBox, Rect};
 use std::collections::{HashMap, VecDeque};
-use std::fs::File;
-use std::os::unix::fs::FileExt;
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// A decoded tile kept in the shared cache: presence flags plus lanes.
@@ -81,12 +80,13 @@ pub struct ArchiveReplay {
     value_range: (f64, f64),
     sectors: VecDeque<PlannedSector>,
     current: Option<SectorCursor>,
-    files: HashMap<u64, Arc<File>>,
+    files: HashMap<u64, Arc<dyn VfsFile>>,
     cache: Arc<Mutex<TileCache>>,
     metrics: Option<crate::metrics::StoreMetrics>,
     out: VecDeque<Element<f32>>,
     stats: OpStats,
     done: bool,
+    failed: bool,
 }
 
 struct SectorCursor {
@@ -148,7 +148,15 @@ impl ArchiveReplay {
             out: VecDeque::new(),
             stats: OpStats::default(),
             done: false,
+            failed: false,
         }
+    }
+
+    /// True when the replay ended on an error rather than exhaustion.
+    /// A splice must check this before handing off to live: a failed
+    /// backfill means the gap below the watermark was never delivered.
+    pub fn failed(&self) -> bool {
+        self.failed
     }
 
     /// Number of sectors the replay will visit.
@@ -192,6 +200,25 @@ impl ArchiveReplay {
                             t.segment, t.offset
                         ))
                     })?;
+                    // Verify the payload against the checksum recorded
+                    // at write time: a rotted tile must never be
+                    // decoded into pixels.
+                    if crc32(&payload) != t.crc {
+                        if let Some(m) = &self.metrics {
+                            m.corruption_detected.inc();
+                        }
+                        return Err(geostreams_core::CoreError::Corruption(format!(
+                            "tile payload CRC mismatch in segment {} @{} ({} bytes, band {} \
+                             sector {} frame {} tile {})",
+                            t.segment,
+                            t.offset,
+                            t.len,
+                            self.band,
+                            cursor_sector,
+                            frame.frame_id,
+                            t.tile_x
+                        )));
+                    }
                     let prev = chains.get(&t.tile_x);
                     let dec = decode_stripe(
                         t.codec,
@@ -304,6 +331,7 @@ impl GeoStream for ArchiveReplay {
                 // A torn replay must not masquerade as a clean end: the
                 // error is surfaced once, then the stream ends.
                 self.done = true;
+                self.failed = true;
                 self.out.clear();
                 self.stats.stalls += 1;
                 eprintln!("archive replay error: {e}");
@@ -321,6 +349,7 @@ impl GeoStream for ArchiveReplay {
         if self.out.is_empty() && !self.done {
             if let Err(e) = self.refill() {
                 self.done = true;
+                self.failed = true;
                 self.out.clear();
                 self.stats.stalls += 1;
                 eprintln!("archive replay error: {e}");
@@ -354,6 +383,10 @@ pub struct SpliceStream {
     started: std::time::Instant,
     on_switch: Option<Box<dyn FnOnce(u64) + Send>>,
     stats: OpStats,
+    /// Set when the backfill failed: the splice ends rather than hand
+    /// off across an unverified gap (live data would silently paper
+    /// over the frames the replay never delivered).
+    refused: bool,
 }
 
 impl SpliceStream {
@@ -376,12 +409,44 @@ impl SpliceStream {
             started: std::time::Instant::now(),
             on_switch,
             stats: OpStats::default(),
+            refused: false,
         }
     }
 
     /// Protocol contract (see [`splice_contract`]).
     pub fn declared_contract(&self) -> geostreams_core::ops::ProtocolContract {
         splice_contract()
+    }
+
+    /// True when the splice ended by refusing the live handoff after a
+    /// failed backfill.
+    pub fn refused_handoff(&self) -> bool {
+        self.refused
+    }
+
+    /// Retires the exhausted replay half. Returns `true` when the
+    /// handoff to live is refused because the backfill failed.
+    fn finish_replay(&mut self) -> bool {
+        let Some(replay) = self.replay.take() else {
+            return false;
+        };
+        if replay.failed() {
+            if let Some(m) = &replay.metrics {
+                m.splice_refused.inc();
+            }
+            eprintln!(
+                "splice refused: backfill replay of band {} failed before the watermark; \
+                 not handing off to live across an unrecovered gap",
+                replay.band
+            );
+            self.refused = true;
+            return true;
+        }
+        if let Some(f) = self.on_switch.take() {
+            let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            f(ns);
+        }
+        false
     }
 }
 
@@ -393,6 +458,9 @@ impl GeoStream for SpliceStream {
     }
 
     fn next_element(&mut self) -> Option<Element<f32>> {
+        if self.refused {
+            return None;
+        }
         if let Some(replay) = self.replay.as_mut() {
             if let Some(el) = replay.next_element() {
                 if el.is_point() {
@@ -400,10 +468,8 @@ impl GeoStream for SpliceStream {
                 }
                 return Some(el);
             }
-            self.replay = None;
-            if let Some(f) = self.on_switch.take() {
-                let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                f(ns);
+            if self.finish_replay() {
+                return None;
             }
         }
         loop {
@@ -430,15 +496,16 @@ impl GeoStream for SpliceStream {
     }
 
     fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<f32>> {
+        if self.refused {
+            return None;
+        }
         if let Some(replay) = self.replay.as_mut() {
             if let Some(item) = replay.next_chunk(budget) {
                 self.stats.points_out += item.point_count() as u64;
                 return Some(item);
             }
-            self.replay = None;
-            if let Some(f) = self.on_switch.take() {
-                let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                f(ns);
+            if self.finish_replay() {
+                return None;
             }
         }
         loop {

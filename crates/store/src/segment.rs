@@ -7,23 +7,30 @@
 //! "GSSTORE1"                                  8-byte magic
 //! record*                                     until EOF
 //!
-//! record   := kind:u8 len:u32 body[len]
+//! record   := kind:u8 len:u32 crc:u32 body[len]
+//! crc      := CRC-32 (IEEE) over kind ++ len ++ body
 //! kind 0   := SectorMeta — serde_json(SectorInfo)
-//! kind 1   := Tile       — TileHeader(56 bytes) ++ payload
+//! kind 1   := Tile       — TileHeader(60 bytes) ++ payload
 //! kind 2   := BandMeta   — serde_json(StreamSchema)
 //! ```
 //!
-//! Every segment is self-describing: the band schema and the open
-//! sector's metadata are re-emitted at the head of each new segment, so
-//! after segment-granular eviction the surviving files still rebuild a
+//! Every record is checksummed, and tile headers additionally carry a
+//! CRC of the payload alone so the replay path can verify a tile read
+//! positionally (without re-reading the record framing). Every segment
+//! is self-describing: the band schema and the open sector's metadata
+//! are re-emitted at the head of each new segment, so after
+//! segment-granular eviction the surviving files still rebuild a
 //! complete index ([`scan_segment`]).
+//!
+//! [`scan_segment`] never fails on damaged bytes: it reads the longest
+//! valid prefix and reports what it had to stop at (torn tail, CRC
+//! mismatch), leaving the recovery policy to [`crate::archive`].
 
 use crate::codec::Codec;
+use crate::vfs::{crc32, crc32_parts, Vfs, VfsFile};
 use geostreams_core::model::{SectorInfo, StreamSchema};
 use geostreams_core::{CoreError, Result};
 use geostreams_geo::CellBox;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every segment file.
@@ -34,8 +41,11 @@ const KIND_SECTOR: u8 = 0;
 const KIND_TILE: u8 = 1;
 const KIND_BAND: u8 = 2;
 
+/// Bytes of record framing before the body: kind, length, CRC.
+pub const RECORD_HEADER_BYTES: usize = 9;
+
 /// Size of the fixed [`TileHeader`] encoding.
-pub const TILE_HEADER_BYTES: usize = 56;
+pub const TILE_HEADER_BYTES: usize = 60;
 
 /// Fixed-size header of a tile record.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +71,8 @@ pub struct TileHeader {
     pub n_points: u32,
     /// Payload length in bytes.
     pub payload_len: u32,
+    /// CRC-32 of the payload bytes alone, verified on every read.
+    pub payload_crc: u32,
 }
 
 impl TileHeader {
@@ -79,6 +91,7 @@ impl TileHeader {
         b[47] = u8::from(self.keyframe);
         b[48..52].copy_from_slice(&self.n_points.to_le_bytes());
         b[52..56].copy_from_slice(&self.payload_len.to_le_bytes());
+        b[56..60].copy_from_slice(&self.payload_crc.to_le_bytes());
         b
     }
 
@@ -111,6 +124,7 @@ impl TileHeader {
             keyframe: b[47] != 0,
             n_points: u32le(48),
             payload_len: u32le(52),
+            payload_crc: u32le(56),
         })
     }
 }
@@ -129,63 +143,111 @@ pub fn parse_segment_id(name: &str) -> Option<u64> {
     name.strip_prefix("segment-")?.strip_suffix(".seg")?.parse().ok()
 }
 
-/// Appends records to one segment file.
+/// Frames one record: `kind len crc body`, CRC over everything but the
+/// CRC field itself. Callers that need write-ahead coverage encode
+/// first, log the bytes, then [`SegmentWriter::append_raw`] them.
+pub fn encode_record(kind: u8, body: &[&[u8]]) -> Result<Vec<u8>> {
+    let len: usize = body.iter().map(|b| b.len()).sum();
+    let len32 =
+        u32::try_from(len).map_err(|_| CoreError::Storage("segment record over 4 GiB".into()))?;
+    let mut rec = Vec::with_capacity(RECORD_HEADER_BYTES + len);
+    rec.push(kind);
+    rec.extend_from_slice(&len32.to_le_bytes());
+    rec.extend_from_slice(&[0u8; 4]);
+    for b in body {
+        rec.extend_from_slice(b);
+    }
+    let crc = crc32_parts(&[&rec[..5], &rec[RECORD_HEADER_BYTES..]]);
+    rec[5..RECORD_HEADER_BYTES].copy_from_slice(&crc.to_le_bytes());
+    Ok(rec)
+}
+
+/// Encodes a sector-metadata record.
+pub fn encode_sector_record(info: &SectorInfo) -> Result<Vec<u8>> {
+    let json = serde_json::to_vec(info)
+        .map_err(|e| CoreError::Storage(format!("encode sector meta: {e}")))?;
+    encode_record(KIND_SECTOR, &[&json])
+}
+
+/// Encodes a band-schema record.
+pub fn encode_band_record(schema: &StreamSchema) -> Result<Vec<u8>> {
+    let json = serde_json::to_vec(schema)
+        .map_err(|e| CoreError::Storage(format!("encode band meta: {e}")))?;
+    encode_record(KIND_BAND, &[&json])
+}
+
+/// Encodes a tile record, filling in the payload length and CRC.
+/// Returns the record bytes and the payload's offset *within* them.
+pub fn encode_tile_record(header: &TileHeader, payload: &[u8]) -> Result<(Vec<u8>, u64)> {
+    let mut h = *header;
+    h.payload_len = u32::try_from(payload.len())
+        .map_err(|_| CoreError::Storage("tile payload over 4 GiB".into()))?;
+    h.payload_crc = crc32(payload);
+    let rec = encode_record(KIND_TILE, &[&h.encode(), payload])?;
+    Ok((rec, (RECORD_HEADER_BYTES + TILE_HEADER_BYTES) as u64))
+}
+
+/// Appends records to one segment file through the [`Vfs`].
 pub struct SegmentWriter {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     id: u64,
     bytes: u64,
 }
 
 impl SegmentWriter {
-    /// Creates segment `id` in `dir` and writes the magic.
-    pub fn create(dir: &Path, id: u64) -> Result<SegmentWriter> {
+    /// Creates segment `id` in `dir` as an empty file — not even the
+    /// magic is written, so a write-ahead logger can cover every byte
+    /// (magic included) with redo records before they land.
+    pub fn create_bare(vfs: &dyn Vfs, dir: &Path, id: u64) -> Result<SegmentWriter> {
         let path = segment_path(dir, id);
-        let mut file = OpenOptions::new()
-            .create_new(true)
-            .write(true)
-            .open(&path)
-            .map_err(|e| io_err("create", &path, e))?;
-        file.write_all(MAGIC).map_err(|e| io_err("write", &path, e))?;
-        Ok(SegmentWriter { file, path, id, bytes: MAGIC.len() as u64 })
+        let file = vfs.create_new(&path).map_err(|e| io_err("create", &path, e))?;
+        Ok(SegmentWriter { file, path, id, bytes: 0 })
     }
 
-    fn append(&mut self, kind: u8, body: &[&[u8]]) -> Result<u64> {
-        let len: usize = body.iter().map(|b| b.len()).sum();
-        let len32 = u32::try_from(len)
-            .map_err(|_| CoreError::Storage("segment record over 4 GiB".into()))?;
-        let mut rec = Vec::with_capacity(5 + len);
-        rec.push(kind);
-        rec.extend_from_slice(&len32.to_le_bytes());
-        for b in body {
-            rec.extend_from_slice(b);
-        }
-        self.file.write_all(&rec).map_err(|e| io_err("append", &self.path, e))?;
+    /// Creates segment `id` in `dir` and writes the magic (stand-alone
+    /// use without a WAL, e.g. tests).
+    pub fn create(vfs: &dyn Vfs, dir: &Path, id: u64) -> Result<SegmentWriter> {
+        let mut w = SegmentWriter::create_bare(vfs, dir, id)?;
+        w.append_raw(MAGIC)?;
+        Ok(w)
+    }
+
+    /// Appends pre-encoded bytes, returning the offset they start at.
+    pub fn append_raw(&mut self, rec: &[u8]) -> Result<u64> {
         let at = self.bytes;
-        self.bytes += rec.len() as u64;
-        Ok(at)
+        match self.file.append(rec) {
+            Ok(()) => {
+                self.bytes += rec.len() as u64;
+                Ok(at)
+            }
+            Err(e) => {
+                // A torn write may have persisted a prefix; the tracked
+                // length is now a lower bound only. Recovery re-scans.
+                Err(io_err("append", &self.path, e))
+            }
+        }
     }
 
     /// Appends sector metadata.
     pub fn append_sector(&mut self, info: &SectorInfo) -> Result<()> {
-        let json = serde_json::to_vec(info)
-            .map_err(|e| CoreError::Storage(format!("encode sector meta: {e}")))?;
-        self.append(KIND_SECTOR, &[&json])?;
+        let rec = encode_sector_record(info)?;
+        self.append_raw(&rec)?;
         Ok(())
     }
 
     /// Appends band (stream schema) metadata.
     pub fn append_band(&mut self, schema: &StreamSchema) -> Result<()> {
-        let json = serde_json::to_vec(schema)
-            .map_err(|e| CoreError::Storage(format!("encode band meta: {e}")))?;
-        self.append(KIND_BAND, &[&json])?;
+        let rec = encode_band_record(schema)?;
+        self.append_raw(&rec)?;
         Ok(())
     }
 
     /// Appends a tile record, returning the file offset of its payload.
     pub fn append_tile(&mut self, header: &TileHeader, payload: &[u8]) -> Result<u64> {
-        let record_at = self.append(KIND_TILE, &[&header.encode(), payload])?;
-        Ok(record_at + 5 + TILE_HEADER_BYTES as u64)
+        let (rec, payload_in_rec) = encode_tile_record(header, payload)?;
+        let record_at = self.append_raw(&rec)?;
+        Ok(record_at + payload_in_rec)
     }
 
     /// Segment id.
@@ -201,6 +263,11 @@ impl SegmentWriter {
     /// Flushes buffered writes to the OS.
     pub fn flush(&mut self) -> Result<()> {
         self.file.flush().map_err(|e| io_err("flush", &self.path, e))
+    }
+
+    /// Forces written bytes to the medium.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync().map_err(|e| io_err("sync", &self.path, e))
     }
 }
 
@@ -219,72 +286,115 @@ pub enum Record {
     },
 }
 
-/// Reads every record of a segment file (used to rebuild the in-memory
-/// index when an archive directory is reopened).
-pub fn scan_segment(path: &Path) -> Result<Vec<Record>> {
-    let data = std::fs::read(path).map_err(|e| io_err("read", path, e))?;
-    if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
-        return Err(CoreError::Storage(format!("{}: bad segment magic", path.display())));
+/// What [`scan_segment`] found: the longest valid record prefix plus
+/// an account of any damage after it.
+pub struct SegmentScan {
+    /// Records of the valid prefix, in file order.
+    pub records: Vec<Record>,
+    /// Byte length of the valid prefix (magic + whole records).
+    pub valid_len: u64,
+    /// Bytes after the valid prefix (torn or corrupt); `file length -
+    /// valid_len`.
+    pub discarded_bytes: u64,
+    /// True when the scan stopped at an incomplete trailing record
+    /// (the classic crash signature).
+    pub torn_tail: bool,
+    /// Number of structurally complete records rejected by CRC or
+    /// parse failure (0 or 1 — the scan stops at the first).
+    pub corrupt_records: u64,
+}
+
+impl SegmentScan {
+    /// True when the file held only valid records.
+    pub fn clean(&self) -> bool {
+        self.discarded_bytes == 0 && self.corrupt_records == 0 && !self.torn_tail
     }
-    let mut out = Vec::new();
+}
+
+/// Reads the longest valid record prefix of a segment file. Damage
+/// never turns into an error: a torn tail, CRC mismatch, or
+/// unparseable body stops the scan and is reported in the returned
+/// [`SegmentScan`] so the archive can repair or truncate. Only a
+/// failure to read the file at all is an error. A file with a bad
+/// magic scans as an empty prefix with everything discarded.
+pub fn scan_segment(vfs: &dyn Vfs, path: &Path) -> Result<SegmentScan> {
+    let data = vfs.read(path).map_err(|e| io_err("read", path, e))?;
+    if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+        return Ok(SegmentScan {
+            records: Vec::new(),
+            valid_len: 0,
+            discarded_bytes: data.len() as u64,
+            torn_tail: false,
+            corrupt_records: u64::from(!data.is_empty()),
+        });
+    }
+    let mut scan = SegmentScan {
+        records: Vec::new(),
+        valid_len: MAGIC.len() as u64,
+        discarded_bytes: 0,
+        torn_tail: false,
+        corrupt_records: 0,
+    };
     let mut at = MAGIC.len();
     while at < data.len() {
-        let Some(hdr) = data.get(at..at + 5) else {
-            return Err(CoreError::Storage(format!(
-                "{}: truncated record header at {at}",
-                path.display()
-            )));
+        let Some(hdr) = data.get(at..at + RECORD_HEADER_BYTES) else {
+            scan.torn_tail = true;
+            break;
         };
         let kind = hdr[0];
         let len = u32::from_le_bytes([hdr[1], hdr[2], hdr[3], hdr[4]]) as usize;
-        let body_at = at + 5;
+        let crc = u32::from_le_bytes([hdr[5], hdr[6], hdr[7], hdr[8]]);
+        let body_at = at + RECORD_HEADER_BYTES;
         let Some(body) = data.get(body_at..body_at + len) else {
-            return Err(CoreError::Storage(format!(
-                "{}: truncated record body at {at}",
-                path.display()
-            )));
+            scan.torn_tail = true;
+            break;
         };
-        match kind {
-            KIND_SECTOR => {
-                let info: SectorInfo = serde_json::from_slice(body).map_err(|e| {
-                    CoreError::Storage(format!("{}: sector meta: {e}", path.display()))
-                })?;
-                out.push(Record::Sector(info));
-            }
-            KIND_BAND => {
-                let schema: StreamSchema = serde_json::from_slice(body).map_err(|e| {
-                    CoreError::Storage(format!("{}: band meta: {e}", path.display()))
-                })?;
-                out.push(Record::Band(schema));
-            }
-            KIND_TILE => {
-                let header = TileHeader::parse(body)?;
-                if body.len() != TILE_HEADER_BYTES + header.payload_len as usize {
-                    return Err(CoreError::Storage(format!(
-                        "{}: tile record length mismatch at {at}",
-                        path.display()
-                    )));
-                }
-                out.push(Record::Tile {
-                    header,
-                    payload_offset: (body_at + TILE_HEADER_BYTES) as u64,
-                });
-            }
-            other => {
-                return Err(CoreError::Storage(format!(
-                    "{}: unknown record kind {other} at {at}",
-                    path.display()
-                )));
+        if crc32_parts(&[&hdr[..5], body]) != crc {
+            scan.corrupt_records += 1;
+            break;
+        }
+        let parsed = parse_body(kind, body, body_at);
+        match parsed {
+            Some(rec) => scan.records.push(rec),
+            None => {
+                // CRC passed but the body does not parse — corruption
+                // beyond what framing can model (or a future format).
+                scan.corrupt_records += 1;
+                break;
             }
         }
         at = body_at + len;
+        scan.valid_len = at as u64;
     }
-    Ok(out)
+    scan.discarded_bytes = data.len() as u64 - scan.valid_len;
+    Ok(scan)
+}
+
+fn parse_body(kind: u8, body: &[u8], body_at: usize) -> Option<Record> {
+    match kind {
+        KIND_SECTOR => {
+            let info: SectorInfo = serde_json::from_slice(body).ok()?;
+            Some(Record::Sector(info))
+        }
+        KIND_BAND => {
+            let schema: StreamSchema = serde_json::from_slice(body).ok()?;
+            Some(Record::Band(schema))
+        }
+        KIND_TILE => {
+            let header = TileHeader::parse(body).ok()?;
+            if body.len() != TILE_HEADER_BYTES + header.payload_len as usize {
+                return None;
+            }
+            Some(Record::Tile { header, payload_offset: (body_at + TILE_HEADER_BYTES) as u64 })
+        }
+        _ => None,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::StdVfs;
     use geostreams_core::model::Timestamp;
     use geostreams_geo::{Crs, LatticeGeoref, Rect};
 
@@ -293,6 +403,22 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    fn sample_header() -> TileHeader {
+        TileHeader {
+            band: 1,
+            sector_id: 4,
+            frame_id: 9,
+            timestamp: 4,
+            tile_x: 0,
+            cells: CellBox::new(0, 0, 7, 0),
+            codec: Codec::Quant16,
+            keyframe: true,
+            n_points: 8,
+            payload_len: 4,
+            payload_crc: 0,
+        }
     }
 
     #[test]
@@ -308,6 +434,7 @@ mod tests {
             keyframe: true,
             n_points: 64,
             payload_len: 123,
+            payload_crc: 0xABCD_EF01,
         };
         assert_eq!(TileHeader::parse(&h.encode()).unwrap(), h);
     }
@@ -324,31 +451,23 @@ mod tests {
             timestamp: Timestamp::new(4),
         };
         let schema = StreamSchema::new("t", Crs::LatLon);
-        let header = TileHeader {
-            band: 1,
-            sector_id: 4,
-            frame_id: 9,
-            timestamp: 4,
-            tile_x: 0,
-            cells: CellBox::new(0, 0, 7, 0),
-            codec: Codec::Quant16,
-            keyframe: true,
-            n_points: 8,
-            payload_len: 4,
-        };
-        let mut w = SegmentWriter::create(&dir, 0).unwrap();
+        let header = sample_header();
+        let vfs = StdVfs;
+        let mut w = SegmentWriter::create(&vfs, &dir, 0).unwrap();
         w.append_band(&schema).unwrap();
         w.append_sector(&sector).unwrap();
         let payload_at = w.append_tile(&header, &[1, 2, 3, 4]).unwrap();
         w.flush().unwrap();
 
-        let recs = scan_segment(&segment_path(&dir, 0)).unwrap();
-        assert_eq!(recs.len(), 3);
-        assert!(matches!(&recs[0], Record::Band(s) if s.name == "t"));
-        assert!(matches!(&recs[1], Record::Sector(s) if s.sector_id == 4));
-        match &recs[2] {
+        let scan = scan_segment(&vfs, &segment_path(&dir, 0)).unwrap();
+        assert!(scan.clean());
+        assert_eq!(scan.records.len(), 3);
+        assert!(matches!(&scan.records[0], Record::Band(s) if s.name == "t"));
+        assert!(matches!(&scan.records[1], Record::Sector(s) if s.sector_id == 4));
+        match &scan.records[2] {
             Record::Tile { header: h, payload_offset } => {
-                assert_eq!(*h, header);
+                assert_eq!(h.band, header.band);
+                assert_eq!(h.payload_crc, crc32(&[1, 2, 3, 4]));
                 assert_eq!(*payload_offset, payload_at);
                 let data = std::fs::read(segment_path(&dir, 0)).unwrap();
                 assert_eq!(&data[*payload_offset as usize..][..4], &[1, 2, 3, 4]);
@@ -359,11 +478,58 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_magic_is_rejected() {
+    fn corrupt_magic_scans_as_fully_discarded() {
         let dir = tmp_dir("magic");
         let path = dir.join("segment-000000.seg");
-        std::fs::write(&path, b"NOTSTORE").unwrap();
-        assert!(scan_segment(&path).is_err());
+        std::fs::write(&path, b"NOTSTOREjunkjunk").unwrap();
+        let scan = scan_segment(&StdVfs, &path).unwrap();
+        assert_eq!(scan.valid_len, 0);
+        assert_eq!(scan.discarded_bytes, 16);
+        assert_eq!(scan.corrupt_records, 1);
+        assert!(scan.records.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_stops_the_scan_and_is_reported() {
+        let dir = tmp_dir("torn");
+        let vfs = StdVfs;
+        let mut w = SegmentWriter::create(&vfs, &dir, 0).unwrap();
+        let schema = StreamSchema::new("t", Crs::LatLon);
+        w.append_band(&schema).unwrap();
+        let good_len = w.bytes();
+        // A second record, torn mid-body.
+        let rec = encode_band_record(&schema).unwrap();
+        w.append_raw(&rec[..rec.len() - 3]).unwrap();
+        w.flush().unwrap();
+
+        let scan = scan_segment(&vfs, &segment_path(&dir, 0)).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, good_len);
+        assert_eq!(scan.discarded_bytes, rec.len() as u64 - 3);
+        assert!(scan.torn_tail);
+        assert_eq!(scan.corrupt_records, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_fails_record_crc() {
+        let dir = tmp_dir("flip");
+        let vfs = StdVfs;
+        let mut w = SegmentWriter::create(&vfs, &dir, 0).unwrap();
+        w.append_tile(&sample_header(), &[9, 9, 9, 9]).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let path = segment_path(&dir, 0);
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 2] ^= 0x40; // flip one payload bit
+        std::fs::write(&path, &data).unwrap();
+
+        let scan = scan_segment(&vfs, &path).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.corrupt_records, 1);
+        assert_eq!(scan.valid_len, MAGIC.len() as u64);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,509 @@
+//! Write-ahead log for the archive.
+//!
+//! Every byte destined for a segment file is first framed into a redo
+//! record here (strict write-ahead: WAL append happens *before* the
+//! segment append it describes). A group-commit record seals a batch;
+//! recovery trusts only the committed prefix — anything after the last
+//! commit is discarded, bounding crash loss to at most one uncommitted
+//! group.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "GSWALOG1"                                  8-byte magic
+//! record*                                     until EOF
+//!
+//! record   := len:u32 crc:u32 body[len]       crc = CRC-32(body)
+//! body     := kind:u8 payload
+//! kind 0   := MetaRedo  — seg:u64 off:u64 data            (raw segment bytes)
+//! kind 1   := FrameRedo — seg:u64 off:u64 band:u16
+//!                         sector:u64 frame:u64 data       (one frame's records)
+//! kind 2   := Commit    — count:u16 (band:u16 sector:u64 frame:u64)*
+//! kind 3   := Rotate    — floor_seg:u64                   (first record of a WAL)
+//! ```
+//!
+//! The `Rotate` record partitions the segment space: segments with
+//! `id >= floor_seg` are governed by this WAL (their tails may need
+//! redo-based repair); segments below the floor were fsynced before
+//! the previous WAL was deleted and are sealed-durable.
+//!
+//! Scanning mirrors [`crate::segment::scan_segment`]: damage is never
+//! an error, it just ends the trusted prefix and is reported.
+
+use crate::vfs::{crc32, Vfs, VfsFile};
+use geostreams_core::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"GSWALOG1";
+
+const KIND_META_REDO: u8 = 0;
+const KIND_FRAME_REDO: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+const KIND_ROTATE: u8 = 3;
+
+/// When the WAL forces bytes to the medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsyncPolicy {
+    /// fsync the WAL on every group commit (default): a crash loses at
+    /// most the open group, even through power failure.
+    OnCommit,
+    /// Never fsync during steady state (only at rotation). Fastest;
+    /// an OS crash can lose any bytes still in the page cache, but
+    /// recovery still never serves a torn or corrupt record.
+    Never,
+}
+
+/// Per-band high-water mark carried by commit records: the last frame
+/// of `band` known durable at commit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct BandWatermark {
+    /// Spectral band.
+    pub band: u16,
+    /// Scan sector of the frame.
+    pub sector: u64,
+    /// Frame id.
+    pub frame: u64,
+}
+
+/// One WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Raw segment bytes (magic, metadata records) to redo at `off`.
+    MetaRedo {
+        /// Target segment id.
+        seg: u64,
+        /// Byte offset within the segment file.
+        off: u64,
+        /// The exact bytes the segment write will append.
+        data: Vec<u8>,
+    },
+    /// One frame's concatenated tile records to redo at `off`.
+    FrameRedo {
+        /// Target segment id.
+        seg: u64,
+        /// Byte offset within the segment file.
+        off: u64,
+        /// Band the frame belongs to.
+        band: u16,
+        /// Sector the frame belongs to.
+        sector: u64,
+        /// Frame id.
+        frame: u64,
+        /// The exact bytes the segment write will append.
+        data: Vec<u8>,
+    },
+    /// Seals every record before it; carries per-band watermarks.
+    Commit {
+        /// High-water marks at commit time.
+        watermarks: Vec<BandWatermark>,
+    },
+    /// First record of every WAL: segments `>= floor_seg` are governed
+    /// by this WAL.
+    Rotate {
+        /// Lowest segment id this WAL covers.
+        floor_seg: u64,
+    },
+}
+
+impl WalRecord {
+    /// Bytes this record's redo payload will append to a segment
+    /// (zero for commit/rotate).
+    pub fn redo_len(&self) -> u64 {
+        match self {
+            WalRecord::MetaRedo { data, .. } | WalRecord::FrameRedo { data, .. } => {
+                data.len() as u64
+            }
+            _ => 0,
+        }
+    }
+
+    fn encode_body(&self) -> Vec<u8> {
+        match self {
+            WalRecord::MetaRedo { seg, off, data } => {
+                let mut b = Vec::with_capacity(17 + data.len());
+                b.push(KIND_META_REDO);
+                b.extend_from_slice(&seg.to_le_bytes());
+                b.extend_from_slice(&off.to_le_bytes());
+                b.extend_from_slice(data);
+                b
+            }
+            WalRecord::FrameRedo { seg, off, band, sector, frame, data } => {
+                let mut b = Vec::with_capacity(35 + data.len());
+                b.push(KIND_FRAME_REDO);
+                b.extend_from_slice(&seg.to_le_bytes());
+                b.extend_from_slice(&off.to_le_bytes());
+                b.extend_from_slice(&band.to_le_bytes());
+                b.extend_from_slice(&sector.to_le_bytes());
+                b.extend_from_slice(&frame.to_le_bytes());
+                b.extend_from_slice(data);
+                b
+            }
+            WalRecord::Commit { watermarks } => {
+                let mut b = Vec::with_capacity(3 + watermarks.len() * 18);
+                b.push(KIND_COMMIT);
+                b.extend_from_slice(&(watermarks.len() as u16).to_le_bytes());
+                for w in watermarks {
+                    b.extend_from_slice(&w.band.to_le_bytes());
+                    b.extend_from_slice(&w.sector.to_le_bytes());
+                    b.extend_from_slice(&w.frame.to_le_bytes());
+                }
+                b
+            }
+            WalRecord::Rotate { floor_seg } => {
+                let mut b = Vec::with_capacity(9);
+                b.push(KIND_ROTATE);
+                b.extend_from_slice(&floor_seg.to_le_bytes());
+                b
+            }
+        }
+    }
+
+    fn parse_body(body: &[u8]) -> Option<WalRecord> {
+        let (&kind, rest) = body.split_first()?;
+        let u16at =
+            |b: &[u8], i: usize| Some(u16::from_le_bytes(b.get(i..i + 2)?.try_into().ok()?));
+        let u64at =
+            |b: &[u8], i: usize| Some(u64::from_le_bytes(b.get(i..i + 8)?.try_into().ok()?));
+        match kind {
+            KIND_META_REDO => {
+                let seg = u64at(rest, 0)?;
+                let off = u64at(rest, 8)?;
+                Some(WalRecord::MetaRedo { seg, off, data: rest.get(16..)?.to_vec() })
+            }
+            KIND_FRAME_REDO => {
+                let seg = u64at(rest, 0)?;
+                let off = u64at(rest, 8)?;
+                let band = u16at(rest, 16)?;
+                let sector = u64at(rest, 18)?;
+                let frame = u64at(rest, 26)?;
+                Some(WalRecord::FrameRedo {
+                    seg,
+                    off,
+                    band,
+                    sector,
+                    frame,
+                    data: rest.get(34..)?.to_vec(),
+                })
+            }
+            KIND_COMMIT => {
+                let count = u16at(rest, 0)? as usize;
+                if rest.len() != 2 + count * 18 {
+                    return None;
+                }
+                let mut watermarks = Vec::with_capacity(count);
+                for i in 0..count {
+                    let at = 2 + i * 18;
+                    watermarks.push(BandWatermark {
+                        band: u16at(rest, at)?,
+                        sector: u64at(rest, at + 2)?,
+                        frame: u64at(rest, at + 10)?,
+                    });
+                }
+                Some(WalRecord::Commit { watermarks })
+            }
+            KIND_ROTATE => {
+                if rest.len() != 8 {
+                    return None;
+                }
+                Some(WalRecord::Rotate { floor_seg: u64at(rest, 0)? })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn io_err(op: &str, path: &Path, e: std::io::Error) -> CoreError {
+    CoreError::Storage(format!("{op} {}: {e}", path.display()))
+}
+
+/// Path of WAL file `id` inside `dir`.
+pub fn wal_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("wal-{id:06}.wal"))
+}
+
+/// Parses a WAL id back out of a file name.
+pub fn parse_wal_id(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".wal")?.parse().ok()
+}
+
+/// Appends records to one WAL file.
+pub struct WalWriter {
+    file: Box<dyn VfsFile>,
+    path: PathBuf,
+    id: u64,
+    bytes: u64,
+    fsync: FsyncPolicy,
+    commits: u64,
+}
+
+impl WalWriter {
+    /// Creates WAL `id` with its opening `Rotate { floor_seg }` record
+    /// and forces it durable (rotation is always fsynced — it is the
+    /// hinge the recovery protocol swings on).
+    pub fn create(
+        vfs: &dyn Vfs,
+        dir: &Path,
+        id: u64,
+        floor_seg: u64,
+        fsync: FsyncPolicy,
+    ) -> Result<WalWriter> {
+        let path = wal_path(dir, id);
+        let file = vfs.create_new(&path).map_err(|e| io_err("create", &path, e))?;
+        let mut w = WalWriter { file, path, id, bytes: 0, fsync, commits: 0 };
+        w.append_bytes(WAL_MAGIC)?;
+        w.append(&WalRecord::Rotate { floor_seg })?;
+        w.file.flush().map_err(|e| io_err("flush", &w.path, e))?;
+        w.file.sync().map_err(|e| io_err("sync", &w.path, e))?;
+        Ok(w)
+    }
+
+    fn append_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        self.file.append(bytes).map_err(|e| io_err("append", &self.path, e))?;
+        self.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Appends one record (framing + CRC).
+    pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
+        let body = rec.encode_body();
+        let len = u32::try_from(body.len())
+            .map_err(|_| CoreError::Storage("WAL record over 4 GiB".into()))?;
+        let mut framed = Vec::with_capacity(8 + body.len());
+        framed.extend_from_slice(&len.to_le_bytes());
+        framed.extend_from_slice(&crc32(&body).to_le_bytes());
+        framed.extend_from_slice(&body);
+        self.append_bytes(&framed)
+    }
+
+    /// Seals the open group: appends a commit record, flushes, and —
+    /// under [`FsyncPolicy::OnCommit`] — fsyncs.
+    pub fn commit(&mut self, watermarks: Vec<BandWatermark>) -> Result<()> {
+        self.append(&WalRecord::Commit { watermarks })?;
+        self.file.flush().map_err(|e| io_err("flush", &self.path, e))?;
+        if self.fsync == FsyncPolicy::OnCommit {
+            self.file.sync().map_err(|e| io_err("sync", &self.path, e))?;
+        }
+        self.commits += 1;
+        Ok(())
+    }
+
+    /// WAL id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Bytes written so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Commit records written so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+}
+
+/// What [`scan_wal`] found: the committed prefix plus an account of
+/// everything after it.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Redo records of the committed prefix, in log order (commit and
+    /// rotate records are folded into the fields below).
+    pub committed: Vec<WalRecord>,
+    /// The opening rotate record's floor, if the WAL had one.
+    pub floor_seg: Option<u64>,
+    /// Watermarks of the *last* commit record.
+    pub watermarks: Vec<BandWatermark>,
+    /// Commit records seen.
+    pub commits: u64,
+    /// Well-formed records after the last commit (discarded).
+    pub uncommitted_records: u64,
+    /// How many of the discarded records were frame redos (the unit of
+    /// data loss reported to operators).
+    pub uncommitted_frames: u64,
+    /// Bytes after the committed prefix (uncommitted + torn/corrupt).
+    pub discarded_bytes: u64,
+    /// Scan stopped at an incomplete trailing record.
+    pub torn_tail: bool,
+    /// Structurally complete records rejected by CRC or parse (0 or 1).
+    pub corrupt_records: u64,
+}
+
+/// Reads the committed prefix of a WAL file. Returns `None` when the
+/// file cannot be read or its magic is wrong (caller treats the WAL as
+/// absent); damage past the magic is reported, never an error.
+pub fn scan_wal(vfs: &dyn Vfs, path: &Path) -> Option<WalScan> {
+    let data = vfs.read(path).ok()?;
+    if data.len() < WAL_MAGIC.len() || &data[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return None;
+    }
+    let mut scan = WalScan::default();
+    let mut pending: Vec<WalRecord> = Vec::new();
+    let mut committed_end = WAL_MAGIC.len();
+    let mut at = WAL_MAGIC.len();
+    loop {
+        let Some(hdr) = data.get(at..at + 8) else {
+            scan.torn_tail = at < data.len();
+            break;
+        };
+        let len = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]) as usize;
+        let crc = u32::from_le_bytes([hdr[4], hdr[5], hdr[6], hdr[7]]);
+        let Some(body) = data.get(at + 8..at + 8 + len) else {
+            scan.torn_tail = true;
+            break;
+        };
+        if crc32(body) != crc {
+            scan.corrupt_records = 1;
+            break;
+        }
+        let Some(rec) = WalRecord::parse_body(body) else {
+            scan.corrupt_records = 1;
+            break;
+        };
+        at += 8 + len;
+        match rec {
+            WalRecord::Rotate { floor_seg } => {
+                if scan.floor_seg.is_none() {
+                    scan.floor_seg = Some(floor_seg);
+                }
+                committed_end = at;
+            }
+            WalRecord::Commit { watermarks } => {
+                scan.committed.append(&mut pending);
+                scan.watermarks = watermarks;
+                scan.commits += 1;
+                committed_end = at;
+            }
+            redo => pending.push(redo),
+        }
+    }
+    scan.uncommitted_records = pending.len() as u64;
+    scan.uncommitted_frames =
+        pending.iter().filter(|r| matches!(r, WalRecord::FrameRedo { .. })).count() as u64;
+    scan.discarded_bytes = data.len() as u64 - committed_end as u64;
+    Some(scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::StdVfs;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gs-store-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn frame(seg: u64, off: u64, frame: u64, data: &[u8]) -> WalRecord {
+        WalRecord::FrameRedo { seg, off, band: 1, sector: 0, frame, data: data.to_vec() }
+    }
+
+    #[test]
+    fn record_bodies_round_trip() {
+        let records = [
+            WalRecord::MetaRedo { seg: 3, off: 0, data: vec![1, 2, 3] },
+            frame(3, 8, 42, &[9; 7]),
+            WalRecord::Commit {
+                watermarks: vec![
+                    BandWatermark { band: 1, sector: 0, frame: 42 },
+                    BandWatermark { band: 2, sector: 5, frame: 40 },
+                ],
+            },
+            WalRecord::Rotate { floor_seg: 17 },
+        ];
+        for rec in &records {
+            assert_eq!(WalRecord::parse_body(&rec.encode_body()).as_ref(), Some(rec));
+        }
+    }
+
+    #[test]
+    fn commit_seals_the_prefix_and_uncommitted_tail_is_discarded() {
+        let dir = tmp_dir("commit");
+        let vfs = StdVfs;
+        let mut w = WalWriter::create(&vfs, &dir, 0, 2, FsyncPolicy::OnCommit).unwrap();
+        w.append(&frame(2, 8, 1, &[1; 4])).unwrap();
+        w.append(&frame(2, 12, 2, &[2; 4])).unwrap();
+        w.commit(vec![BandWatermark { band: 1, sector: 0, frame: 2 }]).unwrap();
+        let committed_bytes = w.bytes();
+        w.append(&frame(2, 16, 3, &[3; 4])).unwrap(); // never committed
+        drop(w);
+
+        let scan = scan_wal(&vfs, &wal_path(&dir, 0)).unwrap();
+        assert_eq!(scan.floor_seg, Some(2));
+        assert_eq!(scan.committed.len(), 2);
+        assert_eq!(scan.commits, 1);
+        assert_eq!(scan.uncommitted_records, 1);
+        assert_eq!(scan.discarded_bytes, StdVfs.len(&wal_path(&dir, 0)).unwrap() - committed_bytes);
+        assert_eq!(scan.watermarks, vec![BandWatermark { band: 1, sector: 0, frame: 2 }]);
+        assert!(!scan.torn_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_record_ends_the_trusted_prefix() {
+        let dir = tmp_dir("torn");
+        let vfs = StdVfs;
+        let mut w = WalWriter::create(&vfs, &dir, 0, 0, FsyncPolicy::Never).unwrap();
+        w.append(&frame(0, 8, 1, &[1; 4])).unwrap();
+        w.commit(vec![]).unwrap();
+        drop(w);
+        // Tear the file mid-way through a trailing record.
+        let path = wal_path(&dir, 0);
+        let mut data = std::fs::read(&path).unwrap();
+        let committed_len = data.len();
+        let rec = frame(0, 12, 2, &[2; 4]);
+        let body = rec.encode_body();
+        data.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        data.extend_from_slice(&crc32(&body).to_le_bytes());
+        data.extend_from_slice(&body[..body.len() - 2]);
+        std::fs::write(&path, &data).unwrap();
+
+        let scan = scan_wal(&vfs, &path).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.committed.len(), 1);
+        assert_eq!(scan.discarded_bytes, (data.len() - committed_len) as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_bit_fails_wal_crc() {
+        let dir = tmp_dir("flip");
+        let vfs = StdVfs;
+        let mut w = WalWriter::create(&vfs, &dir, 0, 0, FsyncPolicy::Never).unwrap();
+        w.append(&frame(0, 8, 1, &[7; 16])).unwrap();
+        w.commit(vec![]).unwrap();
+        drop(w);
+        let path = wal_path(&dir, 0);
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a bit inside the FrameRedo's 16-byte data payload, which
+        // sits just before the trailing 11-byte commit record.
+        let at = data.len() - 20;
+        data[at] ^= 0x10;
+        std::fs::write(&path, &data).unwrap();
+
+        let scan = scan_wal(&vfs, &path).unwrap();
+        assert_eq!(scan.corrupt_records, 1);
+        assert!(scan.committed.is_empty(), "damage before the commit unseals it");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_reads_as_absent() {
+        let dir = tmp_dir("magic");
+        let path = wal_path(&dir, 0);
+        std::fs::write(&path, b"NOTAWALF").unwrap();
+        assert!(scan_wal(&StdVfs, &path).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_names_parse() {
+        assert_eq!(parse_wal_id("wal-000007.wal"), Some(7));
+        assert_eq!(parse_wal_id("wal-x.wal"), None);
+        assert_eq!(parse_wal_id("segment-000001.seg"), None);
+    }
+}

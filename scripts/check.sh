@@ -28,6 +28,10 @@ scripts/chaos.sh
 # the persist/replay path, and the >= 2x compression bar.
 scripts/store_gate.sh
 
+# Crash gate: seeded kill-point sweep (WAL recovery, checksum
+# verification, bounded loss) run twice and diffed.
+scripts/crash_gate.sh
+
 # Chunked-execution gate: scalar/chunked differential suite, digest
 # determinism, and the >= 3x microbench speedup bar.
 scripts/exec_gate.sh
