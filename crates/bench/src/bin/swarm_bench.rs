@@ -1,0 +1,141 @@
+//! Shared-plan multicast benchmark (`BENCH_swarm.json`).
+//!
+//! Registers a swarm of identical counting queries against the
+//! supervised runtime twice — once with plan sharing enabled (ISSUE 9:
+//! one evaluated pipeline, a subscription tree multicasting
+//! `Arc`-shared chunks to every subscriber) and once over the legacy
+//! one-pipeline-per-query path — and reports the per-subscriber cost
+//! collapse. The unshared oracle runs a smaller swarm (running 1000
+//! independent pipelines would prove nothing but patience); costs are
+//! compared per subscriber.
+//!
+//! `--digest` prints exactly one timing-free JSON line (per-subscriber
+//! delivery counts, distinct-plan count, payload-copy count, oracle
+//! equality) so `scripts/swarm_gate.sh` can run the binary twice and
+//! `diff` the outputs to prove shared evaluation is deterministic.
+
+use geostreams_dsms::protocol::{ClientRequest, OutputFormat};
+use geostreams_dsms::{run_supervised, FanoutPolicy, IngestStats, RuntimeConfig, ServerMetrics};
+use geostreams_satsim::{goes_like, Scanner};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// A representative dashboard query: a focal aggregate is the kind of
+// per-chunk work whose cost actually multiplies across an unshared
+// swarm (cheap plans are dominated by per-subscriber bookkeeping
+// either way).
+const QUERY: &str =
+    "focal(focal(focal(scale(goes-sim.b4-ir, 2, 0), \"mean\", 5), \"max\", 5), \"min\", 5)";
+const SECTORS: u64 = 4;
+const SHARED_SUBS: usize = 1000;
+const ORACLE_SUBS: usize = 32;
+
+fn scanner() -> Scanner {
+    goes_like(512, 256, 11)
+}
+
+/// Runs `n` identical subscribers; returns per-query (points, sectors)
+/// digests, the wall time, and the runtime stats.
+fn run_swarm(share: bool, n: usize) -> (Vec<(u64, u64)>, Duration, IngestStats) {
+    let requests: Vec<ClientRequest> = (0..n)
+        .map(|_| ClientRequest {
+            query: QUERY.to_string(),
+            format: OutputFormat::Stats,
+            sectors: 0,
+        })
+        .collect();
+    let config = RuntimeConfig {
+        share_plans: share,
+        fanout: FanoutPolicy::Blocking,
+        metrics: Some(Arc::new(ServerMetrics::new())),
+        ..RuntimeConfig::default()
+    };
+    let started = Instant::now();
+    let (results, stats) =
+        run_supervised(&scanner(), SECTORS, &requests, &config).expect("swarm run");
+    let wall = started.elapsed();
+    let digests = results
+        .iter()
+        .map(|r| {
+            let r = r.as_ref().expect("query result");
+            let report = r.report.as_ref().expect("run report");
+            (r.points, report.sectors)
+        })
+        .collect();
+    (digests, wall, stats)
+}
+
+fn main() {
+    let digest_mode = std::env::args().any(|a| a == "--digest");
+    let (shared, shared_wall, shared_stats) = run_swarm(true, SHARED_SUBS);
+    let (oracle, oracle_wall, oracle_stats) = run_swarm(false, ORACLE_SUBS);
+
+    // Sharing must not change per-subscriber results: every shared
+    // subscriber's delivery counts equal the unshared oracle's.
+    let identical = !oracle.is_empty()
+        && oracle.iter().all(|d| *d == oracle[0])
+        && shared.iter().all(|d| *d == oracle[0]);
+    let (points, sectors) = oracle.first().copied().unwrap_or((0, 0));
+
+    if digest_mode {
+        println!(
+            "{{\"bench\":\"swarm\",\"subscribers\":{},\"distinct_plans\":{},\
+             \"points_per_subscriber\":{},\"sectors_per_subscriber\":{},\
+             \"chunks_multicast\":{},\"payload_copies\":{},\"identical\":{}}}",
+            SHARED_SUBS,
+            shared_stats.shared_plans,
+            points,
+            sectors,
+            shared_stats.shared_chunks_multicast,
+            shared_stats.payload_copies,
+            identical
+        );
+        return;
+    }
+
+    let per_sub_shared_ns = shared_wall.as_nanos() / SHARED_SUBS as u128;
+    let per_sub_unshared_ns = oracle_wall.as_nanos() / ORACLE_SUBS as u128;
+    let collapse_permille =
+        per_sub_unshared_ns.saturating_mul(1000).checked_div(per_sub_shared_ns.max(1)).unwrap_or(0);
+
+    let path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_swarm.json".to_string());
+    let json = format!(
+        "{{\"bench\":\"swarm\",\"subscribers_shared\":{},\"subscribers_unshared\":{},\
+         \"distinct_plans\":{},\"shared_wall_us\":{},\"unshared_wall_us\":{},\
+         \"per_subscriber_shared_ns\":{},\"per_subscriber_unshared_ns\":{},\
+         \"cost_collapse_permille\":{},\"points_per_subscriber\":{},\
+         \"chunks_multicast\":{},\"payload_copies\":{},\"results_identical\":{},\
+         \"oracle_shared_plans\":{}}}",
+        SHARED_SUBS,
+        ORACLE_SUBS,
+        shared_stats.shared_plans,
+        shared_wall.as_micros(),
+        oracle_wall.as_micros(),
+        per_sub_shared_ns,
+        per_sub_unshared_ns,
+        collapse_permille,
+        points,
+        shared_stats.shared_chunks_multicast,
+        shared_stats.payload_copies,
+        identical,
+        oracle_stats.shared_plans
+    );
+    std::fs::write(&path, json.as_bytes()).expect("write swarm report");
+    println!(
+        "wrote {path}: {} shared subscribers over {} distinct plan(s) in {} ms \
+         ({} ns/subscriber) vs {} unshared in {} ms ({} ns/subscriber): \
+         {}x per-subscriber cost collapse, results identical: {}",
+        SHARED_SUBS,
+        shared_stats.shared_plans,
+        shared_wall.as_millis(),
+        per_sub_shared_ns,
+        ORACLE_SUBS,
+        oracle_wall.as_millis(),
+        per_sub_unshared_ns,
+        collapse_permille / 1000,
+        identical
+    );
+}

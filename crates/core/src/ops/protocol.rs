@@ -605,7 +605,7 @@ mod tests {
                     opened += 1;
                 }
                 Element::FrameStart(fi) => {
-                    checker.observe::<f32>(&ChunkOrMarker::Marker(Marker::FrameStart(fi.clone())));
+                    checker.observe::<f32>(&ChunkOrMarker::Marker(Marker::FrameStart(*fi)));
                     opened += 1;
                 }
                 _ => {}

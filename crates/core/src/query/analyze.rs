@@ -31,6 +31,7 @@
 //! gets a narrow row-band bound.
 
 use super::ast::Expr;
+use super::canon::{canonical_key, canonical_text, key_hex};
 use super::plan::Catalog;
 use super::pushdown::{time_set_window, TimeWindow};
 use crate::model::{Organization, TimeSemantics, TimeSet};
@@ -185,6 +186,72 @@ pub struct PlanReport {
     /// never ran the verifier cannot pass admission.
     #[serde(default)]
     pub certificate: ProtocolCertificate,
+    /// Structural identity of the plan for multi-query sharing (see
+    /// [`crate::query::canon`]): the canonical key the shared-plan
+    /// registry groups subscriptions by, plus the keys of every
+    /// subexpression, so the registry can detect partial overlap
+    /// between plans. The serde default (empty) marks a report from a
+    /// peer that predates the sharing subsystem.
+    #[serde(default)]
+    pub sharing: SharingReport,
+}
+
+/// Canonical identity of one subexpression of a plan.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SubplanKey {
+    /// Canonical textual form of the subexpression (re-parsable).
+    pub text: String,
+    /// Canonical key, 16 hex digits.
+    pub key: String,
+    /// Operator nodes in the subexpression (sources excluded); the
+    /// registry only shares cuts with at least one operator.
+    pub operator_count: u64,
+}
+
+/// The sharing facts of a plan: its canonical identity and the
+/// canonical keys of all subexpressions (deduplicated). `shared_with`
+/// is zero from plain analysis; the DSMS's shared-plan registry fills
+/// it with the number of *other* live queries on the same canonical
+/// key when serving `/explain`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SharingReport {
+    /// Canonical key of the whole plan, 16 hex digits.
+    pub canonical_key: String,
+    /// Canonical textual form of the whole plan.
+    pub canonical_text: String,
+    /// Canonical keys of every distinct subexpression with at least
+    /// one operator, in pre-order.
+    pub subplans: Vec<SubplanKey>,
+    /// Other live queries sharing this exact plan (registry-filled).
+    pub shared_with: u64,
+}
+
+impl SharingReport {
+    /// Computes the sharing facts of an expression (see
+    /// [`crate::query::canon`] for the normalization rules).
+    pub fn for_expr(expr: &Expr) -> SharingReport {
+        let mut subplans = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        expr.visit(&mut |e| {
+            if matches!(e, Expr::Source(_)) {
+                return;
+            }
+            let key = canonical_key(e);
+            if seen.insert(key) {
+                subplans.push(SubplanKey {
+                    text: canonical_text(e),
+                    key: key_hex(key),
+                    operator_count: e.operator_count() as u64,
+                });
+            }
+        });
+        SharingReport {
+            canonical_key: key_hex(canonical_key(expr)),
+            canonical_text: canonical_text(expr),
+            subplans,
+            shared_with: 0,
+        }
+    }
 }
 
 impl PlanReport {
@@ -983,6 +1050,7 @@ pub fn analyze_with(expr: &Expr, catalog: &Catalog, opts: &AnalyzeOptions<'_>) -
         peak_buffer_bytes,
         diagnostics: a.diagnostics,
         certificate,
+        sharing: SharingReport::for_expr(expr),
     }
 }
 
@@ -1243,13 +1311,29 @@ mod tests {
     fn unverified_reports_deserialize_uncertified() {
         let r = report("g1");
         let json = serde_json::to_string(&r).unwrap();
-        // An older peer that never ran the verifier omits the field
-        // (`certificate` is the last field of the report).
+        // An older peer that never ran the verifier omits the
+        // trailing certificate (and sharing) fields entirely.
         let idx = json.rfind(",\"certificate\":").unwrap();
         let legacy = format!("{}}}", &json[..idx]);
         let back: PlanReport = serde_json::from_str(&legacy).unwrap();
         assert!(!back.certificate.certified);
         assert!(!back.certificate.violations.is_empty());
+    }
+
+    #[test]
+    fn reports_carry_canonical_sharing_facts() {
+        let a = report("add(g1, g2)");
+        let b = report("add(g2, g1)");
+        assert_eq!(a.sharing.canonical_key, b.sharing.canonical_key);
+        assert_eq!(a.sharing.canonical_text, "add(g1, g2)");
+        assert_eq!(a.sharing.shared_with, 0);
+        // One distinct operator subexpression: the add itself.
+        assert_eq!(a.sharing.subplans.len(), 1);
+        assert_eq!(a.sharing.subplans[0].operator_count, 1);
+        // Nested plans list every operator cut exactly once.
+        let c = report("scale(downsample(g1, 4), 2, 0)");
+        assert_eq!(c.sharing.subplans.len(), 2);
+        assert!(c.sharing.subplans.iter().any(|s| s.text == "downsample(g1, 4)"));
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Plan canonicalization: the structural identity under which the DSMS
+//! shares work across queries (ISSUE 9, building on §3.4's multi-query
+//! optimization).
+//!
+//! Two textually different queries frequently denote the same pipeline
+//! — `add(a, b)` vs `add(b, a)`, `restrict_value(g, 0, 1)` written with
+//! its ranges in a different order, an `instants(...)` time set listing
+//! the same timestamps twice. [`canonicalize`] rewrites an (already
+//! optimized) [`Expr`] into a normal form in which such pairs become
+//! structurally equal, and [`canonical_key`] hashes that form into the
+//! 64-bit key the shared-plan registry groups subscriptions by.
+//!
+//! Every rewrite here is **bit-exact**: the canonical expression, when
+//! executed, produces byte-identical output to the input expression.
+//! That is a stronger bar than the optimizer's semantics-preservation
+//! (which may, e.g., re-associate float arithmetic behind a fused
+//! macro) and it is what makes execution-level sharing sound — a
+//! subscriber served from a shared canonical pipeline must be unable to
+//! tell it apart from a private one. Concretely:
+//!
+//! * commutative γ compositions (`add`, `mul`, `sup`, `inf`) order
+//!   their operands by canonical text — IEEE-754 `+`, `*`, `max`, `min`
+//!   are commutative on the non-NaN values the pipelines carry;
+//! * `restrict_value` range lists are sorted and exact duplicates
+//!   dropped (membership in a union of ranges is order-independent);
+//! * `instants(...)` time sets are sorted and deduplicated;
+//! * exact identities disappear: `scale(E, 1, 0)`, `magnify(E, 1)`,
+//!   `downsample(E, 1)`, `shed(E, _, 1)`, and `abs(abs(E))` → `abs(E)`.
+//!
+//! Float-reassociating folds (e.g. `gamma(E, 1)` → `E`, which would
+//! swap a `powf(v, 1.0)` for `v`) are deliberately *not* performed.
+
+use super::ast::Expr;
+use crate::model::TimeSet;
+use crate::ops::{GammaOp, ValueFunc};
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte string — the workspace's standard content hash
+/// (same function the bench digests use), applied to the canonical
+/// textual form.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// True for γ operators that commute bit-exactly on non-NaN floats.
+fn commutes(op: GammaOp) -> bool {
+    matches!(op, GammaOp::Add | GammaOp::Mul | GammaOp::Sup | GammaOp::Inf)
+}
+
+/// Rewrites an expression into its canonical form (see module docs).
+/// Idempotent: `canonicalize(&canonicalize(e)) == canonicalize(e)`.
+pub fn canonicalize(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Source(name) => Expr::Source(name.clone()),
+        Expr::RestrictSpace { input, region, crs } => Expr::RestrictSpace {
+            input: Box::new(canonicalize(input)),
+            region: region.clone(),
+            crs: *crs,
+        },
+        Expr::RestrictTime { input, times } => Expr::RestrictTime {
+            input: Box::new(canonicalize(input)),
+            times: canonical_times(times),
+        },
+        Expr::RestrictValue { input, ranges } => {
+            let mut ranges = ranges.clone();
+            // Total order via bit patterns so NaN bounds cannot wedge
+            // the sort; membership in a union of ranges is
+            // order-independent, so reordering is observation-free.
+            ranges.sort_by_key(|&(lo, hi)| (lo.to_bits(), hi.to_bits()));
+            ranges
+                .dedup_by(|a, b| a.0.to_bits() == b.0.to_bits() && a.1.to_bits() == b.1.to_bits());
+            Expr::RestrictValue { input: Box::new(canonicalize(input)), ranges }
+        }
+        Expr::MapValue { input, func } => {
+            let input = canonicalize(input);
+            match func {
+                // Exact identities: applying them is a bit-exact no-op.
+                ValueFunc::Linear { scale, offset } if *scale == 1.0 && *offset == 0.0 => input,
+                // `abs` is idempotent bit-exactly.
+                ValueFunc::Abs if matches!(&input, Expr::MapValue { func: ValueFunc::Abs, .. }) => {
+                    input
+                }
+                _ => Expr::MapValue { input: Box::new(input), func: *func },
+            }
+        }
+        Expr::Stretch { input, mode, scope } => {
+            Expr::Stretch { input: Box::new(canonicalize(input)), mode: *mode, scope: *scope }
+        }
+        Expr::Focal { input, func, k } => {
+            Expr::Focal { input: Box::new(canonicalize(input)), func: *func, k: *k }
+        }
+        Expr::Orient { input, orientation } => {
+            Expr::Orient { input: Box::new(canonicalize(input)), orientation: *orientation }
+        }
+        Expr::Magnify { input, k } => {
+            let input = canonicalize(input);
+            if *k == 1 {
+                input
+            } else {
+                Expr::Magnify { input: Box::new(input), k: *k }
+            }
+        }
+        Expr::Downsample { input, k } => {
+            let input = canonicalize(input);
+            if *k == 1 {
+                input
+            } else {
+                Expr::Downsample { input: Box::new(input), k: *k }
+            }
+        }
+        Expr::Reproject { input, to, kernel } => {
+            Expr::Reproject { input: Box::new(canonicalize(input)), to: *to, kernel: *kernel }
+        }
+        Expr::Compose { left, right, op } => {
+            let l = canonicalize(left);
+            let r = canonicalize(right);
+            if commutes(*op) && r.to_string() < l.to_string() {
+                Expr::Compose { left: Box::new(r), right: Box::new(l), op: *op }
+            } else {
+                Expr::Compose { left: Box::new(l), right: Box::new(r), op: *op }
+            }
+        }
+        Expr::Ndvi { nir, vis } => {
+            Expr::Ndvi { nir: Box::new(canonicalize(nir)), vis: Box::new(canonicalize(vis)) }
+        }
+        Expr::Shed { input, policy, stride } => {
+            let input = canonicalize(input);
+            if *stride == 1 {
+                // Keeping 1 of every 1 passes everything through.
+                input
+            } else {
+                Expr::Shed { input: Box::new(input), policy: *policy, stride: *stride }
+            }
+        }
+        Expr::Delay { input, d } => Expr::Delay { input: Box::new(canonicalize(input)), d: *d },
+        Expr::AggTime { input, func, window } => {
+            Expr::AggTime { input: Box::new(canonicalize(input)), func: *func, window: *window }
+        }
+        Expr::AggSpace { input, func, region } => Expr::AggSpace {
+            input: Box::new(canonicalize(input)),
+            func: *func,
+            region: region.clone(),
+        },
+    }
+}
+
+/// Canonical form of a timestamp set: `instants` sorted + deduplicated
+/// (set membership is order-independent); intervals and recurrences are
+/// already canonical.
+fn canonical_times(times: &TimeSet) -> TimeSet {
+    match times {
+        TimeSet::Instants(v) => {
+            let mut v = v.clone();
+            v.sort_unstable();
+            v.dedup();
+            TimeSet::Instants(v)
+        }
+        other => other.clone(),
+    }
+}
+
+/// The canonical textual form of an expression: [`canonicalize`]
+/// rendered through the re-parsable [`Expr`] `Display` syntax. Two
+/// expressions share a pipeline iff their canonical texts are equal.
+pub fn canonical_text(expr: &Expr) -> String {
+    canonicalize(expr).to_string()
+}
+
+/// 64-bit structural key of an expression's canonical form (FNV-1a of
+/// [`canonical_text`]). The shared-plan registry keys plans by this
+/// value and confirms candidate matches against the canonical text, so
+/// a hash collision can never alias two different plans.
+pub fn canonical_key(expr: &Expr) -> u64 {
+    fnv1a(canonical_text(expr).as_bytes())
+}
+
+/// Renders a canonical key the way the metrics labels and the `/share`
+/// endpoint do: 16 lowercase hex digits.
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+
+    fn canon(q: &str) -> String {
+        canonical_text(&parse_query(q).unwrap())
+    }
+
+    fn key(q: &str) -> u64 {
+        canonical_key(&parse_query(q).unwrap())
+    }
+
+    #[test]
+    fn commutative_compositions_share_a_key() {
+        assert_eq!(key("add(g1, g2)"), key("add(g2, g1)"));
+        assert_eq!(key("mul(g1, g2)"), key("mul(g2, g1)"));
+        assert_eq!(key("sup(g1, g2)"), key("sup(g2, g1)"));
+        assert_eq!(key("inf(g1, g2)"), key("inf(g2, g1)"));
+    }
+
+    #[test]
+    fn non_commutative_compositions_do_not() {
+        assert_ne!(key("sub(g1, g2)"), key("sub(g2, g1)"));
+        assert_ne!(key("div(g1, g2)"), key("div(g2, g1)"));
+        assert_ne!(key("ndvi(g1, g2)"), key("ndvi(g2, g1)"));
+    }
+
+    #[test]
+    fn value_ranges_and_instants_normalize() {
+        assert_eq!(key("restrict_value(g1, 5, 9, 0, 1)"), key("restrict_value(g1, 0, 1, 5, 9)"));
+        assert_eq!(key("restrict_value(g1, 0, 1, 0, 1)"), key("restrict_value(g1, 0, 1)"));
+        assert_eq!(
+            key("restrict_time(g1, instants(3, 1, 2, 1))"),
+            key("restrict_time(g1, instants(1, 2, 3))")
+        );
+    }
+
+    #[test]
+    fn exact_identities_fold_away() {
+        assert_eq!(canon("scale(g1, 1, 0)"), "g1");
+        assert_eq!(canon("magnify(g1, 1)"), "g1");
+        assert_eq!(canon("downsample(g1, 1)"), "g1");
+        assert_eq!(canon("shed(g1, \"points\", 1)"), "g1");
+        assert_eq!(canon("abs(abs(g1))"), "abs(g1)");
+        // Inexact "identities" stay: powf(v, 1.0) is not guaranteed
+        // bit-equal to v, so gamma(E, 1) must execute as written.
+        assert_eq!(canon("gamma(g1, 1)"), "gamma(g1, 1)");
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        for q in [
+            "add(scale(g2, 1, 0), g1)",
+            "restrict_value(add(g2, g1), 5, 9, 0, 1)",
+            "ndvi(g1, downsample(g2, 4))",
+            "sup(inf(g2, g1), inf(g1, g2))",
+        ] {
+            let once = canonicalize(&parse_query(q).unwrap());
+            assert_eq!(once, canonicalize(&once), "{q}");
+        }
+    }
+
+    #[test]
+    fn nested_commutativity_orders_recursively() {
+        // Both operands canonicalize to inf(g1, g2), so the outer sup
+        // sees equal children regardless of spelling.
+        assert_eq!(key("sup(inf(g2, g1), inf(g1, g2))"), key("sup(inf(g1, g2), inf(g2, g1))"));
+    }
+
+    #[test]
+    fn distinct_plans_keep_distinct_keys() {
+        let keys = [
+            key("g1"),
+            key("g2"),
+            key("scale(g1, 2, 0)"),
+            key("scale(g1, 2, 1)"),
+            key("downsample(g1, 4)"),
+            key("add(g1, g2)"),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn key_hex_is_stable_16_digits() {
+        let h = key_hex(canonical_key(&parse_query("g1").unwrap()));
+        assert_eq!(h.len(), 16);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod analyze;
 pub mod ast;
+pub mod canon;
 pub mod cascade;
 pub mod cost;
 pub mod optimizer;
@@ -11,9 +12,10 @@ pub mod pushdown;
 
 pub use analyze::{
     analyze, analyze_with, AnalyzeOptions, Diagnostic, OpAnalysis, PlanReport, ReplayEstimate,
-    ReplayProvider, Severity,
+    ReplayProvider, Severity, SharingReport, SubplanKey,
 };
 pub use ast::Expr;
+pub use canon::{canonical_key, canonical_text, canonicalize, key_hex};
 pub use cascade::{CascadeTree, NaiveRegionIndex, RegionIndex};
 pub use optimizer::optimize;
 pub use parser::parse_query;

@@ -36,17 +36,20 @@
 use crate::metrics::ServerMetrics;
 use crate::protocol::{ClientRequest, OutputFormat};
 use crate::server::{QueryResult, SourceRepair};
+use crate::share::{band_refs, plan_sharing, share_refs, share_source_name, SubscriptionTree};
+use geostreams_core::exec::{run_chunked, RunReport};
 use geostreams_core::model::{
     BoxedF32Stream, ChannelLike, ChunkChannel, ChunkOrMarker, GeoStream, Marker, RepairCounters,
     RepairProbe, StreamRepair, DEFAULT_CHUNK_BUDGET,
 };
 use geostreams_core::obs::{
-    now_ns, Counter, Gauge, PipelineObs, SpanGuard, SpanOutcome, SpanStream, TraceContext,
+    now_ns, Counter, Gauge, HistogramSnapshot, PipelineObs, SpanGuard, SpanOutcome, SpanStream,
+    TraceContext,
 };
 use geostreams_core::ops::delivery::PngSink;
 use geostreams_core::query::{
-    analyze_with, merged_source_windows, optimize, parse_query, AnalyzeOptions, Catalog, Expr,
-    Planner, ReplayProvider, TimeWindow,
+    analyze_with, key_hex, merged_source_windows, optimize, parse_query, AnalyzeOptions, Catalog,
+    Expr, Planner, ReplayProvider, TimeWindow,
 };
 use geostreams_core::{CoreError, Result};
 use geostreams_raster::png::PngOptions;
@@ -126,6 +129,19 @@ pub struct RuntimeConfig {
     /// Retention knob: maximum archived frames (`None` keeps the
     /// archive's own setting). Eviction is segment-granular.
     pub archive_max_frames: Option<u64>,
+    /// Multi-query plan sharing (DESIGN.md §16): when enabled, admitted
+    /// counting queries with structurally-equal canonical plans — or
+    /// common subplans across different plans — are evaluated once per
+    /// chunk and multicast through subscription trees. Off by default:
+    /// shared evaluation trades the per-query scan→deliver span chains
+    /// of the legacy path for O(distinct plans) cost, so swarm mode is
+    /// opt-in. The legacy one-pipeline-per-query path is the unshared
+    /// oracle `swarm_bench` and the sharing tests compare against.
+    pub share_plans: bool,
+    /// Tenant of each request (request index → tenant name), used for
+    /// per-tenant shed accounting on shared plans. Unlisted requests
+    /// belong to the `"default"` tenant.
+    pub tenants: Vec<(usize, String)>,
 }
 
 impl Default for RuntimeConfig {
@@ -145,6 +161,8 @@ impl Default for RuntimeConfig {
             start_sector: 0,
             archive_max_bytes: None,
             archive_max_frames: None,
+            share_plans: false,
+            tenants: Vec::new(),
         }
     }
 }
@@ -174,13 +192,24 @@ pub struct IngestStats {
     /// Injected-fault counters per band (band id → stats), present
     /// when a fault plan was active.
     pub faults_per_band: Vec<(u16, FaultStats)>,
+    /// Distinct shared plans (DAG nodes) the sharing runtime evaluated
+    /// (0 = every query ran the legacy per-query path).
+    pub shared_plans: u64,
+    /// Chunked items delivered to shared-plan subscribers.
+    pub shared_chunks_multicast: u64,
+    /// Chunk payloads deep-copied anywhere in the fan-out (0 = every
+    /// payload travelled by `Arc` reference only).
+    pub payload_copies: u64,
+    /// Elements shed by subscription trees, per tenant (sorted).
+    pub shed_per_tenant: Vec<(String, u64)>,
 }
 
 /// One subscriber of a band's fan-out. The channel carries whole
-/// chunked items, so per-subscriber dispatch and channel overhead are
-/// amortized over entire point runs.
+/// chunked items behind an [`Arc`], so per-subscriber dispatch and
+/// channel overhead are amortized over entire point runs and the
+/// payload is never deep-copied per subscriber.
 struct SubSlot {
-    tx: Option<SyncSender<ChunkOrMarker<f32>>>,
+    tx: Option<SyncSender<Arc<ChunkOrMarker<f32>>>>,
     /// Elements this subscriber lost to shedding (incl. being declared
     /// dead).
     shed: u64,
@@ -332,29 +361,82 @@ pub fn run_supervised(
         exprs.push(Ok((expr, req.format, routes)));
     }
 
+    // Multi-query plan sharing (DESIGN.md §16): group eligible admitted
+    // plans by canonical key and detect subplans shared across them.
+    // Eligibility is conservative — counting formats only, no archive
+    // routes, no watchdog — so the shared path can never change a
+    // result the legacy path would have produced; everything else runs
+    // per-query exactly as before.
+    let mut eligible: Vec<(usize, Expr)> = Vec::new();
+    if config.share_plans && config.watchdog.is_none() {
+        for (qid, admitted) in exprs.iter().enumerate() {
+            if let Ok((expr, format, routes)) = admitted {
+                if matches!(format, OutputFormat::Stats | OutputFormat::Json) && routes.is_empty() {
+                    eligible.push((qid, expr.clone()));
+                }
+            }
+        }
+    }
+    let share_plan = plan_sharing(&eligible);
+    let shared_qids: std::collections::HashSet<usize> =
+        share_plan.nodes.iter().flat_map(|n| n.members.iter().copied()).collect();
+    let tenant_of = |qid: usize| -> String {
+        config
+            .tenants
+            .iter()
+            .find(|(i, _)| *i == qid)
+            .map_or_else(|| "default".to_string(), |(_, t)| t.clone())
+    };
+
     // Create one channel per (query, live-served source). Archive-only
     // sources never subscribe: their band need not be ingested at all.
-    type Rx = Receiver<ChunkOrMarker<f32>>;
+    // Queries served by a shared plan subscribe to its subscription
+    // tree instead, never directly to a band.
+    type Rx = Receiver<Arc<ChunkOrMarker<f32>>>;
     let mut band_slots: HashMap<String, Vec<SubSlot>> = HashMap::new();
     let mut query_receivers: Vec<HashMap<String, Rx>> = Vec::new();
     for (qid, admitted) in exprs.iter().enumerate() {
         let mut receivers = HashMap::new();
         if let Ok((expr, _, routes)) = admitted {
-            for name in expr.source_names() {
-                if matches!(routes.get(&name), Some(SourceRoute::ArchiveOnly(_))) {
-                    continue;
+            if !shared_qids.contains(&qid) {
+                for name in expr.source_names() {
+                    if matches!(routes.get(&name), Some(SourceRoute::ArchiveOnly(_))) {
+                        continue;
+                    }
+                    let (tx, rx) = sync_channel(config.channel_cap);
+                    band_slots.entry(name.clone()).or_default().push(SubSlot {
+                        tx: Some(tx),
+                        shed: 0,
+                        full_since: None,
+                        depth: config
+                            .metrics
+                            .as_ref()
+                            .and_then(|m| m.query_depth_gauge(qid as u32)),
+                    });
+                    receivers.insert(name, rx);
                 }
-                let (tx, rx) = sync_channel(config.channel_cap);
-                band_slots.entry(name.clone()).or_default().push(SubSlot {
-                    tx: Some(tx),
-                    shed: 0,
-                    full_since: None,
-                    depth: config.metrics.as_ref().and_then(|m| m.query_depth_gauge(qid as u32)),
-                });
-                receivers.insert(name, rx);
             }
         }
         query_receivers.push(receivers);
+    }
+
+    // Shared-plan DAG wiring, part 1: each node subscribes once per
+    // referenced band — a whole group of member queries costs one band
+    // subscription, not one each.
+    let mut node_band_rx: Vec<HashMap<String, Rx>> = Vec::new();
+    for node in &share_plan.nodes {
+        let mut receivers = HashMap::new();
+        for name in band_refs(&node.expr) {
+            let (tx, rx) = sync_channel(config.channel_cap);
+            band_slots.entry(name.clone()).or_default().push(SubSlot {
+                tx: Some(tx),
+                shed: 0,
+                full_since: None,
+                depth: None,
+            });
+            receivers.insert(name, rx);
+        }
+        node_band_rx.push(receivers);
     }
 
     // Per-band supervised ingest: a supervisor thread spawns the pump
@@ -546,12 +628,299 @@ pub fn run_supervised(
         disorder: m.disorder_detected.clone(),
         partial_frames: m.partial_frames.clone(),
     });
+    // Chunk payloads travel the channels behind `Arc`s; a deep copy
+    // happens only when a consumer must own a payload someone else
+    // still references. This counts every such copy across the run.
+    let payload_copies = Arc::new(AtomicU64::new(0));
+
+    // Shared-plan DAG wiring, part 2: compute each node's output schema
+    // (consumers register it under the synthetic `@share:*` source
+    // name). Producers are resolved before consumers, so a node whose
+    // body references another cut finds its schema already present.
+    let key_of: HashMap<String, usize> =
+        share_plan.nodes.iter().enumerate().map(|(i, n)| (share_source_name(n.key), i)).collect();
+    let deps: Vec<Vec<usize>> = share_plan
+        .nodes
+        .iter()
+        .map(|n| share_refs(&n.expr).iter().filter_map(|r| key_of.get(r).copied()).collect())
+        .collect();
+    let mut topo: Vec<usize> = Vec::new();
+    {
+        // The DAG is acyclic by construction (a cut's body references
+        // only strictly smaller subexpressions); the growth check is a
+        // defensive break, not an expected path.
+        let mut placed = vec![false; share_plan.nodes.len()];
+        while topo.len() < share_plan.nodes.len() {
+            let before = topo.len();
+            for i in 0..share_plan.nodes.len() {
+                if !placed[i] && deps[i].iter().all(|&d| placed[d]) {
+                    placed[i] = true;
+                    topo.push(i);
+                }
+            }
+            if topo.len() == before {
+                break;
+            }
+        }
+    }
+    let mut share_schemas: HashMap<String, geostreams_core::model::StreamSchema> = HashMap::new();
+    for &i in &topo {
+        let node = &share_plan.nodes[i];
+        let planner = Planner::new(&schema_catalog);
+        let mut schema = planner.build(&node.expr)?.schema().clone();
+        let name = share_source_name(node.key);
+        schema.name = name.clone();
+        share_schemas.insert(name, schema.clone());
+        let schema2 = schema.clone();
+        schema_catalog
+            .register(schema, move || Box::new(ChannelLike::new(schema2.clone(), || None)));
+    }
+
+    // Part 3: one subscription tree per node. Every edge — interior
+    // (node → node) and query (node → member) — subscribes BEFORE any
+    // evaluator starts, so no subscriber can miss the stream head.
+    let share_counter = config.metrics.as_ref().map(|m| m.share_chunks_multicast.clone());
+    let trees: Vec<Arc<SubscriptionTree>> = share_plan
+        .nodes
+        .iter()
+        .map(|_| Arc::new(SubscriptionTree::new().with_counter(share_counter.clone())))
+        .collect();
+    let mut node_share_rx: Vec<Vec<(String, Rx)>> = Vec::new();
+    for node in &share_plan.nodes {
+        let mut rxs = Vec::new();
+        for r in share_refs(&node.expr) {
+            if let Some(&j) = key_of.get(&r) {
+                rxs.push((r, trees[j].subscribe_interior(config.channel_cap)));
+            }
+        }
+        node_share_rx.push(rxs);
+    }
+    let mut member_rx: HashMap<usize, Rx> = HashMap::new();
+    for (i, node) in share_plan.nodes.iter().enumerate() {
+        if let Some(m) = &config.metrics {
+            m.share_subscribers_gauge(&key_hex(node.key)).set(node.members.len() as u64);
+        }
+        for &qid in &node.members {
+            let tenant = tenant_of(qid);
+            let depth = config.metrics.as_ref().and_then(|m| m.query_depth_gauge(qid as u32));
+            let shed = config.metrics.as_ref().map(|m| m.share_shed_counter(&tenant));
+            member_rx
+                .insert(qid, trees[i].subscribe_query(config.channel_cap, &tenant, depth, shed));
+        }
+    }
+
+    // Part 4: one evaluator thread per node, draining its pipeline
+    // through the chunk-native driver and multicasting each item
+    // Arc-shared — the evaluation happens once per chunk regardless of
+    // how many queries subscribe. Band sources get the same repair
+    // stage as the legacy path; interior `@share:*` sources are already
+    // repaired upstream and stream through untouched.
+    let share_fanout = config.fanout;
+    let share_patience = config.marker_patience;
+    let mut node_handles = Vec::new();
+    let mut node_probes: Vec<Vec<(String, Arc<RepairProbe>)>> = Vec::new();
+    let mut band_rx_iter = node_band_rx.into_iter();
+    let mut share_rx_iter = node_share_rx.into_iter();
+    for (i, node) in share_plan.nodes.iter().enumerate() {
+        let receivers = band_rx_iter.next().unwrap_or_default();
+        let share_rxs = share_rx_iter.next().unwrap_or_default();
+        let mut catalog = Catalog::new();
+        let mut probes: Vec<(String, Arc<RepairProbe>)> = Vec::new();
+        for (name, rx) in receivers {
+            let Some(schema) = schema_catalog.schema(&name).cloned() else { continue };
+            let probe = Arc::new(RepairProbe::default());
+            probes.push((name.clone(), Arc::clone(&probe)));
+            let slot = Arc::new(Mutex::new(Some(rx)));
+            let counters = repair_counters.clone();
+            let copies = Arc::clone(&payload_copies);
+            catalog.register(schema.clone(), move || {
+                let mut rx_opt = lock_opt(&slot).take();
+                let copies = Arc::clone(&copies);
+                let pull = move || {
+                    let rx = rx_opt.as_ref()?;
+                    match rx.recv() {
+                        Ok(item) => Some(Arc::try_unwrap(item).unwrap_or_else(|a| {
+                            copies.fetch_add(1, Ordering::Relaxed);
+                            (*a).clone()
+                        })),
+                        Err(_) => {
+                            rx_opt = None;
+                            None
+                        }
+                    }
+                };
+                let channel = ChunkChannel::new(schema.clone(), pull);
+                let repaired = StreamRepair::with_probe(channel, Arc::clone(&probe));
+                match &counters {
+                    Some(c) => Box::new(repaired.with_counters(c.clone())),
+                    None => Box::new(repaired),
+                }
+            });
+        }
+        for (name, rx) in share_rxs {
+            let Some(schema) = share_schemas.get(&name).cloned() else { continue };
+            let slot = Arc::new(Mutex::new(Some(rx)));
+            let copies = Arc::clone(&payload_copies);
+            catalog.register(schema.clone(), move || {
+                let mut rx_opt = lock_opt(&slot).take();
+                let copies = Arc::clone(&copies);
+                let pull = move || {
+                    let rx = rx_opt.as_ref()?;
+                    match rx.recv() {
+                        Ok(item) => Some(Arc::try_unwrap(item).unwrap_or_else(|a| {
+                            copies.fetch_add(1, Ordering::Relaxed);
+                            (*a).clone()
+                        })),
+                        Err(_) => {
+                            rx_opt = None;
+                            None
+                        }
+                    }
+                };
+                Box::new(ChunkChannel::new(schema.clone(), pull))
+            });
+        }
+        node_probes.push(probes);
+        let expr = node.expr.clone();
+        let tree = Arc::clone(&trees[i]);
+        node_handles.push(std::thread::spawn(move || -> RunReport {
+            let empty = || RunReport {
+                wall: Duration::ZERO,
+                elements: 0,
+                points_delivered: 0,
+                sectors: 0,
+                per_op: Vec::new(),
+                pull_latency: HistogramSnapshot::default(),
+                protocol_violations: 0,
+            };
+            let planner = Planner::new(&catalog);
+            let mut pipeline: BoxedF32Stream = match planner.build(&expr) {
+                Ok(p) => p,
+                Err(e) => {
+                    // Cannot happen for admitted plans (all sources are
+                    // registered); close the tree so members terminate.
+                    eprintln!("shared plan build failed: {e}");
+                    tree.close();
+                    return empty();
+                }
+            };
+            let report =
+                run_chunked(&mut pipeline, &PipelineObs::default(), DEFAULT_CHUNK_BUDGET, |item| {
+                    let shared = Arc::new(item.clone());
+                    tree.multicast(&shared, share_fanout, share_patience);
+                });
+            tree.close();
+            report
+        }));
+    }
+
+    // Part 5: one lightweight subscriber thread per member query. It
+    // counts what the shared evaluation delivers (the same stream the
+    // legacy pipeline root would have produced) and reports repair
+    // facts from its node and every upstream node it consumes.
+    let closure_of = |start: usize| -> Vec<usize> {
+        let mut seen = vec![false; deps.len()];
+        let mut stack = vec![start];
+        let mut out = Vec::new();
+        while let Some(i) = stack.pop() {
+            if i >= seen.len() || seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            out.push(i);
+            stack.extend(deps[i].iter().copied());
+        }
+        out
+    };
+    let mut shared_handles: HashMap<usize, std::thread::JoinHandle<(Result<QueryResult>, bool)>> =
+        HashMap::new();
+    for (i, node) in share_plan.nodes.iter().enumerate() {
+        let closure = closure_of(i);
+        for &qid in &node.members {
+            let Some(rx) = member_rx.remove(&qid) else { continue };
+            let probes: Vec<(String, Arc<RepairProbe>)> = closure
+                .iter()
+                .flat_map(|&j| node_probes.get(j).into_iter().flatten().cloned())
+                .collect();
+            let stall = config.query_stall.iter().find(|(i, _)| *i == qid).map(|(_, d)| *d);
+            let metrics = config.metrics.clone();
+            let depth = config.metrics.as_ref().and_then(|m| m.query_depth_gauge(qid as u32));
+            shared_handles.insert(
+                qid,
+                std::thread::spawn(move || -> (Result<QueryResult>, bool) {
+                    if let Some(m) = &metrics {
+                        m.set_query_state(qid as u32, "running");
+                    }
+                    let started = Instant::now();
+                    let never_cancelled = AtomicBool::new(false);
+                    let mut elements = 0u64;
+                    let mut points = 0u64;
+                    let mut sectors = 0u64;
+                    while let Ok(item) = rx.recv() {
+                        if let Some(g) = &depth {
+                            g.sub(1);
+                        }
+                        if let Some(d) = stall {
+                            // Simulated slow client: backpressure builds
+                            // in this subscriber's own channel, where the
+                            // tree sheds per tenant instead of stalling
+                            // the shared evaluation.
+                            stall_sliced(d, None, &never_cancelled);
+                        }
+                        elements += item.element_count();
+                        points += item.point_count() as u64;
+                        if let Some(Marker::SectorEnd(_)) = item.marker() {
+                            sectors += 1;
+                        }
+                    }
+                    let report = RunReport {
+                        wall: started.elapsed(),
+                        elements,
+                        points_delivered: points,
+                        sectors,
+                        per_op: Vec::new(),
+                        pull_latency: HistogramSnapshot::default(),
+                        protocol_violations: 0,
+                    };
+                    let repair: Vec<SourceRepair> = probes
+                        .iter()
+                        .map(|(source, p)| SourceRepair {
+                            source: source.clone(),
+                            stats: p.stats(),
+                            sectors: p.sectors(),
+                        })
+                        .collect();
+                    let completeness =
+                        repair.iter().map(|s| s.stats.completeness()).fold(1.0_f64, f64::min);
+                    if let Some(m) = &metrics {
+                        m.finish_query(qid as u32, "done", points, completeness);
+                    }
+                    let result = QueryResult {
+                        id: qid as u32,
+                        frames: Vec::new(),
+                        report: Some(report),
+                        points,
+                        repair,
+                        cancelled: false,
+                    };
+                    (Ok(result), false)
+                }),
+            );
+        }
+    }
+
     enum QuerySlot {
         Running(std::thread::JoinHandle<(Result<QueryResult>, bool)>),
         Rejected(CoreError),
     }
     let mut query_slots = Vec::new();
     for (qid, (admitted, receivers)) in exprs.into_iter().zip(query_receivers).enumerate() {
+        // Queries served by a shared plan already have a subscriber
+        // thread; their slot just collects it.
+        if let Some(h) = shared_handles.remove(&qid) {
+            query_slots.push(QuerySlot::Running(h));
+            continue;
+        }
         let (expr, format, mut routes) = match admitted {
             Ok(parts) => parts,
             Err(e) => {
@@ -570,6 +939,7 @@ pub fn run_supervised(
         let watchdog_counter = config.metrics.as_ref().map(|m| m.watchdog_cancellations.clone());
         let store_metrics = store_metrics.clone();
         let metrics = config.metrics.clone();
+        let payload_copies = Arc::clone(&payload_copies);
         query_slots.push(QuerySlot::Running(std::thread::spawn(
             move || -> (Result<QueryResult>, bool) {
                 let deadline = watchdog.map(|d| Instant::now() + d);
@@ -607,6 +977,7 @@ pub fn run_supervised(
                     let recorder = recorder.clone();
                     let depth = depth.clone();
                     let src_name = name.clone();
+                    let copies = Arc::clone(&payload_copies);
                     catalog.register(schema.clone(), move || {
                         // Sources are single-consumer: the first open
                         // takes the receiver, later opens get an
@@ -619,6 +990,7 @@ pub fn run_supervised(
                         let watchdog_counter = watchdog_counter.clone();
                         let wd_rec = recorder.clone();
                         let depth = depth.clone();
+                        let copies = Arc::clone(&copies);
                         let pull = move || {
                             loop {
                                 if expired(deadline) {
@@ -662,7 +1034,15 @@ pub fn run_supervised(
                                                 continue;
                                             }
                                         }
-                                        return Some(item);
+                                        // Copy-on-write: own the payload
+                                        // outright when this was the last
+                                        // reference (single-subscriber
+                                        // channels always are), deep-copy
+                                        // (counted) otherwise.
+                                        return Some(Arc::try_unwrap(item).unwrap_or_else(|a| {
+                                            copies.fetch_add(1, Ordering::Relaxed);
+                                            (*a).clone()
+                                        }));
                                     }
                                     Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
                                     Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
@@ -969,6 +1349,36 @@ pub fn run_supervised(
         let guard = subs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         stats.shed_elements += guard.iter().map(|s| s.shed).sum::<u64>();
     }
+    // Shared-plan accounting: evaluator reports (protocol checking ran
+    // once per distinct plan), multicast volume and per-tenant shed
+    // from the trees, and the run-wide payload-copy count.
+    for h in node_handles {
+        if let Ok(report) = h.join() {
+            if report.protocol_violations > 0 {
+                if let Some(m) = &config.metrics {
+                    m.protocol_violations.add(report.protocol_violations);
+                }
+            }
+        }
+    }
+    stats.shared_plans = share_plan.nodes.len() as u64;
+    for tree in &trees {
+        stats.shared_chunks_multicast += tree.chunks_multicast();
+        for (tenant, n) in tree.shed_per_tenant() {
+            match stats.shed_per_tenant.iter_mut().find(|(t, _)| *t == tenant) {
+                Some(e) => e.1 += n,
+                None => stats.shed_per_tenant.push((tenant, n)),
+            }
+        }
+    }
+    stats.shed_per_tenant.sort();
+    stats.payload_copies = payload_copies.load(Ordering::Relaxed);
+    if let Some(m) = &config.metrics {
+        m.share_distinct_plans.set(stats.shared_plans);
+        if stats.payload_copies > 0 {
+            m.share_payload_copies.add(stats.payload_copies);
+        }
+    }
     stats.watchdog_cancellations = cancellations;
     stats.elements_per_band.sort_unstable();
     stats.restarts_per_band.sort_unstable();
@@ -1077,7 +1487,9 @@ fn pump(
             }
         }
         let has_marker = item.marker().is_some();
-        fanout_all(subs, &item, has_marker, fanout, marker_patience, &shed_counter);
+        // One Arc wrap per item: subscribers share the payload and the
+        // consumer side takes ownership copy-on-write.
+        fanout_all(subs, Arc::new(item), has_marker, fanout, marker_patience, &shed_counter);
     }
     if let Some(a) = &archive {
         let _ = a.flush();
@@ -1091,9 +1503,12 @@ fn pump(
 /// supervisor's bookkeeping for the whole band (the geolint
 /// `lock-across-send` rule exists because an earlier version of this
 /// function did exactly that).
+/// A live subscriber snapshot: slot index, sender, fan-out depth gauge.
+type LiveSub = (usize, SyncSender<Arc<ChunkOrMarker<f32>>>, Option<Gauge>);
+
 fn fanout_all(
     subs: &Mutex<Vec<SubSlot>>,
-    item: &ChunkOrMarker<f32>,
+    item: Arc<ChunkOrMarker<f32>>,
     has_marker: bool,
     fanout: FanoutPolicy,
     marker_patience: Duration,
@@ -1104,8 +1519,11 @@ fn fanout_all(
             // Snapshot the live senders under the lock, send unlocked
             // (SyncSender clones share the same channel), then re-lock
             // only to null out receivers that turned out closed (a
-            // finished/failed query is fine).
-            let live: Vec<(usize, SyncSender<ChunkOrMarker<f32>>, Option<Gauge>)> = {
+            // finished/failed query is fine). The last subscriber gets
+            // the pump's own Arc moved in, so a single subscriber holds
+            // the only reference at receive time and owns the payload
+            // without a copy.
+            let mut live: Vec<LiveSub> = {
                 let guard = lock_opt(subs);
                 guard
                     .iter()
@@ -1114,8 +1532,16 @@ fn fanout_all(
                     .collect()
             };
             let mut dead = Vec::new();
+            let last = live.pop();
             for (i, tx, depth) in live {
-                if tx.send(item.clone()).is_err() {
+                if tx.send(Arc::clone(&item)).is_err() {
+                    dead.push(i);
+                } else if let Some(g) = depth {
+                    g.add(1);
+                }
+            }
+            if let Some((i, tx, depth)) = last {
+                if tx.send(item).is_err() {
                     dead.push(i);
                 } else if let Some(g) = depth {
                     g.add(1);
@@ -1145,7 +1571,7 @@ fn fanout_all(
                         if delivered[i] {
                             continue;
                         }
-                        if shed_try_one(slot, item, has_marker, marker_patience, shed_counter) {
+                        if shed_try_one(slot, &item, has_marker, marker_patience, shed_counter) {
                             delivered[i] = true;
                         } else {
                             pending = true;
@@ -1167,13 +1593,13 @@ fn fanout_all(
 /// retry after an unlocked nap.
 fn shed_try_one(
     slot: &mut SubSlot,
-    item: &ChunkOrMarker<f32>,
+    item: &Arc<ChunkOrMarker<f32>>,
     has_marker: bool,
     marker_patience: Duration,
     shed_counter: &Option<Counter>,
 ) -> bool {
     let Some(tx) = &slot.tx else { return true };
-    match tx.try_send(item.clone()) {
+    match tx.try_send(Arc::clone(item)) {
         Ok(()) => {
             slot.full_since = None;
             if let Some(g) = &slot.depth {

@@ -30,6 +30,7 @@ pub mod metrics;
 pub mod net;
 pub mod protocol;
 pub mod server;
+pub mod share;
 
 pub use continuous::{run_continuous, run_supervised, FanoutPolicy, IngestStats, RuntimeConfig};
 pub use frontend::{FrontEndStats, MultiQueryFrontEnd};
@@ -38,4 +39,7 @@ pub use net::HttpServer;
 pub use protocol::{parse_explain, parse_request, ClientRequest, OutputFormat};
 pub use server::{
     Dsms, Explanation, QueryHandle, QueryResult, SourceRepair, DEFAULT_MEMORY_BUDGET_BYTES,
+};
+pub use share::{
+    plan_sharing, SharePlan, ShareRegistry, ShareTopology, SubscriptionTree, TenantQuota,
 };

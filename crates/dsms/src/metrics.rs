@@ -112,6 +112,18 @@ pub struct ServerMetrics {
     pub trace_dropped: Counter,
     /// Cumulative supervised-restart backoff, milliseconds.
     pub ingest_backoff_ms: Counter,
+    /// Distinct shared plans evaluated by the sharing runtime (DAG
+    /// nodes; 1 for N identical queries).
+    pub share_distinct_plans: Gauge,
+    /// Chunked items multicast to shared-plan subscribers.
+    pub share_chunks_multicast: Counter,
+    /// Chunk payload deep copies on the subscriber side: the
+    /// copy-on-write fallback when a fanned-out `Arc` chunk is still
+    /// referenced elsewhere. 0 means fan-out was zero-copy throughout.
+    pub share_payload_copies: Counter,
+    /// Plan analyses served from the canonical-key cache instead of
+    /// re-analyzed.
+    pub plan_cache_hits: Counter,
     /// Per-query wall time, nanoseconds.
     pub query_wall_ns: HistogramHandle,
     /// Per-connection request latency, nanoseconds.
@@ -198,6 +210,24 @@ impl ServerMetrics {
                 "Per-band nanoseconds since ingest last made progress.",
             ),
             ("geostreams_fanout_depth", "Fan-out channel depth (queued items) per query source."),
+            (
+                "geostreams_share_distinct_plans",
+                "Distinct shared plans evaluated by the sharing runtime.",
+            ),
+            ("geostreams_share_subscribers", "Subscribers attached per shared plan."),
+            (
+                "geostreams_share_chunks_multicast_total",
+                "Chunked items multicast to shared-plan subscribers.",
+            ),
+            ("geostreams_share_shed_total", "Elements shed per tenant by the subscription tree."),
+            (
+                "geostreams_share_payload_copies_total",
+                "Chunk payload deep copies made on the subscriber side (copy-on-write fallback).",
+            ),
+            (
+                "geostreams_plan_cache_hits_total",
+                "Plan analyses served from the canonical-key cache.",
+            ),
         ];
         for (name, text) in help {
             registry.set_help(name, text);
@@ -222,6 +252,11 @@ impl ServerMetrics {
             protocol_violations: registry.counter("geostreams_protocol_violation_total", &[]),
             trace_dropped: registry.counter("geostreams_trace_dropped_total", &[]),
             ingest_backoff_ms: registry.counter("geostreams_ingest_backoff_ms_total", &[]),
+            share_distinct_plans: registry.gauge("geostreams_share_distinct_plans", &[]),
+            share_chunks_multicast: registry
+                .counter("geostreams_share_chunks_multicast_total", &[]),
+            share_payload_copies: registry.counter("geostreams_share_payload_copies_total", &[]),
+            plan_cache_hits: registry.counter("geostreams_plan_cache_hits_total", &[]),
             query_wall_ns: registry.histogram("geostreams_query_wall_ns", &[]),
             request_ns: registry.histogram("geostreams_request_ns", &[]),
             e2e_lag_ns: registry.histogram("geostreams_e2e_lag_ns", &[]),
@@ -281,6 +316,18 @@ impl ServerMetrics {
         if let Some(q) = dir.get_mut(&query_id) {
             q.state = state.to_string();
         }
+    }
+
+    /// The per-plan subscriber gauge (`geostreams_share_subscribers`,
+    /// labeled by the plan's canonical key).
+    pub fn share_subscribers_gauge(&self, plan_key: &str) -> Gauge {
+        self.registry.gauge("geostreams_share_subscribers", &[("plan", plan_key)])
+    }
+
+    /// The per-tenant shed counter of the subscription tree
+    /// (`geostreams_share_shed_total`, labeled by tenant).
+    pub fn share_shed_counter(&self, tenant: &str) -> Counter {
+        self.registry.counter("geostreams_share_shed_total", &[("tenant", tenant)])
     }
 
     /// The fan-out depth gauge of a registered query (shared with the

@@ -2,13 +2,14 @@
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::{ClientRequest, OutputFormat};
+use crate::share::{ShareRegistry, TenantQuota};
 use geostreams_core::exec::RunReport;
 use geostreams_core::model::GeoStream;
 use geostreams_core::obs::{PipelineObs, SpanStream};
 use geostreams_core::ops::delivery::{DeliveredFrame, PngSink, Rendering};
 use geostreams_core::query::{
-    analyze_with, optimize, parse_query, AnalyzeOptions, Catalog, Expr, PlanReport, Planner,
-    ReplayProvider,
+    analyze_with, canonical_key, key_hex, optimize, parse_query, AnalyzeOptions, Catalog, Expr,
+    PlanReport, Planner, ReplayProvider,
 };
 use geostreams_core::stats::OpReport;
 use geostreams_core::{CoreError, Result};
@@ -41,6 +42,12 @@ pub struct QueryHandle {
     pub format: OutputFormat,
     /// Sectors to run.
     pub sectors: u64,
+    /// Canonical plan key (16 hex digits): queries with equal keys
+    /// share one evaluated pipeline under swarm mode (DESIGN.md §16).
+    pub canonical_key: String,
+    /// Owning tenant (`"default"` unless registered via
+    /// [`Dsms::register_as`]).
+    pub tenant: String,
 }
 
 /// The answer to an `EXPLAIN` request: the plan as the server would run
@@ -58,6 +65,13 @@ pub struct Explanation {
     pub admitted: bool,
     /// The budget the admission decision was made against.
     pub budget_bytes: u64,
+    /// Canonical plan key (16 hex digits).
+    pub canonical_key: String,
+    /// Live queries currently subscribed to this exact plan.
+    pub shared_with: u64,
+    /// The report above was served from the admission-time plan cache
+    /// rather than re-analyzed.
+    pub cache_hit: bool,
 }
 
 /// Stream-repair outcome of one source feeding a query (supervised
@@ -104,6 +118,9 @@ pub struct Dsms {
     archive: Mutex<Option<(Arc<Archive>, i64)>>,
     /// Server metrics (shared with query threads).
     pub metrics: Arc<ServerMetrics>,
+    /// Sharing bookkeeping: canonical-key plan cache, tenant quotas,
+    /// and the `GET /share` subscription topology.
+    share: ShareRegistry,
 }
 
 impl Dsms {
@@ -125,6 +142,7 @@ impl Dsms {
             budget_bytes: AtomicU64::new(DEFAULT_MEMORY_BUDGET_BYTES),
             archive: Mutex::new(None),
             metrics: Arc::new(ServerMetrics::new()),
+            share: ShareRegistry::new(),
         }
     }
 
@@ -137,7 +155,19 @@ impl Dsms {
             budget_bytes: AtomicU64::new(DEFAULT_MEMORY_BUDGET_BYTES),
             archive: Mutex::new(None),
             metrics: Arc::new(ServerMetrics::new()),
+            share: ShareRegistry::new(),
         }
+    }
+
+    /// The sharing registry: plan cache, tenant usage, `/share`
+    /// topology.
+    pub fn share(&self) -> &ShareRegistry {
+        &self.share
+    }
+
+    /// Sets (or replaces) a tenant's admission quota.
+    pub fn set_tenant_quota(&self, tenant: &str, quota: TenantQuota) {
+        self.share.set_quota(tenant, quota);
     }
 
     /// The server's catalog.
@@ -166,6 +196,10 @@ impl Dsms {
         archive.attach_metrics(StoreMetrics::register(self.metrics.registry()));
         *self.archive.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
             Some((archive, now));
+        // The analysis context changed: cached reports (replay
+        // classification, completeness) are stale. Subscriptions
+        // survive; the next registration per key re-analyzes.
+        self.share.invalidate_reports();
     }
 
     /// The attached archive, if any.
@@ -195,9 +229,18 @@ impl Dsms {
         }
     }
 
-    /// Registers a query from a parsed client request.
+    /// Registers a query from a parsed client request (as the
+    /// `"default"` tenant).
     pub fn register(&self, request: &ClientRequest) -> Result<QueryHandle> {
-        match self.register_inner(request) {
+        self.register_as("default", request)
+    }
+
+    /// Registers a query on behalf of `tenant`, enforcing the tenant's
+    /// [`TenantQuota`] with sharing-aware accounting: subscribing to a
+    /// plan another of the tenant's queries already holds charges its
+    /// buffer bound once, not per subscription.
+    pub fn register_as(&self, tenant: &str, request: &ClientRequest) -> Result<QueryHandle> {
+        match self.register_inner(tenant, request) {
             Ok(h) => {
                 self.metrics.queries_registered.inc();
                 Ok(h)
@@ -209,7 +252,7 @@ impl Dsms {
         }
     }
 
-    fn register_inner(&self, request: &ClientRequest) -> Result<QueryHandle> {
+    fn register_inner(&self, tenant: &str, request: &ClientRequest) -> Result<QueryHandle> {
         let expr = parse_query(&request.query)?;
         // Validate sources now so registration fails fast.
         for name in expr.source_names() {
@@ -234,13 +277,29 @@ impl Dsms {
         let optimized = optimize(&expr, &self.catalog);
         // Admission control (§3's cost analysis, enforced): reject plans
         // with error diagnostics, no static buffer bound, or a bound
-        // over the server's per-query memory budget.
-        let plan = self.analyze_plan(&optimized);
-        self.admission_check(&plan)?;
+        // over the server's per-query memory budget. The analysis is
+        // keyed by the plan's canonical form: a structurally-equal plan
+        // registered (or explained) earlier serves its cached report —
+        // certificate included, so the protocol verifier runs once per
+        // distinct plan, not once per subscriber.
+        let key = canonical_key(&optimized);
+        let report = match self.share.cached_report(key) {
+            Some(cached) => {
+                self.metrics.plan_cache_hits.inc();
+                cached
+            }
+            None => Arc::new(self.analyze_plan(&optimized)),
+        };
+        self.admission_check(&report)?;
         let mut id_guard = self.next_id.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let id = *id_guard;
         *id_guard += 1;
         drop(id_guard);
+        // Tenant quotas (sharing-aware): this can still refuse the
+        // query even though the plan itself is admissible.
+        self.share.admit(tenant, key, &report.sharing.canonical_text, &report, id)?;
+        let mut plan = (*report).clone();
+        plan.sharing.shared_with = self.share.subscribers_of(key).saturating_sub(1);
         let handle = QueryHandle {
             id,
             text: request.query.clone(),
@@ -249,6 +308,8 @@ impl Dsms {
             plan,
             format: request.format,
             sectors: request.sectors,
+            canonical_key: key_hex(key),
+            tenant: tenant.to_string(),
         };
         self.queries.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(handle.clone());
         // Observability: directory entry plus flight recorder, so the
@@ -303,7 +364,19 @@ impl Dsms {
             expr
         };
         let optimized = optimize(&expr, &self.catalog);
-        let report = self.analyze_plan(&optimized);
+        // Serve the admission-time cached analysis when a
+        // structurally-equal plan is live; re-analyze otherwise.
+        let key = canonical_key(&optimized);
+        let (report, cache_hit) = match self.share.cached_report(key) {
+            Some(cached) => {
+                self.metrics.plan_cache_hits.inc();
+                ((*cached).clone(), true)
+            }
+            None => (self.analyze_plan(&optimized), false),
+        };
+        let mut report = report;
+        report.sharing.shared_with = self.share.subscribers_of(key);
+        let shared_with = report.sharing.shared_with;
         let admitted = self.admission_check(&report).is_ok();
         Ok(Explanation {
             query: request.query.clone(),
@@ -311,7 +384,28 @@ impl Dsms {
             report,
             admitted,
             budget_bytes: self.memory_budget(),
+            canonical_key: key_hex(key),
+            shared_with,
+            cache_hit,
         })
+    }
+
+    /// Unregisters a query: drops its handle, releases its sharing
+    /// subscription (refunding the tenant's charge on the tenant's
+    /// last reference, and tearing down the plan-cache entry when no
+    /// subscriber remains), and marks its directory entry. Returns
+    /// `false` for unknown ids.
+    pub fn unregister(&self, id: u32) -> bool {
+        let mut queries = self.queries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let before = queries.len();
+        queries.retain(|h| h.id != id);
+        let known = queries.len() != before;
+        drop(queries);
+        self.share.release(id);
+        if known {
+            self.metrics.set_query_state(id, "released");
+        }
+        known
     }
 
     /// Registers a query given as raw algebra text.
@@ -438,7 +532,9 @@ impl Dsms {
     ///
     /// Besides `/query`, serves the operational endpoints: `GET
     /// /metrics` (Prometheus text exposition v0.0.4), `GET /healthz`,
-    /// and `GET /explain` (static plan analysis as JSON, no execution).
+    /// `GET /share` (sharing topology: distinct plans, subscribers,
+    /// tenant usage), and `GET /explain` (static plan analysis as
+    /// JSON, no execution).
     pub fn handle_http(&self, raw: &str) -> Vec<u8> {
         match crate::protocol::request_target(raw) {
             ("GET", "/metrics") => {
@@ -460,6 +556,10 @@ impl Dsms {
                     Some(body) => crate::protocol::json_response(body.as_bytes()),
                     None => crate::protocol::error_response(404, "no trace for that query id"),
                 };
+            }
+            ("GET", "/share") => {
+                let body = serde_json::to_vec(&self.share.topology()).unwrap_or_default();
+                return crate::protocol::json_response(&body);
             }
             ("GET", "/archive") => {
                 return match self.archive() {
@@ -493,7 +593,7 @@ impl Dsms {
             Ok(h) => h,
             Err(e) => return crate::protocol::error_response(400, &e.to_string()),
         };
-        match self.run_query(&handle) {
+        let response = match self.run_query(&handle) {
             Ok(result) => {
                 if handle.format == OutputFormat::Json {
                     let body = result
@@ -501,15 +601,22 @@ impl Dsms {
                         .as_ref()
                         .map(|r| serde_json::to_vec(&r.summary()).unwrap_or_default())
                         .unwrap_or_default();
-                    return crate::protocol::json_response(&body);
-                }
-                match result.frames.first() {
-                    Some(frame) => crate::protocol::png_response(&frame.png),
-                    None => crate::protocol::error_response(204, "no frames produced"),
+                    crate::protocol::json_response(&body)
+                } else {
+                    match result.frames.first() {
+                        Some(frame) => crate::protocol::png_response(&frame.png),
+                        None => crate::protocol::error_response(204, "no frames produced"),
+                    }
                 }
             }
             Err(e) => crate::protocol::error_response(500, &e.to_string()),
-        }
+        };
+        // A one-shot `/query` has finished by the time the response is
+        // built: release its shared-plan reference so ad-hoc traffic
+        // neither pins plans in `/share` nor accumulates tenant quota
+        // charges. The query directory entry stays for `/queries`.
+        self.share.release(handle.id);
+        response
     }
 
     /// Snapshot of the server metrics counters.
@@ -652,6 +759,82 @@ mod tests {
         let s = server();
         let response = s.handle_http("GET /query?q=magnify(goes-sim.b1-vis) HTTP/1.1");
         assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn registration_caches_plans_by_canonical_key() {
+        let s = server();
+        let a = s.register_text("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats, 2).unwrap();
+        assert_eq!(s.metrics.plan_cache_hits.get(), 0);
+        // A commuted spelling of the same plan: cache hit, same key.
+        let b = s.register_text("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats, 2).unwrap();
+        assert_eq!(s.metrics.plan_cache_hits.get(), 1);
+        assert_eq!(a.canonical_key, b.canonical_key);
+        assert_eq!(b.plan.sharing.shared_with, 1);
+        // Explain serves the cached report for the shared key.
+        let e = s
+            .explain(&ClientRequest {
+                query: "scale(goes-sim.b4-ir, 2, 0)".into(),
+                format: OutputFormat::Stats,
+                sectors: 2,
+            })
+            .unwrap();
+        assert!(e.cache_hit);
+        assert_eq!(e.canonical_key, a.canonical_key);
+        assert_eq!(e.shared_with, 2);
+        // A different plan is a miss.
+        let c = s.register_text("scale(goes-sim.b4-ir, 3, 0)", OutputFormat::Stats, 2).unwrap();
+        assert_ne!(c.canonical_key, a.canonical_key);
+        assert_eq!(s.metrics.plan_cache_hits.get(), 2);
+    }
+
+    #[test]
+    fn tenant_quota_bounds_registration_and_release_refunds() {
+        let s = server();
+        s.set_tenant_quota("acme", TenantQuota { max_queries: Some(2), memory_budget_bytes: None });
+        let q = "scale(goes-sim.b4-ir, 2, 0)";
+        let req = ClientRequest { query: q.into(), format: OutputFormat::Stats, sectors: 1 };
+        let a = s.register_as("acme", &req).unwrap();
+        let _b = s.register_as("acme", &req).unwrap();
+        let err = s.register_as("acme", &req);
+        assert!(matches!(err, Err(CoreError::PlanRejected(_))), "{err:?}");
+        // Releasing one subscription frees a quota slot.
+        assert!(s.unregister(a.id));
+        assert!(!s.unregister(a.id), "double release is a no-op");
+        let c = s.register_as("acme", &req).unwrap();
+        assert_eq!(c.tenant, "acme");
+        let topo = s.share().topology();
+        assert_eq!(topo.distinct_plans, 1);
+        assert_eq!(topo.tenants.len(), 1);
+        assert_eq!(topo.tenants[0].queries, 2);
+    }
+
+    #[test]
+    fn http_share_endpoint_serves_topology() {
+        let s = server();
+        let q = "restrict_value(goes-sim.b4-ir, 0, 1)";
+        s.register_text(q, OutputFormat::Stats, 1).unwrap();
+        s.register_text(q, OutputFormat::Stats, 1).unwrap();
+        let resp = s.handle_http("GET /share HTTP/1.1");
+        let text = String::from_utf8_lossy(&resp).to_string();
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        let body = &text[text.find("\r\n\r\n").unwrap() + 4..];
+        let topo: serde_json::Value = serde_json::from_str(body).unwrap();
+        assert!(
+            matches!(
+                topo.get("distinct_plans"),
+                Some(serde_json::Value::U64(1) | serde_json::Value::I64(1))
+            ),
+            "{body}"
+        );
+        let plans = match topo.get("plans") {
+            Some(serde_json::Value::Array(plans)) => plans,
+            other => panic!("plans missing: {other:?}"),
+        };
+        match plans[0].get("subscribers") {
+            Some(serde_json::Value::Array(subs)) => assert_eq!(subs.len(), 2),
+            other => panic!("subscribers missing: {other:?}"),
+        }
     }
 
     #[test]

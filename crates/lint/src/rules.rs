@@ -615,6 +615,8 @@ const HOT_FNS: &[&str] = &[
     "ingest_chunk",
     "pump",
     "fanout_all",
+    "multicast",
+    "shed_try_sub",
 ];
 
 /// Methods that bound a collection again.

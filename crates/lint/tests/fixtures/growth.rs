@@ -7,11 +7,20 @@ pub struct Queue {
     staged: Vec<u32>,
     held: Vec<u32>,
     rebuilt: Vec<u32>,
+    delivered: Vec<u32>,
 }
 
 impl Queue {
     pub fn pump(&mut self, item: u32) {
         self.backlog.push(item); // flagged: nothing ever shrinks backlog
+    }
+
+    pub fn multicast(&mut self, item: u32) {
+        self.delivered.push(item); // flagged: the tree never sheds delivered
+    }
+
+    pub fn shed_try_sub(&mut self, item: u32) {
+        self.staged.push(item); // fine: flush() clears staged
     }
 
     pub fn next_chunk(&mut self, item: u32) {

@@ -63,9 +63,13 @@ fn lock_order_rule_ignores_non_runtime_crates() {
 fn growth_rule_requires_a_drain_somewhere_in_the_file() {
     let findings = lint_fixture("growth.rs", include_str!("fixtures/growth.rs"));
     let hits = rules_hit(&findings, "unbounded-growth");
-    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits.len(), 2, "{hits:?}");
     assert_eq!(hits[0].function, "pump");
     assert!(hits[0].message.contains("backlog"));
+    // Subscription-tree hot paths are covered too; `shed_try_sub`'s
+    // push is bounded by flush() and stays clean.
+    assert_eq!(hits[1].function, "multicast");
+    assert!(hits[1].message.contains("delivered"));
 }
 
 #[test]

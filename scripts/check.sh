@@ -40,3 +40,8 @@ scripts/exec_gate.sh
 # determinism, the <= 5% instrumentation-overhead bar, and the
 # HELP/TYPE exposition lint.
 scripts/obs_gate.sh
+
+# Shared-plan multicast gate: sharing acceptance suite, swarm digest
+# determinism (one plan, zero payload copies, oracle-identical
+# results), and the >= 5x per-subscriber cost-collapse bar.
+scripts/swarm_gate.sh

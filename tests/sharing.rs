@@ -1,0 +1,241 @@
+//! Shared-plan multicast acceptance (ISSUE 9): identical queries
+//! collapse onto one evaluated pipeline with results identical to the
+//! unshared oracle, partial overlap shares exactly the common prefix,
+//! unsubscribing tears down only unreferenced plans, a slow tenant is
+//! shed without stalling its siblings, chaos-seeded shared runs are
+//! deterministic, and shared fan-out moves `Arc` payloads without a
+//! single per-subscriber deep copy.
+
+use geostreams::core::Result;
+use geostreams::dsms::protocol::{ClientRequest, OutputFormat};
+use geostreams::dsms::{
+    run_supervised, Dsms, FanoutPolicy, IngestStats, QueryResult, RuntimeConfig, ServerMetrics,
+};
+use geostreams::satsim::{goes_like, FaultPlan};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn req(q: &str, format: OutputFormat) -> ClientRequest {
+    ClientRequest { query: q.to_string(), format, sectors: 0 }
+}
+
+/// Per-query delivery counts — the observable "bytes" of a counting
+/// query. Equality against the unshared oracle is the sharing
+/// invariant.
+fn digests(results: &[Result<QueryResult>]) -> Vec<(u64, u64)> {
+    results
+        .iter()
+        .map(|r| {
+            let r = r.as_ref().unwrap();
+            assert!(!r.cancelled);
+            let report = r.report.as_ref().unwrap();
+            (r.points, report.sectors)
+        })
+        .collect()
+}
+
+#[test]
+fn identical_queries_share_one_pipeline_and_match_the_unshared_oracle() {
+    let scanner = goes_like(64, 32, 11);
+    let requests: Vec<ClientRequest> =
+        (0..8).map(|_| req("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats)).collect();
+
+    let metrics = Arc::new(ServerMetrics::new());
+    let shared = RuntimeConfig {
+        share_plans: true,
+        fanout: FanoutPolicy::Blocking,
+        metrics: Some(Arc::clone(&metrics)),
+        ..RuntimeConfig::default()
+    };
+    let (results, stats) = run_supervised(&scanner, 3, &requests, &shared).unwrap();
+    assert_eq!(stats.shared_plans, 1, "8 identical queries must evaluate exactly one plan");
+    assert!(stats.shared_chunks_multicast > 0);
+
+    let oracle_config = RuntimeConfig {
+        share_plans: false,
+        fanout: FanoutPolicy::Blocking,
+        ..RuntimeConfig::default()
+    };
+    let (oracle, oracle_stats) = run_supervised(&scanner, 3, &requests, &oracle_config).unwrap();
+    assert_eq!(oracle_stats.shared_plans, 0, "the oracle runs the legacy per-query path");
+
+    let shared_digests = digests(&results);
+    assert_eq!(shared_digests, digests(&oracle), "sharing must not change per-subscriber results");
+    assert!(shared_digests[0].0 > 0);
+    assert!(shared_digests.iter().all(|d| *d == shared_digests[0]));
+
+    // The sharing metrics surfaced on the exposition.
+    let prom = metrics.render_prometheus();
+    assert!(prom.contains("geostreams_share_distinct_plans 1"), "{prom}");
+    assert!(prom.contains("geostreams_share_chunks_multicast_total"), "{prom}");
+    assert!(prom.contains("geostreams_share_subscribers"), "{prom}");
+}
+
+#[test]
+fn partial_overlap_shares_only_the_common_prefix() {
+    let scanner = goes_like(64, 32, 11);
+    let requests = vec![
+        req("abs(downsample(goes-sim.b1-vis, 4))", OutputFormat::Stats),
+        req("scale(downsample(goes-sim.b1-vis, 4), 2, 0)", OutputFormat::Stats),
+    ];
+    let shared_config = RuntimeConfig {
+        share_plans: true,
+        fanout: FanoutPolicy::Blocking,
+        ..RuntimeConfig::default()
+    };
+    let (results, stats) = run_supervised(&scanner, 3, &requests, &shared_config).unwrap();
+    // The DAG: the shared `downsample` prefix evaluated once, plus one
+    // consumer node per distinct suffix.
+    assert_eq!(stats.shared_plans, 3, "cut node + two consumers");
+
+    let oracle_config = RuntimeConfig {
+        share_plans: false,
+        fanout: FanoutPolicy::Blocking,
+        ..RuntimeConfig::default()
+    };
+    let (oracle, _) = run_supervised(&scanner, 3, &requests, &oracle_config).unwrap();
+    assert_eq!(digests(&results), digests(&oracle));
+}
+
+#[test]
+fn unsubscribe_tears_down_only_unreferenced_plans() {
+    let scanner = goes_like(32, 16, 5);
+    let dsms = Dsms::over_scanner(&scanner, 2);
+    let q = "scale(goes-sim.b4-ir, 2, 0)";
+    let a = dsms.register_text(q, OutputFormat::Stats, 0).unwrap();
+    let b = dsms.register_text(q, OutputFormat::Stats, 0).unwrap();
+    let c = dsms.register_text("abs(goes-sim.b4-ir)", OutputFormat::Stats, 0).unwrap();
+    assert_eq!(a.canonical_key, b.canonical_key);
+    assert_ne!(a.canonical_key, c.canonical_key);
+    assert_eq!(dsms.share().topology().distinct_plans, 2);
+
+    // Dropping one of two subscribers keeps the shared plan alive.
+    assert!(dsms.unregister(a.id));
+    let topo = dsms.share().topology();
+    assert_eq!(topo.distinct_plans, 2);
+    let entry = topo.plans.iter().find(|p| p.key == b.canonical_key).unwrap();
+    assert_eq!(entry.subscribers, vec![b.id]);
+
+    // Dropping the last subscriber tears the plan down; the unrelated
+    // plan is untouched.
+    assert!(dsms.unregister(b.id));
+    let topo = dsms.share().topology();
+    assert_eq!(topo.distinct_plans, 1);
+    assert_eq!(topo.plans[0].key, c.canonical_key);
+    assert!(dsms.unregister(c.id));
+    assert_eq!(dsms.share().topology().distinct_plans, 0);
+    assert!(dsms.registered().is_empty(), "no handle state leaks past release");
+}
+
+#[test]
+fn slow_tenant_is_shed_without_stalling_siblings() {
+    let scanner = goes_like(64, 32, 11);
+    let requests = vec![
+        req("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats),
+        req("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats),
+    ];
+    // The slow tenant stalls 100ms per item against a 25ms marker
+    // patience: once its channel fills, the subscription tree first
+    // sheds its point runs and then — when it cannot accept framing
+    // markers within patience — unsubscribes it, exactly like the band
+    // fan-out's shed tier. The fast sibling never notices.
+    let config = RuntimeConfig {
+        share_plans: true,
+        fanout: FanoutPolicy::Shed,
+        channel_cap: 32,
+        query_stall: vec![(1, Duration::from_millis(100))],
+        tenants: vec![(1, "slow".to_string())],
+        marker_patience: Duration::from_millis(25),
+        ..RuntimeConfig::default()
+    };
+    let started = Instant::now();
+    let (results, stats) = run_supervised(&scanner, 3, &requests, &config).unwrap();
+    let elapsed = started.elapsed();
+    assert!(elapsed < Duration::from_secs(30), "the slow tenant must not stall the run");
+    assert_eq!(stats.shared_plans, 1);
+    for r in &results {
+        assert!(!r.as_ref().unwrap().cancelled);
+    }
+
+    // The slow tenant was shed — and only the slow tenant.
+    let shed: Vec<(String, u64)> = stats.shed_per_tenant.clone();
+    let slow = shed.iter().find(|(t, _)| t == "slow").map(|(_, n)| *n).unwrap_or(0);
+    assert!(slow > 0, "the stalled subscriber must shed under backpressure: {shed:?}");
+
+    // The fast sibling still saw the complete stream.
+    let oracle_config = RuntimeConfig {
+        share_plans: false,
+        fanout: FanoutPolicy::Blocking,
+        ..RuntimeConfig::default()
+    };
+    let single = vec![req("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats)];
+    let (oracle, _) = run_supervised(&scanner, 3, &single, &oracle_config).unwrap();
+    assert_eq!(results[0].as_ref().unwrap().points, oracle[0].as_ref().unwrap().points);
+}
+
+#[test]
+fn chaos_seeded_shared_run_is_deterministic() {
+    let scanner = goes_like(64, 32, 11);
+    let requests = vec![
+        req("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats),
+        req("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats),
+        req("abs(downsample(goes-sim.b1-vis, 4))", OutputFormat::Stats),
+        req("scale(downsample(goes-sim.b1-vis, 4), 3, 1)", OutputFormat::Stats),
+    ];
+    let run = || -> (Vec<(u64, u64)>, u64, IngestStats) {
+        let config = RuntimeConfig {
+            share_plans: true,
+            fanout: FanoutPolicy::Blocking,
+            fault_plan: Some(
+                FaultPlan::seeded(7)
+                    .with_dropped_rows(0.08)
+                    .with_dropped_points(0.03)
+                    .with_duplicates(0.05),
+            ),
+            ..RuntimeConfig::default()
+        };
+        let (results, stats) = run_supervised(&scanner, 3, &requests, &config).unwrap();
+        let d = digests(&results);
+        (d, stats.shared_chunks_multicast, stats)
+    };
+    let (d1, m1, s1) = run();
+    let (d2, m2, s2) = run();
+    assert_eq!(d1, d2, "same seed must produce identical shared results");
+    assert_eq!(m1, m2, "multicast counts must be deterministic");
+    assert_eq!(s1.shared_plans, 4, "2 identical + cut + 2 consumers");
+    assert_eq!(s1.shared_plans, s2.shared_plans);
+    assert!(d1.iter().all(|(points, _)| *points > 0));
+}
+
+#[test]
+fn shared_fanout_makes_zero_payload_copies() {
+    let scanner = goes_like(64, 32, 11);
+    // Identical queries: one shared node, no interior DAG edges, so
+    // every payload travels as one `Arc` from the evaluator through
+    // the subscription tree to all four subscribers.
+    let requests: Vec<ClientRequest> =
+        (0..4).map(|_| req("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats)).collect();
+    let config = RuntimeConfig {
+        share_plans: true,
+        fanout: FanoutPolicy::Blocking,
+        ..RuntimeConfig::default()
+    };
+    let (results, stats) = run_supervised(&scanner, 3, &requests, &config).unwrap();
+    assert!(results.iter().all(|r| r.as_ref().unwrap().points > 0));
+    assert_eq!(
+        stats.payload_copies, 0,
+        "shared fan-out must never deep-copy a chunk per subscriber"
+    );
+
+    // The legacy path with a single subscriber per band channel also
+    // moves the payload end to end without a copy.
+    let legacy = RuntimeConfig {
+        share_plans: false,
+        fanout: FanoutPolicy::Blocking,
+        ..RuntimeConfig::default()
+    };
+    let single = vec![req("scale(goes-sim.b4-ir, 2, 0)", OutputFormat::Stats)];
+    let (results, stats) = run_supervised(&scanner, 3, &single, &legacy).unwrap();
+    assert!(results[0].as_ref().unwrap().points > 0);
+    assert_eq!(stats.payload_copies, 0, "single-subscriber legacy fan-out is move-only");
+}
