@@ -1,0 +1,222 @@
+//! Morsel-driven parallel execution benchmark (`BENCH_par.json`).
+//!
+//! Runs the restriction and value-transform kernels through the morsel
+//! driver at worker counts {1, 4} plus the serial chunked driver as the
+//! oracle, and reports points/s per configuration and the 4-worker
+//! speedup over 1 worker in permille. Every configuration hashes every
+//! delivered pixel (FNV-1a over the little-endian `f32` bit patterns)
+//! and the hashes must agree — the merge stage restores exact serial
+//! order, so parallelism must be invisible in the output.
+//!
+//! With `--digest` nothing timing-dependent is printed: one JSON line
+//! with per-workload point counts and the pixel hash shared by the
+//! serial oracle and every worker count, so `scripts/par_gate.sh` can
+//! run this binary twice and `diff` the outputs to prove the parallel
+//! driver is deterministic and byte-identical to serial execution.
+
+use geostreams_core::exec::{self, compile_stages, run_morsels, StageSpec, WorkerPool};
+use geostreams_core::model::{ChunkOrMarker, GeoStream, VecStream, DEFAULT_CHUNK_BUDGET};
+use geostreams_core::obs::PipelineObs;
+use geostreams_core::ops::{MapTransform, SpatialRestrict, ValueFunc};
+use geostreams_geo::{Crs, LatticeGeoref, Rect, Region};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SECTORS: u64 = 6;
+const RUNS: usize = 5;
+const WIDTH: u32 = 512;
+const HEIGHT: u32 = 96;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a_u32(v: u32, mut hash: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// One measured drain: wall seconds, points delivered, pixel hash.
+struct Run {
+    secs: f64,
+    points: u64,
+    fnv: u64,
+}
+
+/// A pre-materialized source, so the measurement isolates driver and
+/// kernel overhead from the cost of synthesizing pixel values.
+fn materialized(seed: u64) -> VecStream<f32> {
+    let bounds = Rect::new(0.0, 0.0, f64::from(WIDTH), f64::from(HEIGHT));
+    let lattice = LatticeGeoref::north_up(Crs::LatLon, bounds, WIDTH, HEIGHT);
+    VecStream::sectors("par-src", lattice, SECTORS, move |s, x, y| {
+        (((s ^ seed) % 7) as f64) * 0.1 + f64::from(x) * 0.001 + f64::from(y) * 0.0001
+    })
+}
+
+/// The central quarter of the source's world footprint.
+fn inner_rect() -> Rect {
+    let (w, h) = (f64::from(WIDTH), f64::from(HEIGHT));
+    Rect::new(w * 0.25, h * 0.25, w * 0.75, h * 0.75)
+}
+
+/// Serial oracle: the full chain on one thread via `run_chunked`.
+fn run_serial<S: GeoStream<V = f32>>(stream: &mut S) -> Run {
+    let mut fnv = FNV_OFFSET;
+    let start = Instant::now();
+    let report = exec::run_chunked(stream, &PipelineObs::default(), DEFAULT_CHUNK_BUDGET, |item| {
+        if let ChunkOrMarker::Chunk(c) = item {
+            for p in &c.points {
+                fnv = fnv1a_u32(p.value.to_bits(), fnv);
+            }
+        }
+    });
+    Run { secs: start.elapsed().as_secs_f64(), points: report.points_delivered, fnv }
+}
+
+/// Morsel driver over `pool`: the same stage suffix, fanned out and
+/// merged back in lattice order, hashing the merged delivery.
+fn run_par(src: &VecStream<f32>, specs: &[StageSpec], pool: &WorkerPool) -> Run {
+    let stages = Arc::new(compile_stages(specs, src.schema()).expect("stage suffix must compile"));
+    let mut inner = src.clone();
+    let mut fnv = FNV_OFFSET;
+    let start = Instant::now();
+    let report = run_morsels(
+        &mut inner,
+        &stages,
+        pool,
+        &PipelineObs::default(),
+        DEFAULT_CHUNK_BUDGET,
+        |item| {
+            if let ChunkOrMarker::Chunk(c) = item {
+                for p in &c.points {
+                    fnv = fnv1a_u32(p.value.to_bits(), fnv);
+                }
+            }
+        },
+    );
+    assert_eq!(report.run.protocol_violations, 0, "merge stage saw protocol violations");
+    Run { secs: start.elapsed().as_secs_f64(), points: report.run.points_delivered, fnv }
+}
+
+/// Best-of-`RUNS`; counts and hashes must agree across repeats.
+fn measure(run: impl Fn() -> Run) -> Run {
+    let mut best: Option<Run> = None;
+    for _ in 0..RUNS {
+        let r = run();
+        if let Some(b) = &best {
+            assert_eq!(r.points, b.points, "nondeterministic point count");
+            assert_eq!(r.fnv, b.fnv, "nondeterministic pixel hash");
+        }
+        if best.as_ref().is_none_or(|b| r.secs < b.secs) {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one run")
+}
+
+struct Workload {
+    name: &'static str,
+    serial: Run,
+    one: Run,
+    four: Run,
+}
+
+impl Workload {
+    fn speedup_permille(&self) -> u64 {
+        (self.one.secs / self.four.secs.max(1e-9) * 1000.0) as u64
+    }
+    fn pps(r: &Run) -> f64 {
+        r.points as f64 / r.secs.max(1e-9)
+    }
+}
+
+fn main() {
+    let digest = std::env::args().any(|a| a == "--digest");
+    let path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_par.json".to_string());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let src = materialized(7);
+    let rect = inner_rect();
+    let restrict_specs =
+        [StageSpec::RestrictSpace { region: Region::Rect(rect), crs: Crs::LatLon }];
+    // Gamma is deliberately powf-heavy: the kernel, not the inner
+    // source pull, dominates — which is what the pool parallelizes.
+    let transform_specs = [StageSpec::MapValue { func: ValueFunc::Gamma { g: 2.2 } }];
+
+    let pool1 = WorkerPool::new(1);
+    let pool4 = WorkerPool::new(4);
+    let mut workloads = Vec::new();
+    for (name, specs) in [("restrict", &restrict_specs[..]), ("transform", &transform_specs[..])] {
+        let serial = measure(|| match name {
+            "restrict" => {
+                let mut chain = SpatialRestrict::new(src.clone(), Region::Rect(rect));
+                run_serial(&mut chain)
+            }
+            _ => {
+                let mut chain =
+                    MapTransform::<_, f32>::new(src.clone(), ValueFunc::Gamma { g: 2.2 });
+                run_serial(&mut chain)
+            }
+        });
+        let one = measure(|| run_par(&src, specs, &pool1));
+        let four = measure(|| run_par(&src, specs, &pool4));
+        assert_eq!(serial.points, one.points, "{name}: serial vs 1-worker point counts");
+        assert_eq!(serial.fnv, one.fnv, "{name}: serial vs 1-worker pixel hashes");
+        assert_eq!(serial.points, four.points, "{name}: serial vs 4-worker point counts");
+        assert_eq!(serial.fnv, four.fnv, "{name}: serial vs 4-worker pixel hashes");
+        workloads.push(Workload { name, serial, one, four });
+    }
+
+    if digest {
+        let fields: Vec<String> = workloads
+            .iter()
+            .map(|w| {
+                format!(
+                    "\"{0}_points\":{1},\"{0}_fnv\":\"{2:016x}\"",
+                    w.name, w.serial.points, w.serial.fnv
+                )
+            })
+            .collect();
+        println!(
+            "{{\"bench\":\"par\",\"sectors\":{SECTORS},{},\"serial_matches_parallel\":true}}",
+            fields.join(",")
+        );
+        return;
+    }
+
+    let fields: Vec<String> = workloads
+        .iter()
+        .map(|w| {
+            format!(
+                "\"{0}_points\":{1},\"{0}_fnv\":\"{2:016x}\",\
+                 \"{0}_serial_pts_per_s\":{3:.0},\"{0}_w1_pts_per_s\":{4:.0},\
+                 \"{0}_w4_pts_per_s\":{5:.0},\"{0}_speedup_permille\":{6}",
+                w.name,
+                w.serial.points,
+                w.serial.fnv,
+                Workload::pps(&w.serial),
+                Workload::pps(&w.one),
+                Workload::pps(&w.four),
+                w.speedup_permille()
+            )
+        })
+        .collect();
+    let json = format!("{{\"bench\":\"par\",\"cores\":{cores},{}}}", fields.join(","));
+    let mut f = std::fs::File::create(&path).expect("create report file");
+    writeln!(f, "{json}").expect("write report");
+    println!("{json}");
+    for w in &workloads {
+        eprintln!(
+            "{}: serial {:.0} pts/s, 1w {:.0} pts/s, 4w {:.0} pts/s ({} permille)",
+            w.name,
+            Workload::pps(&w.serial),
+            Workload::pps(&w.one),
+            Workload::pps(&w.four),
+            w.speedup_permille()
+        );
+    }
+}

@@ -7,14 +7,34 @@
 //! latency percentiles alongside the paper's buffered-points peaks.
 //!
 //! The driver is chunk-native: it pulls whole point runs via
-//! [`GeoStream::next_chunk`] and takes **one** `Instant` pair per chunk,
-//! recording the amortized per-element latency with the run's element
-//! count ([`Histogram::record_n`]) so `pull_latency.count` stays
-//! element-denominated while observation overhead drops from two clock
-//! reads per pixel to two per run.
+//! [`GeoStream::next_chunk`] and times pulls with the sampled-clock
+//! discipline ([`SampledClock`]): one `Instant` pair every
+//! [`PULL_SAMPLE_EVERY`](crate::obs::PULL_SAMPLE_EVERY)th pull, with
+//! intervening pulls charged at the last measured per-element cost, so
+//! `pull_latency.count` stays element-denominated while observation
+//! overhead drops below two clock reads per run.
+//!
+//! Two sibling modules extend the driver across cores:
+//!
+//! * [`pool`] — a fixed work-stealing [`WorkerPool`] with per-worker
+//!   chunk recycling and an order-restoring [`OrderedCollector`];
+//! * [`morsel`] — the morsel-driven parallel driver: partitions the
+//!   input into sector/frame morsels, runs the partitionable operator
+//!   suffix on pool workers, and merges results back in lattice order
+//!   so output is byte-identical to [`run_chunked`] at every budget
+//!   and worker count.
+
+pub mod morsel;
+pub mod pool;
+
+pub use morsel::{
+    compile_stages, run_morsels, split_and_compile, split_parallel, CompiledStages, MorselReport,
+    ParallelSplit, StageSpec,
+};
+pub use pool::{OrderedCollector, WorkerPool, WorkerStatsSnapshot};
 
 use crate::model::{ChunkOrMarker, Element, GeoStream, Marker, DEFAULT_CHUNK_BUDGET};
-use crate::obs::{Histogram, HistogramSnapshot, PipelineObs, TraceKind};
+use crate::obs::{Histogram, HistogramSnapshot, PipelineObs, SampledClock, TraceKind};
 use crate::ops::ChunkProtocolChecker;
 use crate::stats::OpReport;
 use serde::{Deserialize, Serialize};
@@ -172,10 +192,12 @@ where
 }
 
 /// The chunk-native driver: drains the pipeline pulling up to `budget`
-/// points per call, invoking `on_item` once per run. One `Instant` pair
-/// is taken per pull; its cost is spread over the run's element count so
+/// points per call, invoking `on_item` once per run. Pull timing uses
+/// the [`SampledClock`] discipline — a clock read only every
+/// [`PULL_SAMPLE_EVERY`](crate::obs::PULL_SAMPLE_EVERY)th pull, backlog
+/// charged at the last measured per-element cost — so
 /// [`RunReport::pull_latency`] stays element-denominated (`count` equals
-/// `elements`).
+/// `elements`) without an `Instant` pair per chunk.
 pub fn run_chunked<S, F>(
     stream: &mut S,
     obs: &PipelineObs,
@@ -195,16 +217,16 @@ where
     // builds; compiles to a no-op in release builds (the static
     // certificate already carries the proof).
     let mut checker = ChunkProtocolChecker::new();
+    let mut clock = SampledClock::new();
     let start = Instant::now();
     let mut elements = 0u64;
     let mut points = 0u64;
     let mut sectors = 0u64;
     loop {
-        let t0 = Instant::now();
+        let t0 = clock.begin();
         let Some(item) = stream.next_chunk(budget) else { break };
-        let dt = t0.elapsed().as_nanos() as u64;
         let n = item.element_count().max(1);
-        pull_ns.record_n(dt / n, n);
+        clock.end(t0, n, &pull_ns);
         elements += n;
         points += item.point_count() as u64;
         if let Some(Marker::SectorEnd(_)) = item.marker() {
@@ -214,6 +236,7 @@ where
         on_item(&item);
         item.recycle();
     }
+    clock.flush(&pull_ns);
     let wall = start.elapsed();
     let mut per_op = Vec::new();
     stream.collect_stats(&mut per_op);

@@ -1,0 +1,796 @@
+//! Morsel-driven parallel execution of the partitionable plan suffix.
+//!
+//! The split follows each operator's declared [`Parallelism`] contract
+//! (see [`crate::ops::ProtocolContract`]): starting at the query root,
+//! [`split_parallel`] peels off the longest suffix of `Partitionable`
+//! unary operators — restriction, value transform, stretch, focal,
+//! orient — leaving everything below (sources, shedding, delays,
+//! compositions, aggregates: the `OrderSensitive` / `BlockingMerge`
+//! operators) on the single-threaded *inner* pipeline.
+//!
+//! [`run_morsels`] then drives the inner pipeline from the consumer
+//! thread, slices its output into **morsels** at the split's
+//! [`Granularity`] — whole `SectorStart..SectorEnd` brackets when any
+//! stage is sector-scoped (focal, image-scope stretch, orient), single
+//! frames otherwise — and dispatches each morsel, tagged with a
+//! submission sequence number, to a [`WorkerPool`]. Each worker runs a
+//! *fresh* instance of the stage operators over its morsel (frame
+//! morsels get a synthetic copy of the enclosing `SectorStart` so
+//! georeferencing context travels with the work; it is stripped from
+//! the output). An [`OrderedCollector`] then merges results back in
+//! submission order, so the flattened element sequence is
+//! **byte-identical** to the serial pipeline at every chunk budget and
+//! worker count — the contracts guarantee a fresh per-unit instance
+//! reproduces the serial operator exactly.
+//!
+//! Byte-identity is defined on the flattened element sequence (what
+//! [`ChunkOrMarker::into_elements`] yields); chunk *boundaries* may
+//! differ from the serial driver near morsel edges. The guarantee
+//! requires protocol-clean inner output (`SectorStart..SectorEnd`
+//! bracketing, `FrameStart..FrameEnd` nesting); faulty transports
+//! should be routed through
+//! [`StreamRepair`](crate::model::StreamRepair) *below* the split,
+//! where it runs order-sensitively, exactly as in the serial plan.
+
+use super::pool::{OrderedCollector, WorkerPool};
+use super::{run_chunked, RunReport};
+use crate::error::Result;
+use crate::model::{
+    pack_queue, BoxedF32Stream, ChunkOrMarker, Element, GeoStream, Marker, SectorInfo,
+    StreamSchema, TimeSet, VecStream, DEFAULT_CHUNK_BUDGET,
+};
+use crate::obs::{Histogram, PipelineObs, SampledClock, SpanOutcome, TraceKind};
+use crate::ops::{
+    ChunkProtocolChecker, FocalFunc, FocalTransform, Granularity, MapTransform, Orient,
+    Orientation, Parallelism, ProtocolContract, SpatialRestrict, StretchMode, StretchScope,
+    StretchTransform, TemporalRestrict, ValueFunc, ValueRestrict,
+};
+use crate::query::{Expr, Planner};
+use crate::stats::{OpReport, OpStats};
+use geostreams_geo::{map_region, Crs, Region};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// One data-parallel stage peeled off the plan root: the operator's
+/// parameters, detached from its input expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StageSpec {
+    /// Spatial restriction `E|R` (region in `crs` coordinates).
+    RestrictSpace {
+        /// Restriction region.
+        region: Region,
+        /// CRS the region coordinates are expressed in.
+        crs: Crs,
+    },
+    /// Temporal restriction `E|T`.
+    RestrictTime {
+        /// Accepted timestamp set.
+        times: TimeSet,
+    },
+    /// Value restriction `E|V`.
+    RestrictValue {
+        /// Accepted value ranges (inclusive).
+        ranges: Vec<(f64, f64)>,
+    },
+    /// Point-wise value transform `f_val ∘ E`.
+    MapValue {
+        /// The function.
+        func: ValueFunc,
+    },
+    /// Frame/image-scoped contrast stretch.
+    Stretch {
+        /// Stretch mode.
+        mode: StretchMode,
+        /// Buffering scope.
+        scope: StretchScope,
+    },
+    /// `k × k` focal (neighborhood) operation.
+    Focal {
+        /// Focal function.
+        func: FocalFunc,
+        /// Kernel size (odd).
+        k: u32,
+    },
+    /// Exact orientation change.
+    Orient {
+        /// The orientation.
+        orientation: Orientation,
+    },
+}
+
+impl StageSpec {
+    /// The operator's textual algebra keyword.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageSpec::RestrictSpace { .. } => "restrict_space",
+            StageSpec::RestrictTime { .. } => "restrict_time",
+            StageSpec::RestrictValue { .. } => "restrict_value",
+            StageSpec::MapValue { .. } => "map_value",
+            StageSpec::Stretch { .. } => "stretch",
+            StageSpec::Focal { .. } => "focal",
+            StageSpec::Orient { .. } => "orient",
+        }
+    }
+
+    /// The operator's declared protocol contract — the same one
+    /// [`query::analyze`](crate::query) folds into the plan's
+    /// certificate; its [`Parallelism`] and [`Granularity`] fields
+    /// drive the split.
+    pub fn contract(&self) -> ProtocolContract {
+        match self {
+            StageSpec::RestrictSpace { .. } => {
+                crate::ops::restrict::restriction_contract("restrict_space")
+            }
+            StageSpec::RestrictTime { .. } => {
+                crate::ops::restrict::restriction_contract("restrict_time")
+            }
+            StageSpec::RestrictValue { .. } => {
+                crate::ops::restrict::restriction_contract("restrict_value")
+            }
+            StageSpec::MapValue { .. } => {
+                crate::ops::value_transform::value_transform_contract("map_value")
+            }
+            StageSpec::Stretch { scope, .. } => crate::ops::stretch::stretch_contract(*scope),
+            StageSpec::Focal { .. } => crate::ops::focal::focal_contract(),
+            StageSpec::Orient { .. } => crate::ops::orient::orient_contract(),
+        }
+    }
+}
+
+/// The outcome of [`split_parallel`]: the order-sensitive residue and
+/// the partitionable stage suffix (upstream first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelSplit {
+    /// The expression that stays on the single-threaded inner pipeline.
+    pub inner: Expr,
+    /// Partitionable stages to run per-morsel, upstream first.
+    pub stages: Vec<StageSpec>,
+}
+
+impl ParallelSplit {
+    /// Morsel granularity: the coarsest granularity any stage demands
+    /// ([`Granularity::Sector`] dominates [`Granularity::Frame`]).
+    pub fn granularity(&self) -> Granularity {
+        self.stages.iter().map(|s| s.contract().granularity).max().unwrap_or(Granularity::Frame)
+    }
+}
+
+/// Peels the longest suffix of [`Parallelism::Partitionable`] unary
+/// operators off the plan root. Operators whose contracts are
+/// order-sensitive or blocking bound the parallel region and stay in
+/// `inner` together with everything beneath them.
+pub fn split_parallel(expr: &Expr) -> ParallelSplit {
+    let mut rev: Vec<StageSpec> = Vec::new();
+    let mut cur = expr;
+    loop {
+        let peeled = match cur {
+            Expr::RestrictSpace { input, region, crs } => {
+                Some((input, StageSpec::RestrictSpace { region: region.clone(), crs: *crs }))
+            }
+            Expr::RestrictTime { input, times } => {
+                Some((input, StageSpec::RestrictTime { times: times.clone() }))
+            }
+            Expr::RestrictValue { input, ranges } => {
+                Some((input, StageSpec::RestrictValue { ranges: ranges.clone() }))
+            }
+            Expr::MapValue { input, func } => Some((input, StageSpec::MapValue { func: *func })),
+            Expr::Stretch { input, mode, scope } => {
+                Some((input, StageSpec::Stretch { mode: *mode, scope: *scope }))
+            }
+            Expr::Focal { input, func, k } => {
+                Some((input, StageSpec::Focal { func: *func, k: *k }))
+            }
+            Expr::Orient { input, orientation } => {
+                Some((input, StageSpec::Orient { orientation: *orientation }))
+            }
+            _ => None,
+        };
+        match peeled {
+            Some((input, spec)) if spec.contract().parallelism == Parallelism::Partitionable => {
+                rev.push(spec);
+                cur = input;
+            }
+            _ => break,
+        }
+    }
+    rev.reverse();
+    ParallelSplit { inner: cur.clone(), stages: rev }
+}
+
+type StageBuilder = Arc<dyn Fn(BoxedF32Stream) -> BoxedF32Stream + Send + Sync>;
+
+/// Compiled form of a stage suffix: thread-safe constructors that build
+/// a fresh operator chain per morsel, plus the probed operator names
+/// (for per-op stats) and the morsel granularity.
+#[derive(Clone)]
+pub struct CompiledStages {
+    builders: Vec<StageBuilder>,
+    names: Vec<String>,
+    granularity: Granularity,
+}
+
+impl std::fmt::Debug for CompiledStages {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledStages")
+            .field("names", &self.names)
+            .field("granularity", &self.granularity)
+            .finish()
+    }
+}
+
+impl CompiledStages {
+    /// A suffix with no stages (the driver degenerates to
+    /// [`run_chunked`]).
+    pub fn empty() -> CompiledStages {
+        CompiledStages { builders: Vec::new(), names: Vec::new(), granularity: Granularity::Frame }
+    }
+
+    /// True when there is nothing to parallelize.
+    pub fn is_empty(&self) -> bool {
+        self.builders.is_empty()
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.builders.len()
+    }
+
+    /// Morsel granularity of the compiled suffix.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// Probed operator names, upstream first (aligned with the stage
+    /// slots in [`RunReport::per_op`]).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn build_chain(&self, input: BoxedF32Stream) -> BoxedF32Stream {
+        let mut chain = input;
+        for b in &self.builders {
+            chain = b(chain);
+        }
+        chain
+    }
+}
+
+/// Compiles stage specs against the inner stream's schema. Fallible
+/// work (cross-CRS region mapping, exactly as
+/// [`Planner::build`] does it) happens once here, not per morsel.
+pub fn compile_stages(stages: &[StageSpec], schema: &StreamSchema) -> Result<CompiledStages> {
+    let mut builders: Vec<StageBuilder> = Vec::with_capacity(stages.len());
+    let mut granularity = Granularity::Frame;
+    for spec in stages {
+        granularity = granularity.max(spec.contract().granularity);
+        let b: StageBuilder = match spec {
+            StageSpec::RestrictSpace { region, crs } => {
+                let stream_crs = schema.crs;
+                let region = if *crs == stream_crs {
+                    region.clone()
+                } else {
+                    Region::Rect(map_region(region, crs, &stream_crs, 16)?)
+                };
+                Arc::new(move |s| Box::new(SpatialRestrict::new(s, region.clone())))
+            }
+            StageSpec::RestrictTime { times } => {
+                let times = times.clone();
+                Arc::new(move |s| Box::new(TemporalRestrict::new(s, times.clone())))
+            }
+            StageSpec::RestrictValue { ranges } => {
+                let ranges = ranges.clone();
+                Arc::new(move |s| Box::new(ValueRestrict::ranges(s, ranges.clone())))
+            }
+            StageSpec::MapValue { func } => {
+                let func = *func;
+                Arc::new(move |s| Box::new(MapTransform::<_, f32>::new(s, func)))
+            }
+            StageSpec::Stretch { mode, scope } => {
+                let (mode, scope) = (*mode, *scope);
+                Arc::new(move |s| Box::new(StretchTransform::new(s, mode, scope)))
+            }
+            StageSpec::Focal { func, k } => {
+                let (func, k) = (*func, *k);
+                Arc::new(move |s| Box::new(FocalTransform::new(s, func, k)))
+            }
+            StageSpec::Orient { orientation } => {
+                let orientation = *orientation;
+                Arc::new(move |s| Box::new(Orient::new(s, orientation)))
+            }
+        };
+        builders.push(b);
+    }
+    let compiled = CompiledStages { builders, names: Vec::new(), granularity };
+    // Probe operator names by building one chain over an empty stream.
+    let probe: BoxedF32Stream = Box::new(VecStream::new(schema.clone(), Vec::new()));
+    let chain = compiled.build_chain(probe);
+    let mut reports = Vec::new();
+    chain.collect_stats(&mut reports);
+    let names = reports.into_iter().skip(1).map(|r| r.name).collect();
+    Ok(CompiledStages { names, ..compiled })
+}
+
+/// Splits `expr`, builds the inner pipeline through `planner` (traced
+/// under `obs` exactly like a serial plan), and compiles the stage
+/// suffix against the inner schema.
+pub fn split_and_compile(
+    planner: &Planner<'_>,
+    expr: &Expr,
+    obs: &PipelineObs,
+) -> Result<(BoxedF32Stream, CompiledStages)> {
+    let split = split_parallel(expr);
+    let inner = planner.build_traced(&split.inner, obs)?;
+    let compiled = compile_stages(&split.stages, inner.schema())?;
+    Ok((inner, compiled))
+}
+
+/// A morsel's elements replayed as a [`GeoStream`] for the fresh stage
+/// chain a worker builds: pops are `pop_front`, chunked pulls pack the
+/// queue with the shared budget logic, so the kernel sees exactly the
+/// serial element protocol.
+struct MorselSource {
+    schema: Arc<StreamSchema>,
+    queue: VecDeque<Element<f32>>,
+}
+
+impl GeoStream for MorselSource {
+    type V = f32;
+
+    fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    fn next_element(&mut self) -> Option<Element<f32>> {
+        self.queue.pop_front()
+    }
+
+    fn next_chunk(&mut self, budget: usize) -> Option<ChunkOrMarker<f32>> {
+        pack_queue(&mut self.queue, budget)
+    }
+}
+
+struct KernelOut {
+    elements: Vec<Element<f32>>,
+    stage_stats: Vec<OpStats>,
+}
+
+/// Runs one morsel through a fresh stage chain. `strip_synthetic`
+/// removes the first `SectorStart` of the output — the echo of the
+/// synthesized sector context prepended to frame-granularity morsels.
+fn run_kernel(
+    stages: &CompiledStages,
+    schema: &Arc<StreamSchema>,
+    unit: Vec<Element<f32>>,
+    strip_synthetic: bool,
+) -> KernelOut {
+    let src = MorselSource { schema: Arc::clone(schema), queue: unit.into() };
+    let mut chain = stages.build_chain(Box::new(src));
+    let mut out = Vec::new();
+    while let Some(item) = chain.next_chunk(DEFAULT_CHUNK_BUDGET) {
+        item.into_elements(&mut |el| out.push(el));
+    }
+    let mut reports = Vec::new();
+    chain.collect_stats(&mut reports);
+    let stage_stats = reports.into_iter().skip(1).map(|r| r.stats).collect();
+    if strip_synthetic {
+        if let Some(pos) = out.iter().position(|e| matches!(e, Element::SectorStart(_))) {
+            out.remove(pos);
+        }
+    }
+    KernelOut { elements: out, stage_stats }
+}
+
+/// Slices the inner pipeline's flattened element sequence into morsel
+/// units at the split granularity. Frame-granularity units use a
+/// one-element lookahead so a trailing `SectorEnd` joins the sector's
+/// last frame unit instead of travelling alone.
+struct Assembler {
+    granularity: Granularity,
+    ctx: Option<SectorInfo>,
+    pending: Vec<Element<f32>>,
+    pending_synthetic: bool,
+    frame_done: bool,
+}
+
+/// A complete unit: its elements, and whether the kernel must strip a
+/// synthesized leading `SectorStart` from the output.
+type Unit = (Vec<Element<f32>>, bool);
+
+impl Assembler {
+    fn new(granularity: Granularity) -> Assembler {
+        Assembler {
+            granularity,
+            ctx: None,
+            pending: Vec::new(),
+            pending_synthetic: false,
+            frame_done: false,
+        }
+    }
+
+    fn take_pending(&mut self) -> Option<Unit> {
+        self.frame_done = false;
+        let strip = self.pending_synthetic;
+        self.pending_synthetic = false;
+        if self.pending.is_empty() {
+            return None;
+        }
+        Some((std::mem::take(&mut self.pending), strip))
+    }
+
+    /// Opens a frame-granularity unit with a synthesized copy of the
+    /// enclosing sector context, if one is known.
+    fn ensure_open(&mut self) {
+        if self.pending.is_empty() {
+            if let Some(si) = &self.ctx {
+                self.pending.push(Element::SectorStart(si.clone()));
+                self.pending_synthetic = true;
+            }
+        }
+    }
+
+    /// Feeds one element; returns at most one completed unit.
+    fn push(&mut self, el: Element<f32>) -> Option<Unit> {
+        match self.granularity {
+            Granularity::Sector => self.push_sector(el),
+            Granularity::Frame => self.push_frame(el),
+        }
+    }
+
+    fn push_sector(&mut self, el: Element<f32>) -> Option<Unit> {
+        match &el {
+            Element::SectorStart(_) => {
+                let prev = self.take_pending();
+                self.pending.push(el);
+                prev
+            }
+            Element::SectorEnd(_) => {
+                self.pending.push(el);
+                self.take_pending()
+            }
+            _ => {
+                self.pending.push(el);
+                None
+            }
+        }
+    }
+
+    fn push_frame(&mut self, el: Element<f32>) -> Option<Unit> {
+        match el {
+            Element::SectorStart(si) => {
+                let prev = self.take_pending();
+                self.ctx = Some(si.clone());
+                self.pending.push(Element::SectorStart(si));
+                prev
+            }
+            Element::FrameStart(_) => {
+                let prev = if self.frame_done { self.take_pending() } else { None };
+                self.ensure_open();
+                self.pending.push(el);
+                prev
+            }
+            Element::FrameEnd(_) => {
+                self.ensure_open();
+                self.pending.push(el);
+                self.frame_done = true;
+                None
+            }
+            Element::SectorEnd(_) => {
+                self.ensure_open();
+                self.pending.push(el);
+                self.ctx = None;
+                self.take_pending()
+            }
+            other => {
+                // Points (and any stray element) ride in the open unit;
+                // after a FrameEnd they stay with that frame so the
+                // kernel sees the serial sequence.
+                self.ensure_open();
+                self.pending.push(other);
+                None
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Option<Unit> {
+        self.take_pending()
+    }
+}
+
+/// Result of a morsel-driven run: the standard [`RunReport`] plus
+/// parallelism counters.
+#[derive(Debug)]
+pub struct MorselReport {
+    /// The merged-output run report; byte-compatible with a serial
+    /// [`run_chunked`] report over the same plan.
+    pub run: RunReport,
+    /// Morsels dispatched to the pool.
+    pub morsels: u64,
+    /// Stage-kernel panics contained by the driver (each also counts as
+    /// a protocol violation in [`RunReport::protocol_violations`]).
+    pub kernel_panics: u64,
+}
+
+/// How many morsels may be in flight per worker before the driver
+/// blocks on the collector (bounds reorder-buffer memory).
+const IN_FLIGHT_PER_WORKER: u64 = 4;
+
+fn deliver_unit<F: FnMut(&ChunkOrMarker<f32>)>(
+    unit: Vec<Element<f32>>,
+    budget: usize,
+    checker: &mut ChunkProtocolChecker,
+    counts: &mut (u64, u64, u64),
+    on_item: &mut F,
+) {
+    let mut q: VecDeque<Element<f32>> = unit.into();
+    while let Some(item) = pack_queue(&mut q, budget) {
+        counts.0 += item.element_count().max(1);
+        counts.1 += item.point_count() as u64;
+        if let Some(Marker::SectorEnd(_)) = item.marker() {
+            counts.2 += 1;
+        }
+        checker.observe(&item);
+        on_item(&item);
+        item.recycle();
+    }
+}
+
+/// The morsel driver: drains `inner` on the calling thread, fans each
+/// morsel out to `pool` through a fresh stage chain, and delivers the
+/// merged output to `on_item` in exact serial order.
+///
+/// With an empty stage suffix this is [`run_chunked`]. Otherwise the
+/// flattened output is byte-identical to running the full serial plan
+/// through [`run_chunked`]; `pull_latency` times the *inner* pulls
+/// (sampled), and [`RunReport::per_op`] carries the inner chain's
+/// reports followed by one merged slot per stage. A panicking stage
+/// kernel is contained: its morsel yields no output and the panic is
+/// surfaced in [`MorselReport::kernel_panics`] and
+/// [`RunReport::protocol_violations`].
+pub fn run_morsels<S, F>(
+    inner: &mut S,
+    stages: &Arc<CompiledStages>,
+    pool: &WorkerPool,
+    obs: &PipelineObs,
+    budget: usize,
+    mut on_item: F,
+) -> MorselReport
+where
+    S: GeoStream<V = f32>,
+    F: FnMut(&ChunkOrMarker<f32>),
+{
+    if stages.is_empty() {
+        let run = run_chunked(inner, obs, budget, on_item);
+        return MorselReport { run, morsels: 0, kernel_panics: 0 };
+    }
+    let name = inner.schema().name.clone();
+    if let Some(trace) = &obs.trace {
+        trace.record(obs.query_id, &name, TraceKind::QueryStart, "");
+    }
+    let schema = Arc::new(inner.schema().clone());
+    let pull_ns = Histogram::new();
+    let mut clock = SampledClock::new();
+    let mut checker = ChunkProtocolChecker::new();
+    let collector: Arc<OrderedCollector<Vec<Element<f32>>>> = Arc::new(OrderedCollector::new());
+    let stage_stats: Arc<Vec<Mutex<OpStats>>> =
+        Arc::new((0..stages.len()).map(|_| Mutex::new(OpStats::default())).collect());
+    let panics = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    let dispatch = |unit: Vec<Element<f32>>, strip: bool, seq: u64| {
+        let stages = Arc::clone(stages);
+        let schema = Arc::clone(&schema);
+        let collector = Arc::clone(&collector);
+        let stats = Arc::clone(&stage_stats);
+        let panics = Arc::clone(&panics);
+        let recorder = obs.recorder.clone();
+        let parent = obs.parent;
+        pool.submit(move |worker| {
+            let result =
+                catch_unwind(AssertUnwindSafe(|| run_kernel(&stages, &schema, unit, strip)));
+            match result {
+                Ok(out) => {
+                    for (slot, s) in stats.iter().zip(&out.stage_stats) {
+                        let mut g = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                        g.merge(s);
+                    }
+                    if let Some(rec) = &recorder {
+                        let mut span = rec.begin(&format!("morsel.w{worker}"), parent);
+                        let pts =
+                            out.elements.iter().filter(|e| matches!(e, Element::Point(_))).count();
+                        span.add_points(pts as u64);
+                        span.finish(SpanOutcome::Ok);
+                    }
+                    collector.push(seq, out.elements);
+                }
+                Err(_) => {
+                    panics.fetch_add(1, Ordering::Relaxed);
+                    collector.push(seq, Vec::new());
+                }
+            }
+        });
+    };
+
+    let mut asm = Assembler::new(stages.granularity());
+    let mut submitted = 0u64;
+    let mut delivered = 0u64;
+    // (elements, points, sectors) of the merged output.
+    let mut counts = (0u64, 0u64, 0u64);
+    let high_water = (pool.workers().max(1) as u64) * IN_FLIGHT_PER_WORKER;
+    loop {
+        let t0 = clock.begin();
+        let Some(item) = inner.next_chunk(budget) else { break };
+        let n = item.element_count().max(1);
+        clock.end(t0, n, &pull_ns);
+        item.into_elements(&mut |el| {
+            if let Some((unit, strip)) = asm.push(el) {
+                dispatch(unit, strip, submitted);
+                submitted += 1;
+            }
+        });
+        while submitted - delivered >= high_water {
+            let unit = collector.wait_next();
+            deliver_unit(unit, budget, &mut checker, &mut counts, &mut on_item);
+            delivered += 1;
+        }
+    }
+    clock.flush(&pull_ns);
+    if let Some((unit, strip)) = asm.finish() {
+        dispatch(unit, strip, submitted);
+        submitted += 1;
+    }
+    while delivered < submitted {
+        let unit = collector.wait_next();
+        deliver_unit(unit, budget, &mut checker, &mut counts, &mut on_item);
+        delivered += 1;
+    }
+    let wall = start.elapsed();
+    let (elements, points, sectors) = counts;
+    let mut per_op = Vec::new();
+    inner.collect_stats(&mut per_op);
+    for (i, stage_name) in stages.names().iter().enumerate() {
+        let stats = {
+            let g = stage_stats[i].lock().unwrap_or_else(PoisonError::into_inner);
+            g.clone()
+        };
+        per_op.push(OpReport {
+            name: stage_name.clone(),
+            stats,
+            pull_latency: None,
+            frame_latency: None,
+        });
+    }
+    if let Some(trace) = &obs.trace {
+        trace.record(
+            obs.query_id,
+            &name,
+            TraceKind::QueryEnd,
+            format!("{points} points, {sectors} sectors, {} µs", wall.as_micros()),
+        );
+    }
+    let kernel_panics = panics.load(Ordering::Relaxed);
+    let run = RunReport {
+        wall,
+        elements,
+        points_delivered: points,
+        sectors,
+        per_op,
+        pull_latency: pull_ns.snapshot(),
+        protocol_violations: checker.violations() + kernel_panics,
+    };
+    MorselReport { run, morsels: submitted, kernel_panics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::drain_chunked;
+    use geostreams_geo::{Crs, LatticeGeoref, Rect};
+
+    fn source() -> VecStream<f32> {
+        let lattice = LatticeGeoref::north_up(Crs::LatLon, Rect::new(0.0, 0.0, 10.0, 10.0), 10, 10);
+        VecStream::sectors("src", lattice, 3, |s, c, r| f64::from(c + r) + s as f64)
+    }
+
+    fn map_expr(inner: Expr) -> Expr {
+        Expr::MapValue { input: Box::new(inner), func: ValueFunc::Abs }
+    }
+
+    #[test]
+    fn split_peels_partitionable_suffix_upstream_first() {
+        let expr = Expr::RestrictValue {
+            input: Box::new(map_expr(Expr::Downsample {
+                input: Box::new(Expr::Source("g".into())),
+                k: 2,
+            })),
+            ranges: vec![(0.0, 5.0)],
+        };
+        let split = split_parallel(&expr);
+        assert_eq!(split.stages.len(), 2);
+        assert!(matches!(split.stages[0], StageSpec::MapValue { .. }), "upstream first");
+        assert!(matches!(split.stages[1], StageSpec::RestrictValue { .. }));
+        assert!(matches!(split.inner, Expr::Downsample { .. }));
+        assert_eq!(split.granularity(), Granularity::Frame);
+    }
+
+    #[test]
+    fn split_stops_at_order_sensitive_operators() {
+        let expr = Expr::Downsample { input: Box::new(Expr::Source("g".into())), k: 2 };
+        let split = split_parallel(&expr);
+        assert!(split.stages.is_empty());
+        assert_eq!(split.inner, expr);
+    }
+
+    #[test]
+    fn sector_scoped_stages_promote_granularity() {
+        let expr = map_expr(Expr::Focal {
+            input: Box::new(Expr::Source("g".into())),
+            func: FocalFunc::Mean,
+            k: 3,
+        });
+        let split = split_parallel(&expr);
+        assert_eq!(split.stages.len(), 2);
+        assert_eq!(split.granularity(), Granularity::Sector);
+    }
+
+    #[test]
+    fn morsel_run_matches_serial_chain_bytes() {
+        let specs = [
+            StageSpec::MapValue { func: ValueFunc::Linear { scale: 2.0, offset: 1.0 } },
+            StageSpec::RestrictValue { ranges: vec![(0.0, 20.0)] },
+        ];
+        let schema = source().schema().clone();
+        let stages = Arc::new(compile_stages(&specs, &schema).expect("compile"));
+        let mut serial_chain = ValueRestrict::ranges(
+            MapTransform::<_, f32>::new(source(), ValueFunc::Linear { scale: 2.0, offset: 1.0 }),
+            vec![(0.0, 20.0)],
+        );
+        let serial = drain_chunked(&mut serial_chain, 64);
+        for workers in [1usize, 3] {
+            let pool = WorkerPool::new(workers);
+            let mut inner = source();
+            let mut merged = Vec::new();
+            let report =
+                run_morsels(&mut inner, &stages, &pool, &PipelineObs::default(), 64, |item| {
+                    item.for_each_element(&mut |el| merged.push(el.clone()))
+                });
+            assert_eq!(merged, serial, "workers {workers}");
+            assert_eq!(report.run.protocol_violations, 0);
+            assert!(report.morsels > 0);
+            assert_eq!(report.run.per_op.len(), 1 + 2, "inner source + two stages");
+            assert_eq!(report.run.per_op[1].name, "map_value");
+        }
+    }
+
+    #[test]
+    fn empty_stage_suffix_degenerates_to_run_chunked() {
+        let stages = Arc::new(CompiledStages::empty());
+        let pool = WorkerPool::new(2);
+        let mut inner = source();
+        let report = run_morsels(&mut inner, &stages, &pool, &PipelineObs::default(), 128, |_| {});
+        assert_eq!(report.morsels, 0);
+        assert_eq!(report.run.points_delivered, 300);
+        assert_eq!(report.run.sectors, 3);
+        assert_eq!(report.run.pull_latency.count, report.run.elements);
+    }
+
+    #[test]
+    fn compile_probes_stage_names() {
+        let specs = [
+            StageSpec::MapValue { func: ValueFunc::Abs },
+            StageSpec::Stretch {
+                mode: StretchMode::Linear { out_lo: 0.0, out_hi: 1.0 },
+                scope: StretchScope::Frame,
+            },
+        ];
+        let schema = source().schema().clone();
+        let stages = compile_stages(&specs, &schema).expect("compile");
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages.names().len(), 2);
+        assert_eq!(stages.granularity(), Granularity::Frame);
+        assert!(!stages.is_empty());
+    }
+}

@@ -27,6 +27,7 @@
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use geostreams_raster::Pixel;
 
@@ -74,51 +75,153 @@ impl Marker {
     }
 }
 
-/// How many pooled buffers to retain per pixel type (bounds idle memory).
+/// How many pooled buffers to retain per pixel type per worker thread
+/// (bounds idle memory).
 const POOL_MAX_VECS: usize = 64;
+
+/// How many buffers the process-wide shared pool retains per pixel type
+/// (overflow from and hand-off between worker threads).
+const SHARED_POOL_MAX_VECS: usize = 256;
+
+/// The shared tier of the chunk pool: a process-wide, mutex-guarded
+/// stack of type-erased buffers per pixel type. Every entry is a
+/// `Box<Vec<PointRecord<V>>>` for the `V` it is keyed under, so the
+/// downcast in [`shared_take`] always succeeds. Sound to share because
+/// `Pixel: Send`.
+struct SharedPool {
+    slots: HashMap<TypeId, Vec<Box<dyn Any + Send>>>,
+}
+
+fn shared_pool() -> MutexGuard<'static, SharedPool> {
+    static POOL: OnceLock<Mutex<SharedPool>> = OnceLock::new();
+    let m = POOL.get_or_init(|| Mutex::new(SharedPool { slots: HashMap::new() }));
+    // A poisoned pool only means another thread panicked mid-push; the
+    // buffer stacks themselves are always in a consistent state.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Pops one buffer for `V` from the shared pool, if any.
+fn shared_take<V: Pixel>() -> Option<Vec<PointRecord<V>>> {
+    let mut pool = shared_pool();
+    let slot = pool.slots.get_mut(&TypeId::of::<V>())?;
+    let boxed = slot.pop()?;
+    boxed.downcast::<Vec<PointRecord<V>>>().ok().map(|b| *b)
+}
+
+/// Pushes one cleared buffer for `V` into the shared pool (dropping it
+/// if the shared tier is full).
+fn shared_put<V: Pixel>(v: Vec<PointRecord<V>>) {
+    let mut pool = shared_pool();
+    let slot = pool.slots.entry(TypeId::of::<V>()).or_default();
+    if slot.len() < SHARED_POOL_MAX_VECS {
+        slot.push(Box::new(v));
+    }
+}
+
+/// The thread-local tier: per-type stacks with a [`Drop`] impl that
+/// migrates every retained buffer to the shared pool when the thread
+/// exits. Before this existed, a worker thread's pooled buffers were
+/// stranded (freed but never reusable) at thread exit; now recycle
+/// accounting is conserved across thread lifetimes — see
+/// `pool_conserves_buffers_across_thread_exit`.
+struct LocalPool {
+    slots: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl Drop for LocalPool {
+    fn drop(&mut self) {
+        let mut pool = shared_pool();
+        for (ty, boxed) in self.slots.drain() {
+            if let Ok(stack) = boxed.downcast::<Vec<Box<dyn Any + Send>>>() {
+                let slot = pool.slots.entry(ty).or_default();
+                for buf in *stack {
+                    if slot.len() >= SHARED_POOL_MAX_VECS {
+                        break;
+                    }
+                    slot.push(buf);
+                }
+            }
+        }
+    }
+}
 
 thread_local! {
     /// Per-thread buffer pool, keyed by pixel `TypeId` (sound because
-    /// `Pixel: 'static`). Each slot holds `Vec<Vec<PointRecord<V>>>`.
-    static CHUNK_POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+    /// `Pixel: 'static`). Each slot holds a `Vec<Box<dyn Any + Send>>`
+    /// of individually boxed buffers so the whole stack can migrate to
+    /// the shared pool at thread exit without knowing `V`.
+    static CHUNK_POOL: RefCell<LocalPool> = RefCell::new(LocalPool { slots: HashMap::new() });
+}
+
+fn local_slot(pool: &mut LocalPool, ty: TypeId) -> Option<&mut Vec<Box<dyn Any + Send>>> {
+    pool.slots
+        .entry(ty)
+        .or_insert_with(|| Box::new(Vec::<Box<dyn Any + Send>>::new()) as Box<dyn Any + Send>)
+        .downcast_mut::<Vec<Box<dyn Any + Send>>>()
 }
 
 /// Takes a cleared point buffer from the pool (or allocates one).
+/// Fast path: the thread-local stack; on miss, the shared pool.
 fn pool_get<V: Pixel>(capacity: usize) -> Vec<PointRecord<V>> {
-    CHUNK_POOL.with(|p| {
-        let mut map = p.borrow_mut();
-        let slot = map
-            .entry(TypeId::of::<V>())
-            .or_insert_with(|| Box::new(Vec::<Vec<PointRecord<V>>>::new()) as Box<dyn Any>);
-        if let Some(stack) = slot.downcast_mut::<Vec<Vec<PointRecord<V>>>>() {
-            if let Some(mut v) = stack.pop() {
-                if v.capacity() < capacity {
-                    v.reserve(capacity - v.capacity());
-                }
-                return v;
-            }
-        }
-        Vec::with_capacity(capacity)
-    })
+    let local = CHUNK_POOL.try_with(|p| {
+        let mut pool = p.borrow_mut();
+        local_slot(&mut pool, TypeId::of::<V>())
+            .and_then(|stack| stack.pop())
+            .and_then(|boxed| boxed.downcast::<Vec<PointRecord<V>>>().ok())
+            .map(|b| *b)
+    });
+    let mut v = match local {
+        Ok(Some(v)) => v,
+        // Local tier empty (or already torn down): try the shared tier.
+        _ => match shared_take::<V>() {
+            Some(v) => v,
+            None => return Vec::with_capacity(capacity),
+        },
+    };
+    if v.capacity() < capacity {
+        v.reserve(capacity - v.capacity());
+    }
+    v
 }
 
-/// Returns a point buffer to the pool for reuse.
+/// Returns a point buffer to the pool for reuse: to the thread-local
+/// tier while it has room, overflowing (or falling back during thread
+/// teardown) to the shared tier.
 fn pool_put<V: Pixel>(mut v: Vec<PointRecord<V>>) {
     if v.capacity() == 0 {
         return;
     }
     v.clear();
-    CHUNK_POOL.with(|p| {
-        let mut map = p.borrow_mut();
-        let slot = map
-            .entry(TypeId::of::<V>())
-            .or_insert_with(|| Box::new(Vec::<Vec<PointRecord<V>>>::new()) as Box<dyn Any>);
-        if let Some(stack) = slot.downcast_mut::<Vec<Vec<PointRecord<V>>>>() {
-            if stack.len() < POOL_MAX_VECS {
-                stack.push(v);
+    let leftover = CHUNK_POOL.try_with(|p| {
+        let mut pool = p.borrow_mut();
+        match local_slot(&mut pool, TypeId::of::<V>()) {
+            Some(stack) if stack.len() < POOL_MAX_VECS => {
+                stack.push(Box::new(std::mem::take(&mut v)));
+                None
             }
+            _ => Some(std::mem::take(&mut v)),
         }
     });
+    match leftover {
+        Ok(None) => {}
+        Ok(Some(v)) => shared_put(v),
+        // TLS already destroyed (thread teardown): recycle cross-thread.
+        Err(_) => shared_put(v),
+    }
+}
+
+/// Pool occupancy for pixel type `V`: `(thread_local, shared)` buffer
+/// counts. The conservation regression test and the worker-pool metrics
+/// read this; it is not a hot-path API.
+pub fn pool_counts<V: Pixel>() -> (usize, usize) {
+    let local = CHUNK_POOL
+        .try_with(|p| {
+            let mut pool = p.borrow_mut();
+            local_slot(&mut pool, TypeId::of::<V>()).map(|s| s.len()).unwrap_or(0)
+        })
+        .unwrap_or(0);
+    let shared = shared_pool().slots.get(&TypeId::of::<V>()).map(|s| s.len()).unwrap_or(0);
+    (local, shared)
 }
 
 /// A contiguous run of points from one frame, plus the marker that
@@ -384,6 +487,67 @@ mod tests {
         assert!(c2.points.is_empty());
         assert_eq!(c2.points.as_ptr() as usize, ptr, "buffer came back from the pool");
         assert!(c2.points.capacity() >= cap);
+    }
+
+    #[test]
+    fn pool_conserves_buffers_across_thread_exit() {
+        // Regression: buffers recycled on a worker thread used to be
+        // stranded in its thread-local pool at exit. They must migrate
+        // to the shared tier and stay reusable. Rgb8 is used by no
+        // other test in this binary, so the counts are interference-free.
+        use geostreams_raster::Rgb8;
+        const N: usize = 8;
+        let (_, shared_before) = pool_counts::<Rgb8>();
+        let ptrs = std::thread::spawn(|| {
+            let mut ptrs = Vec::new();
+            let mut chunks = Vec::new();
+            for _ in 0..N {
+                let mut c = Chunk::<Rgb8>::with_budget(64);
+                c.points.push(PointRecord {
+                    cell: geostreams_geo::Cell::new(0, 0),
+                    value: Rgb8::default(),
+                });
+                ptrs.push(c.points.as_ptr() as usize);
+                chunks.push(c);
+            }
+            for c in chunks {
+                c.recycle();
+            }
+            ptrs
+        })
+        .join()
+        .expect("worker thread");
+        let (_, shared_after) = pool_counts::<Rgb8>();
+        assert_eq!(
+            shared_after,
+            shared_before + N,
+            "all {N} buffers recycled on the worker migrated to the shared pool"
+        );
+        // And they are genuinely reusable from this (different) thread.
+        let c = Chunk::<Rgb8>::with_budget(16);
+        assert!(c.points.capacity() >= 64, "buffer came back with its capacity");
+        assert!(
+            ptrs.contains(&(c.points.as_ptr() as usize)),
+            "reused buffer is one the worker thread pooled"
+        );
+        c.recycle();
+    }
+
+    #[test]
+    fn pool_put_overflow_spills_to_shared_tier() {
+        // Fill this thread's local tier past POOL_MAX_VECS; the
+        // overflow must land in the shared pool instead of being
+        // dropped. (f64 buffers; counts are lower bounds because other
+        // tests may touch the shared tier concurrently.)
+        let (_, shared_before) = pool_counts::<f64>();
+        let bufs: Vec<Vec<PointRecord<f64>>> =
+            (0..POOL_MAX_VECS + 4).map(|_| Vec::with_capacity(8)).collect();
+        for b in bufs {
+            pool_put(b);
+        }
+        let (local, shared) = pool_counts::<f64>();
+        assert!(local <= POOL_MAX_VECS);
+        assert!(shared >= shared_before + 4, "overflow spilled, not dropped");
     }
 
     #[test]

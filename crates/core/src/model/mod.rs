@@ -19,7 +19,9 @@ mod stream;
 mod timestamp;
 mod validate;
 
-pub use chunk::{drain_chunked, pack_queue, Chunk, ChunkOrMarker, Marker, DEFAULT_CHUNK_BUDGET};
+pub use chunk::{
+    drain_chunked, pack_queue, pool_counts, Chunk, ChunkOrMarker, Marker, DEFAULT_CHUNK_BUDGET,
+};
 pub use element::{Element, FrameEnd, FrameInfo, PointRecord, SectorEnd, SectorInfo};
 pub use repair::{RepairCounters, RepairProbe, RepairStats, SectorCompleteness, StreamRepair};
 pub use schema::{Organization, StreamSchema};

@@ -23,12 +23,14 @@
 //!
 //! Everything here is `std`-only: no new dependencies.
 
+mod clock;
 mod hist;
 mod registry;
 mod span;
 mod trace;
 mod traced;
 
+pub use clock::{SampledClock, PULL_SAMPLE_EVERY};
 pub use hist::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricKey, Registry};
 pub use span::{

@@ -393,6 +393,10 @@ pub fn aggregate_contract(operator: &str) -> crate::ops::ProtocolContract {
         chunks: ChunkDiscipline::Repack,
         requires_bracketing: true,
         requires_order: false,
+        // Windows and accumulators merge state across morsel
+        // boundaries: aggregates bound the parallel region.
+        parallelism: crate::ops::protocol::Parallelism::BlockingMerge,
+        granularity: crate::ops::protocol::Granularity::Sector,
     }
 }
 

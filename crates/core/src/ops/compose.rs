@@ -614,7 +614,11 @@ impl<L: GeoStream, R: GeoStream<V = L::V>> GeoStream for Compose<L, R> {
 /// sides must be bracketed and lattice-ordered for the merge to line
 /// up, and the output marker sequence is synthesized fresh.
 pub fn compose_contract(operator: &str) -> crate::ops::ProtocolContract {
+    use crate::ops::protocol::{Granularity, Parallelism};
+    // The frame-aligned merge consumes two inputs: it bounds the
+    // parallel region (subtrees above it can still be partitioned).
     crate::ops::ProtocolContract::resynthesizing(operator)
+        .with_parallelism(Parallelism::BlockingMerge, Granularity::Sector)
 }
 
 impl<L: GeoStream, R: GeoStream<V = L::V>> Compose<L, R> {

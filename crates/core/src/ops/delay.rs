@@ -169,6 +169,9 @@ pub fn delay_contract() -> crate::ops::ProtocolContract {
         chunks: ChunkDiscipline::Repack,
         requires_bracketing: true,
         requires_order: false,
+        // The d-sector shift spans morsel boundaries by definition.
+        parallelism: crate::ops::protocol::Parallelism::OrderSensitive,
+        granularity: crate::ops::protocol::Granularity::Sector,
     }
 }
 

@@ -307,6 +307,12 @@ impl<S: GeoStream> GeoStream for FocalTransform<S> {
                     self.cursor = 0;
                     self.sector_id = si.sector_id;
                     self.timestamp = si.timestamp;
+                    // Output frame ids are seeded from the sector id so
+                    // they depend only on this sector's input — the
+                    // property that makes focal sector-partitionable
+                    // (a fresh per-morsel instance emits the same ids
+                    // the serial instance would).
+                    self.next_frame_id = si.sector_id * u64::from(si.lattice.height);
                     return Some(Element::SectorStart(si));
                 }
                 Element::FrameStart(fi) => {
@@ -372,7 +378,12 @@ impl<S: GeoStream> GeoStream for FocalTransform<S> {
 /// order within well-bracketed frames; the output frame is re-emitted
 /// from the band, markers and all.
 pub fn focal_contract() -> crate::ops::ProtocolContract {
+    use crate::ops::protocol::{Granularity, Parallelism};
+    // The row band flushes at `SectorEnd` and output frame ids are
+    // seeded from the sector id, so a fresh instance fed one whole
+    // sector reproduces the serial output: sector-partitionable.
     crate::ops::ProtocolContract::resynthesizing("focal")
+        .with_parallelism(Parallelism::Partitionable, Granularity::Sector)
 }
 
 impl<S: GeoStream> FocalTransform<S> {

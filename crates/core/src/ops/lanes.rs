@@ -1,0 +1,112 @@
+//! Explicit lane-blocked value kernels for the data-parallel operators.
+//!
+//! Stable Rust (no `std::simd`) still vectorizes well when the loop
+//! shape is right: a fixed-width block of independent lanes, no
+//! per-element branching, and the operator dispatch hoisted *outside*
+//! the loop. [`apply_slice`] restructures [`ValueFunc`] application
+//! accordingly: one `match` per slice, then [`LANES`]-wide blocks of
+//! straight-line f64 arithmetic the autovectorizer can lift to SIMD,
+//! plus a scalar remainder loop.
+//!
+//! **Bit-exactness contract:** every lane applies *exactly* the scalar
+//! [`ValueFunc::apply`] formula, in f64, in element order — so the lane
+//! path is byte-identical to the scalar path (the oracle tests below
+//! compare `to_bits`, NaNs included). The speedup comes from loop
+//! structure, never from reassociation or reduced precision.
+
+use super::value_transform::ValueFunc;
+
+/// Lane width of the blocked loops (8 × f64 = two AVX2 / one AVX-512
+/// vector per step; on narrower targets the blocks simply unroll).
+pub const LANES: usize = 8;
+
+/// Applies `f` lane-blocked over `vals` (used by every variant below so
+/// the loop shape is uniform; `f` must be branch-light for the blocks
+/// to vectorize).
+#[inline(always)]
+fn for_each_lane(vals: &mut [f64], f: impl Fn(f64) -> f64 + Copy) {
+    let mut blocks = vals.chunks_exact_mut(LANES);
+    for block in &mut blocks {
+        // Fixed-size temporary keeps the loads/compute/stores in
+        // straight-line, index-free form.
+        let mut lane = [0.0f64; LANES];
+        lane.copy_from_slice(block);
+        for v in &mut lane {
+            *v = f(*v);
+        }
+        block.copy_from_slice(&lane);
+    }
+    for v in blocks.into_remainder() {
+        *v = f(*v);
+    }
+}
+
+/// Applies `func` to every value in place, lane-blocked. Byte-identical
+/// to mapping [`ValueFunc::apply`] element-wise.
+pub fn apply_slice(func: ValueFunc, vals: &mut [f64]) {
+    match func {
+        ValueFunc::Linear { scale, offset } => for_each_lane(vals, |v| scale * v + offset),
+        ValueFunc::Normalize { lo, hi } => {
+            if hi > lo {
+                for_each_lane(vals, |v| ((v - lo) / (hi - lo)).clamp(0.0, 1.0));
+            } else {
+                for_each_lane(vals, |_| 0.0);
+            }
+        }
+        ValueFunc::Clamp { lo, hi } => for_each_lane(vals, |v| v.clamp(lo, hi)),
+        ValueFunc::Abs => for_each_lane(vals, f64::abs),
+        ValueFunc::Gamma { g } => for_each_lane(vals, |v| v.clamp(0.0, 1.0).powf(g)),
+        ValueFunc::Threshold { t } => {
+            for_each_lane(vals, |v| if v >= t { 1.0 } else { 0.0 });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn funcs() -> Vec<ValueFunc> {
+        vec![
+            ValueFunc::Linear { scale: 0.37, offset: -2.25 },
+            ValueFunc::Normalize { lo: -10.0, hi: 10.0 },
+            ValueFunc::Normalize { lo: 5.0, hi: 5.0 }, // degenerate
+            ValueFunc::Clamp { lo: -1.0, hi: 1.0 },
+            ValueFunc::Abs,
+            ValueFunc::Gamma { g: 2.2 },
+            ValueFunc::Threshold { t: 0.125 },
+        ]
+    }
+
+    fn inputs() -> Vec<f64> {
+        // Odd length exercises the remainder loop; includes negatives,
+        // zero signs, infinities and NaN.
+        let mut v: Vec<f64> = (0..61).map(|i| (f64::from(i) - 30.0) * 0.73).collect();
+        v.extend([0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN]);
+        v
+    }
+
+    #[test]
+    fn lane_path_is_bit_identical_to_scalar_apply() {
+        for func in funcs() {
+            let mut lane = inputs();
+            apply_slice(func, &mut lane);
+            let scalar: Vec<f64> = inputs().iter().map(|v| func.apply(*v)).collect();
+            assert_eq!(lane.len(), scalar.len());
+            for (i, (a, b)) in lane.iter().zip(&scalar).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{func:?} lane {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_slices_use_the_remainder_path() {
+        for n in 0..LANES {
+            let mut v: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            apply_slice(ValueFunc::Linear { scale: 2.0, offset: 1.0 }, &mut v);
+            for (i, got) in v.iter().enumerate() {
+                assert_eq!(*got, 2.0 * i as f64 + 1.0);
+            }
+        }
+    }
+}

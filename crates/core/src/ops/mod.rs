@@ -21,6 +21,7 @@ pub mod compose;
 pub mod delay;
 pub mod delivery;
 pub mod focal;
+pub mod lanes;
 pub mod macro_ops;
 pub mod orient;
 pub mod protocol;
@@ -39,8 +40,8 @@ pub use delivery::{ImageAssembler, PngSink, RgbComposite};
 pub use focal::{FocalFunc, FocalTransform};
 pub use orient::{Orient, Orientation};
 pub use protocol::{
-    meet, CertBuilder, ChunkDiscipline, ChunkProtocolChecker, MarkerEffect, OrderEffect,
-    ProtocolCertificate, ProtocolContract, StageCheck, StreamGuarantees,
+    meet, CertBuilder, ChunkDiscipline, ChunkProtocolChecker, Granularity, MarkerEffect,
+    OrderEffect, Parallelism, ProtocolCertificate, ProtocolContract, StageCheck, StreamGuarantees,
 };
 pub use reproject::{Reproject, ReprojectConfig};
 pub use restrict::{SpatialRestrict, TemporalRestrict, ValueRestrict};

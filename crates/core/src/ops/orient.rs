@@ -164,7 +164,12 @@ impl<S: GeoStream> GeoStream for Orient<S> {
 /// georeference; markers and traversal order pass through untouched, so
 /// the contract is a pure forwarder.
 pub fn orient_contract() -> crate::ops::ProtocolContract {
+    use crate::ops::protocol::{Granularity, Parallelism};
+    // Point-wise, but the output lattice is derived from `SectorStart`
+    // (quarter-turns swap its dimensions), so the morsel unit is the
+    // sector bracket, not the frame.
     crate::ops::ProtocolContract::forwarding("orient")
+        .with_parallelism(Parallelism::Partitionable, Granularity::Sector)
 }
 
 impl<S: GeoStream> Orient<S> {

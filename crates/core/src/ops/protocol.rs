@@ -84,6 +84,74 @@ impl std::fmt::Display for OrderEffect {
     }
 }
 
+/// The smallest lattice unit an operator can be partitioned by without
+/// changing its output: the unit a morsel must cover so a fresh operator
+/// instance, fed only that unit, reproduces the serial operator's output
+/// for it byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// State is frame-scoped (or derived from the enclosing
+    /// `SectorStart`): one frame plus its sector context is a complete
+    /// unit of work.
+    Frame,
+    /// State is sector-scoped (row bands, image-wide statistics): a
+    /// whole `SectorStart..SectorEnd` bracket is the unit.
+    Sector,
+}
+
+impl std::fmt::Display for Granularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Granularity::Frame => "frame",
+            Granularity::Sector => "sector",
+        })
+    }
+}
+
+/// How an operator's work distributes across morsel workers (the
+/// contract the [`MorselDriver`](crate::exec::run_morsels) composes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// A pure per-unit function at [`ProtocolContract::granularity`]: a
+    /// fresh instance per morsel reproduces the serial output, so
+    /// morsels can run on any worker in any order and be merged back by
+    /// sequence number.
+    Partitionable,
+    /// The operator observes the stream serially (cross-sector
+    /// counters, strides, temporal shifts): it must stay below the
+    /// morsel split, on the single-threaded inner pipeline.
+    OrderSensitive,
+    /// The operator merges multiple inputs or windows across morsel
+    /// boundaries (compositions, temporal aggregates): it bounds the
+    /// parallel region and is never peeled into a morsel stage.
+    BlockingMerge,
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Parallelism::Partitionable => "partitionable",
+            Parallelism::OrderSensitive => "order-sensitive",
+            Parallelism::BlockingMerge => "blocking-merge",
+        })
+    }
+}
+
+impl Default for Parallelism {
+    /// Deserialized contracts from peers that predate the parallelism
+    /// field must not be partitioned by default.
+    fn default() -> Self {
+        Parallelism::OrderSensitive
+    }
+}
+
+impl Default for Granularity {
+    /// The conservative unit: a sector morsel is always sufficient.
+    fn default() -> Self {
+        Granularity::Sector
+    }
+}
+
 /// How an operator treats chunk boundaries relative to frame edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ChunkDiscipline {
@@ -126,6 +194,13 @@ pub struct ProtocolContract {
     /// (row-band windows: focal, downsample, reproject; the
     /// frame-aligned merge of compose).
     pub requires_order: bool,
+    /// How the operator's work distributes across morsel workers.
+    #[serde(default)]
+    pub parallelism: Parallelism,
+    /// The morsel unit when `parallelism` is
+    /// [`Parallelism::Partitionable`] (ignored otherwise).
+    #[serde(default)]
+    pub granularity: Granularity,
 }
 
 impl ProtocolContract {
@@ -139,6 +214,10 @@ impl ProtocolContract {
             chunks: ChunkDiscipline::Repack,
             requires_bracketing: false,
             requires_order: false,
+            // A source is the scan itself: it cannot be split below
+            // itself, only its consumers can be.
+            parallelism: Parallelism::OrderSensitive,
+            granularity: Granularity::Sector,
         }
     }
 
@@ -152,6 +231,10 @@ impl ProtocolContract {
             chunks: ChunkDiscipline::Preserve,
             requires_bracketing: false,
             requires_order: false,
+            // Pure forwarders are frame-partitionable by default; ops
+            // with cross-frame state (shed) override this.
+            parallelism: Parallelism::Partitionable,
+            granularity: Granularity::Frame,
         }
     }
 
@@ -166,6 +249,10 @@ impl ProtocolContract {
             chunks: ChunkDiscipline::Repack,
             requires_bracketing: true,
             requires_order: true,
+            // Resynthesizers are serial unless the op proves its
+            // state is sector-scoped and opts in (focal, stretch).
+            parallelism: Parallelism::OrderSensitive,
+            granularity: Granularity::Sector,
         }
     }
 
@@ -179,7 +266,17 @@ impl ProtocolContract {
             chunks: ChunkDiscipline::Repack,
             requires_bracketing: false,
             requires_order: false,
+            // Repair reorders globally: it must see the stream whole.
+            parallelism: Parallelism::OrderSensitive,
+            granularity: Granularity::Sector,
         }
+    }
+
+    /// Overrides the parallelism class (builder style).
+    pub fn with_parallelism(mut self, parallelism: Parallelism, granularity: Granularity) -> Self {
+        self.parallelism = parallelism;
+        self.granularity = granularity;
+        self
     }
 }
 
@@ -636,6 +733,35 @@ mod tests {
         checker
             .observe::<f32>(&ChunkOrMarker::Marker(Marker::SectorEnd(SectorEnd { sector_id: 0 })));
         assert_eq!(checker.violations(), 2);
+    }
+
+    #[test]
+    fn parallelism_rides_constructor_defaults() {
+        let f = ProtocolContract::forwarding("restrict_space");
+        assert_eq!(f.parallelism, Parallelism::Partitionable);
+        assert_eq!(f.granularity, Granularity::Frame);
+        assert_eq!(ProtocolContract::source("scan").parallelism, Parallelism::OrderSensitive);
+        assert_eq!(ProtocolContract::repairing("repair").parallelism, Parallelism::OrderSensitive);
+        let focal = ProtocolContract::resynthesizing("focal")
+            .with_parallelism(Parallelism::Partitionable, Granularity::Sector);
+        assert_eq!(focal.parallelism, Parallelism::Partitionable);
+        assert_eq!(focal.granularity, Granularity::Sector);
+        // Sector morsels subsume frame morsels: the driver takes the max.
+        assert!(Granularity::Sector > Granularity::Frame);
+    }
+
+    #[test]
+    fn contracts_without_parallelism_deserialize_order_sensitive() {
+        // A contract serialized by a peer that predates the parallelism
+        // field must come back OrderSensitive (never silently split).
+        let json = serde_json::to_string(&ProtocolContract::forwarding("old")).unwrap();
+        let stripped = json
+            .replace(",\"parallelism\":\"Partitionable\"", "")
+            .replace(",\"granularity\":\"Frame\"", "");
+        assert_ne!(json, stripped, "fields were present to strip");
+        let back: ProtocolContract = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.parallelism, Parallelism::OrderSensitive);
+        assert_eq!(back.granularity, Granularity::Sector);
     }
 
     #[test]

@@ -205,7 +205,11 @@ impl<S: GeoStream> GeoStream for Shed<S> {
 /// the bracketing skeleton and surviving-point order pass through
 /// untouched, so the contract is a pure forwarder.
 pub fn shed_contract() -> crate::ops::ProtocolContract {
+    use crate::ops::protocol::{Granularity, Parallelism};
+    // The frame/point stride counters run across the whole stream, so a
+    // per-morsel instance would restart the cadence: serial only.
     crate::ops::ProtocolContract::forwarding("shed")
+        .with_parallelism(Parallelism::OrderSensitive, Granularity::Sector)
 }
 
 impl<S: GeoStream> Shed<S> {

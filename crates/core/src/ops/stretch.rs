@@ -221,8 +221,10 @@ impl<S: GeoStream> GeoStream for StretchTransform<S> {
 /// through its queue unchanged; it needs well-bracketed input (its flush
 /// is driven by `FrameEnd`/`SectorEnd`) but not lattice order — min/max
 /// over a frame is order-insensitive.
-pub fn stretch_contract() -> crate::ops::ProtocolContract {
-    use crate::ops::protocol::{ChunkDiscipline, MarkerEffect, OrderEffect, ProtocolContract};
+pub fn stretch_contract(scope: StretchScope) -> crate::ops::ProtocolContract {
+    use crate::ops::protocol::{
+        ChunkDiscipline, Granularity, MarkerEffect, OrderEffect, Parallelism, ProtocolContract,
+    };
     ProtocolContract {
         operator: "stretch".to_string(),
         markers: MarkerEffect::Forward,
@@ -230,13 +232,21 @@ pub fn stretch_contract() -> crate::ops::ProtocolContract {
         chunks: ChunkDiscipline::Repack,
         requires_bracketing: true,
         requires_order: false,
+        // The held elements and their statistics never outlive the
+        // scope bracket, so the stretch partitions at exactly that
+        // granularity: per frame, or per sector for image scope.
+        parallelism: Parallelism::Partitionable,
+        granularity: match scope {
+            StretchScope::Frame => Granularity::Frame,
+            StretchScope::Image => Granularity::Sector,
+        },
     }
 }
 
 impl<S: GeoStream> StretchTransform<S> {
     /// Protocol contract (see [`stretch_contract`]).
     pub fn declared_contract(&self) -> crate::ops::ProtocolContract {
-        stretch_contract()
+        stretch_contract(self.scope)
     }
 
     /// §3.2: a frame-scoped stretch buffers one arrival frame (a single

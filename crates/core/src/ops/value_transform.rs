@@ -106,6 +106,9 @@ pub struct MapTransform<S: GeoStream, W: Pixel> {
     func: ValueFunc,
     stats: OpStats,
     schema: StreamSchema,
+    /// Reused f64 staging buffer for the lane-blocked chunk path
+    /// (drained every chunk; see [`crate::ops::lanes`]).
+    scratch: Vec<f64>,
     _w: PhantomData<W>,
 }
 
@@ -114,7 +117,14 @@ impl<S: GeoStream, W: Pixel> MapTransform<S, W> {
     pub fn new(input: S, func: ValueFunc) -> Self {
         let mut schema = input.schema().renamed("map_value");
         schema.value_range = func.map_range(schema.value_range);
-        MapTransform { input, func, stats: OpStats::default(), schema, _w: PhantomData }
+        MapTransform {
+            input,
+            func,
+            stats: OpStats::default(),
+            schema,
+            scratch: Vec::new(),
+            _w: PhantomData,
+        }
     }
 }
 
@@ -154,12 +164,19 @@ impl<S: GeoStream, W: Pixel> GeoStream for MapTransform<S, W> {
                     self.stats.frames_in += 1;
                     self.stats.frames_out += 1;
                 }
+                // Lane-blocked fast path: stage values through the f64
+                // arithmetic domain, apply the hoisted-dispatch kernel
+                // (bit-identical to per-element `apply`), convert back.
+                self.scratch.clear();
+                self.scratch.extend(c.points.iter().map(|p| p.value.to_f64()));
+                crate::ops::lanes::apply_slice(self.func, &mut self.scratch);
                 let mut out = Chunk::with_budget(c.points.len());
-                let func = self.func;
-                out.points.extend(c.points.drain(..).map(|p| PointRecord {
-                    cell: p.cell,
-                    value: W::from_f64(func.apply(p.value.to_f64())),
-                }));
+                out.points.extend(
+                    c.points
+                        .drain(..)
+                        .zip(self.scratch.drain(..))
+                        .map(|(p, v)| PointRecord { cell: p.cell, value: W::from_f64(v) }),
+                );
                 out.end = c.end.take();
                 c.recycle();
                 Some(ChunkOrMarker::Chunk(out))
@@ -333,6 +350,33 @@ mod tests {
         let mut op: CastTransform<_, u16> = CastTransform::new(source());
         let pts = op.drain_points();
         assert_eq!(pts[7].value, 7u16);
+    }
+
+    #[test]
+    fn chunked_lane_path_is_bit_identical_to_scalar() {
+        let funcs = [
+            ValueFunc::Linear { scale: 0.37, offset: -2.25 },
+            ValueFunc::Normalize { lo: 0.0, hi: 15.0 },
+            ValueFunc::Clamp { lo: 2.0, hi: 9.0 },
+            ValueFunc::Abs,
+            ValueFunc::Gamma { g: 2.2 },
+            ValueFunc::Threshold { t: 7.0 },
+        ];
+        for func in funcs {
+            let mut scalar_op: MapTransform<_, f32> = MapTransform::new(source(), func);
+            let scalar: Vec<_> = scalar_op.drain_points();
+            for budget in [1usize, 3, 64] {
+                let mut chunked_op: MapTransform<_, f32> = MapTransform::new(source(), func);
+                let chunked: Vec<_> = crate::model::drain_chunked(&mut chunked_op, budget)
+                    .into_iter()
+                    .filter_map(|el| if let Element::Point(p) = el { Some(p) } else { None })
+                    .collect();
+                assert_eq!(chunked.len(), scalar.len());
+                for (a, b) in chunked.iter().zip(&scalar) {
+                    assert_eq!(a.value.to_bits(), b.value.to_bits(), "{func:?} budget {budget}");
+                }
+            }
+        }
     }
 
     #[test]

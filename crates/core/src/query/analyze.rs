@@ -194,6 +194,25 @@ pub struct PlanReport {
     /// peer that predates the sharing subsystem.
     #[serde(default)]
     pub sharing: SharingReport,
+    /// How the morsel driver would parallelize this plan, composed from
+    /// the per-operator [`Parallelism`](crate::ops::Parallelism)
+    /// contracts (see [`crate::exec::split_parallel`]). The serde
+    /// default (no stages) marks a report from a peer that predates the
+    /// parallel executor.
+    #[serde(default)]
+    pub parallelism: ParallelismReport,
+}
+
+/// The plan's data-parallel decomposition, as the static analyzer sees
+/// it: which root operators the morsel driver would peel onto the
+/// worker pool, and at what granularity.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ParallelismReport {
+    /// Partitionable stage suffix, upstream first (algebra keywords).
+    pub stages: Vec<String>,
+    /// Morsel granularity of the suffix; `None` when the plan has no
+    /// partitionable suffix and runs serially.
+    pub granularity: Option<crate::ops::Granularity>,
 }
 
 /// Canonical identity of one subexpression of a plan.
@@ -695,7 +714,8 @@ impl Analyzer<'_> {
                 };
                 self.record(&path, "stretch", class, bytes, &d);
                 let mut d = d;
-                d.proto = self.cert.apply(&path, &crate::ops::stretch::stretch_contract(), d.proto);
+                d.proto =
+                    self.cert.apply(&path, &crate::ops::stretch::stretch_contract(*scope), d.proto);
                 d
             }
             Expr::Focal { input, k, .. } => {
@@ -1044,6 +1064,11 @@ pub fn analyze_with(expr: &Expr, catalog: &Catalog, opts: &AnalyzeOptions<'_>) -
     };
     // Rank: errors first, then warnings, then info (stable within class).
     a.diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    let split = crate::exec::split_parallel(expr);
+    let parallelism = ParallelismReport {
+        granularity: if split.stages.is_empty() { None } else { Some(split.granularity()) },
+        stages: split.stages.iter().map(|s| s.name().to_string()).collect(),
+    };
     PlanReport {
         per_op: a.per_op,
         blocking,
@@ -1051,6 +1076,7 @@ pub fn analyze_with(expr: &Expr, catalog: &Catalog, opts: &AnalyzeOptions<'_>) -
         diagnostics: a.diagnostics,
         certificate,
         sharing: SharingReport::for_expr(expr),
+        parallelism,
     }
 }
 
@@ -1106,6 +1132,22 @@ mod tests {
             assert_eq!(r.peak_buffer_bytes, Some(0), "{q}");
             assert!(!r.has_errors(), "{q}: {:?}", r.diagnostics);
         }
+    }
+
+    #[test]
+    fn parallelism_report_composes_stage_contracts() {
+        // Partitionable suffix above a shed: the shed stays serial, the
+        // scale+restrict suffix parallelizes at frame granularity.
+        let r = report("restrict_value(scale(shed(g1, \"points\", 4), 2, 0), 0, 1)");
+        assert_eq!(r.parallelism.stages, vec!["map_value", "restrict_value"]);
+        assert_eq!(r.parallelism.granularity, Some(crate::ops::Granularity::Frame));
+        // A sector-scoped stage promotes the granularity.
+        let r = report("focal(scale(g1, 2, 0), \"mean\", 3)");
+        assert_eq!(r.parallelism.granularity, Some(crate::ops::Granularity::Sector));
+        // No partitionable suffix at the root: serial plan.
+        let r = report("shed(scale(g1, 2, 0), \"points\", 4)");
+        assert!(r.parallelism.stages.is_empty());
+        assert_eq!(r.parallelism.granularity, None);
     }
 
     #[test]

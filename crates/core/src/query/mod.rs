@@ -11,8 +11,8 @@ pub mod plan;
 pub mod pushdown;
 
 pub use analyze::{
-    analyze, analyze_with, AnalyzeOptions, Diagnostic, OpAnalysis, PlanReport, ReplayEstimate,
-    ReplayProvider, Severity, SharingReport, SubplanKey,
+    analyze, analyze_with, AnalyzeOptions, Diagnostic, OpAnalysis, ParallelismReport, PlanReport,
+    ReplayEstimate, ReplayProvider, Severity, SharingReport, SubplanKey,
 };
 pub use ast::Expr;
 pub use canon::{canonical_key, canonical_text, canonicalize, key_hex};

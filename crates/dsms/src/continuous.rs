@@ -37,7 +37,7 @@ use crate::metrics::ServerMetrics;
 use crate::protocol::{ClientRequest, OutputFormat};
 use crate::server::{QueryResult, SourceRepair};
 use crate::share::{band_refs, plan_sharing, share_refs, share_source_name, SubscriptionTree};
-use geostreams_core::exec::{run_chunked, RunReport};
+use geostreams_core::exec::{compile_stages, run_morsels, split_parallel, RunReport, WorkerPool};
 use geostreams_core::model::{
     BoxedF32Stream, ChannelLike, ChunkChannel, ChunkOrMarker, GeoStream, Marker, RepairCounters,
     RepairProbe, StreamRepair, DEFAULT_CHUNK_BUDGET,
@@ -142,6 +142,14 @@ pub struct RuntimeConfig {
     /// per-tenant shed accounting on shared plans. Unlisted requests
     /// belong to the `"default"` tenant.
     pub tenants: Vec<(usize, String)>,
+    /// Morsel-execution workers (DESIGN.md §17). The runtime owns one
+    /// work-stealing pool of this many threads; counting queries
+    /// (`Stats`/`Json`) and shared-plan evaluators fan their
+    /// data-parallel operator suffix out to it, morsel by morsel, and
+    /// merge back in lattice order — output is byte-identical at every
+    /// worker count. `0` executes kernels inline on the driver thread
+    /// (same code path, no extra threads).
+    pub exec_workers: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -163,6 +171,7 @@ impl Default for RuntimeConfig {
             archive_max_frames: None,
             share_plans: false,
             tenants: Vec::new(),
+            exec_workers: 1,
         }
     }
 }
@@ -300,6 +309,13 @@ pub fn run_supervised(
         replay: config.archive.as_deref().map(|a| a as &dyn ReplayProvider),
     };
 
+    // One morsel-execution pool per runtime (DESIGN.md §17): counting
+    // queries and shared-plan evaluators dispatch their data-parallel
+    // stage suffix here, and archive replays decode independent tiles
+    // on it, instead of spawning threads of their own. Worker counters
+    // are published as `geostreams_exec_worker_*` once the run settles.
+    let exec_pool = Arc::new(WorkerPool::new(config.exec_workers));
+
     // Parse, optimize, and admit every request. A query whose plan
     // analysis carries errors (e.g. a wholly-past window with no
     // archive coverage — it would silently deliver nothing) gets a
@@ -349,10 +365,14 @@ pub fn run_supervised(
                 }
                 let Some(band) = archive.band_of(&name) else { continue };
                 if w.wholly_before(now) {
-                    let replay = archive.replay(band, w.lo, w.hi, sw.region.as_ref())?;
+                    let replay = archive
+                        .replay(band, w.lo, w.hi, sw.region.as_ref())?
+                        .with_decode_pool(Arc::clone(&exec_pool));
                     routes.insert(name, SourceRoute::ArchiveOnly(replay));
                 } else if w.starts_before(now) {
-                    let replay = archive.replay(band, w.lo, Some(now), sw.region.as_ref())?;
+                    let replay = archive
+                        .replay(band, w.lo, Some(now), sw.region.as_ref())?
+                        .with_decode_pool(Arc::clone(&exec_pool));
                     let watermark = archive.watermark(band).map(|(s, _)| s);
                     routes.insert(name, SourceRoute::Hybrid { replay, watermark });
                 }
@@ -783,6 +803,7 @@ pub fn run_supervised(
         node_probes.push(probes);
         let expr = node.expr.clone();
         let tree = Arc::clone(&trees[i]);
+        let pool = Arc::clone(&exec_pool);
         node_handles.push(std::thread::spawn(move || -> RunReport {
             let empty = || RunReport {
                 wall: Duration::ZERO,
@@ -793,8 +814,14 @@ pub fn run_supervised(
                 pull_latency: HistogramSnapshot::default(),
                 protocol_violations: 0,
             };
+            // The node's partitionable suffix runs on the shared worker
+            // pool; the inner plan (sources + repair) stays on this
+            // thread. With an empty suffix `run_morsels` degenerates to
+            // the serial chunk driver — either way the multicast stream
+            // is byte-identical to the legacy single-threaded pull.
+            let split = split_parallel(&expr);
             let planner = Planner::new(&catalog);
-            let mut pipeline: BoxedF32Stream = match planner.build(&expr) {
+            let mut inner: BoxedF32Stream = match planner.build(&split.inner) {
                 Ok(p) => p,
                 Err(e) => {
                     // Cannot happen for admitted plans (all sources are
@@ -804,13 +831,27 @@ pub fn run_supervised(
                     return empty();
                 }
             };
-            let report =
-                run_chunked(&mut pipeline, &PipelineObs::default(), DEFAULT_CHUNK_BUDGET, |item| {
+            let stages = match compile_stages(&split.stages, inner.schema()) {
+                Ok(s) => Arc::new(s),
+                Err(e) => {
+                    eprintln!("shared plan stage compile failed: {e}");
+                    tree.close();
+                    return empty();
+                }
+            };
+            let report = run_morsels(
+                &mut inner,
+                &stages,
+                &pool,
+                &PipelineObs::default(),
+                DEFAULT_CHUNK_BUDGET,
+                |item| {
                     let shared = Arc::new(item.clone());
                     tree.multicast(&shared, share_fanout, share_patience);
-                });
+                },
+            );
             tree.close();
-            report
+            report.run
         }));
     }
 
@@ -940,6 +981,7 @@ pub fn run_supervised(
         let store_metrics = store_metrics.clone();
         let metrics = config.metrics.clone();
         let payload_copies = Arc::clone(&payload_copies);
+        let exec_pool = Arc::clone(&exec_pool);
         query_slots.push(QuerySlot::Running(std::thread::spawn(
             move || -> (Result<QueryResult>, bool) {
                 let deadline = watchdog.map(|d| Instant::now() + d);
@@ -1220,64 +1262,144 @@ pub fn run_supervised(
                 }
                 let run = || -> Result<QueryResult> {
                     let planner = Planner::new(&catalog);
-                    let pipeline: BoxedF32Stream = match (&metrics, &recorder) {
-                        (Some(m), Some(rec)) => {
-                            // Traced build: one span per operator,
-                            // chained under a root delivery span whose
-                            // frame hook feeds watermark and e2e-lag
-                            // accounting at the moment of delivery.
-                            let deliver_id = rec.alloc_span();
-                            let obs = PipelineObs::for_query(qid as u32)
-                                .with_trace(Arc::clone(&m.trace))
-                                .with_recorder(Arc::clone(rec))
-                                .under(deliver_id);
-                            let built = planner.build_traced(&expr, &obs)?;
-                            let deliver = rec.begin_with_id(deliver_id, "deliver", 0);
-                            let m2 = Arc::clone(m);
-                            Box::new(
-                                SpanStream::new(built, deliver)
-                                    .with_frame_hook(move |fi| m2.note_frame(qid as u32, fi)),
-                            )
+                    // Counting queries whose plan ends in a
+                    // partitionable operator suffix run it on the
+                    // runtime's worker pool, morsel by morsel, merged
+                    // back in lattice order (byte-identical to the
+                    // serial pipeline). Plans with no such suffix —
+                    // and image deliveries, whose PNG sink is
+                    // inherently ordered — keep the legacy path.
+                    let split = split_parallel(&expr);
+                    let counting = matches!(format, OutputFormat::Stats | OutputFormat::Json);
+                    let mut result = if counting && !split.stages.is_empty() {
+                        let report = match (&metrics, &recorder) {
+                            (Some(m), Some(rec)) => {
+                                // Traced morsel run: the inner chain is
+                                // span-traced exactly like a serial
+                                // plan; the deliver span and the
+                                // frame-hook freshness accounting the
+                                // legacy root `SpanStream` provided
+                                // are replicated around the merged
+                                // (serial-order) output.
+                                let deliver_id = rec.alloc_span();
+                                let obs = PipelineObs::for_query(qid as u32)
+                                    .with_trace(Arc::clone(&m.trace))
+                                    .with_recorder(Arc::clone(rec))
+                                    .under(deliver_id);
+                                let mut inner = planner.build_traced(&split.inner, &obs)?;
+                                let stages =
+                                    Arc::new(compile_stages(&split.stages, inner.schema())?);
+                                let mut deliver = rec.begin_with_id(deliver_id, "deliver", 0);
+                                let m2 = Arc::clone(m);
+                                let mr = run_morsels(
+                                    &mut inner,
+                                    &stages,
+                                    &exec_pool,
+                                    &obs,
+                                    DEFAULT_CHUNK_BUDGET,
+                                    |item| {
+                                        if let Some(Marker::FrameStart(fi)) = item.marker() {
+                                            m2.note_frame(qid as u32, fi);
+                                        }
+                                    },
+                                );
+                                deliver.add_points(mr.run.points_delivered);
+                                deliver.finish(SpanOutcome::Ok);
+                                mr.run
+                            }
+                            _ => {
+                                let mut inner = planner.build(&split.inner)?;
+                                let stages =
+                                    Arc::new(compile_stages(&split.stages, inner.schema())?);
+                                run_morsels(
+                                    &mut inner,
+                                    &stages,
+                                    &exec_pool,
+                                    &PipelineObs::default(),
+                                    DEFAULT_CHUNK_BUDGET,
+                                    |_| {},
+                                )
+                                .run
+                            }
+                        };
+                        let points = report.points_delivered;
+                        // Debug-build runtime validator: any marker
+                        // bracketing or chunk-edge violation the merge
+                        // stage observed becomes a counted alarm
+                        // (always 0 in release builds).
+                        if report.protocol_violations > 0 {
+                            if let Some(m) = &metrics {
+                                m.protocol_violations.add(report.protocol_violations);
+                            }
                         }
-                        _ => planner.build(&expr)?,
-                    };
-                    let mut result = match format {
-                        OutputFormat::Stats | OutputFormat::Json => {
-                            let mut pipeline = pipeline;
-                            let report = geostreams_core::exec::run_to_end(&mut pipeline);
-                            let points = report.points_delivered;
-                            // Debug-build runtime validator: any marker
-                            // bracketing or chunk-edge violation the
-                            // driver observed becomes a counted alarm
-                            // (always 0 in release builds).
-                            if report.protocol_violations > 0 {
-                                if let Some(m) = &metrics {
-                                    m.protocol_violations.add(report.protocol_violations);
+                        QueryResult {
+                            id: qid as u32,
+                            frames: Vec::new(),
+                            report: Some(report),
+                            points,
+                            repair: Vec::new(),
+                            cancelled: false,
+                        }
+                    } else {
+                        let pipeline: BoxedF32Stream = match (&metrics, &recorder) {
+                            (Some(m), Some(rec)) => {
+                                // Traced build: one span per operator,
+                                // chained under a root delivery span whose
+                                // frame hook feeds watermark and e2e-lag
+                                // accounting at the moment of delivery.
+                                let deliver_id = rec.alloc_span();
+                                let obs = PipelineObs::for_query(qid as u32)
+                                    .with_trace(Arc::clone(&m.trace))
+                                    .with_recorder(Arc::clone(rec))
+                                    .under(deliver_id);
+                                let built = planner.build_traced(&expr, &obs)?;
+                                let deliver = rec.begin_with_id(deliver_id, "deliver", 0);
+                                let m2 = Arc::clone(m);
+                                Box::new(
+                                    SpanStream::new(built, deliver)
+                                        .with_frame_hook(move |fi| m2.note_frame(qid as u32, fi)),
+                                )
+                            }
+                            _ => planner.build(&expr)?,
+                        };
+                        match format {
+                            OutputFormat::Stats | OutputFormat::Json => {
+                                let mut pipeline = pipeline;
+                                let report = geostreams_core::exec::run_to_end(&mut pipeline);
+                                let points = report.points_delivered;
+                                // Debug-build runtime validator: any marker
+                                // bracketing or chunk-edge violation the
+                                // driver observed becomes a counted alarm
+                                // (always 0 in release builds).
+                                if report.protocol_violations > 0 {
+                                    if let Some(m) = &metrics {
+                                        m.protocol_violations.add(report.protocol_violations);
+                                    }
+                                }
+                                QueryResult {
+                                    id: qid as u32,
+                                    frames: Vec::new(),
+                                    report: Some(report),
+                                    points,
+                                    repair: Vec::new(),
+                                    cancelled: false,
                                 }
                             }
-                            QueryResult {
-                                id: qid as u32,
-                                frames: Vec::new(),
-                                report: Some(report),
-                                points,
-                                repair: Vec::new(),
-                                cancelled: false,
-                            }
-                        }
-                        _ => {
-                            let mut sink = PngSink::new(pipeline, None, PngOptions::default());
-                            let mut frames = Vec::new();
-                            while let Some(f) = sink.next_frame() {
-                                frames.push(f);
-                            }
-                            let points = frames.len() as u64;
-                            QueryResult {
-                                id: qid as u32,
-                                frames,
-                                report: None,
-                                points,
-                                repair: Vec::new(),
-                                cancelled: false,
+                            _ => {
+                                let mut sink = PngSink::new(pipeline, None, PngOptions::default());
+                                let mut frames = Vec::new();
+                                while let Some(f) = sink.next_frame() {
+                                    frames.push(f);
+                                }
+                                let points = frames.len() as u64;
+                                QueryResult {
+                                    id: qid as u32,
+                                    frames,
+                                    report: None,
+                                    points,
+                                    repair: Vec::new(),
+                                    cancelled: false,
+                                }
                             }
                         }
                     };
@@ -1378,6 +1500,7 @@ pub fn run_supervised(
         if stats.payload_copies > 0 {
             m.share_payload_copies.add(stats.payload_copies);
         }
+        m.record_exec_workers(&exec_pool.stats());
     }
     stats.watchdog_cancellations = cancellations;
     stats.elements_per_band.sort_unstable();
@@ -1703,6 +1826,49 @@ mod tests {
         let (results, _) = run_continuous(&scanner, 1, &requests).unwrap();
         let ids: Vec<u32> = results.iter().map(|r| r.as_ref().unwrap().id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn exec_workers_leave_counting_results_identical() {
+        // The morsel pool must be invisible in results: same requests,
+        // worker counts {0 (inline), 1, 4}, identical per-query points
+        // and sector counts. The stacked plan exercises a two-stage
+        // suffix (scale → restrict_value); the bare source exercises
+        // the empty-suffix delegation.
+        let requests = vec![
+            req("restrict_value(scale(goes-sim.b4-ir, 2, 0), 0, 500)", OutputFormat::Stats),
+            req("goes-sim.b3-wv", OutputFormat::Stats),
+        ];
+        let mut seen: Vec<Vec<(u64, u64)>> = Vec::new();
+        for workers in [0usize, 1, 4] {
+            let scanner = goes_like(32, 16, 5);
+            let metrics = Arc::new(ServerMetrics::new());
+            let config = RuntimeConfig {
+                exec_workers: workers,
+                metrics: Some(Arc::clone(&metrics)),
+                ..RuntimeConfig::default()
+            };
+            let (results, _) = run_supervised(&scanner, 2, &requests, &config).unwrap();
+            let facts: Vec<(u64, u64)> = results
+                .iter()
+                .map(|r| {
+                    let r = r.as_ref().unwrap();
+                    (r.points, r.report.as_ref().unwrap().sectors)
+                })
+                .collect();
+            seen.push(facts);
+            if workers > 0 {
+                // The pool must have executed the stacked query's
+                // morsels (worker counters are published as gauges).
+                let rendered = metrics.render_prometheus();
+                assert!(
+                    rendered.contains("geostreams_exec_worker_jobs"),
+                    "pool counters missing from /metrics"
+                );
+            }
+        }
+        assert_eq!(seen[0], seen[1], "inline vs 1 worker diverged");
+        assert_eq!(seen[1], seen[2], "1 vs 4 workers diverged");
     }
 
     #[test]

@@ -330,6 +330,20 @@ impl ServerMetrics {
         self.registry.counter("geostreams_share_shed_total", &[("tenant", tenant)])
     }
 
+    /// Publishes the morsel-execution pool's lifetime counters
+    /// (`geostreams_exec_worker_{jobs,steals,busy_ns}`, labeled by
+    /// worker index). Gauges are set-style: a runtime records once
+    /// when it settles, so repeated runs over one registry show the
+    /// latest run's pool.
+    pub fn record_exec_workers(&self, stats: &[geostreams_core::exec::WorkerStatsSnapshot]) {
+        for s in stats {
+            let w = s.worker.to_string();
+            self.registry.gauge("geostreams_exec_worker_jobs", &[("worker", &w)]).set(s.jobs);
+            self.registry.gauge("geostreams_exec_worker_steals", &[("worker", &w)]).set(s.steals);
+            self.registry.gauge("geostreams_exec_worker_busy_ns", &[("worker", &w)]).set(s.busy_ns);
+        }
+    }
+
     /// The fan-out depth gauge of a registered query (shared with the
     /// pump and pull sides of its channels).
     pub fn query_depth_gauge(&self, query_id: u32) -> Option<Gauge> {

@@ -192,6 +192,7 @@ pub fn run_all(files: &[SourceFile], out: &mut Vec<Finding>) {
     rule_instant_in_chunk_loop(files, out);
     rule_relaxed_strong_mix(files, out);
     rule_raw_file_io_in_store(files, out);
+    rule_detached_thread_spawn(files, out);
 }
 
 /// True for library source files (skips `src/bin/` entry points, which
@@ -617,6 +618,14 @@ const HOT_FNS: &[&str] = &[
     "fanout_all",
     "multicast",
     "shed_try_sub",
+    // Morsel driver and worker pool (DESIGN.md §17): called once per
+    // morsel, per delivered unit, or per pool job.
+    "run_morsels",
+    "run_kernel",
+    "deliver_unit",
+    "worker_loop",
+    "submit",
+    "wait_next",
 ];
 
 /// Methods that bound a collection again.
@@ -1009,6 +1018,91 @@ fn rule_raw_file_io_in_store(files: &[SourceFile], out: &mut Vec<Finding>) {
                         ),
                     }),
                 }
+            }
+        }
+    }
+}
+
+/// `detached-thread-spawn`: a statement-position `thread::spawn(..)`
+/// in runtime-crate library code discards the `JoinHandle`, so the
+/// thread can neither be joined on shutdown nor observed on panic.
+/// Every runtime thread is owned: pool workers are named and joined on
+/// drop, ingest/query/evaluator threads are held in handle vectors. A
+/// spawn whose handle hits the floor leaks past shutdown and hides
+/// crashes — bind it, store it, or route the work through the shared
+/// `WorkerPool`.
+fn rule_detached_thread_spawn(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let runtime = |p: &str| {
+        p.starts_with("crates/core/")
+            || p.starts_with("crates/dsms/")
+            || p.starts_with("crates/store/")
+    };
+    for f in files.iter().filter(|f| runtime(&f.path) && is_lib_file(&f.path)) {
+        let toks = &f.toks;
+        let test_ranges = cfg_test_mod_ranges(toks);
+        for i in 0..toks.len() {
+            if test_ranges.iter().any(|r| r.contains(&i)) {
+                continue;
+            }
+            // `thread::spawn(` — optionally prefixed by `std::`.
+            if !(toks[i].is_ident("spawn")
+                && is_call(toks, i)
+                && i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("thread"))
+            {
+                continue;
+            }
+            let mut start = i - 3;
+            if start >= 3
+                && toks[start - 1].is_punct(':')
+                && toks[start - 2].is_punct(':')
+                && toks[start - 3].is_ident("std")
+            {
+                start -= 3;
+            }
+            // Statement position: nothing consumes the handle. Any
+            // other predecessor (`=`, `(`, `,`, `.`, an ident…) means
+            // the spawn's result is bound, passed, or chained.
+            let stmt_start = start == 0
+                || toks[start - 1].is_punct(';')
+                || toks[start - 1].is_punct('{')
+                || toks[start - 1].is_punct('}');
+            if !stmt_start {
+                continue;
+            }
+            // A tail expression (`thread::spawn(..)` closing the body)
+            // returns the handle to the caller: only a call terminated
+            // by `;` drops it. Walk the argument parens to find out.
+            let mut j = i + 1;
+            let mut pd = 0usize;
+            while j < toks.len() {
+                if toks[j].is_punct('(') {
+                    pd += 1;
+                } else if toks[j].is_punct(')') {
+                    pd -= 1;
+                    if pd == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if !(j + 1 < toks.len() && toks[j + 1].is_punct(';')) {
+                continue;
+            }
+            match innermost(&f.fns, i) {
+                Some(fi) if f.fns[fi].is_test => {}
+                located => out.push(Finding {
+                    rule: "detached-thread-spawn",
+                    file: f.path.clone(),
+                    line: toks[i].line,
+                    function: located.map(|fi| f.fns[fi].name.clone()).unwrap_or_default(),
+                    message: "statement-position `thread::spawn` discards the `JoinHandle`; \
+                              bind or store the handle (or use the runtime's `WorkerPool`) so \
+                              the thread is joined on shutdown and its panics are observed"
+                        .to_string(),
+                }),
             }
         }
     }

@@ -1,0 +1,78 @@
+//! Fixture for `detached-thread-spawn`: statement-position spawns that
+//! drop the `JoinHandle` versus every owned-handle shape the runtime
+//! actually uses. Not compiled — lexed by the engine tests.
+
+use std::collections::HashMap;
+use std::thread;
+use std::thread::JoinHandle;
+
+/// Bad: the handle hits the floor — first statement of the body.
+pub fn bad_fire_and_forget() {
+    thread::spawn(|| background_work());
+}
+
+/// Bad: same shape through the fully qualified path, mid-body after a
+/// semicolon-terminated statement.
+pub fn bad_std_path() {
+    let work = prepare();
+    std::thread::spawn(move || consume(work));
+}
+
+/// Bad: statement position right after a closing brace.
+pub fn bad_after_block(restart: bool) {
+    if restart {
+        reset();
+    }
+    thread::spawn(|| background_work());
+}
+
+/// Good: the handle is bound and joined.
+pub fn good_bound_and_joined() {
+    let handle = thread::spawn(|| background_work());
+    handle.join().ok();
+}
+
+/// Good: handles are collected for shutdown.
+pub fn good_collected(n: usize) -> Vec<JoinHandle<()>> {
+    let mut handles = Vec::new();
+    for _ in 0..n {
+        handles.push(thread::spawn(|| background_work()));
+    }
+    handles
+}
+
+/// Good: the handle is stored in a registry keyed by name.
+pub fn good_registered(registry: &mut HashMap<String, JoinHandle<()>>) {
+    registry.insert("ingest".to_string(), std::thread::spawn(|| background_work()));
+}
+
+/// Good: `thread::Builder` names the thread and the handle is kept.
+pub fn good_builder() -> std::io::Result<JoinHandle<()>> {
+    thread::Builder::new().name("worker".to_string()).spawn(|| background_work())
+}
+
+/// Good: the handle is the return value.
+pub fn good_returned() -> JoinHandle<()> {
+    thread::spawn(|| background_work())
+}
+
+fn prepare() -> u32 {
+    7
+}
+
+fn consume(_v: u32) {}
+
+fn reset() {}
+
+fn background_work() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test code may fire and forget; the process dies with the test.
+    #[test]
+    fn spawn_in_test_is_fine() {
+        thread::spawn(|| background_work());
+    }
+}

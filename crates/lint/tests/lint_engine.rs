@@ -103,6 +103,26 @@ fn findings_are_sorted_and_stable() {
 }
 
 #[test]
+fn thread_rule_flags_only_discarded_handles() {
+    let findings = lint_fixture("threads.rs", include_str!("fixtures/threads.rs"));
+    let hits = rules_hit(&findings, "detached-thread-spawn");
+    let fns: Vec<&str> = hits.iter().map(|f| f.function.as_str()).collect();
+    assert_eq!(fns, vec!["bad_fire_and_forget", "bad_std_path", "bad_after_block"], "{hits:?}");
+    assert!(hits[0].message.contains("JoinHandle"));
+}
+
+#[test]
+fn thread_rule_ignores_non_runtime_crates() {
+    // The simulator deliberately runs detached fault-injection threads;
+    // the ownership discipline only binds core, dsms, and store.
+    let findings = lint_files(&[(
+        "crates/satsim/src/threads.rs".to_string(),
+        include_str!("fixtures/threads.rs").to_string(),
+    )]);
+    assert!(rules_hit(&findings, "detached-thread-spawn").is_empty());
+}
+
+#[test]
 fn raw_io_rule_guards_the_store_behind_vfs() {
     let src = include_str!("fixtures/store_io.rs").to_string();
     // Posed as store library code, the raw calls are violations.

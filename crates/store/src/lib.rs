@@ -156,6 +156,46 @@ mod tests {
     }
 
     #[test]
+    fn pooled_decode_replays_identically() {
+        // Same archive, serial vs pool-decoded replay: the flattened
+        // element sequences must match bit for bit (the pool only
+        // reorders decode work, never output). Zero cache capacity
+        // would force every tile down the decode path, but the default
+        // config already misses on first touch — run each replay on a
+        // fresh archive handle so neither is warmed by the other.
+        let dir = tmp_dir("pooled");
+        let mut cfg = ArchiveConfig::new(&dir);
+        cfg.codec = Codec::LosslessF32;
+        let archive = Archive::create(cfg.clone()).unwrap();
+        let sc = scanner();
+        ingest_band(&archive, &sc, 0, 3);
+        let band = sc.band_stream(0, 1).schema().band;
+        let drain = |mut r: ArchiveReplay| {
+            let mut got = Vec::new();
+            while let Some(el) = r.next_element() {
+                got.push(el);
+            }
+            assert!(!r.failed());
+            got
+        };
+        let serial = drain(archive.replay(band, None, None, None).unwrap());
+        for workers in [0, 3] {
+            let pool = std::sync::Arc::new(geostreams_core::exec::WorkerPool::new(workers));
+            let archive2 = Archive::open(cfg.clone()).unwrap();
+            let pooled =
+                drain(archive2.replay(band, None, None, None).unwrap().with_decode_pool(pool));
+            assert_eq!(frame_ids(&serial), frame_ids(&pooled));
+            let (sp, pp) = (points(&serial), points(&pooled));
+            assert_eq!(sp.len(), pp.len());
+            for ((sc_, sr, sv), (pc, pr, pv)) in sp.iter().zip(&pp) {
+                assert_eq!((sc_, sr), (pc, pr));
+                assert_eq!(sv.to_bits(), pv.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn temporal_window_selects_a_slice() {
         let dir = tmp_dir("window");
         let archive = Archive::create(ArchiveConfig::new(&dir)).unwrap();

@@ -6,6 +6,7 @@
 use crate::archive::{Archive, PlannedFrame, PlannedSector, ReplayPlan};
 use crate::codec::decode_stripe;
 use crate::vfs::{crc32, VfsFile};
+use geostreams_core::exec::{OrderedCollector, WorkerPool};
 use geostreams_core::model::{
     pack_queue, ChunkOrMarker, Element, FrameEnd, FrameInfo, Marker, PointRecord, SectorEnd,
     StreamSchema,
@@ -83,6 +84,7 @@ pub struct ArchiveReplay {
     files: HashMap<u64, Arc<dyn VfsFile>>,
     cache: Arc<Mutex<TileCache>>,
     metrics: Option<crate::metrics::StoreMetrics>,
+    pool: Option<Arc<WorkerPool>>,
     out: VecDeque<Element<f32>>,
     stats: OpStats,
     done: bool,
@@ -145,6 +147,7 @@ impl ArchiveReplay {
             files: plan.files,
             cache,
             metrics,
+            pool: None,
             out: VecDeque::new(),
             stats: OpStats::default(),
             done: false,
@@ -164,73 +167,135 @@ impl ArchiveReplay {
         self.sectors.len() + usize::from(self.current.is_some())
     }
 
+    /// Decodes independent tiles of each frame on `pool`. A frame's
+    /// tiles share no delta-chain state (chains link equal `tile_x`
+    /// across frames), so cache-missed stripes decode concurrently and
+    /// merge back in tile order. Payload reads and CRC checks stay on
+    /// the replay thread; output and error selection are byte-identical
+    /// to the serial path.
+    pub fn with_decode_pool(mut self, pool: Arc<WorkerPool>) -> ArchiveReplay {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Decodes one frame's selected tiles, advancing the delta chains;
     /// returns the decoded stripes when the frame should be emitted.
+    ///
+    /// Three passes: (1) serial cache probes, payload reads and CRC
+    /// checks; (2) chain decodes of the misses — fanned out to the
+    /// decode pool when one is attached and more than one tile missed,
+    /// inline otherwise (a frame's stripes are chain-independent:
+    /// chains link equal `tile_x` across frames, and `tile_x` is
+    /// unique within a frame); (3) serial chain advance and stripe
+    /// assembly in tile order. Errors surface for the first failing
+    /// tile in tile order on both decode paths.
     fn decode_frame(
         &mut self,
         cursor_sector: u64,
         chains: &mut HashMap<u32, Arc<TileData>>,
         frame: &PlannedFrame,
     ) -> Result<Vec<(CellBox, Arc<TileData>)>> {
-        let mut stripes = Vec::with_capacity(frame.tiles.len());
-        for t in &frame.tiles {
+        struct PendingDecode {
+            idx: usize,
+            payload: Vec<u8>,
+            prev: Option<Arc<TileData>>,
+        }
+        let mut decoded: Vec<Option<Arc<TileData>>> = vec![None; frame.tiles.len()];
+        let mut pending: Vec<PendingDecode> = Vec::new();
+        for (idx, t) in frame.tiles.iter().enumerate() {
             let key = (self.band, cursor_sector, frame.frame_id, t.tile_x);
-            let cached = lock(&self.cache).get(key);
-            let data = match cached {
-                Some(d) => {
-                    if let Some(m) = &self.metrics {
-                        m.cache_hits.inc();
-                    }
-                    d
+            if let Some(d) = lock(&self.cache).get(key) {
+                if let Some(m) = &self.metrics {
+                    m.cache_hits.inc();
                 }
-                None => {
-                    if let Some(m) = &self.metrics {
-                        m.cache_misses.inc();
-                    }
-                    let Some(file) = self.files.get(&t.segment) else {
-                        return Err(geostreams_core::CoreError::Storage(format!(
-                            "replay references unopened segment {}",
-                            t.segment
-                        )));
-                    };
-                    let mut payload = vec![0u8; t.len as usize];
-                    file.read_exact_at(&mut payload, t.offset).map_err(|e| {
-                        geostreams_core::CoreError::Storage(format!(
-                            "read segment {} @{}: {e}",
-                            t.segment, t.offset
-                        ))
-                    })?;
-                    // Verify the payload against the checksum recorded
-                    // at write time: a rotted tile must never be
-                    // decoded into pixels.
-                    if crc32(&payload) != t.crc {
-                        if let Some(m) = &self.metrics {
-                            m.corruption_detected.inc();
-                        }
-                        return Err(geostreams_core::CoreError::Corruption(format!(
-                            "tile payload CRC mismatch in segment {} @{} ({} bytes, band {} \
-                             sector {} frame {} tile {})",
-                            t.segment,
-                            t.offset,
-                            t.len,
-                            self.band,
-                            cursor_sector,
-                            frame.frame_id,
-                            t.tile_x
-                        )));
-                    }
-                    let prev = chains.get(&t.tile_x);
+                decoded[idx] = Some(d);
+                continue;
+            }
+            if let Some(m) = &self.metrics {
+                m.cache_misses.inc();
+            }
+            let Some(file) = self.files.get(&t.segment) else {
+                return Err(geostreams_core::CoreError::Storage(format!(
+                    "replay references unopened segment {}",
+                    t.segment
+                )));
+            };
+            let mut payload = vec![0u8; t.len as usize];
+            file.read_exact_at(&mut payload, t.offset).map_err(|e| {
+                geostreams_core::CoreError::Storage(format!(
+                    "read segment {} @{}: {e}",
+                    t.segment, t.offset
+                ))
+            })?;
+            // Verify the payload against the checksum recorded at
+            // write time: a rotted tile must never be decoded into
+            // pixels.
+            if crc32(&payload) != t.crc {
+                if let Some(m) = &self.metrics {
+                    m.corruption_detected.inc();
+                }
+                return Err(geostreams_core::CoreError::Corruption(format!(
+                    "tile payload CRC mismatch in segment {} @{} ({} bytes, band {} \
+                     sector {} frame {} tile {})",
+                    t.segment, t.offset, t.len, self.band, cursor_sector, frame.frame_id, t.tile_x
+                )));
+            }
+            pending.push(PendingDecode { idx, payload, prev: chains.get(&t.tile_x).cloned() });
+        }
+        match &self.pool {
+            Some(pool) if pending.len() > 1 => {
+                let order: Vec<usize> = pending.iter().map(|p| p.idx).collect();
+                let collector: Arc<OrderedCollector<Result<TileData>>> =
+                    Arc::new(OrderedCollector::new());
+                for (seq, p) in pending.into_iter().enumerate() {
+                    let t = &frame.tiles[p.idx];
+                    let (codec, n, keyframe) = (t.codec, t.cells.len() as usize, t.keyframe);
+                    let collector = Arc::clone(&collector);
+                    pool.submit(move |_| {
+                        let res = decode_stripe(
+                            codec,
+                            &p.payload,
+                            n,
+                            p.prev.as_deref().map(|d| d.lanes.as_slice()),
+                            keyframe,
+                        );
+                        collector.push(
+                            seq as u64,
+                            res.map(|d| TileData { present: d.present, lanes: d.lanes }),
+                        );
+                    });
+                }
+                for idx in order {
+                    let data = Arc::new(collector.wait_next()?);
+                    let t = &frame.tiles[idx];
+                    let key = (self.band, cursor_sector, frame.frame_id, t.tile_x);
+                    lock(&self.cache).put(key, Arc::clone(&data));
+                    decoded[idx] = Some(data);
+                }
+            }
+            _ => {
+                for p in pending {
+                    let t = &frame.tiles[p.idx];
                     let dec = decode_stripe(
                         t.codec,
-                        &payload,
+                        &p.payload,
                         t.cells.len() as usize,
-                        prev.map(|p| p.lanes.as_slice()),
+                        p.prev.as_deref().map(|d| d.lanes.as_slice()),
                         t.keyframe,
                     )?;
                     let data = Arc::new(TileData { present: dec.present, lanes: dec.lanes });
+                    let key = (self.band, cursor_sector, frame.frame_id, t.tile_x);
                     lock(&self.cache).put(key, Arc::clone(&data));
-                    data
+                    decoded[p.idx] = Some(data);
                 }
+            }
+        }
+        let mut stripes = Vec::with_capacity(frame.tiles.len());
+        for (idx, t) in frame.tiles.iter().enumerate() {
+            let Some(data) = decoded[idx].take() else {
+                return Err(geostreams_core::CoreError::Storage(
+                    "tile decode produced no stripe (driver bug)".into(),
+                ));
             };
             chains.insert(t.tile_x, Arc::clone(&data));
             stripes.push((t.cells, data));

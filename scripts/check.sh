@@ -45,3 +45,9 @@ scripts/obs_gate.sh
 # determinism (one plan, zero payload copies, oracle-identical
 # results), and the >= 5x per-subscriber cost-collapse bar.
 scripts/swarm_gate.sh
+
+# Morsel-parallel gate: the worker-count differential suite (operators
+# and stacked pipelines byte-identical across workers and budgets,
+# under chaos and with share_plans on), parallel digest determinism,
+# and the >= 2x 4-worker speedup bar (skipped loudly below 4 cores).
+scripts/par_gate.sh
